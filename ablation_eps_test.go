@@ -1,0 +1,59 @@
+package hssort
+
+import (
+	"cmp"
+	"fmt"
+	"slices"
+	"testing"
+	"time"
+
+	"hssort/internal/comm"
+	"hssort/internal/dist"
+	"hssort/internal/exactsplit"
+)
+
+// BenchmarkAblationEpsilonLadder walks the load-balance dial from loose
+// HSS thresholds down to exact (ε = 0) splitting via distributed
+// multi-select — quantifying the §2.1 observation that exactness costs
+// O(log N) rounds while HSS pays O(log log p/ε).
+func BenchmarkAblationEpsilonLadder(b *testing.B) {
+	const p, perRank = 16, 20000
+	for _, eps := range []float64{0.2, 0.05, 0.01} {
+		b.Run(fmt.Sprintf("hss-eps=%g", eps), func(b *testing.B) {
+			var stats Stats
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				shards := dist.Spec{Kind: dist.Uniform}.Shards(perRank, p, uint64(i)+1)
+				b.StartTimer()
+				var err error
+				_, stats, err = Sort(Config{Procs: p, Epsilon: eps, Seed: 3}, shards)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(stats.Rounds), "rounds")
+			b.ReportMetric(stats.Imbalance, "imbalance")
+		})
+	}
+	b.Run("exact-eps=0", func(b *testing.B) {
+		var rounds int
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			shards := dist.Spec{Kind: dist.Uniform}.Shards(perRank, p, uint64(i)+1)
+			b.StartTimer()
+			w := comm.NewWorld(p, comm.WithTimeout(2*time.Minute))
+			err := w.Run(func(c *comm.Comm) error {
+				local := shards[c.Rank()]
+				slices.Sort(local)
+				_, _, err := exactsplit.PerfectSplitters(c, local, p,
+					exactsplit.Options[int64]{Cmp: cmp.Compare[int64]})
+				return err
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rounds++ // exact rounds are internal; wall time is the metric
+		}
+		b.ReportMetric(1.0, "imbalance")
+	})
+}

@@ -1,0 +1,311 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus ablations of the design choices DESIGN.md calls out.
+// Shapes — who wins, by what factor, how quantities scale with p — are
+// the comparable output; absolute times are host-dependent.
+//
+// Run: go test -bench=. -benchmem
+package hssort
+
+import (
+	"fmt"
+	"slices"
+	"testing"
+
+	"hssort/internal/bspmodel"
+	"hssort/internal/changa"
+	"hssort/internal/dist"
+	"hssort/internal/sampling"
+)
+
+// BenchmarkTable51Formulas evaluates the Table 5.1 analytic model. The
+// custom metrics are the paper's concrete sample sizes in MB at p = 1e5,
+// eps = 5%.
+func BenchmarkTable51Formulas(b *testing.B) {
+	var rows []bspmodel.Row
+	for i := 0; i < b.N; i++ {
+		rows = bspmodel.Table51(100000, 1e6, 0.05, 8)
+	}
+	b.ReportMetric(rows[0].SampleBytes/1e9, "regular_GB")
+	b.ReportMetric(rows[1].SampleBytes/1e9, "random_GB")
+	b.ReportMetric(rows[2].SampleBytes/1e6, "hss1_MB")
+	b.ReportMetric(rows[3].SampleBytes/1e6, "hss2_MB")
+	b.ReportMetric(rows[len(rows)-1].SampleBytes/1e6, "hssloglog_MB")
+}
+
+// BenchmarkFig41SampleSize runs the splitter-determination protocol at
+// increasing bucket counts and reports the measured total sample — the
+// Fig 4.1 curves (one sub-benchmark per curve and scale).
+func BenchmarkFig41SampleSize(b *testing.B) {
+	variants := []struct {
+		name   string
+		alg    Algorithm
+		rounds int
+	}{
+		{"hss-1round", HSSTheoretical, 1},
+		{"hss-2rounds", HSSTheoretical, 2},
+		{"hss-constant", HSS, 0},
+	}
+	for _, v := range variants {
+		for _, p := range []int{1024, 4096, 16384} {
+			b.Run(fmt.Sprintf("%s/p=%d", v.name, p), func(b *testing.B) {
+				n := int64(p) * 512
+				var res SimResult
+				var err error
+				for i := 0; i < b.N; i++ {
+					res, err = SimulateSplitters(n, p, 0.05, v.alg, v.rounds, uint64(i)+1)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(res.TotalSample), "sample_keys")
+				b.ReportMetric(float64(res.Rounds), "rounds")
+				b.ReportMetric(res.Imbalance, "imbalance")
+			})
+		}
+	}
+}
+
+// BenchmarkFig61WeakScaling runs the full distributed sort with a fixed
+// per-rank load and reports the Fig 6.1 phase breakdown (fractions of
+// total critical-path time).
+func BenchmarkFig61WeakScaling(b *testing.B) {
+	const perRank = 50000
+	for _, p := range []int{4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			var stats Stats
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				shards := dist.Spec{Kind: dist.Uniform}.Shards(perRank, p, uint64(i)+1)
+				b.StartTimer()
+				var err error
+				_, stats, err = Sort(Config{Procs: p, Epsilon: 0.02, Seed: 7}, shards)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			total := float64(stats.Total())
+			b.ReportMetric(100*float64(stats.LocalSort)/total, "localsort_%")
+			b.ReportMetric(100*float64(stats.Splitter)/total, "histogram_%")
+			b.ReportMetric(100*float64(stats.Exchange+stats.Merge)/total, "exchange_%")
+			b.ReportMetric(stats.Imbalance, "imbalance")
+		})
+	}
+}
+
+// BenchmarkTable61Rounds executes the splitter protocol at the paper's
+// true processor counts (4K-32K) with 5p-key oversampling at eps = 0.02
+// and reports the observed rounds against the paper's (4 observed,
+// bound 8).
+func BenchmarkTable61Rounds(b *testing.B) {
+	const eps = 0.02
+	for _, p := range []int{4096, 8192, 16384, 32768} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			var res SimResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = SimulateSplitters(int64(p)*1000, p, eps, HSS, 0, uint64(i)+1)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			bound, _ := sampling.ExpectedRoundsFixed(p, eps, 5)
+			b.ReportMetric(float64(res.Rounds), "rounds")
+			b.ReportMetric(float64(bound), "bound")
+			b.ReportMetric(res.Imbalance, "imbalance")
+		})
+	}
+}
+
+// BenchmarkFig62ChaNGa sorts the Dwarf/Lambb Morton-key workloads with
+// HSS and classic histogram sort over virtual-processor buckets; the
+// reported rounds and splitter-phase share reproduce Fig 6.2's HSS-vs-Old
+// comparison.
+func BenchmarkFig62ChaNGa(b *testing.B) {
+	const procs = 8
+	const particles = 100000
+	for _, ds := range changa.Datasets {
+		base := make([][]uint64, procs)
+		for r := 0; r < procs; r++ {
+			base[r] = changa.ShardKeys(ds, particles, r, procs, 77)
+		}
+		for _, alg := range []Algorithm{HSS, HistogramSort} {
+			b.Run(fmt.Sprintf("%s/%s", ds.Name, alg), func(b *testing.B) {
+				var stats Stats
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					in := make([][]uint64, procs)
+					for r := range base {
+						in[r] = slices.Clone(base[r])
+					}
+					b.StartTimer()
+					var err error
+					_, stats, err = Sort(Config{
+						Procs: procs, Algorithm: alg, Buckets: 4 * procs,
+						RoundRobinBuckets: true, Epsilon: 0.05, Seed: 5,
+					}, in)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(stats.Rounds), "rounds")
+				b.ReportMetric(float64(stats.TotalSample), "probe_keys")
+				b.ReportMetric(stats.Imbalance, "imbalance")
+			})
+		}
+	}
+}
+
+// BenchmarkApproxOracle measures §3.4 rank queries: build cost is
+// excluded; each iteration answers a 64-probe batch.
+func BenchmarkApproxOracle(b *testing.B) {
+	const procs = 16
+	const perRank = 50000
+	shards := dist.Spec{Kind: dist.Gaussian}.Shards(perRank, procs, 3)
+	probes := make([]int64, 64)
+	for i := range probes {
+		probes[i] = int64(i) << 54
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ApproxRanks(shards, probes, 0.05, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSampling compares the fixed-oversampling production
+// schedule (§6.1.2) against the theoretical ratio schedule (§3.3) at the
+// same ε: rounds vs sample-size trade-off.
+func BenchmarkAblationSampling(b *testing.B) {
+	const p = 4096
+	n := int64(p) * 1000
+	for _, v := range []struct {
+		name   string
+		alg    Algorithm
+		rounds int
+	}{
+		{"fixed-f5", HSS, 0},
+		{"theoretical-k2", HSSTheoretical, 2},
+		{"theoretical-k5", HSSTheoretical, 5},
+		{"scanning-1round", HSSOneRound, 0},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			var res SimResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = SimulateSplitters(n, p, 0.05, v.alg, v.rounds, uint64(i)+1)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Rounds), "rounds")
+			b.ReportMetric(float64(res.TotalSample), "sample_keys")
+		})
+	}
+}
+
+// BenchmarkAblationApproxHistogram compares exact local histogramming
+// against the §3.4 representative-sample shortcut inside the full sort.
+func BenchmarkAblationApproxHistogram(b *testing.B) {
+	const p, perRank = 16, 50000
+	for _, approx := range []bool{false, true} {
+		name := "exact"
+		if approx {
+			name = "approx"
+		}
+		b.Run(name, func(b *testing.B) {
+			var stats Stats
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				shards := dist.Spec{Kind: dist.Uniform}.Shards(perRank, p, uint64(i)+1)
+				b.StartTimer()
+				var err error
+				_, stats, err = Sort(Config{Procs: p, Epsilon: 0.05, Approx: approx, Seed: 3}, shards)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(stats.Imbalance, "imbalance")
+			b.ReportMetric(float64(stats.Splitter.Microseconds()), "splitter_us")
+		})
+	}
+}
+
+// BenchmarkAblationNodeLevel compares the flat sort against the §6.1
+// two-level node sort: total message count is the §6.1 claim.
+func BenchmarkAblationNodeLevel(b *testing.B) {
+	const p, perRank = 32, 20000
+	for _, v := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"flat", Config{Procs: p, Epsilon: 0.05, Seed: 3}},
+		{"node-c4", Config{Procs: p, Algorithm: NodeHSS, CoresPerNode: 4, Epsilon: 0.05, Seed: 3}},
+		{"node-c8", Config{Procs: p, Algorithm: NodeHSS, CoresPerNode: 8, Epsilon: 0.05, Seed: 3}},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			var stats Stats
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				shards := dist.Spec{Kind: dist.Uniform}.Shards(perRank, p, uint64(i)+1)
+				b.StartTimer()
+				var err error
+				_, stats, err = Sort(v.cfg, shards)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(stats.TotalMsgs), "messages")
+			b.ReportMetric(stats.Imbalance, "imbalance")
+		})
+	}
+}
+
+// BenchmarkAblationDuplicates measures the §4.3 tagging cost and payoff
+// on a duplicate-heavy workload.
+func BenchmarkAblationDuplicates(b *testing.B) {
+	const p, perRank = 16, 20000
+	for _, tagged := range []bool{false, true} {
+		name := "untagged"
+		if tagged {
+			name = "tagged"
+		}
+		b.Run(name, func(b *testing.B) {
+			var stats Stats
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				shards := dist.Spec{Kind: dist.DuplicateHeavy, Distinct: 8}.Shards(perRank, p, uint64(i)+1)
+				b.StartTimer()
+				var err error
+				_, stats, err = Sort(Config{Procs: p, Epsilon: 0.05, TagDuplicates: tagged, Seed: 3}, shards)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(stats.Imbalance, "imbalance")
+		})
+	}
+}
+
+// BenchmarkBaselinesEndToEnd races every algorithm on the same uniform
+// workload — the headline comparison at equal ε.
+func BenchmarkBaselinesEndToEnd(b *testing.B) {
+	const p, perRank = 16, 30000
+	for _, alg := range []Algorithm{HSS, HSSOneRound, SampleSortRegular, SampleSortRandom, HistogramSort, Radix, Bitonic} {
+		b.Run(alg.String(), func(b *testing.B) {
+			var stats Stats
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				shards := dist.Spec{Kind: dist.Uniform}.Shards(perRank, p, uint64(i)+1)
+				b.StartTimer()
+				var err error
+				_, stats, err = Sort(Config{Procs: p, Algorithm: alg, Epsilon: 0.05, Seed: 3}, shards)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(stats.Imbalance, "imbalance")
+			b.ReportMetric(float64(stats.TotalSample), "probe_keys")
+		})
+	}
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+
+	"hssort"
+	"hssort/internal/dist"
+	"hssort/internal/tablefmt"
+)
+
+// runApprox validates Theorem 3.4.1: the approximate rank oracle with a
+// √(2p ln p)/ε-key representative sample per processor answers every
+// rank query within N·ε/p of truth w.h.p.
+func runApprox(scale float64) error {
+	perRank := int(50000 * scale)
+	if perRank < 5000 {
+		perRank = 5000
+	}
+	const eps = 0.05
+	t := tablefmt.New("p", "N", "queries", "error bound Nε/p", "max error", "mean error", "within bound")
+	for _, p := range []int{4, 16, 64} {
+		spec := dist.Spec{Kind: dist.Gaussian}
+		shards := spec.Shards(perRank, p, 13)
+		var global []int64
+		for _, s := range shards {
+			global = append(global, s...)
+		}
+		slices.Sort(global)
+		n := len(global)
+		probes := make([]int64, 64)
+		for i := range probes {
+			probes[i] = global[i*n/len(probes)]
+		}
+		est, err := hssort.ApproxRanks(shards, probes, eps, 3)
+		if err != nil {
+			return err
+		}
+		bound := int64(eps * float64(n) / float64(p))
+		var worst, sum int64
+		within := 0
+		for i, q := range probes {
+			truth := int64(sort.Search(n, func(j int) bool { return global[j] >= q }))
+			diff := est[i] - truth
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > worst {
+				worst = diff
+			}
+			sum += diff
+			if diff <= bound {
+				within++
+			}
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", p),
+			tablefmt.Count(float64(n)),
+			fmt.Sprintf("%d", len(probes)),
+			fmt.Sprintf("%d", bound),
+			fmt.Sprintf("%d", worst),
+			fmt.Sprintf("%.1f", float64(sum)/float64(len(probes))),
+			fmt.Sprintf("%d/%d", within, len(probes)),
+		)
+	}
+	fmt.Printf("Approximate rank oracle (§3.4), eps = %.2f:\n\n", eps)
+	fmt.Print(t.String())
+	fmt.Println("\nPaper (Theorem 3.4.1): every answer within Nε/p of the true rank w.h.p.")
+	return nil
+}

@@ -1,0 +1,77 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment prints the same rows/series the paper
+// reports; EXPERIMENTS.md records the paper-vs-measured comparison.
+//
+// Usage:
+//
+//	experiments -exp all                 # run everything
+//	experiments -exp table6.1           # one experiment
+//	experiments -exp fig6.1 -scale 2    # scale simulated sizes up/down
+//
+// Experiments: fig3.1, fig4.1, table5.1, fig6.1, table6.1, fig6.2,
+// approx (§3.4 validation).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// experiment is one regenerable table or figure.
+type experiment struct {
+	name string
+	desc string
+	run  func(scale float64) error
+}
+
+var experiments = []experiment{
+	{"fig3.1", "splitter intervals shrink across rounds (illustration)", runFig31},
+	{"fig4.1", "sample size vs p: sample sort vs HSS (analytic + measured)", runFig41},
+	{"table5.1", "complexity table with concrete sample sizes (p=1e5, eps=5%)", runTable51},
+	{"fig6.1", "weak scaling: execution-time breakdown per phase", runFig61},
+	{"table6.1", "histogramming rounds observed at the paper's processor counts", runTable61},
+	{"fig6.2", "ChaNGa sorting: HSS vs classic histogram sort on Dwarf/Lambb", runFig62},
+	{"approx", "§3.4 approximate rank oracle accuracy validation", runApprox},
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (or 'all', or 'list')")
+	scale := flag.Float64("scale", 1, "scale factor for simulated problem sizes")
+	flag.Parse()
+
+	if *exp == "list" {
+		for _, e := range experiments {
+			fmt.Printf("%-10s %s\n", e.name, e.desc)
+		}
+		return
+	}
+	names := map[string]bool{}
+	for _, n := range strings.Split(*exp, ",") {
+		names[strings.TrimSpace(n)] = true
+	}
+	ran := 0
+	for _, e := range experiments {
+		if !names["all"] && !names[e.name] {
+			continue
+		}
+		fmt.Printf("=== %s — %s ===\n\n", e.name, e.desc)
+		if err := e.run(*scale); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		known := make([]string, 0, len(experiments))
+		for _, e := range experiments {
+			known = append(known, e.name)
+		}
+		sort.Strings(known)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s\n", *exp, strings.Join(known, ", "))
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,92 @@
+// Duplicate handling (§4.3): splitter-based sorts cannot balance an
+// input whose duplicated values straddle bucket boundaries — no splitter
+// key can divide a run of equal keys. The paper's fix is implicit
+// tagging: order keys by (key, processor, index), a strict total order,
+// at no cost to the bulk data.
+//
+// This example sorts a Zipf-distributed workload (a few values dominate)
+// with and without Config.TagDuplicates and compares the achieved
+// balance.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand/v2"
+	"slices"
+
+	"hssort"
+)
+
+// zipfShard draws n keys from ~50 distinct values with Zipf(1.3) weights.
+func zipfShard(n int, seed uint64) []int64 {
+	const distinct = 50
+	cum := make([]float64, distinct)
+	total := 0.0
+	for i := range cum {
+		total += 1 / math.Pow(float64(i+1), 1.3)
+		cum[i] = total
+	}
+	rng := rand.New(rand.NewPCG(seed, 777))
+	out := make([]int64, n)
+	for i := range out {
+		u := rng.Float64() * total
+		lo := 0
+		for lo < distinct-1 && cum[lo] < u {
+			lo++
+		}
+		out[i] = int64(lo * 1000)
+	}
+	return out
+}
+
+func main() {
+	const procs = 16
+	const perProc = 40_000
+	const eps = 0.05
+
+	shards := make([][]int64, procs)
+	for r := range shards {
+		shards[r] = zipfShard(perProc, uint64(r))
+	}
+
+	run := func(tagged bool) hssort.Stats {
+		in := make([][]int64, procs)
+		for i := range shards {
+			in[i] = slices.Clone(shards[i])
+		}
+		outs, stats, err := hssort.Sort(hssort.Config{
+			Procs:         procs,
+			Epsilon:       eps,
+			TagDuplicates: tagged,
+			Seed:          11,
+		}, in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The output is the sorted permutation either way; only the
+		// balance differs.
+		var got []int64
+		for _, o := range outs {
+			got = append(got, o...)
+		}
+		if !slices.IsSorted(got) {
+			log.Fatal("output not globally sorted")
+		}
+		return stats
+	}
+
+	plain := run(false)
+	tagged := run(true)
+
+	fmt.Printf("Zipf keys (~50 distinct values), %d processors, target <= %.2f\n\n", procs, 1+eps)
+	fmt.Printf("  untagged: imbalance %.3f — the hottest value pins a whole bucket\n", plain.Imbalance)
+	fmt.Printf("  tagged:   imbalance %.3f — (key, PE, index) order splits inside runs\n", tagged.Imbalance)
+	if tagged.Imbalance > 1+eps+1e-9 {
+		log.Fatalf("tagging failed to restore the balance guarantee")
+	}
+	if plain.Imbalance < tagged.Imbalance {
+		fmt.Println("\n(note: on this seed the untagged run got lucky; rerun with more skew)")
+	}
+}

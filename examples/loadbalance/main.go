@@ -1,0 +1,85 @@
+// Load balance under skew: the paper's core claim is that HSS reaches a
+// requested (1+ε) load balance with a sample orders of magnitude smaller
+// than sample sort needs for the same guarantee (Table 5.1, Fig 4.1).
+//
+// This example sorts a heavily skewed workload (95% of keys in 1% of the
+// key range) with HSS and with sample sort whose per-processor sample is
+// capped at what HSS uses in total — showing that at equal sampling
+// budget, sample sort blows through the imbalance target while HSS meets
+// it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand/v2"
+	"slices"
+
+	"hssort"
+)
+
+// skewedShard: 95% of keys land in the lowest 1% of the range.
+func skewedShard(n int, seed uint64) []int64 {
+	rng := rand.New(rand.NewPCG(seed, 1234))
+	out := make([]int64, n)
+	for i := range out {
+		if rng.Float64() < 0.95 {
+			out[i] = rng.Int64N(1 << 44) // hot 1%
+		} else {
+			out[i] = rng.Int64N(1 << 51)
+		}
+	}
+	return out
+}
+
+func main() {
+	const procs = 32
+	const perProc = 50_000
+	const eps = 0.05
+
+	shards := make([][]int64, procs)
+	for r := range shards {
+		shards[r] = skewedShard(perProc, uint64(r))
+	}
+
+	run := func(name string, cfg hssort.Config) {
+		in := make([][]int64, procs)
+		for i := range shards {
+			in[i] = slices.Clone(shards[i])
+		}
+		cfg.Procs = procs
+		cfg.Epsilon = eps
+		cfg.Seed = 9
+		_, stats, err := hssort.Sort(cfg, in)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		status := "MEETS TARGET"
+		if stats.Imbalance > 1+eps+1e-9 {
+			status = fmt.Sprintf("misses target by %.1f%%", 100*(stats.Imbalance-1-eps))
+		}
+		fmt.Printf("%-34s sample %7d keys   imbalance %.4f   %s\n",
+			name, stats.TotalSample, stats.Imbalance, status)
+	}
+
+	fmt.Printf("skewed input: %d processors x %d keys, target imbalance <= %.2f\n\n",
+		procs, perProc, 1+eps)
+	run("HSS (fixed oversampling)", hssort.Config{Algorithm: hssort.HSS})
+	run("HSS (one round + scanning)", hssort.Config{Algorithm: hssort.HSSOneRound})
+
+	// Give sample sort roughly the same total sampling budget HSS used:
+	// ~5 rounds x 5 x 32 keys => a few hundred per processor is already
+	// generous.
+	budget := int(math.Ceil(5 * 5))
+	run(fmt.Sprintf("sample sort (capped s=%d)", budget),
+		hssort.Config{Algorithm: hssort.SampleSortRegular, MaxOversample: budget})
+
+	// With its provable Θ(B/ε) oversampling, sample sort does meet the
+	// target — at a much larger sampling cost.
+	run("sample sort (provable s=B/eps)", hssort.Config{Algorithm: hssort.SampleSortRegular})
+
+	fmt.Println("\nAt matched sampling budgets HSS holds the guarantee because each")
+	fmt.Println("histogram round tells it exactly where the remaining uncertainty is;")
+	fmt.Println("sample sort needs its full Θ(p²/ε) sample to promise the same bound.")
+}

@@ -1,0 +1,113 @@
+// N-body domain decomposition, the paper's motivating application (§6.3):
+// every step of an N-body simulation sorts particles by space-filling-
+// curve key so each processor owns a compact spatial region. Particle
+// positions cluster heavily (galaxies!), so the key distribution is
+// exactly the skewed case where Histogram Sort with Sampling shines over
+// classic histogram sort's key-space bisection.
+//
+// This example builds a Plummer-sphere "galaxy", computes Morton keys,
+// sorts them with both algorithms across 16 simulated processors with 64
+// virtual-processor buckets, and compares the splitter-determination
+// work.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand/v2"
+	"slices"
+
+	"hssort"
+)
+
+// mortonKey interleaves the top 21 bits of each quantized coordinate.
+func mortonKey(x, y, z float64) uint64 {
+	return spread(quantize(x)) | spread(quantize(y))<<1 | spread(quantize(z))<<2
+}
+
+func quantize(v float64) uint64 {
+	if v < 0 {
+		v = 0
+	}
+	if v >= 1 {
+		v = math.Nextafter(1, 0)
+	}
+	return uint64(v * (1 << 21))
+}
+
+func spread(v uint64) uint64 {
+	v &= 0x1fffff
+	v = (v | v<<32) & 0x1f00000000ffff
+	v = (v | v<<16) & 0x1f0000ff0000ff
+	v = (v | v<<8) & 0x100f00f00f00f00f
+	v = (v | v<<4) & 0x10c30c30c30c30c3
+	v = (v | v<<2) & 0x1249249249249249
+	return v
+}
+
+// plummerKeys draws n particles from a Plummer profile centred in the
+// unit box and returns their Morton keys.
+func plummerKeys(n int, seed uint64) []uint64 {
+	rng := rand.New(rand.NewPCG(seed, 99))
+	keys := make([]uint64, n)
+	const a = 0.02
+	for i := range keys {
+		u := rng.Float64()
+		for u == 0 || u > 0.999 {
+			u = rng.Float64()
+		}
+		u23 := math.Pow(u, 2.0/3.0)
+		r := a * math.Sqrt(u23/(1-u23))
+		zc := 2*rng.Float64() - 1
+		phi := 2 * math.Pi * rng.Float64()
+		s := math.Sqrt(1 - zc*zc)
+		keys[i] = mortonKey(0.5+r*s*math.Cos(phi), 0.5+r*s*math.Sin(phi), 0.5+r*zc)
+	}
+	return keys
+}
+
+func main() {
+	const procs = 16
+	const particles = 400_000
+	const buckets = 4 * procs // virtual processors (TreePieces) per core
+
+	all := plummerKeys(particles, 7)
+	// Particles arrive unsorted, dealt round-robin to processors.
+	shards := make([][]uint64, procs)
+	for i, k := range all {
+		shards[i%procs] = append(shards[i%procs], k)
+	}
+
+	run := func(alg hssort.Algorithm) hssort.Stats {
+		in := make([][]uint64, procs)
+		for i := range shards {
+			in[i] = slices.Clone(shards[i])
+		}
+		_, stats, err := hssort.Sort(hssort.Config{
+			Procs:     procs,
+			Algorithm: alg,
+			Buckets:   buckets,
+			Epsilon:   0.05,
+			Seed:      3,
+		}, in)
+		if err != nil {
+			log.Fatalf("%v: %v", alg, err)
+		}
+		return stats
+	}
+
+	hss := run(hssort.HSS)
+	old := run(hssort.HistogramSort)
+
+	fmt.Printf("domain decomposition of %d clustered particles, %d processors, %d buckets\n\n",
+		particles, procs, buckets)
+	fmt.Printf("%-28s %14s %14s\n", "", "HSS", "histogram sort")
+	fmt.Printf("%-28s %14d %14d\n", "probe rounds", hss.Rounds, old.Rounds)
+	fmt.Printf("%-28s %14d %14d\n", "probe keys total", hss.TotalSample, old.TotalSample)
+	fmt.Printf("%-28s %14v %14v\n", "splitter determination", hss.Splitter, old.Splitter)
+	fmt.Printf("%-28s %14.4f %14.4f\n", "load imbalance", hss.Imbalance, old.Imbalance)
+	fmt.Println("\nClassic histogram sort bisects the 63-bit Morton key space, paying a")
+	fmt.Println("round per bit of skew; HSS samples the data instead and converges in a")
+	fmt.Println("handful of rounds regardless of how clustered the galaxy is.")
+}

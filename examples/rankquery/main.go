@@ -1,0 +1,76 @@
+// Approximate rank queries (§3.4): the representative-sample oracle
+// answers "what is the global rank of key k?" over sharded data to
+// within Nε/p without scanning the data — the paper offers it as a
+// standalone primitive for repeated rank/quantile queries in parallel
+// data systems (e.g. percentile monitoring over partitioned logs).
+//
+// This example estimates latency percentiles over 32 shards of a
+// log-normal "request latency" dataset and checks them against the
+// exact values.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand/v2"
+	"slices"
+
+	"hssort"
+)
+
+func main() {
+	const procs = 32
+	const perProc = 100_000
+	const eps = 0.05
+
+	// Latencies in microseconds, log-normal: median ~1ms, long tail.
+	shards := make([][]int64, procs)
+	var all []int64
+	for r := range shards {
+		rng := rand.New(rand.NewPCG(uint64(r), 2024))
+		shards[r] = make([]int64, perProc)
+		for i := range shards[r] {
+			shards[r][i] = int64(1000 * math.Exp(rng.NormFloat64()*0.8))
+		}
+		all = append(all, shards[r]...)
+	}
+	slices.Sort(all)
+	n := len(all)
+
+	// Probe candidate latency thresholds; the oracle returns their
+	// approximate global ranks, i.e. how many requests were faster.
+	probes := []int64{500, 1000, 2000, 5000, 10000, 20000}
+	ranks, err := hssort.ApproxRanks(shards, probes, eps, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	bound := int64(eps * float64(n) / procs)
+	fmt.Printf("latency dataset: %d samples over %d shards; rank error bound %d\n\n", n, procs, bound)
+	fmt.Printf("%12s %14s %14s %10s\n", "latency (µs)", "approx pct", "exact pct", "rank err")
+	for i, q := range probes {
+		exact := int64(slices.Index(all, q))
+		if exact < 0 {
+			// q not present: use lower bound position.
+			exact = int64(len(all))
+			for j, v := range all {
+				if v >= q {
+					exact = int64(j)
+					break
+				}
+			}
+		}
+		errRank := ranks[i] - exact
+		if errRank < 0 {
+			errRank = -errRank
+		}
+		fmt.Printf("%12d %13.2f%% %13.2f%% %10d\n",
+			q, 100*float64(ranks[i])/float64(n), 100*float64(exact)/float64(n), errRank)
+		if errRank > 3*bound {
+			log.Fatalf("rank error %d far beyond the theorem bound %d", errRank, bound)
+		}
+	}
+	fmt.Println("\nEach query cost one tiny reduction over √(2p ln p)/ε-key summaries —")
+	fmt.Println("the shards themselves were never rescanned.")
+}

@@ -1,0 +1,460 @@
+// Package hssort is a Go reproduction of "Histogram Sort with Sampling"
+// (Harsh; Kale, Solomonik — SPAA 2019 / UIUC 2017): a distributed
+// splitter-based parallel sorting library with provable (1+ε) load
+// balance, plus every baseline the paper evaluates against.
+//
+// The library simulates a distributed-memory machine: Sort spawns one
+// goroutine per processor, all communication flows through an explicit
+// message-passing runtime with byte accounting, and the returned Stats
+// report the BSP quantities the paper measures (per-phase critical-path
+// times, communication volume, histogramming rounds, sample sizes, and
+// the achieved load imbalance).
+//
+// Quick start:
+//
+//	shards := ...           // [][]int64: one slice per simulated processor
+//	cfg := hssort.Config{Procs: len(shards), Epsilon: 0.05}
+//	out, stats, err := hssort.Sort(cfg, shards)
+//
+// out[i] is processor i's partition of the global sorted order;
+// stats.Imbalance ≤ 1+ε with high probability.
+package hssort
+
+import (
+	"cmp"
+	"fmt"
+	"slices"
+	"time"
+
+	"hssort/internal/bitonic"
+	"hssort/internal/comm"
+	"hssort/internal/core"
+	"hssort/internal/exchange"
+	"hssort/internal/histsort"
+	"hssort/internal/keycoder"
+	"hssort/internal/nodesort"
+	"hssort/internal/overpartition"
+	"hssort/internal/radix"
+	"hssort/internal/rankoracle"
+	"hssort/internal/samplesort"
+	"hssort/internal/tagging"
+)
+
+// Algorithm selects the sorting algorithm.
+type Algorithm int
+
+const (
+	// HSS is Histogram Sort with Sampling in its production
+	// configuration (§6.1.2): fixed 5·B-key oversampling per round
+	// until all splitters are finalized. The paper's contribution and
+	// the default.
+	HSS Algorithm = iota
+	// HSSOneRound is HSS with a single sampling round finished by the
+	// scanning algorithm (§3.2).
+	HSSOneRound
+	// HSSTheoretical is HSS with the k-round geometric ratio schedule
+	// of §3.3 (k = Config.Rounds, default log log B/ε).
+	HSSTheoretical
+	// SampleSortRegular is sample sort with regular sampling (§4.1.2).
+	SampleSortRegular
+	// SampleSortRandom is sample sort with random sampling (§4.1.1).
+	SampleSortRandom
+	// HistogramSort is classic histogram sort (§2.3) — key-space probe
+	// bisection, no sampling. Requires an integer or float key type.
+	HistogramSort
+	// Bitonic is Batcher's bitonic sort on a hypercube (§4.2): requires
+	// power-of-two Procs and equal shard sizes.
+	Bitonic
+	// Radix is a parallel MSD radix partition sort (§4.2). Requires an
+	// integer or float key type.
+	Radix
+	// NodeHSS is HSS with the two-level node partitioning and message
+	// combining of §6.1 (set Config.CoresPerNode).
+	NodeHSS
+	// OverPartition is parallel sorting by over-partitioning (Li &
+	// Sevcik, §4.2): k·p sampled buckets assigned to ranks largest
+	// first. Output is sorted per rank but rank order does not follow
+	// key order.
+	OverPartition
+)
+
+// String returns the algorithm name used in experiment output.
+func (a Algorithm) String() string {
+	switch a {
+	case HSS:
+		return "hss"
+	case HSSOneRound:
+		return "hss-1round"
+	case HSSTheoretical:
+		return "hss-theory"
+	case SampleSortRegular:
+		return "samplesort-regular"
+	case SampleSortRandom:
+		return "samplesort-random"
+	case HistogramSort:
+		return "histogramsort"
+	case Bitonic:
+		return "bitonic"
+	case Radix:
+		return "radix"
+	case NodeHSS:
+		return "node-hss"
+	case OverPartition:
+		return "overpartition"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Config configures a sort run. The zero value plus Procs is usable:
+// plain HSS at ε = 0.05.
+type Config struct {
+	// Procs is the number of simulated processors; it must equal
+	// len(shards) in Sort. Required.
+	Procs int
+	// Algorithm selects the sort. Default HSS.
+	Algorithm Algorithm
+	// Epsilon is the load-imbalance threshold ε. Default 0.05.
+	Epsilon float64
+	// Buckets is the number of output ranges (virtual processors).
+	// Default Procs. Buckets > Procs simulates ChaNGa's TreePiece
+	// regime (§6.3).
+	Buckets int
+	// RoundRobinBuckets places buckets on ranks cyclically instead of
+	// contiguously (§6.3's non-contiguous virtual processors). The
+	// output is then sorted per rank but not across ranks.
+	RoundRobinBuckets bool
+	// Rounds is the round count for HSSTheoretical.
+	Rounds int
+	// OversampleFactor is the per-round oversampling factor f for HSS
+	// (default 5) or the per-processor sample size for the sample
+	// sorts (default: their provable values).
+	OversampleFactor float64
+	// MaxOversample caps the sample-sort per-processor sample.
+	MaxOversample int
+	// CoresPerNode configures NodeHSS. Required for NodeHSS.
+	CoresPerNode int
+	// TagDuplicates wraps every key with its (processor, index) origin
+	// (§4.3), restoring the balance guarantee on duplicate-heavy
+	// inputs. Supported by the HSS and sample-sort algorithms.
+	TagDuplicates bool
+	// Approx enables §3.4 approximate histogramming (HSS variants).
+	Approx bool
+	// Seed makes randomized phases reproducible. Default 1.
+	Seed uint64
+	// Timeout aborts a wedged run (protocol-bug safety net). Default
+	// 10 minutes.
+	Timeout time.Duration
+}
+
+// Stats reports one sort run; see the field comments on the paper
+// quantities each one reproduces.
+type Stats struct {
+	// N is the global key count, Buckets the bucket count.
+	N       int64
+	Buckets int
+	// Rounds is the number of histogramming rounds (Table 6.1);
+	// SamplePerRound and TotalSample the per-round and overall sample
+	// sizes (Fig 4.1).
+	Rounds         int
+	SamplePerRound []int64
+	TotalSample    int64
+	// LocalSort, Splitter, Exchange, Merge are critical-path phase
+	// times (Fig 6.1's breakdown).
+	LocalSort, Splitter, Exchange, Merge time.Duration
+	// SplitterBytes and ExchangeBytes are total bytes sent during
+	// splitter determination and data movement (§5.1's communication
+	// terms).
+	SplitterBytes, ExchangeBytes int64
+	// TotalMsgs and TotalBytes are whole-run message and byte counts
+	// (§6.1's message-combining metric).
+	TotalMsgs, TotalBytes int64
+	// Imbalance is max load / average load after sorting (§1).
+	Imbalance float64
+}
+
+// Total returns the end-to-end critical-path time.
+func (s Stats) Total() time.Duration {
+	return s.LocalSort + s.Splitter + s.Exchange + s.Merge
+}
+
+func fromCore(st core.Stats) Stats {
+	return Stats{
+		N:              st.N,
+		Buckets:        st.Buckets,
+		Rounds:         st.Rounds,
+		SamplePerRound: st.SamplePerRound,
+		TotalSample:    st.TotalSample,
+		LocalSort:      st.LocalSort,
+		Splitter:       st.Splitter,
+		Exchange:       st.Exchange,
+		Merge:          st.Merge,
+		SplitterBytes:  st.SplitterBytes,
+		ExchangeBytes:  st.ExchangeBytes,
+		Imbalance:      st.Imbalance,
+	}
+}
+
+// Sort sorts shards[i] (the keys initially on processor i) across
+// Config.Procs simulated processors and returns the per-processor sorted
+// partitions. For every algorithm except RoundRobinBuckets placements,
+// the concatenation out[0] ‖ out[1] ‖ … is the sorted input.
+func Sort[K cmp.Ordered](cfg Config, shards [][]K) ([][]K, Stats, error) {
+	return sortImpl(cfg, shards, cmp.Compare[K], coderFor[K]())
+}
+
+// SortFunc is Sort with an explicit comparator, for key types without a
+// built-in order. The HistogramSort and Radix algorithms additionally
+// need key-space arithmetic and are unavailable through SortFunc.
+func SortFunc[K any](cfg Config, shards [][]K, compare func(K, K) int) ([][]K, Stats, error) {
+	if compare == nil {
+		return nil, Stats{}, fmt.Errorf("hssort: comparator is required")
+	}
+	return sortImpl(cfg, shards, compare, nil)
+}
+
+// coderFor returns the keycoder for supported ordered key types, or nil.
+func coderFor[K any]() keycoder.Coder[K] {
+	var zero K
+	switch any(zero).(type) {
+	case int64:
+		return any(keycoder.Int64{}).(keycoder.Coder[K])
+	case uint64:
+		return any(keycoder.Uint64{}).(keycoder.Coder[K])
+	case int32:
+		return any(keycoder.Int32{}).(keycoder.Coder[K])
+	case uint32:
+		return any(keycoder.Uint32{}).(keycoder.Coder[K])
+	case float64:
+		return any(keycoder.Float64{}).(keycoder.Coder[K])
+	default:
+		return nil
+	}
+}
+
+func sortImpl[K any](cfg Config, shards [][]K, compare func(K, K) int, coder keycoder.Coder[K]) ([][]K, Stats, error) {
+	if cfg.Procs == 0 {
+		cfg.Procs = len(shards)
+	}
+	if cfg.Procs != len(shards) {
+		return nil, Stats{}, fmt.Errorf("hssort: Config.Procs = %d but %d shards supplied", cfg.Procs, len(shards))
+	}
+	if cfg.Procs < 1 {
+		return nil, Stats{}, fmt.Errorf("hssort: at least one shard is required")
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 10 * time.Minute
+	}
+	if cfg.TagDuplicates {
+		switch cfg.Algorithm {
+		case HSS, HSSOneRound, HSSTheoretical, SampleSortRegular, SampleSortRandom, NodeHSS:
+		default:
+			return nil, Stats{}, fmt.Errorf("hssort: TagDuplicates is not supported by %v", cfg.Algorithm)
+		}
+		return sortTagged(cfg, shards, compare)
+	}
+	return runWorld(cfg, shards, compare, coder)
+}
+
+// runWorld executes the selected algorithm over a fresh simulated world.
+func runWorld[K any](cfg Config, shards [][]K, compare func(K, K) int, coder keycoder.Coder[K]) ([][]K, Stats, error) {
+	outs := make([][]K, cfg.Procs)
+	var stats Stats
+	w := comm.NewWorld(cfg.Procs, comm.WithTimeout(cfg.Timeout))
+	err := w.Run(func(c *comm.Comm) error {
+		out, st, err := dispatch(c, shards[c.Rank()], cfg, compare, coder)
+		if err != nil {
+			return err
+		}
+		outs[c.Rank()] = out
+		if c.Rank() == 0 {
+			stats = fromCore(st)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	total := w.TotalCounters()
+	stats.TotalMsgs = total.MsgsSent
+	stats.TotalBytes = total.BytesSent
+	return outs, stats, nil
+}
+
+// sortTagged runs the §4.3 duplicate-handling path: wrap, sort tagged,
+// unwrap.
+func sortTagged[K any](cfg Config, shards [][]K, compare func(K, K) int) ([][]K, Stats, error) {
+	tagged := make([][]tagging.Tagged[K], len(shards))
+	for r, s := range shards {
+		tagged[r] = tagging.Wrap(s, r)
+	}
+	outs, stats, err := runWorld(cfg, tagged, tagging.Cmp(compare), nil)
+	if err != nil {
+		return nil, stats, err
+	}
+	plain := make([][]K, len(outs))
+	for r, o := range outs {
+		plain[r] = tagging.Unwrap(o)
+	}
+	return plain, stats, nil
+}
+
+// dispatch routes one rank's work to the selected algorithm.
+func dispatch[K any](c *comm.Comm, local []K, cfg Config, compare func(K, K) int, coder keycoder.Coder[K]) ([]K, core.Stats, error) {
+	buckets := cfg.Buckets
+	var owner func(int) int
+	if cfg.RoundRobinBuckets {
+		owner = exchange.RoundRobinOwner(cfg.Procs)
+	}
+	switch cfg.Algorithm {
+	case HSS, HSSOneRound, HSSTheoretical:
+		sched := core.FixedOversampling
+		switch cfg.Algorithm {
+		case HSSOneRound:
+			sched = core.OneRoundScanning
+		case HSSTheoretical:
+			sched = core.Theoretical
+		}
+		return core.Sort(c, local, core.Options[K]{
+			Cmp:              compare,
+			Epsilon:          cfg.Epsilon,
+			Buckets:          buckets,
+			Owner:            owner,
+			Schedule:         sched,
+			Rounds:           cfg.Rounds,
+			OversampleFactor: cfg.OversampleFactor,
+			Seed:             cfg.Seed,
+			Approx:           cfg.Approx,
+		})
+	case SampleSortRegular, SampleSortRandom:
+		method := samplesort.Regular
+		if cfg.Algorithm == SampleSortRandom {
+			method = samplesort.Random
+		}
+		return samplesort.Sort(c, local, samplesort.Options[K]{
+			Cmp:           compare,
+			Epsilon:       cfg.Epsilon,
+			Buckets:       buckets,
+			Owner:         owner,
+			Method:        method,
+			Oversample:    int(cfg.OversampleFactor),
+			MaxOversample: cfg.MaxOversample,
+			Seed:          cfg.Seed,
+		})
+	case HistogramSort:
+		if coder == nil {
+			return nil, core.Stats{}, fmt.Errorf("hssort: %v requires an integer or float key type", cfg.Algorithm)
+		}
+		return histsort.Sort(c, local, histsort.Options[K]{
+			Cmp:     compare,
+			Coder:   coder,
+			Epsilon: cfg.Epsilon,
+			Buckets: buckets,
+			Owner:   owner,
+		})
+	case Bitonic:
+		return bitonic.Sort(c, local, bitonic.Options[K]{Cmp: compare})
+	case Radix:
+		if coder == nil {
+			return nil, core.Stats{}, fmt.Errorf("hssort: %v requires an integer or float key type", cfg.Algorithm)
+		}
+		return radix.Sort(c, local, radix.Options[K]{Cmp: compare, Coder: coder})
+	case NodeHSS:
+		sched := core.FixedOversampling
+		return nodesort.Sort(c, local, nodesort.Options[K]{
+			Cmp:              compare,
+			CoresPerNode:     cfg.CoresPerNode,
+			Epsilon:          cfg.Epsilon,
+			Schedule:         sched,
+			Seed:             cfg.Seed,
+			OversampleFactor: cfg.OversampleFactor,
+		})
+	case OverPartition:
+		return overpartition.Sort(c, local, overpartition.Options[K]{
+			Cmp:       compare,
+			OverRatio: cfg.Rounds, // reuse Rounds as k; 0 → log p
+			Seed:      cfg.Seed,
+		})
+	default:
+		return nil, core.Stats{}, fmt.Errorf("hssort: unknown algorithm %v", cfg.Algorithm)
+	}
+}
+
+// SimulateSplitters runs the splitter-determination protocol centrally at
+// arbitrary scale (the paper's true processor counts) without moving any
+// data: the tool behind Table 6.1 and the measured Fig 4.1 curves. See
+// SimResult for the reported quantities.
+func SimulateSplitters(n int64, buckets int, eps float64, alg Algorithm, rounds int, seed uint64) (SimResult, error) {
+	sched := core.FixedOversampling
+	switch alg {
+	case HSSOneRound:
+		sched = core.OneRoundScanning
+	case HSSTheoretical:
+		sched = core.Theoretical
+	case HSS:
+	default:
+		return SimResult{}, fmt.Errorf("hssort: SimulateSplitters supports the HSS variants, not %v", alg)
+	}
+	res, err := core.SimulateSplitters(n, core.Options[int64]{
+		Cmp:      cmp.Compare[int64],
+		Buckets:  buckets,
+		Epsilon:  eps,
+		Schedule: sched,
+		Rounds:   rounds,
+		Seed:     seed,
+	})
+	if err != nil {
+		return SimResult{}, err
+	}
+	return SimResult(res), nil
+}
+
+// SimResult reports a SimulateSplitters run: rounds, per-round sample
+// sizes, interval coverage per round, achieved bucket imbalance, and
+// whether every splitter met its window.
+type SimResult struct {
+	Rounds           int
+	SamplePerRound   []int64
+	TotalSample      int64
+	CoveragePerRound []int64
+	Imbalance        float64
+	Finalized        bool
+}
+
+// ApproxRanks answers global rank queries over sharded data with the
+// §3.4 approximate rank oracle: each simulated processor summarizes its
+// shard with a √(2p ln p)/ε-key representative sample, and every answer
+// is within N·ε/p of the true rank w.h.p. (Theorem 3.4.1) at the cost of
+// one small reduction per query batch — the paper's standalone primitive
+// for repeated rank/quantile queries.
+func ApproxRanks[K cmp.Ordered](shards [][]K, probes []K, eps float64, seed uint64) ([]int64, error) {
+	p := len(shards)
+	if p < 1 {
+		return nil, fmt.Errorf("hssort: at least one shard is required")
+	}
+	var ranks []int64
+	w := comm.NewWorld(p, comm.WithTimeout(10*time.Minute))
+	err := w.Run(func(c *comm.Comm) error {
+		local := make([]K, len(shards[c.Rank()]))
+		copy(local, shards[c.Rank()])
+		slices.SortFunc(local, cmp.Compare[K])
+		oracle, err := rankoracle.New(c, local, rankoracle.Options[K]{
+			Cmp: cmp.Compare[K], Epsilon: eps, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		got, err := oracle.Query(probes)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			ranks = got
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ranks, nil
+}

@@ -1,0 +1,291 @@
+package hssort
+
+import (
+	"slices"
+	"testing"
+	"testing/quick"
+
+	"hssort/internal/dist"
+)
+
+// sortableAlgorithms lists every algorithm with its constraints satisfied
+// by (p=4 or 8, equal shards).
+var sortableAlgorithms = []Algorithm{
+	HSS, HSSOneRound, HSSTheoretical,
+	SampleSortRegular, SampleSortRandom,
+	HistogramSort, Bitonic, Radix, NodeHSS,
+}
+
+func shardsFor(t *testing.T, kind dist.Kind, p, perRank int, seed uint64) [][]int64 {
+	t.Helper()
+	return dist.Spec{Kind: kind}.Shards(perRank, p, seed)
+}
+
+func checkSorted(t *testing.T, shards, outs [][]int64) {
+	t.Helper()
+	var want, got []int64
+	for _, s := range shards {
+		want = append(want, s...)
+	}
+	slices.Sort(want)
+	for r, o := range outs {
+		if !slices.IsSorted(o) {
+			t.Fatalf("rank %d output not sorted", r)
+		}
+		got = append(got, o...)
+	}
+	if !slices.Equal(got, want) {
+		t.Fatal("output not the sorted permutation of the input")
+	}
+}
+
+func TestSortAllAlgorithms(t *testing.T) {
+	const p, perRank = 4, 1000
+	for _, alg := range sortableAlgorithms {
+		shards := shardsFor(t, dist.Uniform, p, perRank, 3)
+		in := cloneShards(shards)
+		cfg := Config{Procs: p, Algorithm: alg, Epsilon: 0.1, Seed: 5}
+		if alg == NodeHSS {
+			cfg.CoresPerNode = 2
+		}
+		outs, stats, err := Sort(cfg, in)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		checkSorted(t, shards, outs)
+		if stats.N != p*perRank {
+			t.Errorf("%v: N = %d", alg, stats.N)
+		}
+		if stats.TotalMsgs <= 0 || stats.TotalBytes <= 0 {
+			t.Errorf("%v: no traffic counted", alg)
+		}
+		if stats.Total() <= 0 {
+			t.Errorf("%v: no time recorded", alg)
+		}
+	}
+}
+
+func TestSortFloatKeys(t *testing.T) {
+	const p = 4
+	shards := make([][]float64, p)
+	for r := range shards {
+		for i := 0; i < 500; i++ {
+			shards[r] = append(shards[r], float64((r*7919+i*104729)%100000)/3.0-1e4)
+		}
+	}
+	for _, alg := range []Algorithm{HSS, HistogramSort, Radix} {
+		in := make([][]float64, p)
+		for i := range shards {
+			in[i] = slices.Clone(shards[i])
+		}
+		outs, _, err := Sort(Config{Procs: p, Algorithm: alg, Epsilon: 0.1}, in)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		var want, got []float64
+		for _, s := range shards {
+			want = append(want, s...)
+		}
+		slices.Sort(want)
+		for _, o := range outs {
+			got = append(got, o...)
+		}
+		if !slices.Equal(got, want) {
+			t.Fatalf("%v: float keys mis-sorted", alg)
+		}
+	}
+}
+
+func TestSortFuncCustomKeyType(t *testing.T) {
+	type pair struct{ a, b int32 }
+	const p = 3
+	shards := make([][]pair, p)
+	for r := range shards {
+		for i := 0; i < 300; i++ {
+			shards[r] = append(shards[r], pair{a: int32((i * 31) % 97), b: int32(r)})
+		}
+	}
+	cmpPair := func(x, y pair) int {
+		if x.a != y.a {
+			return int(x.a - y.a)
+		}
+		return int(x.b - y.b)
+	}
+	outs, _, err := SortFunc(Config{Procs: p, Epsilon: 0.2}, shards, cmpPair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev *pair
+	for _, o := range outs {
+		for i := range o {
+			if prev != nil && cmpPair(*prev, o[i]) > 0 {
+				t.Fatal("custom key type mis-sorted")
+			}
+			prev = &o[i]
+		}
+	}
+}
+
+func TestSortFuncRejectsCoderAlgorithms(t *testing.T) {
+	type opaque struct{ v int }
+	shards := [][]opaque{{{1}}, {{2}}}
+	cmpO := func(a, b opaque) int { return a.v - b.v }
+	for _, alg := range []Algorithm{HistogramSort, Radix} {
+		if _, _, err := SortFunc(Config{Procs: 2, Algorithm: alg}, shards, cmpO); err == nil {
+			t.Errorf("%v accepted a coder-less key type", alg)
+		}
+	}
+}
+
+func TestTagDuplicatesRestoresBalance(t *testing.T) {
+	const p, perRank = 4, 800
+	shards := make([][]int64, p)
+	for r := range shards {
+		shards[r] = make([]int64, perRank)
+		// Two distinct values: untagged HSS cannot balance this.
+		for i := range shards[r] {
+			shards[r][i] = int64(i % 2)
+		}
+	}
+	outs, stats, err := Sort(Config{Procs: p, Epsilon: 0.1, TagDuplicates: true, Seed: 7}, cloneShards(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSorted(t, shards, outs)
+	if stats.Imbalance > 1.1+1e-9 {
+		t.Errorf("tagged imbalance %.4f", stats.Imbalance)
+	}
+}
+
+func TestTagDuplicatesUnsupportedAlgorithms(t *testing.T) {
+	shards := [][]int64{{1}, {2}}
+	for _, alg := range []Algorithm{Bitonic, Radix, HistogramSort} {
+		cfg := Config{Procs: 2, Algorithm: alg, TagDuplicates: true}
+		if _, _, err := Sort(cfg, cloneShards(shards)); err == nil {
+			t.Errorf("%v accepted TagDuplicates", alg)
+		}
+	}
+}
+
+func TestVirtualProcessorBuckets(t *testing.T) {
+	const p, perRank = 4, 1000
+	shards := shardsFor(t, dist.Gaussian, p, perRank, 9)
+	outs, stats, err := Sort(Config{Procs: p, Buckets: 16, Epsilon: 0.1}, cloneShards(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSorted(t, shards, outs)
+	if stats.Buckets != 16 {
+		t.Errorf("Buckets = %d", stats.Buckets)
+	}
+}
+
+func TestRoundRobinBucketsPermutation(t *testing.T) {
+	const p, perRank = 4, 600
+	shards := shardsFor(t, dist.Uniform, p, perRank, 11)
+	outs, _, err := Sort(Config{Procs: p, Buckets: 8, RoundRobinBuckets: true, Epsilon: 0.1}, cloneShards(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want, got []int64
+	for _, s := range shards {
+		want = append(want, s...)
+	}
+	for _, o := range outs {
+		if !slices.IsSorted(o) {
+			t.Fatal("per-rank output not sorted")
+		}
+		got = append(got, o...)
+	}
+	slices.Sort(want)
+	slices.Sort(got)
+	if !slices.Equal(got, want) {
+		t.Fatal("round-robin output not a permutation")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, _, err := Sort(Config{Procs: 3}, [][]int64{{1}}); err == nil {
+		t.Error("Procs/shards mismatch accepted")
+	}
+	if _, _, err := Sort(Config{}, [][]int64{}); err == nil {
+		t.Error("zero shards accepted")
+	}
+	if _, _, err := Sort(Config{Algorithm: Algorithm(99)}, [][]int64{{1}}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, _, err := SortFunc[int64](Config{}, [][]int64{{1}}, nil); err == nil {
+		t.Error("nil comparator accepted")
+	}
+	if _, _, err := Sort(Config{Algorithm: NodeHSS}, [][]int64{{1}, {2}}); err == nil {
+		t.Error("NodeHSS without CoresPerNode accepted")
+	}
+}
+
+func TestSimulateSplittersFacade(t *testing.T) {
+	res, err := SimulateSplitters(1<<20, 256, 0.05, HSS, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Finalized || res.Imbalance > 1.05+1e-9 {
+		t.Errorf("sim result %+v", res)
+	}
+	if _, err := SimulateSplitters(100, 4, 0.05, Bitonic, 0, 1); err == nil {
+		t.Error("sim accepted a non-HSS algorithm")
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	for _, alg := range sortableAlgorithms {
+		if alg.String() == "" {
+			t.Errorf("empty name for %d", int(alg))
+		}
+	}
+	if Algorithm(42).String() != "Algorithm(42)" {
+		t.Error("unknown algorithm name")
+	}
+}
+
+// TestFacadeProperty drives the facade across random configurations.
+func TestFacadeProperty(t *testing.T) {
+	algs := []Algorithm{HSS, HSSOneRound, HSSTheoretical, SampleSortRegular, SampleSortRandom}
+	f := func(seed uint32, aRaw, pRaw uint8) bool {
+		alg := algs[int(aRaw)%len(algs)]
+		p := int(pRaw%4) + 1
+		spec := dist.Spec{Kind: dist.Kind(seed % 6), Min: 0, Max: 1 << 20}
+		shards := make([][]int64, p)
+		for r := range shards {
+			shards[r] = spec.Shard(int(seed%400)+20, r, p, uint64(seed))
+		}
+		outs, _, err := Sort(Config{
+			Procs: p, Algorithm: alg, Epsilon: 0.2, Seed: uint64(seed) + 1, MaxOversample: 300,
+		}, cloneShards(shards))
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		var want, got []int64
+		for _, s := range shards {
+			want = append(want, s...)
+		}
+		slices.Sort(want)
+		for _, o := range outs {
+			if !slices.IsSorted(o) {
+				return false
+			}
+			got = append(got, o...)
+		}
+		return slices.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func cloneShards(shards [][]int64) [][]int64 {
+	out := make([][]int64, len(shards))
+	for i := range shards {
+		out[i] = slices.Clone(shards[i])
+	}
+	return out
+}

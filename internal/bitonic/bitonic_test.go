@@ -1,0 +1,131 @@
+package bitonic
+
+import (
+	"cmp"
+	"slices"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hssort/internal/comm"
+	"hssort/internal/dist"
+)
+
+func icmp(a, b int64) int { return cmp.Compare(a, b) }
+
+func trySort(shards [][]int64) ([][]int64, error) {
+	p := len(shards)
+	outs := make([][]int64, p)
+	w := comm.NewWorld(p, comm.WithTimeout(60*time.Second))
+	err := w.Run(func(c *comm.Comm) error {
+		out, _, err := Sort(c, shards[c.Rank()], Options[int64]{Cmp: icmp})
+		outs[c.Rank()] = out
+		return err
+	})
+	return outs, err
+}
+
+func TestBitonicPowersOfTwo(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		const perRank = 256
+		spec := dist.Spec{Kind: dist.Uniform}
+		shards := spec.Shards(perRank, p, 3)
+		in := make([][]int64, p)
+		var want []int64
+		for i := range shards {
+			in[i] = slices.Clone(shards[i])
+			want = append(want, shards[i]...)
+		}
+		slices.Sort(want)
+		outs, err := trySort(in)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		var got []int64
+		for r, o := range outs {
+			if len(o) != perRank {
+				t.Fatalf("p=%d rank %d: %d keys, want %d (bitonic preserves counts)", p, r, len(o), perRank)
+			}
+			if !slices.IsSorted(o) {
+				t.Fatalf("p=%d rank %d not sorted", p, r)
+			}
+			got = append(got, o...)
+		}
+		if !slices.Equal(got, want) {
+			t.Fatalf("p=%d: not the sorted permutation", p)
+		}
+	}
+}
+
+func TestBitonicRejectsNonPowerOfTwo(t *testing.T) {
+	_, err := trySort([][]int64{{1}, {2}, {3}})
+	if err == nil {
+		t.Fatal("p=3 accepted")
+	}
+}
+
+func TestBitonicRejectsUnequalSizes(t *testing.T) {
+	_, err := trySort([][]int64{{1, 2}, {3}})
+	if err == nil {
+		t.Fatal("unequal local sizes accepted")
+	}
+}
+
+func TestBitonicRejectsMissingCmp(t *testing.T) {
+	w := comm.NewWorld(2, comm.WithTimeout(5*time.Second))
+	err := w.Run(func(c *comm.Comm) error {
+		_, _, err := Sort(c, []int64{1}, Options[int64]{})
+		if err == nil {
+			t.Error("missing Cmp accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareSplitHalves(t *testing.T) {
+	mine := []int64{1, 4, 7}
+	theirs := []int64{2, 3, 9}
+	low := compareSplit(mine, theirs, true, icmp)
+	if !slices.Equal(low, []int64{1, 2, 3}) {
+		t.Errorf("low half %v", low)
+	}
+	high := compareSplit([]int64{1, 4, 7}, theirs, false, icmp)
+	if !slices.Equal(high, []int64{4, 7, 9}) {
+		t.Errorf("high half %v", high)
+	}
+}
+
+func TestBitonicProperty(t *testing.T) {
+	f := func(seed uint32, pExp uint8) bool {
+		p := 1 << (pExp % 4) // 1..8
+		perRank := int(seed%100) + 4
+		spec := dist.Spec{Kind: dist.Kind(seed % 6), Min: 0, Max: 1 << 20}
+		shards := make([][]int64, p)
+		var want []int64
+		for r := range shards {
+			shards[r] = spec.Shard(perRank, r, p, uint64(seed))
+			want = append(want, shards[r]...)
+		}
+		slices.Sort(want)
+		in := make([][]int64, p)
+		for i := range shards {
+			in[i] = slices.Clone(shards[i])
+		}
+		outs, err := trySort(in)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		var got []int64
+		for _, o := range outs {
+			got = append(got, o...)
+		}
+		return slices.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

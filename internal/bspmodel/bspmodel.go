@@ -1,0 +1,195 @@
+// Package bspmodel encodes the paper's analytic cost model (§5.1,
+// Table 5.1, Fig 4.1): closed-form sample sizes and BSP running-time
+// expressions for sample sort (regular and random sampling) and HSS with
+// one, two, k, and the optimal log log p/ε rounds.
+//
+// These formulas regenerate the concrete numbers the paper quotes —
+// 1600 GB / 8.1 GB / 184 MB / 24 MB / 10 MB for p = 10⁵, ε = 5%,
+// N/p = 10⁶, 8-byte keys — and the Fig 4.1 sample-size curves.
+package bspmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// SampleSizeRegular returns the overall sample size (keys) for sample
+// sort with regular sampling at oversampling ratio p/ε: Θ(p²/ε)
+// (Lemma 4.1.1).
+func SampleSizeRegular(p int, eps float64) float64 {
+	return float64(p) * float64(p) / eps
+}
+
+// SampleSizeRandom returns the overall sample size (keys) for sample sort
+// with random sampling: Θ(p log N/ε²) (§4.1.1, Theorem 4.1.1).
+func SampleSizeRandom(p int, n float64, eps float64) float64 {
+	if n < 2 {
+		n = 2
+	}
+	return float64(p) * math.Log(n) / (eps * eps)
+}
+
+// SampleSizeHSS returns the overall sample size (keys) for HSS with k
+// rounds: k·p·(ln p/ε)^(1/k) (Lemma 3.3.1; k=1 recovers the one-round
+// O(p log p/ε) bound of Lemma 3.2.1).
+func SampleSizeHSS(p int, eps float64, k int) float64 {
+	if k < 1 {
+		k = 1
+	}
+	if p < 2 {
+		p = 2
+	}
+	return float64(k) * float64(p) * math.Pow(math.Log(float64(p))/eps, 1/float64(k))
+}
+
+// OptimalRounds returns k* = ln(ln p/ε), the round count minimizing the
+// total HSS sample (§3.3).
+func OptimalRounds(p int, eps float64) float64 {
+	if p < 2 {
+		p = 2
+	}
+	k := math.Log(math.Log(float64(p)) / eps)
+	if k < 1 {
+		return 1
+	}
+	return k
+}
+
+// SampleSizeHSSConstant returns the overall sample size at the optimal
+// round count: k*·e·p keys — O(p log log p/ε) with constant per-round
+// oversampling (Lemma 3.3.2).
+func SampleSizeHSSConstant(p int, eps float64) float64 {
+	return OptimalRounds(p, eps) * math.E * float64(p)
+}
+
+// Row is one algorithm's entry in Table 5.1.
+type Row struct {
+	// Algorithm is the display name.
+	Algorithm string
+	// SampleKeys is the overall sample size in keys; SampleBytes in
+	// bytes at the configured key width.
+	SampleKeys  float64
+	SampleBytes float64
+	// Computation and Communication are the asymptotic cost
+	// expressions from Table 5.1 (display strings).
+	Computation   string
+	Communication string
+}
+
+// Table51 reproduces Table 5.1 for the given configuration: p processors,
+// nPerProc keys per processor, imbalance threshold eps, keyBytes bytes
+// per key.
+func Table51(p int, nPerProc float64, eps float64, keyBytes int) []Row {
+	n := float64(p) * nPerProc
+	kOpt := OptimalRounds(p, eps)
+	rows := []Row{
+		{
+			Algorithm:     "Sample sort (regular sampling)",
+			SampleKeys:    SampleSizeRegular(p, eps),
+			Computation:   "N/p log(N/p) + p^2/eps log p + N/p log p",
+			Communication: "p^2/eps + p + N/p",
+		},
+		{
+			Algorithm:     "Sample sort (random sampling)",
+			SampleKeys:    SampleSizeRandom(p, n, eps),
+			Computation:   "N/p log(N/p) + p logN logp /eps^2 + N/p log p",
+			Communication: "p logN/eps^2 + p + N/p",
+		},
+		{
+			Algorithm:     "HSS (1 round)",
+			SampleKeys:    SampleSizeHSS(p, eps, 1),
+			Computation:   "N/p log(N/p) + p log p/eps logN + N/p log p",
+			Communication: "p log p/eps + p + N/p",
+		},
+		{
+			Algorithm:     "HSS (2 rounds)",
+			SampleKeys:    SampleSizeHSS(p, eps, 2),
+			Computation:   "N/p log(N/p) + p sqrt(log p/eps) logN + N/p log p",
+			Communication: "p sqrt(log p/eps) + p + N/p",
+		},
+		{
+			Algorithm:     fmt.Sprintf("HSS (k=%d rounds)", int(math.Round(kOpt))),
+			SampleKeys:    SampleSizeHSS(p, eps, int(math.Round(kOpt))),
+			Computation:   "N/p log(N/p) + k p (log p/eps)^(1/k) logN + N/p log p",
+			Communication: "k p (log p/eps)^(1/k) + p + N/p",
+		},
+		{
+			Algorithm:     "HSS (log log p/eps rounds)",
+			SampleKeys:    SampleSizeHSSConstant(p, eps),
+			Computation:   "N/p log(N/p) + p log(log p/eps) logN + N/p log p",
+			Communication: "p log(log p/eps) + p + N/p",
+		},
+	}
+	for i := range rows {
+		rows[i].SampleBytes = rows[i].SampleKeys * float64(keyBytes)
+	}
+	return rows
+}
+
+// Fig41Point is one (p, sample-size) point of a Fig 4.1 curve.
+type Fig41Point struct {
+	P      int
+	Sample float64 // keys
+}
+
+// Fig41Series returns the five Fig 4.1 curves (sample size vs p at the
+// given eps): regular sampling, random sampling, HSS one round, HSS two
+// rounds, and HSS with constant oversampling.
+func Fig41Series(ps []int, nPerProc float64, eps float64) map[string][]Fig41Point {
+	out := map[string][]Fig41Point{}
+	add := func(name string, f func(p int) float64) {
+		series := make([]Fig41Point, len(ps))
+		for i, p := range ps {
+			series[i] = Fig41Point{P: p, Sample: f(p)}
+		}
+		out[name] = series
+	}
+	add("regular sampling", func(p int) float64 { return SampleSizeRegular(p, eps) })
+	add("random sampling", func(p int) float64 { return SampleSizeRandom(p, float64(p)*nPerProc, eps) })
+	add("HSS - 1 round", func(p int) float64 { return SampleSizeHSS(p, eps, 1) })
+	add("HSS - 2 rounds", func(p int) float64 { return SampleSizeHSS(p, eps, 2) })
+	add("HSS - constant oversampling", func(p int) float64 { return SampleSizeHSSConstant(p, eps) })
+	return out
+}
+
+// BSPCost models the end-to-end running-time terms of §5.1 for HSS with k
+// rounds, in abstract time units: TI per key-comparison-ish computation
+// step and Tc per transferred key.
+type BSPCost struct {
+	LocalSort   float64 // N/p log(N/p) · TI
+	Histogram   float64 // S logN · TI + S · Tc (pipelined)
+	DataMove    float64 // N/p · Tc
+	FinalMerge  float64 // N/p log p · TI
+	SampleTotal float64 // S, in keys
+}
+
+// Total sums the phase costs.
+func (c BSPCost) Total() float64 {
+	return c.LocalSort + c.Histogram + c.DataMove + c.FinalMerge
+}
+
+// HSSCost evaluates the §5.1 cost model for HSS with k rounds.
+func HSSCost(p int, nPerProc, eps float64, k int, ti, tc float64) BSPCost {
+	n := float64(p) * nPerProc
+	s := SampleSizeHSS(p, eps, k)
+	return BSPCost{
+		LocalSort:   nPerProc * math.Log2(math.Max(nPerProc, 2)) * ti,
+		Histogram:   s*math.Log2(math.Max(n, 2))*ti + s*tc,
+		DataMove:    nPerProc * tc,
+		FinalMerge:  nPerProc * math.Log2(float64(max(p, 2))) * ti,
+		SampleTotal: s,
+	}
+}
+
+// SampleSortCost evaluates the §5.1 cost model for sample sort with the
+// given overall sample size s.
+func SampleSortCost(p int, nPerProc, s, ti, tc float64) BSPCost {
+	n := float64(p) * nPerProc
+	return BSPCost{
+		LocalSort:   nPerProc * math.Log2(math.Max(nPerProc, 2)) * ti,
+		Histogram:   s*math.Log2(math.Max(n, 2))*ti + s*tc, // sorting the sample + gather
+		DataMove:    nPerProc * tc,
+		FinalMerge:  nPerProc * math.Log2(float64(max(p, 2))) * ti,
+		SampleTotal: s,
+	}
+}

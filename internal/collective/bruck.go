@@ -1,0 +1,82 @@
+package collective
+
+import (
+	"fmt"
+
+	"hssort/internal/comm"
+)
+
+// bruckItem is one origin→destination payload in flight through the
+// Bruck exchange.
+type bruckItem[T any] struct {
+	origin int32
+	dst    int32
+	data   []T
+}
+
+// AllToAllvBruck performs the same personalized exchange as AllToAllv
+// using the Bruck (store-and-forward) algorithm: ceil(log2 p) rounds in
+// which rank r sends one combined message to (r + 2^k) mod p carrying
+// every buffered item whose remaining hop distance has bit k set.
+//
+// Per rank it sends log p messages instead of p-1, at the price of each
+// key traveling up to log p hops (≈ S·log p/2 total volume instead of
+// S). That trade is exactly the §6.3 future-work remedy for all-to-all
+// congestion when per-destination messages are small and p is large —
+// the histogram/sample traffic regime, not the bulk data exchange.
+// BenchmarkAblationBruck quantifies the crossover.
+func AllToAllvBruck[T any](e comm.Endpoint, tag comm.Tag, parts [][]T) ([][]T, error) {
+	p := e.Size()
+	me := e.Rank()
+	if len(parts) != p {
+		return nil, fmt.Errorf("collective: bruck alltoallv needs %d parts, got %d", p, len(parts))
+	}
+	out := make([][]T, p)
+	out[me] = parts[me]
+	if p == 1 {
+		return out, nil
+	}
+	var buffer []bruckItem[T]
+	for dst, data := range parts {
+		if dst == me || len(data) == 0 {
+			continue
+		}
+		buffer = append(buffer, bruckItem[T]{origin: int32(me), dst: int32(dst), data: data})
+	}
+	for k := 1; k < p; k <<= 1 {
+		var keep, send []bruckItem[T]
+		var bytes int64
+		for _, it := range buffer {
+			distance := (int(it.dst) - me + p) % p
+			if distance&k != 0 {
+				send = append(send, it)
+				bytes += comm.SliceBytes(it.data) + 8
+			} else {
+				keep = append(keep, it)
+			}
+		}
+		dst := (me + k) % p
+		src := (me - k + p) % p
+		if err := e.Send(dst, tag, send, bytes); err != nil {
+			return nil, fmt.Errorf("collective: bruck send: %w", err)
+		}
+		m, err := e.Recv(src, tag)
+		if err != nil {
+			return nil, fmt.Errorf("collective: bruck recv: %w", err)
+		}
+		recv, ok := m.Payload.([]bruckItem[T])
+		if !ok && m.Payload != nil {
+			return nil, fmt.Errorf("collective: bruck payload type %T", m.Payload)
+		}
+		buffer = append(keep, recv...)
+	}
+	for _, it := range buffer {
+		if int(it.dst) != me {
+			return nil, fmt.Errorf("collective: bruck item for %d stranded at %d", it.dst, me)
+		}
+		// Multiple forwarding paths never split an item, so each
+		// (origin → me) pair appears at most once.
+		out[it.origin] = it.data
+	}
+	return out, nil
+}

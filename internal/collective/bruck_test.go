@@ -1,0 +1,178 @@
+package collective
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"slices"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hssort/internal/comm"
+)
+
+func TestBruckMatchesDirect(t *testing.T) {
+	for _, p := range worldSizes {
+		runWorld(t, p, func(c *comm.Comm) error {
+			parts := make([][]int64, p)
+			for dst := range parts {
+				parts[dst] = []int64{int64(c.Rank()*1000 + dst)}
+			}
+			got, err := AllToAllvBruck(c, 1, parts)
+			if err != nil {
+				return err
+			}
+			for src, pt := range got {
+				want := []int64{int64(src*1000 + c.Rank())}
+				if !slices.Equal(pt, want) {
+					return fmt.Errorf("p=%d from %d: got %v want %v", p, src, pt, want)
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestBruckEmptyParts(t *testing.T) {
+	const p = 5
+	runWorld(t, p, func(c *comm.Comm) error {
+		parts := make([][]int64, p)
+		// Only rank 0 sends anything, and only to rank p-1.
+		if c.Rank() == 0 {
+			parts[p-1] = []int64{42}
+		}
+		got, err := AllToAllvBruck(c, 1, parts)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == p-1 {
+			if !slices.Equal(got[0], []int64{42}) {
+				return fmt.Errorf("lost the lone payload: %v", got[0])
+			}
+		}
+		for src, pt := range got {
+			if (c.Rank() != p-1 || src != 0) && src != c.Rank() && len(pt) != 0 {
+				return fmt.Errorf("phantom payload from %d: %v", src, pt)
+			}
+		}
+		return nil
+	})
+}
+
+func TestBruckWrongPartCount(t *testing.T) {
+	w := comm.NewWorld(2, comm.WithTimeout(time.Second))
+	err := w.Run(func(c *comm.Comm) error {
+		if _, err := AllToAllvBruck(c, 1, [][]int64{{1}}); err == nil {
+			return fmt.Errorf("wrong part count accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBruckFewerMessagesThanDirect pins the point of the algorithm: at
+// p = 16 the direct exchange sends p(p-1) = 240 messages, Bruck sends
+// p·log2(p) = 64.
+func TestBruckFewerMessagesThanDirect(t *testing.T) {
+	const p = 16
+	mkParts := func(r int) [][]int64 {
+		parts := make([][]int64, p)
+		for dst := range parts {
+			parts[dst] = []int64{int64(r*100 + dst)}
+		}
+		return parts
+	}
+	direct := comm.NewWorld(p, comm.WithTimeout(10*time.Second))
+	if err := direct.Run(func(c *comm.Comm) error {
+		_, err := AllToAllv(c, 1, mkParts(c.Rank()))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	bruck := comm.NewWorld(p, comm.WithTimeout(10*time.Second))
+	if err := bruck.Run(func(c *comm.Comm) error {
+		_, err := AllToAllvBruck(c, 1, mkParts(c.Rank()))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	dm := direct.TotalCounters().MsgsSent
+	bm := bruck.TotalCounters().MsgsSent
+	if bm >= dm {
+		t.Errorf("bruck sent %d messages, direct sent %d", bm, dm)
+	}
+	if bm != p*4 { // log2(16) = 4 rounds, one message per rank per round
+		t.Errorf("bruck sent %d messages, want %d", bm, p*4)
+	}
+}
+
+// TestBruckProperty: random payload matrix, any world size.
+func TestBruckProperty(t *testing.T) {
+	f := func(seed uint32, pRaw uint8) bool {
+		p := int(pRaw%9) + 1
+		rng := rand.New(rand.NewPCG(uint64(seed), 5))
+		// payload[src][dst]
+		payload := make([][][]int64, p)
+		for src := range payload {
+			payload[src] = make([][]int64, p)
+			for dst := range payload[src] {
+				n := rng.IntN(5)
+				for i := 0; i < n; i++ {
+					payload[src][dst] = append(payload[src][dst], rng.Int64N(1000))
+				}
+			}
+		}
+		ok := true
+		w := comm.NewWorld(p, comm.WithTimeout(10*time.Second))
+		err := w.Run(func(c *comm.Comm) error {
+			got, err := AllToAllvBruck(c, 1, payload[c.Rank()])
+			if err != nil {
+				return err
+			}
+			for src := 0; src < p; src++ {
+				if !slices.Equal(got[src], payload[src][c.Rank()]) {
+					ok = false
+				}
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkAblationBruck compares direct vs Bruck all-to-all for small
+// per-destination payloads (the regime §6.3's future work targets).
+func BenchmarkAblationBruck(b *testing.B) {
+	const p = 16
+	parts := make([][]int64, p)
+	for dst := range parts {
+		parts[dst] = make([]int64, 8)
+	}
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			w := comm.NewWorld(p)
+			_ = w.Run(func(c *comm.Comm) error {
+				cp := make([][]int64, p)
+				copy(cp, parts)
+				_, err := AllToAllv(c, 1, cp)
+				return err
+			})
+		}
+	})
+	b.Run("bruck", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			w := comm.NewWorld(p)
+			_ = w.Run(func(c *comm.Comm) error {
+				cp := make([][]int64, p)
+				copy(cp, parts)
+				_, err := AllToAllvBruck(c, 1, cp)
+				return err
+			})
+		}
+	})
+}

@@ -1,0 +1,296 @@
+// Package collective implements the communication collectives the paper's
+// cost analysis (§5.1) assumes: dissemination barrier, binomial-tree
+// broadcast and reduction, binomial gather, direct scatter, all-to-allv
+// personalized exchange, and pipelined (chunked chain) broadcast/reduction
+// for large messages.
+//
+// All collectives are built purely on comm.Endpoint Send/Recv, so they run
+// unchanged over a whole World or over a Group (sub-communicator). Every
+// rank of the endpoint must call the collective with the same root and tag
+// (standard SPMD discipline); tags namespace concurrent collectives.
+package collective
+
+import (
+	"fmt"
+
+	"hssort/internal/comm"
+)
+
+// rankedPart carries one rank's contribution through a gather tree.
+type rankedPart[T any] struct {
+	rank int
+	data []T
+}
+
+// Barrier blocks until every rank of e has entered the barrier. It uses
+// the dissemination algorithm: ceil(log2 p) rounds of one send + one recv.
+func Barrier(e comm.Endpoint, tag comm.Tag) error {
+	p := e.Size()
+	me := e.Rank()
+	for mask := 1; mask < p; mask <<= 1 {
+		dst := (me + mask) % p
+		src := (me - mask + p) % p
+		if err := comm.SendValue(e, dst, tag, struct{}{}); err != nil {
+			return fmt.Errorf("collective: barrier send: %w", err)
+		}
+		if _, err := e.Recv(src, tag); err != nil {
+			return fmt.Errorf("collective: barrier recv: %w", err)
+		}
+	}
+	return nil
+}
+
+// Bcast broadcasts root's data slice to all ranks along a binomial tree
+// (ceil(log2 p) rounds, each rank sends at most log p messages). Non-root
+// callers pass nil and receive the broadcast slice; root receives its own
+// slice back. The slice is shared by reference: receivers must not modify
+// it.
+func Bcast[T any](e comm.Endpoint, root int, tag comm.Tag, data []T) ([]T, error) {
+	p := e.Size()
+	me := e.Rank()
+	rel := (me - root + p) % p
+
+	// Receive from the parent (the rank that differs in our lowest set bit).
+	mask := 1
+	for mask < p {
+		if rel&mask != 0 {
+			src := (me - mask + p) % p
+			var err error
+			data, err = comm.RecvSlice[T](e, src, tag)
+			if err != nil {
+				return nil, fmt.Errorf("collective: bcast recv: %w", err)
+			}
+			break
+		}
+		mask <<= 1
+	}
+	// Forward to children below the received mask.
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < p {
+			dst := (me + mask) % p
+			if err := comm.SendSlice(e, dst, tag, data); err != nil {
+				return nil, fmt.Errorf("collective: bcast send: %w", err)
+			}
+		}
+		mask >>= 1
+	}
+	return data, nil
+}
+
+// BcastValue broadcasts a single value from root to all ranks.
+func BcastValue[T any](e comm.Endpoint, root int, tag comm.Tag, v T) (T, error) {
+	out, err := Bcast(e, root, tag, []T{v})
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return out[0], nil
+}
+
+// Reduce combines equal-length data slices from all ranks at root using
+// the elementwise accumulator op(dst, src), along a binomial tree. On
+// root it returns the fully reduced vector; on other ranks it returns nil.
+// Reduce consumes data as its accumulator: callers must not reuse the
+// slice afterwards.
+func Reduce[T any](e comm.Endpoint, root int, tag comm.Tag, data []T, op func(dst, src []T)) ([]T, error) {
+	p := e.Size()
+	me := e.Rank()
+	rel := (me - root + p) % p
+	acc := data
+	for mask := 1; mask < p; mask <<= 1 {
+		if rel&mask != 0 {
+			dst := (rel - mask + root) % p
+			if err := comm.SendSlice(e, dst, tag, acc); err != nil {
+				return nil, fmt.Errorf("collective: reduce send: %w", err)
+			}
+			return nil, nil
+		}
+		srcRel := rel | mask
+		if srcRel < p {
+			src := (srcRel + root) % p
+			recv, err := comm.RecvSlice[T](e, src, tag)
+			if err != nil {
+				return nil, fmt.Errorf("collective: reduce recv: %w", err)
+			}
+			if len(recv) != len(acc) {
+				return nil, fmt.Errorf("collective: reduce length mismatch: %d vs %d", len(recv), len(acc))
+			}
+			op(acc, recv)
+		}
+	}
+	return acc, nil
+}
+
+// AllReduce is Reduce to rank 0 followed by Bcast; every rank receives the
+// reduced vector.
+func AllReduce[T any](e comm.Endpoint, tag comm.Tag, data []T, op func(dst, src []T)) ([]T, error) {
+	red, err := Reduce(e, 0, tag, data, op)
+	if err != nil {
+		return nil, err
+	}
+	return Bcast(e, 0, tag+1, red)
+}
+
+// SumInt64 is the elementwise accumulator for histogram reduction.
+func SumInt64(dst, src []int64) {
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// Gatherv collects each rank's variable-length slice at root along a
+// binomial tree. On root it returns all contributions indexed by rank; on
+// other ranks it returns nil. Contributed slices transfer ownership.
+func Gatherv[T any](e comm.Endpoint, root int, tag comm.Tag, data []T) ([][]T, error) {
+	p := e.Size()
+	me := e.Rank()
+	rel := (me - root + p) % p
+	parts := []rankedPart[T]{{rank: me, data: data}}
+	for mask := 1; mask < p; mask <<= 1 {
+		if rel&mask != 0 {
+			dst := (rel - mask + root) % p
+			bytes := int64(0)
+			for _, pt := range parts {
+				bytes += comm.SliceBytes(pt.data)
+			}
+			if err := e.Send(dst, tag, parts, bytes); err != nil {
+				return nil, fmt.Errorf("collective: gatherv send: %w", err)
+			}
+			return nil, nil
+		}
+		srcRel := rel | mask
+		if srcRel < p {
+			src := (srcRel + root) % p
+			m, err := e.Recv(src, tag)
+			if err != nil {
+				return nil, fmt.Errorf("collective: gatherv recv: %w", err)
+			}
+			recv, ok := m.Payload.([]rankedPart[T])
+			if !ok {
+				return nil, fmt.Errorf("collective: gatherv payload type %T", m.Payload)
+			}
+			parts = append(parts, recv...)
+		}
+	}
+	out := make([][]T, p)
+	for _, pt := range parts {
+		out[pt.rank] = pt.data
+	}
+	return out, nil
+}
+
+// GatherFlat gathers and concatenates all contributions at root in rank
+// order. Non-root ranks return nil.
+func GatherFlat[T any](e comm.Endpoint, root int, tag comm.Tag, data []T) ([]T, error) {
+	parts, err := Gatherv(e, root, tag, data)
+	if err != nil || parts == nil {
+		return nil, err
+	}
+	total := 0
+	for _, pt := range parts {
+		total += len(pt)
+	}
+	out := make([]T, 0, total)
+	for _, pt := range parts {
+		out = append(out, pt...)
+	}
+	return out, nil
+}
+
+// Scatterv sends parts[i] from root to rank i (direct sends). Every rank
+// returns its own part; root's own part is returned without copying.
+// Non-root callers pass nil parts.
+func Scatterv[T any](e comm.Endpoint, root int, tag comm.Tag, parts [][]T) ([]T, error) {
+	p := e.Size()
+	me := e.Rank()
+	if me == root {
+		if len(parts) != p {
+			return nil, fmt.Errorf("collective: scatterv needs %d parts, got %d", p, len(parts))
+		}
+		for dst := 0; dst < p; dst++ {
+			if dst == root {
+				continue
+			}
+			if err := comm.SendSlice(e, dst, tag, parts[dst]); err != nil {
+				return nil, fmt.Errorf("collective: scatterv send: %w", err)
+			}
+		}
+		return parts[root], nil
+	}
+	out, err := comm.RecvSlice[T](e, root, tag)
+	if err != nil {
+		return nil, fmt.Errorf("collective: scatterv recv: %w", err)
+	}
+	return out, nil
+}
+
+// Allgatherv gathers every rank's slice and distributes the full set to
+// all ranks (gather at rank 0, then broadcast of the concatenation plus
+// offsets).
+func Allgatherv[T any](e comm.Endpoint, tag comm.Tag, data []T) ([][]T, error) {
+	parts, err := Gatherv(e, 0, tag, data)
+	if err != nil {
+		return nil, err
+	}
+	p := e.Size()
+	var flat []T
+	lens := make([]int64, p)
+	if e.Rank() == 0 {
+		total := 0
+		for _, pt := range parts {
+			total += len(pt)
+		}
+		flat = make([]T, 0, total)
+		for i, pt := range parts {
+			lens[i] = int64(len(pt))
+			flat = append(flat, pt...)
+		}
+	}
+	lensOut, err := Bcast(e, 0, tag+1, lens)
+	if err != nil {
+		return nil, err
+	}
+	flatOut, err := Bcast(e, 0, tag+2, flat)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]T, p)
+	off := int64(0)
+	for i, n := range lensOut {
+		out[i] = flatOut[off : off+n]
+		off += n
+	}
+	return out, nil
+}
+
+// AllToAllv performs the personalized all-to-all exchange of the data
+// movement phase (§2.2 step 3): rank i receives parts[i] from every rank.
+// It returns the p received slices indexed by sender; the caller's own
+// contribution parts[me] is passed through without copying. Ownership of
+// sent parts transfers to receivers.
+func AllToAllv[T any](e comm.Endpoint, tag comm.Tag, parts [][]T) ([][]T, error) {
+	p := e.Size()
+	me := e.Rank()
+	if len(parts) != p {
+		return nil, fmt.Errorf("collective: alltoallv needs %d parts, got %d", p, len(parts))
+	}
+	// Stagger destinations so no rank is hammered by all senders at once.
+	for i := 1; i < p; i++ {
+		dst := (me + i) % p
+		if err := comm.SendSlice(e, dst, tag, parts[dst]); err != nil {
+			return nil, fmt.Errorf("collective: alltoallv send: %w", err)
+		}
+	}
+	out := make([][]T, p)
+	out[me] = parts[me]
+	for i := 1; i < p; i++ {
+		src := (me - i + p) % p
+		recv, err := comm.RecvSlice[T](e, src, tag)
+		if err != nil {
+			return nil, fmt.Errorf("collective: alltoallv recv: %w", err)
+		}
+		out[src] = recv
+	}
+	return out, nil
+}

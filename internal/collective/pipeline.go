@@ -1,0 +1,130 @@
+package collective
+
+import (
+	"fmt"
+
+	"hssort/internal/comm"
+)
+
+// pipeHeader announces an incoming pipelined transfer along a chain.
+type pipeHeader struct {
+	total  int // total element count
+	chunks int // number of chunks that follow
+}
+
+// chunkCount returns how many chunks a transfer of total elements needs.
+func chunkCount(total, chunkLen int) int {
+	if total == 0 {
+		return 0
+	}
+	return (total + chunkLen - 1) / chunkLen
+}
+
+// PipelinedBcast broadcasts root's data along a chain of ranks in chunks
+// of chunkLen elements. For a message of S elements this costs
+// O(S + p·chunkLen) element-hops on the critical path instead of the
+// binomial tree's O(S log p): the pipelined model the paper assumes for
+// large histograms (§5.1). chunkLen <= 0 selects a default of 4096.
+func PipelinedBcast[T any](e comm.Endpoint, root int, tag comm.Tag, data []T, chunkLen int) ([]T, error) {
+	if chunkLen <= 0 {
+		chunkLen = 4096
+	}
+	p := e.Size()
+	if p == 1 {
+		return data, nil
+	}
+	me := e.Rank()
+	rel := (me - root + p) % p
+	next := (me + 1) % p
+	hasNext := rel+1 < p
+
+	if rel == 0 {
+		n := len(data)
+		chunks := chunkCount(n, chunkLen)
+		if err := comm.SendValue(e, next, tag, pipeHeader{total: n, chunks: chunks}); err != nil {
+			return nil, fmt.Errorf("collective: pipelined bcast header: %w", err)
+		}
+		for i := 0; i < chunks; i++ {
+			lo := i * chunkLen
+			hi := min(lo+chunkLen, n)
+			if err := comm.SendSlice(e, next, tag, data[lo:hi]); err != nil {
+				return nil, fmt.Errorf("collective: pipelined bcast send: %w", err)
+			}
+		}
+		return data, nil
+	}
+
+	prev := (me - 1 + p) % p
+	hdr, err := comm.RecvValue[pipeHeader](e, prev, tag)
+	if err != nil {
+		return nil, fmt.Errorf("collective: pipelined bcast header recv: %w", err)
+	}
+	if hasNext {
+		if err := comm.SendValue(e, next, tag, hdr); err != nil {
+			return nil, fmt.Errorf("collective: pipelined bcast header fwd: %w", err)
+		}
+	}
+	out := make([]T, 0, hdr.total)
+	for i := 0; i < hdr.chunks; i++ {
+		chunk, err := comm.RecvSlice[T](e, prev, tag)
+		if err != nil {
+			return nil, fmt.Errorf("collective: pipelined bcast recv: %w", err)
+		}
+		if hasNext {
+			if err := comm.SendSlice(e, next, tag, chunk); err != nil {
+				return nil, fmt.Errorf("collective: pipelined bcast fwd: %w", err)
+			}
+		}
+		out = append(out, chunk...)
+	}
+	return out, nil
+}
+
+// PipelinedReduce reduces equal-length vectors to root along a chain in
+// chunks: the rank furthest from root starts each chunk flowing; every
+// rank accumulates its own contribution into the arriving chunk and
+// forwards. Cost is O(S + p·chunkLen) element-hops on the critical path,
+// the pipelined-reduction model of §5.1. Root returns the reduced vector;
+// others return nil. data is consumed as scratch.
+func PipelinedReduce[T any](e comm.Endpoint, root int, tag comm.Tag, data []T, op func(dst, src []T), chunkLen int) ([]T, error) {
+	if chunkLen <= 0 {
+		chunkLen = 4096
+	}
+	p := e.Size()
+	if p == 1 {
+		return data, nil
+	}
+	me := e.Rank()
+	rel := (me - root + p) % p
+	n := len(data)
+	chunks := chunkCount(n, chunkLen)
+
+	// The chain runs tail (rel = p-1) → ... → root (rel = 0).
+	tail := rel == p-1
+	for i := 0; i < chunks; i++ {
+		lo := i * chunkLen
+		hi := min(lo+chunkLen, n)
+		mine := data[lo:hi]
+		if !tail {
+			src := (me + 1) % p // rank with rel+1
+			recv, err := comm.RecvSlice[T](e, src, tag)
+			if err != nil {
+				return nil, fmt.Errorf("collective: pipelined reduce recv: %w", err)
+			}
+			if len(recv) != len(mine) {
+				return nil, fmt.Errorf("collective: pipelined reduce chunk mismatch: %d vs %d", len(recv), len(mine))
+			}
+			op(mine, recv)
+		}
+		if rel != 0 {
+			dst := (me - 1 + p) % p // rank with rel-1
+			if err := comm.SendSlice(e, dst, tag, mine); err != nil {
+				return nil, fmt.Errorf("collective: pipelined reduce send: %w", err)
+			}
+		}
+	}
+	if rel == 0 {
+		return data, nil
+	}
+	return nil, nil
+}

@@ -1,0 +1,303 @@
+// Package comm is a simulated distributed message-passing runtime: the
+// substrate that stands in for MPI/Charm++ in this reproduction.
+//
+// A World hosts p ranks. Run launches one goroutine per rank executing the
+// same SPMD function, mirroring how the paper's algorithm runs one process
+// per core. Ranks share no mutable state; all interaction flows through
+// Send/Recv with explicit byte accounting, so communication volume and
+// message counts — the quantities in the paper's BSP analysis (§5.1) — are
+// measured, not estimated.
+//
+// Semantics:
+//
+//   - Send is asynchronous and never blocks (mailboxes are unbounded), so
+//     no protocol can deadlock on buffer exhaustion — matching MPI's
+//     buffered-send model that the paper's collectives assume.
+//   - Recv blocks until a message matching (src, tag) arrives. Matching
+//     messages from one sender with one tag are delivered in send order
+//     (pairwise FIFO, the MPI non-overtaking rule).
+//   - Payloads are passed by reference (shared memory under the hood);
+//     a sender must not touch a payload after sending. Bytes are counted
+//     as if the payload were serialized.
+//
+// A panic in any rank aborts the whole World, unblocking every Recv with
+// ErrAborted — otherwise a bug in one rank would deadlock the rest.
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Tag distinguishes message streams between the same pair of ranks.
+// Packages building on comm reserve disjoint tag ranges (see the Tag*
+// constants in internal/collective).
+type Tag uint32
+
+// AnySource may be passed to Recv as src to match a message from any rank.
+const AnySource = -1
+
+// ErrAborted is returned from Send/Recv after the World aborts (rank
+// panic, explicit Abort, or timeout).
+var ErrAborted = errors.New("comm: world aborted")
+
+// Message is one delivered unit: payload plus envelope.
+type Message struct {
+	// Src is the sending rank.
+	Src int
+	// Tag is the stream tag the message was sent with.
+	Tag Tag
+	// Payload is the transferred value, shared by reference.
+	Payload any
+	// Bytes is the accounted wire size of Payload.
+	Bytes int64
+}
+
+// Counters accumulates per-rank traffic statistics. Each rank mutates only
+// its own Counters from its own goroutine; read them after Run returns or
+// from the owning rank.
+type Counters struct {
+	// MsgsSent and BytesSent count outgoing traffic.
+	MsgsSent, BytesSent int64
+	// MsgsRecv and BytesRecv count delivered (received) traffic.
+	MsgsRecv, BytesRecv int64
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.MsgsSent += other.MsgsSent
+	c.BytesSent += other.BytesSent
+	c.MsgsRecv += other.MsgsRecv
+	c.BytesRecv += other.BytesRecv
+}
+
+// Interceptor observes (and may veto) every message at send time. Used by
+// tests for fault injection: returning a non-nil error makes the Send fail
+// with that error.
+type Interceptor func(src, dst int, m *Message) error
+
+// mailbox is one rank's unbounded inbox.
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []Message
+}
+
+// World hosts p ranks and their mailboxes.
+type World struct {
+	p           int
+	boxes       []*mailbox
+	counters    []Counters
+	interceptor Interceptor
+	timeout     time.Duration
+
+	abortMu  sync.Mutex
+	abortErr error
+}
+
+// Option configures a World.
+type Option func(*World)
+
+// WithTimeout aborts the World if Run has not completed within d. A zero d
+// disables the watchdog (the default).
+func WithTimeout(d time.Duration) Option {
+	return func(w *World) { w.timeout = d }
+}
+
+// WithInterceptor installs a message interceptor for fault injection.
+func WithInterceptor(ic Interceptor) Option {
+	return func(w *World) { w.interceptor = ic }
+}
+
+// NewWorld creates a World with p ranks. It panics if p < 1.
+func NewWorld(p int, opts ...Option) *World {
+	if p < 1 {
+		panic(fmt.Sprintf("comm: world size %d < 1", p))
+	}
+	w := &World{
+		p:        p,
+		boxes:    make([]*mailbox, p),
+		counters: make([]Counters, p),
+	}
+	for i := range w.boxes {
+		mb := &mailbox{}
+		mb.cond = sync.NewCond(&mb.mu)
+		w.boxes[i] = mb
+	}
+	for _, o := range opts {
+		o(w)
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.p }
+
+// Abort unblocks all pending and future Send/Recv calls with err (wrapped
+// in ErrAborted if err is nil). The first abort wins.
+func (w *World) Abort(err error) {
+	w.abortMu.Lock()
+	if w.abortErr == nil {
+		if err == nil {
+			err = ErrAborted
+		}
+		w.abortErr = err
+	}
+	w.abortMu.Unlock()
+	for _, mb := range w.boxes {
+		mb.mu.Lock()
+		mb.cond.Broadcast()
+		mb.mu.Unlock()
+	}
+}
+
+// aborted returns the abort error, or nil if the world is live.
+func (w *World) aborted() error {
+	w.abortMu.Lock()
+	defer w.abortMu.Unlock()
+	return w.abortErr
+}
+
+// Run executes fn concurrently on every rank and waits for all to finish.
+// It returns the joined errors of all ranks. A panic in any rank aborts
+// the World and is reported as that rank's error; other ranks then fail
+// with ErrAborted instead of hanging.
+func (w *World) Run(fn func(c *Comm) error) error {
+	var timer *time.Timer
+	if w.timeout > 0 {
+		timer = time.AfterFunc(w.timeout, func() {
+			w.Abort(fmt.Errorf("%w: timeout after %v", ErrAborted, w.timeout))
+		})
+		defer timer.Stop()
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, w.p)
+	for r := 0; r < w.p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					err := fmt.Errorf("comm: rank %d panicked: %v", rank, rec)
+					errs[rank] = err
+					w.Abort(err)
+				}
+			}()
+			errs[rank] = fn(&Comm{w: w, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Counters returns a copy of rank r's traffic counters. Call after Run
+// returns (or from rank r itself) to avoid racing the owning goroutine.
+func (w *World) Counters(r int) Counters { return w.counters[r] }
+
+// TotalCounters sums counters across all ranks.
+func (w *World) TotalCounters() Counters {
+	var total Counters
+	for i := range w.counters {
+		total.Add(w.counters[i])
+	}
+	return total
+}
+
+// ResetCounters zeroes all counters. Only call while no ranks are running.
+func (w *World) ResetCounters() {
+	for i := range w.counters {
+		w.counters[i] = Counters{}
+	}
+}
+
+// Comm is one rank's handle to the World. Endpoint abstracts it so
+// sub-groups (internal/collective.Group) can reuse the collectives.
+type Comm struct {
+	w    *World
+	rank int
+}
+
+// Endpoint is the rank-addressed messaging surface collectives are built
+// on: a Comm, or a Group view of a Comm subset.
+type Endpoint interface {
+	// Rank returns the caller's rank within the endpoint.
+	Rank() int
+	// Size returns the number of ranks in the endpoint.
+	Size() int
+	// Send delivers payload to dst asynchronously; bytes is the
+	// accounted wire size.
+	Send(dst int, tag Tag, payload any, bytes int64) error
+	// Recv blocks for the next message matching (src, tag); src may be
+	// AnySource.
+	Recv(src int, tag Tag) (Message, error)
+}
+
+var _ Endpoint = (*Comm)(nil)
+
+// Rank returns this handle's rank in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the World size.
+func (c *Comm) Size() int { return c.w.p }
+
+// World returns the hosting World (for counters and abort).
+func (c *Comm) World() *World { return c.w }
+
+// Counters returns this rank's own traffic counters.
+func (c *Comm) Counters() Counters { return c.w.counters[c.rank] }
+
+// Send delivers payload to rank dst on stream tag. bytes is the accounted
+// wire size of the payload (use the Slice/Value helpers to compute it).
+// Send never blocks; it fails only if dst is invalid or the World aborted.
+func (c *Comm) Send(dst int, tag Tag, payload any, bytes int64) error {
+	if dst < 0 || dst >= c.w.p {
+		return fmt.Errorf("comm: rank %d sent to invalid rank %d (world size %d)", c.rank, dst, c.w.p)
+	}
+	if err := c.w.aborted(); err != nil {
+		return err
+	}
+	m := Message{Src: c.rank, Tag: tag, Payload: payload, Bytes: bytes}
+	if ic := c.w.interceptor; ic != nil {
+		if err := ic(c.rank, dst, &m); err != nil {
+			return err
+		}
+	}
+	mb := c.w.boxes[dst]
+	mb.mu.Lock()
+	mb.queue = append(mb.queue, m)
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
+	cnt := &c.w.counters[c.rank]
+	cnt.MsgsSent++
+	cnt.BytesSent += bytes
+	return nil
+}
+
+// Recv blocks until a message matching (src, tag) arrives and returns it.
+// src may be AnySource. Messages from one sender on one tag arrive in send
+// order; messages that do not match are left queued for other Recv calls.
+func (c *Comm) Recv(src int, tag Tag) (Message, error) {
+	if src != AnySource && (src < 0 || src >= c.w.p) {
+		return Message{}, fmt.Errorf("comm: rank %d receiving from invalid rank %d", c.rank, src)
+	}
+	mb := c.w.boxes[c.rank]
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i, m := range mb.queue {
+			if (src == AnySource || m.Src == src) && m.Tag == tag {
+				mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+				cnt := &c.w.counters[c.rank]
+				cnt.MsgsRecv++
+				cnt.BytesRecv += m.Bytes
+				return m, nil
+			}
+		}
+		if err := c.w.aborted(); err != nil {
+			return Message{}, err
+		}
+		mb.cond.Wait()
+	}
+}

@@ -1,0 +1,228 @@
+// Package core implements Histogram Sort with Sampling (HSS) — the
+// paper's primary contribution — as a distributed algorithm over the
+// internal/comm runtime, together with a centralized protocol simulator
+// that runs the identical splitter-determination protocol at the paper's
+// true processor counts (up to hundreds of thousands of buckets).
+//
+// The distributed sort has the paper's three phases (§6.1.2): local sort;
+// splitter determination by rounds of sampling + histogramming; and the
+// all-to-all data exchange followed by a k-way merge. Splitter
+// determination supports the three sampling disciplines the paper
+// analyzes:
+//
+//   - FixedOversampling (§6.1.2): every round gathers an expected f·B-key
+//     sample from the union of active splitter intervals (the production
+//     configuration, f = 5 in the paper's runs).
+//   - Theoretical (§3.3): k rounds with the geometric ratio schedule
+//     s_j = (2 ln B/ε)^(j/k).
+//   - OneRoundScanning (§3.2): a single 2/ε-ratio sample finished by the
+//     Axtmann scanning algorithm.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"hssort/internal/comm"
+	"hssort/internal/exchange"
+	"hssort/internal/sampling"
+)
+
+// Schedule selects the sampling discipline for splitter determination.
+type Schedule int
+
+const (
+	// FixedOversampling gathers an expected OversampleFactor·Buckets
+	// sample per round until all splitters are finalized (§6.1.2).
+	FixedOversampling Schedule = iota
+	// Theoretical runs Rounds rounds with sampling ratios
+	// s_j = (2 ln B/ε)^(j/Rounds) (§3.3, Lemma 3.3.1).
+	Theoretical
+	// OneRoundScanning samples once at ratio 2/ε and picks splitters
+	// with the scanning algorithm (§3.2, Theorem 3.2.1).
+	OneRoundScanning
+)
+
+// String returns the schedule name used in experiment output.
+func (s Schedule) String() string {
+	switch s {
+	case FixedOversampling:
+		return "fixed-oversampling"
+	case Theoretical:
+		return "theoretical"
+	case OneRoundScanning:
+		return "one-round-scanning"
+	default:
+		return fmt.Sprintf("Schedule(%d)", int(s))
+	}
+}
+
+// Options configures an HSS sort. Cmp is required; every other field has
+// a documented default applied by Sort.
+type Options[K any] struct {
+	// Cmp is the three-way key comparator.
+	Cmp func(K, K) int
+	// Epsilon is the load-imbalance threshold ε: every bucket receives
+	// at most N(1+ε)/B keys w.h.p. Default 0.05.
+	Epsilon float64
+	// Buckets is the number of output ranges B. Default: world size
+	// (one bucket per processor, the flat sort). The two-level and
+	// ChaNGa configurations set it to node count or virtual-processor
+	// count.
+	Buckets int
+	// Owner maps a bucket to the rank that receives it. Default:
+	// exchange.ContiguousOwner(Buckets, p).
+	Owner func(bucket int) int
+	// Schedule selects the sampling discipline. Default
+	// FixedOversampling.
+	Schedule Schedule
+	// Rounds is the round count k for the Theoretical schedule.
+	// Default: sampling.AutoRounds(Buckets, Epsilon). Ignored by the
+	// other schedules.
+	Rounds int
+	// MaxRounds caps histogramming rounds before falling back to the
+	// best candidates seen (guarantees termination on adversarial
+	// inputs such as mass duplicates). Default: 4× the §6.2 bound + 8.
+	MaxRounds int
+	// OversampleFactor is f for FixedOversampling: the expected sample
+	// size per round in units of Buckets. Default 5 (the paper's
+	// setting).
+	OversampleFactor float64
+	// Seed derives each rank's sampling stream. Default 1.
+	Seed uint64
+	// Approx enables §3.4 approximate histogramming: local ranks are
+	// answered from a per-rank representative sample instead of the
+	// full input. The effective imbalance guarantee loosens to ~2ε.
+	Approx bool
+	// ApproxSize is the representative sample size per rank; default
+	// sampling.RepresentativeSize(Buckets, Epsilon).
+	ApproxSize int
+	// BaseTag is the start of the tag range (12 tags) this sort uses on
+	// the endpoint. Default 1000.
+	BaseTag comm.Tag
+	// PipelineChunk is the chunk size (elements) for pipelined
+	// broadcast/reduction. Default 4096.
+	PipelineChunk int
+	// PipelineThreshold is the message length (elements) above which
+	// histogram broadcasts/reductions switch from binomial trees to
+	// pipelines (§5.1 recommends pipelining for large messages).
+	// Default 8192.
+	PipelineThreshold int
+	// OnRound, if set, is invoked on the root rank after every
+	// histogramming round with that round's protocol state — the
+	// observability hook behind Table 6.1-style analyses. It must not
+	// block; it runs inside the splitter-determination critical path.
+	OnRound func(RoundTrace)
+}
+
+// RoundTrace reports one histogramming round to Options.OnRound.
+type RoundTrace struct {
+	// Round is 1-based.
+	Round int
+	// Prob is the per-key sampling probability used.
+	Prob float64
+	// Probes is the deduplicated probe count histogrammed.
+	Probes int
+	// Finalized is the number of splitters finalized so far.
+	Finalized int
+	// Coverage is G_j: keys still inside active splitter intervals.
+	Coverage int64
+}
+
+// withDefaults validates opt and fills defaults for a world of p ranks.
+func (o Options[K]) withDefaults(p int) (Options[K], error) {
+	if o.Cmp == nil {
+		return o, fmt.Errorf("core: Options.Cmp is required")
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.05
+	}
+	if o.Epsilon < 0 {
+		return o, fmt.Errorf("core: Epsilon %v < 0", o.Epsilon)
+	}
+	if o.Buckets == 0 {
+		o.Buckets = p
+	}
+	if o.Buckets < 1 {
+		return o, fmt.Errorf("core: Buckets %d < 1", o.Buckets)
+	}
+	if o.Owner == nil {
+		o.Owner = exchange.ContiguousOwner(o.Buckets, p)
+	}
+	if o.OversampleFactor == 0 {
+		o.OversampleFactor = 5
+	}
+	if o.OversampleFactor <= 2 && o.Schedule == FixedOversampling {
+		return o, fmt.Errorf("core: OversampleFactor %v must exceed 2", o.OversampleFactor)
+	}
+	if o.Rounds == 0 {
+		o.Rounds = sampling.AutoRounds(o.Buckets, o.Epsilon)
+	}
+	if o.MaxRounds == 0 {
+		bound, err := sampling.ExpectedRoundsFixed(o.Buckets, o.Epsilon, max(o.OversampleFactor, 3))
+		if err != nil {
+			bound = 8
+		}
+		o.MaxRounds = 4*bound + 8
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.ApproxSize == 0 {
+		o.ApproxSize = sampling.RepresentativeSize(o.Buckets, o.Epsilon)
+	}
+	if o.BaseTag == 0 {
+		o.BaseTag = 1000
+	}
+	if o.PipelineChunk == 0 {
+		o.PipelineChunk = 4096
+	}
+	if o.PipelineThreshold == 0 {
+		o.PipelineThreshold = 8192
+	}
+	return o, nil
+}
+
+// Tag offsets within the sort's BaseTag range.
+const (
+	tagCount    = 0 // global N all-reduce (+1)
+	tagPlan     = 2 // round plan broadcast
+	tagSample   = 3 // sample gather
+	tagProbes   = 4 // probe broadcast
+	tagRanks    = 5 // histogram reduction
+	tagExchange = 6 // bucket exchange
+	tagStats    = 9 // stats all-reduce (+1)
+	// TagSpan is the number of consecutive tags a Sort call occupies
+	// starting at BaseTag.
+	TagSpan = 11
+)
+
+// Stats reports one sort invocation. Per-phase durations are global
+// maxima over ranks (the BSP critical path); byte counts are global sums;
+// Rounds and sample sizes describe the splitter-determination protocol.
+type Stats struct {
+	// N is the global key count; Buckets the bucket count.
+	N       int64
+	Buckets int
+	// Rounds is the number of histogramming rounds executed.
+	Rounds int
+	// SamplePerRound is the overall (all-ranks) sample gathered per
+	// round; TotalSample is its sum.
+	SamplePerRound []int64
+	TotalSample    int64
+	// LocalSort, Splitter, Exchange, Merge are per-phase wall times
+	// (max over ranks).
+	LocalSort, Splitter, Exchange, Merge time.Duration
+	// SplitterBytes and ExchangeBytes are total bytes sent by all ranks
+	// during splitter determination and data movement.
+	SplitterBytes, ExchangeBytes int64
+	// Imbalance is max rank load / average rank load after sorting.
+	Imbalance float64
+	// LocalCount is this rank's output size.
+	LocalCount int
+}
+
+// Total returns the end-to-end critical-path time.
+func (s Stats) Total() time.Duration {
+	return s.LocalSort + s.Splitter + s.Exchange + s.Merge
+}

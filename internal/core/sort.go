@@ -1,0 +1,109 @@
+package core
+
+import (
+	"slices"
+	"time"
+
+	"hssort/internal/collective"
+	"hssort/internal/comm"
+	"hssort/internal/exchange"
+	"hssort/internal/merge"
+)
+
+// Sort runs the full HSS pipeline on this rank's local keys and returns
+// the rank's globally sorted partition: local sort → splitter
+// determination → all-to-all exchange → k-way merge (§6.1.2). Every rank
+// of the world must call Sort with the same Options. The input slice is
+// sorted in place and its storage re-used; callers must not reuse it.
+func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, Stats, error) {
+	opt, err := opt.withDefaults(c.Size())
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	base := opt.BaseTag
+	var stats Stats
+	stats.Buckets = opt.Buckets
+
+	// Phase 1: local sort (embarrassingly parallel, §6.1.2).
+	t0 := time.Now()
+	slices.SortFunc(local, opt.Cmp)
+	localSort := time.Since(t0)
+
+	// Global key count.
+	nVec, err := collective.AllReduce(c, base+tagCount, []int64{int64(len(local))}, collective.SumInt64)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.N = nVec[0]
+
+	// Phase 2: splitter determination.
+	bytes0 := c.Counters().BytesSent
+	t1 := time.Now()
+	splitters, info, err := DetermineSplitters(c, local, stats.N, opt)
+	if err != nil {
+		return nil, stats, err
+	}
+	splitterTime := time.Since(t1)
+	splitterBytes := c.Counters().BytesSent - bytes0
+	stats.Rounds = info.Rounds
+	stats.SamplePerRound = info.SamplePerRound
+	stats.TotalSample = info.TotalSample
+
+	// Phase 3: partition + all-to-all data exchange.
+	bytes1 := c.Counters().BytesSent
+	t2 := time.Now()
+	runs := exchange.Partition(local, splitters, opt.Cmp)
+	recv, err := exchange.Exchange(c, base+tagExchange, runs, opt.Owner)
+	if err != nil {
+		return nil, stats, err
+	}
+	exchangeTime := time.Since(t2)
+	exchangeBytes := c.Counters().BytesSent - bytes1
+
+	// Phase 4: merge received runs.
+	t3 := time.Now()
+	out := merge.KWay(recv, opt.Cmp)
+	mergeTime := time.Since(t3)
+	stats.LocalCount = len(out)
+
+	// Aggregate stats: byte counts sum over ranks, phase times take the
+	// max (BSP critical path), output counts give the imbalance.
+	vec := []int64{
+		splitterBytes,
+		exchangeBytes,
+		int64(localSort),
+		int64(splitterTime),
+		int64(exchangeTime),
+		int64(mergeTime),
+		int64(len(out)), // sum -> N
+		int64(len(out)), // max -> hottest rank
+	}
+	agg, err := collective.AllReduce(c, base+tagStats, vec, func(dst, src []int64) {
+		dst[0] += src[0]
+		dst[1] += src[1]
+		for i := 2; i <= 5; i++ {
+			if src[i] > dst[i] {
+				dst[i] = src[i]
+			}
+		}
+		dst[6] += src[6]
+		if src[7] > dst[7] {
+			dst[7] = src[7]
+		}
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.SplitterBytes = agg[0]
+	stats.ExchangeBytes = agg[1]
+	stats.LocalSort = time.Duration(agg[2])
+	stats.Splitter = time.Duration(agg[3])
+	stats.Exchange = time.Duration(agg[4])
+	stats.Merge = time.Duration(agg[5])
+	if agg[6] > 0 {
+		stats.Imbalance = float64(agg[7]) * float64(c.Size()) / float64(agg[6])
+	} else {
+		stats.Imbalance = 1
+	}
+	return out, stats, nil
+}

@@ -1,0 +1,367 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"slices"
+	"sort"
+
+	"hssort/internal/collective"
+	"hssort/internal/comm"
+	"hssort/internal/histogram"
+	"hssort/internal/sampling"
+)
+
+// SplitterInfo reports the splitter-determination protocol's behaviour:
+// the quantities Table 6.1 and Fig 4.1 measure.
+type SplitterInfo struct {
+	// Rounds is the number of histogramming rounds executed.
+	Rounds int
+	// SamplePerRound is the overall (deduplicated) probe count of each
+	// round; TotalSample is the sum over rounds.
+	SamplePerRound []int64
+	TotalSample    int64
+	// Finalized reports whether every splitter met its target window
+	// (false means the MaxRounds/stagnation fallback to best candidates
+	// fired — e.g. on mass-duplicate inputs without tagging).
+	Finalized bool
+}
+
+// roundPlan is the per-round broadcast from the central processor: either
+// the sampling instructions for the next round or the final splitters.
+type roundPlan[K any] struct {
+	Done      bool
+	Finalized bool                    // valid when Done: all splitters met their windows
+	Prob      float64                 // per-key sampling probability
+	Intervals []histogram.Interval[K] // active splitter intervals to sample from
+	Splitters []K                     // final splitters (Done only)
+}
+
+// planBytes estimates the wire size of a plan: two keys + two ranks per
+// interval, one key per splitter, plus the fixed header.
+func planBytes[K any](p roundPlan[K]) int64 {
+	keySize := comm.SizeOf[K]()
+	return 16 + int64(len(p.Intervals))*(2*keySize+16) + int64(len(p.Splitters))*keySize
+}
+
+// bcastPlan broadcasts a roundPlan from root along a binomial tree with
+// explicit byte accounting.
+func bcastPlan[K any](e comm.Endpoint, root int, tag comm.Tag, plan roundPlan[K]) (roundPlan[K], error) {
+	p := e.Size()
+	me := e.Rank()
+	rel := (me - root + p) % p
+	mask := 1
+	for mask < p {
+		if rel&mask != 0 {
+			src := (me - mask + p) % p
+			m, err := e.Recv(src, tag)
+			if err != nil {
+				return plan, err
+			}
+			got, ok := m.Payload.(roundPlan[K])
+			if !ok {
+				return plan, fmt.Errorf("core: plan payload type %T", m.Payload)
+			}
+			plan = got
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < p {
+			dst := (me + mask) % p
+			if err := e.Send(dst, tag, plan, planBytes(plan)); err != nil {
+				return plan, err
+			}
+		}
+		mask >>= 1
+	}
+	return plan, nil
+}
+
+// sampleIntervals draws a Bernoulli(prob) sample from the local sorted
+// keys restricted to the active splitter intervals (§3.3 step 4). The
+// result is sorted because intervals and in-interval indices are visited
+// in order.
+func sampleIntervals[K any](local []K, ivs []histogram.Interval[K], prob float64, cmp func(K, K) int, rng *rand.Rand) []K {
+	var out []K
+	for _, iv := range ivs {
+		lo := 0
+		if iv.HasLo {
+			// First index with key strictly greater than the exclusive
+			// lower bound.
+			lo = sort.Search(len(local), func(j int) bool { return cmp(local[j], iv.Lo) > 0 })
+		}
+		hi := len(local)
+		if iv.HasHi {
+			hi = lo + sort.Search(len(local)-lo, func(j int) bool { return cmp(local[lo+j], iv.Hi) >= 0 })
+		}
+		if hi <= lo {
+			continue
+		}
+		sampling.BernoulliIndices(hi-lo, prob, rng, func(i int) {
+			out = append(out, local[lo+i])
+		})
+	}
+	return out
+}
+
+// mergeSamples merges the per-rank sorted samples gathered at the root
+// into one sorted, deduplicated probe list (O(S log p), §5.1.1).
+func mergeSamples[K any](parts [][]K, cmp func(K, K) int) []K {
+	for len(parts) > 1 {
+		var next [][]K
+		for i := 0; i+1 < len(parts); i += 2 {
+			next = append(next, mergeTwo(parts[i], parts[i+1], cmp))
+		}
+		if len(parts)%2 == 1 {
+			next = append(next, parts[len(parts)-1])
+		}
+		parts = next
+	}
+	if len(parts) == 0 {
+		return nil
+	}
+	return slices.CompactFunc(parts[0], func(a, b K) bool { return cmp(a, b) == 0 })
+}
+
+func mergeTwo[K any](a, b []K, cmp func(K, K) int) []K {
+	out := make([]K, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if cmp(a[i], b[j]) <= 0 {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// rootController is the central processor's per-sort state machine. It
+// exists only on the root rank.
+type rootController[K any] struct {
+	opt     Options[K]
+	n       int64
+	tracker *histogram.Tracker[K]
+	ratios  []float64 // Theoretical schedule; nil otherwise
+
+	prevCoverage int64
+	stagnant     int
+
+	scanSplitters []K // OneRoundScanning result once available
+	scanAttempts  int
+	scanProb      float64
+}
+
+func newRootController[K any](n int64, opt Options[K]) *rootController[K] {
+	rc := &rootController[K]{
+		opt:          opt,
+		n:            n,
+		tracker:      histogram.NewTracker[K](n, opt.Buckets, opt.Epsilon, opt.Cmp),
+		prevCoverage: -1,
+	}
+	if opt.Schedule == Theoretical {
+		rc.ratios = sampling.RatioSchedule(opt.Buckets, opt.Epsilon, opt.Rounds)
+	}
+	if opt.Schedule == OneRoundScanning {
+		rc.scanProb = float64(opt.Buckets) * sampling.ScanningRatio(opt.Epsilon) / float64(n)
+	}
+	return rc
+}
+
+// plan decides round `round` (1-based): either the Done plan carrying the
+// final splitters, or the sampling instructions for the next round.
+func (rc *rootController[K]) plan(round int) roundPlan[K] {
+	if rc.scanSplitters != nil {
+		return roundPlan[K]{Done: true, Finalized: true, Splitters: rc.scanSplitters}
+	}
+	finish := func(finalized bool) (roundPlan[K], bool) {
+		sp, ok := rc.tracker.Splitters()
+		if !ok {
+			return roundPlan[K]{}, false
+		}
+		return roundPlan[K]{Done: true, Finalized: finalized, Splitters: sp}, true
+	}
+	switch {
+	case rc.tracker.Done():
+		if p, ok := finish(true); ok {
+			return p
+		}
+	case round > rc.opt.MaxRounds || rc.stagnant >= 3:
+		// Fall back to the closest candidates seen; if some splitter
+		// has never seen a probe, keep sampling (boosted) instead.
+		if p, ok := finish(false); ok {
+			return p
+		}
+	case rc.opt.Schedule == Theoretical && round > rc.opt.Rounds:
+		// Lemma 3.3.1: after k rounds all splitters are finalized
+		// w.h.p.; in the unlucky tail, finish from candidates.
+		if p, ok := finish(rc.tracker.Done()); ok {
+			return p
+		}
+	}
+
+	ivs := rc.tracker.ActiveIntervals()
+	var prob float64
+	switch rc.opt.Schedule {
+	case OneRoundScanning:
+		// Retry with doubled density if the sample was too sparse for
+		// the scanning algorithm (needs >= B-1 keys).
+		prob = rc.scanProb * float64(int64(1)<<min(rc.scanAttempts, 30))
+		rc.scanAttempts++
+	case Theoretical:
+		idx := min(round, len(rc.ratios)) - 1
+		prob = float64(rc.opt.Buckets) * rc.ratios[idx] / float64(rc.n)
+	default: // FixedOversampling
+		coverage := rc.tracker.Coverage()
+		if coverage < 1 {
+			coverage = 1
+		}
+		prob = rc.opt.OversampleFactor * float64(rc.opt.Buckets) / float64(coverage)
+	}
+	if prob > 1 {
+		prob = 1
+	}
+	return roundPlan[K]{Prob: prob, Intervals: ivs}
+}
+
+// absorb folds one round's global histogram into the controller state.
+func (rc *rootController[K]) absorb(probes []K, ranks []int64) {
+	if rc.opt.Schedule == OneRoundScanning && len(probes) >= rc.opt.Buckets-1 {
+		if res, err := histogram.Scan(probes, ranks, rc.n, rc.opt.Buckets, rc.opt.Epsilon); err == nil {
+			rc.scanSplitters = res.Splitters
+		}
+	}
+	// The tracker runs in every schedule so a fallback path always
+	// exists (and OneRoundScanning gets candidates if Scan keeps
+	// failing on pathological inputs).
+	rc.tracker.Update(probes, ranks)
+	cov := rc.tracker.Coverage()
+	if cov == rc.prevCoverage {
+		rc.stagnant++
+	} else {
+		rc.stagnant = 0
+	}
+	rc.prevCoverage = cov
+}
+
+// bcastKeys broadcasts the probe keys, using the pipelined chain for
+// large messages and the binomial tree for small ones. The length is
+// broadcast first so every rank picks the same algorithm.
+func bcastKeys[K any](c *comm.Comm, root int, tag comm.Tag, keys []K, opt Options[K]) ([]K, error) {
+	n, err := collective.BcastValue(c, root, tag, len(keys))
+	if err != nil {
+		return nil, err
+	}
+	if n >= opt.PipelineThreshold {
+		return collective.PipelinedBcast(c, root, tag, keys, opt.PipelineChunk)
+	}
+	return collective.Bcast(c, root, tag, keys)
+}
+
+// reduceRanks sum-reduces the local rank vectors to root, pipelined for
+// large histograms.
+func reduceRanks[K any](c *comm.Comm, root int, tag comm.Tag, ranks []int64, opt Options[K]) ([]int64, error) {
+	if len(ranks) >= opt.PipelineThreshold {
+		return collective.PipelinedReduce(c, root, tag, ranks, collective.SumInt64, opt.PipelineChunk)
+	}
+	return collective.Reduce(c, root, tag, ranks, collective.SumInt64)
+}
+
+// DetermineSplitters runs the splitter-determination protocol over the
+// world, each rank holding sortedLocal (already locally sorted), with n
+// total keys. It returns the Buckets-1 splitters on every rank. Defaults
+// are applied to opt internally.
+func DetermineSplitters[K any](c *comm.Comm, sortedLocal []K, n int64, opt Options[K]) ([]K, SplitterInfo, error) {
+	opt, err := opt.withDefaults(c.Size())
+	if err != nil {
+		return nil, SplitterInfo{}, err
+	}
+	if opt.Buckets == 1 || n == 0 {
+		return []K{}, SplitterInfo{Finalized: true}, nil
+	}
+	root := 0
+	me := c.Rank()
+	base := opt.BaseTag
+	rng := rand.New(rand.NewPCG(opt.Seed, 0xda3e39cb94b95bdb^uint64(me)))
+
+	// Approximate histogramming (§3.4): build the per-rank
+	// representative sample once; all rank queries go through it.
+	var rep sampling.Representative[K]
+	if opt.Approx {
+		rep = sampling.NewRepresentative(sortedLocal, opt.ApproxSize, rng)
+	}
+	localRanks := func(probes []K) []int64 {
+		if !opt.Approx {
+			return histogram.LocalRanks(sortedLocal, probes, opt.Cmp)
+		}
+		out := make([]int64, len(probes))
+		for i, q := range probes {
+			out[i] = rep.LocalRank(q, opt.Cmp)
+		}
+		return out
+	}
+
+	var rc *rootController[K]
+	if me == root {
+		rc = newRootController(n, opt)
+	}
+
+	info := SplitterInfo{}
+	for round := 1; ; round++ {
+		var plan roundPlan[K]
+		if me == root {
+			plan = rc.plan(round)
+		}
+		plan, err := bcastPlan(c, root, base+tagPlan, plan)
+		if err != nil {
+			return nil, info, err
+		}
+		if plan.Done {
+			info.Finalized = plan.Finalized
+			return plan.Splitters, info, nil
+		}
+
+		// Sampling phase (§3.3 step 4).
+		sample := sampleIntervals(sortedLocal, plan.Intervals, plan.Prob, opt.Cmp, rng)
+		parts, err := collective.Gatherv(c, root, base+tagSample, sample)
+		if err != nil {
+			return nil, info, err
+		}
+		var probes []K
+		if me == root {
+			probes = mergeSamples(parts, opt.Cmp)
+		}
+
+		// Histogramming phase (§3.3 steps 1-3).
+		probes, err = bcastKeys(c, root, base+tagProbes, probes, opt)
+		if err != nil {
+			return nil, info, err
+		}
+		info.Rounds = round
+		info.SamplePerRound = append(info.SamplePerRound, int64(len(probes)))
+		info.TotalSample += int64(len(probes))
+
+		global, err := reduceRanks(c, root, base+tagRanks, localRanks(probes), opt)
+		if err != nil {
+			return nil, info, err
+		}
+		if me == root {
+			rc.absorb(probes, global)
+			if opt.OnRound != nil {
+				opt.OnRound(RoundTrace{
+					Round:     round,
+					Prob:      plan.Prob,
+					Probes:    len(probes),
+					Finalized: rc.tracker.NumFinalized(),
+					Coverage:  rc.tracker.Coverage(),
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,307 @@
+// Package exactsplit implements exact distributed splitter selection in
+// the spirit of Cheng, Edelman, Gilbert & Shah (cited in §2.1): finding
+// keys of *exact* global ranks — perfect load balance, ε = 0 — with
+// O(log N) rounds of communication per batch of targets.
+//
+// The paper dismisses exact splitting as "largely of theoretical
+// interest" because no application needs perfect balance; it is built
+// here both as that reference point (the ε → 0 limit of the HSS
+// trade-off, ablated in the benchmarks) and as a generally useful
+// distributed multi-select primitive.
+//
+// The algorithm is parallel weighted-median selection: every unresolved
+// target keeps a per-rank active window of the local sorted data; each
+// round the ranks propose their window medians, the coordinator picks
+// the weighted median of medians as a pivot (discarding ≥ 1/4 of the
+// active keys per round), a histogram round ranks the pivot exactly,
+// and windows narrow — until the pivot's span covers the target rank.
+package exactsplit
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hssort/internal/collective"
+	"hssort/internal/comm"
+)
+
+// Options configures Select. Cmp is required.
+type Options[K any] struct {
+	// Cmp is the three-way key comparator.
+	Cmp func(K, K) int
+	// MaxRounds caps selection rounds (safety net; weighted-median
+	// narrowing needs ~log_{4/3} N). Default 200.
+	MaxRounds int
+	// BaseTag is the tag range start (6 tags). Default 9000.
+	BaseTag comm.Tag
+}
+
+func (o Options[K]) withDefaults() (Options[K], error) {
+	if o.Cmp == nil {
+		return o, fmt.Errorf("exactsplit: Options.Cmp is required")
+	}
+	if o.MaxRounds == 0 {
+		o.MaxRounds = 200
+	}
+	if o.BaseTag == 0 {
+		o.BaseTag = 9000
+	}
+	return o, nil
+}
+
+// Tag offsets within BaseTag.
+const (
+	tagProposals = 0 // per-target window medians + sizes (gather)
+	tagPivots    = 1 // pivot broadcast
+	tagRanks     = 2 // pivot rank histogram (reduce)
+	tagResult    = 3 // final keys broadcast
+	tagCount     = 4 // N all-reduce (+1)
+)
+
+// proposal is one rank's per-target candidate: its window median and the
+// window population backing it.
+type proposal[K any] struct {
+	Key    K
+	Weight int64
+	Valid  bool
+}
+
+// Select returns, for each target rank t (0 <= t < N over all ranks'
+// keys), a key k with rank(k) <= t < rank(k) + multiplicity(k): the key
+// occupying global position t in the sorted order. All ranks must call
+// Select collectively with identical targets over locally sorted data;
+// all ranks receive the same keys.
+func Select[K any](c *comm.Comm, sortedLocal []K, targets []int64, opt Options[K]) ([]K, error) {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	base := opt.BaseTag
+	root := 0
+	me := c.Rank()
+
+	nVec, err := collective.AllReduce(c, base+tagCount, []int64{int64(len(sortedLocal))}, collective.SumInt64)
+	if err != nil {
+		return nil, err
+	}
+	n := nVec[0]
+	for _, t := range targets {
+		if t < 0 || t >= n {
+			return nil, fmt.Errorf("exactsplit: target rank %d outside [0, %d)", t, n)
+		}
+	}
+	m := len(targets)
+	if m == 0 {
+		return []K{}, nil
+	}
+
+	// Per-target local windows [lo, hi) into sortedLocal.
+	lo := make([]int, m)
+	hi := make([]int, m)
+	for i := range hi {
+		hi[i] = len(sortedLocal)
+	}
+	// Root-side bookkeeping.
+	type state[K2 any] struct {
+		resolved bool
+		key      K
+	}
+	var states []state[K]
+	if me == root {
+		states = make([]state[K], m)
+	}
+
+	for round := 0; round < opt.MaxRounds; round++ {
+		// Every rank proposes its window median per target.
+		props := make([]proposal[K], m)
+		for i := range targets {
+			if hi[i] > lo[i] {
+				props[i] = proposal[K]{
+					Key:    sortedLocal[(lo[i]+hi[i])/2],
+					Weight: int64(hi[i] - lo[i]),
+					Valid:  true,
+				}
+			}
+		}
+		gathered, err := collective.Gatherv(c, root, base+tagProposals, props)
+		if err != nil {
+			return nil, err
+		}
+
+		// Root picks one pivot per unresolved target: the weighted
+		// median of the ranks' medians.
+		var pivots []proposal[K]
+		if me == root {
+			pivots = make([]proposal[K], m)
+			done := true
+			for i := range targets {
+				if states[i].resolved {
+					continue
+				}
+				pivot, ok := weightedMedian(gathered, i, opt.Cmp)
+				if !ok {
+					// No rank has active keys yet the target is
+					// unresolved: protocol invariant broken.
+					return nil, fmt.Errorf("exactsplit: target %d lost its window", targets[i])
+				}
+				pivots[i] = proposal[K]{Key: pivot, Valid: true}
+				done = false
+			}
+			if done {
+				pivots = nil // signals completion
+			}
+		}
+		pivots, err = collective.Bcast(c, root, base+tagPivots, pivots)
+		if err != nil {
+			return nil, err
+		}
+		if pivots == nil {
+			break
+		}
+
+		// Histogram the pivots exactly: global (#< pivot, #<= pivot).
+		counts := make([]int64, 2*m)
+		for i := range targets {
+			if !pivots[i].Valid {
+				continue
+			}
+			lt, le := localSpan(sortedLocal, pivots[i].Key, opt.Cmp)
+			counts[2*i] = lt
+			counts[2*i+1] = le
+		}
+		global, err := collective.Reduce(c, root, base+tagRanks, counts, collective.SumInt64)
+		if err != nil {
+			return nil, err
+		}
+
+		// Root classifies each pivot; every rank then narrows windows.
+		// The narrowing decision is a pure function of (pivot, verdict),
+		// broadcast as per-target verdicts encoded in the pivot slice.
+		verdicts := make([]int8, m) // -1: go left, 0: resolved, +1: go right
+		if me == root {
+			for i, t := range targets {
+				if states[i].resolved || !pivots[i].Valid {
+					verdicts[i] = 0
+					continue
+				}
+				ltRank, leRank := global[2*i], global[2*i+1]
+				switch {
+				case t < ltRank:
+					verdicts[i] = -1
+				case t >= leRank:
+					verdicts[i] = 1
+				default:
+					verdicts[i] = 0
+					states[i].resolved = true
+					states[i].key = pivots[i].Key
+				}
+			}
+		}
+		verdicts, err = collective.Bcast(c, root, base+tagPivots+10, verdicts)
+		if err != nil {
+			return nil, err
+		}
+		for i := range targets {
+			if !pivots[i].Valid {
+				continue
+			}
+			switch verdicts[i] {
+			case -1:
+				// Keep keys strictly below the pivot.
+				hi[i] = lo[i] + sort.Search(hi[i]-lo[i], func(j int) bool {
+					return opt.Cmp(sortedLocal[lo[i]+j], pivots[i].Key) >= 0
+				})
+			case 1:
+				// Keep keys strictly above the pivot.
+				lo[i] = lo[i] + sort.Search(hi[i]-lo[i], func(j int) bool {
+					return opt.Cmp(sortedLocal[lo[i]+j], pivots[i].Key) > 0
+				})
+			}
+		}
+	}
+
+	// Broadcast the resolved keys.
+	var result []K
+	if me == root {
+		result = make([]K, m)
+		for i, st := range states {
+			if !st.resolved {
+				return nil, fmt.Errorf("exactsplit: target %d unresolved after %d rounds", targets[i], opt.MaxRounds)
+			}
+			result[i] = st.key
+		}
+	}
+	result, err = collective.Bcast(c, root, base+tagResult, result)
+	if err != nil {
+		return nil, err
+	}
+	if me != root && len(result) != m {
+		return nil, fmt.Errorf("exactsplit: truncated result")
+	}
+	return result, nil
+}
+
+// weightedMedian returns the weighted median of the ranks' proposals for
+// target i: the smallest proposed key whose cumulative weight reaches
+// half the total.
+func weightedMedian[K any](gathered [][]proposal[K], i int, cmp func(K, K) int) (K, bool) {
+	type wk struct {
+		key K
+		w   int64
+	}
+	var items []wk
+	var total int64
+	for _, rankProps := range gathered {
+		p := rankProps[i]
+		if p.Valid && p.Weight > 0 {
+			items = append(items, wk{key: p.Key, w: p.Weight})
+			total += p.Weight
+		}
+	}
+	if len(items) == 0 {
+		var zero K
+		return zero, false
+	}
+	sort.Slice(items, func(a, b int) bool { return cmp(items[a].key, items[b].key) < 0 })
+	var acc int64
+	for _, it := range items {
+		acc += it.w
+		if 2*acc >= total {
+			return it.key, true
+		}
+	}
+	return items[len(items)-1].key, true
+}
+
+// localSpan returns (#keys < q, #keys <= q) in the local sorted data.
+func localSpan[K any](sorted []K, q K, cmp func(K, K) int) (lt, le int64) {
+	lt = int64(sort.Search(len(sorted), func(j int) bool { return cmp(sorted[j], q) >= 0 }))
+	le = int64(sort.Search(len(sorted), func(j int) bool { return cmp(sorted[j], q) > 0 }))
+	return lt, le
+}
+
+// PerfectSplitters returns the p-1 keys that partition n keys into p
+// perfectly balanced buckets (targets N·i/p), the §2.1 reference point.
+// Wall time is dominated by O(log N) histogram rounds.
+func PerfectSplitters[K any](c *comm.Comm, sortedLocal []K, buckets int, opt Options[K]) ([]K, time.Duration, error) {
+	start := time.Now()
+	nVec, err := collective.AllReduce(c, opt.BaseTag+20, []int64{int64(len(sortedLocal))}, collective.SumInt64)
+	if err != nil {
+		return nil, 0, err
+	}
+	n := nVec[0]
+	if buckets < 2 || n == 0 {
+		return []K{}, time.Since(start), nil
+	}
+	targets := make([]int64, 0, buckets-1)
+	for i := 1; i < buckets; i++ {
+		t := n * int64(i) / int64(buckets)
+		if t >= n {
+			t = n - 1
+		}
+		targets = append(targets, t)
+	}
+	keys, err := Select(c, sortedLocal, targets, opt)
+	return keys, time.Since(start), err
+}

@@ -1,0 +1,219 @@
+package exactsplit
+
+import (
+	"cmp"
+	"fmt"
+	"slices"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hssort/internal/comm"
+	"hssort/internal/dist"
+)
+
+func icmp(a, b int64) int { return cmp.Compare(a, b) }
+
+// runSelect executes Select over a world built from shards and returns
+// rank 0's answer plus the flattened global sorted data.
+func runSelect(t *testing.T, shards [][]int64, targets []int64) ([]int64, []int64) {
+	t.Helper()
+	p := len(shards)
+	var result []int64
+	w := comm.NewWorld(p, comm.WithTimeout(60*time.Second))
+	err := w.Run(func(c *comm.Comm) error {
+		local := slices.Clone(shards[c.Rank()])
+		slices.Sort(local)
+		keys, err := Select(c, local, targets, Options[int64]{Cmp: icmp})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			result = keys
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var global []int64
+	for _, s := range shards {
+		global = append(global, s...)
+	}
+	slices.Sort(global)
+	return result, global
+}
+
+func TestSelectExactRanks(t *testing.T) {
+	const p, perRank = 5, 2000
+	shards := dist.Spec{Kind: dist.Uniform}.Shards(perRank, p, 3)
+	targets := []int64{0, 1, 777, 5000, 9998, 9999}
+	keys, global := runSelect(t, shards, targets)
+	for i, tgt := range targets {
+		if keys[i] != global[tgt] {
+			t.Errorf("target %d: got key %d, want %d", tgt, keys[i], global[tgt])
+		}
+	}
+}
+
+func TestSelectWithDuplicates(t *testing.T) {
+	const p, perRank = 4, 1000
+	shards := make([][]int64, p)
+	for r := range shards {
+		shards[r] = make([]int64, perRank)
+		for i := range shards[r] {
+			shards[r][i] = int64(i % 7) // heavy duplication
+		}
+	}
+	targets := []int64{0, 1999, 2000, 3999}
+	keys, global := runSelect(t, shards, targets)
+	for i, tgt := range targets {
+		if keys[i] != global[tgt] {
+			t.Errorf("target %d: got %d, want %d", tgt, keys[i], global[tgt])
+		}
+	}
+}
+
+func TestSelectSkewedShards(t *testing.T) {
+	// Staircase: each rank holds a disjoint band, so windows vanish on
+	// most ranks quickly — stresses the weighted-median fallbacks.
+	const p, perRank = 6, 1500
+	shards := dist.Spec{Kind: dist.Staircase}.Shards(perRank, p, 7)
+	n := int64(p * perRank)
+	targets := []int64{n / 6, n / 3, n / 2, 2 * n / 3, n - 1}
+	keys, global := runSelect(t, shards, targets)
+	for i, tgt := range targets {
+		if keys[i] != global[tgt] {
+			t.Errorf("target %d: got %d, want %d", tgt, keys[i], global[tgt])
+		}
+	}
+}
+
+func TestSelectAgreesAcrossRanks(t *testing.T) {
+	const p = 4
+	shards := dist.Spec{Kind: dist.Gaussian}.Shards(1000, p, 9)
+	all := make([][]int64, p)
+	w := comm.NewWorld(p, comm.WithTimeout(60*time.Second))
+	err := w.Run(func(c *comm.Comm) error {
+		local := slices.Clone(shards[c.Rank()])
+		slices.Sort(local)
+		keys, err := Select(c, local, []int64{10, 2000, 3999}, Options[int64]{Cmp: icmp})
+		all[c.Rank()] = keys
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < p; r++ {
+		if !slices.Equal(all[r], all[0]) {
+			t.Fatalf("rank %d disagrees", r)
+		}
+	}
+}
+
+func TestSelectValidation(t *testing.T) {
+	w := comm.NewWorld(2, comm.WithTimeout(10*time.Second))
+	err := w.Run(func(c *comm.Comm) error {
+		local := []int64{int64(c.Rank())}
+		if _, err := Select(c, local, []int64{5}, Options[int64]{Cmp: icmp}); err == nil {
+			return fmt.Errorf("out-of-range target accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := comm.NewWorld(1, comm.WithTimeout(10*time.Second))
+	err = w2.Run(func(c *comm.Comm) error {
+		if _, err := Select(c, []int64{1}, []int64{0}, Options[int64]{}); err == nil {
+			return fmt.Errorf("missing Cmp accepted")
+		}
+		keys, err := Select(c, []int64{1}, nil, Options[int64]{Cmp: icmp})
+		if err != nil || len(keys) != 0 {
+			return fmt.Errorf("empty targets: %v %v", keys, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerfectSplittersBalance(t *testing.T) {
+	const p, perRank = 4, 2500
+	shards := dist.Spec{Kind: dist.Exponential}.Shards(perRank, p, 11)
+	var splitters []int64
+	w := comm.NewWorld(p, comm.WithTimeout(60*time.Second))
+	err := w.Run(func(c *comm.Comm) error {
+		local := slices.Clone(shards[c.Rank()])
+		slices.Sort(local)
+		sp, _, err := PerfectSplitters(c, local, p, Options[int64]{Cmp: icmp})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			splitters = sp
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bucket sizes from exact splitters differ from N/p only by
+	// duplicate mass at the boundaries (none here w.h.p. for
+	// exponential draws over a huge range).
+	var global []int64
+	for _, s := range shards {
+		global = append(global, s...)
+	}
+	slices.Sort(global)
+	prev := 0
+	for _, s := range splitters {
+		idx, _ := slices.BinarySearch(global, s)
+		size := idx - prev
+		if size < perRank-2 || size > perRank+2 {
+			t.Errorf("bucket size %d, want ~%d", size, perRank)
+		}
+		prev = idx
+	}
+}
+
+func TestSelectProperty(t *testing.T) {
+	f := func(seed uint32, pRaw uint8) bool {
+		pp := int(pRaw%4) + 1
+		spec := dist.Spec{Kind: dist.Kind(seed % 6), Min: 0, Max: 1 << 16}
+		shards := make([][]int64, pp)
+		var global []int64
+		for r := range shards {
+			shards[r] = spec.Shard(int(seed%300)+10, r, pp, uint64(seed))
+			global = append(global, shards[r]...)
+		}
+		slices.Sort(global)
+		n := int64(len(global))
+		targets := []int64{0, n / 3, n / 2, n - 1}
+		var got []int64
+		w := comm.NewWorld(pp, comm.WithTimeout(60*time.Second))
+		err := w.Run(func(c *comm.Comm) error {
+			local := slices.Clone(shards[c.Rank()])
+			slices.Sort(local)
+			keys, err := Select(c, local, targets, Options[int64]{Cmp: icmp})
+			if c.Rank() == 0 {
+				got = keys
+			}
+			return err
+		})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		for i, tgt := range targets {
+			if got[i] != global[tgt] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+package exchange
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+	"time"
+
+	"hssort/internal/comm"
+)
+
+// BenchmarkPartition measures cutting a sorted shard into B runs.
+func BenchmarkPartition(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	sorted := make([]int64, 1<<20)
+	for i := range sorted {
+		sorted[i] = rng.Int64()
+	}
+	slices.Sort(sorted)
+	splitters := make([]int64, 1023)
+	for i := range splitters {
+		splitters[i] = rng.Int64()
+	}
+	slices.Sort(splitters)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Partition(sorted, splitters, icmp)
+	}
+}
+
+// BenchmarkExchange measures the full personalized all-to-all over a
+// 16-rank world (the §2.2 data-movement step).
+func BenchmarkExchange(b *testing.B) {
+	const p = 16
+	const perRank = 1 << 16
+	splitters := make([]int64, p-1)
+	for i := range splitters {
+		splitters[i] = int64(i+1) << 58
+	}
+	shards := make([][]int64, p)
+	rng := rand.New(rand.NewPCG(3, 4))
+	for r := range shards {
+		shards[r] = make([]int64, perRank)
+		for i := range shards[r] {
+			shards[r][i] = rng.Int64()
+		}
+		slices.Sort(shards[r])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := comm.NewWorld(p, comm.WithTimeout(time.Minute))
+		err := w.Run(func(c *comm.Comm) error {
+			runs := Partition(shards[c.Rank()], splitters, icmp)
+			_, err := Exchange(c, 1, runs, ContiguousOwner(p, p))
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(p * perRank * 8))
+}

@@ -1,0 +1,155 @@
+// Package exchange implements the data-movement phase shared by every
+// splitter-based sort in this repository (§2.2 step 3): partitioning the
+// local sorted input by the final splitters, the personalized all-to-all
+// that sends each bucket to its owner, and the post-exchange imbalance
+// measurement.
+//
+// Buckets are decoupled from ranks: the paper's flat sort uses one bucket
+// per processor, the two-level node optimization (§6.1) uses one bucket
+// per node, and ChaNGa (§6.3) uses many virtual-processor buckets per
+// core, possibly placed non-contiguously. An Owner function maps buckets
+// to ranks; all runs destined to the same rank travel in one combined
+// message (the §6.1 message-combining optimization falls out for free).
+package exchange
+
+import (
+	"fmt"
+	"sort"
+
+	"hssort/internal/collective"
+	"hssort/internal/comm"
+)
+
+// Partition cuts a locally sorted slice into len(splitters)+1 consecutive
+// runs: run i holds keys in [S_{i-1}, S_i) with S_{-1} = -inf and
+// S_{B-1} = +inf, matching the paper's bucket definition (processor i owns
+// [S_i, S_{i+1})). The returned runs alias the input. splitters must be
+// sorted (non-decreasing); Partition panics otherwise.
+func Partition[K any](sorted []K, splitters []K, cmp func(K, K) int) [][]K {
+	for i := 1; i < len(splitters); i++ {
+		if cmp(splitters[i-1], splitters[i]) > 0 {
+			panic("exchange: splitters not sorted")
+		}
+	}
+	runs := make([][]K, len(splitters)+1)
+	prev := 0
+	for i, s := range splitters {
+		// First index whose key is >= s starts bucket i+1.
+		cut := prev + sort.Search(len(sorted)-prev, func(j int) bool {
+			return cmp(sorted[prev+j], s) >= 0
+		})
+		runs[i] = sorted[prev:cut]
+		prev = cut
+	}
+	runs[len(splitters)] = sorted[prev:]
+	return runs
+}
+
+// ContiguousOwner maps buckets to ranks in contiguous blocks: bucket b
+// goes to rank floor(b·p/B). For B >= p every rank owns a block of
+// [B/p, B/p+1] buckets; for B < p the buckets spread over distinct ranks
+// starting at rank 0. Either way the global sort order follows rank
+// order.
+func ContiguousOwner(buckets, ranks int) func(int) int {
+	return func(b int) int {
+		return b * ranks / buckets
+	}
+}
+
+// RoundRobinOwner maps bucket b to rank b mod p: the non-contiguous
+// virtual-processor placement of §6.3, where consecutive buckets land on
+// arbitrary (here: cyclic) ranks.
+func RoundRobinOwner(ranks int) func(int) int {
+	return func(b int) int { return b % ranks }
+}
+
+// bucketRun is the wire unit of the exchange: one bucket's keys from one
+// sender.
+type bucketRun[K any] struct {
+	bucket int32
+	sender int32
+	keys   []K
+}
+
+// Exchange routes runs[b] (this rank's keys for bucket b) to owner(b) for
+// every bucket, combining all runs for one destination rank into a single
+// message. It returns the sorted runs this rank received — one per
+// (bucket, sender) pair with data, ordered by bucket then sender — ready
+// for a k-way merge. Every rank must pass the same number of buckets and
+// the same owner mapping.
+func Exchange[K any](e comm.Endpoint, tag comm.Tag, runs [][]K, owner func(int) int) ([][]K, error) {
+	p := e.Size()
+	me := e.Rank()
+	byDst := make([][]bucketRun[K], p)
+	for b, run := range runs {
+		dst := owner(b)
+		if dst < 0 || dst >= p {
+			return nil, fmt.Errorf("exchange: owner(%d) = %d outside world size %d", b, dst, p)
+		}
+		if len(run) == 0 {
+			continue
+		}
+		byDst[dst] = append(byDst[dst], bucketRun[K]{bucket: int32(b), sender: int32(me), keys: run})
+	}
+	// Staggered sends, as in collective.AllToAllv. Every rank sends to
+	// every other rank even when it has nothing for it, so receivers
+	// need no separate count protocol.
+	for i := 1; i < p; i++ {
+		dst := (me + i) % p
+		bytes := int64(0)
+		for _, br := range byDst[dst] {
+			bytes += comm.SliceBytes(br.keys) + 8
+		}
+		if err := e.Send(dst, tag, byDst[dst], bytes); err != nil {
+			return nil, fmt.Errorf("exchange: send: %w", err)
+		}
+	}
+	received := append([]bucketRun[K]{}, byDst[me]...)
+	for i := 1; i < p; i++ {
+		src := (me - i + p) % p
+		m, err := e.Recv(src, tag)
+		if err != nil {
+			return nil, fmt.Errorf("exchange: recv: %w", err)
+		}
+		part, ok := m.Payload.([]bucketRun[K])
+		if !ok {
+			return nil, fmt.Errorf("exchange: payload type %T", m.Payload)
+		}
+		received = append(received, part...)
+	}
+	// Deterministic run order: bucket-major, sender-minor, so duplicate
+	// keys keep a stable cross-rank order after the k-way merge.
+	sort.Slice(received, func(a, b int) bool {
+		if received[a].bucket != received[b].bucket {
+			return received[a].bucket < received[b].bucket
+		}
+		return received[a].sender < received[b].sender
+	})
+	out := make([][]K, len(received))
+	for i, br := range received {
+		out[i] = br.keys
+	}
+	return out, nil
+}
+
+// Imbalance measures the achieved load balance after the exchange: it
+// all-reduces (sum, max) of the per-rank output counts and returns
+// max·p/avg — the paper's load-imbalance ratio (§1 footnote) — along with
+// the global key count. Every rank receives the same answer.
+func Imbalance(e comm.Endpoint, tag comm.Tag, localCount int64) (imb float64, total int64, err error) {
+	out, err := collective.AllReduce(e, tag, []int64{localCount, localCount}, func(dst, src []int64) {
+		dst[0] += src[0]
+		if src[1] > dst[1] {
+			dst[1] = src[1]
+		}
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	total = out[0]
+	if total == 0 {
+		return 1, 0, nil
+	}
+	avg := float64(total) / float64(e.Size())
+	return float64(out[1]) / avg, total, nil
+}

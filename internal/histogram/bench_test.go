@@ -1,0 +1,67 @@
+package histogram
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+)
+
+func benchSorted(n int) []int64 {
+	rng := rand.New(rand.NewPCG(1, 2))
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = rng.Int64()
+	}
+	slices.Sort(out)
+	return out
+}
+
+// BenchmarkLocalRanks measures the per-round histogram step: S binary
+// searches over the local sorted input (§5.1.2's O(S log(N/p)) term).
+func BenchmarkLocalRanks(b *testing.B) {
+	sorted := benchSorted(1 << 20)
+	probes := benchSorted(1 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LocalRanks(sorted, probes, icmp)
+	}
+	b.ReportMetric(float64(len(probes)), "probes")
+}
+
+// BenchmarkTrackerUpdate measures the central processor's per-round
+// bookkeeping over B-1 splitters and S probes.
+func BenchmarkTrackerUpdate(b *testing.B) {
+	const n = 1 << 30
+	const buckets = 4096
+	probes := make([]int64, 5*buckets)
+	ranks := make([]int64, len(probes))
+	for i := range probes {
+		probes[i] = int64(i) * (n / int64(len(probes)))
+		ranks[i] = probes[i]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tr := NewTracker[int64](n, buckets, 0.02, icmp)
+		b.StartTimer()
+		tr.Update(probes, ranks)
+	}
+}
+
+// BenchmarkScan measures the scanning algorithm over a 2/ε-ratio sample.
+func BenchmarkScan(b *testing.B) {
+	const n = 1 << 30
+	const buckets = 1024
+	keys := make([]int64, 40*buckets)
+	ranks := make([]int64, len(keys))
+	for i := range keys {
+		keys[i] = int64(i) * (n / int64(len(keys)))
+		ranks[i] = keys[i]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Scan(keys, ranks, n, buckets, 0.05); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package histogram
+
+import (
+	"cmp"
+	"math/rand/v2"
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+func icmp(a, b int64) int { return cmp.Compare(a, b) }
+
+func TestLocalRanksKnown(t *testing.T) {
+	sorted := []int64{10, 20, 20, 30, 40}
+	probes := []int64{5, 10, 20, 25, 40, 50}
+	got := LocalRanks(sorted, probes, icmp)
+	want := []int64{0, 0, 1, 3, 4, 5}
+	if !slices.Equal(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestLocalRanksEmpty(t *testing.T) {
+	if got := LocalRanks([]int64{}, []int64{1, 2}, icmp); !slices.Equal(got, []int64{0, 0}) {
+		t.Errorf("empty input ranks = %v", got)
+	}
+	if got := LocalRanks([]int64{1}, []int64{}, icmp); len(got) != 0 {
+		t.Errorf("no probes: %v", got)
+	}
+}
+
+func TestLocalRanksProperty(t *testing.T) {
+	f := func(data []int16, probes []int16) bool {
+		sorted := make([]int64, len(data))
+		for i, v := range data {
+			sorted[i] = int64(v)
+		}
+		slices.Sort(sorted)
+		ps := make([]int64, len(probes))
+		for i, v := range probes {
+			ps[i] = int64(v)
+		}
+		got := LocalRanks(sorted, ps, icmp)
+		for i, q := range ps {
+			naive := int64(0)
+			for _, k := range sorted {
+				if k < q {
+					naive++
+				}
+			}
+			if got[i] != naive {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// exactTracker builds a tracker over an explicit global sorted array so
+// tests can feed exact ranks.
+func exactRanks(global []int64, probes []int64) []int64 {
+	return LocalRanks(global, probes, icmp)
+}
+
+func TestTrackerFinalizesWithGoodProbes(t *testing.T) {
+	// Global input 0..999; 4 buckets → targets 250, 500, 750; eps=0.1
+	// gives tolerance 1000*0.1/8 = 12.
+	global := seq(1000)
+	tr := NewTracker[int64](1000, 4, 0.1, icmp)
+	if tr.Tolerance() != 12 {
+		t.Fatalf("tolerance = %d, want 12", tr.Tolerance())
+	}
+	probes := []int64{249, 505, 744}
+	tr.Update(probes, exactRanks(global, probes))
+	if !tr.Done() {
+		t.Fatalf("not done: %d/%d finalized", tr.NumFinalized(), tr.NumSplitters())
+	}
+	sp, ok := tr.Splitters()
+	if !ok {
+		t.Fatal("no splitters")
+	}
+	if !slices.Equal(sp, probes) {
+		t.Errorf("splitters %v, want %v", sp, probes)
+	}
+}
+
+func TestTrackerBoundsTightenMonotonically(t *testing.T) {
+	global := seq(10000)
+	tr := NewTracker[int64](10000, 2, 0.001, icmp) // single splitter, target 5000, tol 2
+	prevCoverage := tr.Coverage()
+	if prevCoverage != 10000 {
+		t.Fatalf("initial coverage %d", prevCoverage)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	for round := 0; round < 30 && !tr.Done(); round++ {
+		ivs := tr.ActiveIntervals()
+		if len(ivs) != 1 {
+			t.Fatalf("round %d: %d active intervals", round, len(ivs))
+		}
+		iv := ivs[0]
+		// Probe a random key inside the active interval.
+		lo, hi := iv.LoRank, iv.HiRank
+		probe := global[lo+rng.Int64N(hi-lo)]
+		if !iv.Contains(probe, icmp) && (!iv.HasLo || probe != iv.Lo) {
+			// probes at the exclusive boundary are allowed to be skipped
+			continue
+		}
+		tr.Update([]int64{probe}, exactRanks(global, []int64{probe}))
+		cov := tr.Coverage()
+		if cov > prevCoverage {
+			t.Fatalf("coverage grew: %d -> %d", prevCoverage, cov)
+		}
+		prevCoverage = cov
+	}
+	if !tr.Done() {
+		t.Fatal("random bisection never finalized the splitter")
+	}
+}
+
+func TestTrackerIntervalDedup(t *testing.T) {
+	// With no probe between adjacent targets, neighbouring splitters
+	// share one interval and ActiveIntervals must collapse them.
+	tr := NewTracker[int64](1000, 10, 0.0001, icmp)
+	probes := []int64{500}
+	tr.Update(probes, []int64{500})
+	ivs := tr.ActiveIntervals()
+	// Splitters 1..4 share (nil, 500), splitter 5 is target 500 (may
+	// finalize depending on tol=0), splitters 6..9 share (500, nil).
+	if len(ivs) > 3 {
+		t.Errorf("got %d intervals, want <= 3 after dedup: %+v", len(ivs), ivs)
+	}
+}
+
+func TestTrackerSplittersFallback(t *testing.T) {
+	tr := NewTracker[int64](100, 4, 0.001, icmp)
+	probes := []int64{10, 90}
+	tr.Update(probes, []int64{10, 90})
+	if tr.Done() {
+		t.Error("tracker claimed done with probes far from every target")
+	}
+	// Candidates exist for all three splitters even though none finalized
+	// (ok reports candidate existence, not finalization): 10 is closest
+	// to target 25; either probe for 50; 90 for 75.
+	sp, ok := tr.Splitters()
+	if !ok {
+		t.Fatal("candidates missing despite probes covering the range")
+	}
+	if sp[0] != 10 || sp[2] != 90 {
+		t.Errorf("fallback splitters %v", sp)
+	}
+}
+
+func TestTrackerPanicsOnUnsortedProbes(t *testing.T) {
+	tr := NewTracker[int64](100, 2, 0.1, icmp)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for unsorted probes")
+		}
+	}()
+	tr.Update([]int64{5, 3}, []int64{5, 3})
+}
+
+func TestTrackerPanicsOnLengthMismatch(t *testing.T) {
+	tr := NewTracker[int64](100, 2, 0.1, icmp)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for length mismatch")
+		}
+	}()
+	tr.Update([]int64{5}, []int64{})
+}
+
+func TestNewTrackerPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for buckets=0")
+		}
+	}()
+	NewTracker[int64](100, 0, 0.1, icmp)
+}
+
+func TestTrackerSingleBucket(t *testing.T) {
+	tr := NewTracker[int64](100, 1, 0.1, icmp)
+	if !tr.Done() {
+		t.Error("zero splitters should be trivially done")
+	}
+	if sp, ok := tr.Splitters(); !ok || len(sp) != 0 {
+		t.Error("single bucket should yield empty splitters")
+	}
+}
+
+// TestTrackerConvergesProperty: feeding exact ranks of random probes drawn
+// from active intervals must finalize all splitters, and the resulting
+// candidate ranks must lie within tolerance.
+func TestTrackerConvergesProperty(t *testing.T) {
+	f := func(seed uint32, bRaw uint8) bool {
+		buckets := int(bRaw%16) + 2
+		n := int64(5000)
+		global := seq(int(n))
+		tr := NewTracker[int64](n, buckets, 0.05, icmp)
+		rng := rand.New(rand.NewPCG(uint64(seed), 3))
+		for round := 0; round < 64 && !tr.Done(); round++ {
+			var probes []int64
+			for _, iv := range tr.ActiveIntervals() {
+				lo, hi := iv.LoRank, iv.HiRank
+				if hi <= lo {
+					continue
+				}
+				probes = append(probes, global[lo+rng.Int64N(hi-lo)])
+			}
+			probes = dedupSorted(probes)
+			if len(probes) == 0 {
+				continue
+			}
+			tr.Update(probes, exactRanks(global, probes))
+		}
+		if !tr.Done() {
+			return false
+		}
+		for i := 0; i < tr.NumSplitters(); i++ {
+			r, ok := tr.CandidateRank(i)
+			if !ok || absDiff(r, tr.Target(i)) > tr.Tolerance() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func seq(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i)
+	}
+	return out
+}
+
+func dedupSorted(v []int64) []int64 {
+	slices.Sort(v)
+	return slices.Compact(v)
+}

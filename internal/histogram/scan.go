@@ -1,0 +1,65 @@
+package histogram
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ScanResult reports the splitters chosen by the scanning algorithm and
+// the quality of the induced partition as estimated from the sample ranks.
+type ScanResult[K any] struct {
+	// Splitters holds the buckets-1 chosen splitter keys.
+	Splitters []K
+	// LastBucket is the number of keys left to the final bucket: the
+	// quantity Theorem 3.2.1 bounds by N(1+ε)/B w.h.p.
+	LastBucket int64
+	// Overfull counts buckets (other than the last) that exceeded the
+	// cap because no sample key landed inside their window — zero
+	// w.h.p. at the theorem's sampling ratio.
+	Overfull int
+}
+
+// Scan runs the scanning algorithm of Axtmann et al. (§3.2): given the
+// histogrammed sample — sorted distinct keys with exact global ranks — it
+// walks the histogram assigning consecutive key ranges to buckets, closing
+// a bucket just before it would exceed the cap N(1+ε)/B. The last bucket
+// receives the remainder.
+func Scan[K any](keys []K, ranks []int64, n int64, buckets int, eps float64) (ScanResult[K], error) {
+	if buckets < 1 {
+		return ScanResult[K]{}, fmt.Errorf("histogram: scan buckets %d < 1", buckets)
+	}
+	if len(keys) != len(ranks) {
+		return ScanResult[K]{}, fmt.Errorf("histogram: scan %d keys vs %d ranks", len(keys), len(ranks))
+	}
+	if buckets == 1 {
+		return ScanResult[K]{LastBucket: n}, nil
+	}
+	if len(keys) < buckets-1 {
+		return ScanResult[K]{}, fmt.Errorf("histogram: scan sample of %d keys cannot yield %d splitters", len(keys), buckets-1)
+	}
+	cap64 := int64(float64(n) * (1 + eps) / float64(buckets))
+	res := ScanResult[K]{Splitters: make([]K, 0, buckets-1)}
+	start := int64(0) // rank where the current bucket begins
+	j := 0            // next unconsumed sample index
+	for b := 0; b < buckets-1; b++ {
+		// The splitter for bucket b is the largest sample key whose rank
+		// keeps the bucket within cap: rank <= start + cap.
+		hi := sort.Search(len(ranks)-j, func(k int) bool { return ranks[j+k] > start+cap64 }) + j
+		if hi == j {
+			// No sample key fits: the bucket must overfill to make
+			// progress. Take the next key and record the violation.
+			hi = j + 1
+			res.Overfull++
+		}
+		// Leave at least one key per remaining splitter.
+		remaining := buckets - 2 - b
+		if maxHi := len(keys) - remaining; hi > maxHi {
+			hi = maxHi
+		}
+		res.Splitters = append(res.Splitters, keys[hi-1])
+		start = ranks[hi-1]
+		j = hi
+	}
+	res.LastBucket = n - start
+	return res, nil
+}

@@ -1,0 +1,137 @@
+package histogram
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+func TestScanKnown(t *testing.T) {
+	// Global 0..99, 4 buckets, eps=0 → cap 25. Sample at every 10th key.
+	keys := []int64{9, 19, 29, 39, 49, 59, 69, 79, 89, 99}
+	ranks := []int64{9, 19, 29, 39, 49, 59, 69, 79, 89, 99}
+	res, err := Scan(keys, ranks, 100, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Buckets close at the largest sample rank <= start+25:
+	// start 0 → 19 (29 > 25); start 19 → 39 (49 > 44); start 39 → 59
+	// (69 > 64). The sparse sample leaves the remainder (41 keys) to the
+	// last bucket — exactly the failure mode Theorem 3.2.1's sampling
+	// ratio makes improbable.
+	want := []int64{19, 39, 59}
+	if !slices.Equal(res.Splitters, want) {
+		t.Errorf("splitters %v, want %v", res.Splitters, want)
+	}
+	if res.LastBucket != 41 {
+		t.Errorf("last bucket %d, want 41", res.LastBucket)
+	}
+}
+
+func TestScanErrors(t *testing.T) {
+	if _, err := Scan([]int64{1}, []int64{1, 2}, 10, 2, 0.1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Scan([]int64{1}, []int64{1}, 10, 0, 0.1); err == nil {
+		t.Error("buckets=0 accepted")
+	}
+	if _, err := Scan([]int64{1}, []int64{1}, 10, 5, 0.1); err == nil {
+		t.Error("too-small sample accepted")
+	}
+}
+
+func TestScanSingleBucket(t *testing.T) {
+	res, err := Scan([]int64{}, []int64{}, 42, 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Splitters) != 0 || res.LastBucket != 42 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+// TestScanTheorem321 validates the shape of Theorem 3.2.1: sampling each
+// key with probability p·s/N for s = 2/ε and scanning yields a last bucket
+// within N(1+ε)/p, with no overfull buckets, in the overwhelming majority
+// of trials.
+func TestScanTheorem321(t *testing.T) {
+	const n = 200000
+	const p = 32
+	const eps = 0.2
+	global := seq(n)
+	prob := float64(p) * (2 / eps) / float64(n)
+	capBound := int64(float64(n) * (1 + eps) / p)
+	rng := rand.New(rand.NewPCG(42, 43))
+	bad := 0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		var keys, ranks []int64
+		for i := 0; i < n; i++ {
+			if rng.Float64() < prob {
+				keys = append(keys, global[i])
+				ranks = append(ranks, int64(i))
+			}
+		}
+		res, err := Scan(keys, ranks, n, p, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.LastBucket > capBound || res.Overfull > 0 {
+			bad++
+		}
+		// All buckets except possibly the last obey the cap by
+		// construction when Overfull == 0.
+		if res.Overfull == 0 {
+			start := int64(0)
+			for _, s := range res.Splitters {
+				idx := slices.Index(keys, s)
+				if ranks[idx]-start > capBound {
+					t.Fatalf("bucket exceeded cap despite Overfull==0")
+				}
+				start = ranks[idx]
+			}
+		}
+	}
+	if bad > trials/5 {
+		t.Errorf("%d/%d trials violated the w.h.p. bound", bad, trials)
+	}
+}
+
+// TestScanProperty: with arbitrary samples, every non-last bucket respects
+// the cap unless flagged Overfull, splitters are non-decreasing, and the
+// bucket ranks partition [0, n).
+func TestScanProperty(t *testing.T) {
+	f := func(seed uint32, bRaw uint8) bool {
+		rng := rand.New(rand.NewPCG(uint64(seed), 7))
+		buckets := int(bRaw%8) + 2
+		n := int64(10000)
+		// Random distinct sample of 4*buckets keys.
+		m := 4 * buckets
+		seen := map[int64]bool{}
+		var ranks []int64
+		for len(ranks) < m {
+			r := rng.Int64N(n)
+			if !seen[r] {
+				seen[r] = true
+				ranks = append(ranks, r)
+			}
+		}
+		slices.Sort(ranks)
+		keys := slices.Clone(ranks) // identity keyspace
+		res, err := Scan(keys, ranks, n, buckets, 0.1)
+		if err != nil {
+			return false
+		}
+		if len(res.Splitters) != buckets-1 {
+			return false
+		}
+		if !slices.IsSorted(res.Splitters) {
+			return false
+		}
+		return res.LastBucket >= 0 && res.LastBucket <= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

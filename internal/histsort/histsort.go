@@ -1,0 +1,341 @@
+// Package histsort implements classic Histogram Sort (Kale & Krishnan
+// 1993; Solomonik & Kale 2010) — the "Old" baseline of Fig 6.2.
+//
+// Unlike HSS, classic histogram sort never samples: the central processor
+// refines candidate splitter keys by bisecting the *key space* (§2.3).
+// Each round it broadcasts synthesized probe keys (interval midpoints in
+// an order-preserving uint64 code space), ranks them with a global
+// histogram reduction, and narrows each splitter's code interval until
+// the probe's rank lands in the target window. The number of rounds is
+// bounded by log of the key range — the weakness on skewed or clustered
+// key distributions that HSS removes (§2.3, §6.3).
+package histsort
+
+import (
+	"fmt"
+	"slices"
+	"time"
+
+	"hssort/internal/collective"
+	"hssort/internal/comm"
+	"hssort/internal/core"
+	"hssort/internal/exchange"
+	"hssort/internal/histogram"
+	"hssort/internal/keycoder"
+	"hssort/internal/merge"
+)
+
+// Options configures a classic histogram sort. Cmp and Coder are
+// required: the coder supplies the key-space arithmetic that probe
+// synthesis needs.
+type Options[K any] struct {
+	// Cmp is the three-way key comparator.
+	Cmp func(K, K) int
+	// Coder is the order-preserving key <-> uint64 code bijection.
+	Coder keycoder.Coder[K]
+	// Epsilon is the target load-imbalance threshold. Default 0.05.
+	Epsilon float64
+	// Buckets is the number of output ranges. Default: world size.
+	Buckets int
+	// Owner maps buckets to ranks. Default contiguous.
+	Owner func(bucket int) int
+	// ProbesPerSplitter is how many evenly spaced probes each
+	// unfinalized splitter contributes per round (subdividing its code
+	// interval into ProbesPerSplitter+1 parts). Default 1 (pure
+	// bisection). Larger values trade histogram size for rounds.
+	ProbesPerSplitter int
+	// MaxRounds caps refinement rounds; the fallback then uses the
+	// closest candidates seen. Default 72 (64-bit bisection + slack).
+	MaxRounds int
+	// BaseTag is the start of the tag range this sort uses. Default 3000.
+	BaseTag comm.Tag
+}
+
+func (o Options[K]) withDefaults(p int) (Options[K], error) {
+	if o.Cmp == nil {
+		return o, fmt.Errorf("histsort: Options.Cmp is required")
+	}
+	if o.Coder == nil {
+		return o, fmt.Errorf("histsort: Options.Coder is required")
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.05
+	}
+	if o.Epsilon < 0 {
+		return o, fmt.Errorf("histsort: Epsilon %v < 0", o.Epsilon)
+	}
+	if o.Buckets == 0 {
+		o.Buckets = p
+	}
+	if o.Buckets < 1 {
+		return o, fmt.Errorf("histsort: Buckets %d < 1", o.Buckets)
+	}
+	if o.Owner == nil {
+		o.Owner = exchange.ContiguousOwner(o.Buckets, p)
+	}
+	if o.ProbesPerSplitter < 1 {
+		o.ProbesPerSplitter = 1
+	}
+	if o.MaxRounds == 0 {
+		o.MaxRounds = 72
+	}
+	if o.BaseTag == 0 {
+		o.BaseTag = 3000
+	}
+	return o, nil
+}
+
+// Tag offsets within BaseTag.
+const (
+	tagCount    = 0 // N all-reduce (+1)
+	tagProbes   = 2 // probe broadcast
+	tagRanks    = 3 // histogram reduction
+	tagSplit    = 4 // final splitter broadcast
+	tagExchange = 5 // bucket exchange
+	tagStats    = 6 // stats all-reduce (+1)
+	tagInfo     = 8 // rounds broadcast
+)
+
+// splitterSearch is the root's bisection state for one splitter.
+type splitterSearch struct {
+	lo, hi uint64 // inclusive code interval still containing the splitter
+	done   bool
+}
+
+// Sort runs classic histogram sort on this rank's keys and returns its
+// globally sorted partition. Every rank must call Sort with the same
+// Options. The input slice is consumed.
+func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, error) {
+	opt, err := opt.withDefaults(c.Size())
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
+	base := opt.BaseTag
+	var stats core.Stats
+	stats.Buckets = opt.Buckets
+
+	t0 := time.Now()
+	slices.SortFunc(local, opt.Cmp)
+	localSort := time.Since(t0)
+
+	nVec, err := collective.AllReduce(c, base+tagCount, []int64{int64(len(local))}, collective.SumInt64)
+	if err != nil {
+		return nil, stats, err
+	}
+	n := nVec[0]
+	stats.N = n
+
+	bytes0 := c.Counters().BytesSent
+	t1 := time.Now()
+	splitters, rounds, totalProbes, err := determineSplitters(c, local, n, opt)
+	if err != nil {
+		return nil, stats, err
+	}
+	splitterTime := time.Since(t1)
+	splitterBytes := c.Counters().BytesSent - bytes0
+	stats.Rounds = rounds
+	stats.TotalSample = totalProbes
+
+	bytes1 := c.Counters().BytesSent
+	t2 := time.Now()
+	runs := exchange.Partition(local, splitters, opt.Cmp)
+	recv, err := exchange.Exchange(c, base+tagExchange, runs, opt.Owner)
+	if err != nil {
+		return nil, stats, err
+	}
+	exchangeTime := time.Since(t2)
+	exchangeBytes := c.Counters().BytesSent - bytes1
+
+	t3 := time.Now()
+	out := merge.KWay(recv, opt.Cmp)
+	mergeTime := time.Since(t3)
+	stats.LocalCount = len(out)
+
+	agg, err := collective.AllReduce(c, base+tagStats, []int64{
+		splitterBytes, exchangeBytes,
+		int64(localSort), int64(splitterTime), int64(exchangeTime), int64(mergeTime),
+		int64(len(out)), int64(len(out)),
+	}, func(dst, src []int64) {
+		dst[0] += src[0]
+		dst[1] += src[1]
+		for i := 2; i <= 5; i++ {
+			if src[i] > dst[i] {
+				dst[i] = src[i]
+			}
+		}
+		dst[6] += src[6]
+		if src[7] > dst[7] {
+			dst[7] = src[7]
+		}
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.SplitterBytes = agg[0]
+	stats.ExchangeBytes = agg[1]
+	stats.LocalSort = time.Duration(agg[2])
+	stats.Splitter = time.Duration(agg[3])
+	stats.Exchange = time.Duration(agg[4])
+	stats.Merge = time.Duration(agg[5])
+	if agg[6] > 0 {
+		stats.Imbalance = float64(agg[7]) * float64(c.Size()) / float64(agg[6])
+	} else {
+		stats.Imbalance = 1
+	}
+	return out, stats, nil
+}
+
+// determineSplitters runs the probe-refinement loop of §2.3. It returns
+// the splitters on every rank plus the round count and total probe volume.
+func determineSplitters[K any](c *comm.Comm, local []K, n int64, opt Options[K]) ([]K, int, int64, error) {
+	base := opt.BaseTag
+	root := 0
+	me := c.Rank()
+	if opt.Buckets == 1 || n == 0 {
+		return []K{}, 0, 0, nil
+	}
+
+	var tracker *histogram.Tracker[K]
+	var searches []splitterSearch
+	if me == root {
+		tracker = histogram.NewTracker[K](n, opt.Buckets, opt.Epsilon, opt.Cmp)
+		searches = make([]splitterSearch, opt.Buckets-1)
+		for i := range searches {
+			searches[i] = splitterSearch{lo: 0, hi: ^uint64(0)}
+		}
+	}
+
+	rounds := 0
+	var totalProbes int64
+	for {
+		// Root synthesizes this round's probes: ProbesPerSplitter
+		// evenly spaced codes inside each live interval. An empty probe
+		// set signals completion.
+		var probes []K
+		if me == root {
+			probes = synthesizeProbes(searches, tracker, opt)
+		}
+		probes, err := collective.Bcast(c, root, base+tagProbes, probes)
+		if err != nil {
+			return nil, rounds, totalProbes, err
+		}
+		if len(probes) == 0 {
+			break
+		}
+		rounds++
+		totalProbes += int64(len(probes))
+		ranks, err := collective.Reduce(c, root, base+tagRanks,
+			histogram.LocalRanks(local, probes, opt.Cmp), collective.SumInt64)
+		if err != nil {
+			return nil, rounds, totalProbes, err
+		}
+		if me == root {
+			tracker.Update(probes, ranks)
+			narrow(searches, tracker, probes, ranks, opt)
+			if rounds >= opt.MaxRounds {
+				for i := range searches {
+					searches[i].done = true
+				}
+			}
+		}
+	}
+
+	var splitters []K
+	if me == root {
+		sp, ok := tracker.Splitters()
+		if !ok {
+			return nil, rounds, totalProbes, fmt.Errorf("histsort: no candidates after %d rounds", rounds)
+		}
+		slices.SortFunc(sp, opt.Cmp)
+		splitters = sp
+	}
+	splitters, err := collective.Bcast(c, root, base+tagSplit, splitters)
+	if err != nil {
+		return nil, rounds, totalProbes, err
+	}
+	rv, err := collective.Bcast(c, root, base+tagInfo, []int64{int64(rounds), totalProbes})
+	if err != nil {
+		return nil, rounds, totalProbes, err
+	}
+	return splitters, int(rv[0]), rv[1], nil
+}
+
+// synthesizeProbes emits the next round's probe keys, or nil when every
+// splitter search has converged.
+func synthesizeProbes[K any](searches []splitterSearch, tracker *histogram.Tracker[K], opt Options[K]) []K {
+	var codes []uint64
+	for i := range searches {
+		s := &searches[i]
+		if s.done || tracker.Finalized(i) {
+			continue
+		}
+		span := s.hi - s.lo
+		parts := uint64(opt.ProbesPerSplitter + 1)
+		if span == 0 {
+			// Code space exhausted (duplicate-heavy data): accept the
+			// candidate.
+			s.done = true
+			continue
+		}
+		for j := uint64(1); j <= uint64(opt.ProbesPerSplitter); j++ {
+			step := span / parts * j
+			if step == 0 {
+				step = j // degenerate tiny interval: distinct nudges
+			}
+			code := s.lo + step
+			if code > s.hi {
+				code = s.hi
+			}
+			codes = append(codes, code)
+		}
+	}
+	if len(codes) == 0 {
+		return nil
+	}
+	slices.Sort(codes)
+	codes = slices.Compact(codes)
+	probes := make([]K, len(codes))
+	for i, cd := range codes {
+		probes[i] = opt.Coder.Decode(cd)
+	}
+	// Decoding can introduce comparator-level duplicates; compact again.
+	probes = slices.CompactFunc(probes, func(a, b K) bool { return opt.Cmp(a, b) == 0 })
+	return probes
+}
+
+// narrow shrinks each splitter's code interval using the round's global
+// ranks, the key-space analogue of the tracker's rank bounds.
+func narrow[K any](searches []splitterSearch, tracker *histogram.Tracker[K], probes []K, ranks []int64, opt Options[K]) {
+	for i := range searches {
+		s := &searches[i]
+		if s.done || tracker.Finalized(i) {
+			if tracker.Finalized(i) {
+				s.done = true
+			}
+			continue
+		}
+		target := tracker.Target(i)
+		for j, q := range probes {
+			code := opt.Coder.Encode(q)
+			if code < s.lo || code > s.hi {
+				continue
+			}
+			if ranks[j] < target {
+				if code+1 > s.lo {
+					s.lo = code + 1
+				}
+			} else if ranks[j] > target {
+				if code == 0 {
+					s.done = true
+					break
+				}
+				if code-1 < s.hi {
+					s.hi = code - 1
+				}
+			}
+		}
+		if s.lo > s.hi {
+			s.done = true
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package histsort
+
+import (
+	"cmp"
+	"slices"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hssort/internal/comm"
+	"hssort/internal/core"
+	"hssort/internal/dist"
+	"hssort/internal/keycoder"
+)
+
+func icmp(a, b int64) int { return cmp.Compare(a, b) }
+
+func baseOpt() Options[int64] {
+	return Options[int64]{Cmp: icmp, Coder: keycoder.Int64{}, Epsilon: 0.1}
+}
+
+func trySort(shards [][]int64, opt Options[int64]) ([][]int64, core.Stats, error) {
+	p := len(shards)
+	outs := make([][]int64, p)
+	var stats core.Stats
+	w := comm.NewWorld(p, comm.WithTimeout(120*time.Second))
+	err := w.Run(func(c *comm.Comm) error {
+		out, st, err := Sort(c, shards[c.Rank()], opt)
+		if err != nil {
+			return err
+		}
+		outs[c.Rank()] = out
+		if c.Rank() == 0 {
+			stats = st
+		}
+		return nil
+	})
+	return outs, stats, err
+}
+
+func checkGloballySorted(t *testing.T, shards, outs [][]int64) {
+	t.Helper()
+	var want, got []int64
+	for _, s := range shards {
+		want = append(want, s...)
+	}
+	slices.Sort(want)
+	for r, out := range outs {
+		if !slices.IsSorted(out) {
+			t.Fatalf("rank %d output not sorted", r)
+		}
+		got = append(got, out...)
+	}
+	if !slices.Equal(got, want) {
+		t.Fatal("output not the sorted permutation of input")
+	}
+}
+
+func clone(shards [][]int64) [][]int64 {
+	out := make([][]int64, len(shards))
+	for i := range shards {
+		out[i] = slices.Clone(shards[i])
+	}
+	return out
+}
+
+func TestHistSortUniform(t *testing.T) {
+	const p, perRank = 6, 1500
+	spec := dist.Spec{Kind: dist.Uniform, Min: 0, Max: 1 << 30}
+	shards := spec.Shards(perRank, p, 3)
+	outs, stats, err := trySort(clone(shards), baseOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGloballySorted(t, shards, outs)
+	if stats.Imbalance > 1.1+1e-9 {
+		t.Errorf("imbalance %.4f", stats.Imbalance)
+	}
+	if stats.Rounds < 2 {
+		t.Errorf("bisection finished in %d rounds — suspicious", stats.Rounds)
+	}
+}
+
+func TestHistSortSkewNeedsMoreRoundsThanUniform(t *testing.T) {
+	// §2.3: skewed key distributions inflate classic histogram sort's
+	// round count — the motivation for HSS.
+	const p, perRank = 6, 1500
+	uni := dist.Spec{Kind: dist.Uniform, Min: 0, Max: 1 << 50}
+	skew := dist.Spec{Kind: dist.PowerSkew, Min: 0, Max: 1 << 50, Param: 8}
+	_, uniStats, err := trySort(clone(uni.Shards(perRank, p, 5)), baseOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, skewStats, err := trySort(clone(skew.Shards(perRank, p, 5)), baseOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skewStats.Rounds < uniStats.Rounds {
+		t.Logf("skew rounds %d < uniform rounds %d (can happen on small inputs)", skewStats.Rounds, uniStats.Rounds)
+	}
+	if skewStats.Rounds < 3 {
+		t.Errorf("power-skew over 2^50 range finished in %d rounds", skewStats.Rounds)
+	}
+}
+
+func TestHistSortMoreProbesFewerRounds(t *testing.T) {
+	const p, perRank = 4, 1000
+	spec := dist.Spec{Kind: dist.Gaussian, Min: 0, Max: 1 << 40}
+	one := baseOpt()
+	one.ProbesPerSplitter = 1
+	many := baseOpt()
+	many.ProbesPerSplitter = 8
+	_, oneStats, err := trySort(clone(spec.Shards(perRank, p, 7)), one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, manyStats, err := trySort(clone(spec.Shards(perRank, p, 7)), many)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if manyStats.Rounds >= oneStats.Rounds {
+		t.Errorf("8 probes/splitter (%d rounds) not faster than 1 (%d rounds)",
+			manyStats.Rounds, oneStats.Rounds)
+	}
+}
+
+func TestHistSortDuplicatesTerminate(t *testing.T) {
+	const p = 4
+	shards := make([][]int64, p)
+	for r := range shards {
+		shards[r] = make([]int64, 300)
+		for i := range shards[r] {
+			shards[r][i] = int64(i % 3) // three distinct values
+		}
+	}
+	opt := baseOpt()
+	opt.MaxRounds = 70
+	outs, _, err := trySort(clone(shards), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGloballySorted(t, shards, outs)
+}
+
+func TestHistSortSingleRankAndEmpty(t *testing.T) {
+	shards := [][]int64{{9, 1, 5}}
+	outs, _, err := trySort(clone(shards), baseOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGloballySorted(t, shards, outs)
+
+	outs, _, err = trySort([][]int64{{}, {}}, baseOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range outs {
+		if len(o) != 0 {
+			t.Errorf("empty input produced %v", o)
+		}
+	}
+}
+
+func TestHistSortRejectsMissingDeps(t *testing.T) {
+	if _, _, err := trySort([][]int64{{1}}, Options[int64]{Coder: keycoder.Int64{}}); err == nil {
+		t.Error("missing Cmp accepted")
+	}
+	if _, _, err := trySort([][]int64{{1}}, Options[int64]{Cmp: icmp}); err == nil {
+		t.Error("missing Coder accepted")
+	}
+}
+
+func TestHistSortProperty(t *testing.T) {
+	f := func(seed uint32, pRaw uint8) bool {
+		p := int(pRaw%4) + 1
+		spec := dist.Spec{Kind: dist.Kind(seed % 6), Min: 0, Max: 1 << 20}
+		shards := make([][]int64, p)
+		for r := range shards {
+			shards[r] = spec.Shard(int(seed%300)+20, r, p, uint64(seed))
+		}
+		opt := baseOpt()
+		opt.Epsilon = 0.2
+		opt.ProbesPerSplitter = 4
+		outs, _, err := trySort(clone(shards), opt)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		var want, got []int64
+		for _, s := range shards {
+			want = append(want, s...)
+		}
+		slices.Sort(want)
+		for _, o := range outs {
+			if !slices.IsSorted(o) {
+				return false
+			}
+			got = append(got, o...)
+		}
+		return slices.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,177 @@
+// Package merge provides sequential multiway merging of sorted runs.
+//
+// After the all-to-all data exchange, every processor holds up to p sorted
+// runs (one from each sender) that must be merged into its final output
+// (§2.2 step 3). For small p a pairwise merge suffices; for large p the
+// loser-tree k-way merge does one comparison tree traversal (log k
+// comparisons) per output key, which is what the paper's O((N/p) log p)
+// merge cost assumes.
+package merge
+
+// Two merges two sorted runs into a new slice using the three-way
+// comparator cmp. The merge is stable: on ties, elements of a precede
+// elements of b.
+func Two[K any](a, b []K, cmp func(K, K) int) []K {
+	out := make([]K, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if cmp(a[i], b[j]) <= 0 {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// KWay merges k sorted runs into a single sorted slice. Empty runs are
+// permitted. The merge is stable across runs: ties resolve in favor of the
+// lower run index. For k <= 2 it degrades to the trivial cases; otherwise
+// it uses a loser tree (tournament tree), performing ceil(log2 k)
+// comparisons per emitted key.
+func KWay[K any](runs [][]K, cmp func(K, K) int) []K {
+	nonEmpty := 0
+	total := 0
+	last := -1
+	for i, r := range runs {
+		total += len(r)
+		if len(r) > 0 {
+			nonEmpty++
+			last = i
+		}
+	}
+	switch nonEmpty {
+	case 0:
+		return []K{}
+	case 1:
+		out := make([]K, total)
+		copy(out, runs[last])
+		return out
+	}
+	lt := NewLoserTree(runs, cmp)
+	out := make([]K, 0, total)
+	for {
+		k, ok := lt.Next()
+		if !ok {
+			break
+		}
+		out = append(out, k)
+	}
+	return out
+}
+
+// LoserTree is a tournament tree over k sorted runs that yields their
+// merged order one key at a time. It is the streaming core of KWay,
+// exported so the final assembly phase can merge incrementally without
+// materializing inputs twice.
+type LoserTree[K any] struct {
+	runs [][]K
+	pos  []int // next unread index per run
+	// tree[1:] holds internal nodes: tree[i] is the run index that LOST
+	// the match at node i. tree[0] holds the overall winner.
+	tree []int
+	k    int // number of leaves (power-of-two padded)
+	n    int // real number of runs
+	cmp  func(K, K) int
+	done bool
+}
+
+// NewLoserTree builds a loser tree over the given sorted runs.
+func NewLoserTree[K any](runs [][]K, cmp func(K, K) int) *LoserTree[K] {
+	n := len(runs)
+	k := 1
+	for k < n {
+		k *= 2
+	}
+	if k < 2 {
+		k = 2
+	}
+	lt := &LoserTree[K]{
+		runs: runs,
+		pos:  make([]int, n),
+		tree: make([]int, k),
+		k:    k,
+		n:    n,
+		cmp:  cmp,
+	}
+	lt.build()
+	return lt
+}
+
+// exhausted reports whether run i has no keys left (virtual runs beyond n
+// are always exhausted).
+func (lt *LoserTree[K]) exhausted(i int) bool {
+	return i >= lt.n || lt.pos[i] >= len(lt.runs[i])
+}
+
+// less reports whether run a's head should be emitted before run b's head.
+// Exhausted runs compare greater than everything; ties resolve by run
+// index for stability.
+func (lt *LoserTree[K]) less(a, b int) bool {
+	ea, eb := lt.exhausted(a), lt.exhausted(b)
+	switch {
+	case ea && eb:
+		return a < b
+	case ea:
+		return false
+	case eb:
+		return true
+	}
+	c := lt.cmp(lt.runs[a][lt.pos[a]], lt.runs[b][lt.pos[b]])
+	if c != 0 {
+		return c < 0
+	}
+	return a < b
+}
+
+// build plays the initial tournament bottom-up.
+func (lt *LoserTree[K]) build() {
+	// winners[i] is the winner of the subtree rooted at node i.
+	winners := make([]int, 2*lt.k)
+	for i := 0; i < lt.k; i++ {
+		winners[lt.k+i] = i
+	}
+	for i := lt.k - 1; i >= 1; i-- {
+		a, b := winners[2*i], winners[2*i+1]
+		if lt.less(a, b) {
+			winners[i] = a
+			lt.tree[i] = b
+		} else {
+			winners[i] = b
+			lt.tree[i] = a
+		}
+	}
+	lt.tree[0] = winners[1]
+}
+
+// Next returns the smallest remaining key across all runs, or ok=false
+// when every run is exhausted.
+func (lt *LoserTree[K]) Next() (key K, ok bool) {
+	if lt.done {
+		var zero K
+		return zero, false
+	}
+	w := lt.tree[0]
+	if lt.exhausted(w) {
+		lt.done = true
+		var zero K
+		return zero, false
+	}
+	key = lt.runs[w][lt.pos[w]]
+	lt.pos[w]++
+	// Replay matches from leaf w up to the root.
+	node := (lt.k + w) / 2
+	winner := w
+	for node >= 1 {
+		if lt.less(lt.tree[node], winner) {
+			lt.tree[node], winner = winner, lt.tree[node]
+		}
+		node /= 2
+	}
+	lt.tree[0] = winner
+	return key, true
+}

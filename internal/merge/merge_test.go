@@ -1,0 +1,222 @@
+package merge
+
+import (
+	"cmp"
+	"math/rand/v2"
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+func intCmp(a, b int) int { return cmp.Compare(a, b) }
+
+func TestTwoBasic(t *testing.T) {
+	got := Two([]int{1, 3, 5}, []int{2, 4, 6}, intCmp)
+	want := []int{1, 2, 3, 4, 5, 6}
+	if !slices.Equal(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestTwoEmpty(t *testing.T) {
+	if got := Two(nil, []int{1}, intCmp); !slices.Equal(got, []int{1}) {
+		t.Errorf("nil+[1] = %v", got)
+	}
+	if got := Two([]int{1}, nil, intCmp); !slices.Equal(got, []int{1}) {
+		t.Errorf("[1]+nil = %v", got)
+	}
+	if got := Two[int](nil, nil, intCmp); len(got) != 0 {
+		t.Errorf("nil+nil = %v", got)
+	}
+}
+
+func TestTwoStable(t *testing.T) {
+	type kv struct{ k, src int }
+	a := []kv{{1, 0}, {2, 0}}
+	b := []kv{{1, 1}, {2, 1}}
+	got := Two(a, b, func(x, y kv) int { return cmp.Compare(x.k, y.k) })
+	for i := 0; i < len(got)-1; i++ {
+		if got[i].k == got[i+1].k && got[i].src > got[i+1].src {
+			t.Fatalf("unstable merge at %d: %v", i, got)
+		}
+	}
+}
+
+func TestTwoProperty(t *testing.T) {
+	f := func(a, b []int16) bool {
+		as := make([]int, len(a))
+		for i, v := range a {
+			as[i] = int(v)
+		}
+		bs := make([]int, len(b))
+		for i, v := range b {
+			bs[i] = int(v)
+		}
+		slices.Sort(as)
+		slices.Sort(bs)
+		got := Two(as, bs, intCmp)
+		want := append(append([]int{}, as...), bs...)
+		slices.Sort(want)
+		return slices.Equal(got, want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKWayEmptyInputs(t *testing.T) {
+	if got := KWay[int](nil, intCmp); len(got) != 0 {
+		t.Errorf("KWay(nil) = %v", got)
+	}
+	if got := KWay([][]int{{}, {}, {}}, intCmp); len(got) != 0 {
+		t.Errorf("KWay(empties) = %v", got)
+	}
+	if got := KWay([][]int{{}, {4, 5}, {}}, intCmp); !slices.Equal(got, []int{4, 5}) {
+		t.Errorf("KWay(one run) = %v", got)
+	}
+}
+
+func TestKWaySingleRun(t *testing.T) {
+	in := [][]int{{1, 2, 3}}
+	got := KWay(in, intCmp)
+	if !slices.Equal(got, []int{1, 2, 3}) {
+		t.Errorf("got %v", got)
+	}
+	// Result must be a copy, not an alias.
+	got[0] = 99
+	if in[0][0] == 99 {
+		t.Error("KWay aliased its input for the single-run case")
+	}
+}
+
+func TestKWayKnown(t *testing.T) {
+	runs := [][]int{
+		{1, 5, 9},
+		{2, 6, 10},
+		{3, 7, 11},
+		{4, 8, 12},
+	}
+	got := KWay(runs, intCmp)
+	want := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	if !slices.Equal(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestKWayDuplicatesAndUnequalLengths(t *testing.T) {
+	runs := [][]int{
+		{1, 1, 1, 1},
+		{1},
+		{},
+		{0, 1, 2},
+		{1, 1},
+	}
+	got := KWay(runs, intCmp)
+	want := []int{0, 1, 1, 1, 1, 1, 1, 1, 1, 2}
+	if !slices.Equal(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestKWayStableAcrossRuns(t *testing.T) {
+	type kv struct{ k, src int }
+	runs := [][]kv{
+		{{5, 0}, {7, 0}},
+		{{5, 1}},
+		{{5, 2}, {6, 2}},
+	}
+	got := KWay(runs, func(x, y kv) int { return cmp.Compare(x.k, y.k) })
+	var srcs []int
+	for _, e := range got {
+		if e.k == 5 {
+			srcs = append(srcs, e.src)
+		}
+	}
+	if !slices.Equal(srcs, []int{0, 1, 2}) {
+		t.Errorf("tie order %v, want [0 1 2]", srcs)
+	}
+}
+
+func TestKWayProperty(t *testing.T) {
+	f := func(seedRaw uint32, kRaw uint8) bool {
+		rng := rand.New(rand.NewPCG(uint64(seedRaw), 1))
+		k := int(kRaw%17) + 1
+		runs := make([][]int, k)
+		var all []int
+		for i := range runs {
+			n := rng.IntN(50)
+			runs[i] = make([]int, n)
+			for j := range runs[i] {
+				runs[i][j] = rng.IntN(100)
+			}
+			slices.Sort(runs[i])
+			all = append(all, runs[i]...)
+		}
+		slices.Sort(all)
+		return slices.Equal(KWay(runs, intCmp), all)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoserTreeStreaming(t *testing.T) {
+	runs := [][]int{{2, 4}, {1, 3}}
+	lt := NewLoserTree(runs, intCmp)
+	var got []int
+	for {
+		k, ok := lt.Next()
+		if !ok {
+			break
+		}
+		got = append(got, k)
+	}
+	if !slices.Equal(got, []int{1, 2, 3, 4}) {
+		t.Errorf("got %v", got)
+	}
+	// Next after exhaustion stays exhausted.
+	if _, ok := lt.Next(); ok {
+		t.Error("Next returned ok after exhaustion")
+	}
+}
+
+func TestLoserTreeManyRuns(t *testing.T) {
+	// Non-power-of-two run count exercises the padded virtual leaves.
+	const k = 13
+	runs := make([][]int, k)
+	for i := range runs {
+		runs[i] = []int{i, i + k, i + 2*k}
+	}
+	got := KWay(runs, intCmp)
+	if len(got) != 3*k {
+		t.Fatalf("got %d keys, want %d", len(got), 3*k)
+	}
+	if !slices.IsSorted(got) {
+		t.Error("output not sorted")
+	}
+}
+
+func BenchmarkKWay16(b *testing.B) {
+	benchmarkKWay(b, 16)
+}
+
+func BenchmarkKWay256(b *testing.B) {
+	benchmarkKWay(b, 256)
+}
+
+func benchmarkKWay(b *testing.B, k int) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	runs := make([][]int64, k)
+	per := 1 << 14 / k
+	for i := range runs {
+		runs[i] = make([]int64, per)
+		for j := range runs[i] {
+			runs[i][j] = rng.Int64()
+		}
+		slices.Sort(runs[i])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KWay(runs, func(a, c int64) int { return cmp.Compare(a, c) })
+	}
+}

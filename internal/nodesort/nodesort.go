@@ -1,0 +1,247 @@
+// Package nodesort implements the paper's shared-memory/node-level
+// optimization (§6.1): data partitioning across physical *nodes* rather
+// than cores, with all messages between a pair of nodes combined into
+// one.
+//
+// With c cores per node and n = p/c nodes, the optimization (a) shrinks
+// the histogramming problem from p-1 splitters to n-1 (the paper's
+// example: 250 MB → 12 MB of sample on BlueGene/L geometry), and (b)
+// reduces the all-to-all from p(p-1) messages to n(n-1). After the
+// node-level exchange, each node redistributes its bucket among its own
+// cores — the paper uses sample sort with regular sampling there; with
+// the node's data assembled in one address space this degenerates to
+// exact quantile splitting, which is what we do.
+//
+// Intra-node traffic models shared memory: runs move by reference, so
+// the byte counters see only envelope-sized messages within a node while
+// node-to-node messages carry full key payloads — mirroring where real
+// network traffic flows.
+package nodesort
+
+import (
+	"fmt"
+	"slices"
+	"time"
+
+	"hssort/internal/collective"
+	"hssort/internal/comm"
+	"hssort/internal/core"
+	"hssort/internal/exchange"
+	"hssort/internal/merge"
+)
+
+// Options configures a two-level node sort. Cmp and CoresPerNode are
+// required.
+type Options[K any] struct {
+	// Cmp is the three-way key comparator.
+	Cmp func(K, K) int
+	// CoresPerNode is the node width c; the world size must be a
+	// multiple of c.
+	CoresPerNode int
+	// Epsilon is the node-level imbalance threshold (the paper uses
+	// 0.02 for node-level partitioning). Default 0.02.
+	Epsilon float64
+	// Schedule, Seed, OversampleFactor configure the node-level HSS
+	// splitter determination (see core.Options).
+	Schedule         core.Schedule
+	Seed             uint64
+	OversampleFactor float64
+	// BaseTag is the start of the tag range (~40 tags). Default 7000.
+	BaseTag comm.Tag
+}
+
+func (o Options[K]) withDefaults(p int) (Options[K], error) {
+	if o.Cmp == nil {
+		return o, fmt.Errorf("nodesort: Options.Cmp is required")
+	}
+	if o.CoresPerNode < 1 {
+		return o, fmt.Errorf("nodesort: CoresPerNode %d < 1", o.CoresPerNode)
+	}
+	if p%o.CoresPerNode != 0 {
+		return o, fmt.Errorf("nodesort: world size %d not a multiple of CoresPerNode %d", p, o.CoresPerNode)
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.02
+	}
+	if o.Epsilon < 0 {
+		return o, fmt.Errorf("nodesort: Epsilon %v < 0", o.Epsilon)
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.BaseTag == 0 {
+		o.BaseTag = 7000
+	}
+	return o, nil
+}
+
+// Tag offsets within BaseTag.
+const (
+	tagSplitter = 10 // node-level HSS (core.TagSpan tags)
+	tagCombine  = 25 // intra-node run gather
+	tagNodeEx   = 26 // node-to-node exchange
+	tagScatter  = 27 // within-node scatter
+	tagStats    = 28 // stats all-reduce (+1)
+)
+
+// Sort runs the two-level sort and returns this rank's globally sorted
+// partition (rank order = global order). Every rank must call Sort with
+// the same Options. The input is consumed.
+func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, error) {
+	opt, err := opt.withDefaults(c.Size())
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
+	p := c.Size()
+	me := c.Rank()
+	cores := opt.CoresPerNode
+	nodes := p / cores
+	node := me / cores
+	leaderRank := node * cores
+	isLeader := me == leaderRank
+	base := opt.BaseTag
+	var stats core.Stats
+	stats.Buckets = nodes
+
+	t0 := time.Now()
+	slices.SortFunc(local, opt.Cmp)
+	localSort := time.Since(t0)
+
+	// Node-level splitter determination: all p ranks participate, but
+	// only n-1 splitters are sought (§6.1: "data partitioning needs to
+	// be only across physical nodes").
+	nVec, err := collective.AllReduce(c, base, []int64{int64(len(local))}, collective.SumInt64)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.N = nVec[0]
+	if stats.N == 0 {
+		// Nothing to move: every rank returns empty, consistently.
+		stats.Imbalance = 1
+		stats.LocalSort = localSort
+		return []K{}, stats, nil
+	}
+	bytes0 := c.Counters().BytesSent
+	t1 := time.Now()
+	splitters, info, err := core.DetermineSplitters(c, local, stats.N, core.Options[K]{
+		Cmp:              opt.Cmp,
+		Epsilon:          opt.Epsilon,
+		Buckets:          nodes,
+		Schedule:         opt.Schedule,
+		Seed:             opt.Seed,
+		OversampleFactor: opt.OversampleFactor,
+		BaseTag:          base + tagSplitter,
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	splitterTime := time.Since(t1)
+	splitterBytes := c.Counters().BytesSent - bytes0
+	stats.Rounds = info.Rounds
+	stats.SamplePerRound = info.SamplePerRound
+	stats.TotalSample = info.TotalSample
+
+	// Build this node's group; node g occupies ranks [g·c, (g+1)·c).
+	members := make([]int, cores)
+	for i := range members {
+		members[i] = leaderRank + i
+	}
+	group, err := collective.NewGroup(c, members)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	bytes1 := c.Counters().BytesSent
+	t2 := time.Now()
+
+	// Message combining (§6.1): every core hands its n partitioned runs
+	// to the node leader by reference (shared memory), so the network
+	// sees nothing yet.
+	runs := exchange.Partition(local, splitters, opt.Cmp)
+	gathered, err := collective.Gatherv(group, 0, base+tagCombine, runs)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	// Node-to-node exchange: leaders merge their cores' runs per
+	// destination node and exchange n(n-1) combined messages.
+	var nodeRuns [][]K
+	if isLeader {
+		combined := make([][]K, nodes)
+		for dst := 0; dst < nodes; dst++ {
+			perCore := make([][]K, 0, cores)
+			for _, coreRuns := range gathered {
+				perCore = append(perCore, coreRuns[dst])
+			}
+			combined[dst] = merge.KWay(perCore, opt.Cmp)
+		}
+		var leaders []int
+		for g := 0; g < nodes; g++ {
+			leaders = append(leaders, g*cores)
+		}
+		leaderGroup, err := collective.NewGroup(c, leaders)
+		if err != nil {
+			return nil, stats, err
+		}
+		nodeRuns, err = exchange.Exchange(leaderGroup, base+tagNodeEx, combined, exchange.ContiguousOwner(nodes, nodes))
+		if err != nil {
+			return nil, stats, err
+		}
+	}
+	exchangeTime := time.Since(t2)
+	exchangeBytes := c.Counters().BytesSent - bytes1
+
+	// Final within-node sorting (§6.1): the leader assembles its
+	// bucket, cuts exact per-core quantiles (the shared-memory limit of
+	// regular sampling), and scatters the pieces back to its cores.
+	t3 := time.Now()
+	var parts [][]K
+	if isLeader {
+		nodeData := merge.KWay(nodeRuns, opt.Cmp)
+		parts = make([][]K, cores)
+		for i := 0; i < cores; i++ {
+			lo := i * len(nodeData) / cores
+			hi := (i + 1) * len(nodeData) / cores
+			parts[i] = nodeData[lo:hi]
+		}
+	}
+	out, err := collective.Scatterv(group, 0, base+tagScatter, parts)
+	if err != nil {
+		return nil, stats, err
+	}
+	mergeTime := time.Since(t3)
+	stats.LocalCount = len(out)
+
+	agg, err := collective.AllReduce(c, base+tagStats, []int64{
+		splitterBytes, exchangeBytes,
+		int64(localSort), int64(splitterTime), int64(exchangeTime), int64(mergeTime),
+		int64(len(out)), int64(len(out)),
+	}, func(dst, src []int64) {
+		dst[0] += src[0]
+		dst[1] += src[1]
+		for i := 2; i <= 5; i++ {
+			if src[i] > dst[i] {
+				dst[i] = src[i]
+			}
+		}
+		dst[6] += src[6]
+		if src[7] > dst[7] {
+			dst[7] = src[7]
+		}
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.SplitterBytes = agg[0]
+	stats.ExchangeBytes = agg[1]
+	stats.LocalSort = time.Duration(agg[2])
+	stats.Splitter = time.Duration(agg[3])
+	stats.Exchange = time.Duration(agg[4])
+	stats.Merge = time.Duration(agg[5])
+	if agg[6] > 0 {
+		stats.Imbalance = float64(agg[7]) * float64(p) / float64(agg[6])
+	} else {
+		stats.Imbalance = 1
+	}
+	return out, stats, nil
+}

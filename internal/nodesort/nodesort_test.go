@@ -1,0 +1,192 @@
+package nodesort
+
+import (
+	"cmp"
+	"slices"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hssort/internal/comm"
+	"hssort/internal/core"
+	"hssort/internal/dist"
+)
+
+func icmp(a, b int64) int { return cmp.Compare(a, b) }
+
+func trySort(shards [][]int64, opt Options[int64]) ([][]int64, core.Stats, *comm.World, error) {
+	p := len(shards)
+	outs := make([][]int64, p)
+	var stats core.Stats
+	w := comm.NewWorld(p, comm.WithTimeout(60*time.Second))
+	err := w.Run(func(c *comm.Comm) error {
+		out, st, err := Sort(c, shards[c.Rank()], opt)
+		if err != nil {
+			return err
+		}
+		outs[c.Rank()] = out
+		if c.Rank() == 0 {
+			stats = st
+		}
+		return nil
+	})
+	return outs, stats, w, err
+}
+
+func clone(shards [][]int64) [][]int64 {
+	out := make([][]int64, len(shards))
+	for i := range shards {
+		out[i] = slices.Clone(shards[i])
+	}
+	return out
+}
+
+func checkGloballySorted(t *testing.T, shards, outs [][]int64) {
+	t.Helper()
+	var want, got []int64
+	for _, s := range shards {
+		want = append(want, s...)
+	}
+	slices.Sort(want)
+	for r, out := range outs {
+		if !slices.IsSorted(out) {
+			t.Fatalf("rank %d output not sorted", r)
+		}
+		got = append(got, out...)
+	}
+	if !slices.Equal(got, want) {
+		t.Fatal("output not the sorted permutation of input")
+	}
+}
+
+func TestNodeSortConfigurations(t *testing.T) {
+	const perRank = 800
+	for _, cfg := range []struct{ p, c int }{
+		{8, 2}, {8, 4}, {8, 8}, {6, 3}, {4, 1}, {12, 4},
+	} {
+		spec := dist.Spec{Kind: dist.Uniform}
+		shards := spec.Shards(perRank, cfg.p, 3)
+		outs, stats, _, err := trySort(clone(shards), Options[int64]{
+			Cmp: icmp, CoresPerNode: cfg.c, Epsilon: 0.05,
+		})
+		if err != nil {
+			t.Fatalf("p=%d c=%d: %v", cfg.p, cfg.c, err)
+		}
+		checkGloballySorted(t, shards, outs)
+		// Exact within-node quantiles + 5% node-level threshold.
+		if stats.Imbalance > 1.06 {
+			t.Errorf("p=%d c=%d: imbalance %.4f", cfg.p, cfg.c, stats.Imbalance)
+		}
+		if stats.Buckets != cfg.p/cfg.c {
+			t.Errorf("p=%d c=%d: buckets %d", cfg.p, cfg.c, stats.Buckets)
+		}
+	}
+}
+
+func TestNodeSortSkewed(t *testing.T) {
+	const p, c, perRank = 8, 4, 1000
+	for _, kind := range []dist.Kind{dist.Exponential, dist.Staircase, dist.PowerSkew} {
+		spec := dist.Spec{Kind: kind}
+		shards := spec.Shards(perRank, p, 7)
+		outs, _, _, err := trySort(clone(shards), Options[int64]{Cmp: icmp, CoresPerNode: c})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		checkGloballySorted(t, shards, outs)
+	}
+}
+
+// TestNodeSortReducesMessages is the §6.1 claim: combining node-level
+// messages slashes the message count of the data-movement phase.
+func TestNodeSortReducesMessages(t *testing.T) {
+	const p, c, perRank = 16, 4, 500
+	spec := dist.Spec{Kind: dist.Uniform}
+
+	_, _, flatWorld, err := func() ([][]int64, core.Stats, *comm.World, error) {
+		shards := spec.Shards(perRank, p, 5)
+		outs := make([][]int64, p)
+		var stats core.Stats
+		w := comm.NewWorld(p, comm.WithTimeout(60*time.Second))
+		err := w.Run(func(cc *comm.Comm) error {
+			out, st, err := core.Sort(cc, shards[cc.Rank()], core.Options[int64]{Cmp: icmp, Epsilon: 0.05})
+			outs[cc.Rank()] = out
+			if cc.Rank() == 0 {
+				stats = st
+			}
+			return err
+		})
+		return outs, stats, w, err
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shards := spec.Shards(perRank, p, 5)
+	_, _, nodeWorld, err := trySort(shards, Options[int64]{Cmp: icmp, CoresPerNode: c, Epsilon: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatMsgs := flatWorld.TotalCounters().MsgsSent
+	nodeMsgs := nodeWorld.TotalCounters().MsgsSent
+	if nodeMsgs >= flatMsgs {
+		t.Errorf("node-level sort sent %d messages, flat sent %d — combining should win", nodeMsgs, flatMsgs)
+	}
+}
+
+func TestNodeSortValidation(t *testing.T) {
+	if _, _, _, err := trySort([][]int64{{1}, {2}}, Options[int64]{CoresPerNode: 2}); err == nil {
+		t.Error("missing Cmp accepted")
+	}
+	if _, _, _, err := trySort([][]int64{{1}, {2}}, Options[int64]{Cmp: icmp}); err == nil {
+		t.Error("CoresPerNode=0 accepted")
+	}
+	if _, _, _, err := trySort([][]int64{{1}, {2}, {3}}, Options[int64]{Cmp: icmp, CoresPerNode: 2}); err == nil {
+		t.Error("p=3, c=2 accepted")
+	}
+}
+
+func TestNodeSortEmpty(t *testing.T) {
+	outs, _, _, err := trySort([][]int64{{}, {}, {}, {}}, Options[int64]{Cmp: icmp, CoresPerNode: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range outs {
+		if len(o) != 0 {
+			t.Errorf("empty input produced %v", o)
+		}
+	}
+}
+
+func TestNodeSortProperty(t *testing.T) {
+	f := func(seed uint32, cfgRaw uint8) bool {
+		cfgs := []struct{ p, c int }{{4, 2}, {6, 2}, {8, 4}, {9, 3}, {4, 4}}
+		cfg := cfgs[int(cfgRaw)%len(cfgs)]
+		spec := dist.Spec{Kind: dist.Kind(seed % 6), Min: 0, Max: 1 << 24}
+		shards := make([][]int64, cfg.p)
+		for r := range shards {
+			shards[r] = spec.Shard(int(seed%300)+30, r, cfg.p, uint64(seed))
+		}
+		outs, _, _, err := trySort(clone(shards), Options[int64]{
+			Cmp: icmp, CoresPerNode: cfg.c, Epsilon: 0.1, Seed: uint64(seed) + 1,
+		})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		var want, got []int64
+		for _, s := range shards {
+			want = append(want, s...)
+		}
+		slices.Sort(want)
+		for _, o := range outs {
+			if !slices.IsSorted(o) {
+				return false
+			}
+			got = append(got, o...)
+		}
+		return slices.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

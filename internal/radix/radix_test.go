@@ -1,0 +1,188 @@
+package radix
+
+import (
+	"cmp"
+	"slices"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hssort/internal/comm"
+	"hssort/internal/dist"
+	"hssort/internal/keycoder"
+)
+
+func icmp(a, b int64) int { return cmp.Compare(a, b) }
+
+func baseOpt() Options[int64] {
+	return Options[int64]{Cmp: icmp, Coder: keycoder.Int64{}, Bits: 10}
+}
+
+func trySort(shards [][]int64, opt Options[int64]) ([][]int64, float64, error) {
+	p := len(shards)
+	outs := make([][]int64, p)
+	var imb float64
+	w := comm.NewWorld(p, comm.WithTimeout(60*time.Second))
+	err := w.Run(func(c *comm.Comm) error {
+		out, st, err := Sort(c, shards[c.Rank()], opt)
+		if err != nil {
+			return err
+		}
+		outs[c.Rank()] = out
+		if c.Rank() == 0 {
+			imb = st.Imbalance
+		}
+		return nil
+	})
+	return outs, imb, err
+}
+
+func clone(shards [][]int64) [][]int64 {
+	out := make([][]int64, len(shards))
+	for i := range shards {
+		out[i] = slices.Clone(shards[i])
+	}
+	return out
+}
+
+func TestRadixUniform(t *testing.T) {
+	const p, perRank = 6, 2000
+	spec := dist.Spec{Kind: dist.Uniform}
+	shards := spec.Shards(perRank, p, 3)
+	outs, imb, err := trySort(clone(shards), baseOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want, got []int64
+	for _, s := range shards {
+		want = append(want, s...)
+	}
+	slices.Sort(want)
+	for r, o := range outs {
+		if !slices.IsSorted(o) {
+			t.Fatalf("rank %d not sorted", r)
+		}
+		got = append(got, o...)
+	}
+	if !slices.Equal(got, want) {
+		t.Fatal("not the sorted permutation")
+	}
+	// Uniform codes over the full range: decent balance expected.
+	if imb > 1.5 {
+		t.Errorf("uniform imbalance %.3f", imb)
+	}
+}
+
+func TestRadixSkewBreaksBalance(t *testing.T) {
+	// §4.2: a hot digit cannot be split, so duplicates wreck balance —
+	// the weakness comparison benchmarks surface.
+	const p, perRank = 4, 1000
+	shards := make([][]int64, p)
+	for r := range shards {
+		shards[r] = make([]int64, perRank)
+		for i := range shards[r] {
+			shards[r][i] = 42 // one digit holds everything
+		}
+	}
+	outs, imb, err := trySort(clone(shards), baseOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, o := range outs {
+		total += len(o)
+	}
+	if total != p*perRank {
+		t.Fatalf("lost keys: %d", total)
+	}
+	if imb < float64(p)-0.01 {
+		t.Errorf("constant input imbalance %.2f, want ~p (single hot digit)", imb)
+	}
+}
+
+func TestRadixNarrowRange(t *testing.T) {
+	// Keys spanning few distinct codes exercise empty digit buckets.
+	const p = 4
+	spec := dist.Spec{Kind: dist.Uniform, Min: 1000, Max: 2000}
+	shards := spec.Shards(500, p, 9)
+	outs, _, err := trySort(clone(shards), baseOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want, got []int64
+	for _, s := range shards {
+		want = append(want, s...)
+	}
+	slices.Sort(want)
+	for _, o := range outs {
+		got = append(got, o...)
+	}
+	if !slices.Equal(got, want) {
+		t.Fatal("not the sorted permutation")
+	}
+}
+
+func TestRadixNegativeKeys(t *testing.T) {
+	const p = 2
+	spec := dist.Spec{Kind: dist.Uniform, Min: -1 << 40, Max: 1 << 40}
+	shards := spec.Shards(800, p, 11)
+	outs, _, err := trySort(clone(shards), baseOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want, got []int64
+	for _, s := range shards {
+		want = append(want, s...)
+	}
+	slices.Sort(want)
+	for _, o := range outs {
+		got = append(got, o...)
+	}
+	if !slices.Equal(got, want) {
+		t.Fatal("negative keys not sorted correctly")
+	}
+}
+
+func TestRadixOptionValidation(t *testing.T) {
+	if _, _, err := trySort([][]int64{{1}}, Options[int64]{Coder: keycoder.Int64{}}); err == nil {
+		t.Error("missing Cmp accepted")
+	}
+	if _, _, err := trySort([][]int64{{1}}, Options[int64]{Cmp: icmp}); err == nil {
+		t.Error("missing Coder accepted")
+	}
+	bad := baseOpt()
+	bad.Bits = 40
+	if _, _, err := trySort([][]int64{{1}}, bad); err == nil {
+		t.Error("Bits=40 accepted")
+	}
+}
+
+func TestRadixProperty(t *testing.T) {
+	f := func(seed uint32, pRaw uint8) bool {
+		p := int(pRaw%5) + 1
+		spec := dist.Spec{Kind: dist.Kind(seed % 6), Min: -1 << 30, Max: 1 << 30}
+		shards := make([][]int64, p)
+		var want []int64
+		for r := range shards {
+			shards[r] = spec.Shard(int(seed%400)+10, r, p, uint64(seed))
+			want = append(want, shards[r]...)
+		}
+		slices.Sort(want)
+		outs, _, err := trySort(clone(shards), baseOpt())
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		var got []int64
+		for _, o := range outs {
+			if !slices.IsSorted(o) {
+				return false
+			}
+			got = append(got, o...)
+		}
+		return slices.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,208 @@
+package rankoracle
+
+import (
+	"cmp"
+	"fmt"
+	"slices"
+	"testing"
+	"time"
+
+	"hssort/internal/comm"
+	"hssort/internal/dist"
+)
+
+func icmp(a, b int64) int { return cmp.Compare(a, b) }
+
+// buildGlobal sorts the union of shards for ground-truth ranks.
+func buildGlobal(shards [][]int64) []int64 {
+	var all []int64
+	for _, s := range shards {
+		all = append(all, s...)
+	}
+	slices.Sort(all)
+	return all
+}
+
+func trueRank(global []int64, q int64) int64 {
+	lo, hi := 0, len(global)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if global[mid] < q {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return int64(lo)
+}
+
+func TestOracleTheorem341Accuracy(t *testing.T) {
+	// p processors, N/p keys each; with the theorem's sample size every
+	// query must be within N·ε/p — we allow 3× the bound to absorb the
+	// "w.h.p." slack on one fixed seed.
+	const p, perRank = 8, 20000
+	const eps = 0.1
+	spec := dist.Spec{Kind: dist.Uniform, Min: 0, Max: 1 << 40}
+	shards := spec.Shards(perRank, p, 3)
+	global := buildGlobal(shards)
+	probes := make([]int64, 50)
+	for i := range probes {
+		probes[i] = global[i*len(global)/len(probes)]
+	}
+	var estimates []int64
+	var bound int64
+	w := comm.NewWorld(p, comm.WithTimeout(30*time.Second))
+	err := w.Run(func(c *comm.Comm) error {
+		local := slices.Clone(shards[c.Rank()])
+		slices.Sort(local)
+		o, err := New(c, local, Options[int64]{Cmp: icmp, Epsilon: eps, Seed: 7})
+		if err != nil {
+			return err
+		}
+		est, err := o.Query(probes)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			estimates = est
+			bound = o.ErrorBound()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound <= 0 {
+		t.Fatalf("error bound %d", bound)
+	}
+	worst := int64(0)
+	for i, q := range probes {
+		diff := estimates[i] - trueRank(global, q)
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > worst {
+			worst = diff
+		}
+	}
+	if worst > 3*bound {
+		t.Errorf("worst rank error %d exceeds 3x the theorem bound %d", worst, 3*bound)
+	}
+}
+
+func TestOracleQueriesAgreeAcrossRanks(t *testing.T) {
+	const p = 5
+	spec := dist.Spec{Kind: dist.Gaussian}
+	shards := spec.Shards(4000, p, 9)
+	probes := []int64{1 << 50, 1 << 60, 1 << 61}
+	results := make([][]int64, p)
+	w := comm.NewWorld(p, comm.WithTimeout(30*time.Second))
+	err := w.Run(func(c *comm.Comm) error {
+		local := slices.Clone(shards[c.Rank()])
+		slices.Sort(local)
+		o, err := New(c, local, Options[int64]{Cmp: icmp})
+		if err != nil {
+			return err
+		}
+		est, err := o.Query(probes)
+		if err != nil {
+			return err
+		}
+		results[c.Rank()] = est
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < p; r++ {
+		if !slices.Equal(results[r], results[0]) {
+			t.Fatalf("rank %d estimates differ", r)
+		}
+	}
+}
+
+func TestOracleExtremeProbes(t *testing.T) {
+	const p = 3
+	spec := dist.Spec{Kind: dist.Uniform, Min: 100, Max: 1000}
+	shards := spec.Shards(3000, p, 4)
+	w := comm.NewWorld(p, comm.WithTimeout(30*time.Second))
+	err := w.Run(func(c *comm.Comm) error {
+		local := slices.Clone(shards[c.Rank()])
+		slices.Sort(local)
+		o, err := New(c, local, Options[int64]{Cmp: icmp})
+		if err != nil {
+			return err
+		}
+		est, err := o.Query([]int64{0, 1 << 60})
+		if err != nil {
+			return err
+		}
+		if est[0] != 0 {
+			return fmt.Errorf("below-everything probe rank %d", est[0])
+		}
+		if est[1] != o.N {
+			return fmt.Errorf("above-everything probe rank %d, want %d", est[1], o.N)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOracleEmptyInput(t *testing.T) {
+	w := comm.NewWorld(2, comm.WithTimeout(10*time.Second))
+	err := w.Run(func(c *comm.Comm) error {
+		o, err := New(c, []int64{}, Options[int64]{Cmp: icmp})
+		if err != nil {
+			return err
+		}
+		est, err := o.Query([]int64{5})
+		if err != nil {
+			return err
+		}
+		if est[0] != 0 {
+			return fmt.Errorf("empty oracle rank %d", est[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOracleRejectsMissingCmp(t *testing.T) {
+	w := comm.NewWorld(1, comm.WithTimeout(5*time.Second))
+	err := w.Run(func(c *comm.Comm) error {
+		if _, err := New(c, []int64{1}, Options[int64]{}); err == nil {
+			return fmt.Errorf("missing Cmp accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOracleSampleSizeDefault(t *testing.T) {
+	const p = 4
+	w := comm.NewWorld(p, comm.WithTimeout(10*time.Second))
+	err := w.Run(func(c *comm.Comm) error {
+		local := make([]int64, 10000)
+		for i := range local {
+			local[i] = int64(i)
+		}
+		o, err := New(c, local, Options[int64]{Cmp: icmp, Epsilon: 0.05})
+		if err != nil {
+			return err
+		}
+		// √(2·4·ln4)/0.05 ≈ 94; the sample is capped by n.
+		if o.SampleSize() < 50 || o.SampleSize() > 200 {
+			return fmt.Errorf("sample size %d outside expected band", o.SampleSize())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,312 @@
+// Package samplesort implements the paper's primary baseline: parallel
+// sample sort (§2.2) with the two sampling methods of §4.1 —
+//
+//   - Regular sampling (Shi & Schaeffer, §4.1.2): s evenly spaced keys
+//     per processor; with s = B/ε the splitters provably achieve (1+ε)
+//     balance (Lemma 4.1.1) at the cost of a Θ(B²/ε) sample.
+//   - Random sampling (Blelloch et al., §4.1.1): one random key per block,
+//     s = Θ(log N/ε²) per processor for the same guarantee w.h.p.
+//
+// The data-movement phase is identical to HSS (the paper's point of
+// comparison is purely the splitter-determination cost), so both reuse
+// internal/exchange and report core.Stats.
+package samplesort
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"slices"
+	"time"
+
+	"hssort/internal/collective"
+	"hssort/internal/comm"
+	"hssort/internal/core"
+	"hssort/internal/exchange"
+	"hssort/internal/merge"
+	"hssort/internal/sampling"
+)
+
+// Method selects the sampling method.
+type Method int
+
+const (
+	// Regular picks s evenly spaced keys per processor (§4.1.2).
+	Regular Method = iota
+	// Random picks one uniform key per block of N/(ps) keys (§4.1.1).
+	Random
+)
+
+// String returns the method name used in experiment output.
+func (m Method) String() string {
+	switch m {
+	case Regular:
+		return "regular"
+	case Random:
+		return "random"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Options configures a sample sort. Cmp is required.
+type Options[K any] struct {
+	// Cmp is the three-way key comparator.
+	Cmp func(K, K) int
+	// Epsilon is the target load-imbalance threshold. Default 0.05.
+	Epsilon float64
+	// Buckets is the number of output ranges. Default: world size.
+	Buckets int
+	// Owner maps buckets to ranks. Default contiguous.
+	Owner func(bucket int) int
+	// Method selects regular or random sampling. Default Regular.
+	Method Method
+	// Oversample is the per-processor sample size s. Default: the
+	// method's provable value — B/ε for Regular (Lemma 4.1.1),
+	// 4(1+ε)ln N/ε² for Random (§4.1.1) — capped by MaxOversample.
+	Oversample int
+	// MaxOversample caps s so huge configurations stay runnable;
+	// 0 means no cap. The cap mirrors what practical deployments do and
+	// is reported in Stats so experiments can show the guarantee/cost
+	// trade-off.
+	MaxOversample int
+	// Seed drives random sampling. Default 1.
+	Seed uint64
+	// BaseTag is the start of the tag range this sort uses. Default 2000.
+	BaseTag comm.Tag
+}
+
+func (o Options[K]) withDefaults(p int, n int64) (Options[K], error) {
+	if o.Cmp == nil {
+		return o, fmt.Errorf("samplesort: Options.Cmp is required")
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.05
+	}
+	if o.Epsilon < 0 {
+		return o, fmt.Errorf("samplesort: Epsilon %v < 0", o.Epsilon)
+	}
+	if o.Buckets == 0 {
+		o.Buckets = p
+	}
+	if o.Buckets < 1 {
+		return o, fmt.Errorf("samplesort: Buckets %d < 1", o.Buckets)
+	}
+	if o.Owner == nil {
+		o.Owner = exchange.ContiguousOwner(o.Buckets, p)
+	}
+	if o.Oversample == 0 {
+		switch o.Method {
+		case Regular:
+			o.Oversample = int(math.Ceil(float64(o.Buckets) / o.Epsilon))
+		case Random:
+			if n < 2 {
+				n = 2
+			}
+			o.Oversample = int(math.Ceil(4 * (1 + o.Epsilon) * math.Log(float64(n)) / (o.Epsilon * o.Epsilon)))
+		}
+	}
+	if o.Oversample < 1 {
+		o.Oversample = 1
+	}
+	if o.MaxOversample > 0 && o.Oversample > o.MaxOversample {
+		o.Oversample = o.MaxOversample
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.BaseTag == 0 {
+		o.BaseTag = 2000
+	}
+	return o, nil
+}
+
+// Tag offsets within BaseTag.
+const (
+	tagCount    = 0 // N all-reduce (+1)
+	tagGather   = 2 // sample gather
+	tagSplit    = 3 // splitter broadcast
+	tagExchange = 4 // bucket exchange
+	tagStats    = 5 // stats all-reduce (+1)
+)
+
+// Sort runs parallel sample sort on this rank's keys and returns its
+// globally sorted partition. Every rank must call Sort with the same
+// Options. The input slice is consumed.
+func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, error) {
+	var stats core.Stats
+	// Phase 1: local sort.
+	t0 := time.Now()
+	slices.SortFunc(local, opt.Cmp)
+	localSort := time.Since(t0)
+
+	nVec, err := collective.AllReduce(c, opt.BaseTag+tagCount, []int64{int64(len(local))}, collective.SumInt64)
+	if err != nil {
+		return nil, stats, err
+	}
+	n := nVec[0]
+	opt, err = opt.withDefaults(c.Size(), n)
+	if err != nil {
+		return nil, stats, err
+	}
+	base := opt.BaseTag
+	stats.N = n
+	stats.Buckets = opt.Buckets
+
+	// Phase 2: sampling + splitter selection at the central processor.
+	bytes0 := c.Counters().BytesSent
+	t1 := time.Now()
+	splitters, sampleSize, err := determineSplitters(c, local, n, opt)
+	if err != nil {
+		return nil, stats, err
+	}
+	splitterTime := time.Since(t1)
+	splitterBytes := c.Counters().BytesSent - bytes0
+	stats.Rounds = 1
+	stats.SamplePerRound = []int64{sampleSize}
+	stats.TotalSample = sampleSize
+
+	// Phase 3+4: exchange and merge (identical to HSS).
+	bytes1 := c.Counters().BytesSent
+	t2 := time.Now()
+	runs := exchange.Partition(local, splitters, opt.Cmp)
+	recv, err := exchange.Exchange(c, base+tagExchange, runs, opt.Owner)
+	if err != nil {
+		return nil, stats, err
+	}
+	exchangeTime := time.Since(t2)
+	exchangeBytes := c.Counters().BytesSent - bytes1
+
+	t3 := time.Now()
+	out := merge.KWay(recv, opt.Cmp)
+	mergeTime := time.Since(t3)
+	stats.LocalCount = len(out)
+
+	agg, err := collective.AllReduce(c, base+tagStats, []int64{
+		splitterBytes, exchangeBytes,
+		int64(localSort), int64(splitterTime), int64(exchangeTime), int64(mergeTime),
+		int64(len(out)), int64(len(out)),
+	}, statsOp)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.SplitterBytes = agg[0]
+	stats.ExchangeBytes = agg[1]
+	stats.LocalSort = time.Duration(agg[2])
+	stats.Splitter = time.Duration(agg[3])
+	stats.Exchange = time.Duration(agg[4])
+	stats.Merge = time.Duration(agg[5])
+	if agg[6] > 0 {
+		stats.Imbalance = float64(agg[7]) * float64(c.Size()) / float64(agg[6])
+	} else {
+		stats.Imbalance = 1
+	}
+	return out, stats, nil
+}
+
+// statsOp sums byte/count entries and maxes durations, matching the
+// layout in Sort.
+func statsOp(dst, src []int64) {
+	dst[0] += src[0]
+	dst[1] += src[1]
+	for i := 2; i <= 5; i++ {
+		if src[i] > dst[i] {
+			dst[i] = src[i]
+		}
+	}
+	dst[6] += src[6]
+	if src[7] > dst[7] {
+		dst[7] = src[7]
+	}
+}
+
+// determineSplitters runs the sampling phase (§2.2 steps 1-2): every rank
+// contributes s keys, the root sorts the combined sample and selects
+// evenly spaced splitters, broadcast to all ranks.
+func determineSplitters[K any](c *comm.Comm, local []K, n int64, opt Options[K]) ([]K, int64, error) {
+	var mine []K
+	switch opt.Method {
+	case Regular:
+		mine = sampling.Regular(local, opt.Oversample)
+	case Random:
+		rng := rand.New(rand.NewPCG(opt.Seed, uint64(c.Rank())*0x9e3779b97f4a7c15))
+		mine = sampling.RandomBlock(local, opt.Oversample, rng)
+	default:
+		return nil, 0, fmt.Errorf("samplesort: unknown method %d", opt.Method)
+	}
+	parts, err := collective.Gatherv(c, 0, opt.BaseTag+tagGather, mine)
+	if err != nil {
+		return nil, 0, err
+	}
+	var splitters []K
+	var sampleSize int64
+	if c.Rank() == 0 {
+		// Merge the p sorted per-rank samples (duplicates retained: the
+		// splitter index formula depends on the full multiset).
+		lambda := mergeParts(parts, opt.Cmp)
+		sampleSize = int64(len(lambda))
+		splitters = selectSplitters(lambda, c.Size(), opt)
+	}
+	splitters, err = collective.Bcast(c, 0, opt.BaseTag+tagSplit, splitters)
+	if err != nil {
+		return nil, 0, err
+	}
+	size, err := collective.BcastValue(c, 0, opt.BaseTag+tagSplit+1, sampleSize)
+	if err != nil {
+		return nil, 0, err
+	}
+	return splitters, size, nil
+}
+
+// mergeParts pairwise-merges sorted per-rank samples.
+func mergeParts[K any](parts [][]K, cmp func(K, K) int) []K {
+	for len(parts) > 1 {
+		var next [][]K
+		for i := 0; i+1 < len(parts); i += 2 {
+			next = append(next, merge.Two(parts[i], parts[i+1], cmp))
+		}
+		if len(parts)%2 == 1 {
+			next = append(next, parts[len(parts)-1])
+		}
+		parts = next
+	}
+	if len(parts) == 0 {
+		return nil
+	}
+	return parts[0]
+}
+
+// selectSplitters picks B-1 splitters from the combined sorted sample Λ.
+// Regular sampling uses the shifted index λ_{s·i − p/2} of §4.1.2
+// (generalized to B buckets via the sample fraction i/B with a half-block
+// back-shift); random sampling picks evenly spaced keys (§4.1.1).
+func selectSplitters[K any](lambda []K, p int, opt Options[K]) []K {
+	m := len(lambda)
+	b := opt.Buckets
+	if m == 0 || b == 1 {
+		// No sample (empty input) or a single bucket: no splitters —
+		// everything lands in bucket 0.
+		return []K{}
+	}
+	out := make([]K, 0, b-1)
+	for i := 1; i < b; i++ {
+		var idx int
+		switch opt.Method {
+		case Regular:
+			// 1-based λ_{s·i − p/2} with s·i generalized to i·M/B.
+			idx = i*m/b - p/2 - 1
+		default:
+			idx = i * m / b
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= m {
+			idx = m - 1
+		}
+		out = append(out, lambda[idx])
+	}
+	// Clamping can invert neighbours on tiny samples; restore order.
+	slices.SortFunc(out, opt.Cmp)
+	return out
+}

@@ -1,0 +1,219 @@
+// Package sampling implements every sampling scheme the paper builds on or
+// compares against:
+//
+//   - Sampling Method 1 (§3): independent Bernoulli sampling of each key
+//     with probability p·s/N, implemented with geometric skips so the cost
+//     is proportional to the sample size, not the input size.
+//   - Regular sampling (§4.1.2, Shi & Schaeffer): s evenly spaced keys
+//     from the local sorted input.
+//   - Random block sampling (§4.1.1, Blelloch et al.): one uniform key
+//     from each of s equal blocks of the local sorted input.
+//   - Representative samples (§3.4): a random-block sample retained across
+//     rounds to answer approximate rank queries.
+//
+// It also centralizes the paper's sampling-ratio arithmetic: the one-round
+// ratios of Theorems 3.2.1/3.2.2, the k-round geometric schedule
+// s_j = (2 ln p / ε)^(j/k) of §3.3, and the optimal round count
+// k* = ln(ln p / ε) of Lemma 3.3.2.
+package sampling
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Bernoulli samples each element independently with probability prob,
+// preserving input order. It runs in O(expected sample size) time via
+// geometric gap skipping. prob >= 1 returns a copy of keys; prob <= 0
+// returns an empty sample.
+func Bernoulli[K any](keys []K, prob float64, rng *rand.Rand) []K {
+	out := []K{}
+	BernoulliIndices(len(keys), prob, rng, func(i int) {
+		out = append(out, keys[i])
+	})
+	return out
+}
+
+// BernoulliIndices visits each index in [0, n) independently with
+// probability prob, in increasing order, via geometric skips.
+func BernoulliIndices(n int, prob float64, rng *rand.Rand, emit func(i int)) {
+	if n <= 0 || prob <= 0 {
+		return
+	}
+	if prob >= 1 {
+		for i := 0; i < n; i++ {
+			emit(i)
+		}
+		return
+	}
+	logq := math.Log1p(-prob) // ln(1-prob) < 0
+	i := -1
+	for {
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		skip := int(math.Log(u) / logq) // geometric number of failures
+		if skip < 0 || i > n {          // overflow guard for tiny prob
+			return
+		}
+		i += 1 + skip
+		if i >= n {
+			return
+		}
+		emit(i)
+	}
+}
+
+// Regular returns s evenly spaced keys from the local sorted input
+// (§4.1.2): the largest key of each of s equal blocks. If s >= len(sorted)
+// it returns a copy of the whole input.
+func Regular[K any](sorted []K, s int) []K {
+	n := len(sorted)
+	if s <= 0 || n == 0 {
+		return []K{}
+	}
+	if s >= n {
+		out := make([]K, n)
+		copy(out, sorted)
+		return out
+	}
+	out := make([]K, s)
+	for i := 0; i < s; i++ {
+		// Block i is sorted[i*n/s : (i+1)*n/s); its largest element
+		// is the sample.
+		out[i] = sorted[(i+1)*n/s-1]
+	}
+	return out
+}
+
+// RandomBlock divides the local sorted input into s equal blocks and picks
+// one uniformly random key from each (§4.1.1). The result is sorted
+// because blocks are consecutive.
+func RandomBlock[K any](sorted []K, s int, rng *rand.Rand) []K {
+	n := len(sorted)
+	if s <= 0 || n == 0 {
+		return []K{}
+	}
+	if s > n {
+		s = n
+	}
+	out := make([]K, s)
+	for i := 0; i < s; i++ {
+		lo, hi := i*n/s, (i+1)*n/s
+		out[i] = sorted[lo+rng.IntN(hi-lo)]
+	}
+	return out
+}
+
+// Representative is the §3.4 per-processor sample: one random key per
+// block of the local sorted input, kept across rounds to answer rank
+// queries without touching the full input.
+type Representative[K any] struct {
+	// Keys is the sorted sample (one key per block).
+	Keys []K
+	// PerKey is the number of input keys each sample key stands for
+	// (the block length N/(p·s) of §3.4, computed locally as n/s).
+	PerKey float64
+	// N is the local input size the sample summarizes.
+	N int
+}
+
+// NewRepresentative builds a representative sample of ~s keys over the
+// local sorted input.
+func NewRepresentative[K any](sorted []K, s int, rng *rand.Rand) Representative[K] {
+	keys := RandomBlock(sorted, s, rng)
+	per := 0.0
+	if len(keys) > 0 {
+		per = float64(len(sorted)) / float64(len(keys))
+	}
+	return Representative[K]{Keys: keys, PerKey: per, N: len(sorted)}
+}
+
+// LocalRank estimates the number of local input keys that compare less
+// than probe: (count of sample keys < probe) × PerKey, the §3.4 estimator.
+func (r Representative[K]) LocalRank(probe K, cmp func(K, K) int) int64 {
+	lo, hi := 0, len(r.Keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cmp(r.Keys[mid], probe) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return int64(float64(lo) * r.PerKey)
+}
+
+// RepresentativeSize returns the §3.4 per-processor sample size
+// s = sqrt(2 p ln p)/ε that makes rank answers accurate to Nε/p w.h.p.
+// (Theorem 3.4.1).
+func RepresentativeSize(p int, eps float64) int {
+	if p < 2 {
+		p = 2
+	}
+	s := math.Sqrt(2*float64(p)*math.Log(float64(p))) / eps
+	return int(math.Ceil(s))
+}
+
+// OneRoundRatio returns the sampling ratio s = 2 ln p / ε of Theorem
+// 3.2.2: with per-key probability p·s/N, every splitter is finalized after
+// one histogramming round w.h.p.
+func OneRoundRatio(p int, eps float64) float64 {
+	if p < 2 {
+		p = 2
+	}
+	return 2 * math.Log(float64(p)) / eps
+}
+
+// ScanningRatio returns the sampling ratio s = 2/ε of Theorem 3.2.1, the
+// smaller sample that suffices when splitters are chosen by the scanning
+// algorithm rather than interval tracking.
+func ScanningRatio(eps float64) float64 { return 2 / eps }
+
+// RatioSchedule returns the per-round sampling ratios s_j = (2 ln p/ε)^(j/k)
+// for j = 1..k (§3.3): a geometric ladder ending at the one-round ratio,
+// so each round multiplies sampling density by the same factor.
+func RatioSchedule(p int, eps float64, k int) []float64 {
+	if k < 1 {
+		k = 1
+	}
+	top := OneRoundRatio(p, eps)
+	out := make([]float64, k)
+	for j := 1; j <= k; j++ {
+		out[j-1] = math.Pow(top, float64(j)/float64(k))
+	}
+	return out
+}
+
+// AutoRounds returns the round count k* = ln(ln p / ε) (rounded up, at
+// least 1) that minimizes the total sample size k·p·(ln p/ε)^(1/k)
+// (Lemma 3.3.2).
+func AutoRounds(p int, eps float64) int {
+	if p < 2 {
+		p = 2
+	}
+	k := math.Log(math.Log(float64(p)) / eps)
+	if k < 1 {
+		return 1
+	}
+	return int(math.Ceil(k))
+}
+
+// ExpectedRoundsFixed returns the paper's §6.2 bound on the number of
+// rounds needed when every round gathers an (f·p)-key sample:
+// ceil( ln(2 ln p / ε) / ln(f/2) ).
+func ExpectedRoundsFixed(p int, eps, f float64) (int, error) {
+	if f <= 2 {
+		return 0, fmt.Errorf("sampling: per-round factor f=%v must exceed 2", f)
+	}
+	if p < 2 {
+		p = 2
+	}
+	r := math.Log(2*math.Log(float64(p))/eps) / math.Log(f/2)
+	if r < 1 {
+		return 1, nil
+	}
+	return int(math.Ceil(r)), nil
+}

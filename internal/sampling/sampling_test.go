@@ -1,0 +1,298 @@
+package sampling
+
+import (
+	"cmp"
+	"math"
+	"math/rand/v2"
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+func rng(seed uint64) *rand.Rand { return rand.New(rand.NewPCG(seed, 17)) }
+
+func TestBernoulliEdgeCases(t *testing.T) {
+	keys := []int64{1, 2, 3}
+	if got := Bernoulli(keys, 0, rng(1)); len(got) != 0 {
+		t.Errorf("prob 0 sampled %v", got)
+	}
+	if got := Bernoulli(keys, -0.5, rng(1)); len(got) != 0 {
+		t.Errorf("negative prob sampled %v", got)
+	}
+	if got := Bernoulli(keys, 1, rng(1)); !slices.Equal(got, keys) {
+		t.Errorf("prob 1 sampled %v", got)
+	}
+	if got := Bernoulli(keys, 2, rng(1)); !slices.Equal(got, keys) {
+		t.Errorf("prob 2 sampled %v", got)
+	}
+	if got := Bernoulli([]int64{}, 0.5, rng(1)); len(got) != 0 {
+		t.Errorf("empty input sampled %v", got)
+	}
+}
+
+func TestBernoulliPreservesOrderNoDuplicates(t *testing.T) {
+	keys := make([]int, 10000)
+	for i := range keys {
+		keys[i] = i
+	}
+	got := Bernoulli(keys, 0.05, rng(2))
+	if !slices.IsSorted(got) {
+		t.Error("sample out of order")
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] == got[i-1] {
+			t.Fatal("index sampled twice")
+		}
+	}
+}
+
+func TestBernoulliMeanConcentrates(t *testing.T) {
+	const n = 200000
+	const prob = 0.01
+	keys := make([]byte, n)
+	total := 0
+	for trial := uint64(0); trial < 5; trial++ {
+		total += len(Bernoulli(keys, prob, rng(trial)))
+	}
+	mean := float64(total) / 5
+	want := float64(n) * prob
+	if math.Abs(mean-want) > want*0.1 {
+		t.Errorf("mean sample size %.0f, want ~%.0f", mean, want)
+	}
+}
+
+func TestBernoulliIndicesMatchesNaive(t *testing.T) {
+	// Statistical cross-check: per-index inclusion frequency over many
+	// trials approximates prob for every index (no positional bias).
+	const n = 50
+	const prob = 0.3
+	const trials = 4000
+	counts := make([]int, n)
+	r := rng(3)
+	for trial := 0; trial < trials; trial++ {
+		BernoulliIndices(n, prob, r, func(i int) { counts[i]++ })
+	}
+	for i, c := range counts {
+		f := float64(c) / trials
+		if math.Abs(f-prob) > 0.05 {
+			t.Errorf("index %d inclusion freq %.3f, want ~%.3f", i, f, prob)
+		}
+	}
+}
+
+func TestRegularSpacing(t *testing.T) {
+	sorted := make([]int64, 100)
+	for i := range sorted {
+		sorted[i] = int64(i)
+	}
+	got := Regular(sorted, 4)
+	want := []int64{24, 49, 74, 99}
+	if !slices.Equal(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestRegularEdgeCases(t *testing.T) {
+	if got := Regular([]int64{}, 4); len(got) != 0 {
+		t.Errorf("empty input: %v", got)
+	}
+	if got := Regular([]int64{5}, 0); len(got) != 0 {
+		t.Errorf("s=0: %v", got)
+	}
+	in := []int64{1, 2, 3}
+	got := Regular(in, 10)
+	if !slices.Equal(got, in) {
+		t.Errorf("s>n: %v", got)
+	}
+	got[0] = 99
+	if in[0] == 99 {
+		t.Error("s>n case aliased input")
+	}
+}
+
+func TestRegularProperty(t *testing.T) {
+	// s samples from n sorted keys: result sorted, correct length,
+	// last sample is the maximum.
+	f := func(nRaw uint16, sRaw uint8) bool {
+		n := int(nRaw%2000) + 1
+		s := int(sRaw%50) + 1
+		sorted := make([]int, n)
+		for i := range sorted {
+			sorted[i] = i * 2
+		}
+		got := Regular(sorted, s)
+		wantLen := min(s, n)
+		if len(got) != wantLen {
+			return false
+		}
+		if !slices.IsSorted(got) {
+			return false
+		}
+		return got[len(got)-1] == sorted[n-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomBlockOnePerBlock(t *testing.T) {
+	n, s := 100, 10
+	sorted := make([]int, n)
+	for i := range sorted {
+		sorted[i] = i
+	}
+	got := RandomBlock(sorted, s, rng(4))
+	if len(got) != s {
+		t.Fatalf("got %d samples, want %d", len(got), s)
+	}
+	for i, v := range got {
+		lo, hi := i*n/s, (i+1)*n/s
+		if v < lo || v >= hi {
+			t.Errorf("sample %d = %d outside its block [%d,%d)", i, v, lo, hi)
+		}
+	}
+	if !slices.IsSorted(got) {
+		t.Error("block samples not sorted")
+	}
+}
+
+func TestRandomBlockEdgeCases(t *testing.T) {
+	if got := RandomBlock([]int{}, 3, rng(1)); len(got) != 0 {
+		t.Errorf("empty: %v", got)
+	}
+	if got := RandomBlock([]int{7}, 5, rng(1)); !slices.Equal(got, []int{7}) {
+		t.Errorf("s>n: %v", got)
+	}
+}
+
+func TestRepresentativeRankAccuracy(t *testing.T) {
+	// Theorem 3.4.1 shape check on one processor: with s = sqrt(2p lnp)/eps
+	// the estimated local rank is within (eps/sqrt(p-ish)) * n of truth;
+	// locally we just require error <= n/s * small factor.
+	const n = 100000
+	sorted := make([]int64, n)
+	for i := range sorted {
+		sorted[i] = int64(i * 3)
+	}
+	s := 1000
+	rep := NewRepresentative(sorted, s, rng(5))
+	icmp := func(a, b int64) int { return cmp.Compare(a, b) }
+	maxErr := int64(0)
+	for probe := int64(0); probe < int64(n*3); probe += 9999 {
+		est := rep.LocalRank(probe, icmp)
+		truth := int64(0)
+		for _, k := range sorted {
+			if k < probe {
+				truth++
+			} else {
+				break
+			}
+		}
+		err := est - truth
+		if err < 0 {
+			err = -err
+		}
+		if err > maxErr {
+			maxErr = err
+		}
+	}
+	// Each sample key stands for n/s keys; the estimator error per query
+	// is O(blockLen) here (single processor, no averaging).
+	if maxErr > int64(3*n/s) {
+		t.Errorf("max rank error %d exceeds 3 blocks (%d)", maxErr, 3*n/s)
+	}
+}
+
+func TestRepresentativeEmpty(t *testing.T) {
+	rep := NewRepresentative([]int64{}, 10, rng(1))
+	if got := rep.LocalRank(5, func(a, b int64) int { return cmp.Compare(a, b) }); got != 0 {
+		t.Errorf("empty representative rank = %d", got)
+	}
+}
+
+func TestRatioScheduleShape(t *testing.T) {
+	p, eps := 1024, 0.05
+	for _, k := range []int{1, 2, 3, 5} {
+		sched := RatioSchedule(p, eps, k)
+		if len(sched) != k {
+			t.Fatalf("k=%d: len %d", k, len(sched))
+		}
+		// Monotone increasing, last equals the one-round ratio.
+		for i := 1; i < k; i++ {
+			if sched[i] <= sched[i-1] {
+				t.Errorf("k=%d: schedule not increasing: %v", k, sched)
+			}
+		}
+		want := OneRoundRatio(p, eps)
+		if math.Abs(sched[k-1]-want)/want > 1e-9 {
+			t.Errorf("k=%d: final ratio %.4f, want %.4f", k, sched[k-1], want)
+		}
+		// Geometric: s_j / s_{j-1} constant.
+		if k >= 3 {
+			r1 := sched[1] / sched[0]
+			r2 := sched[2] / sched[1]
+			if math.Abs(r1-r2)/r1 > 1e-9 {
+				t.Errorf("k=%d: schedule not geometric: %v", k, sched)
+			}
+		}
+	}
+}
+
+func TestOneRoundRatioMatchesPaperExample(t *testing.T) {
+	// §1: p = 64*10^3, eps = 0.05 → sample ≈ p * 2 ln p / eps keys ≈
+	// 250 MB at 8 bytes/key (the paper's "250 MB for HSS with one round").
+	p := 64000
+	s := OneRoundRatio(p, 0.05)
+	bytes := float64(p) * s * 8
+	if bytes < 150e6 || bytes > 500e6 {
+		t.Errorf("one-round sample = %.0f MB, paper says ~250 MB", bytes/1e6)
+	}
+}
+
+func TestAutoRounds(t *testing.T) {
+	if k := AutoRounds(2, 1); k < 1 {
+		t.Errorf("AutoRounds floor broken: %d", k)
+	}
+	// ln(ln(64000)/0.05) = ln(221.6) ≈ 5.4 → 6
+	if k := AutoRounds(64000, 0.05); k != 6 {
+		t.Errorf("AutoRounds(64000, 0.05) = %d, want 6", k)
+	}
+	// Monotone in p.
+	if AutoRounds(1<<20, 0.05) < AutoRounds(1<<10, 0.05) {
+		t.Error("AutoRounds not monotone in p")
+	}
+}
+
+func TestExpectedRoundsFixedMatchesTable61(t *testing.T) {
+	// Table 6.1: f = 5, eps = 0.02, p in 4K..32K → bound = 8.
+	for _, p := range []int{4096, 8192, 16384, 32768} {
+		got, err := ExpectedRoundsFixed(p, 0.02, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 8 {
+			t.Errorf("p=%d: bound %d, paper says 8", p, got)
+		}
+	}
+	if _, err := ExpectedRoundsFixed(1024, 0.02, 2); err == nil {
+		t.Error("f=2 accepted; bound diverges")
+	}
+}
+
+func TestRepresentativeSize(t *testing.T) {
+	// sqrt(2 * 10^4 * ln 10^4)/0.05: positive and growing with p.
+	a := RepresentativeSize(100, 0.05)
+	b := RepresentativeSize(10000, 0.05)
+	if a <= 0 || b <= a {
+		t.Errorf("RepresentativeSize not increasing: %d, %d", a, b)
+	}
+}
+
+func BenchmarkBernoulli(b *testing.B) {
+	keys := make([]int64, 1<<20)
+	r := rng(6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Bernoulli(keys, 0.001, r)
+	}
+}

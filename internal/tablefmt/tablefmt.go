@@ -1,0 +1,109 @@
+// Package tablefmt renders the aligned text tables the experiment
+// binaries print (Table 5.1, Table 6.1, and the figure data series).
+package tablefmt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// New creates a table with the given column headers.
+func New(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// AddRow appends a row; missing cells render empty, extra cells are kept
+// and widen the table.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// String renders the table with two-space column gutters and a rule under
+// the header.
+func (t *Table) String() string {
+	cols := len(t.headers)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.headers)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var b strings.Builder
+	writeRow := func(r []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		// Trim trailing padding.
+		for b.Len() > 0 && b.String()[b.Len()-1] == ' ' {
+			s := b.String()
+			b.Reset()
+			b.WriteString(strings.TrimRight(s, " "))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	rule := make([]string, cols)
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Bytes humanizes a byte count with binary-ish decimal units, matching
+// the paper's style ("184 MB", "1600 GB").
+func Bytes(b float64) string {
+	switch {
+	case b >= 1e12:
+		return fmt.Sprintf("%.4g TB", b/1e12)
+	case b >= 1e9:
+		return fmt.Sprintf("%.4g GB", b/1e9)
+	case b >= 1e6:
+		return fmt.Sprintf("%.4g MB", b/1e6)
+	case b >= 1e3:
+		return fmt.Sprintf("%.4g KB", b/1e3)
+	default:
+		return fmt.Sprintf("%.0f B", b)
+	}
+}
+
+// Count humanizes a key count (K/M/B suffixes as in Fig 4.1's axis).
+func Count(c float64) string {
+	switch {
+	case c >= 1e9:
+		return fmt.Sprintf("%.4gB", c/1e9)
+	case c >= 1e6:
+		return fmt.Sprintf("%.4gM", c/1e6)
+	case c >= 1e3:
+		return fmt.Sprintf("%.4gK", c/1e3)
+	default:
+		return fmt.Sprintf("%.0f", c)
+	}
+}

@@ -1,0 +1,75 @@
+package tablefmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := New("name", "value")
+	tb.AddRow("a", "1")
+	tb.AddRow("longer-name", "22")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Errorf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Errorf("rule: %q", lines[1])
+	}
+	// The value column starts at the same offset in every row.
+	off := strings.Index(lines[2], "1")
+	if strings.Index(lines[3], "22") != off {
+		t.Errorf("columns unaligned:\n%s", out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := New("a")
+	tb.AddRow("x", "extra")
+	tb.AddRow()
+	out := tb.String()
+	if !strings.Contains(out, "extra") {
+		t.Errorf("extra cell dropped:\n%s", out)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{500, "500 B"},
+		{1600e9, "1.6 TB"}, // the paper writes "1600 GB"; same quantity
+		{900e9, "900 GB"},
+		{184e6, "184 MB"},
+		{8.1e9, "8.1 GB"},
+		{2.5e12, "2.5 TB"},
+		{1024, "1.024 KB"},
+	}
+	for _, c := range cases {
+		if got := Bytes(c.in); got != c.want {
+			t.Errorf("Bytes(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{12, "12"},
+		{4000, "4K"},
+		{2.5e6, "2.5M"},
+		{64e9, "64B"},
+	}
+	for _, c := range cases {
+		if got := Count(c.in); got != c.want {
+			t.Errorf("Count(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Package tagging implements the paper's duplicate-handling mechanism
+// (§4.3): every key is implicitly tagged with the processor it resides on
+// and its local index, imposing a strict total order on an input with
+// arbitrary duplication. Splitter-based sorts then behave exactly as on
+// distinct keys — load balance no longer degrades with duplicate counts —
+// at the cost of a constant-factor growth of the histogram probes (the
+// tags travel only with probes and splitters, never with the bulk data,
+// because the tag of an input key is recomputable from its location).
+package tagging
+
+import "fmt"
+
+// Tagged is a key with its disambiguating origin: comparisons order by
+// Key first, then PE (processor), then Idx (local position).
+type Tagged[K any] struct {
+	// Key is the application key.
+	Key K
+	// PE is the rank the key resides on before sorting.
+	PE int32
+	// Idx is the key's index in the rank's local array.
+	Idx int32
+}
+
+// Cmp lifts a key comparator to tagged keys: ties on Key break by
+// (PE, Idx), producing a strict total order.
+func Cmp[K any](cmp func(K, K) int) func(Tagged[K], Tagged[K]) int {
+	return func(a, b Tagged[K]) int {
+		if c := cmp(a.Key, b.Key); c != 0 {
+			return c
+		}
+		if a.PE != b.PE {
+			if a.PE < b.PE {
+				return -1
+			}
+			return 1
+		}
+		if a.Idx != b.Idx {
+			if a.Idx < b.Idx {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	}
+}
+
+// Wrap tags each local key with this rank and its local index. It panics
+// if the local array exceeds the int32 index space (2^31-1 keys per rank,
+// far beyond the simulated scale).
+func Wrap[K any](local []K, rank int) []Tagged[K] {
+	if len(local) > 1<<31-1 {
+		panic(fmt.Sprintf("tagging: local size %d exceeds int32 index space", len(local)))
+	}
+	out := make([]Tagged[K], len(local))
+	for i, k := range local {
+		out[i] = Tagged[K]{Key: k, PE: int32(rank), Idx: int32(i)}
+	}
+	return out
+}
+
+// Unwrap strips the tags, preserving order.
+func Unwrap[K any](tagged []Tagged[K]) []K {
+	out := make([]K, len(tagged))
+	for i, t := range tagged {
+		out[i] = t.Key
+	}
+	return out
+}

@@ -1,0 +1,29 @@
+package hssort
+
+import "cmp"
+
+// KV pairs a sortable key with an opaque payload that travels with it
+// through the exchange — the paper's experimental records are 8-byte
+// integer keys with a 4-byte payload (Fig 6.1). Payloads are never
+// inspected: all splitter decisions use only keys.
+type KV[K cmp.Ordered, V any] struct {
+	// Key orders the record.
+	Key K
+	// Val rides along.
+	Val V
+}
+
+// CompareKV orders KV records by key. Records with equal keys compare
+// equal; combine with Config.TagDuplicates for a strict total order on
+// duplicate-heavy data.
+func CompareKV[K cmp.Ordered, V any](a, b KV[K, V]) int {
+	return cmp.Compare(a.Key, b.Key)
+}
+
+// SortKV sorts keyed records across simulated processors; see Sort for
+// semantics. The HistogramSort and Radix algorithms are unavailable for
+// records (they need key-space arithmetic); use the HSS variants or the
+// sample sorts.
+func SortKV[K cmp.Ordered, V any](cfg Config, shards [][]KV[K, V]) ([][]KV[K, V], Stats, error) {
+	return SortFunc(cfg, shards, CompareKV[K, V])
+}

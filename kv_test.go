@@ -1,0 +1,115 @@
+package hssort
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+)
+
+func TestSortKVCarriesPayloads(t *testing.T) {
+	const p, perRank = 4, 2000
+	// Payload = the key's original (rank, index) so we can verify every
+	// record arrived intact.
+	type origin struct{ rank, idx int32 }
+	shards := make([][]KV[int64, origin], p)
+	seen := map[origin]int64{}
+	for r := range shards {
+		rng := rand.New(rand.NewPCG(uint64(r), 5))
+		shards[r] = make([]KV[int64, origin], perRank)
+		for i := range shards[r] {
+			o := origin{int32(r), int32(i)}
+			k := rng.Int64N(1 << 40)
+			shards[r][i] = KV[int64, origin]{Key: k, Val: o}
+			seen[o] = k
+		}
+	}
+	outs, stats, err := SortKV(Config{Procs: p, Epsilon: 0.1, Seed: 3}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Imbalance > 1.1+1e-9 {
+		t.Errorf("imbalance %.4f", stats.Imbalance)
+	}
+	count := 0
+	var prev int64 = -1 << 62
+	for _, o := range outs {
+		for _, rec := range o {
+			if rec.Key < prev {
+				t.Fatal("records out of order")
+			}
+			prev = rec.Key
+			want, ok := seen[rec.Val]
+			if !ok || want != rec.Key {
+				t.Fatalf("payload %v detached from its key (%d vs %d)", rec.Val, rec.Key, want)
+			}
+			delete(seen, rec.Val)
+			count++
+		}
+	}
+	if count != p*perRank || len(seen) != 0 {
+		t.Fatalf("records lost: %d arrived, %d unaccounted", count, len(seen))
+	}
+}
+
+func TestSortKVWithTagging(t *testing.T) {
+	const p, perRank = 4, 1000
+	shards := make([][]KV[int64, int32], p)
+	for r := range shards {
+		shards[r] = make([]KV[int64, int32], perRank)
+		for i := range shards[r] {
+			shards[r][i] = KV[int64, int32]{Key: int64(i % 3), Val: int32(i)}
+		}
+	}
+	outs, stats, err := SortKV(Config{Procs: p, Epsilon: 0.1, TagDuplicates: true, Seed: 7}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Imbalance > 1.1+1e-9 {
+		t.Errorf("tagged KV imbalance %.4f", stats.Imbalance)
+	}
+	total := 0
+	for _, o := range outs {
+		if !slices.IsSortedFunc(o, CompareKV[int64, int32]) {
+			t.Fatal("output not sorted")
+		}
+		total += len(o)
+	}
+	if total != p*perRank {
+		t.Fatalf("record count %d", total)
+	}
+}
+
+func TestSortKVAllHSSAlgorithms(t *testing.T) {
+	const p = 4
+	shards := make([][]KV[int64, uint32], p)
+	for r := range shards {
+		rng := rand.New(rand.NewPCG(uint64(r), 9))
+		for i := 0; i < 800; i++ {
+			shards[r] = append(shards[r], KV[int64, uint32]{Key: rng.Int64(), Val: uint32(i)})
+		}
+	}
+	for _, alg := range []Algorithm{HSS, HSSOneRound, HSSTheoretical, SampleSortRegular, SampleSortRandom} {
+		in := make([][]KV[int64, uint32], p)
+		for i := range shards {
+			in[i] = slices.Clone(shards[i])
+		}
+		outs, _, err := SortKV(Config{Procs: p, Algorithm: alg, Epsilon: 0.2}, in)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		var prev int64 = -1 << 62
+		n := 0
+		for _, o := range outs {
+			for _, rec := range o {
+				if rec.Key < prev {
+					t.Fatalf("%v: out of order", alg)
+				}
+				prev = rec.Key
+				n++
+			}
+		}
+		if n != p*800 {
+			t.Fatalf("%v: %d records", alg, n)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package hssort
+
+import (
+	"slices"
+	"strings"
+	"testing"
+	"time"
+
+	"hssort/internal/dist"
+)
+
+// TestSortManyRanks exercises the runtime at a rank count well beyond
+// the other tests (one goroutine per rank; mailbox matching must stay
+// sub-quadratic in practice).
+func TestSortManyRanks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-rank world")
+	}
+	const p, perRank = 256, 400
+	shards := dist.Spec{Kind: dist.Gaussian}.Shards(perRank, p, 3)
+	var want []int64
+	for _, s := range shards {
+		want = append(want, s...)
+	}
+	slices.Sort(want)
+	outs, stats, err := Sort(Config{Procs: p, Epsilon: 0.1, Seed: 5, Timeout: 5 * time.Minute}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	for _, o := range outs {
+		got = append(got, o...)
+	}
+	if !slices.Equal(got, want) {
+		t.Fatal("256-rank sort incorrect")
+	}
+	if stats.Imbalance > 1.1+1e-9 {
+		t.Errorf("imbalance %.4f", stats.Imbalance)
+	}
+}
+
+// TestSortTimeoutSurfacesCleanly: an absurdly short timeout must produce
+// an error mentioning the abort, never a hang or a panic.
+func TestSortTimeoutSurfacesCleanly(t *testing.T) {
+	const p = 16
+	shards := dist.Spec{Kind: dist.Uniform}.Shards(200000, p, 3)
+	_, _, err := Sort(Config{Procs: p, Timeout: 1 * time.Nanosecond}, shards)
+	if err == nil {
+		t.Skip("sort beat the 1ns timeout (!)")
+	}
+	if !strings.Contains(err.Error(), "abort") && !strings.Contains(err.Error(), "timeout") {
+		t.Errorf("timeout error does not mention the abort: %v", err)
+	}
+}
+
+// TestOverPartitionFacade: per-rank sorted output, union is a
+// permutation (rank order intentionally does not follow key order).
+func TestOverPartitionFacade(t *testing.T) {
+	const p, perRank = 8, 1500
+	shards := dist.Spec{Kind: dist.Exponential}.Shards(perRank, p, 11)
+	var want []int64
+	for _, s := range shards {
+		want = append(want, s...)
+	}
+	slices.Sort(want)
+	outs, stats, err := Sort(Config{Procs: p, Algorithm: OverPartition, Seed: 3}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	for _, o := range outs {
+		if !slices.IsSorted(o) {
+			t.Fatal("rank output not sorted")
+		}
+		got = append(got, o...)
+	}
+	slices.Sort(got)
+	if !slices.Equal(got, want) {
+		t.Fatal("not a permutation")
+	}
+	if stats.Imbalance > 2 {
+		t.Errorf("LPT imbalance %.3f", stats.Imbalance)
+	}
+}
+
+// TestRepeatedSortsSameWorldSeedsDiffer: same configuration with
+// different seeds must still sort correctly (no hidden seed coupling),
+// and identical seeds must reproduce identical stats.
+func TestSortDeterministicGivenSeed(t *testing.T) {
+	const p, perRank = 6, 2000
+	run := func(seed uint64) ([]int64, Stats) {
+		shards := dist.Spec{Kind: dist.PowerSkew}.Shards(perRank, p, 9)
+		outs, stats, err := Sort(Config{Procs: p, Epsilon: 0.1, Seed: seed}, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var flat []int64
+		for _, o := range outs {
+			flat = append(flat, o...)
+		}
+		return flat, stats
+	}
+	a1, s1 := run(7)
+	a2, s2 := run(7)
+	b, _ := run(8)
+	if !slices.Equal(a1, a2) {
+		t.Error("same seed produced different outputs")
+	}
+	if s1.Rounds != s2.Rounds || s1.TotalSample != s2.TotalSample {
+		t.Errorf("same seed produced different protocol stats: %+v vs %+v", s1, s2)
+	}
+	if !slices.Equal(a1, b) {
+		t.Error("different seeds changed the sorted output (it must be seed-independent)")
+	}
+}
+
+// TestAllAlgorithmsUnderRace is a compact everything-at-once run meant
+// to be exercised with -race in CI: one sort per algorithm, small data.
+func TestAllAlgorithmsUnderRace(t *testing.T) {
+	const p, perRank = 4, 300
+	algs := []Algorithm{HSS, HSSOneRound, HSSTheoretical, SampleSortRegular,
+		SampleSortRandom, HistogramSort, Bitonic, Radix, NodeHSS, OverPartition}
+	for _, alg := range algs {
+		shards := dist.Spec{Kind: dist.Uniform}.Shards(perRank, p, 13)
+		cfg := Config{Procs: p, Algorithm: alg, Epsilon: 0.2, Seed: 3}
+		if alg == NodeHSS {
+			cfg.CoresPerNode = 2
+		}
+		if _, _, err := Sort(cfg, shards); err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+	}
+}
