@@ -309,3 +309,42 @@ func BenchmarkBaselinesEndToEnd(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkTransportBackends compares the simulated byte-accounted
+// backend (TransportSim) against the zero-copy in-process fast path
+// (TransportInproc) on the three main algorithm families. The comm-bound
+// shapes (many ranks, microshards — the splitter protocol dominates, as
+// at the paper's real processor counts) isolate per-message transport
+// overhead: pair queues and targeted wakeups buy inproc a consistent
+// win there. The data-bound shape shows the ceiling once local sort and
+// merge dominate the critical path and the backends converge.
+func BenchmarkTransportBackends(b *testing.B) {
+	shapes := []struct {
+		name       string
+		p, perRank int
+		algs       []Algorithm
+	}{
+		{"comm-bound/p=192/n=16", 192, 16, []Algorithm{HSS, SampleSortRegular, HistogramSort}},
+		{"comm-bound/p=256/n=8", 256, 8, []Algorithm{HSS}},
+		{"data-bound/p=8/n=100000", 8, 100000, []Algorithm{HSS}},
+	}
+	for _, shape := range shapes {
+		for _, alg := range shape.algs {
+			for _, tr := range []Transport{TransportSim, TransportInproc} {
+				b.Run(fmt.Sprintf("%s/%s/%s", shape.name, alg, tr), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						b.StopTimer()
+						shards := dist.Spec{Kind: dist.Uniform}.Shards(shape.perRank, shape.p, uint64(i)+1)
+						b.StartTimer()
+						_, _, err := Sort(Config{
+							Procs: shape.p, Algorithm: alg, Epsilon: 0.1, Seed: 3, Transport: tr,
+						}, shards)
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}

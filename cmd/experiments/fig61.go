@@ -34,6 +34,7 @@ func runFig61(scale float64) error {
 		}
 		_, stats, err := hssort.SortKV(hssort.Config{
 			Procs: p, Epsilon: 0.02, Seed: 7, Timeout: 10 * time.Minute,
+			Transport: transport,
 		}, shards)
 		if err != nil {
 			return err

@@ -31,6 +31,7 @@ func runFig62(scale float64) error {
 			cfg := hssort.Config{
 				Procs: p, Buckets: buckets, RoundRobinBuckets: true,
 				Epsilon: 0.05, Seed: 5, Timeout: 10 * time.Minute,
+				Transport: transport,
 			}
 			_, hssStats, err := hssort.Sort(cfg, cloneShards(shards))
 			if err != nil {

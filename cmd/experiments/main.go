@@ -18,6 +18,8 @@ import (
 	"os"
 	"sort"
 	"strings"
+
+	"hssort"
 )
 
 // experiment is one regenerable table or figure.
@@ -37,10 +39,22 @@ var experiments = []experiment{
 	{"approx", "§3.4 approximate rank oracle accuracy validation", runApprox},
 }
 
+// transport is the comm backend the sorting experiments run over, set by
+// the -transport flag. The default (sim) reproduces the paper's
+// byte-accounted numbers; inproc reports wall-clock speed only.
+var transport hssort.Transport
+
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (or 'all', or 'list')")
 	scale := flag.Float64("scale", 1, "scale factor for simulated problem sizes")
+	trName := flag.String("transport", "sim", "comm backend for the sorting experiments: sim or inproc")
 	flag.Parse()
+
+	var err error
+	if transport, err = hssort.ParseTransport(*trName); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *exp == "list" {
 		for _, e := range experiments {

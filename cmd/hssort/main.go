@@ -71,6 +71,7 @@ func main() {
 		tag     = flag.Bool("tag", false, "tag duplicates (§4.3)")
 		approx  = flag.Bool("approx", false, "approximate histogramming (§3.4)")
 		seed    = flag.Uint64("seed", 1, "random seed")
+		trName  = flag.String("transport", "sim", "comm backend: sim (byte-accounted) or inproc (shared-memory fast path)")
 		verbose = flag.Bool("v", false, "verify the output is globally sorted")
 	)
 	flag.Parse()
@@ -78,6 +79,11 @@ func main() {
 	alg, ok := algorithms[*algName]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown algorithm %q; known: %s\n", *algName, names(algorithms))
+		os.Exit(2)
+	}
+	transport, err := hssort.ParseTransport(*trName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	kind, ok := distributions[*dsName]
@@ -106,6 +112,7 @@ func main() {
 		TagDuplicates: *tag,
 		Approx:        *approx,
 		Seed:          *seed,
+		Transport:     transport,
 	}
 	start := time.Now()
 	outs, stats, err := hssort.Sort(cfg, shards)
@@ -115,8 +122,12 @@ func main() {
 	}
 	wall := time.Since(start)
 
-	fmt.Printf("%s: sorted %s %s keys on %d simulated processors in %v\n\n",
-		alg, tablefmt.Count(float64(stats.N)), *dsName, *p, wall.Round(time.Millisecond))
+	fmt.Printf("%s: sorted %s %s keys on %d simulated processors in %v (%s transport)\n\n",
+		alg, tablefmt.Count(float64(stats.N)), *dsName, *p, wall.Round(time.Millisecond), transport)
+	if transport == hssort.TransportInproc {
+		fmt.Println("note: the inproc transport does no byte accounting; byte/message metrics read zero")
+		fmt.Println()
+	}
 	t := tablefmt.New("metric", "value")
 	t.AddRow("local sort (max over ranks)", stats.LocalSort.Round(10*time.Microsecond).String())
 	t.AddRow("splitter determination", stats.Splitter.Round(10*time.Microsecond).String())

@@ -1,0 +1,3 @@
+module hssort
+
+go 1.24

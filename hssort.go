@@ -140,6 +140,10 @@ type Config struct {
 	TagDuplicates bool
 	// Approx enables §3.4 approximate histogramming (HSS variants).
 	Approx bool
+	// Transport selects the communication backend: TransportSim (the
+	// default, fully byte-accounted) or TransportInproc (zero-copy
+	// shared-memory fast path; communication-volume Stats read zero).
+	Transport Transport
 	// Seed makes randomized phases reproducible. Default 1.
 	Seed uint64
 	// Timeout aborts a wedged run (protocol-bug safety net). Default
@@ -260,8 +264,12 @@ func sortImpl[K any](cfg Config, shards [][]K, compare func(K, K) int, coder key
 func runWorld[K any](cfg Config, shards [][]K, compare func(K, K) int, coder keycoder.Coder[K]) ([][]K, Stats, error) {
 	outs := make([][]K, cfg.Procs)
 	var stats Stats
-	w := comm.NewWorld(cfg.Procs, comm.WithTimeout(cfg.Timeout))
-	err := w.Run(func(c *comm.Comm) error {
+	tr, err := cfg.Transport.newTransport(cfg.Procs)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	w := comm.NewWorld(cfg.Procs, comm.WithTimeout(cfg.Timeout), comm.WithTransport(tr))
+	err = w.Run(func(c *comm.Comm) error {
 		out, st, err := dispatch(c, shards[c.Rank()], cfg, compare, coder)
 		if err != nil {
 			return err

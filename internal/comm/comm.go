@@ -1,24 +1,30 @@
-// Package comm is a simulated distributed message-passing runtime: the
-// substrate that stands in for MPI/Charm++ in this reproduction.
+// Package comm is the distributed message-passing runtime that stands in
+// for MPI/Charm++ in this reproduction.
 //
-// A World hosts p ranks. Run launches one goroutine per rank executing the
-// same SPMD function, mirroring how the paper's algorithm runs one process
-// per core. Ranks share no mutable state; all interaction flows through
-// Send/Recv with explicit byte accounting, so communication volume and
-// message counts — the quantities in the paper's BSP analysis (§5.1) — are
-// measured, not estimated.
+// A World hosts p ranks over a pluggable Transport. Run launches one
+// goroutine per rank executing the same SPMD function, mirroring how the
+// paper's algorithm runs one process per core. Ranks share no mutable
+// state; all interaction flows through Send/Recv.
 //
-// Semantics:
+// Two transports ship with the repository (see Transport):
 //
-//   - Send is asynchronous and never blocks (mailboxes are unbounded), so
-//     no protocol can deadlock on buffer exhaustion — matching MPI's
+//   - SimTransport (default): the simulated "accounting" backend. Bytes
+//     are counted as if every payload were serialized, so communication
+//     volume and message counts — the quantities in the paper's BSP
+//     analysis (§5.1) — are measured, not estimated.
+//   - InprocTransport: the zero-copy shared-memory fast path for
+//     throughput runs, with no accounting overhead.
+//
+// Semantics common to both:
+//
+//   - Send is asynchronous and never blocks (mailboxes are unbounded),
+//     so no protocol can deadlock on buffer exhaustion — matching MPI's
 //     buffered-send model that the paper's collectives assume.
 //   - Recv blocks until a message matching (src, tag) arrives. Matching
 //     messages from one sender with one tag are delivered in send order
 //     (pairwise FIFO, the MPI non-overtaking rule).
 //   - Payloads are passed by reference (shared memory under the hood);
-//     a sender must not touch a payload after sending. Bytes are counted
-//     as if the payload were serialized.
+//     a sender must not touch a payload after sending.
 //
 // A panic in any rank aborts the whole World, unblocking every Recv with
 // ErrAborted — otherwise a bug in one rank would deadlock the rest.
@@ -51,7 +57,8 @@ type Message struct {
 	Tag Tag
 	// Payload is the transferred value, shared by reference.
 	Payload any
-	// Bytes is the accounted wire size of Payload.
+	// Bytes is the accounted wire size of Payload (zero under
+	// non-accounting transports).
 	Bytes int64
 }
 
@@ -75,26 +82,20 @@ func (c *Counters) Add(other Counters) {
 
 // Interceptor observes (and may veto) every message at send time. Used by
 // tests for fault injection: returning a non-nil error makes the Send fail
-// with that error.
+// with that error. Interception is a SimTransport feature.
 type Interceptor func(src, dst int, m *Message) error
 
-// mailbox is one rank's unbounded inbox.
-type mailbox struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	queue []Message
+// panicSize reports an invalid world size.
+func panicSize(p int) {
+	panic(fmt.Sprintf("comm: world size %d < 1", p))
 }
 
-// World hosts p ranks and their mailboxes.
+// World hosts p ranks over a Transport and orchestrates their lifecycle:
+// SPMD launch, panic containment, and the watchdog timeout.
 type World struct {
-	p           int
-	boxes       []*mailbox
-	counters    []Counters
-	interceptor Interceptor
+	t           Transport
 	timeout     time.Duration
-
-	abortMu  sync.Mutex
-	abortErr error
+	interceptor Interceptor
 }
 
 // Option configures a World.
@@ -107,58 +108,54 @@ func WithTimeout(d time.Duration) Option {
 }
 
 // WithInterceptor installs a message interceptor for fault injection.
+// Interception requires the (default) SimTransport backend; NewWorld
+// panics if it is combined with a transport that cannot intercept.
 func WithInterceptor(ic Interceptor) Option {
 	return func(w *World) { w.interceptor = ic }
 }
 
-// NewWorld creates a World with p ranks. It panics if p < 1.
+// WithTransport runs the World over t instead of the default simulated
+// backend. The transport's size must match the world size.
+func WithTransport(t Transport) Option {
+	return func(w *World) { w.t = t }
+}
+
+// NewWorld creates a World with p ranks. Without WithTransport it runs
+// over a fresh SimTransport. It panics if p < 1 or if a supplied
+// transport connects a different number of ranks.
 func NewWorld(p int, opts ...Option) *World {
 	if p < 1 {
-		panic(fmt.Sprintf("comm: world size %d < 1", p))
+		panicSize(p)
 	}
-	w := &World{
-		p:        p,
-		boxes:    make([]*mailbox, p),
-		counters: make([]Counters, p),
-	}
-	for i := range w.boxes {
-		mb := &mailbox{}
-		mb.cond = sync.NewCond(&mb.mu)
-		w.boxes[i] = mb
-	}
+	w := &World{}
 	for _, o := range opts {
 		o(w)
+	}
+	if w.t == nil {
+		w.t = NewSimTransport(p)
+	}
+	if w.t.Size() != p {
+		panic(fmt.Sprintf("comm: transport size %d != world size %d", w.t.Size(), p))
+	}
+	if w.interceptor != nil {
+		st, ok := w.t.(*SimTransport)
+		if !ok {
+			panic(fmt.Sprintf("comm: WithInterceptor requires SimTransport, not %T", w.t))
+		}
+		st.SetInterceptor(w.interceptor)
 	}
 	return w
 }
 
 // Size returns the number of ranks.
-func (w *World) Size() int { return w.p }
+func (w *World) Size() int { return w.t.Size() }
+
+// Transport returns the backend the World runs over.
+func (w *World) Transport() Transport { return w.t }
 
 // Abort unblocks all pending and future Send/Recv calls with err (wrapped
 // in ErrAborted if err is nil). The first abort wins.
-func (w *World) Abort(err error) {
-	w.abortMu.Lock()
-	if w.abortErr == nil {
-		if err == nil {
-			err = ErrAborted
-		}
-		w.abortErr = err
-	}
-	w.abortMu.Unlock()
-	for _, mb := range w.boxes {
-		mb.mu.Lock()
-		mb.cond.Broadcast()
-		mb.mu.Unlock()
-	}
-}
-
-// aborted returns the abort error, or nil if the world is live.
-func (w *World) aborted() error {
-	w.abortMu.Lock()
-	defer w.abortMu.Unlock()
-	return w.abortErr
-}
+func (w *World) Abort(err error) { w.t.Abort(err) }
 
 // Run executes fn concurrently on every rank and waits for all to finish.
 // It returns the joined errors of all ranks. A panic in any rank aborts
@@ -172,9 +169,10 @@ func (w *World) Run(fn func(c *Comm) error) error {
 		})
 		defer timer.Stop()
 	}
+	p := w.Size()
 	var wg sync.WaitGroup
-	errs := make([]error, w.p)
-	for r := 0; r < w.p; r++ {
+	errs := make([]error, p)
+	for r := 0; r < p; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
@@ -194,23 +192,13 @@ func (w *World) Run(fn func(c *Comm) error) error {
 
 // Counters returns a copy of rank r's traffic counters. Call after Run
 // returns (or from rank r itself) to avoid racing the owning goroutine.
-func (w *World) Counters(r int) Counters { return w.counters[r] }
+func (w *World) Counters(r int) Counters { return w.t.Counters(r) }
 
 // TotalCounters sums counters across all ranks.
-func (w *World) TotalCounters() Counters {
-	var total Counters
-	for i := range w.counters {
-		total.Add(w.counters[i])
-	}
-	return total
-}
+func (w *World) TotalCounters() Counters { return w.t.TotalCounters() }
 
 // ResetCounters zeroes all counters. Only call while no ranks are running.
-func (w *World) ResetCounters() {
-	for i := range w.counters {
-		w.counters[i] = Counters{}
-	}
-}
+func (w *World) ResetCounters() { w.t.ResetCounters() }
 
 // Comm is one rank's handle to the World. Endpoint abstracts it so
 // sub-groups (internal/collective.Group) can reuse the collectives.
@@ -240,64 +228,35 @@ var _ Endpoint = (*Comm)(nil)
 func (c *Comm) Rank() int { return c.rank }
 
 // Size returns the World size.
-func (c *Comm) Size() int { return c.w.p }
+func (c *Comm) Size() int { return c.w.Size() }
 
 // World returns the hosting World (for counters and abort).
 func (c *Comm) World() *World { return c.w }
 
 // Counters returns this rank's own traffic counters.
-func (c *Comm) Counters() Counters { return c.w.counters[c.rank] }
+func (c *Comm) Counters() Counters { return c.w.t.Counters(c.rank) }
 
 // Send delivers payload to rank dst on stream tag. bytes is the accounted
 // wire size of the payload (use the Slice/Value helpers to compute it).
 // Send never blocks; it fails only if dst is invalid or the World aborted.
 func (c *Comm) Send(dst int, tag Tag, payload any, bytes int64) error {
-	if dst < 0 || dst >= c.w.p {
-		return fmt.Errorf("comm: rank %d sent to invalid rank %d (world size %d)", c.rank, dst, c.w.p)
+	if dst < 0 || dst >= c.w.Size() {
+		return fmt.Errorf("comm: rank %d sent to invalid rank %d (world size %d)", c.rank, dst, c.w.Size())
 	}
-	if err := c.w.aborted(); err != nil {
-		return err
-	}
-	m := Message{Src: c.rank, Tag: tag, Payload: payload, Bytes: bytes}
-	if ic := c.w.interceptor; ic != nil {
-		if err := ic(c.rank, dst, &m); err != nil {
-			return err
-		}
-	}
-	mb := c.w.boxes[dst]
-	mb.mu.Lock()
-	mb.queue = append(mb.queue, m)
-	mb.cond.Broadcast()
-	mb.mu.Unlock()
-	cnt := &c.w.counters[c.rank]
-	cnt.MsgsSent++
-	cnt.BytesSent += bytes
-	return nil
+	return c.w.t.Send(c.rank, dst, tag, payload, bytes)
 }
 
 // Recv blocks until a message matching (src, tag) arrives and returns it.
 // src may be AnySource. Messages from one sender on one tag arrive in send
 // order; messages that do not match are left queued for other Recv calls.
 func (c *Comm) Recv(src int, tag Tag) (Message, error) {
-	if src != AnySource && (src < 0 || src >= c.w.p) {
+	if src != AnySource && (src < 0 || src >= c.w.Size()) {
 		return Message{}, fmt.Errorf("comm: rank %d receiving from invalid rank %d", c.rank, src)
 	}
-	mb := c.w.boxes[c.rank]
-	mb.mu.Lock()
-	defer mb.mu.Unlock()
-	for {
-		for i, m := range mb.queue {
-			if (src == AnySource || m.Src == src) && m.Tag == tag {
-				mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
-				cnt := &c.w.counters[c.rank]
-				cnt.MsgsRecv++
-				cnt.BytesRecv += m.Bytes
-				return m, nil
-			}
-		}
-		if err := c.w.aborted(); err != nil {
-			return Message{}, err
-		}
-		mb.cond.Wait()
-	}
+	return c.w.t.Recv(c.rank, src, tag)
 }
+
+// Barrier blocks until every rank of the World has entered it. Unlike
+// collective.Barrier (which is built from Send/Recv and also works over
+// sub-groups), this is the transport's native whole-world barrier.
+func (c *Comm) Barrier() error { return c.w.t.Barrier(c.rank) }

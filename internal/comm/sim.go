@@ -1,0 +1,141 @@
+package comm
+
+import "sync"
+
+// mailbox is one rank's unbounded inbox: a single arrival-ordered queue
+// scanned for the first envelope match, mirroring MPI's unexpected
+// message queue.
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []Message
+}
+
+// SimTransport is the simulated, byte-accounted message-passing backend —
+// the substrate behind all of the paper's BSP measurements. Every Send
+// charges the accounted wire size to per-rank Counters, an optional
+// Interceptor can observe and veto messages for fault injection, and Recv
+// matches envelopes against a single arrival-ordered queue per rank (so
+// AnySource follows arrival order, like an MPI unexpected-message queue).
+//
+// SimTransport is the default backend of NewWorld. Use InprocTransport
+// when throughput matters more than accounting fidelity.
+type SimTransport struct {
+	p           int
+	boxes       []*mailbox
+	counters    []Counters
+	interceptor Interceptor
+	abort       abortState
+	bar         *cyclicBarrier
+}
+
+var _ Transport = (*SimTransport)(nil)
+
+// NewSimTransport creates a simulated transport connecting p ranks. It
+// panics if p < 1.
+func NewSimTransport(p int) *SimTransport {
+	if p < 1 {
+		panicSize(p)
+	}
+	t := &SimTransport{
+		p:        p,
+		boxes:    make([]*mailbox, p),
+		counters: make([]Counters, p),
+	}
+	for i := range t.boxes {
+		mb := &mailbox{}
+		mb.cond = sync.NewCond(&mb.mu)
+		t.boxes[i] = mb
+	}
+	t.bar = newCyclicBarrier(p, t.Err)
+	return t
+}
+
+// SetInterceptor installs a message interceptor for fault injection.
+// Call before any rank starts sending.
+func (t *SimTransport) SetInterceptor(ic Interceptor) { t.interceptor = ic }
+
+// Size returns the number of ranks.
+func (t *SimTransport) Size() int { return t.p }
+
+// Send enqueues the message in dst's mailbox and charges src's counters.
+func (t *SimTransport) Send(src, dst int, tag Tag, payload any, bytes int64) error {
+	if err := t.abort.get(); err != nil {
+		return err
+	}
+	m := Message{Src: src, Tag: tag, Payload: payload, Bytes: bytes}
+	if ic := t.interceptor; ic != nil {
+		if err := ic(src, dst, &m); err != nil {
+			return err
+		}
+	}
+	mb := t.boxes[dst]
+	mb.mu.Lock()
+	mb.queue = append(mb.queue, m)
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
+	cnt := &t.counters[src]
+	cnt.MsgsSent++
+	cnt.BytesSent += bytes
+	return nil
+}
+
+// Recv scans dst's mailbox in arrival order for the first (src, tag)
+// match, blocking until one arrives, and charges dst's counters.
+func (t *SimTransport) Recv(dst, src int, tag Tag) (Message, error) {
+	mb := t.boxes[dst]
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i, m := range mb.queue {
+			if (src == AnySource || m.Src == src) && m.Tag == tag {
+				mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+				cnt := &t.counters[dst]
+				cnt.MsgsRecv++
+				cnt.BytesRecv += m.Bytes
+				return m, nil
+			}
+		}
+		if err := t.abort.get(); err != nil {
+			return Message{}, err
+		}
+		mb.cond.Wait()
+	}
+}
+
+// Barrier blocks until all p ranks have entered.
+func (t *SimTransport) Barrier(int) error { return t.bar.await() }
+
+// Abort latches err and unblocks all pending and future operations.
+func (t *SimTransport) Abort(err error) {
+	t.abort.set(err)
+	for _, mb := range t.boxes {
+		mb.mu.Lock()
+		mb.cond.Broadcast()
+		mb.mu.Unlock()
+	}
+	t.bar.wake()
+}
+
+// Err returns the abort error, or nil while the transport is live.
+func (t *SimTransport) Err() error { return t.abort.get() }
+
+// Counters returns a copy of rank r's traffic counters. Call after Run
+// returns (or from rank r itself) to avoid racing the owning goroutine.
+func (t *SimTransport) Counters(r int) Counters { return t.counters[r] }
+
+// TotalCounters sums counters across all ranks.
+func (t *SimTransport) TotalCounters() Counters {
+	var total Counters
+	for i := range t.counters {
+		total.Add(t.counters[i])
+	}
+	return total
+}
+
+// ResetCounters zeroes all counters. Only call while no ranks are running.
+func (t *SimTransport) ResetCounters() {
+	for i := range t.counters {
+		t.counters[i] = Counters{}
+	}
+}

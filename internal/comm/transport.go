@@ -1,0 +1,134 @@
+package comm
+
+import "sync"
+
+// Transport is the pluggable message-delivery backend a World runs over.
+// Two implementations ship with the repository:
+//
+//   - SimTransport (the default): the simulated, fully byte-accounted
+//     runtime used for the paper's BSP measurements. Every message
+//     carries an accounted wire size, per-rank Counters track traffic,
+//     and an Interceptor can veto sends for fault injection.
+//   - InprocTransport: a zero-copy shared-memory fast path for
+//     production-style throughput runs. Payloads move by reference with
+//     no serialization accounting and no per-message envelope
+//     bookkeeping; Counters read zero.
+//
+// The contract every implementation must honor (the conformance suite in
+// transport_test.go checks it against both backends):
+//
+//   - Send is asynchronous and never blocks (unbounded buffering).
+//   - Recv blocks until a message matching (src, tag) arrives; src may
+//     be AnySource. Messages from one sender on one tag are delivered
+//     in send order (pairwise FIFO, the MPI non-overtaking rule).
+//     AnySource carries no ordering guarantee across senders.
+//   - Barrier blocks until all ranks have entered it.
+//   - Abort latches the first error and unblocks every pending and
+//     future Send/Recv/Barrier with it.
+//
+// Callers pass valid rank indexes: Comm validates user-supplied ranks
+// before delegating, so transports may assume 0 <= src, dst < Size()
+// (src additionally may be AnySource in Recv).
+type Transport interface {
+	// Size returns the number of ranks the transport connects.
+	Size() int
+	// Send delivers payload from rank src to rank dst on stream tag;
+	// bytes is the accounted wire size (ignored by non-accounting
+	// backends).
+	Send(src, dst int, tag Tag, payload any, bytes int64) error
+	// Recv blocks until rank dst has a message matching (src, tag) and
+	// returns it; src may be AnySource.
+	Recv(dst, src int, tag Tag) (Message, error)
+	// Barrier blocks rank until every rank has entered the barrier.
+	Barrier(rank int) error
+	// Abort unblocks all pending and future operations with err (or
+	// ErrAborted if err is nil). The first abort wins.
+	Abort(err error)
+	// Err returns the abort error, or nil while the transport is live.
+	Err() error
+
+	// Counters returns rank r's traffic counters: the byte-accounting
+	// hook behind the paper's communication-volume measurements.
+	// Non-accounting backends return the zero Counters.
+	Counters(r int) Counters
+	// TotalCounters sums counters across all ranks.
+	TotalCounters() Counters
+	// ResetCounters zeroes all counters. Only call while no ranks are
+	// running.
+	ResetCounters()
+}
+
+// abortState is the first-abort-wins error latch shared by the built-in
+// transports.
+type abortState struct {
+	mu  sync.Mutex
+	err error
+}
+
+// set latches err (ErrAborted if nil) unless an abort already happened.
+func (a *abortState) set(err error) {
+	if err == nil {
+		err = ErrAborted
+	}
+	a.mu.Lock()
+	if a.err == nil {
+		a.err = err
+	}
+	a.mu.Unlock()
+}
+
+// get returns the latched abort error, or nil.
+func (a *abortState) get() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.err
+}
+
+// cyclicBarrier is a reusable p-party barrier that unblocks early when
+// the owning transport aborts.
+type cyclicBarrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	size    int
+	arrived int
+	gen     uint64
+	aborted func() error
+}
+
+func newCyclicBarrier(size int, aborted func() error) *cyclicBarrier {
+	b := &cyclicBarrier{size: size, aborted: aborted}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// await blocks until size parties have called it (one generation), or
+// until the transport aborts.
+func (b *cyclicBarrier) await() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.aborted(); err != nil {
+		return err
+	}
+	gen := b.gen
+	b.arrived++
+	if b.arrived == b.size {
+		b.arrived = 0
+		b.gen++
+		b.cond.Broadcast()
+		return nil
+	}
+	for b.gen == gen {
+		b.cond.Wait()
+		if err := b.aborted(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// wake unblocks all waiters so they can observe an abort.
+func (b *cyclicBarrier) wake() {
+	b.mu.Lock()
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}

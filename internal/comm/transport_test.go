@@ -1,0 +1,334 @@
+package comm
+
+// Transport conformance suite: every test in this file runs against both
+// built-in backends, pinning down the contract documented on the
+// Transport interface — pairwise FIFO, tag matching, AnySource, native
+// barrier, abort-on-panic — so a new backend only has to pass this file
+// to be a drop-in replacement.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// transports enumerates the built-in backends under test.
+var transports = []struct {
+	name string
+	mk   func(p int) Transport
+}{
+	{"sim", func(p int) Transport { return NewSimTransport(p) }},
+	{"inproc", func(p int) Transport { return NewInprocTransport(p) }},
+}
+
+// forEachTransport runs fn once per backend as a subtest.
+func forEachTransport(t *testing.T, fn func(t *testing.T, mk func(p int) Transport)) {
+	for _, tr := range transports {
+		t.Run(tr.name, func(t *testing.T) { fn(t, tr.mk) })
+	}
+}
+
+// world builds a World over a fresh transport of the given backend.
+func world(mk func(p int) Transport, p int) *World {
+	return NewWorld(p, WithTransport(mk(p)), WithTimeout(10*time.Second))
+}
+
+// TestConformanceFIFO: messages from one sender on one tag arrive in
+// send order, across several concurrent senders.
+func TestConformanceFIFO(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, mk func(p int) Transport) {
+		const p, n = 5, 300
+		w := world(mk, p)
+		err := w.Run(func(c *Comm) error {
+			const tag Tag = 4
+			for i := 0; i < n; i++ {
+				if err := SendValue(c, 0, tag, c.Rank()*n+i); err != nil {
+					return err
+				}
+			}
+			if c.Rank() != 0 {
+				return nil
+			}
+			next := make([]int, p)
+			for i := 0; i < p*n; i++ {
+				m, err := c.Recv(AnySource, tag)
+				if err != nil {
+					return err
+				}
+				v := m.Payload.(int)
+				if want := m.Src*n + next[m.Src]; v != want {
+					return fmt.Errorf("from %d got %d, want %d (FIFO violated)", m.Src, v, want)
+				}
+				next[m.Src]++
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestConformanceTagMatching: a receiver asking for one tag never
+// consumes or reorders traffic on another.
+func TestConformanceTagMatching(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, mk func(p int) Transport) {
+		w := world(mk, 2)
+		err := w.Run(func(c *Comm) error {
+			if c.Rank() == 0 {
+				if err := SendValue(c, 1, 2, "second"); err != nil {
+					return err
+				}
+				return SendValue(c, 1, 1, "first")
+			}
+			a, err := RecvValue[string](c, 0, 1)
+			if err != nil {
+				return err
+			}
+			b, err := RecvValue[string](c, 0, 2)
+			if err != nil {
+				return err
+			}
+			if a != "first" || b != "second" {
+				return fmt.Errorf("tag matching broken: got %q, %q", a, b)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestConformanceAnySource: a wildcard receiver sees every sender
+// exactly once with the right payload.
+func TestConformanceAnySource(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, mk func(p int) Transport) {
+		const p = 8
+		w := world(mk, p)
+		err := w.Run(func(c *Comm) error {
+			const tag Tag = 3
+			if c.Rank() != 0 {
+				return SendValue(c, 0, tag, c.Rank()*10)
+			}
+			seen := map[int]bool{}
+			for i := 0; i < p-1; i++ {
+				m, err := c.Recv(AnySource, tag)
+				if err != nil {
+					return err
+				}
+				if seen[m.Src] {
+					return fmt.Errorf("duplicate message from %d", m.Src)
+				}
+				seen[m.Src] = true
+				if m.Payload.(int) != m.Src*10 {
+					return fmt.Errorf("wrong payload from %d: %v", m.Src, m.Payload)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestConformanceMixedAnySourceAndDirect: wildcard and directed receives
+// on the same tag drain disjoint messages (no loss, no duplication).
+func TestConformanceMixedAnySourceAndDirect(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, mk func(p int) Transport) {
+		const p, n = 4, 50
+		w := world(mk, p)
+		var got atomic.Int64
+		err := w.Run(func(c *Comm) error {
+			const tag Tag = 6
+			for i := 0; i < n; i++ {
+				if err := SendValue(c, 0, tag, 1); err != nil {
+					return err
+				}
+			}
+			if c.Rank() != 0 {
+				return nil
+			}
+			// Drain rank 1 directly, everything else via wildcard.
+			for i := 0; i < n; i++ {
+				if _, err := RecvValue[int](c, 1, tag); err != nil {
+					return err
+				}
+				got.Add(1)
+			}
+			for i := 0; i < (p-1)*n; i++ {
+				if _, err := RecvValue[int](c, AnySource, tag); err != nil {
+					return err
+				}
+				got.Add(1)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Load() != p*n {
+			t.Fatalf("delivered %d messages, want %d", got.Load(), p*n)
+		}
+	})
+}
+
+// TestConformanceSelfSend: a rank can message itself.
+func TestConformanceSelfSend(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, mk func(p int) Transport) {
+		w := world(mk, 1)
+		err := w.Run(func(c *Comm) error {
+			if err := SendValue(c, 0, 9, 5); err != nil {
+				return err
+			}
+			v, err := RecvValue[int](c, 0, 9)
+			if err != nil || v != 5 {
+				return fmt.Errorf("self-send got %d, %v", v, err)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestConformanceAbortOnPanic: a panic in one rank unblocks every other
+// rank's Recv instead of deadlocking, and no phantom message is
+// delivered.
+func TestConformanceAbortOnPanic(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, mk func(p int) Transport) {
+		const p = 4
+		w := world(mk, p)
+		err := w.Run(func(c *Comm) error {
+			if c.Rank() == 0 {
+				panic("rank 0 exploded")
+			}
+			if _, err := c.Recv(0, 1); err == nil {
+				return errors.New("recv returned a phantom message after abort")
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatal("expected error from panicked world")
+		}
+		if !strings.Contains(err.Error(), "panicked") {
+			t.Errorf("error %q does not mention the panic", err)
+		}
+		if strings.Contains(err.Error(), "phantom") {
+			t.Errorf("abort delivered a phantom message: %v", err)
+		}
+	})
+}
+
+// TestConformanceAbortUnblocksBarrier: ranks parked in the native
+// barrier are released when the world aborts.
+func TestConformanceAbortUnblocksBarrier(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, mk func(p int) Transport) {
+		w := world(mk, 2)
+		err := w.Run(func(c *Comm) error {
+			if c.Rank() == 0 {
+				panic("boom")
+			}
+			return c.Barrier() // rank 0 never arrives
+		})
+		if err == nil {
+			t.Fatal("expected abort to surface through Barrier")
+		}
+	})
+}
+
+// TestConformanceBarrier: no rank leaves the barrier before every rank
+// has entered it, across repeated reuse of the same barrier.
+func TestConformanceBarrier(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, mk func(p int) Transport) {
+		const p, rounds = 6, 25
+		w := world(mk, p)
+		var entered atomic.Int64
+		err := w.Run(func(c *Comm) error {
+			for r := 0; r < rounds; r++ {
+				entered.Add(1)
+				if err := c.Barrier(); err != nil {
+					return err
+				}
+				if n := entered.Load(); n < int64((r+1)*p) {
+					return fmt.Errorf("round %d: left barrier after %d arrivals, want >= %d", r, n, (r+1)*p)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestConformanceTimeout: the World watchdog aborts a deadlocked run on
+// every backend.
+func TestConformanceTimeout(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, mk func(p int) Transport) {
+		w := NewWorld(2, WithTransport(mk(2)), WithTimeout(50*time.Millisecond))
+		err := w.Run(func(c *Comm) error {
+			_, err := c.Recv((c.Rank()+1)%2, 1) // nobody sends
+			return err
+		})
+		if !errors.Is(err, ErrAborted) {
+			t.Fatalf("err = %v, want ErrAborted", err)
+		}
+	})
+}
+
+// TestCountersPerBackend pins the byte-accounting contract: sim counts
+// every message and byte; inproc is explicitly unaccounted and reads
+// zero.
+func TestCountersPerBackend(t *testing.T) {
+	run := func(tr Transport) *World {
+		w := NewWorld(2, WithTransport(tr), WithTimeout(5*time.Second))
+		if err := w.Run(func(c *Comm) error {
+			if c.Rank() == 0 {
+				return SendSlice(c, 1, 1, []int64{1, 2, 3, 4})
+			}
+			_, err := RecvSlice[int64](c, 0, 1)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	sim := run(NewSimTransport(2))
+	if got := sim.Counters(0); got.MsgsSent != 1 || got.BytesSent != 32 {
+		t.Errorf("sim sender counters = %+v, want 1 msg / 32 bytes", got)
+	}
+	inproc := run(NewInprocTransport(2))
+	if got := inproc.TotalCounters(); got != (Counters{}) {
+		t.Errorf("inproc counters = %+v, want all zero", got)
+	}
+}
+
+// TestWorldSizeMismatchPanics: NewWorld rejects a transport whose size
+// disagrees with the world size.
+func TestWorldSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("size mismatch did not panic")
+		}
+	}()
+	NewWorld(3, WithTransport(NewInprocTransport(2)))
+}
+
+// TestInterceptorRequiresSim: fault injection is a SimTransport feature;
+// combining it with the inproc backend is a programming error.
+func TestInterceptorRequiresSim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("WithInterceptor over inproc did not panic")
+		}
+	}()
+	NewWorld(2,
+		WithTransport(NewInprocTransport(2)),
+		WithInterceptor(func(src, dst int, m *Message) error { return nil }))
+}

@@ -1,0 +1,191 @@
+// Package dist generates the synthetic key distributions the paper's
+// evaluation sorts (§6.2): uniform and gaussian baselines, skewed
+// distributions that stress splitter determination, near-sorted and
+// pre-partitioned inputs that defeat naive probing, and duplicate-heavy
+// inputs that motivate the §4.3 tagging scheme.
+//
+// Generation is deterministic: Shard(perRank, rank, p, seed) depends only
+// on its arguments, so every simulated processor can build its own shard
+// independently and repeated runs reproduce byte-identical inputs.
+package dist
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// Kind names a key distribution. The first six kinds (Uniform through
+// AlmostSorted) are parameter-free given a key range, which lets property
+// tests draw a Kind from a small integer.
+type Kind int
+
+const (
+	// Uniform draws keys independently and uniformly from the key range.
+	Uniform Kind = iota
+	// Gaussian concentrates keys around the middle of the key range
+	// (σ = range/8), the paper's "normal" input.
+	Gaussian
+	// Exponential piles keys near the low end of the range with an
+	// exponentially decaying tail.
+	Exponential
+	// PowerSkew maps uniform draws through u^k (k = Spec.Param,
+	// default 4), producing heavy skew toward the low end — the regime
+	// where one histogram probe range holds most of the data.
+	PowerSkew
+	// Zipfian draws log-uniform keys (rank-frequency ≈ 1/x): a few
+	// small keys recur very often, stressing duplicate handling.
+	Zipfian
+	// AlmostSorted gives rank r keys from the r-th slice of the range
+	// in nearly ascending order with local jitter, so the input is
+	// already close to globally sorted.
+	AlmostSorted
+	// DuplicateHeavy draws every key from only Spec.Distinct values
+	// (default 16): the §4.3 adversarial input where splitter-based
+	// balance guarantees need tagging.
+	DuplicateHeavy
+	// Staircase pre-partitions the data: rank r draws only from the
+	// r-th slice of the key range, so nearly all keys must move in the
+	// exchange and probe-based splitters see a staircase CDF.
+	Staircase
+)
+
+// String returns the distribution name used in experiment output.
+func (k Kind) String() string {
+	switch k {
+	case Uniform:
+		return "uniform"
+	case Gaussian:
+		return "gaussian"
+	case Exponential:
+		return "exponential"
+	case PowerSkew:
+		return "powerskew"
+	case Zipfian:
+		return "zipfian"
+	case AlmostSorted:
+		return "almostsorted"
+	case DuplicateHeavy:
+		return "dupheavy"
+	case Staircase:
+		return "staircase"
+	default:
+		return "unknown"
+	}
+}
+
+// Spec describes a distribution over int64 keys.
+type Spec struct {
+	// Kind selects the distribution shape.
+	Kind Kind
+	// Min and Max bound the keys to [Min, Max). Leaving both zero
+	// selects the default range [0, 1<<60).
+	Min, Max int64
+	// Param is the shape parameter where one applies: the PowerSkew
+	// exponent (default 4).
+	Param float64
+	// Distinct is the number of distinct values for DuplicateHeavy
+	// (default 16).
+	Distinct int
+}
+
+// bounds returns the effective [min, max) range.
+func (s Spec) bounds() (int64, int64) {
+	if s.Max <= s.Min {
+		return 0, 1 << 60
+	}
+	return s.Min, s.Max
+}
+
+// Shards builds all p shards: Shards(n, p, seed)[r] == Shard(n, r, p, seed).
+func (s Spec) Shards(perRank, p int, seed uint64) [][]int64 {
+	out := make([][]int64, p)
+	for r := range out {
+		out[r] = s.Shard(perRank, r, p, seed)
+	}
+	return out
+}
+
+// Shard generates rank r's perRank keys. The result depends only on the
+// arguments (deterministic per rank), never on the other shards.
+func (s Spec) Shard(perRank, rank, p int, seed uint64) []int64 {
+	min, max := s.bounds()
+	span := max - min
+	rng := rand.New(rand.NewPCG(seed, uint64(rank)+0x9e3779b97f4a7c15))
+	keys := make([]int64, perRank)
+	switch s.Kind {
+	case Gaussian:
+		mean := float64(min) + float64(span)/2
+		sigma := float64(span) / 8
+		for i := range keys {
+			keys[i] = clamp(int64(mean+rng.NormFloat64()*sigma), min, max)
+		}
+	case Exponential:
+		scale := float64(span) / 8
+		for i := range keys {
+			keys[i] = clamp(min+int64(rng.ExpFloat64()*scale), min, max)
+		}
+	case PowerSkew:
+		k := s.Param
+		if k <= 0 {
+			k = 4
+		}
+		for i := range keys {
+			keys[i] = clamp(min+int64(math.Pow(rng.Float64(), k)*float64(span)), min, max)
+		}
+	case Zipfian:
+		// Log-uniform: density ∝ 1/x over [1, span], i.e. Zipf with s≈1.
+		logSpan := math.Log(float64(span))
+		for i := range keys {
+			keys[i] = clamp(min+int64(math.Exp(rng.Float64()*logSpan))-1, min, max)
+		}
+	case AlmostSorted:
+		lo, width := slice(min, span, rank, p)
+		step := float64(width) / float64(perRank+1)
+		jitter := 4 * step
+		for i := range keys {
+			base := float64(lo) + float64(i)*step
+			keys[i] = clamp(int64(base+(rng.Float64()-0.5)*jitter), min, max)
+		}
+	case DuplicateHeavy:
+		d := s.Distinct
+		if d <= 0 {
+			d = 16
+		}
+		for i := range keys {
+			v := int64(rng.IntN(d))
+			keys[i] = clamp(min+v*span/int64(d), min, max)
+		}
+	case Staircase:
+		lo, width := slice(min, span, rank, p)
+		for i := range keys {
+			keys[i] = clamp(lo+rng.Int64N(width), min, max)
+		}
+	default: // Uniform
+		for i := range keys {
+			keys[i] = min + rng.Int64N(span)
+		}
+	}
+	return keys
+}
+
+// slice returns the bounds of rank r's 1/p slice of the key range (used
+// by the pre-partitioned distributions).
+func slice(min, span int64, rank, p int) (lo, width int64) {
+	lo = min + span*int64(rank)/int64(p)
+	hi := min + span*int64(rank+1)/int64(p)
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return lo, hi - lo
+}
+
+// clamp bounds v to [min, max).
+func clamp(v, min, max int64) int64 {
+	if v < min {
+		return min
+	}
+	if v >= max {
+		return max - 1
+	}
+	return v
+}

@@ -1,0 +1,98 @@
+package dist
+
+import (
+	"slices"
+	"testing"
+)
+
+// TestDeterministic: Shard depends only on its arguments, and Shards is
+// the per-rank composition of Shard.
+func TestDeterministic(t *testing.T) {
+	for kind := Uniform; kind <= Staircase; kind++ {
+		spec := Spec{Kind: kind}
+		a := spec.Shards(500, 4, 7)
+		b := spec.Shards(500, 4, 7)
+		for r := range a {
+			if !slices.Equal(a[r], b[r]) {
+				t.Errorf("%v: rank %d differs between identical calls", kind, r)
+			}
+			if !slices.Equal(a[r], spec.Shard(500, r, 4, 7)) {
+				t.Errorf("%v: Shards[%d] != Shard(%d)", kind, r, r)
+			}
+		}
+		c := spec.Shards(500, 4, 8)
+		same := true
+		for r := range a {
+			if !slices.Equal(a[r], c[r]) {
+				same = false
+			}
+		}
+		if same {
+			t.Errorf("%v: seed change did not change the data", kind)
+		}
+	}
+}
+
+// TestBoundsRespected: every kind keeps keys inside [Min, Max).
+func TestBoundsRespected(t *testing.T) {
+	for kind := Uniform; kind <= Staircase; kind++ {
+		for _, bounds := range [][2]int64{{0, 1 << 20}, {-1 << 30, 1 << 30}, {100, 1000}} {
+			spec := Spec{Kind: kind, Min: bounds[0], Max: bounds[1]}
+			for r, shard := range spec.Shards(2000, 3, 5) {
+				if len(shard) != 2000 {
+					t.Fatalf("%v: rank %d got %d keys", kind, r, len(shard))
+				}
+				for _, k := range shard {
+					if k < bounds[0] || k >= bounds[1] {
+						t.Fatalf("%v: key %d outside [%d, %d)", kind, k, bounds[0], bounds[1])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDuplicateHeavyDistinct: DuplicateHeavy draws from at most Distinct
+// values.
+func TestDuplicateHeavyDistinct(t *testing.T) {
+	spec := Spec{Kind: DuplicateHeavy, Distinct: 8}
+	seen := map[int64]bool{}
+	for _, shard := range spec.Shards(5000, 4, 3) {
+		for _, k := range shard {
+			seen[k] = true
+		}
+	}
+	if len(seen) > 8 {
+		t.Errorf("DuplicateHeavy{Distinct: 8} produced %d distinct values", len(seen))
+	}
+}
+
+// TestStaircasePartitioned: rank slices of the key range are disjoint and
+// ascending with rank.
+func TestStaircasePartitioned(t *testing.T) {
+	const p = 4
+	shards := Spec{Kind: Staircase, Min: 0, Max: 1 << 20}.Shards(1000, p, 9)
+	for r := 0; r < p-1; r++ {
+		if slices.Max(shards[r]) >= slices.Min(shards[r+1]) {
+			t.Errorf("rank %d range overlaps rank %d", r, r+1)
+		}
+	}
+}
+
+// TestAlmostSortedIsNearlySorted: the concatenated input needs few
+// out-of-order adjacent pairs.
+func TestAlmostSortedIsNearlySorted(t *testing.T) {
+	var flat []int64
+	for _, s := range (Spec{Kind: AlmostSorted}).Shards(2000, 4, 11) {
+		flat = append(flat, s...)
+	}
+	inversions := 0
+	for i := 1; i < len(flat); i++ {
+		if flat[i] < flat[i-1] {
+			inversions++
+		}
+	}
+	if frac := float64(inversions) / float64(len(flat)); frac > 0.5 {
+		t.Errorf("almost-sorted input has %.0f%% adjacent inversions", frac*100)
+	}
+}

@@ -1,0 +1,18 @@
+// Package exchange implements the data-movement phase shared by every
+// splitter-based sort in this repository (§2.2 step 3): partitioning the
+// local sorted input by the final splitters, the personalized all-to-all
+// that sends each bucket to its owner, and the post-exchange imbalance
+// measurement.
+//
+// Buckets are decoupled from ranks: the paper's flat sort uses one bucket
+// per processor, the two-level node optimization (§6.1) uses one bucket
+// per node, and ChaNGa (§6.3) uses many virtual-processor buckets per
+// core, possibly placed non-contiguously. An Owner function maps buckets
+// to ranks; all runs destined to the same rank travel in one combined
+// message (the §6.1 message-combining optimization falls out for free).
+//
+// Exchange is the bandwidth-dominant phase of the sort (the 2N/p BSP
+// term of §5.1). It is built purely on comm.Endpoint Send/Recv, so it
+// runs unchanged over the byte-accounted simulated transport or the
+// in-process fast path — see internal/comm.Transport.
+package exchange

@@ -1,15 +1,3 @@
-// Package exchange implements the data-movement phase shared by every
-// splitter-based sort in this repository (§2.2 step 3): partitioning the
-// local sorted input by the final splitters, the personalized all-to-all
-// that sends each bucket to its owner, and the post-exchange imbalance
-// measurement.
-//
-// Buckets are decoupled from ranks: the paper's flat sort uses one bucket
-// per processor, the two-level node optimization (§6.1) uses one bucket
-// per node, and ChaNGa (§6.3) uses many virtual-processor buckets per
-// core, possibly placed non-contiguously. An Owner function maps buckets
-// to ranks; all runs destined to the same rank travel in one combined
-// message (the §6.1 message-combining optimization falls out for free).
 package exchange
 
 import (

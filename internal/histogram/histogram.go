@@ -1,13 +1,3 @@
-// Package histogram implements the splitter-determination machinery shared
-// by HSS and the baseline sorts:
-//
-//   - LocalRanks: the per-processor histogram step — the global histogram
-//     is the sum-reduction of local ranks over all processors (§2.3 step 3).
-//   - Tracker: the central processor's bookkeeping of splitter bounds
-//     L_j(i), U_j(i), splitter intervals, and finalization against the
-//     target windows T_i (§3.3 step 3).
-//   - Scan: the Axtmann et al. scanning algorithm that picks splitters
-//     from one histogrammed sample (§3.2).
 package histogram
 
 import (

@@ -1,14 +1,3 @@
-// Package histsort implements classic Histogram Sort (Kale & Krishnan
-// 1993; Solomonik & Kale 2010) — the "Old" baseline of Fig 6.2.
-//
-// Unlike HSS, classic histogram sort never samples: the central processor
-// refines candidate splitter keys by bisecting the *key space* (§2.3).
-// Each round it broadcasts synthesized probe keys (interval midpoints in
-// an order-preserving uint64 code space), ranks them with a global
-// histogram reduction, and narrows each splitter's code interval until
-// the probe's rank lands in the target window. The number of rounds is
-// bounded by log of the key range — the weakness on skewed or clustered
-// key distributions that HSS removes (§2.3, §6.3).
 package histsort
 
 import (

@@ -1,0 +1,13 @@
+// Package merge provides sequential multiway merging of sorted runs.
+//
+// After the all-to-all data exchange, every processor holds up to p sorted
+// runs (one from each sender) that must be merged into its final output
+// (§2.2 step 3). For small p a pairwise merge suffices; for large p the
+// loser-tree k-way merge does one comparison tree traversal (log k
+// comparisons) per output key, which is what the paper's O((N/p) log p)
+// merge cost assumes.
+//
+// This is the final, purely local phase of every splitter-based sort in
+// the repository: internal/exchange delivers the runs, merge.KWay turns
+// them into the rank's sorted partition.
+package merge

@@ -1,11 +1,3 @@
-// Package merge provides sequential multiway merging of sorted runs.
-//
-// After the all-to-all data exchange, every processor holds up to p sorted
-// runs (one from each sender) that must be merged into its final output
-// (§2.2 step 3). For small p a pairwise merge suffices; for large p the
-// loser-tree k-way merge does one comparison tree traversal (log k
-// comparisons) per output key, which is what the paper's O((N/p) log p)
-// merge cost assumes.
 package merge
 
 // Two merges two sorted runs into a new slice using the three-way

@@ -1,20 +1,3 @@
-// Package sampling implements every sampling scheme the paper builds on or
-// compares against:
-//
-//   - Sampling Method 1 (§3): independent Bernoulli sampling of each key
-//     with probability p·s/N, implemented with geometric skips so the cost
-//     is proportional to the sample size, not the input size.
-//   - Regular sampling (§4.1.2, Shi & Schaeffer): s evenly spaced keys
-//     from the local sorted input.
-//   - Random block sampling (§4.1.1, Blelloch et al.): one uniform key
-//     from each of s equal blocks of the local sorted input.
-//   - Representative samples (§3.4): a random-block sample retained across
-//     rounds to answer approximate rank queries.
-//
-// It also centralizes the paper's sampling-ratio arithmetic: the one-round
-// ratios of Theorems 3.2.1/3.2.2, the k-round geometric schedule
-// s_j = (2 ln p / ε)^(j/k) of §3.3, and the optimal round count
-// k* = ln(ln p / ε) of Lemma 3.3.2.
 package sampling
 
 import (

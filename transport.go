@@ -1,0 +1,63 @@
+package hssort
+
+import (
+	"fmt"
+
+	"hssort/internal/comm"
+)
+
+// Transport selects the communication backend a sort runs over. The
+// algorithms are transport-agnostic — they program against the runtime's
+// Transport interface — so the same sort runs in accounting mode or at
+// shared-memory speed by flipping Config.Transport.
+type Transport int
+
+const (
+	// TransportSim is the simulated message-passing runtime with full
+	// byte accounting: every Stats field is populated, at the cost of
+	// per-message bookkeeping. The default, and the backend behind all
+	// paper-comparison numbers.
+	TransportSim Transport = iota
+	// TransportInproc is the zero-copy shared-memory fast path for
+	// production-style throughput runs: payloads move by reference with
+	// no serialization accounting, so sorts run faster but the
+	// communication-volume fields of Stats (SplitterBytes,
+	// ExchangeBytes, TotalMsgs, TotalBytes) read zero.
+	TransportInproc
+)
+
+// String returns the name used by the -transport command-line flags.
+func (t Transport) String() string {
+	switch t {
+	case TransportSim:
+		return "sim"
+	case TransportInproc:
+		return "inproc"
+	default:
+		return fmt.Sprintf("Transport(%d)", int(t))
+	}
+}
+
+// ParseTransport parses a -transport flag value.
+func ParseTransport(s string) (Transport, error) {
+	switch s {
+	case "sim":
+		return TransportSim, nil
+	case "inproc":
+		return TransportInproc, nil
+	default:
+		return 0, fmt.Errorf("hssort: unknown transport %q (want sim or inproc)", s)
+	}
+}
+
+// newTransport builds the comm backend for a run over p ranks.
+func (t Transport) newTransport(p int) (comm.Transport, error) {
+	switch t {
+	case TransportSim:
+		return comm.NewSimTransport(p), nil
+	case TransportInproc:
+		return comm.NewInprocTransport(p), nil
+	default:
+		return nil, fmt.Errorf("hssort: unknown transport %v", t)
+	}
+}
