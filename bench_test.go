@@ -310,6 +310,58 @@ func BenchmarkBaselinesEndToEnd(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamExchange races the materializing data plane against the
+// streaming chunked exchange inside the full HSS sort, on a data-bound
+// shape (parity expected: merge work dominates either way) and the
+// over-partitioned communication-bound shape where streaming merges p
+// per-sender streams instead of sorting and merging B·p bucket runs.
+// The reported overlap_us and inflight_KiB come from the new Stats
+// fields; in-flight stays bounded by the flow-control window regardless
+// of shape.
+func BenchmarkStreamExchange(b *testing.B) {
+	shapes := []struct {
+		name string
+		cfg  Config
+		p, n int
+	}{
+		{"data-bound/p=8/n=100000", Config{Procs: 8, Epsilon: 0.1, Seed: 3}, 8, 100000},
+		{"comm-bound/p=64/B=256/n=2000", Config{Procs: 64, Buckets: 256, Epsilon: 0.1, Seed: 3}, 64, 2000},
+	}
+	for _, shape := range shapes {
+		for _, streaming := range []bool{false, true} {
+			name := shape.name + "/materializing"
+			if streaming {
+				name = shape.name + "/streaming"
+			}
+			b.Run(name, func(b *testing.B) {
+				var stats Stats
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					shards := dist.Spec{Kind: dist.Uniform}.Shards(shape.n, shape.p, uint64(i)+1)
+					b.StartTimer()
+					cfg := shape.cfg
+					cfg.StreamExchange = streaming
+					if streaming {
+						// A few chunks per pair, so chunk interleaving
+						// (and with it exchange/merge overlap) happens.
+						cfg.ChunkKeys = 4096
+					}
+					var err error
+					_, stats, err = Sort(cfg, shards)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.SetBytes(int64(shape.p) * int64(shape.n) * 8)
+				if streaming {
+					b.ReportMetric(float64(stats.ExchangeOverlap.Microseconds()), "overlap_us")
+					b.ReportMetric(float64(stats.PeakInFlightBytes)/1024, "inflight_KiB")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkTransportBackends compares the simulated byte-accounted
 // backend (TransportSim) against the zero-copy in-process fast path
 // (TransportInproc) on the three main algorithm families. The comm-bound

@@ -72,6 +72,8 @@ func main() {
 		approx  = flag.Bool("approx", false, "approximate histogramming (§3.4)")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		trName  = flag.String("transport", "sim", "comm backend: sim (byte-accounted) or inproc (shared-memory fast path)")
+		stream  = flag.Bool("stream", false, "streaming chunked exchange overlapped with the merge")
+		chunk   = flag.Int("chunk", 0, "streaming-exchange chunk size in keys (implies -stream; default 64Ki)")
 		verbose = flag.Bool("v", false, "verify the output is globally sorted")
 	)
 	flag.Parse()
@@ -103,16 +105,18 @@ func main() {
 	}
 
 	cfg := hssort.Config{
-		Procs:         *p,
-		Algorithm:     alg,
-		Epsilon:       *eps,
-		Buckets:       *buckets,
-		Rounds:        *rounds,
-		CoresPerNode:  *cores,
-		TagDuplicates: *tag,
-		Approx:        *approx,
-		Seed:          *seed,
-		Transport:     transport,
+		Procs:          *p,
+		Algorithm:      alg,
+		Epsilon:        *eps,
+		Buckets:        *buckets,
+		Rounds:         *rounds,
+		CoresPerNode:   *cores,
+		TagDuplicates:  *tag,
+		Approx:         *approx,
+		Seed:           *seed,
+		Transport:      transport,
+		StreamExchange: *stream,
+		ChunkKeys:      *chunk,
 	}
 	start := time.Now()
 	outs, stats, err := hssort.Sort(cfg, shards)
@@ -133,6 +137,10 @@ func main() {
 	t.AddRow("splitter determination", stats.Splitter.Round(10*time.Microsecond).String())
 	t.AddRow("data exchange", stats.Exchange.Round(10*time.Microsecond).String())
 	t.AddRow("final merge", stats.Merge.Round(10*time.Microsecond).String())
+	if *stream || *chunk > 0 {
+		t.AddRow("merge overlapped with exchange", stats.ExchangeOverlap.Round(10*time.Microsecond).String())
+		t.AddRow("peak in-flight exchange data", tablefmt.Bytes(float64(stats.PeakInFlightBytes)))
+	}
 	t.AddRow("histogramming rounds", fmt.Sprintf("%d", stats.Rounds))
 	t.AddRow("total sample (probe keys)", fmt.Sprintf("%d", stats.TotalSample))
 	t.AddRow("splitter-phase bytes", tablefmt.Bytes(float64(stats.SplitterBytes)))

@@ -144,6 +144,18 @@ type Config struct {
 	// default, fully byte-accounted) or TransportInproc (zero-copy
 	// shared-memory fast path; communication-volume Stats read zero).
 	Transport Transport
+	// StreamExchange replaces the materializing all-to-all + merge with
+	// the streaming pipeline: bucket payloads move in ChunkKeys-sized
+	// chunks interleaved across destinations and the k-way merge runs
+	// incrementally as chunks arrive, overlapping the exchange tail
+	// (§6.2) with peak in-flight memory bounded by the flow-control
+	// window. Supported by the HSS variants, the sample sorts, classic
+	// histogram sort and NodeHSS. Output is rank-identical to the
+	// materializing path.
+	StreamExchange bool
+	// ChunkKeys is the streaming-exchange chunk size in keys; setting it
+	// implies StreamExchange. Default 64Ki when streaming.
+	ChunkKeys int
 	// Seed makes randomized phases reproducible. Default 1.
 	Seed uint64
 	// Timeout aborts a wedged run (protocol-bug safety net). Default
@@ -166,6 +178,14 @@ type Stats struct {
 	// LocalSort, Splitter, Exchange, Merge are critical-path phase
 	// times (Fig 6.1's breakdown).
 	LocalSort, Splitter, Exchange, Merge time.Duration
+	// ExchangeOverlap is merge time hidden inside the exchange on the
+	// streaming path (§6.2's overlap; max over ranks, zero when
+	// Config.StreamExchange is off).
+	ExchangeOverlap time.Duration
+	// PeakInFlightBytes is the peak per-rank volume buffered by the
+	// streaming exchange awaiting merge (max over ranks; bounded by
+	// (p-1)·window·ChunkKeys·keysize). Zero on the materializing path.
+	PeakInFlightBytes int64
 	// SplitterBytes and ExchangeBytes are total bytes sent during
 	// splitter determination and data movement (§5.1's communication
 	// terms).
@@ -184,18 +204,20 @@ func (s Stats) Total() time.Duration {
 
 func fromCore(st core.Stats) Stats {
 	return Stats{
-		N:              st.N,
-		Buckets:        st.Buckets,
-		Rounds:         st.Rounds,
-		SamplePerRound: st.SamplePerRound,
-		TotalSample:    st.TotalSample,
-		LocalSort:      st.LocalSort,
-		Splitter:       st.Splitter,
-		Exchange:       st.Exchange,
-		Merge:          st.Merge,
-		SplitterBytes:  st.SplitterBytes,
-		ExchangeBytes:  st.ExchangeBytes,
-		Imbalance:      st.Imbalance,
+		N:                 st.N,
+		Buckets:           st.Buckets,
+		Rounds:            st.Rounds,
+		SamplePerRound:    st.SamplePerRound,
+		TotalSample:       st.TotalSample,
+		LocalSort:         st.LocalSort,
+		Splitter:          st.Splitter,
+		Exchange:          st.Exchange,
+		Merge:             st.Merge,
+		ExchangeOverlap:   st.ExchangeOverlap,
+		PeakInFlightBytes: st.PeakInFlight,
+		SplitterBytes:     st.SplitterBytes,
+		ExchangeBytes:     st.ExchangeBytes,
+		Imbalance:         st.Imbalance,
 	}
 }
 
@@ -314,6 +336,17 @@ func dispatch[K any](c *comm.Comm, local []K, cfg Config, compare func(K, K) int
 	if cfg.RoundRobinBuckets {
 		owner = exchange.RoundRobinOwner(cfg.Procs)
 	}
+	chunkKeys := cfg.ChunkKeys
+	if chunkKeys == 0 && cfg.StreamExchange {
+		chunkKeys = exchange.DefaultChunkKeys
+	}
+	if chunkKeys != 0 {
+		switch cfg.Algorithm {
+		case HSS, HSSOneRound, HSSTheoretical, SampleSortRegular, SampleSortRandom, HistogramSort, NodeHSS:
+		default:
+			return nil, core.Stats{}, fmt.Errorf("hssort: StreamExchange is not supported by %v", cfg.Algorithm)
+		}
+	}
 	switch cfg.Algorithm {
 	case HSS, HSSOneRound, HSSTheoretical:
 		sched := core.FixedOversampling
@@ -333,6 +366,7 @@ func dispatch[K any](c *comm.Comm, local []K, cfg Config, compare func(K, K) int
 			OversampleFactor: cfg.OversampleFactor,
 			Seed:             cfg.Seed,
 			Approx:           cfg.Approx,
+			ChunkKeys:        chunkKeys,
 		})
 	case SampleSortRegular, SampleSortRandom:
 		method := samplesort.Regular
@@ -348,17 +382,19 @@ func dispatch[K any](c *comm.Comm, local []K, cfg Config, compare func(K, K) int
 			Oversample:    int(cfg.OversampleFactor),
 			MaxOversample: cfg.MaxOversample,
 			Seed:          cfg.Seed,
+			ChunkKeys:     chunkKeys,
 		})
 	case HistogramSort:
 		if coder == nil {
 			return nil, core.Stats{}, fmt.Errorf("hssort: %v requires an integer or float key type", cfg.Algorithm)
 		}
 		return histsort.Sort(c, local, histsort.Options[K]{
-			Cmp:     compare,
-			Coder:   coder,
-			Epsilon: cfg.Epsilon,
-			Buckets: buckets,
-			Owner:   owner,
+			Cmp:       compare,
+			Coder:     coder,
+			Epsilon:   cfg.Epsilon,
+			Buckets:   buckets,
+			Owner:     owner,
+			ChunkKeys: chunkKeys,
 		})
 	case Bitonic:
 		return bitonic.Sort(c, local, bitonic.Options[K]{Cmp: compare})
@@ -376,6 +412,7 @@ func dispatch[K any](c *comm.Comm, local []K, cfg Config, compare func(K, K) int
 			Schedule:         sched,
 			Seed:             cfg.Seed,
 			OversampleFactor: cfg.OversampleFactor,
+			ChunkKeys:        chunkKeys,
 		})
 	case OverPartition:
 		return overpartition.Sort(c, local, overpartition.Options[K]{

@@ -46,6 +46,7 @@ func NewGroup(parent comm.Endpoint, members []int) (*Group, error) {
 }
 
 var _ comm.Endpoint = (*Group)(nil)
+var _ comm.StreamEndpoint = (*Group)(nil)
 
 // Rank returns the caller's rank within the group.
 func (g *Group) Rank() int { return g.myIdx }
@@ -82,5 +83,64 @@ func (g *Group) Recv(src int, tag comm.Tag) (comm.Message, error) {
 		return comm.Message{}, err
 	}
 	m.Src = src // translate the envelope into group numbering
+	return m, nil
+}
+
+// streamParent returns the parent as a StreamEndpoint, or an error if the
+// parent does not support posted receives.
+func (g *Group) streamParent() (comm.StreamEndpoint, error) {
+	sp, ok := g.parent.(comm.StreamEndpoint)
+	if !ok {
+		return nil, fmt.Errorf("collective: group parent %T does not support streaming receives", g.parent)
+	}
+	return sp, nil
+}
+
+// TryRecv returns the next buffered message from group rank src on tag
+// without blocking. Unlike Recv, src may be AnySource, under the same
+// members-only tag precondition as RecvAny: a buffered message from a
+// non-member is reported as an error.
+func (g *Group) TryRecv(src int, tag comm.Tag) (comm.Message, bool, error) {
+	sp, err := g.streamParent()
+	if err != nil {
+		return comm.Message{}, false, err
+	}
+	if src == comm.AnySource {
+		m, ok, err := sp.TryRecv(comm.AnySource, tag)
+		if err != nil || !ok {
+			return comm.Message{}, false, err
+		}
+		idx := slices.Index(g.members, m.Src)
+		if idx < 0 {
+			return comm.Message{}, false, fmt.Errorf("collective: group tag %d received message from non-member rank %d", tag, m.Src)
+		}
+		m.Src = idx
+		return m, true, nil
+	}
+	if src < 0 || src >= len(g.members) {
+		return comm.Message{}, false, fmt.Errorf("collective: group probe of invalid rank %d (size %d)", src, len(g.members))
+	}
+	m, ok, err := sp.TryRecv(g.members[src], tag)
+	if err != nil || !ok {
+		return comm.Message{}, false, err
+	}
+	m.Src = src
+	return m, true, nil
+}
+
+// RecvAny blocks for the next message with the given tag from any group
+// member. It requires the tag to be used exclusively by group members: a
+// matching message from a non-member is a tag-discipline bug in the
+// caller and is reported as an error (it cannot be requeued).
+func (g *Group) RecvAny(tag comm.Tag) (comm.Message, error) {
+	m, err := g.parent.Recv(comm.AnySource, tag)
+	if err != nil {
+		return comm.Message{}, err
+	}
+	idx := slices.Index(g.members, m.Src)
+	if idx < 0 {
+		return comm.Message{}, fmt.Errorf("collective: group tag %d received message from non-member rank %d", tag, m.Src)
+	}
+	m.Src = idx
 	return m, nil
 }

@@ -222,7 +222,25 @@ type Endpoint interface {
 	Recv(src int, tag Tag) (Message, error)
 }
 
+// StreamEndpoint is the endpoint surface streaming protocols need beyond
+// Endpoint: a posted-receive probe (TryRecv) so a rank can overlap local
+// work with the exchange, and a blocking any-source wait (RecvAny) so a
+// rank out of local work parks until the next protocol event — whatever
+// peer it comes from — instead of committing to one sender and
+// deadlocking on another. Comm implements it natively;
+// collective.Group implements it over a StreamEndpoint parent.
+type StreamEndpoint interface {
+	Endpoint
+	// TryRecv returns the next message matching (src, tag) if one is
+	// already buffered, without blocking. src may be AnySource.
+	TryRecv(src int, tag Tag) (Message, bool, error)
+	// RecvAny blocks for the next message with the given tag from any
+	// rank of the endpoint.
+	RecvAny(tag Tag) (Message, error)
+}
+
 var _ Endpoint = (*Comm)(nil)
+var _ StreamEndpoint = (*Comm)(nil)
 
 // Rank returns this handle's rank in [0, Size).
 func (c *Comm) Rank() int { return c.rank }
@@ -255,6 +273,19 @@ func (c *Comm) Recv(src int, tag Tag) (Message, error) {
 	}
 	return c.w.t.Recv(c.rank, src, tag)
 }
+
+// TryRecv returns the next message matching (src, tag) if one is already
+// buffered, without blocking; ok reports whether a message was delivered.
+// src may be AnySource.
+func (c *Comm) TryRecv(src int, tag Tag) (Message, bool, error) {
+	if src != AnySource && (src < 0 || src >= c.w.Size()) {
+		return Message{}, false, fmt.Errorf("comm: rank %d probing invalid rank %d", c.rank, src)
+	}
+	return c.w.t.TryRecv(c.rank, src, tag)
+}
+
+// RecvAny blocks for the next message with the given tag from any rank.
+func (c *Comm) RecvAny(tag Tag) (Message, error) { return c.Recv(AnySource, tag) }
 
 // Barrier blocks until every rank of the World has entered it. Unlike
 // collective.Barrier (which is built from Send/Recv and also works over

@@ -170,6 +170,30 @@ func (t *InprocTransport) Recv(dst, src int, tag Tag) (Message, error) {
 	}
 }
 
+// TryRecv pops the next message matching (src, tag) from dst's pair
+// queues if one is buffered, without blocking. src may be AnySource,
+// which scans senders in rank order.
+func (t *InprocTransport) TryRecv(dst, src int, tag Tag) (Message, bool, error) {
+	if err := t.Err(); err != nil {
+		return Message{}, false, err
+	}
+	b := &t.boxes[dst]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if src != AnySource {
+		if m, ok := popTag(&b.bySrc[src], tag); ok {
+			return m, true, nil
+		}
+	} else {
+		for s := range b.bySrc {
+			if m, ok := popTag(&b.bySrc[s], tag); ok {
+				return m, true, nil
+			}
+		}
+	}
+	return Message{}, false, nil
+}
+
 // Barrier blocks until all p ranks have entered.
 func (t *InprocTransport) Barrier(int) error { return t.bar.await() }
 

@@ -103,6 +103,28 @@ func (t *SimTransport) Recv(dst, src int, tag Tag) (Message, error) {
 	}
 }
 
+// TryRecv scans dst's mailbox in arrival order for the first (src, tag)
+// match and returns it without blocking; ok is false when no match is
+// buffered. A successful probe charges dst's counters like Recv.
+func (t *SimTransport) TryRecv(dst, src int, tag Tag) (Message, bool, error) {
+	mb := t.boxes[dst]
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if err := t.abort.get(); err != nil {
+		return Message{}, false, err
+	}
+	for i, m := range mb.queue {
+		if (src == AnySource || m.Src == src) && m.Tag == tag {
+			mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+			cnt := &t.counters[dst]
+			cnt.MsgsRecv++
+			cnt.BytesRecv += m.Bytes
+			return m, true, nil
+		}
+	}
+	return Message{}, false, nil
+}
+
 // Barrier blocks until all p ranks have entered.
 func (t *SimTransport) Barrier(int) error { return t.bar.await() }
 

@@ -39,6 +39,11 @@ type Transport interface {
 	// Recv blocks until rank dst has a message matching (src, tag) and
 	// returns it; src may be AnySource.
 	Recv(dst, src int, tag Tag) (Message, error)
+	// TryRecv is the posted-receive probe behind streaming protocols: it
+	// returns the next message matching (src, tag) if one is already
+	// buffered, without blocking. src may be AnySource. ok reports
+	// whether a message was delivered.
+	TryRecv(dst, src int, tag Tag) (Message, bool, error)
 	// Barrier blocks rank until every rank has entered the barrier.
 	Barrier(rank int) error
 	// Abort unblocks all pending and future operations with err (or

@@ -177,6 +177,85 @@ func TestConformanceMixedAnySourceAndDirect(t *testing.T) {
 	})
 }
 
+// TestConformanceTryRecv: the posted-receive probe never blocks, never
+// invents messages, respects tag matching, and drains in pairwise FIFO
+// order interchangeably with blocking Recv.
+func TestConformanceTryRecv(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, mk func(p int) Transport) {
+		w := world(mk, 2)
+		err := w.Run(func(c *Comm) error {
+			const tag Tag = 5
+			if c.Rank() == 1 {
+				// Handshake so the probe below observes a settled mailbox.
+				if _, err := c.Recv(0, tag+1); err != nil {
+					return err
+				}
+				for i := 0; i < 4; i++ {
+					if err := SendValue(c, 0, tag, i); err != nil {
+						return err
+					}
+				}
+				return SendValue(c, 0, tag+1, -1)
+			}
+			// Nothing sent yet: the probe must report no message.
+			if _, ok, err := c.TryRecv(1, tag); err != nil || ok {
+				return fmt.Errorf("probe of empty mailbox: ok=%v err=%v", ok, err)
+			}
+			// A probe for the wrong tag must not consume other traffic.
+			if err := SendValue(c, 1, tag+1, 0); err != nil {
+				return err
+			}
+			if _, err := c.Recv(1, tag+1); err != nil { // all 4 sent after this
+				return err
+			}
+			if _, ok, err := c.TryRecv(1, tag+2); err != nil || ok {
+				return fmt.Errorf("probe of absent tag: ok=%v err=%v", ok, err)
+			}
+			// Drain alternating probe/blocking receives: FIFO must hold.
+			for want := 0; want < 4; want++ {
+				var got int
+				if want%2 == 0 {
+					for {
+						m, ok, err := c.TryRecv(1, tag)
+						if err != nil {
+							return err
+						}
+						if ok {
+							got = m.Payload.(int)
+							break
+						}
+					}
+				} else {
+					m, err := c.Recv(1, tag)
+					if err != nil {
+						return err
+					}
+					got = m.Payload.(int)
+				}
+				if got != want {
+					return fmt.Errorf("mixed TryRecv/Recv drained %d, want %d", got, want)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestConformanceTryRecvAfterAbort: the probe surfaces the abort error
+// instead of reporting an empty mailbox.
+func TestConformanceTryRecvAfterAbort(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, mk func(p int) Transport) {
+		tr := mk(2)
+		tr.Abort(nil)
+		if _, ok, err := tr.TryRecv(0, 1, 1); err == nil || ok {
+			t.Fatalf("TryRecv after abort: ok=%v err=%v, want error", ok, err)
+		}
+	})
+}
+
 // TestConformanceSelfSend: a rank can message itself.
 func TestConformanceSelfSend(t *testing.T) {
 	forEachTransport(t, func(t *testing.T, mk func(p int) Transport) {

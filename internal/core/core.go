@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"time"
 
+	"hssort/internal/collective"
 	"hssort/internal/comm"
 	"hssort/internal/exchange"
 	"hssort/internal/sampling"
@@ -97,6 +98,12 @@ type Options[K any] struct {
 	// ApproxSize is the representative sample size per rank; default
 	// sampling.RepresentativeSize(Buckets, Epsilon).
 	ApproxSize int
+	// ChunkKeys, when positive, selects the streaming chunked exchange:
+	// bucket payloads move in ChunkKeys-sized chunks interleaved across
+	// destinations and the k-way merge runs incrementally as chunks
+	// arrive, overlapping the exchange tail (§6.2) with bounded peak
+	// memory. 0 (the default) selects the materializing exchange.
+	ChunkKeys int
 	// BaseTag is the start of the tag range (12 tags) this sort uses on
 	// the endpoint. Default 1000.
 	BaseTag comm.Tag
@@ -165,6 +172,9 @@ func (o Options[K]) withDefaults(p int) (Options[K], error) {
 		}
 		o.MaxRounds = 4*bound + 8
 	}
+	if o.ChunkKeys < 0 {
+		return o, fmt.Errorf("core: ChunkKeys %d < 0", o.ChunkKeys)
+	}
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
@@ -213,6 +223,15 @@ type Stats struct {
 	// LocalSort, Splitter, Exchange, Merge are per-phase wall times
 	// (max over ranks).
 	LocalSort, Splitter, Exchange, Merge time.Duration
+	// ExchangeOverlap is merge time hidden inside the streaming
+	// exchange — work §6.2's overlap argument takes off the critical
+	// path (max over ranks; zero on the materializing path).
+	ExchangeOverlap time.Duration
+	// PeakInFlight is the peak bytes admitted to the incremental merge
+	// but not yet emitted (max over ranks; zero on the materializing
+	// path). The streaming flow control bounds it by
+	// (p-1)·Window·ChunkKeys·keysize.
+	PeakInFlight int64
 	// SplitterBytes and ExchangeBytes are total bytes sent by all ranks
 	// during splitter determination and data movement.
 	SplitterBytes, ExchangeBytes int64
@@ -225,4 +244,63 @@ type Stats struct {
 // Total returns the end-to-end critical-path time.
 func (s Stats) Total() time.Duration {
 	return s.LocalSort + s.Splitter + s.Exchange + s.Merge
+}
+
+// PhaseTimes carries one rank's per-phase measurements into FinishStats.
+type PhaseTimes struct {
+	// SplitterBytes and ExchangeBytes are this rank's bytes sent during
+	// the two communication phases.
+	SplitterBytes, ExchangeBytes int64
+	// LocalSort, Splitter, Exchange, Merge are this rank's phase wall
+	// times; Overlap is merge time hidden inside a streaming exchange.
+	LocalSort, Splitter, Exchange, Merge, Overlap time.Duration
+	// PeakInFlight is this rank's peak streaming-exchange buffer.
+	PeakInFlight int64
+	// OutCount is this rank's output size.
+	OutCount int
+}
+
+// FinishStats all-reduces one rank's phase measurements into st, the
+// final collective step shared by every sort pipeline: byte counts and
+// output totals sum across ranks; phase times, overlap and peak
+// in-flight take the global max (the BSP critical path); the output
+// counts yield Imbalance. Every rank must call it with the same tag, and
+// every rank receives the same aggregates.
+func FinishStats(e comm.Endpoint, tag comm.Tag, st *Stats, m PhaseTimes) error {
+	agg, err := collective.AllReduce(e, tag, []int64{
+		m.SplitterBytes, m.ExchangeBytes,
+		int64(m.LocalSort), int64(m.Splitter), int64(m.Exchange), int64(m.Merge),
+		int64(m.Overlap), m.PeakInFlight,
+		int64(m.OutCount), // sum -> N
+		int64(m.OutCount), // max -> hottest rank
+	}, func(dst, src []int64) {
+		dst[0] += src[0]
+		dst[1] += src[1]
+		for i := 2; i <= 7; i++ {
+			if src[i] > dst[i] {
+				dst[i] = src[i]
+			}
+		}
+		dst[8] += src[8]
+		if src[9] > dst[9] {
+			dst[9] = src[9]
+		}
+	})
+	if err != nil {
+		return err
+	}
+	st.SplitterBytes = agg[0]
+	st.ExchangeBytes = agg[1]
+	st.LocalSort = time.Duration(agg[2])
+	st.Splitter = time.Duration(agg[3])
+	st.Exchange = time.Duration(agg[4])
+	st.Merge = time.Duration(agg[5])
+	st.ExchangeOverlap = time.Duration(agg[6])
+	st.PeakInFlight = agg[7]
+	if agg[8] > 0 {
+		st.Imbalance = float64(agg[9]) * float64(e.Size()) / float64(agg[8])
+	} else {
+		st.Imbalance = 1
+	}
+	return nil
 }

@@ -7,7 +7,6 @@ import (
 	"hssort/internal/collective"
 	"hssort/internal/comm"
 	"hssort/internal/exchange"
-	"hssort/internal/merge"
 )
 
 // Sort runs the full HSS pipeline on this rank's local keys and returns
@@ -49,61 +48,35 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, Stats, error) {
 	stats.SamplePerRound = info.SamplePerRound
 	stats.TotalSample = info.TotalSample
 
-	// Phase 3: partition + all-to-all data exchange.
+	// Phase 3+4: partition, data exchange, k-way merge — fused by
+	// ExchangeMerge, which runs either the materializing path or (with
+	// Options.ChunkKeys > 0) the streaming pipeline that overlaps the
+	// merge with the exchange tail.
 	bytes1 := c.Counters().BytesSent
 	t2 := time.Now()
 	runs := exchange.Partition(local, splitters, opt.Cmp)
-	recv, err := exchange.Exchange(c, base+tagExchange, runs, opt.Owner)
+	partitionTime := time.Since(t2)
+	out, exchangeTime, mergeTime, sst, err := exchange.ExchangeMerge(
+		c, base+tagExchange, runs, opt.Owner, opt.Cmp,
+		exchange.StreamOptions{ChunkKeys: opt.ChunkKeys})
 	if err != nil {
 		return nil, stats, err
 	}
-	exchangeTime := time.Since(t2)
 	exchangeBytes := c.Counters().BytesSent - bytes1
-
-	// Phase 4: merge received runs.
-	t3 := time.Now()
-	out := merge.KWay(recv, opt.Cmp)
-	mergeTime := time.Since(t3)
 	stats.LocalCount = len(out)
 
-	// Aggregate stats: byte counts sum over ranks, phase times take the
-	// max (BSP critical path), output counts give the imbalance.
-	vec := []int64{
-		splitterBytes,
-		exchangeBytes,
-		int64(localSort),
-		int64(splitterTime),
-		int64(exchangeTime),
-		int64(mergeTime),
-		int64(len(out)), // sum -> N
-		int64(len(out)), // max -> hottest rank
-	}
-	agg, err := collective.AllReduce(c, base+tagStats, vec, func(dst, src []int64) {
-		dst[0] += src[0]
-		dst[1] += src[1]
-		for i := 2; i <= 5; i++ {
-			if src[i] > dst[i] {
-				dst[i] = src[i]
-			}
-		}
-		dst[6] += src[6]
-		if src[7] > dst[7] {
-			dst[7] = src[7]
-		}
-	})
-	if err != nil {
+	if err := FinishStats(c, base+tagStats, &stats, PhaseTimes{
+		SplitterBytes: splitterBytes,
+		ExchangeBytes: exchangeBytes,
+		LocalSort:     localSort,
+		Splitter:      splitterTime,
+		Exchange:      partitionTime + exchangeTime,
+		Merge:         mergeTime,
+		Overlap:       sst.Overlap,
+		PeakInFlight:  sst.PeakInFlight,
+		OutCount:      len(out),
+	}); err != nil {
 		return nil, stats, err
-	}
-	stats.SplitterBytes = agg[0]
-	stats.ExchangeBytes = agg[1]
-	stats.LocalSort = time.Duration(agg[2])
-	stats.Splitter = time.Duration(agg[3])
-	stats.Exchange = time.Duration(agg[4])
-	stats.Merge = time.Duration(agg[5])
-	if agg[6] > 0 {
-		stats.Imbalance = float64(agg[7]) * float64(c.Size()) / float64(agg[6])
-	} else {
-		stats.Imbalance = 1
 	}
 	return out, stats, nil
 }

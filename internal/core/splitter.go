@@ -233,7 +233,7 @@ func (rc *rootController[K]) plan(round int) roundPlan[K] {
 // absorb folds one round's global histogram into the controller state.
 func (rc *rootController[K]) absorb(probes []K, ranks []int64) {
 	if rc.opt.Schedule == OneRoundScanning && len(probes) >= rc.opt.Buckets-1 {
-		if res, err := histogram.Scan(probes, ranks, rc.n, rc.opt.Buckets, rc.opt.Epsilon); err == nil {
+		if res, err := histogram.Scan(probes, ranks, rc.n, rc.opt.Buckets, rc.opt.Epsilon, rc.opt.Cmp); err == nil {
 			rc.scanSplitters = res.Splitters
 		}
 	}

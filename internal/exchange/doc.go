@@ -12,7 +12,15 @@
 // message (the §6.1 message-combining optimization falls out for free).
 //
 // Exchange is the bandwidth-dominant phase of the sort (the 2N/p BSP
-// term of §5.1). It is built purely on comm.Endpoint Send/Recv, so it
-// runs unchanged over the byte-accounted simulated transport or the
-// in-process fast path — see internal/comm.Transport.
+// term of §5.1). Two data planes implement it: the materializing
+// all-to-all (Exchange, merged afterwards with merge.KWay) and the
+// streaming pipeline (ExchangeStream), which sends each destination's
+// payload in ChunkKeys-sized chunks interleaved across destinations and
+// merges received chunks incrementally, overlapping the exchange tail
+// (§6.2) under a credit window that bounds peak in-flight data.
+// ExchangeMerge dispatches between them; both produce rank-identical
+// output. Everything is built on comm.Endpoint Send/Recv (plus the
+// TryRecv/RecvAny probes of comm.StreamEndpoint for the streaming
+// plane), so it runs unchanged over the byte-accounted simulated
+// transport or the in-process fast path — see internal/comm.Transport.
 package exchange

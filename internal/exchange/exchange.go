@@ -51,6 +51,19 @@ func RoundRobinOwner(ranks int) func(int) int {
 	return func(b int) int { return b % ranks }
 }
 
+// Wire-accounting constants shared by both exchange paths. The §5.1 BSP
+// model charges every message a latency term independent of its size, so
+// even an empty message must carry accounted overhead — otherwise
+// SimTransport stats under-count the α·(p-1) term of the all-to-all.
+const (
+	// MsgHeaderBytes is the accounted envelope of every exchange
+	// message, including empty ones.
+	MsgHeaderBytes = 8
+	// RunHeaderBytes is the accounted per-run (bucket, sender) framing
+	// inside a materialized exchange message.
+	RunHeaderBytes = 8
+)
+
 // bucketRun is the wire unit of the exchange: one bucket's keys from one
 // sender.
 type bucketRun[K any] struct {
@@ -84,9 +97,9 @@ func Exchange[K any](e comm.Endpoint, tag comm.Tag, runs [][]K, owner func(int) 
 	// need no separate count protocol.
 	for i := 1; i < p; i++ {
 		dst := (me + i) % p
-		bytes := int64(0)
+		bytes := int64(MsgHeaderBytes)
 		for _, br := range byDst[dst] {
-			bytes += comm.SliceBytes(br.keys) + 8
+			bytes += RunHeaderBytes + comm.SliceBytes(br.keys)
 		}
 		if err := e.Send(dst, tag, byDst[dst], bytes); err != nil {
 			return nil, fmt.Errorf("exchange: send: %w", err)

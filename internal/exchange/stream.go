@@ -1,0 +1,400 @@
+package exchange
+
+import (
+	"fmt"
+	"slices"
+	"time"
+
+	"hssort/internal/comm"
+	"hssort/internal/merge"
+)
+
+// Streaming-exchange defaults.
+const (
+	// DefaultChunkKeys is the default chunk size (keys per message) of
+	// the streaming exchange: large enough to amortize per-message
+	// overhead, small enough that several chunks per peer fit in the
+	// in-flight budget.
+	DefaultChunkKeys = 64 * 1024
+	// DefaultStreamWindow is the default flow-control window: how many
+	// chunks a sender may have outstanding (sent but not yet merged by
+	// the receiver) per destination. Window ≥ 2 keeps the pipe full —
+	// one chunk in transit while the previous one merges.
+	DefaultStreamWindow = 2
+)
+
+// StreamOptions configures the streaming exchange.
+type StreamOptions struct {
+	// ChunkKeys is the number of keys per chunk message. <= 0 selects
+	// DefaultChunkKeys. (ExchangeMerge instead treats 0 as "use the
+	// materializing path".)
+	ChunkKeys int
+	// Window is the per-destination flow-control window in chunks;
+	// <= 0 selects DefaultStreamWindow. Peak in-flight data per rank is
+	// bounded by (p-1)·Window·ChunkKeys keys.
+	Window int
+}
+
+func (o StreamOptions) withDefaults() StreamOptions {
+	if o.ChunkKeys <= 0 {
+		o.ChunkKeys = DefaultChunkKeys
+	}
+	if o.Window <= 0 {
+		o.Window = DefaultStreamWindow
+	}
+	return o
+}
+
+// StreamStats reports one rank's streaming-exchange behaviour.
+type StreamStats struct {
+	// Overlap is merge time hidden inside the exchange: time spent
+	// emitting merged keys while at least one incoming stream was still
+	// open. The §6.2 overlap discussion assumes exactly this work moves
+	// off the critical path.
+	Overlap time.Duration
+	// MergeTail is merge time after the last incoming chunk arrived —
+	// the only merge work a perfect overlap cannot hide.
+	MergeTail time.Duration
+	// PeakInFlight is the peak number of payload bytes admitted to the
+	// incremental merge but not yet emitted. The credit protocol bounds
+	// it by (p-1)·Window·ChunkKeys·sizeof(K).
+	PeakInFlight int64
+	// ChunksSent counts data messages (including empty closures) sent.
+	ChunksSent int64
+}
+
+// streamMsg is one streaming-exchange message. credit > 0 marks a
+// flow-control grant (runs nil); otherwise the message is a data chunk —
+// up to ChunkKeys keys spread over one or more bucket-run views, in
+// bucket order — with last marking the sender's final chunk for this
+// receiver and total carrying the sender's whole payload size for this
+// receiver (a capacity hint, set on every chunk of a stream).
+type streamMsg[K any] struct {
+	runs   [][]K
+	keys   int
+	total  int64
+	last   bool
+	credit int32
+}
+
+// outStream tracks one destination of the sender half.
+type outStream struct {
+	next     int // next chunk index to send
+	credits  int // flow-control window remaining
+	lastSent bool
+}
+
+// inStream tracks one source of the receiver half.
+type inStream struct {
+	closed   bool
+	admitted int64   // cumulative keys admitted to the merge
+	bounds   []int64 // admitted counts at un-acked chunk ends
+}
+
+// ExchangeStream routes runs[b] (this rank's keys for bucket b) to
+// owner(b) like Exchange, but pipelines the data plane: each
+// destination's payload is split into ChunkKeys-sized chunks sent
+// interleaved across destinations, and received chunks feed an
+// incremental k-way merge (merge.LoserTree) that emits this rank's
+// sorted partition while the tail of the exchange is still in flight.
+// It returns the merged partition directly.
+//
+// The output is rank-identical to merge.KWay over Exchange's result:
+// each sender's chunks arrive in bucket-major order, so per-sender
+// streams are sorted, and duplicate keys — which always land in the same
+// bucket on every sender — tie-break by sender rank in both paths.
+//
+// Flow control: a sender may have at most Window un-acknowledged chunks
+// per destination; the receiver grants a credit only after a chunk has
+// fully passed through the merge. That bounds per-rank in-flight data
+// (transport-buffered plus admitted-but-unmerged) by
+// (p-1)·Window·ChunkKeys keys, the streaming path's memory budget.
+// Credits share the data tag, so a rank out of local work can park in
+// RecvAny and wake on whichever protocol event arrives first.
+//
+// Tag hygiene: a rank may return while late credit grants addressed to
+// it are still queued (ranks do not wait to be acked for their final
+// chunks), so the tag must not be reused for another protocol on the
+// same endpoint — give every exchange its own tag, as the sort
+// pipelines' per-phase tag layout already does.
+func ExchangeStream[K any](e comm.StreamEndpoint, tag comm.Tag, runs [][]K, owner func(int) int, cmp func(K, K) int, opt StreamOptions) ([]K, StreamStats, error) {
+	opt = opt.withDefaults()
+	p := e.Size()
+	me := e.Rank()
+	keySize := comm.SizeOf[K]()
+
+	// Route each bucket run to its destination's chunk queue. Chunks are
+	// zero-copy run views batched in bucket order: consecutive small
+	// runs share one chunk up to ChunkKeys keys (so over-partitioned
+	// configurations keep the materializing path's message count), and
+	// a run larger than ChunkKeys spans several chunks.
+	type chunk struct {
+		runs [][]K
+		keys int
+	}
+	chunksTo := make([][]chunk, p)
+	totalTo := make([]int64, p)
+	push := func(dst int, view []K) {
+		q := chunksTo[dst]
+		if n := len(q); n > 0 && q[n-1].keys+len(view) <= opt.ChunkKeys {
+			q[n-1].runs = append(q[n-1].runs, view)
+			q[n-1].keys += len(view)
+		} else {
+			q = append(q, chunk{runs: [][]K{view}, keys: len(view)})
+		}
+		chunksTo[dst] = q
+	}
+	for b, run := range runs {
+		dst := owner(b)
+		if dst < 0 || dst >= p {
+			return nil, StreamStats{}, fmt.Errorf("exchange: owner(%d) = %d outside world size %d", b, dst, p)
+		}
+		totalTo[dst] += int64(len(run))
+		for len(run) > 0 {
+			c := min(opt.ChunkKeys, len(run))
+			push(dst, run[:c])
+			run = run[c:]
+		}
+	}
+
+	// One merge stream per sender, admitted in rank order so run indices
+	// — and with them duplicate-key tie-breaks — are deterministic. Own
+	// data feeds its stream directly and closes it.
+	lt := merge.NewStreaming[K](cmp)
+	for r := 0; r < p; r++ {
+		lt.AddRun(nil)
+	}
+	for _, c := range chunksTo[me] {
+		for _, view := range c.runs {
+			lt.Append(me, view)
+		}
+	}
+	lt.CloseRun(me)
+
+	var st StreamStats
+	out := make([]K, 0, totalTo[me])
+	if p == 1 {
+		t0 := time.Now()
+		for {
+			k, ok := lt.NextReady()
+			if !ok {
+				break
+			}
+			out = append(out, k)
+		}
+		st.MergeTail = time.Since(t0)
+		return out, st, nil
+	}
+
+	outs := make([]outStream, p)
+	for d := range outs {
+		outs[d].credits = opt.Window
+	}
+	sendsPending := p - 1
+	ins := make([]inStream, p)
+	openStreams := p - 1
+	expect := totalTo[me] // known final output size so far (capacity hint)
+	admitted := int64(0)  // keys admitted across remote streams
+
+	// handle folds one incoming protocol message into local state.
+	handle := func(m comm.Message) error {
+		sm, ok := m.Payload.(streamMsg[K])
+		if !ok {
+			return fmt.Errorf("exchange: stream payload type %T from rank %d", m.Payload, m.Src)
+		}
+		if sm.credit > 0 {
+			outs[m.Src].credits += int(sm.credit)
+			return nil
+		}
+		in := &ins[m.Src]
+		if in.closed {
+			return fmt.Errorf("exchange: chunk from rank %d after its last chunk", m.Src)
+		}
+		if in.admitted == 0 && sm.total > 0 {
+			// First chunk of the stream: note the sender's whole
+			// contribution so drain can size the output ahead of need.
+			expect += sm.total
+		}
+		if sm.keys > 0 {
+			for _, view := range sm.runs {
+				lt.Append(m.Src, view)
+			}
+			in.admitted += int64(sm.keys)
+			in.bounds = append(in.bounds, in.admitted)
+			admitted += int64(sm.keys)
+			// Remote keys emitted so far = total emitted - own-stream
+			// emissions, so buffered = admitted - that difference.
+			buffered := (admitted - (int64(len(out)) - lt.Consumed(me))) * keySize
+			if buffered > st.PeakInFlight {
+				st.PeakInFlight = buffered
+			}
+		}
+		if sm.last {
+			lt.CloseRun(m.Src)
+			in.closed = true
+			in.bounds = nil // the sender needs no further credits
+			openStreams--
+		}
+		return nil
+	}
+
+	// trySend pushes at most one chunk to every destination with credit,
+	// staggered like the materializing path so chunks interleave across
+	// destinations instead of draining one peer at a time.
+	trySend := func() (bool, error) {
+		progress := false
+		for i := 1; i < p; i++ {
+			dst := (me + i) % p
+			o := &outs[dst]
+			if o.lastSent || o.credits == 0 {
+				continue
+			}
+			q := chunksTo[dst]
+			var msg streamMsg[K]
+			bytes := int64(MsgHeaderBytes)
+			if o.next < len(q) {
+				c := q[o.next]
+				o.next++
+				msg = streamMsg[K]{runs: c.runs, keys: c.keys, total: totalTo[dst], last: o.next == len(q)}
+				bytes += int64(len(c.runs))*RunHeaderBytes + int64(c.keys)*keySize
+			} else {
+				// Nothing for this destination: a single empty closure
+				// message, which still pays the per-message overhead.
+				msg = streamMsg[K]{last: true}
+			}
+			if err := e.Send(dst, tag, msg, bytes); err != nil {
+				return false, fmt.Errorf("exchange: stream send: %w", err)
+			}
+			o.credits--
+			st.ChunksSent++
+			if msg.last {
+				o.lastSent = true
+				sendsPending--
+			}
+			progress = true
+		}
+		return progress, nil
+	}
+
+	// drain emits every safely mergeable key, then grants credits for
+	// chunks that have fully passed through the merge of still-open
+	// streams (a closed stream's sender has nothing left to send).
+	drain := func() (bool, error) {
+		k, ok := lt.NextReady()
+		if !ok {
+			return false, nil
+		}
+		t0 := time.Now()
+		if int64(cap(out)) < expect {
+			out = slices.Grow(out, int(expect)-len(out))
+		}
+		out = append(out, k)
+		if openStreams > 0 {
+			for {
+				k, ok = lt.NextReady()
+				if !ok {
+					break
+				}
+				out = append(out, k)
+			}
+			st.Overlap += time.Since(t0)
+		} else {
+			// Every stream is closed: starvation is impossible and the
+			// guarded NextReady is equivalent to the bare merge loop.
+			for {
+				k, ok = lt.Next()
+				if !ok {
+					break
+				}
+				out = append(out, k)
+			}
+			st.MergeTail += time.Since(t0)
+		}
+		for i := 1; i < p; i++ {
+			src := (me - i + p) % p
+			in := &ins[src]
+			var grant int32
+			for len(in.bounds) > 0 && lt.Consumed(src) >= in.bounds[0] {
+				in.bounds = in.bounds[1:]
+				grant++
+			}
+			if grant > 0 {
+				if err := e.Send(src, tag, streamMsg[K]{credit: grant}, MsgHeaderBytes); err != nil {
+					return false, fmt.Errorf("exchange: stream credit: %w", err)
+				}
+			}
+		}
+		return true, nil
+	}
+
+	for {
+		progress, err := trySend()
+		if err != nil {
+			return nil, st, err
+		}
+		for {
+			m, ok, err := e.TryRecv(comm.AnySource, tag)
+			if err != nil {
+				return nil, st, fmt.Errorf("exchange: stream recv: %w", err)
+			}
+			if !ok {
+				break
+			}
+			if err := handle(m); err != nil {
+				return nil, st, err
+			}
+			progress = true
+		}
+		emitted, err := drain()
+		if err != nil {
+			return nil, st, err
+		}
+		progress = progress || emitted
+		if sendsPending == 0 && openStreams == 0 && lt.Exhausted() {
+			return out, st, nil
+		}
+		if !progress {
+			// Out of local work: park until the next protocol event —
+			// a chunk for a starved stream or a credit for a stalled
+			// send, whichever peer delivers first. Liveness: a rank
+			// blocks only while a peer still owes it a message, and
+			// every owed message is eventually sendable because credits
+			// are granted whenever merges progress.
+			m, err := e.RecvAny(tag)
+			if err != nil {
+				return nil, st, fmt.Errorf("exchange: stream recv: %w", err)
+			}
+			if err := handle(m); err != nil {
+				return nil, st, err
+			}
+		}
+	}
+}
+
+// ExchangeMerge is the data-movement dispatcher for the sort pipelines:
+// it routes runs to their owners and returns this rank's fully merged
+// partition, using the materializing Exchange + merge.KWay path when
+// opt.ChunkKeys == 0 (the conformance oracle) or the streaming pipeline
+// otherwise. exchangeTime and mergeTime keep phase stats comparable
+// across paths: under streaming, merge work hidden inside the exchange
+// is charged to the exchange phase and only the unhidable tail
+// (StreamStats.MergeTail) to the merge phase.
+func ExchangeMerge[K any](e comm.StreamEndpoint, tag comm.Tag, runs [][]K, owner func(int) int, cmp func(K, K) int, opt StreamOptions) (out []K, exchangeTime, mergeTime time.Duration, st StreamStats, err error) {
+	t0 := time.Now()
+	if opt.ChunkKeys == 0 {
+		recv, err := Exchange(e, tag, runs, owner)
+		if err != nil {
+			return nil, 0, 0, StreamStats{}, err
+		}
+		exchangeTime = time.Since(t0)
+		t1 := time.Now()
+		out = merge.KWay(recv, cmp)
+		return out, exchangeTime, time.Since(t1), StreamStats{}, nil
+	}
+	out, st, err = ExchangeStream(e, tag, runs, owner, cmp, opt)
+	if err != nil {
+		return nil, 0, 0, st, err
+	}
+	total := time.Since(t0)
+	return out, total - st.MergeTail, st.MergeTail, st, nil
+}

@@ -1,0 +1,208 @@
+package exchange
+
+import (
+	"cmp"
+	"fmt"
+	"math/rand/v2"
+	"slices"
+	"testing"
+	"time"
+
+	"hssort/internal/comm"
+	"hssort/internal/merge"
+)
+
+// TestExchangeAccounting pins the wire-size model: every message —
+// including empty ones, which still pay the §5.1 latency term — charges
+// MsgHeaderBytes, plus RunHeaderBytes and the payload per carried run.
+func TestExchangeAccounting(t *testing.T) {
+	const p = 3
+	shards := [][]int64{{0, 1, 12}, {5, 15, 25}, {21, 22}}
+	splitters := []int64{10, 20}
+	w := comm.NewWorld(p, comm.WithTimeout(10*time.Second))
+	err := w.Run(func(c *comm.Comm) error {
+		runs := Partition(shards[c.Rank()], splitters, icmp)
+		_, err := Exchange(c, 1, runs, ContiguousOwner(p, p))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-rank non-local runs: rank 0 sends {12} to 1 and nothing to 2;
+	// rank 1 sends {5} to 0 and {25} to 2; rank 2 sends two empty
+	// messages. 6 messages total, 3 of them carrying one run each.
+	wantBytes := int64(6*MsgHeaderBytes + 3*(RunHeaderBytes+8))
+	total := w.TotalCounters()
+	if total.MsgsSent != 6 {
+		t.Errorf("MsgsSent = %d, want 6", total.MsgsSent)
+	}
+	if total.BytesSent != wantBytes {
+		t.Errorf("BytesSent = %d, want %d", total.BytesSent, wantBytes)
+	}
+	if total.BytesRecv != wantBytes {
+		t.Errorf("BytesRecv = %d, want %d (all sent traffic delivered)", total.BytesRecv, wantBytes)
+	}
+}
+
+// pair is a key with a hidden identity: cmp orders by k only, so
+// duplicate keys from different origins are distinguishable in the
+// output — any tie-break divergence between the exchange paths shows up
+// as an id mismatch.
+type pair struct{ k, id int64 }
+
+func pairCmp(a, b pair) int { return cmp.Compare(a.k, b.k) }
+
+// streamCase runs one shard set through both data-movement paths on one
+// backend and requires rank-identical output, plus the in-flight bound.
+func streamCase(t *testing.T, mk func(p int) comm.Transport, shards [][]pair, buckets int, owner func(int) int, opt StreamOptions) {
+	t.Helper()
+	p := len(shards)
+	splitters := make([]pair, buckets-1)
+	// Evenly spaced splitters over the observed key range, some duplicated.
+	var all []pair
+	for _, s := range shards {
+		all = append(all, s...)
+	}
+	slices.SortFunc(all, pairCmp)
+	for i := range splitters {
+		if len(all) == 0 {
+			splitters[i] = pair{}
+			continue
+		}
+		splitters[i] = pair{k: all[(i+1)*len(all)/buckets%len(all)].k}
+	}
+	slices.SortFunc(splitters, pairCmp)
+
+	outM := make([][]pair, p)
+	w := comm.NewWorld(p, comm.WithTransport(mk(p)), comm.WithTimeout(20*time.Second))
+	err := w.Run(func(c *comm.Comm) error {
+		runs := Partition(slices.Clone(shards[c.Rank()]), splitters, pairCmp)
+		recv, err := Exchange(c, 1, runs, owner)
+		if err != nil {
+			return err
+		}
+		outM[c.Rank()] = merge.KWay(recv, pairCmp)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	outS := make([][]pair, p)
+	stats := make([]StreamStats, p)
+	w = comm.NewWorld(p, comm.WithTransport(mk(p)), comm.WithTimeout(20*time.Second))
+	err = w.Run(func(c *comm.Comm) error {
+		runs := Partition(slices.Clone(shards[c.Rank()]), splitters, pairCmp)
+		out, st, err := ExchangeStream(c, 1, runs, owner, pairCmp, opt)
+		if err != nil {
+			return err
+		}
+		outS[c.Rank()] = out
+		stats[c.Rank()] = st
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eff := opt.withDefaults()
+	budget := int64(p-1) * int64(eff.Window) * int64(eff.ChunkKeys) * comm.SizeOf[pair]()
+	for r := 0; r < p; r++ {
+		if !slices.Equal(outM[r], outS[r]) {
+			t.Fatalf("rank %d: streaming output diverged from materializing path (%d vs %d keys)", r, len(outS[r]), len(outM[r]))
+		}
+		if stats[r].PeakInFlight > budget {
+			t.Errorf("rank %d: peak in-flight %d exceeds budget %d", r, stats[r].PeakInFlight, budget)
+		}
+	}
+}
+
+// TestExchangeStreamEquivalence sweeps world sizes, ownership maps,
+// chunk sizes and windows on both transports: the streaming pipeline
+// must be output-identical to Exchange + KWay, duplicates included.
+func TestExchangeStreamEquivalence(t *testing.T) {
+	backends := []struct {
+		name string
+		mk   func(p int) comm.Transport
+	}{
+		{"sim", func(p int) comm.Transport { return comm.NewSimTransport(p) }},
+		{"inproc", func(p int) comm.Transport { return comm.NewInprocTransport(p) }},
+	}
+	type shape struct {
+		name    string
+		p       int
+		buckets int
+		owner   func(buckets, p int) func(int) int
+	}
+	contig := func(b, p int) func(int) int { return ContiguousOwner(b, p) }
+	rr := func(b, p int) func(int) int { return RoundRobinOwner(p) }
+	shapes := []shape{
+		{"p1", 1, 1, contig},
+		{"p2", 2, 2, contig},
+		{"p5-flat", 5, 5, contig},
+		{"p4-overpart", 4, 12, contig},
+		{"p3-roundrobin", 3, 9, rr},
+	}
+	opts := []StreamOptions{
+		{ChunkKeys: 1, Window: 1}, // worst case: every key its own message
+		{ChunkKeys: 7, Window: 2},
+		{ChunkKeys: 1 << 16, Window: 2}, // defaults: one chunk per run
+	}
+	for _, be := range backends {
+		for _, sh := range shapes {
+			for oi, opt := range opts {
+				t.Run(fmt.Sprintf("%s/%s/opt%d", be.name, sh.name, oi), func(t *testing.T) {
+					rng := rand.New(rand.NewPCG(uint64(sh.p)*1000+uint64(oi), 99))
+					shards := make([][]pair, sh.p)
+					id := int64(0)
+					for r := range shards {
+						n := rng.IntN(300)
+						shards[r] = make([]pair, n)
+						for i := range shards[r] {
+							// Small key range: lots of cross-rank duplicates.
+							shards[r][i] = pair{k: rng.Int64N(40), id: id}
+							id++
+						}
+						slices.SortFunc(shards[r], pairCmp)
+					}
+					streamCase(t, be.mk, shards, sh.buckets, sh.owner(sh.buckets, sh.p), opt)
+				})
+			}
+		}
+	}
+}
+
+// TestExchangeStreamEmptyAndSkewed covers degenerate loads: some ranks
+// empty, all data on one rank, empty world-wide buckets.
+func TestExchangeStreamEmptyAndSkewed(t *testing.T) {
+	mk := func(p int) comm.Transport { return comm.NewSimTransport(p) }
+	t.Run("all-empty", func(t *testing.T) {
+		shards := make([][]pair, 4)
+		streamCase(t, mk, shards, 4, ContiguousOwner(4, 4), StreamOptions{ChunkKeys: 4})
+	})
+	t.Run("one-loaded", func(t *testing.T) {
+		shards := make([][]pair, 4)
+		for i := 0; i < 100; i++ {
+			shards[2] = append(shards[2], pair{k: int64(i % 13), id: int64(i)})
+		}
+		slices.SortFunc(shards[2], pairCmp)
+		streamCase(t, mk, shards, 4, ContiguousOwner(4, 4), StreamOptions{ChunkKeys: 8})
+	})
+}
+
+// TestExchangeStreamBadOwner mirrors the materializing path's owner
+// validation.
+func TestExchangeStreamBadOwner(t *testing.T) {
+	w := comm.NewWorld(2, comm.WithTimeout(time.Second))
+	err := w.Run(func(c *comm.Comm) error {
+		runs := [][]int64{{1}, {2}}
+		_, _, err := ExchangeStream(c, 1, runs, func(int) int { return 7 }, icmp, StreamOptions{})
+		if err == nil {
+			return fmt.Errorf("bad owner accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -60,7 +60,7 @@ func BenchmarkScan(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Scan(keys, ranks, n, buckets, 0.05); err != nil {
+		if _, err := Scan(keys, ranks, n, buckets, 0.05, icmp); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -24,12 +24,29 @@ type ScanResult[K any] struct {
 // walks the histogram assigning consecutive key ranges to buckets, closing
 // a bucket just before it would exceed the cap N(1+ε)/B. The last bucket
 // receives the remainder.
-func Scan[K any](keys []K, ranks []int64, n int64, buckets int, eps float64) (ScanResult[K], error) {
+//
+// The sample is validated against cmp before scanning: duplicate or
+// out-of-order keys, or ranks that decrease, would silently make the
+// maxHi clamp emit duplicate or out-of-order splitters — Partition then
+// panics (or worse, mis-buckets) far from the actual bug. Such input is
+// rejected with an error instead.
+func Scan[K any](keys []K, ranks []int64, n int64, buckets int, eps float64, cmp func(K, K) int) (ScanResult[K], error) {
 	if buckets < 1 {
 		return ScanResult[K]{}, fmt.Errorf("histogram: scan buckets %d < 1", buckets)
 	}
 	if len(keys) != len(ranks) {
 		return ScanResult[K]{}, fmt.Errorf("histogram: scan %d keys vs %d ranks", len(keys), len(ranks))
+	}
+	for i := 1; i < len(keys); i++ {
+		switch c := cmp(keys[i-1], keys[i]); {
+		case c == 0:
+			return ScanResult[K]{}, fmt.Errorf("histogram: scan sample has duplicate keys at %d", i)
+		case c > 0:
+			return ScanResult[K]{}, fmt.Errorf("histogram: scan sample keys out of order at %d", i)
+		}
+		if ranks[i] < ranks[i-1] {
+			return ScanResult[K]{}, fmt.Errorf("histogram: scan ranks decrease at %d (%d < %d)", i, ranks[i], ranks[i-1])
+		}
 	}
 	if buckets == 1 {
 		return ScanResult[K]{LastBucket: n}, nil

@@ -11,7 +11,7 @@ func TestScanKnown(t *testing.T) {
 	// Global 0..99, 4 buckets, eps=0 → cap 25. Sample at every 10th key.
 	keys := []int64{9, 19, 29, 39, 49, 59, 69, 79, 89, 99}
 	ranks := []int64{9, 19, 29, 39, 49, 59, 69, 79, 89, 99}
-	res, err := Scan(keys, ranks, 100, 4, 0)
+	res, err := Scan(keys, ranks, 100, 4, 0, icmp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,19 +30,43 @@ func TestScanKnown(t *testing.T) {
 }
 
 func TestScanErrors(t *testing.T) {
-	if _, err := Scan([]int64{1}, []int64{1, 2}, 10, 2, 0.1); err == nil {
+	if _, err := Scan([]int64{1}, []int64{1, 2}, 10, 2, 0.1, icmp); err == nil {
 		t.Error("length mismatch accepted")
 	}
-	if _, err := Scan([]int64{1}, []int64{1}, 10, 0, 0.1); err == nil {
+	if _, err := Scan([]int64{1}, []int64{1}, 10, 0, 0.1, icmp); err == nil {
 		t.Error("buckets=0 accepted")
 	}
-	if _, err := Scan([]int64{1}, []int64{1}, 10, 5, 0.1); err == nil {
+	if _, err := Scan([]int64{1}, []int64{1}, 10, 5, 0.1, icmp); err == nil {
 		t.Error("too-small sample accepted")
 	}
 }
 
+// TestScanRejectsMalformedSample pins the validation paths: duplicate
+// sample keys, out-of-order sample keys, and decreasing ranks must each
+// be rejected — before validation, such input silently flowed through
+// the maxHi clamp and could emit duplicate or out-of-order splitters.
+func TestScanRejectsMalformedSample(t *testing.T) {
+	// Duplicate keys (equal under cmp).
+	if _, err := Scan([]int64{5, 5, 9}, []int64{10, 20, 30}, 100, 3, 0.1, icmp); err == nil {
+		t.Error("duplicate sample keys accepted")
+	}
+	// Out-of-order keys.
+	if _, err := Scan([]int64{9, 5, 12}, []int64{10, 20, 30}, 100, 3, 0.1, icmp); err == nil {
+		t.Error("out-of-order sample keys accepted")
+	}
+	// Non-monotone ranks over properly sorted keys.
+	if _, err := Scan([]int64{3, 5, 9}, []int64{30, 20, 40}, 100, 3, 0.1, icmp); err == nil {
+		t.Error("decreasing ranks accepted")
+	}
+	// Equal ranks for distinct adjacent keys are legitimate (no data
+	// between them) and must pass.
+	if _, err := Scan([]int64{3, 5, 9}, []int64{20, 20, 40}, 100, 3, 0.1, icmp); err != nil {
+		t.Errorf("equal ranks for distinct keys rejected: %v", err)
+	}
+}
+
 func TestScanSingleBucket(t *testing.T) {
-	res, err := Scan([]int64{}, []int64{}, 42, 1, 0.1)
+	res, err := Scan([]int64{}, []int64{}, 42, 1, 0.1, icmp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +97,7 @@ func TestScanTheorem321(t *testing.T) {
 				ranks = append(ranks, int64(i))
 			}
 		}
-		res, err := Scan(keys, ranks, n, p, eps)
+		res, err := Scan(keys, ranks, n, p, eps, icmp)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -119,7 +143,7 @@ func TestScanProperty(t *testing.T) {
 		}
 		slices.Sort(ranks)
 		keys := slices.Clone(ranks) // identity keyspace
-		res, err := Scan(keys, ranks, n, buckets, 0.1)
+		res, err := Scan(keys, ranks, n, buckets, 0.1, icmp)
 		if err != nil {
 			return false
 		}

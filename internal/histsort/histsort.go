@@ -11,7 +11,6 @@ import (
 	"hssort/internal/exchange"
 	"hssort/internal/histogram"
 	"hssort/internal/keycoder"
-	"hssort/internal/merge"
 )
 
 // Options configures a classic histogram sort. Cmp and Coder are
@@ -36,6 +35,9 @@ type Options[K any] struct {
 	// MaxRounds caps refinement rounds; the fallback then uses the
 	// closest candidates seen. Default 72 (64-bit bisection + slack).
 	MaxRounds int
+	// ChunkKeys, when positive, selects the streaming chunked exchange
+	// (see core.Options.ChunkKeys). 0 = materializing exchange.
+	ChunkKeys int
 	// BaseTag is the start of the tag range this sort uses. Default 3000.
 	BaseTag comm.Tag
 }
@@ -67,6 +69,9 @@ func (o Options[K]) withDefaults(p int) (Options[K], error) {
 	}
 	if o.MaxRounds == 0 {
 		o.MaxRounds = 72
+	}
+	if o.ChunkKeys < 0 {
+		return o, fmt.Errorf("histsort: ChunkKeys %d < 0", o.ChunkKeys)
 	}
 	if o.BaseTag == 0 {
 		o.BaseTag = 3000
@@ -128,48 +133,28 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 	bytes1 := c.Counters().BytesSent
 	t2 := time.Now()
 	runs := exchange.Partition(local, splitters, opt.Cmp)
-	recv, err := exchange.Exchange(c, base+tagExchange, runs, opt.Owner)
+	partitionTime := time.Since(t2)
+	out, exchangeTime, mergeTime, sst, err := exchange.ExchangeMerge(
+		c, base+tagExchange, runs, opt.Owner, opt.Cmp,
+		exchange.StreamOptions{ChunkKeys: opt.ChunkKeys})
 	if err != nil {
 		return nil, stats, err
 	}
-	exchangeTime := time.Since(t2)
 	exchangeBytes := c.Counters().BytesSent - bytes1
-
-	t3 := time.Now()
-	out := merge.KWay(recv, opt.Cmp)
-	mergeTime := time.Since(t3)
 	stats.LocalCount = len(out)
 
-	agg, err := collective.AllReduce(c, base+tagStats, []int64{
-		splitterBytes, exchangeBytes,
-		int64(localSort), int64(splitterTime), int64(exchangeTime), int64(mergeTime),
-		int64(len(out)), int64(len(out)),
-	}, func(dst, src []int64) {
-		dst[0] += src[0]
-		dst[1] += src[1]
-		for i := 2; i <= 5; i++ {
-			if src[i] > dst[i] {
-				dst[i] = src[i]
-			}
-		}
-		dst[6] += src[6]
-		if src[7] > dst[7] {
-			dst[7] = src[7]
-		}
-	})
-	if err != nil {
+	if err := core.FinishStats(c, base+tagStats, &stats, core.PhaseTimes{
+		SplitterBytes: splitterBytes,
+		ExchangeBytes: exchangeBytes,
+		LocalSort:     localSort,
+		Splitter:      splitterTime,
+		Exchange:      partitionTime + exchangeTime,
+		Merge:         mergeTime,
+		Overlap:       sst.Overlap,
+		PeakInFlight:  sst.PeakInFlight,
+		OutCount:      len(out),
+	}); err != nil {
 		return nil, stats, err
-	}
-	stats.SplitterBytes = agg[0]
-	stats.ExchangeBytes = agg[1]
-	stats.LocalSort = time.Duration(agg[2])
-	stats.Splitter = time.Duration(agg[3])
-	stats.Exchange = time.Duration(agg[4])
-	stats.Merge = time.Duration(agg[5])
-	if agg[6] > 0 {
-		stats.Imbalance = float64(agg[7]) * float64(c.Size()) / float64(agg[6])
-	} else {
-		stats.Imbalance = 1
 	}
 	return out, stats, nil
 }

@@ -9,5 +9,9 @@
 //
 // This is the final, purely local phase of every splitter-based sort in
 // the repository: internal/exchange delivers the runs, merge.KWay turns
-// them into the rank's sorted partition.
+// them into the rank's sorted partition. The underlying LoserTree also
+// works incrementally — runs can be admitted (AddRun), refilled
+// (Append) and sealed (CloseRun) while merging, with NextReady emitting
+// only keys no future arrival can precede — which is what lets
+// exchange.ExchangeStream overlap the merge with the exchange itself.
 package merge

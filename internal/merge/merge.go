@@ -60,19 +60,39 @@ func KWay[K any](runs [][]K, cmp func(K, K) int) []K {
 // merged order one key at a time. It is the streaming core of KWay,
 // exported so the final assembly phase can merge incrementally without
 // materializing inputs twice.
+//
+// Beyond the fixed-run form built by NewLoserTree, a tree started with
+// NewStreaming admits runs as they arrive: AddRun registers a run that
+// may still grow, Append feeds it more keys, CloseRun seals it, and
+// NextReady emits merged keys only while emission is provably safe —
+// the incremental k-way merge behind exchange.ExchangeStream.
 type LoserTree[K any] struct {
 	runs [][]K
-	pos  []int // next unread index per run
+	pos  []int // next unread index per run (current-chunk-relative)
+	// pending queues refill chunks per run, consumed front to back.
+	// Invariant: a run whose current buffer is drained has no pending
+	// chunks (Next advances eagerly), so the head key is always
+	// runs[i][pos[i]] when one exists.
+	pending [][][]K
+	// consumed counts keys ever emitted per run; unlike pos it is not
+	// reset when a streaming run advances to its next chunk.
+	consumed []int64
+	// open marks runs that may still receive Append; an open run with an
+	// empty buffer blocks NextReady (a future arrival could precede the
+	// current minimum). starved counts such runs.
+	open    []bool
+	starved int
 	// tree[1:] holds internal nodes: tree[i] is the run index that LOST
 	// the match at node i. tree[0] holds the overall winner.
-	tree []int
-	k    int // number of leaves (power-of-two padded)
-	n    int // real number of runs
-	cmp  func(K, K) int
-	done bool
+	tree  []int
+	k     int // number of leaves (power-of-two padded)
+	n     int // real number of runs
+	cmp   func(K, K) int
+	dirty bool // a head changed outside Next: rebuild before next emit
 }
 
-// NewLoserTree builds a loser tree over the given sorted runs.
+// NewLoserTree builds a loser tree over the given fixed (fully
+// materialized) sorted runs.
 func NewLoserTree[K any](runs [][]K, cmp func(K, K) int) *LoserTree[K] {
 	n := len(runs)
 	k := 1
@@ -83,15 +103,110 @@ func NewLoserTree[K any](runs [][]K, cmp func(K, K) int) *LoserTree[K] {
 		k = 2
 	}
 	lt := &LoserTree[K]{
-		runs: runs,
-		pos:  make([]int, n),
-		tree: make([]int, k),
-		k:    k,
-		n:    n,
-		cmp:  cmp,
+		runs:     runs,
+		pos:      make([]int, n),
+		pending:  make([][][]K, n),
+		consumed: make([]int64, n),
+		open:     make([]bool, n),
+		tree:     make([]int, k),
+		k:        k,
+		n:        n,
+		cmp:      cmp,
 	}
 	lt.build()
 	return lt
+}
+
+// NewStreaming creates an empty loser tree that admits runs
+// incrementally via AddRun.
+func NewStreaming[K any](cmp func(K, K) int) *LoserTree[K] {
+	return &LoserTree[K]{k: 2, tree: make([]int, 2), cmp: cmp, dirty: true}
+}
+
+// AddRun registers a new, initially open run holding the given sorted
+// keys (nil for an empty stream) and returns its index. Ties between
+// runs resolve in favor of the lower index, so callers wanting a
+// deterministic merge must add runs in a deterministic order.
+func (lt *LoserTree[K]) AddRun(keys []K) int {
+	i := lt.n
+	lt.runs = append(lt.runs, keys)
+	lt.pos = append(lt.pos, 0)
+	lt.pending = append(lt.pending, nil)
+	lt.consumed = append(lt.consumed, 0)
+	lt.open = append(lt.open, true)
+	lt.n++
+	if len(keys) == 0 {
+		lt.starved++
+	}
+	for lt.k < lt.n {
+		lt.k *= 2
+	}
+	if len(lt.tree) != lt.k {
+		lt.tree = make([]int, lt.k)
+	}
+	lt.dirty = true
+	return i
+}
+
+// Append feeds more keys to open run i as a new chunk. Keys must compare
+// >= everything previously appended to that run. The tree takes
+// ownership of the slice (no copy); fully drained chunks drop out of the
+// tree's reach, so a streaming run's live memory stays proportional to
+// its unmerged window, not its total volume.
+func (lt *LoserTree[K]) Append(i int, keys []K) {
+	if !lt.open[i] {
+		panic("merge: Append to closed run")
+	}
+	if len(keys) == 0 {
+		return
+	}
+	if lt.pos[i] >= len(lt.runs[i]) {
+		// The run was drained (pending empty by invariant): the new
+		// chunk becomes current, the head changes, and the tournament
+		// must be replayed before the next emission.
+		lt.starved--
+		lt.dirty = true
+		lt.runs[i] = keys
+		lt.pos[i] = 0
+	} else {
+		lt.pending[i] = append(lt.pending[i], keys)
+	}
+}
+
+// CloseRun seals run i: no further Append may follow, and once its
+// buffer drains the run is exhausted rather than starved.
+func (lt *LoserTree[K]) CloseRun(i int) {
+	if !lt.open[i] {
+		return
+	}
+	lt.open[i] = false
+	if lt.pos[i] >= len(lt.runs[i]) {
+		lt.starved--
+	}
+}
+
+// Consumed returns the number of keys emitted from run i so far.
+func (lt *LoserTree[K]) Consumed(i int) int64 { return lt.consumed[i] }
+
+// Exhausted reports whether every run is closed and fully emitted.
+func (lt *LoserTree[K]) Exhausted() bool {
+	for i := 0; i < lt.n; i++ {
+		if lt.open[i] || lt.pos[i] < len(lt.runs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// NextReady returns the next merged key if emission is safe: no open run
+// is empty. ok=false means blocked (some open run awaits data) or
+// exhausted; distinguish with Exhausted.
+func (lt *LoserTree[K]) NextReady() (key K, ok bool) {
+	if lt.starved > 0 {
+		var zero K
+		return zero, false
+	}
+	return lt.Next()
 }
 
 // exhausted reports whether run i has no keys left (virtual runs beyond n
@@ -141,20 +256,33 @@ func (lt *LoserTree[K]) build() {
 }
 
 // Next returns the smallest remaining key across all runs, or ok=false
-// when every run is exhausted.
+// when every run's buffer is drained. On a streaming tree prefer
+// NextReady, which additionally refuses to emit while an open run could
+// still receive a smaller key.
 func (lt *LoserTree[K]) Next() (key K, ok bool) {
-	if lt.done {
-		var zero K
-		return zero, false
+	if lt.dirty {
+		lt.build()
+		lt.dirty = false
 	}
 	w := lt.tree[0]
 	if lt.exhausted(w) {
-		lt.done = true
 		var zero K
 		return zero, false
 	}
 	key = lt.runs[w][lt.pos[w]]
 	lt.pos[w]++
+	lt.consumed[w]++
+	if lt.pos[w] >= len(lt.runs[w]) {
+		if q := lt.pending[w]; len(q) > 0 {
+			// Advance to the next queued chunk: the old buffer drops out
+			// of reach and the replay below repositions the new head.
+			lt.runs[w] = q[0]
+			lt.pending[w] = q[1:]
+			lt.pos[w] = 0
+		} else if lt.open[w] {
+			lt.starved++
+		}
+	}
 	// Replay matches from leaf w up to the root.
 	node := (lt.k + w) / 2
 	winner := w

@@ -196,6 +196,175 @@ func TestLoserTreeManyRuns(t *testing.T) {
 	}
 }
 
+func TestLoserTreeAllEmptyRuns(t *testing.T) {
+	// Fixed form: every run empty from the start.
+	lt := NewLoserTree([][]int{{}, {}, {}, {}, {}}, intCmp)
+	if _, ok := lt.Next(); ok {
+		t.Error("Next emitted from all-empty runs")
+	}
+	if !lt.Exhausted() {
+		t.Error("all-empty fixed tree not Exhausted")
+	}
+	// Streaming form: runs added empty, then closed without data.
+	st := NewStreaming[int](intCmp)
+	for i := 0; i < 3; i++ {
+		st.AddRun(nil)
+	}
+	if _, ok := st.NextReady(); ok {
+		t.Error("NextReady emitted while all runs open and empty")
+	}
+	if st.Exhausted() {
+		t.Error("open empty runs reported Exhausted")
+	}
+	for i := 0; i < 3; i++ {
+		st.CloseRun(i)
+	}
+	if _, ok := st.NextReady(); ok {
+		t.Error("NextReady emitted from closed empty runs")
+	}
+	if !st.Exhausted() {
+		t.Error("closed empty runs not Exhausted")
+	}
+}
+
+// TestLoserTreeAddRunStreaming drives the streaming API the way the
+// exchange does: runs admitted up front, chunks appended out of lockstep,
+// emission gated on starvation, runs closing at different times.
+func TestLoserTreeAddRunStreaming(t *testing.T) {
+	lt := NewStreaming[int](intCmp)
+	a := lt.AddRun([]int{1, 4})
+	b := lt.AddRun(nil)
+	c := lt.AddRun([]int{3})
+	if a != 0 || b != 1 || c != 2 {
+		t.Fatalf("run indices %d %d %d", a, b, c)
+	}
+	// Run b is open and empty: nothing may be emitted yet.
+	if _, ok := lt.NextReady(); ok {
+		t.Fatal("emitted while run b starved")
+	}
+	lt.Append(b, []int{2})
+	var got []int
+	drain := func() {
+		for {
+			k, ok := lt.NextReady()
+			if !ok {
+				break
+			}
+			got = append(got, k)
+		}
+	}
+	drain() // 1, 2 — then b starves again with 3, 4 still buffered
+	if !slices.Equal(got, []int{1, 2}) {
+		t.Fatalf("first drain got %v", got)
+	}
+	lt.Append(b, []int{5, 7})
+	drain() // 3 only: run c drains and, still open, starves the tree
+	if !slices.Equal(got, []int{1, 2, 3}) {
+		t.Fatalf("second drain got %v", got)
+	}
+	lt.CloseRun(a)
+	lt.CloseRun(c)
+	drain() // 4, 5, 7 — then b starves again, still open
+	if !slices.Equal(got, []int{1, 2, 3, 4, 5, 7}) {
+		t.Fatalf("third drain got %v", got)
+	}
+	if lt.Exhausted() {
+		t.Fatal("Exhausted with run b still open")
+	}
+	lt.Append(b, []int{9})
+	lt.CloseRun(b)
+	drain()
+	if !slices.Equal(got, []int{1, 2, 3, 4, 5, 7, 9}) {
+		t.Fatalf("final drain got %v", got)
+	}
+	if !lt.Exhausted() {
+		t.Fatal("not Exhausted after final drain")
+	}
+	if lt.Consumed(b) != 4 {
+		t.Errorf("Consumed(b) = %d, want 4", lt.Consumed(b))
+	}
+}
+
+// TestLoserTreeStreamingNonPowerOfTwo checks tree growth across a
+// non-power-of-two run count with interleaved emission and exhaustion,
+// against a reference sort.
+func TestLoserTreeStreamingNonPowerOfTwo(t *testing.T) {
+	const k = 11 // forces leaf padding and one mid-stream tree regrowth
+	rng := rand.New(rand.NewPCG(5, 6))
+	chunks := make([][][]int, k)
+	var all []int
+	for i := range chunks {
+		n := rng.IntN(40)
+		keys := make([]int, n)
+		for j := range keys {
+			keys[j] = rng.IntN(50)
+		}
+		slices.Sort(keys)
+		all = append(all, keys...)
+		// Split each run into 1-3 chunks.
+		for len(keys) > 0 {
+			c := min(1+rng.IntN(20), len(keys))
+			chunks[i] = append(chunks[i], keys[:c])
+			keys = keys[c:]
+		}
+	}
+	slices.Sort(all)
+	lt := NewStreaming[int](intCmp)
+	for i := 0; i < k; i++ {
+		lt.AddRun(nil)
+	}
+	var got []int
+	next := make([]int, k)
+	for !lt.Exhausted() {
+		// Feed one pending chunk to a random run, then drain.
+		i := rng.IntN(k)
+		for off := 0; off < k; off++ {
+			r := (i + off) % k
+			if next[r] < len(chunks[r]) {
+				lt.Append(r, chunks[r][next[r]])
+				next[r]++
+				if next[r] == len(chunks[r]) {
+					lt.CloseRun(r)
+				}
+				break
+			} else if next[r] == len(chunks[r]) {
+				lt.CloseRun(r) // covers zero-chunk runs; idempotent
+			}
+		}
+		for {
+			v, ok := lt.NextReady()
+			if !ok {
+				break
+			}
+			got = append(got, v)
+		}
+	}
+	if !slices.Equal(got, all) {
+		t.Fatalf("streamed merge diverged: got %d keys, want %d", len(got), len(all))
+	}
+}
+
+// TestLoserTreeInterleavedExhaustion: Next keeps returning false after
+// the fixed tree drains, and mid-merge run exhaustion is handled.
+func TestLoserTreeInterleavedExhaustion(t *testing.T) {
+	lt := NewLoserTree([][]int{{1}, {2, 3}, {}}, intCmp)
+	want := []int{1, 2, 3}
+	for _, w := range want {
+		k, ok := lt.Next()
+		if !ok || k != w {
+			t.Fatalf("Next = %d,%v want %d", k, ok, w)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := lt.Next(); ok {
+			t.Fatal("Next emitted after exhaustion")
+		}
+	}
+	if !lt.Exhausted() {
+		t.Error("drained fixed tree not Exhausted")
+	}
+}
+
 func BenchmarkKWay16(b *testing.B) {
 	benchmarkKWay(b, 16)
 }

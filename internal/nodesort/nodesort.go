@@ -46,6 +46,10 @@ type Options[K any] struct {
 	Schedule         core.Schedule
 	Seed             uint64
 	OversampleFactor float64
+	// ChunkKeys, when positive, streams the node-to-node exchange in
+	// chunks overlapped with the node-level merge (see
+	// core.Options.ChunkKeys). 0 = materializing exchange.
+	ChunkKeys int
 	// BaseTag is the start of the tag range (~40 tags). Default 7000.
 	BaseTag comm.Tag
 }
@@ -68,6 +72,9 @@ func (o Options[K]) withDefaults(p int) (Options[K], error) {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.ChunkKeys < 0 {
+		return o, fmt.Errorf("nodesort: ChunkKeys %d < 0", o.ChunkKeys)
 	}
 	if o.BaseTag == 0 {
 		o.BaseTag = 7000
@@ -164,8 +171,12 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 	}
 
 	// Node-to-node exchange: leaders merge their cores' runs per
-	// destination node and exchange n(n-1) combined messages.
-	var nodeRuns [][]K
+	// destination node and exchange n(n-1) combined messages —
+	// materialized, or streamed in chunks overlapped with the node-level
+	// merge when Options.ChunkKeys is set.
+	var nodeData []K
+	var nodeMergeTime time.Duration
+	var sst exchange.StreamStats
 	if isLeader {
 		combined := make([][]K, nodes)
 		for dst := 0; dst < nodes; dst++ {
@@ -183,21 +194,22 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 		if err != nil {
 			return nil, stats, err
 		}
-		nodeRuns, err = exchange.Exchange(leaderGroup, base+tagNodeEx, combined, exchange.ContiguousOwner(nodes, nodes))
+		nodeData, _, nodeMergeTime, sst, err = exchange.ExchangeMerge(
+			leaderGroup, base+tagNodeEx, combined, exchange.ContiguousOwner(nodes, nodes), opt.Cmp,
+			exchange.StreamOptions{ChunkKeys: opt.ChunkKeys})
 		if err != nil {
 			return nil, stats, err
 		}
 	}
-	exchangeTime := time.Since(t2)
+	exchangeTime := time.Since(t2) - nodeMergeTime
 	exchangeBytes := c.Counters().BytesSent - bytes1
 
-	// Final within-node sorting (§6.1): the leader assembles its
-	// bucket, cuts exact per-core quantiles (the shared-memory limit of
-	// regular sampling), and scatters the pieces back to its cores.
+	// Final within-node sorting (§6.1): the leader has its node's bucket
+	// assembled, cuts exact per-core quantiles (the shared-memory limit
+	// of regular sampling), and scatters the pieces back to its cores.
 	t3 := time.Now()
 	var parts [][]K
 	if isLeader {
-		nodeData := merge.KWay(nodeRuns, opt.Cmp)
 		parts = make([][]K, cores)
 		for i := 0; i < cores; i++ {
 			lo := i * len(nodeData) / cores
@@ -209,39 +221,21 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 	if err != nil {
 		return nil, stats, err
 	}
-	mergeTime := time.Since(t3)
+	mergeTime := nodeMergeTime + time.Since(t3)
 	stats.LocalCount = len(out)
 
-	agg, err := collective.AllReduce(c, base+tagStats, []int64{
-		splitterBytes, exchangeBytes,
-		int64(localSort), int64(splitterTime), int64(exchangeTime), int64(mergeTime),
-		int64(len(out)), int64(len(out)),
-	}, func(dst, src []int64) {
-		dst[0] += src[0]
-		dst[1] += src[1]
-		for i := 2; i <= 5; i++ {
-			if src[i] > dst[i] {
-				dst[i] = src[i]
-			}
-		}
-		dst[6] += src[6]
-		if src[7] > dst[7] {
-			dst[7] = src[7]
-		}
-	})
-	if err != nil {
+	if err := core.FinishStats(c, base+tagStats, &stats, core.PhaseTimes{
+		SplitterBytes: splitterBytes,
+		ExchangeBytes: exchangeBytes,
+		LocalSort:     localSort,
+		Splitter:      splitterTime,
+		Exchange:      exchangeTime,
+		Merge:         mergeTime,
+		Overlap:       sst.Overlap,
+		PeakInFlight:  sst.PeakInFlight,
+		OutCount:      len(out),
+	}); err != nil {
 		return nil, stats, err
-	}
-	stats.SplitterBytes = agg[0]
-	stats.ExchangeBytes = agg[1]
-	stats.LocalSort = time.Duration(agg[2])
-	stats.Splitter = time.Duration(agg[3])
-	stats.Exchange = time.Duration(agg[4])
-	stats.Merge = time.Duration(agg[5])
-	if agg[6] > 0 {
-		stats.Imbalance = float64(agg[7]) * float64(p) / float64(agg[6])
-	} else {
-		stats.Imbalance = 1
 	}
 	return out, stats, nil
 }

@@ -72,6 +72,9 @@ type Options[K any] struct {
 	MaxOversample int
 	// Seed drives random sampling. Default 1.
 	Seed uint64
+	// ChunkKeys, when positive, selects the streaming chunked exchange
+	// (see core.Options.ChunkKeys). 0 = materializing exchange.
+	ChunkKeys int
 	// BaseTag is the start of the tag range this sort uses. Default 2000.
 	BaseTag comm.Tag
 }
@@ -114,6 +117,9 @@ func (o Options[K]) withDefaults(p int, n int64) (Options[K], error) {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.ChunkKeys < 0 {
+		return o, fmt.Errorf("samplesort: ChunkKeys %d < 0", o.ChunkKeys)
 	}
 	if o.BaseTag == 0 {
 		o.BaseTag = 2000
@@ -170,54 +176,30 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 	bytes1 := c.Counters().BytesSent
 	t2 := time.Now()
 	runs := exchange.Partition(local, splitters, opt.Cmp)
-	recv, err := exchange.Exchange(c, base+tagExchange, runs, opt.Owner)
+	partitionTime := time.Since(t2)
+	out, exchangeTime, mergeTime, sst, err := exchange.ExchangeMerge(
+		c, base+tagExchange, runs, opt.Owner, opt.Cmp,
+		exchange.StreamOptions{ChunkKeys: opt.ChunkKeys})
 	if err != nil {
 		return nil, stats, err
 	}
-	exchangeTime := time.Since(t2)
 	exchangeBytes := c.Counters().BytesSent - bytes1
-
-	t3 := time.Now()
-	out := merge.KWay(recv, opt.Cmp)
-	mergeTime := time.Since(t3)
 	stats.LocalCount = len(out)
 
-	agg, err := collective.AllReduce(c, base+tagStats, []int64{
-		splitterBytes, exchangeBytes,
-		int64(localSort), int64(splitterTime), int64(exchangeTime), int64(mergeTime),
-		int64(len(out)), int64(len(out)),
-	}, statsOp)
-	if err != nil {
+	if err := core.FinishStats(c, base+tagStats, &stats, core.PhaseTimes{
+		SplitterBytes: splitterBytes,
+		ExchangeBytes: exchangeBytes,
+		LocalSort:     localSort,
+		Splitter:      splitterTime,
+		Exchange:      partitionTime + exchangeTime,
+		Merge:         mergeTime,
+		Overlap:       sst.Overlap,
+		PeakInFlight:  sst.PeakInFlight,
+		OutCount:      len(out),
+	}); err != nil {
 		return nil, stats, err
 	}
-	stats.SplitterBytes = agg[0]
-	stats.ExchangeBytes = agg[1]
-	stats.LocalSort = time.Duration(agg[2])
-	stats.Splitter = time.Duration(agg[3])
-	stats.Exchange = time.Duration(agg[4])
-	stats.Merge = time.Duration(agg[5])
-	if agg[6] > 0 {
-		stats.Imbalance = float64(agg[7]) * float64(c.Size()) / float64(agg[6])
-	} else {
-		stats.Imbalance = 1
-	}
 	return out, stats, nil
-}
-
-// statsOp sums byte/count entries and maxes durations, matching the
-// layout in Sort.
-func statsOp(dst, src []int64) {
-	dst[0] += src[0]
-	dst[1] += src[1]
-	for i := 2; i <= 5; i++ {
-		if src[i] > dst[i] {
-			dst[i] = src[i]
-		}
-	}
-	dst[6] += src[6]
-	if src[7] > dst[7] {
-		dst[7] = src[7]
-	}
 }
 
 // determineSplitters runs the sampling phase (§2.2 steps 1-2): every rank

@@ -37,12 +37,17 @@ func BernoulliIndices(n int, prob float64, rng *rand.Rand, emit func(i int)) {
 		for u == 0 {
 			u = rng.Float64()
 		}
-		skip := int(math.Log(u) / logq) // geometric number of failures
-		if skip < 0 || i > n {          // overflow guard for tiny prob
+		skip := math.Log(u) / logq // geometric number of failures
+		// Compare in float64 before converting: for tiny prob the skip
+		// can exceed MaxInt, where int conversion is platform-defined
+		// and i += 1 + skip can wrap negative, sending emit a bogus
+		// index. Capping at the keys that remain keeps every value below
+		// the conversion and addition overflow thresholds.
+		if skip >= float64(n-i-1) {
 			return
 		}
-		i += 1 + skip
-		if i >= n {
+		i += 1 + int(skip)
+		if i >= n { // float rounding safety net
 			return
 		}
 		emit(i)

@@ -80,6 +80,34 @@ func TestBernoulliIndicesMatchesNaive(t *testing.T) {
 	}
 }
 
+// TestBernoulliTinyProbNoOverflow is the regression test for the
+// geometric-skip overflow: at prob = 1e-300 the float64 skip is ~1e300,
+// far beyond MaxInt. The old int conversion wrapped platform-defined and
+// i += 1 + skip could go negative, panicking emit(i) with a bogus index.
+// The skip must instead cap at the remaining length and emit nothing.
+func TestBernoulliTinyProbNoOverflow(t *testing.T) {
+	r := rng(7)
+	for trial := 0; trial < 1000; trial++ {
+		BernoulliIndices(1000, 1e-300, r, func(i int) {
+			if i < 0 || i >= 1000 {
+				t.Fatalf("emitted out-of-range index %d", i)
+			}
+			t.Fatalf("prob 1e-300 emitted index %d", i)
+		})
+	}
+	// Just-in-range skips: probabilities around 1e-17 put the skip near
+	// the int64 boundary where the wrap used to happen.
+	for _, prob := range []float64{1e-16, 1e-17, 1e-18, 1e-19} {
+		for trial := 0; trial < 1000; trial++ {
+			BernoulliIndices(1000, prob, r, func(i int) {
+				if i < 0 || i >= 1000 {
+					t.Fatalf("prob %g emitted out-of-range index %d", prob, i)
+				}
+			})
+		}
+	}
+}
+
 func TestRegularSpacing(t *testing.T) {
 	sorted := make([]int64, 100)
 	for i := range sorted {
