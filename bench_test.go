@@ -8,6 +8,7 @@ package hssort
 
 import (
 	"fmt"
+	"math/rand/v2"
 	"slices"
 	"testing"
 
@@ -21,6 +22,7 @@ import (
 // custom metrics are the paper's concrete sample sizes in MB at p = 1e5,
 // eps = 5%.
 func BenchmarkTable51Formulas(b *testing.B) {
+	b.ReportAllocs()
 	var rows []bspmodel.Row
 	for i := 0; i < b.N; i++ {
 		rows = bspmodel.Table51(100000, 1e6, 0.05, 8)
@@ -36,6 +38,7 @@ func BenchmarkTable51Formulas(b *testing.B) {
 // increasing bucket counts and reports the measured total sample — the
 // Fig 4.1 curves (one sub-benchmark per curve and scale).
 func BenchmarkFig41SampleSize(b *testing.B) {
+	b.ReportAllocs()
 	variants := []struct {
 		name   string
 		alg    Algorithm
@@ -48,6 +51,7 @@ func BenchmarkFig41SampleSize(b *testing.B) {
 	for _, v := range variants {
 		for _, p := range []int{1024, 4096, 16384} {
 			b.Run(fmt.Sprintf("%s/p=%d", v.name, p), func(b *testing.B) {
+				b.ReportAllocs()
 				n := int64(p) * 512
 				var res SimResult
 				var err error
@@ -69,9 +73,11 @@ func BenchmarkFig41SampleSize(b *testing.B) {
 // per-rank load and reports the Fig 6.1 phase breakdown (fractions of
 // total critical-path time).
 func BenchmarkFig61WeakScaling(b *testing.B) {
+	b.ReportAllocs()
 	const perRank = 50000
 	for _, p := range []int{4, 8, 16, 32} {
 		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
 			var stats Stats
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
@@ -97,9 +103,11 @@ func BenchmarkFig61WeakScaling(b *testing.B) {
 // and reports the observed rounds against the paper's (4 observed,
 // bound 8).
 func BenchmarkTable61Rounds(b *testing.B) {
+	b.ReportAllocs()
 	const eps = 0.02
 	for _, p := range []int{4096, 8192, 16384, 32768} {
 		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
 			var res SimResult
 			var err error
 			for i := 0; i < b.N; i++ {
@@ -121,6 +129,7 @@ func BenchmarkTable61Rounds(b *testing.B) {
 // reported rounds and splitter-phase share reproduce Fig 6.2's HSS-vs-Old
 // comparison.
 func BenchmarkFig62ChaNGa(b *testing.B) {
+	b.ReportAllocs()
 	const procs = 8
 	const particles = 100000
 	for _, ds := range changa.Datasets {
@@ -130,6 +139,7 @@ func BenchmarkFig62ChaNGa(b *testing.B) {
 		}
 		for _, alg := range []Algorithm{HSS, HistogramSort} {
 			b.Run(fmt.Sprintf("%s/%s", ds.Name, alg), func(b *testing.B) {
+				b.ReportAllocs()
 				var stats Stats
 				for i := 0; i < b.N; i++ {
 					b.StopTimer()
@@ -158,6 +168,7 @@ func BenchmarkFig62ChaNGa(b *testing.B) {
 // BenchmarkApproxOracle measures §3.4 rank queries: build cost is
 // excluded; each iteration answers a 64-probe batch.
 func BenchmarkApproxOracle(b *testing.B) {
+	b.ReportAllocs()
 	const procs = 16
 	const perRank = 50000
 	shards := dist.Spec{Kind: dist.Gaussian}.Shards(perRank, procs, 3)
@@ -177,6 +188,7 @@ func BenchmarkApproxOracle(b *testing.B) {
 // schedule (§6.1.2) against the theoretical ratio schedule (§3.3) at the
 // same ε: rounds vs sample-size trade-off.
 func BenchmarkAblationSampling(b *testing.B) {
+	b.ReportAllocs()
 	const p = 4096
 	n := int64(p) * 1000
 	for _, v := range []struct {
@@ -190,6 +202,7 @@ func BenchmarkAblationSampling(b *testing.B) {
 		{"scanning-1round", HSSOneRound, 0},
 	} {
 		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var res SimResult
 			var err error
 			for i := 0; i < b.N; i++ {
@@ -207,6 +220,7 @@ func BenchmarkAblationSampling(b *testing.B) {
 // BenchmarkAblationApproxHistogram compares exact local histogramming
 // against the §3.4 representative-sample shortcut inside the full sort.
 func BenchmarkAblationApproxHistogram(b *testing.B) {
+	b.ReportAllocs()
 	const p, perRank = 16, 50000
 	for _, approx := range []bool{false, true} {
 		name := "exact"
@@ -214,6 +228,7 @@ func BenchmarkAblationApproxHistogram(b *testing.B) {
 			name = "approx"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var stats Stats
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
@@ -234,6 +249,7 @@ func BenchmarkAblationApproxHistogram(b *testing.B) {
 // BenchmarkAblationNodeLevel compares the flat sort against the §6.1
 // two-level node sort: total message count is the §6.1 claim.
 func BenchmarkAblationNodeLevel(b *testing.B) {
+	b.ReportAllocs()
 	const p, perRank = 32, 20000
 	for _, v := range []struct {
 		name string
@@ -244,6 +260,7 @@ func BenchmarkAblationNodeLevel(b *testing.B) {
 		{"node-c8", Config{Procs: p, Algorithm: NodeHSS, CoresPerNode: 8, Epsilon: 0.05, Seed: 3}},
 	} {
 		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var stats Stats
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
@@ -264,6 +281,7 @@ func BenchmarkAblationNodeLevel(b *testing.B) {
 // BenchmarkAblationDuplicates measures the §4.3 tagging cost and payoff
 // on a duplicate-heavy workload.
 func BenchmarkAblationDuplicates(b *testing.B) {
+	b.ReportAllocs()
 	const p, perRank = 16, 20000
 	for _, tagged := range []bool{false, true} {
 		name := "untagged"
@@ -271,6 +289,7 @@ func BenchmarkAblationDuplicates(b *testing.B) {
 			name = "tagged"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var stats Stats
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
@@ -290,9 +309,11 @@ func BenchmarkAblationDuplicates(b *testing.B) {
 // BenchmarkBaselinesEndToEnd races every algorithm on the same uniform
 // workload — the headline comparison at equal ε.
 func BenchmarkBaselinesEndToEnd(b *testing.B) {
+	b.ReportAllocs()
 	const p, perRank = 16, 30000
 	for _, alg := range []Algorithm{HSS, HSSOneRound, SampleSortRegular, SampleSortRandom, HistogramSort, Radix, Bitonic} {
 		b.Run(alg.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			var stats Stats
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
@@ -319,6 +340,7 @@ func BenchmarkBaselinesEndToEnd(b *testing.B) {
 // fields; in-flight stays bounded by the flow-control window regardless
 // of shape.
 func BenchmarkStreamExchange(b *testing.B) {
+	b.ReportAllocs()
 	shapes := []struct {
 		name string
 		cfg  Config
@@ -334,6 +356,7 @@ func BenchmarkStreamExchange(b *testing.B) {
 				name = shape.name + "/streaming"
 			}
 			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
 				var stats Stats
 				for i := 0; i < b.N; i++ {
 					b.StopTimer()
@@ -362,6 +385,99 @@ func BenchmarkStreamExchange(b *testing.B) {
 	}
 }
 
+// BenchmarkCodePath is the compute-plane headline: the full sort on the
+// comparator oracle (CodePathOff) versus the code-space fast path
+// (CodePathOn), on local-sort-dominated shapes (big shards, few ranks)
+// for each key type with a built-in coder, plus the payload-carrying KV
+// record plane. Throughput (SetBytes) counts key payload only.
+func BenchmarkCodePath(b *testing.B) {
+	b.ReportAllocs()
+	const p, perRank = 8, 200000
+	paths := []struct {
+		name string
+		cp   CodePath
+	}{
+		{"comparator", CodePathOff},
+		{"code", CodePathOn},
+	}
+
+	shardsU := make([][]uint64, p)
+	shardsI := make([][]int64, p)
+	shardsF := make([][]float64, p)
+	shardsKV := make([][]KV[int64, int32], p)
+	for r := 0; r < p; r++ {
+		rng := rand.New(rand.NewPCG(uint64(r)+1, 99))
+		shardsU[r] = make([]uint64, perRank)
+		shardsI[r] = make([]int64, perRank)
+		shardsF[r] = make([]float64, perRank)
+		shardsKV[r] = make([]KV[int64, int32], perRank/2)
+		for i := 0; i < perRank; i++ {
+			shardsU[r][i] = rng.Uint64()
+			shardsI[r][i] = rng.Int64() - (1 << 62)
+			shardsF[r][i] = rng.NormFloat64() * 1e9
+		}
+		for i := range shardsKV[r] {
+			shardsKV[r][i] = KV[int64, int32]{Key: rng.Int64(), Val: int32(i)}
+		}
+	}
+
+	// The per-iteration shard clone runs with the timer stopped, so the
+	// published numbers measure only the sort.
+	runCase := func(b *testing.B, name string, keyBytes int64, n int, sort func(b *testing.B, cp CodePath) error) {
+		for _, path := range paths {
+			b.Run(name+"/"+path.name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := sort(b, path.cp); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.SetBytes(int64(p) * int64(n) * keyBytes)
+			})
+		}
+	}
+
+	cfg := Config{Procs: p, Epsilon: 0.1, Seed: 3}
+	runCase(b, "uint64", 8, perRank, func(b *testing.B, cp CodePath) error {
+		b.StopTimer()
+		in := cloneAny(shardsU)
+		b.StartTimer()
+		_, _, err := Sort(withCodePath(cfg, cp), in)
+		return err
+	})
+	runCase(b, "int64", 8, perRank, func(b *testing.B, cp CodePath) error {
+		b.StopTimer()
+		in := cloneAny(shardsI)
+		b.StartTimer()
+		_, _, err := Sort(withCodePath(cfg, cp), in)
+		return err
+	})
+	runCase(b, "float64", 8, perRank, func(b *testing.B, cp CodePath) error {
+		b.StopTimer()
+		in := cloneAny(shardsF)
+		b.StartTimer()
+		_, _, err := Sort(withCodePath(cfg, cp), in)
+		return err
+	})
+	runCase(b, "kv-int64-int32", 8, perRank/2, func(b *testing.B, cp CodePath) error {
+		b.StopTimer()
+		in := cloneAny(shardsKV)
+		b.StartTimer()
+		_, _, err := SortKV(withCodePath(cfg, cp), in)
+		return err
+	})
+	// The streaming exchange on the code plane: codes travel in the
+	// chunks and the incremental merge compares raw uint64s.
+	streamCfg := Config{Procs: p, Epsilon: 0.1, Seed: 3, StreamExchange: true}
+	runCase(b, "uint64-streaming", 8, perRank, func(b *testing.B, cp CodePath) error {
+		b.StopTimer()
+		in := cloneAny(shardsU)
+		b.StartTimer()
+		_, _, err := Sort(withCodePath(streamCfg, cp), in)
+		return err
+	})
+}
+
 // BenchmarkTransportBackends compares the simulated byte-accounted
 // backend (TransportSim) against the zero-copy in-process fast path
 // (TransportInproc) on the three main algorithm families. The comm-bound
@@ -371,6 +487,7 @@ func BenchmarkStreamExchange(b *testing.B) {
 // win there. The data-bound shape shows the ceiling once local sort and
 // merge dominate the critical path and the backends converge.
 func BenchmarkTransportBackends(b *testing.B) {
+	b.ReportAllocs()
 	shapes := []struct {
 		name       string
 		p, perRank int
@@ -384,6 +501,7 @@ func BenchmarkTransportBackends(b *testing.B) {
 		for _, alg := range shape.algs {
 			for _, tr := range []Transport{TransportSim, TransportInproc} {
 				b.Run(fmt.Sprintf("%s/%s/%s", shape.name, alg, tr), func(b *testing.B) {
+					b.ReportAllocs()
 					for i := 0; i < b.N; i++ {
 						b.StopTimer()
 						shards := dist.Spec{Kind: dist.Uniform}.Shards(shape.perRank, shape.p, uint64(i)+1)

@@ -1,0 +1,180 @@
+// Command bench runs the repository's headline benchmarks and emits the
+// perf trajectory artifacts future PRs diff against:
+//
+//   - a raw, benchstat-compatible text file (every `go test -bench` line
+//     verbatim, so `benchstat old.txt new.txt` works out of the box), and
+//   - a JSON summary with one entry per benchmark result, parsed into
+//     name, sub-benchmark path, iteration count and metric map.
+//
+// Usage:
+//
+//	go run ./cmd/bench                       # full headline set -> BENCH_PR3.{txt,json}
+//	go run ./cmd/bench -benchtime 1x -count 1  # CI smoke
+//	go run ./cmd/bench -bench 'CodePath' -out /tmp/code  # focused run
+//
+// The headline set covers the compute plane (BenchmarkCodePath and the
+// kernel-level CodeLocalSort/CodeMerge), the data plane
+// (StreamExchange, Exchange) and the transport comparison — the
+// benchmarks whose shapes PRs claim wins on.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	// Pkg is the Go package the benchmark ran in.
+	Pkg string `json:"pkg"`
+	// Name is the full benchmark name including sub-benchmark path and
+	// the -procs suffix stripped (Procs carries it).
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix of the benchmark name.
+	Procs int `json:"procs"`
+	// Iterations is the measured iteration count.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value for every reported metric (ns/op,
+	// MB/s, B/op, allocs/op, and any b.ReportMetric custom units).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// output is the JSON artifact schema.
+type output struct {
+	// Label identifies the run (defaults to the artifact prefix).
+	Label string `json:"label"`
+	// Date is the RFC3339 run timestamp.
+	Date string `json:"date"`
+	// GoVersion, GOOS, GOARCH describe the toolchain and host.
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// Bench and Count echo the selection flags.
+	Bench string `json:"bench"`
+	Count int    `json:"count"`
+	// Benchmarks holds every parsed result in output order.
+	Benchmarks []result `json:"benchmarks"`
+}
+
+// benchLine matches a `go test -bench` result line:
+// BenchmarkName/sub/path-8  <iters>  <value> <unit> [<value> <unit>]...
+var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-(\d+))?\s+(\d+)\s+(.+)$`)
+
+func parseLine(pkg, line string) (result, bool) {
+	m := benchLine.FindStringSubmatch(line)
+	if m == nil {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(m[3], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Pkg: pkg, Name: m[1], Iterations: iters, Metrics: map[string]float64{}}
+	if m[2] != "" {
+		r.Procs, _ = strconv.Atoi(m[2])
+	}
+	fields := strings.Fields(m[4])
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, len(r.Metrics) > 0
+}
+
+func main() {
+	var (
+		bench     = flag.String("bench", "CodePath|CodeLocalSort|CodeMerge|StreamExchange|TransportBackends|Partition", "benchmark selection regex (go test -bench)")
+		benchtime = flag.String("benchtime", "", "per-benchmark time or iteration budget (go test -benchtime)")
+		count     = flag.Int("count", 1, "repetitions per benchmark (go test -count); use >= 5 for benchstat-grade numbers")
+		timeout   = flag.String("timeout", "30m", "go test timeout")
+		out       = flag.String("out", "BENCH_PR3", "artifact prefix: <out>.txt (benchstat-compatible raw) and <out>.json")
+		packages  = flag.String("packages", "./...", "packages to benchmark")
+	)
+	flag.Parse()
+
+	args := []string{"test", "-run=NONE", "-bench=" + *bench, "-benchmem",
+		"-count=" + strconv.Itoa(*count), "-timeout=" + *timeout}
+	if *benchtime != "" {
+		args = append(args, "-benchtime="+*benchtime)
+	}
+	args = append(args, *packages)
+
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	pipe, err := cmd.StdoutPipe()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := cmd.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	txt, err := os.Create(*out + ".txt")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer txt.Close()
+
+	res := output{
+		Label:     *out,
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Bench:     *bench,
+		Count:     *count,
+	}
+	pkg := ""
+	sc := bufio.NewScanner(pipe)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		fmt.Fprintln(txt, line)
+		if strings.HasPrefix(line, "pkg: ") {
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		}
+		if r, ok := parseLine(pkg, line); ok {
+			res.Benchmarks = append(res.Benchmarks, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := cmd.Wait(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench: go test failed:", err)
+		os.Exit(1)
+	}
+	if len(res.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "bench: no benchmark results parsed")
+		os.Exit(1)
+	}
+
+	js, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	js = append(js, '\n')
+	if err := os.WriteFile(*out+".json", js, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nbench: %d results -> %s.txt (benchstat-compatible), %s.json\n", len(res.Benchmarks), *out, *out)
+}

@@ -72,6 +72,7 @@ func main() {
 		approx  = flag.Bool("approx", false, "approximate histogramming (§3.4)")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		trName  = flag.String("transport", "sim", "comm backend: sim (byte-accounted) or inproc (shared-memory fast path)")
+		cpName  = flag.String("codepath", "auto", "compute plane: auto (code plane when available), off (comparator oracle) or on (require the code plane)")
 		stream  = flag.Bool("stream", false, "streaming chunked exchange overlapped with the merge")
 		chunk   = flag.Int("chunk", 0, "streaming-exchange chunk size in keys (implies -stream; default 64Ki)")
 		verbose = flag.Bool("v", false, "verify the output is globally sorted")
@@ -84,6 +85,11 @@ func main() {
 		os.Exit(2)
 	}
 	transport, err := hssort.ParseTransport(*trName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	codePath, err := hssort.ParseCodePath(*cpName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -115,6 +121,7 @@ func main() {
 		Approx:         *approx,
 		Seed:           *seed,
 		Transport:      transport,
+		CodePath:       codePath,
 		StreamExchange: *stream,
 		ChunkKeys:      *chunk,
 	}
@@ -126,8 +133,8 @@ func main() {
 	}
 	wall := time.Since(start)
 
-	fmt.Printf("%s: sorted %s %s keys on %d simulated processors in %v (%s transport)\n\n",
-		alg, tablefmt.Count(float64(stats.N)), *dsName, *p, wall.Round(time.Millisecond), transport)
+	fmt.Printf("%s: sorted %s %s keys on %d simulated processors in %v (%s transport, %s code path)\n\n",
+		alg, tablefmt.Count(float64(stats.N)), *dsName, *p, wall.Round(time.Millisecond), transport, codePath)
 	if transport == hssort.TransportInproc {
 		fmt.Println("note: the inproc transport does no byte accounting; byte/message metrics read zero")
 		fmt.Println()

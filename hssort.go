@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"hssort/internal/bitonic"
+	"hssort/internal/codes"
 	"hssort/internal/comm"
 	"hssort/internal/core"
 	"hssort/internal/exchange"
@@ -39,6 +40,14 @@ import (
 	"hssort/internal/samplesort"
 	"hssort/internal/tagging"
 )
+
+// Coder is an order-preserving bijection between keys and uint64 code
+// points: compare(a, b) < 0 ⇔ Encode(a) < Encode(b), equal keys have
+// equal codes, and Decode inverts Encode. Supplying one (Config.Coder)
+// — or using a key type for which the library knows one: int64, uint64,
+// int32, uint32, float64 — lets the sort run its compute phases on the
+// comparator-free code plane (see Config.CodePath).
+type Coder[K any] = keycoder.Coder[K]
 
 // Algorithm selects the sorting algorithm.
 type Algorithm int
@@ -106,6 +115,60 @@ func (a Algorithm) String() string {
 	}
 }
 
+// CodePath selects the compute plane: whether the sort's hot loops
+// (local sort, partition cuts, histogram scans, k-way merges) run on
+// comparator closures or on raw uint64 code points.
+type CodePath int
+
+const (
+	// CodePathAuto — the default — engages the code plane whenever an
+	// order-preserving coder for the key type is available (built-in for
+	// the integer and float key types, or supplied via Config.Coder; key
+	// coders also cover KV records) and the algorithm supports it, and
+	// falls back to the comparator plane otherwise. Note that code
+	// points are always 8 bytes, so for narrower key types (int32,
+	// uint32) the bijective plane doubles the modeled communication
+	// volume the sim transport accounts — use CodePathOff when studying
+	// §5.1 byte counts of narrow keys.
+	CodePathAuto CodePath = iota
+	// CodePathOff forces the comparator plane everywhere — the
+	// conformance oracle the code plane's equivalence tests run against.
+	CodePathOff
+	// CodePathOn requires the code plane and fails the sort if no coder
+	// is available, the algorithm lacks code-plane support, or
+	// TagDuplicates is set (tagged records carry no order-preserving
+	// 64-bit code).
+	CodePathOn
+)
+
+// String returns the name used by flags and experiment output.
+func (cp CodePath) String() string {
+	switch cp {
+	case CodePathAuto:
+		return "auto"
+	case CodePathOff:
+		return "off"
+	case CodePathOn:
+		return "on"
+	default:
+		return fmt.Sprintf("CodePath(%d)", int(cp))
+	}
+}
+
+// ParseCodePath parses "auto", "off" or "on".
+func ParseCodePath(s string) (CodePath, error) {
+	switch s {
+	case "auto":
+		return CodePathAuto, nil
+	case "off":
+		return CodePathOff, nil
+	case "on":
+		return CodePathOn, nil
+	default:
+		return 0, fmt.Errorf("hssort: unknown code path %q (want auto, off or on)", s)
+	}
+}
+
 // Config configures a sort run. The zero value plus Procs is usable:
 // plain HSS at ε = 0.05.
 type Config struct {
@@ -144,6 +207,17 @@ type Config struct {
 	// default, fully byte-accounted) or TransportInproc (zero-copy
 	// shared-memory fast path; communication-volume Stats read zero).
 	Transport Transport
+	// CodePath selects the compute plane; see the CodePath constants.
+	// The default, CodePathAuto, engages the code-space fast path
+	// whenever the key type admits it.
+	CodePath CodePath
+	// Coder optionally supplies the order-preserving key <-> uint64
+	// bijection that unlocks the code plane for key types the library
+	// does not know. It must hold a Coder[K] for Sort/SortFunc's key
+	// type K — or, for SortKV, a Coder[K] for the record's key type —
+	// and must agree with the sort's comparator; any other value fails
+	// the sort. (The field is untyped because Config is not generic.)
+	Coder any
 	// StreamExchange replaces the materializing all-to-all + merge with
 	// the streaming pipeline: bucket payloads move in ChunkKeys-sized
 	// chunks interleaved across destinations and the k-way merge runs
@@ -226,17 +300,97 @@ func fromCore(st core.Stats) Stats {
 // partitions. For every algorithm except RoundRobinBuckets placements,
 // the concatenation out[0] ‖ out[1] ‖ … is the sorted input.
 func Sort[K cmp.Ordered](cfg Config, shards [][]K) ([][]K, Stats, error) {
-	return sortImpl(cfg, shards, cmp.Compare[K], coderFor[K]())
+	coder, err := resolveCoder(cfg, coderFor[K]())
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	if coder != nil {
+		if cfg, err = guardNaN(cfg, shards, func(k K) bool { return k != k }); err != nil {
+			return nil, Stats{}, err
+		}
+	}
+	return sortImpl(cfg, shards, cmp.Compare[K], coder, nil)
+}
+
+// guardNaN handles the one ordered value no order-preserving code can
+// carry: float64 NaN, which cmp.Compare sorts below everything while
+// the IEEE encoding scatters NaN payloads to both extremes. When the
+// keys are float64 and a NaN is present, CodePathAuto falls back to the
+// comparator plane (identical behavior to pre-code-plane releases) and
+// CodePathOn fails loudly. isNaN must report k != k; other key types
+// are never scanned.
+func guardNaN[K any](cfg Config, shards [][]K, isNaN func(K) bool) (Config, error) {
+	var zero K
+	if _, isFloat := any(zero).(float64); !isFloat || cfg.CodePath == CodePathOff {
+		return cfg, nil
+	}
+	for _, s := range shards {
+		for _, k := range s {
+			if !isNaN(k) {
+				continue
+			}
+			if cfg.CodePath == CodePathOn {
+				return cfg, fmt.Errorf("hssort: CodePathOn, but the input contains NaN keys, whose comparator order (NaN first) no order-preserving code realizes")
+			}
+			cfg.CodePath = CodePathOff
+			return cfg, nil
+		}
+	}
+	return cfg, nil
 }
 
 // SortFunc is Sort with an explicit comparator, for key types without a
 // built-in order. The HistogramSort and Radix algorithms additionally
-// need key-space arithmetic and are unavailable through SortFunc.
+// need key-space arithmetic and are unavailable through SortFunc unless
+// Config.Coder supplies it.
 func SortFunc[K any](cfg Config, shards [][]K, compare func(K, K) int) ([][]K, Stats, error) {
 	if compare == nil {
 		return nil, Stats{}, fmt.Errorf("hssort: comparator is required")
 	}
-	return sortImpl(cfg, shards, compare, nil)
+	coder, err := resolveCoder[K](cfg, nil)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return sortImpl(cfg, shards, compare, coder, nil)
+}
+
+// resolveCoder merges the built-in coder for the key type with an
+// explicit Config.Coder, which wins when present and fails loudly when
+// it holds the wrong type.
+func resolveCoder[K any](cfg Config, builtin keycoder.Coder[K]) (keycoder.Coder[K], error) {
+	if cfg.Coder == nil {
+		return builtin, nil
+	}
+	c, ok := cfg.Coder.(keycoder.Coder[K])
+	if !ok {
+		var zero K
+		return nil, fmt.Errorf("hssort: Config.Coder is %T, want hssort.Coder[%T]", cfg.Coder, zero)
+	}
+	return c, nil
+}
+
+// bijectiveCodePlane reports whether the algorithm's whole pipeline can
+// run in code space (keys encoded once, codes travel the exchange,
+// output decoded once). Bitonic and OverPartition keep their
+// comparator-structured data movement.
+func bijectiveCodePlane(a Algorithm) bool {
+	switch a {
+	case HSS, HSSOneRound, HSSTheoretical, SampleSortRegular, SampleSortRandom, HistogramSort, Radix, NodeHSS:
+		return true
+	}
+	return false
+}
+
+// recordCodePlane reports whether the algorithm accepts the decorated
+// record plane (payload-carrying keys sorted and merged by extracted
+// codes). HistogramSort and Radix are excluded: they need the full
+// bijection for key-space arithmetic, which records do not admit.
+func recordCodePlane(a Algorithm) bool {
+	switch a {
+	case HSS, HSSOneRound, HSSTheoretical, SampleSortRegular, SampleSortRandom, NodeHSS:
+		return true
+	}
+	return false
 }
 
 // coderFor returns the keycoder for supported ordered key types, or nil.
@@ -258,7 +412,7 @@ func coderFor[K any]() keycoder.Coder[K] {
 	}
 }
 
-func sortImpl[K any](cfg Config, shards [][]K, compare func(K, K) int, coder keycoder.Coder[K]) ([][]K, Stats, error) {
+func sortImpl[K any](cfg Config, shards [][]K, compare func(K, K) int, coder keycoder.Coder[K], code func(K) uint64) ([][]K, Stats, error) {
 	if cfg.Procs == 0 {
 		cfg.Procs = len(shards)
 	}
@@ -277,13 +431,33 @@ func sortImpl[K any](cfg Config, shards [][]K, compare func(K, K) int, coder key
 		default:
 			return nil, Stats{}, fmt.Errorf("hssort: TagDuplicates is not supported by %v", cfg.Algorithm)
 		}
+		if cfg.CodePath == CodePathOn {
+			return nil, Stats{}, fmt.Errorf("hssort: CodePathOn is incompatible with TagDuplicates (tagged records carry no order-preserving 64-bit code)")
+		}
 		return sortTagged(cfg, shards, compare)
 	}
-	return runWorld(cfg, shards, compare, coder)
+	// Compute-plane selection: the bijective plane when the whole
+	// pipeline can run in code space, the decorated record plane when
+	// only an extractor is available, the comparator plane otherwise.
+	useBijective := cfg.CodePath != CodePathOff && coder != nil && bijectiveCodePlane(cfg.Algorithm)
+	useRecord := cfg.CodePath != CodePathOff && !useBijective && code != nil && recordCodePlane(cfg.Algorithm)
+	if cfg.CodePath == CodePathOn && !useBijective && !useRecord {
+		if coder == nil && code == nil {
+			return nil, Stats{}, fmt.Errorf("hssort: CodePathOn, but no order-preserving coder is known for the key type (set Config.Coder)")
+		}
+		return nil, Stats{}, fmt.Errorf("hssort: CodePathOn, but %v has no code-plane support", cfg.Algorithm)
+	}
+	if useBijective {
+		return sortCoded(cfg, shards, coder)
+	}
+	if !useRecord {
+		code = nil
+	}
+	return runWorld(cfg, shards, compare, coder, code)
 }
 
 // runWorld executes the selected algorithm over a fresh simulated world.
-func runWorld[K any](cfg Config, shards [][]K, compare func(K, K) int, coder keycoder.Coder[K]) ([][]K, Stats, error) {
+func runWorld[K any](cfg Config, shards [][]K, compare func(K, K) int, coder keycoder.Coder[K], code func(K) uint64) ([][]K, Stats, error) {
 	outs := make([][]K, cfg.Procs)
 	var stats Stats
 	tr, err := cfg.Transport.newTransport(cfg.Procs)
@@ -292,7 +466,7 @@ func runWorld[K any](cfg Config, shards [][]K, compare func(K, K) int, coder key
 	}
 	w := comm.NewWorld(cfg.Procs, comm.WithTimeout(cfg.Timeout), comm.WithTransport(tr))
 	err = w.Run(func(c *comm.Comm) error {
-		out, st, err := dispatch(c, shards[c.Rank()], cfg, compare, coder)
+		out, st, err := dispatch(c, shards[c.Rank()], cfg, compare, coder, code)
 		if err != nil {
 			return err
 		}
@@ -311,14 +485,67 @@ func runWorld[K any](cfg Config, shards [][]K, compare func(K, K) int, coder key
 	return outs, stats, nil
 }
 
+// sortCoded runs the bijective code plane: each simulated rank encodes
+// its shard once into order-preserving code points, the full pipeline —
+// sampling protocol, partition, exchange (the codes themselves travel in
+// the messages), merge — runs on raw uint64s with every compute hot path
+// specialized, and each rank decodes its merged partition once at the
+// end. Encoding and decoding happen inside the ranks, in parallel, like
+// every other phase. The coder preserves key order exactly and the whole
+// protocol is a function of key order and seeds only, so the decoded
+// output is rank-identical to the comparator plane's (Config.CodePath =
+// CodePathOff); the input shards are left unmodified.
+func sortCoded[K any](cfg Config, shards [][]K, coder keycoder.Coder[K]) ([][]K, Stats, error) {
+	outs := make([][]K, cfg.Procs)
+	var stats Stats
+	tr, err := cfg.Transport.newTransport(cfg.Procs)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	encTime := make([]time.Duration, cfg.Procs)
+	decTime := make([]time.Duration, cfg.Procs)
+	w := comm.NewWorld(cfg.Procs, comm.WithTimeout(cfg.Timeout), comm.WithTransport(tr))
+	err = w.Run(func(c *comm.Comm) error {
+		t0 := time.Now()
+		enc := codes.EncodeSlice(coder, shards[c.Rank()])
+		encTime[c.Rank()] = time.Since(t0)
+		out, st, err := dispatch(c, enc, cfg, codes.Compare, keycoder.Coder[codes.Code](codes.Identity{}), codes.ExtractCode)
+		if err != nil {
+			return err
+		}
+		t1 := time.Now()
+		outs[c.Rank()] = codes.DecodeSlice(coder, out)
+		decTime[c.Rank()] = time.Since(t1)
+		if c.Rank() == 0 {
+			stats = fromCore(st)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	// The code plane's O(n) encode and decode are work the comparator
+	// plane does not do; charge them to the phases they bracket —
+	// encode to the local sort, decode to the merge — so cross-plane
+	// phase breakdowns stay honest. (Adding per-phase maxima is a
+	// slight upper bound on the true combined critical path.)
+	stats.LocalSort += slices.Max(encTime)
+	stats.Merge += slices.Max(decTime)
+	total := w.TotalCounters()
+	stats.TotalMsgs = total.MsgsSent
+	stats.TotalBytes = total.BytesSent
+	return outs, stats, nil
+}
+
 // sortTagged runs the §4.3 duplicate-handling path: wrap, sort tagged,
-// unwrap.
+// unwrap. Tagged records order by (key, origin), which no 64-bit code
+// can carry, so this path always runs on the comparator plane.
 func sortTagged[K any](cfg Config, shards [][]K, compare func(K, K) int) ([][]K, Stats, error) {
 	tagged := make([][]tagging.Tagged[K], len(shards))
 	for r, s := range shards {
 		tagged[r] = tagging.Wrap(s, r)
 	}
-	outs, stats, err := runWorld(cfg, tagged, tagging.Cmp(compare), nil)
+	outs, stats, err := runWorld(cfg, tagged, tagging.Cmp(compare), nil, nil)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -329,8 +556,11 @@ func sortTagged[K any](cfg Config, shards [][]K, compare func(K, K) int) ([][]K,
 	return plain, stats, nil
 }
 
-// dispatch routes one rank's work to the selected algorithm.
-func dispatch[K any](c *comm.Comm, local []K, cfg Config, compare func(K, K) int, coder keycoder.Coder[K]) ([]K, core.Stats, error) {
+// dispatch routes one rank's work to the selected algorithm. code, when
+// non-nil, is the order-preserving extractor that puts the algorithm's
+// compute hot paths on the code plane (on the bijective plane K is
+// already the code-point type and code is the identity).
+func dispatch[K any](c *comm.Comm, local []K, cfg Config, compare func(K, K) int, coder keycoder.Coder[K], code func(K) uint64) ([]K, core.Stats, error) {
 	buckets := cfg.Buckets
 	var owner func(int) int
 	if cfg.RoundRobinBuckets {
@@ -358,6 +588,7 @@ func dispatch[K any](c *comm.Comm, local []K, cfg Config, compare func(K, K) int
 		}
 		return core.Sort(c, local, core.Options[K]{
 			Cmp:              compare,
+			Code:             code,
 			Epsilon:          cfg.Epsilon,
 			Buckets:          buckets,
 			Owner:            owner,
@@ -375,6 +606,7 @@ func dispatch[K any](c *comm.Comm, local []K, cfg Config, compare func(K, K) int
 		}
 		return samplesort.Sort(c, local, samplesort.Options[K]{
 			Cmp:           compare,
+			Code:          code,
 			Epsilon:       cfg.Epsilon,
 			Buckets:       buckets,
 			Owner:         owner,
@@ -391,6 +623,7 @@ func dispatch[K any](c *comm.Comm, local []K, cfg Config, compare func(K, K) int
 		return histsort.Sort(c, local, histsort.Options[K]{
 			Cmp:       compare,
 			Coder:     coder,
+			Code:      code,
 			Epsilon:   cfg.Epsilon,
 			Buckets:   buckets,
 			Owner:     owner,
@@ -402,11 +635,12 @@ func dispatch[K any](c *comm.Comm, local []K, cfg Config, compare func(K, K) int
 		if coder == nil {
 			return nil, core.Stats{}, fmt.Errorf("hssort: %v requires an integer or float key type", cfg.Algorithm)
 		}
-		return radix.Sort(c, local, radix.Options[K]{Cmp: compare, Coder: coder})
+		return radix.Sort(c, local, radix.Options[K]{Cmp: compare, Coder: coder, Code: code})
 	case NodeHSS:
 		sched := core.FixedOversampling
 		return nodesort.Sort(c, local, nodesort.Options[K]{
 			Cmp:              compare,
+			Code:             code,
 			CoresPerNode:     cfg.CoresPerNode,
 			Epsilon:          cfg.Epsilon,
 			Schedule:         sched,

@@ -1,0 +1,174 @@
+// Package codes is the comparator-free code-space compute plane. Every
+// hot loop of the sort pipelines — local sort, partition cuts, histogram
+// rank scans, k-way merges — can run on raw uint64 comparisons instead of
+// Go comparator-closure calls whenever the key type admits an
+// order-preserving uint64 bijection (internal/keycoder) or, for
+// payload-carrying records, an order-preserving code extractor.
+//
+// The package defines the Code point type and the branch-predictable
+// kernels over code slices: an in-place MSD radix sort (with a tandem
+// variant that drags record payloads along, the decorate-sort-undecorate
+// plane for KV data), branch-free binary-search ranks, and partition cut
+// computation.
+//
+// # The Code invariant
+//
+// Code is a distinct named type rather than a bare uint64 on purpose:
+// only this package and the keycoder bijections ever produce []Code, and
+// they produce it exclusively in natural unsigned order-correspondence
+// with the comparator of the keys it encodes. A generic function that
+// discovers its []K is actually a []Code may therefore switch to direct
+// `<` comparisons without consulting its comparator — the localized
+// type-sniffing fast paths in EncodeSlice/DecodeSlice/SortByCode and in
+// internal/histogram rely on exactly this. User-supplied key types can
+// never be []Code (the package is internal), so the sniff cannot
+// misfire on a caller's custom comparator.
+package codes
+
+import "hssort/internal/keycoder"
+
+// Code is an order-preserving uint64 code point for one key: for any two
+// keys a, b of the encoded type, cmp(a, b) < 0 ⇔ code(a) < code(b). See
+// the package comment for the ordering invariant carried by the named
+// type.
+type Code uint64
+
+// Compare is the three-way natural-order comparator for code points —
+// the Cmp the protocol layers (tracker updates, sample merging, debug
+// validation) use when a pipeline runs entirely in code space.
+func Compare(a, b Code) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Identity is the keycoder for code points themselves: a pipeline that
+// has already been mapped into code space presents Identity wherever
+// key-space arithmetic (histsort probe synthesis, radix digit
+// extraction) demands a coder.
+type Identity struct{}
+
+// Encode returns the code point unchanged.
+func (Identity) Encode(c Code) uint64 { return uint64(c) }
+
+// Decode returns the code point unchanged.
+func (Identity) Decode(u uint64) Code { return Code(u) }
+
+// ExtractCode is the identity code extractor for the pure code plane
+// (element type == Code).
+func ExtractCode(c Code) uint64 { return uint64(c) }
+
+// EncodeSlice maps keys through the coder into a fresh code array. When
+// the keys already are code points it returns the input aliased — the
+// zero-copy identity of the pure plane.
+func EncodeSlice[K any](coder keycoder.Coder[K], keys []K) []Code {
+	if cs, ok := any(keys).([]Code); ok {
+		return cs
+	}
+	out := make([]Code, len(keys))
+	for i, k := range keys {
+		out[i] = Code(coder.Encode(k))
+	}
+	return out
+}
+
+// DecodeSlice inverts EncodeSlice. When the requested key type is Code
+// itself it returns the input aliased.
+func DecodeSlice[K any](coder keycoder.Coder[K], cs []Code) []K {
+	if ks, ok := any(cs).([]K); ok {
+		return ks
+	}
+	out := make([]K, len(cs))
+	for i, c := range cs {
+		out[i] = coder.Decode(uint64(c))
+	}
+	return out
+}
+
+// Extract maps elements through the code extractor into a fresh code
+// array, aliasing when the elements already are code points.
+func Extract[E any](elems []E, code func(E) uint64) []Code {
+	if cs, ok := any(elems).([]Code); ok {
+		return cs
+	}
+	out := make([]Code, len(elems))
+	for i, e := range elems {
+		out[i] = Code(code(e))
+	}
+	return out
+}
+
+// Rank returns the number of codes in the sorted slice that are strictly
+// below q — the first index whose code is >= q. It is the branch-lean
+// binary search behind histogram scans and partition cuts on the code
+// plane: the loop body is a single compare-and-select the compiler can
+// turn into a conditional move, with no comparator call.
+func Rank(sorted []Code, q Code) int {
+	pos, n := 0, len(sorted)
+	for n > 0 {
+		half := n >> 1
+		if sorted[pos+half] < q {
+			pos += half + 1
+			n -= half + 1
+		} else {
+			n = half
+		}
+	}
+	return pos
+}
+
+// Ranks answers one Rank query per probe, the code-plane form of
+// histogram.LocalRanks.
+func Ranks(sorted []Code, probes []Code) []int64 {
+	out := make([]int64, len(probes))
+	for i, q := range probes {
+		out[i] = int64(Rank(sorted, q))
+	}
+	return out
+}
+
+// Cuts returns, for each splitter code, the index in the sorted code
+// array where its bucket boundary falls (the first code >= the
+// splitter). Splitter codes must be non-decreasing. When the splitter
+// count is large relative to the data — the over-partitioned B >> n/p
+// regime — a single forward scan through both sequences replaces the
+// B independent binary searches.
+func Cuts(sorted []Code, splitters []Code) []int {
+	cuts := make([]int, len(splitters))
+	if ForwardScanBetter(len(sorted), len(splitters)) {
+		pos := 0
+		for i, s := range splitters {
+			for pos < len(sorted) && sorted[pos] < s {
+				pos++
+			}
+			cuts[i] = pos
+		}
+		return cuts
+	}
+	prev := 0
+	for i, s := range splitters {
+		prev += Rank(sorted[prev:], s)
+		cuts[i] = prev
+	}
+	return cuts
+}
+
+// ForwardScanBetter reports whether partitioning n sorted keys at b
+// splitters is cheaper as one O(n+b) forward scan than as b independent
+// O(log n) binary searches. Shared with exchange.Partition so both
+// planes flip modes at the same shape.
+func ForwardScanBetter(n, b int) bool {
+	if b == 0 {
+		return false
+	}
+	logN := 1
+	for m := n; m > 1; m >>= 1 {
+		logN++
+	}
+	return b*logN > n+b
+}

@@ -1,0 +1,221 @@
+package codes
+
+import (
+	"math/rand/v2"
+	"slices"
+	"sort"
+	"testing"
+
+	"hssort/internal/keycoder"
+)
+
+// testInputs yields code arrays across the shapes that stress a radix
+// sort: sizes straddling the insertion cutoff, duplicates, pre-sorted and
+// reversed data, narrow ranges (degenerate top bytes), and full-width
+// randoms.
+func testInputs(rng *rand.Rand) [][]Code {
+	sizes := []int{0, 1, 2, 3, insertionCutoff - 1, insertionCutoff, insertionCutoff + 1, 257, 1000, 4096}
+	var out [][]Code
+	for _, n := range sizes {
+		uniform := make([]Code, n)
+		narrow := make([]Code, n)
+		dup := make([]Code, n)
+		for i := 0; i < n; i++ {
+			uniform[i] = Code(rng.Uint64())
+			narrow[i] = Code(rng.Uint64N(1000)) // top 6 bytes identical
+			dup[i] = Code(rng.Uint64N(4))
+		}
+		asc := slices.Clone(uniform)
+		slices.Sort(asc)
+		desc := slices.Clone(asc)
+		slices.Reverse(desc)
+		out = append(out, uniform, narrow, dup, asc, desc)
+	}
+	// High-bit patterns: values straddling the sign bit, as Int64/Float64
+	// encodings produce.
+	out = append(out, []Code{1 << 63, 0, ^Code(0), 1<<63 - 1, 1 << 63, 42})
+	return out
+}
+
+func TestSortMatchesSlicesSort(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for _, in := range testInputs(rng) {
+		want := slices.Clone(in)
+		slices.Sort(want)
+		got := slices.Clone(in)
+		Sort(got)
+		if !slices.Equal(got, want) {
+			t.Fatalf("Sort diverged from slices.Sort on %d codes", len(in))
+		}
+	}
+}
+
+func TestSortByCodeTandem(t *testing.T) {
+	type rec struct {
+		k   uint64
+		tag int
+	}
+	rng := rand.New(rand.NewPCG(3, 4))
+	for _, n := range []int{0, 1, 17, insertionCutoff + 3, 1500} {
+		elems := make([]rec, n)
+		for i := range elems {
+			elems[i] = rec{k: rng.Uint64N(64), tag: i} // heavy duplicates
+		}
+		want := make(map[uint64][]int)
+		for _, e := range elems {
+			want[e.k] = append(want[e.k], e.tag)
+		}
+		cs := SortByCode(elems, func(r rec) uint64 { return r.k })
+		if len(cs) != n {
+			t.Fatalf("n=%d: %d codes", n, len(cs))
+		}
+		if !slices.IsSorted(cs) {
+			t.Fatalf("n=%d: codes not sorted", n)
+		}
+		got := make(map[uint64][]int)
+		for i, e := range elems {
+			if uint64(cs[i]) != e.k {
+				t.Fatalf("n=%d: code %d detached from element key %d at %d", n, cs[i], e.k, i)
+			}
+			if i > 0 && elems[i-1].k > e.k {
+				t.Fatalf("n=%d: elements not sorted by key at %d", n, i)
+			}
+			got[e.k] = append(got[e.k], e.tag)
+		}
+		// Unstable sort: payloads per key must survive as a multiset.
+		for k, tags := range want {
+			g := got[k]
+			slices.Sort(g)
+			slices.Sort(tags)
+			if !slices.Equal(g, tags) {
+				t.Fatalf("n=%d: payloads for key %d diverged", n, k)
+			}
+		}
+	}
+}
+
+func TestSortByCodeIdentityPlane(t *testing.T) {
+	cs := []Code{5, 3, 9, 3, 0}
+	got := SortByCode(cs, ExtractCode)
+	if &got[0] != &cs[0] {
+		t.Fatal("identity plane did not sort in place")
+	}
+	if !slices.IsSorted(cs) {
+		t.Fatal("identity plane left codes unsorted")
+	}
+}
+
+func TestRankMatchesSortSearch(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	for _, n := range []int{0, 1, 2, 7, 100, 1023} {
+		cs := make([]Code, n)
+		for i := range cs {
+			cs[i] = Code(rng.Uint64N(200))
+		}
+		slices.Sort(cs)
+		probes := []Code{0, 1, 99, 100, 199, 200, ^Code(0)}
+		for i := 0; i < 50; i++ {
+			probes = append(probes, Code(rng.Uint64N(220)))
+		}
+		for _, q := range probes {
+			want := sort.Search(len(cs), func(j int) bool { return cs[j] >= q })
+			if got := Rank(cs, q); got != want {
+				t.Fatalf("Rank(n=%d, q=%d) = %d, want %d", n, q, got, want)
+			}
+		}
+	}
+}
+
+func TestCutsBothModes(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	shapes := []struct{ n, b int }{
+		{10000, 3}, // binary-search regime
+		{100, 500}, // forward-scan regime (B >> n)
+		{0, 5},     // empty data
+		{1000, 0},  // no splitters
+		{256, 256}, // boundary-ish
+	}
+	for _, sh := range shapes {
+		cs := make([]Code, sh.n)
+		for i := range cs {
+			cs[i] = Code(rng.Uint64N(1 << 20))
+		}
+		slices.Sort(cs)
+		sp := make([]Code, sh.b)
+		for i := range sp {
+			sp[i] = Code(rng.Uint64N(1 << 20))
+		}
+		slices.Sort(sp)
+		got := Cuts(cs, sp)
+		for i, s := range sp {
+			want := sort.Search(len(cs), func(j int) bool { return cs[j] >= s })
+			if got[i] != want {
+				t.Fatalf("n=%d b=%d: cut[%d] = %d, want %d", sh.n, sh.b, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeSlices(t *testing.T) {
+	keys := []int64{-5, 0, 3, -1 << 62, 1 << 62}
+	cs := EncodeSlice[int64](keycoder.Int64{}, keys)
+	back := DecodeSlice[int64](keycoder.Int64{}, cs)
+	if !slices.Equal(back, keys) {
+		t.Fatalf("round trip: %v -> %v", keys, back)
+	}
+	if !slices.IsSortedFunc(cs, Compare) == slices.IsSorted(keys) {
+		t.Fatal("order not preserved")
+	}
+
+	// Pure-plane aliasing: encoding/decoding a code slice is zero-copy.
+	pure := []Code{3, 1, 2}
+	if enc := EncodeSlice[Code](Identity{}, pure); &enc[0] != &pure[0] {
+		t.Fatal("EncodeSlice copied a code slice")
+	}
+	if dec := DecodeSlice[Code](Identity{}, pure); &dec[0] != &pure[0] {
+		t.Fatal("DecodeSlice copied a code slice")
+	}
+	if ext := Extract(pure, ExtractCode); &ext[0] != &pure[0] {
+		t.Fatal("Extract copied a code slice")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	if Compare(1, 2) >= 0 || Compare(2, 1) <= 0 || Compare(7, 7) != 0 {
+		t.Fatal("Compare is not a three-way order")
+	}
+}
+
+func BenchmarkCodeLocalSort(b *testing.B) {
+	const n = 1 << 20
+	rng := rand.New(rand.NewPCG(9, 10))
+	base := make([]Code, n)
+	for i := range base {
+		base[i] = Code(rng.Uint64())
+	}
+	b.Run("radix", func(b *testing.B) {
+		b.ReportAllocs()
+		buf := make([]Code, n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			copy(buf, base)
+			b.StartTimer()
+			Sort(buf)
+		}
+		b.SetBytes(n * 8)
+	})
+	b.Run("comparator", func(b *testing.B) {
+		b.ReportAllocs()
+		buf := make([]Code, n)
+		cmp := Compare
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			copy(buf, base)
+			b.StartTimer()
+			slices.SortFunc(buf, cmp)
+		}
+		b.SetBytes(n * 8)
+	})
+}

@@ -1,0 +1,183 @@
+package codes
+
+// The local-sort kernels: an in-place byte-wise MSD radix sort
+// (american-flag permutation) over code arrays, hybridized with insertion
+// sort below a cutoff — the comparator-free replacement for
+// slices.SortFunc on every rank's local-sort phase. The tandem variant
+// drags an arbitrary payload array through the same permutation, which is
+// how payload-carrying records (hssort.KV) ride the code plane:
+// decorate with codes, radix-sort codes and records together, and the
+// records never see a comparator.
+//
+// Neither kernel is stable; neither is slices.SortFunc (pdqsort), so the
+// pipelines' ordering guarantees are unchanged: equal keys have equal
+// codes, and every downstream tie-break (bucket cuts, merge order) is a
+// function of the code alone.
+
+// insertionCutoff is the segment length below which MSD recursion hands
+// off to insertion sort. 48 keys ≈ one to two cache lines of codes —
+// small enough that branchy insertion beats another counting pass.
+const insertionCutoff = 48
+
+// topShift is the bit offset of the most significant radix byte.
+const topShift = 56
+
+// Sort sorts a code array in place in ascending order.
+func Sort(cs []Code) {
+	msd(cs, topShift)
+}
+
+// msd sorts cs by the byte at the given shift, then recurses into each
+// byte bucket. Levels on which every code shares the same byte — common
+// when the encoded key range is narrow — are skipped without permuting.
+func msd(cs []Code, shift int) {
+	if len(cs) <= insertionCutoff {
+		insertion(cs)
+		return
+	}
+	var counts [256]int
+	for {
+		for _, c := range cs {
+			counts[uint8(c>>shift)]++
+		}
+		if counts[uint8(cs[0]>>shift)] == len(cs) {
+			// Degenerate level: one bucket holds everything.
+			if shift == 0 {
+				return
+			}
+			counts[uint8(cs[0]>>shift)] = 0
+			shift -= 8
+			continue
+		}
+		break
+	}
+	var next, end [256]int
+	sum := 0
+	for b := range next {
+		next[b] = sum
+		sum += counts[b]
+		end[b] = sum
+	}
+	// American-flag permutation: each swap moves one code into its final
+	// byte bucket, so the loop does at most n swaps overall.
+	for b := 0; b < 256; b++ {
+		for next[b] < end[b] {
+			i := next[b]
+			d := uint8(cs[i] >> shift)
+			if d == uint8(b) {
+				next[b]++
+			} else {
+				cs[i], cs[next[d]] = cs[next[d]], cs[i]
+				next[d]++
+			}
+		}
+	}
+	if shift == 0 {
+		return
+	}
+	for b := 0; b < 256; b++ {
+		if seg := cs[end[b]-counts[b] : end[b]]; len(seg) > 1 {
+			msd(seg, shift-8)
+		}
+	}
+}
+
+// insertion is the small-segment base case.
+func insertion(cs []Code) {
+	for i := 1; i < len(cs); i++ {
+		c := cs[i]
+		j := i - 1
+		for j >= 0 && cs[j] > c {
+			cs[j+1] = cs[j]
+			j--
+		}
+		cs[j+1] = c
+	}
+}
+
+// SortByCode sorts elems ascending by code(e) and returns the parallel
+// sorted code array — the decorate-sort-undecorate entry point of the
+// compute plane. The extractor must be order-preserving for the
+// caller's comparator: cmp(a, b) < 0 ⇔ code(a) < code(b) and
+// cmp(a, b) == 0 ⇔ code(a) == code(b).
+//
+// On the pure plane (elems is itself a code array) no decoration
+// happens: the slice is radix-sorted in place and returned as its own
+// code array.
+func SortByCode[E any](elems []E, code func(E) uint64) []Code {
+	if cs, ok := any(elems).([]Code); ok {
+		Sort(cs)
+		return cs
+	}
+	cs := make([]Code, len(elems))
+	for i, e := range elems {
+		cs[i] = Code(code(e))
+	}
+	msdTandem(cs, elems, topShift)
+	return cs
+}
+
+// msdTandem is msd with a payload array permuted in lockstep.
+func msdTandem[E any](cs []Code, pay []E, shift int) {
+	if len(cs) <= insertionCutoff {
+		insertionTandem(cs, pay)
+		return
+	}
+	var counts [256]int
+	for {
+		for _, c := range cs {
+			counts[uint8(c>>shift)]++
+		}
+		if counts[uint8(cs[0]>>shift)] == len(cs) {
+			if shift == 0 {
+				return
+			}
+			counts[uint8(cs[0]>>shift)] = 0
+			shift -= 8
+			continue
+		}
+		break
+	}
+	var next, end [256]int
+	sum := 0
+	for b := range next {
+		next[b] = sum
+		sum += counts[b]
+		end[b] = sum
+	}
+	for b := 0; b < 256; b++ {
+		for next[b] < end[b] {
+			i := next[b]
+			d := uint8(cs[i] >> shift)
+			if d == uint8(b) {
+				next[b]++
+			} else {
+				j := next[d]
+				cs[i], cs[j] = cs[j], cs[i]
+				pay[i], pay[j] = pay[j], pay[i]
+				next[d]++
+			}
+		}
+	}
+	if shift == 0 {
+		return
+	}
+	for b := 0; b < 256; b++ {
+		if lo := end[b] - counts[b]; end[b]-lo > 1 {
+			msdTandem(cs[lo:end[b]], pay[lo:end[b]], shift-8)
+		}
+	}
+}
+
+// insertionTandem is insertion with the payload moved in lockstep.
+func insertionTandem[E any](cs []Code, pay []E) {
+	for i := 1; i < len(cs); i++ {
+		c, p := cs[i], pay[i]
+		j := i - 1
+		for j >= 0 && cs[j] > c {
+			cs[j+1], pay[j+1] = cs[j], pay[j]
+			j--
+		}
+		cs[j+1], pay[j+1] = c, p
+	}
+}

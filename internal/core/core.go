@@ -26,6 +26,7 @@ import (
 	"hssort/internal/collective"
 	"hssort/internal/comm"
 	"hssort/internal/exchange"
+	"hssort/internal/keycoder"
 	"hssort/internal/sampling"
 )
 
@@ -63,6 +64,23 @@ func (s Schedule) String() string {
 type Options[K any] struct {
 	// Cmp is the three-way key comparator.
 	Cmp func(K, K) int
+	// Coder, when set, runs the entire pipeline on the code plane: keys
+	// are encoded once into order-preserving uint64 code points, every
+	// compute phase (radix local sort, partition cuts, histogram scans,
+	// code-keyed merges — on the streaming exchange the codes themselves
+	// travel in the chunks) runs on raw integer comparisons, and the
+	// output is decoded once at the end. The coder must agree with Cmp:
+	// Cmp(a,b) < 0 ⇔ Encode(a) < Encode(b) and Cmp(a,b) == 0 ⇔ codes
+	// equal. Takes precedence over Code.
+	Coder keycoder.Coder[K]
+	// Code, when set (and Coder is not), supplies a per-key sort code for
+	// the decorated compute plane — the payload-carrying case where keys
+	// cannot be reconstructed from codes alone (hssort.KV records). The
+	// local sort radix-sorts a code decoration with the records in tow,
+	// partition cuts run on the code array, and both merge paths compare
+	// codes (received runs are encoded once per hop). Must be
+	// order-preserving for Cmp like Coder.
+	Code func(K) uint64
 	// Epsilon is the load-imbalance threshold ε: every bucket receives
 	// at most N(1+ε)/B keys w.h.p. Default 0.05.
 	Epsilon float64

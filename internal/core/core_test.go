@@ -11,6 +11,7 @@ import (
 	"hssort/internal/comm"
 	"hssort/internal/dist"
 	"hssort/internal/exchange"
+	"hssort/internal/keycoder"
 )
 
 func icmp(a, b int64) int { return cmp.Compare(a, b) }
@@ -350,5 +351,49 @@ func TestSortProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSortViaCoder: Options.Coder runs the entire pipeline in code
+// space (encode once, sort codes, decode once) and must be
+// rank-identical to the comparator plane — with both the materializing
+// and the streaming exchange, and composable with the decorated
+// Options.Code extractor plane as a third oracle.
+func TestSortViaCoder(t *testing.T) {
+	const p, perRank = 6, 3000
+	for _, chunkKeys := range []int{0, 256} {
+		shards := dist.Spec{Kind: dist.PowerSkew}.Shards(perRank, p, 77)
+		clone := func() [][]int64 {
+			in := make([][]int64, p)
+			for r := range shards {
+				in[r] = slices.Clone(shards[r])
+			}
+			return in
+		}
+		base := Options[int64]{Cmp: icmp, Epsilon: 0.1, Seed: 5, ChunkKeys: chunkKeys}
+
+		wantOuts, wantStats := runSort(t, clone(), base)
+
+		coded := base
+		coded.Coder = keycoder.Int64{}
+		gotOuts, gotStats := runSort(t, clone(), coded)
+
+		decorated := base
+		decorated.Code = func(k int64) uint64 { return keycoder.Int64{}.Encode(k) }
+		decOuts, _ := runSort(t, clone(), decorated)
+
+		for r := range wantOuts {
+			if !slices.Equal(gotOuts[r], wantOuts[r]) {
+				t.Fatalf("chunk=%d rank %d: Coder plane diverged from comparator plane", chunkKeys, r)
+			}
+			if !slices.Equal(decOuts[r], wantOuts[r]) {
+				t.Fatalf("chunk=%d rank %d: Code extractor plane diverged from comparator plane", chunkKeys, r)
+			}
+		}
+		if gotStats.Rounds != wantStats.Rounds || gotStats.TotalSample != wantStats.TotalSample {
+			t.Errorf("chunk=%d: protocol diverged: %d rounds/%d sample vs %d/%d",
+				chunkKeys, gotStats.Rounds, gotStats.TotalSample, wantStats.Rounds, wantStats.TotalSample)
+		}
+		checkGloballySorted(t, shards, gotOuts)
 	}
 }

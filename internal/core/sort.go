@@ -4,6 +4,7 @@ import (
 	"slices"
 	"time"
 
+	"hssort/internal/codes"
 	"hssort/internal/collective"
 	"hssort/internal/comm"
 	"hssort/internal/exchange"
@@ -13,19 +14,29 @@ import (
 // the rank's globally sorted partition: local sort → splitter
 // determination → all-to-all exchange → k-way merge (§6.1.2). Every rank
 // of the world must call Sort with the same Options. The input slice is
-// sorted in place and its storage re-used; callers must not reuse it.
+// sorted in place and its storage re-used (the Coder plane instead
+// leaves the input untouched); callers must not reuse it.
 func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, Stats, error) {
 	opt, err := opt.withDefaults(c.Size())
 	if err != nil {
 		return nil, Stats{}, err
 	}
+	if opt.Coder != nil {
+		return sortViaCodes(c, local, opt)
+	}
 	base := opt.BaseTag
 	var stats Stats
 	stats.Buckets = opt.Buckets
 
-	// Phase 1: local sort (embarrassingly parallel, §6.1.2).
+	// Phase 1: local sort (embarrassingly parallel, §6.1.2) — the
+	// comparator-free radix plane when a code extractor is available.
 	t0 := time.Now()
-	slices.SortFunc(local, opt.Cmp)
+	var localCodes []codes.Code
+	if opt.Code != nil {
+		localCodes = codes.SortByCode(local, opt.Code)
+	} else {
+		slices.SortFunc(local, opt.Cmp)
+	}
 	localSort := time.Since(t0)
 
 	// Global key count.
@@ -54,10 +65,15 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, Stats, error) {
 	// merge with the exchange tail.
 	bytes1 := c.Counters().BytesSent
 	t2 := time.Now()
-	runs := exchange.Partition(local, splitters, opt.Cmp)
+	var runs [][]K
+	if localCodes != nil {
+		runs = exchange.PartitionByCode(local, localCodes, codes.Extract(splitters, opt.Code))
+	} else {
+		runs = exchange.Partition(local, splitters, opt.Cmp)
+	}
 	partitionTime := time.Since(t2)
 	out, exchangeTime, mergeTime, sst, err := exchange.ExchangeMerge(
-		c, base+tagExchange, runs, opt.Owner, opt.Cmp,
+		c, base+tagExchange, runs, opt.Owner, opt.Cmp, opt.Code,
 		exchange.StreamOptions{ChunkKeys: opt.ChunkKeys})
 	if err != nil {
 		return nil, stats, err
@@ -79,4 +95,39 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, Stats, error) {
 		return nil, stats, err
 	}
 	return out, stats, nil
+}
+
+// sortViaCodes is the Coder plane: encode this rank's keys once, run the
+// identical pipeline on raw code points (where the compute phases
+// specialize to radix sort, branch-free searches and code-keyed merges,
+// and the exchange moves codes, not keys), and decode the merged
+// partition once at the end. The protocol — sampling draws, histogram
+// updates, splitter choices, bucket cuts, merge tie-breaks — is a
+// function of key order only, and the coder preserves it exactly, so the
+// decoded output is rank-identical to the comparator plane's.
+func sortViaCodes[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, Stats, error) {
+	enc := codes.EncodeSlice(opt.Coder, local)
+	out, stats, err := Sort(c, enc, Options[codes.Code]{
+		Cmp:               codes.Compare,
+		Code:              codes.ExtractCode,
+		Epsilon:           opt.Epsilon,
+		Buckets:           opt.Buckets,
+		Owner:             opt.Owner,
+		Schedule:          opt.Schedule,
+		Rounds:            opt.Rounds,
+		MaxRounds:         opt.MaxRounds,
+		OversampleFactor:  opt.OversampleFactor,
+		Seed:              opt.Seed,
+		Approx:            opt.Approx,
+		ApproxSize:        opt.ApproxSize,
+		ChunkKeys:         opt.ChunkKeys,
+		BaseTag:           opt.BaseTag,
+		PipelineChunk:     opt.PipelineChunk,
+		PipelineThreshold: opt.PipelineThreshold,
+		OnRound:           opt.OnRound,
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	return codes.DecodeSlice(opt.Coder, out), stats, nil
 }

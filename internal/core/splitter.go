@@ -8,6 +8,7 @@ import (
 
 	"hssort/internal/collective"
 	"hssort/internal/comm"
+	"hssort/internal/exchange"
 	"hssort/internal/histogram"
 	"hssort/internal/sampling"
 )
@@ -185,6 +186,12 @@ func (rc *rootController[K]) plan(round int) roundPlan[K] {
 		if !ok {
 			return roundPlan[K]{}, false
 		}
+		// Candidate ranks track sorted targets, but the MaxRounds /
+		// stagnation fallback can pick candidates whose keys invert
+		// between adjacent targets. Sorting once here — splitter
+		// determination time — is what lets exchange.Partition skip its
+		// per-call O(B) validation on every rank.
+		slices.SortFunc(sp, rc.opt.Cmp)
 		return roundPlan[K]{Done: true, Finalized: finalized, Splitters: sp}, true
 	}
 	switch {
@@ -324,6 +331,9 @@ func DetermineSplitters[K any](c *comm.Comm, sortedLocal []K, n int64, opt Optio
 		}
 		if plan.Done {
 			info.Finalized = plan.Finalized
+			// The one-time validation that lets exchange.Partition skip
+			// its per-call O(B) re-check.
+			exchange.ValidateSplitters(plan.Splitters, opt.Cmp)
 			return plan.Splitters, info, nil
 		}
 

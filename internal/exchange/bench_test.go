@@ -11,6 +11,7 @@ import (
 
 // BenchmarkPartition measures cutting a sorted shard into B runs.
 func BenchmarkPartition(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewPCG(1, 2))
 	sorted := make([]int64, 1<<20)
 	for i := range sorted {
@@ -49,6 +50,7 @@ func BenchmarkPartition(b *testing.B) {
 // and on hosts with cores to spare — the overlap term §6.2 describes
 // comes on top.
 func BenchmarkExchange(b *testing.B) {
+	b.ReportAllocs()
 	shapes := []struct {
 		name       string
 		p, perRank int
@@ -85,11 +87,12 @@ func BenchmarkExchange(b *testing.B) {
 		owner := ContiguousOwner(buckets, p)
 		for _, path := range paths {
 			b.Run(shape.name+"/"+path.name, func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					w := comm.NewWorld(p, comm.WithTimeout(time.Minute))
 					err := w.Run(func(c *comm.Comm) error {
 						runs := Partition(shards[c.Rank()], splitters, icmp)
-						_, _, _, _, err := ExchangeMerge(c, 1, runs, owner, icmp, path.opt)
+						_, _, _, _, err := ExchangeMerge(c, 1, runs, owner, icmp, nil, path.opt)
 						return err
 					})
 					if err != nil {

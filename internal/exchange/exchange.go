@@ -4,32 +4,90 @@ import (
 	"fmt"
 	"sort"
 
+	"hssort/internal/codes"
 	"hssort/internal/collective"
 	"hssort/internal/comm"
 )
 
-// Partition cuts a locally sorted slice into len(splitters)+1 consecutive
-// runs: run i holds keys in [S_{i-1}, S_i) with S_{-1} = -inf and
-// S_{B-1} = +inf, matching the paper's bucket definition (processor i owns
-// [S_i, S_{i+1})). The returned runs alias the input. splitters must be
-// sorted (non-decreasing); Partition panics otherwise.
-func Partition[K any](sorted []K, splitters []K, cmp func(K, K) int) [][]K {
+// Debug enables O(B) invariant re-validation on the partition hot paths.
+// Splitter sortedness is guaranteed once at splitter-determination time
+// (the pipelines sort before broadcasting), so the per-call check is a
+// debug assertion only; tests flip this on.
+var Debug = false
+
+// ValidateSplitters panics if splitters are not non-decreasing under
+// cmp. The sort pipelines call it (or sort outright) once when splitters
+// are determined, which is what lets Partition skip the O(B) re-check on
+// every invocation.
+func ValidateSplitters[K any](splitters []K, cmp func(K, K) int) {
 	for i := 1; i < len(splitters); i++ {
 		if cmp(splitters[i-1], splitters[i]) > 0 {
 			panic("exchange: splitters not sorted")
 		}
 	}
+}
+
+// Partition cuts a locally sorted slice into len(splitters)+1 consecutive
+// runs: run i holds keys in [S_{i-1}, S_i) with S_{-1} = -inf and
+// S_{B-1} = +inf, matching the paper's bucket definition (processor i owns
+// [S_i, S_{i+1})). The returned runs alias the input. splitters must be
+// sorted (non-decreasing) — guaranteed by the splitter-determination
+// phases and re-checked only under Debug.
+//
+// Two cut strategies cover the two shapes: B independent binary searches
+// when buckets are few relative to the data, and a single merge-style
+// forward scan — O(n+B) comparator calls instead of O(B log n) — in the
+// over-partitioned regime where B rivals or exceeds n.
+func Partition[K any](sorted []K, splitters []K, cmp func(K, K) int) [][]K {
+	if Debug {
+		ValidateSplitters(splitters, cmp)
+	}
 	runs := make([][]K, len(splitters)+1)
 	prev := 0
-	for i, s := range splitters {
-		// First index whose key is >= s starts bucket i+1.
-		cut := prev + sort.Search(len(sorted)-prev, func(j int) bool {
-			return cmp(sorted[prev+j], s) >= 0
-		})
+	if codes.ForwardScanBetter(len(sorted), len(splitters)) {
+		for i, s := range splitters {
+			cut := prev
+			for cut < len(sorted) && cmp(sorted[cut], s) < 0 {
+				cut++
+			}
+			runs[i] = sorted[prev:cut]
+			prev = cut
+		}
+	} else {
+		for i, s := range splitters {
+			// First index whose key is >= s starts bucket i+1.
+			cut := prev + sort.Search(len(sorted)-prev, func(j int) bool {
+				return cmp(sorted[prev+j], s) >= 0
+			})
+			runs[i] = sorted[prev:cut]
+			prev = cut
+		}
+	}
+	runs[len(splitters)] = sorted[prev:]
+	return runs
+}
+
+// PartitionByCode is Partition on the code plane: the cut positions are
+// computed on the parallel sorted code array cs (raw uint64 searches or
+// one forward scan — codes.Cuts picks, with the same shape heuristic)
+// and the element slice is cut at those positions. splitterCodes must be
+// the non-decreasing codes of the splitter keys under the same
+// order-preserving extractor that produced cs.
+func PartitionByCode[K any](sorted []K, cs []codes.Code, splitterCodes []codes.Code) [][]K {
+	if len(sorted) != len(cs) {
+		panic("exchange: code array length mismatch")
+	}
+	if Debug {
+		ValidateSplitters(splitterCodes, codes.Compare)
+	}
+	cuts := codes.Cuts(cs, splitterCodes)
+	runs := make([][]K, len(splitterCodes)+1)
+	prev := 0
+	for i, cut := range cuts {
 		runs[i] = sorted[prev:cut]
 		prev = cut
 	}
-	runs[len(splitters)] = sorted[prev:]
+	runs[len(splitterCodes)] = sorted[prev:]
 	return runs
 }
 

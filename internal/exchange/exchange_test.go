@@ -9,7 +9,9 @@ import (
 	"testing/quick"
 	"time"
 
+	"hssort/internal/codes"
 	"hssort/internal/comm"
+	"hssort/internal/keycoder"
 	"hssort/internal/merge"
 )
 
@@ -52,13 +54,93 @@ func TestPartitionEdges(t *testing.T) {
 	}
 }
 
-func TestPartitionPanicsOnUnsortedSplitters(t *testing.T) {
+// TestPartitionDebugValidation: the O(B) splitter re-check left the hot
+// path (splitters are validated once at determination time) but survives
+// as a Debug assertion.
+func TestPartitionDebugValidation(t *testing.T) {
+	Debug = true
+	defer func() { Debug = false }()
 	defer func() {
 		if recover() == nil {
 			t.Error("no panic")
 		}
 	}()
 	Partition([]int64{1}, []int64{5, 3}, icmp)
+}
+
+func TestValidateSplittersPanics(t *testing.T) {
+	ValidateSplitters([]int64{1, 2, 2, 5}, icmp) // sorted: fine
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	ValidateSplitters([]int64{5, 3}, icmp)
+}
+
+// TestPartitionForwardScanMode: in the over-partitioned regime (B large
+// relative to n) Partition switches to one forward scan; the cuts must
+// be identical to the binary-search regime's.
+func TestPartitionForwardScanMode(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 1))
+	sorted := make([]int64, 40)
+	for i := range sorted {
+		sorted[i] = rng.Int64N(100)
+	}
+	slices.Sort(sorted)
+	sp := make([]int64, 600) // forces the forward-scan heuristic
+	for i := range sp {
+		sp[i] = rng.Int64N(110)
+	}
+	slices.Sort(sp)
+	runs := Partition(sorted, sp, icmp)
+	// Reference cuts via per-splitter searches.
+	var cat []int64
+	for i, run := range runs {
+		for _, k := range run {
+			if i > 0 && k < sp[i-1] {
+				t.Fatalf("run %d holds %d below splitter %d", i, k, sp[i-1])
+			}
+			if i < len(sp) && k >= sp[i] {
+				t.Fatalf("run %d holds %d at/above splitter %d", i, k, sp[i])
+			}
+		}
+		cat = append(cat, run...)
+	}
+	if !slices.Equal(cat, sorted) {
+		t.Fatal("forward-scan runs do not concatenate to the input")
+	}
+}
+
+// TestPartitionByCodeMatchesPartition: the code-plane cuts equal the
+// comparator cuts run for run, in both cut regimes.
+func TestPartitionByCodeMatchesPartition(t *testing.T) {
+	rng := rand.New(rand.NewPCG(19, 2))
+	for _, shape := range []struct{ n, b int }{{5000, 7}, {50, 800}, {0, 3}, {100, 0}} {
+		sorted := make([]int64, shape.n)
+		for i := range sorted {
+			sorted[i] = rng.Int64N(1 << 20)
+		}
+		slices.Sort(sorted)
+		sp := make([]int64, shape.b)
+		for i := range sp {
+			sp[i] = rng.Int64N(1 << 20)
+		}
+		slices.Sort(sp)
+		want := Partition(sorted, sp, icmp)
+
+		enc := func(k int64) uint64 { return keycoder.Int64{}.Encode(k) }
+		cs := codes.Extract(sorted, enc)
+		got := PartitionByCode(sorted, cs, codes.Extract(sp, enc))
+		if len(got) != len(want) {
+			t.Fatalf("n=%d b=%d: %d runs vs %d", shape.n, shape.b, len(got), len(want))
+		}
+		for i := range want {
+			if !slices.Equal(got[i], want[i]) {
+				t.Fatalf("n=%d b=%d: run %d differs", shape.n, shape.b, i)
+			}
+		}
+	}
 }
 
 func TestPartitionProperty(t *testing.T) {

@@ -117,7 +117,13 @@ type inStream struct {
 // chunks), so the tag must not be reused for another protocol on the
 // same endpoint — give every exchange its own tag, as the sort
 // pipelines' per-phase tag layout already does.
-func ExchangeStream[K any](e comm.StreamEndpoint, tag comm.Tag, runs [][]K, owner func(int) int, cmp func(K, K) int, opt StreamOptions) ([]K, StreamStats, error) {
+//
+// code, when non-nil, must be an order-preserving uint64 extractor for
+// cmp; the incremental merge then runs on a code-keyed tree (raw integer
+// compares) instead of comparator calls. When K is the code-point type
+// itself the chunks alias straight into the code tree — codes travel
+// through the exchange and are never re-encoded.
+func ExchangeStream[K any](e comm.StreamEndpoint, tag comm.Tag, runs [][]K, owner func(int) int, cmp func(K, K) int, code func(K) uint64, opt StreamOptions) ([]K, StreamStats, error) {
 	opt = opt.withDefaults()
 	p := e.Size()
 	me := e.Rank()
@@ -160,7 +166,7 @@ func ExchangeStream[K any](e comm.StreamEndpoint, tag comm.Tag, runs [][]K, owne
 	// One merge stream per sender, admitted in rank order so run indices
 	// — and with them duplicate-key tie-breaks — are deterministic. Own
 	// data feeds its stream directly and closes it.
-	lt := merge.NewStreaming[K](cmp)
+	lt := merge.NewStreamer(cmp, code)
 	for r := 0; r < p; r++ {
 		lt.AddRun(nil)
 	}
@@ -373,13 +379,14 @@ func ExchangeStream[K any](e comm.StreamEndpoint, tag comm.Tag, runs [][]K, owne
 
 // ExchangeMerge is the data-movement dispatcher for the sort pipelines:
 // it routes runs to their owners and returns this rank's fully merged
-// partition, using the materializing Exchange + merge.KWay path when
+// partition, using the materializing Exchange + merge path when
 // opt.ChunkKeys == 0 (the conformance oracle) or the streaming pipeline
-// otherwise. exchangeTime and mergeTime keep phase stats comparable
-// across paths: under streaming, merge work hidden inside the exchange
-// is charged to the exchange phase and only the unhidable tail
+// otherwise. code, when non-nil, selects the code-keyed merge on either
+// path (see ExchangeStream). exchangeTime and mergeTime keep phase stats
+// comparable across paths: under streaming, merge work hidden inside the
+// exchange is charged to the exchange phase and only the unhidable tail
 // (StreamStats.MergeTail) to the merge phase.
-func ExchangeMerge[K any](e comm.StreamEndpoint, tag comm.Tag, runs [][]K, owner func(int) int, cmp func(K, K) int, opt StreamOptions) (out []K, exchangeTime, mergeTime time.Duration, st StreamStats, err error) {
+func ExchangeMerge[K any](e comm.StreamEndpoint, tag comm.Tag, runs [][]K, owner func(int) int, cmp func(K, K) int, code func(K) uint64, opt StreamOptions) (out []K, exchangeTime, mergeTime time.Duration, st StreamStats, err error) {
 	t0 := time.Now()
 	if opt.ChunkKeys == 0 {
 		recv, err := Exchange(e, tag, runs, owner)
@@ -388,10 +395,14 @@ func ExchangeMerge[K any](e comm.StreamEndpoint, tag comm.Tag, runs [][]K, owner
 		}
 		exchangeTime = time.Since(t0)
 		t1 := time.Now()
-		out = merge.KWay(recv, cmp)
+		if code != nil {
+			out = merge.KWayByCode(recv, code)
+		} else {
+			out = merge.KWay(recv, cmp)
+		}
 		return out, exchangeTime, time.Since(t1), StreamStats{}, nil
 	}
-	out, st, err = ExchangeStream(e, tag, runs, owner, cmp, opt)
+	out, st, err = ExchangeStream(e, tag, runs, owner, cmp, code, opt)
 	if err != nil {
 		return nil, 0, 0, st, err
 	}

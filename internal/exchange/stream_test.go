@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"hssort/internal/comm"
+	"hssort/internal/keycoder"
 	"hssort/internal/merge"
 )
 
@@ -93,7 +94,7 @@ func streamCase(t *testing.T, mk func(p int) comm.Transport, shards [][]pair, bu
 	w = comm.NewWorld(p, comm.WithTransport(mk(p)), comm.WithTimeout(20*time.Second))
 	err = w.Run(func(c *comm.Comm) error {
 		runs := Partition(slices.Clone(shards[c.Rank()]), splitters, pairCmp)
-		out, st, err := ExchangeStream(c, 1, runs, owner, pairCmp, opt)
+		out, st, err := ExchangeStream(c, 1, runs, owner, pairCmp, nil, opt)
 		if err != nil {
 			return err
 		}
@@ -105,11 +106,34 @@ func streamCase(t *testing.T, mk func(p int) comm.Transport, shards [][]pair, bu
 		t.Fatal(err)
 	}
 
+	// Third pass: the same streaming exchange on the code plane (records
+	// merged by an order-preserving extractor instead of the comparator).
+	// Identical output, duplicate ids included: equal keys have equal
+	// codes and both planes tie-break by sender run.
+	outC := make([][]pair, p)
+	w = comm.NewWorld(p, comm.WithTransport(mk(p)), comm.WithTimeout(20*time.Second))
+	err = w.Run(func(c *comm.Comm) error {
+		runs := Partition(slices.Clone(shards[c.Rank()]), splitters, pairCmp)
+		out, _, err := ExchangeStream(c, 1, runs, owner, pairCmp,
+			func(x pair) uint64 { return keycoder.Int64{}.Encode(x.k) }, opt)
+		if err != nil {
+			return err
+		}
+		outC[c.Rank()] = out
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
 	eff := opt.withDefaults()
 	budget := int64(p-1) * int64(eff.Window) * int64(eff.ChunkKeys) * comm.SizeOf[pair]()
 	for r := 0; r < p; r++ {
 		if !slices.Equal(outM[r], outS[r]) {
 			t.Fatalf("rank %d: streaming output diverged from materializing path (%d vs %d keys)", r, len(outS[r]), len(outM[r]))
+		}
+		if !slices.Equal(outM[r], outC[r]) {
+			t.Fatalf("rank %d: code-plane streaming output diverged (%d vs %d keys)", r, len(outC[r]), len(outM[r]))
 		}
 		if stats[r].PeakInFlight > budget {
 			t.Errorf("rank %d: peak in-flight %d exceeds budget %d", r, stats[r].PeakInFlight, budget)
@@ -196,7 +220,7 @@ func TestExchangeStreamBadOwner(t *testing.T) {
 	w := comm.NewWorld(2, comm.WithTimeout(time.Second))
 	err := w.Run(func(c *comm.Comm) error {
 		runs := [][]int64{{1}, {2}}
-		_, _, err := ExchangeStream(c, 1, runs, func(int) int { return 7 }, icmp, StreamOptions{})
+		_, _, err := ExchangeStream(c, 1, runs, func(int) int { return 7 }, icmp, nil, StreamOptions{})
 		if err == nil {
 			return fmt.Errorf("bad owner accepted")
 		}

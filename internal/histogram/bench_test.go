@@ -19,6 +19,7 @@ func benchSorted(n int) []int64 {
 // BenchmarkLocalRanks measures the per-round histogram step: S binary
 // searches over the local sorted input (§5.1.2's O(S log(N/p)) term).
 func BenchmarkLocalRanks(b *testing.B) {
+	b.ReportAllocs()
 	sorted := benchSorted(1 << 20)
 	probes := benchSorted(1 << 10)
 	b.ResetTimer()
@@ -31,6 +32,7 @@ func BenchmarkLocalRanks(b *testing.B) {
 // BenchmarkTrackerUpdate measures the central processor's per-round
 // bookkeeping over B-1 splitters and S probes.
 func BenchmarkTrackerUpdate(b *testing.B) {
+	b.ReportAllocs()
 	const n = 1 << 30
 	const buckets = 4096
 	probes := make([]int64, 5*buckets)
@@ -50,6 +52,7 @@ func BenchmarkTrackerUpdate(b *testing.B) {
 
 // BenchmarkScan measures the scanning algorithm over a 2/ε-ratio sample.
 func BenchmarkScan(b *testing.B) {
+	b.ReportAllocs()
 	const n = 1 << 30
 	const buckets = 1024
 	keys := make([]int64, 40*buckets)

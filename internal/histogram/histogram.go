@@ -3,13 +3,24 @@ package histogram
 import (
 	"fmt"
 	"sort"
+
+	"hssort/internal/codes"
 )
 
 // LocalRanks returns, for each probe, the number of keys in the local
 // sorted input that compare strictly less than the probe — the local
 // histogram of §2.3, computed with one binary search per probe
 // (O(M log(N/p)) as in §5.1.2). probes need not be sorted.
+//
+// When a pipeline runs on the code plane, sorted and probes arrive as
+// code arrays and the searches specialize to branch-lean raw uint64
+// comparisons — no comparator call per probe level. The sniff is sound
+// by the codes.Code invariant: code slices exist only in natural order-
+// correspondence with their comparator.
 func LocalRanks[K any](sorted []K, probes []K, cmp func(K, K) int) []int64 {
+	if cs, ok := any(sorted).([]codes.Code); ok {
+		return codes.Ranks(cs, any(probes).([]codes.Code))
+	}
 	out := make([]int64, len(probes))
 	for i, q := range probes {
 		out[i] = int64(sort.Search(len(sorted), func(j int) bool {

@@ -5,6 +5,7 @@ import (
 	"slices"
 	"time"
 
+	"hssort/internal/codes"
 	"hssort/internal/collective"
 	"hssort/internal/comm"
 	"hssort/internal/core"
@@ -21,6 +22,12 @@ type Options[K any] struct {
 	Cmp func(K, K) int
 	// Coder is the order-preserving key <-> uint64 code bijection.
 	Coder keycoder.Coder[K]
+	// Code, when set, must be an order-preserving uint64 extractor for
+	// Cmp; the compute hot paths (local sort, partition cuts, merges)
+	// then run on the comparator-free code plane (see core.Options.Code).
+	// Unset leaves every phase on the comparator, Coder notwithstanding —
+	// the Coder alone only feeds probe synthesis.
+	Code func(K) uint64
 	// Epsilon is the target load-imbalance threshold. Default 0.05.
 	Epsilon float64
 	// Buckets is the number of output ranges. Default: world size.
@@ -109,7 +116,12 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 	stats.Buckets = opt.Buckets
 
 	t0 := time.Now()
-	slices.SortFunc(local, opt.Cmp)
+	var localCodes []codes.Code
+	if opt.Code != nil {
+		localCodes = codes.SortByCode(local, opt.Code)
+	} else {
+		slices.SortFunc(local, opt.Cmp)
+	}
 	localSort := time.Since(t0)
 
 	nVec, err := collective.AllReduce(c, base+tagCount, []int64{int64(len(local))}, collective.SumInt64)
@@ -132,10 +144,15 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 
 	bytes1 := c.Counters().BytesSent
 	t2 := time.Now()
-	runs := exchange.Partition(local, splitters, opt.Cmp)
+	var runs [][]K
+	if localCodes != nil {
+		runs = exchange.PartitionByCode(local, localCodes, codes.Extract(splitters, opt.Code))
+	} else {
+		runs = exchange.Partition(local, splitters, opt.Cmp)
+	}
 	partitionTime := time.Since(t2)
 	out, exchangeTime, mergeTime, sst, err := exchange.ExchangeMerge(
-		c, base+tagExchange, runs, opt.Owner, opt.Cmp,
+		c, base+tagExchange, runs, opt.Owner, opt.Cmp, opt.Code,
 		exchange.StreamOptions{ChunkKeys: opt.ChunkKeys})
 	if err != nil {
 		return nil, stats, err
@@ -231,6 +248,9 @@ func determineSplitters[K any](c *comm.Comm, local []K, n int64, opt Options[K])
 	if err != nil {
 		return nil, rounds, totalProbes, err
 	}
+	// The one-time validation that lets exchange.Partition skip its
+	// per-call O(B) re-check.
+	exchange.ValidateSplitters(splitters, opt.Cmp)
 	return splitters, int(rv[0]), rv[1], nil
 }
 

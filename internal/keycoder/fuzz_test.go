@@ -1,0 +1,149 @@
+package keycoder
+
+import (
+	"math"
+	"testing"
+)
+
+// The tentpole code plane makes every sort depend on these bijections:
+// a single order inversion or lossy round trip would silently misplace
+// keys across bucket boundaries. The fuzz targets below drive the
+// properties with coverage-guided inputs seeded at the known-treacherous
+// corners — IEEE-754 negatives, both zeros, subnormals, infinities, and
+// the widening paths.
+
+// float64Specials are the corner values every float fuzz run starts
+// from, pairwise.
+var float64Specials = []float64{
+	math.Inf(-1), -math.MaxFloat64, -1.5, -1, -math.SmallestNonzeroFloat64 * 3,
+	-math.SmallestNonzeroFloat64, math.Copysign(0, -1), 0,
+	math.SmallestNonzeroFloat64, math.SmallestNonzeroFloat64 * 3, 1, 1.5,
+	math.MaxFloat64, math.Inf(1),
+}
+
+// FuzzFloat64Coder: bit-exact round trip (both zeros and subnormals
+// keep their payloads) and strict order preservation. The code order
+// refines the comparator order at -0/+0: the comparator ties them, the
+// encoding orders -0 < +0, and nothing may ever invert.
+func FuzzFloat64Coder(f *testing.F) {
+	for _, a := range float64Specials {
+		for _, b := range float64Specials {
+			f.Add(a, b)
+		}
+	}
+	var c Float64
+	f.Fuzz(func(t *testing.T, a, b float64) {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return // NaN order is documented as unspecified
+		}
+		ra := c.Decode(c.Encode(a))
+		if math.Float64bits(ra) != math.Float64bits(a) {
+			t.Fatalf("round trip not bit-exact: %g (%#x) -> %g (%#x)",
+				a, math.Float64bits(a), ra, math.Float64bits(ra))
+		}
+		ea, eb := c.Encode(a), c.Encode(b)
+		switch {
+		case a < b:
+			if ea >= eb {
+				t.Fatalf("order inverted: %g < %g but %#x >= %#x", a, b, ea, eb)
+			}
+		case a > b:
+			if ea <= eb {
+				t.Fatalf("order inverted: %g > %g but %#x <= %#x", a, b, ea, eb)
+			}
+		default:
+			// a == b numerically. Identical bits must agree exactly; the
+			// ±0 pair is ordered -0 < +0 (the documented refinement of
+			// the comparator's tie).
+			abits, bbits := math.Float64bits(a), math.Float64bits(b)
+			switch {
+			case abits == bbits:
+				if ea != eb {
+					t.Fatalf("identical values, different codes: %g -> %#x vs %#x", a, ea, eb)
+				}
+			case math.Signbit(a) && !math.Signbit(b):
+				if ea >= eb {
+					t.Fatalf("-0 must encode below +0: %#x >= %#x", ea, eb)
+				}
+			case !math.Signbit(a) && math.Signbit(b):
+				if ea <= eb {
+					t.Fatalf("+0 must encode above -0: %#x <= %#x", ea, eb)
+				}
+			}
+		}
+	})
+}
+
+// FuzzInt64Coder: round trip and strict order across the full signed
+// range.
+func FuzzInt64Coder(f *testing.F) {
+	specials := []int64{math.MinInt64, math.MinInt64 + 1, -2, -1, 0, 1, 2, math.MaxInt64 - 1, math.MaxInt64}
+	for _, a := range specials {
+		for _, b := range specials {
+			f.Add(a, b)
+		}
+	}
+	var c Int64
+	f.Fuzz(func(t *testing.T, a, b int64) {
+		if c.Decode(c.Encode(a)) != a {
+			t.Fatalf("round trip lost %d", a)
+		}
+		if (a < b) != (c.Encode(a) < c.Encode(b)) || (a == b) != (c.Encode(a) == c.Encode(b)) {
+			t.Fatalf("order not preserved for (%d, %d)", a, b)
+		}
+	})
+}
+
+// FuzzInt32Coder: the widening path must round-trip through the Int64
+// encoding without truncation and preserve order and equality.
+func FuzzInt32Coder(f *testing.F) {
+	specials := []int32{math.MinInt32, math.MinInt32 + 1, -1, 0, 1, math.MaxInt32 - 1, math.MaxInt32}
+	for _, a := range specials {
+		for _, b := range specials {
+			f.Add(a, b)
+		}
+	}
+	var c Int32
+	f.Fuzz(func(t *testing.T, a, b int32) {
+		if c.Decode(c.Encode(a)) != a {
+			t.Fatalf("round trip lost %d", a)
+		}
+		// Widening consistency: the Int32 code is the Int64 code of the
+		// widened value, so cross-width comparisons stay coherent.
+		if c.Encode(a) != (Int64{}).Encode(int64(a)) {
+			t.Fatalf("widening diverged for %d", a)
+		}
+		if (a < b) != (c.Encode(a) < c.Encode(b)) || (a == b) != (c.Encode(a) == c.Encode(b)) {
+			t.Fatalf("order not preserved for (%d, %d)", a, b)
+		}
+	})
+}
+
+// FuzzUint32Coder: widening from the unsigned side.
+func FuzzUint32Coder(f *testing.F) {
+	for _, a := range []uint32{0, 1, math.MaxUint32 - 1, math.MaxUint32} {
+		f.Add(a, a/2)
+	}
+	var c Uint32
+	f.Fuzz(func(t *testing.T, a, b uint32) {
+		if c.Decode(c.Encode(a)) != a {
+			t.Fatalf("round trip lost %d", a)
+		}
+		if (a < b) != (c.Encode(a) < c.Encode(b)) {
+			t.Fatalf("order not preserved for (%d, %d)", a, b)
+		}
+	})
+}
+
+// TestFloat64SpecialsTotalOrder pins the exact documented order of the
+// special values — including the -0 < +0 refinement — as a table test
+// that runs without the fuzz engine.
+func TestFloat64SpecialsTotalOrder(t *testing.T) {
+	var c Float64
+	for i := 1; i < len(float64Specials); i++ {
+		lo, hi := float64Specials[i-1], float64Specials[i]
+		if c.Encode(lo) >= c.Encode(hi) {
+			t.Errorf("Encode(%g) = %#x not < Encode(%g) = %#x", lo, c.Encode(lo), hi, c.Encode(hi))
+		}
+	}
+}

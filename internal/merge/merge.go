@@ -84,11 +84,12 @@ type LoserTree[K any] struct {
 	starved int
 	// tree[1:] holds internal nodes: tree[i] is the run index that LOST
 	// the match at node i. tree[0] holds the overall winner.
-	tree  []int
-	k     int // number of leaves (power-of-two padded)
-	n     int // real number of runs
-	cmp   func(K, K) int
-	dirty bool // a head changed outside Next: rebuild before next emit
+	tree    []int
+	winners []int // rebuild scratch, cached to keep build allocation-free
+	k       int   // number of leaves (power-of-two padded)
+	n       int   // real number of runs
+	cmp     func(K, K) int
+	dirty   bool // a head changed outside Next: rebuild before next emit
 }
 
 // NewLoserTree builds a loser tree over the given fixed (fully
@@ -238,7 +239,10 @@ func (lt *LoserTree[K]) less(a, b int) bool {
 // build plays the initial tournament bottom-up.
 func (lt *LoserTree[K]) build() {
 	// winners[i] is the winner of the subtree rooted at node i.
-	winners := make([]int, 2*lt.k)
+	if len(lt.winners) != 2*lt.k {
+		lt.winners = make([]int, 2*lt.k)
+	}
+	winners := lt.winners
 	for i := 0; i < lt.k; i++ {
 		winners[lt.k+i] = i
 	}

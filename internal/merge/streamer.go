@@ -1,0 +1,77 @@
+package merge
+
+import "hssort/internal/codes"
+
+// Streamer is the incremental k-way merge surface the streaming exchange
+// drives: the growable AddRun/Append/CloseRun plane plus guarded and
+// bare emission. *LoserTree implements it directly; the code-plane
+// adapters below implement it over CodeTree.
+type Streamer[K any] interface {
+	// AddRun registers a new open run of sorted keys and returns its
+	// index.
+	AddRun(keys []K) int
+	// Append feeds more keys to open run i.
+	Append(i int, keys []K)
+	// CloseRun seals run i.
+	CloseRun(i int)
+	// Consumed returns the number of keys emitted from run i.
+	Consumed(i int) int64
+	// Exhausted reports whether every run is closed and fully emitted.
+	Exhausted() bool
+	// NextReady emits the next key only while emission is provably safe.
+	NextReady() (K, bool)
+	// Next emits the next key unconditionally (all runs closed).
+	Next() (K, bool)
+}
+
+// NewStreamer returns the best incremental merge for the key type: the
+// raw-compare CodeTree when the keys are code points (the pure code
+// plane — chunks alias straight into the tree, nothing is re-encoded),
+// a CodeTree fed through the extractor when one is supplied (the
+// record/KV plane — each appended chunk is encoded once), and the
+// comparator LoserTree otherwise. The extractor, when non-nil, must be
+// order-preserving for cmp.
+func NewStreamer[K any](cmp func(K, K) int, code func(K) uint64) Streamer[K] {
+	var zero K
+	if _, ok := any(zero).(codes.Code); ok {
+		return any(&pureCodeStreamer{t: NewCodeTree[codes.Code]()}).(Streamer[K])
+	}
+	if code != nil {
+		return &codedStreamer[K]{t: NewCodeTree[K](), code: code}
+	}
+	return NewStreaming(cmp)
+}
+
+// pureCodeStreamer adapts CodeTree to Streamer[codes.Code]: the key
+// slices are their own code slices.
+type pureCodeStreamer struct {
+	t *CodeTree[codes.Code]
+}
+
+func (s *pureCodeStreamer) AddRun(keys []codes.Code) int    { return s.t.AddRun(keys, keys) }
+func (s *pureCodeStreamer) Append(i int, keys []codes.Code) { s.t.Append(i, keys, keys) }
+func (s *pureCodeStreamer) CloseRun(i int)                  { s.t.CloseRun(i) }
+func (s *pureCodeStreamer) Consumed(i int) int64            { return s.t.Consumed(i) }
+func (s *pureCodeStreamer) Exhausted() bool                 { return s.t.Exhausted() }
+func (s *pureCodeStreamer) NextReady() (codes.Code, bool)   { return s.t.NextReady() }
+func (s *pureCodeStreamer) Next() (codes.Code, bool)        { return s.t.Next() }
+
+// codedStreamer adapts CodeTree to Streamer[K] via a code extractor:
+// every appended chunk is encoded once (one extractor call per key per
+// hop) and all merge comparisons are raw uint64s.
+type codedStreamer[K any] struct {
+	t    *CodeTree[K]
+	code func(K) uint64
+}
+
+func (s *codedStreamer[K]) AddRun(keys []K) int {
+	return s.t.AddRun(codes.Extract(keys, s.code), keys)
+}
+func (s *codedStreamer[K]) Append(i int, keys []K) {
+	s.t.Append(i, codes.Extract(keys, s.code), keys)
+}
+func (s *codedStreamer[K]) CloseRun(i int)       { s.t.CloseRun(i) }
+func (s *codedStreamer[K]) Consumed(i int) int64 { return s.t.Consumed(i) }
+func (s *codedStreamer[K]) Exhausted() bool      { return s.t.Exhausted() }
+func (s *codedStreamer[K]) NextReady() (K, bool) { return s.t.NextReady() }
+func (s *codedStreamer[K]) Next() (K, bool)      { return s.t.Next() }

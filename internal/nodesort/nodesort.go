@@ -23,6 +23,7 @@ import (
 	"slices"
 	"time"
 
+	"hssort/internal/codes"
 	"hssort/internal/collective"
 	"hssort/internal/comm"
 	"hssort/internal/core"
@@ -35,6 +36,11 @@ import (
 type Options[K any] struct {
 	// Cmp is the three-way key comparator.
 	Cmp func(K, K) int
+	// Code, when set, must be an order-preserving uint64 extractor for
+	// Cmp; the compute hot paths (local sort, partition cuts, the
+	// leaders' combine and node-level merges) then run on the
+	// comparator-free code plane (see core.Options.Code).
+	Code func(K) uint64
 	// CoresPerNode is the node width c; the world size must be a
 	// multiple of c.
 	CoresPerNode int
@@ -111,7 +117,12 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 	stats.Buckets = nodes
 
 	t0 := time.Now()
-	slices.SortFunc(local, opt.Cmp)
+	var localCodes []codes.Code
+	if opt.Code != nil {
+		localCodes = codes.SortByCode(local, opt.Code)
+	} else {
+		slices.SortFunc(local, opt.Cmp)
+	}
 	localSort := time.Since(t0)
 
 	// Node-level splitter determination: all p ranks participate, but
@@ -164,7 +175,12 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 	// Message combining (§6.1): every core hands its n partitioned runs
 	// to the node leader by reference (shared memory), so the network
 	// sees nothing yet.
-	runs := exchange.Partition(local, splitters, opt.Cmp)
+	var runs [][]K
+	if localCodes != nil {
+		runs = exchange.PartitionByCode(local, localCodes, codes.Extract(splitters, opt.Code))
+	} else {
+		runs = exchange.Partition(local, splitters, opt.Cmp)
+	}
 	gathered, err := collective.Gatherv(group, 0, base+tagCombine, runs)
 	if err != nil {
 		return nil, stats, err
@@ -184,7 +200,11 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 			for _, coreRuns := range gathered {
 				perCore = append(perCore, coreRuns[dst])
 			}
-			combined[dst] = merge.KWay(perCore, opt.Cmp)
+			if opt.Code != nil {
+				combined[dst] = merge.KWayByCode(perCore, opt.Code)
+			} else {
+				combined[dst] = merge.KWay(perCore, opt.Cmp)
+			}
 		}
 		var leaders []int
 		for g := 0; g < nodes; g++ {
@@ -195,7 +215,7 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 			return nil, stats, err
 		}
 		nodeData, _, nodeMergeTime, sst, err = exchange.ExchangeMerge(
-			leaderGroup, base+tagNodeEx, combined, exchange.ContiguousOwner(nodes, nodes), opt.Cmp,
+			leaderGroup, base+tagNodeEx, combined, exchange.ContiguousOwner(nodes, nodes), opt.Cmp, opt.Code,
 			exchange.StreamOptions{ChunkKeys: opt.ChunkKeys})
 		if err != nil {
 			return nil, stats, err

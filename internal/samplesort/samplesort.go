@@ -19,6 +19,7 @@ import (
 	"slices"
 	"time"
 
+	"hssort/internal/codes"
 	"hssort/internal/collective"
 	"hssort/internal/comm"
 	"hssort/internal/core"
@@ -53,6 +54,10 @@ func (m Method) String() string {
 type Options[K any] struct {
 	// Cmp is the three-way key comparator.
 	Cmp func(K, K) int
+	// Code, when set, must be an order-preserving uint64 extractor for
+	// Cmp; the compute hot paths (local sort, partition cuts, merges)
+	// then run on the comparator-free code plane (see core.Options.Code).
+	Code func(K) uint64
 	// Epsilon is the target load-imbalance threshold. Default 0.05.
 	Epsilon float64
 	// Buckets is the number of output ranges. Default: world size.
@@ -141,9 +146,14 @@ const (
 // Options. The input slice is consumed.
 func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, error) {
 	var stats core.Stats
-	// Phase 1: local sort.
+	// Phase 1: local sort — radix on the code plane when available.
 	t0 := time.Now()
-	slices.SortFunc(local, opt.Cmp)
+	var localCodes []codes.Code
+	if opt.Code != nil {
+		localCodes = codes.SortByCode(local, opt.Code)
+	} else {
+		slices.SortFunc(local, opt.Cmp)
+	}
 	localSort := time.Since(t0)
 
 	nVec, err := collective.AllReduce(c, opt.BaseTag+tagCount, []int64{int64(len(local))}, collective.SumInt64)
@@ -175,10 +185,15 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 	// Phase 3+4: exchange and merge (identical to HSS).
 	bytes1 := c.Counters().BytesSent
 	t2 := time.Now()
-	runs := exchange.Partition(local, splitters, opt.Cmp)
+	var runs [][]K
+	if localCodes != nil {
+		runs = exchange.PartitionByCode(local, localCodes, codes.Extract(splitters, opt.Code))
+	} else {
+		runs = exchange.Partition(local, splitters, opt.Cmp)
+	}
 	partitionTime := time.Since(t2)
 	out, exchangeTime, mergeTime, sst, err := exchange.ExchangeMerge(
-		c, base+tagExchange, runs, opt.Owner, opt.Cmp,
+		c, base+tagExchange, runs, opt.Owner, opt.Cmp, opt.Code,
 		exchange.StreamOptions{ChunkKeys: opt.ChunkKeys})
 	if err != nil {
 		return nil, stats, err
@@ -237,6 +252,9 @@ func determineSplitters[K any](c *comm.Comm, local []K, n int64, opt Options[K])
 	if err != nil {
 		return nil, 0, err
 	}
+	// The one-time validation that lets exchange.Partition skip its
+	// per-call O(B) re-check.
+	exchange.ValidateSplitters(splitters, opt.Cmp)
 	return splitters, size, nil
 }
 

@@ -1,6 +1,9 @@
 package hssort
 
-import "cmp"
+import (
+	"cmp"
+	"fmt"
+)
 
 // KV pairs a sortable key with an opaque payload that travels with it
 // through the exchange — the paper's experimental records are 8-byte
@@ -24,6 +27,47 @@ func CompareKV[K cmp.Ordered, V any](a, b KV[K, V]) int {
 // semantics. The HistogramSort and Radix algorithms are unavailable for
 // records (they need key-space arithmetic); use the HSS variants or the
 // sample sorts.
+//
+// When the key type admits an order-preserving code (built-in for the
+// integer and float key types, or a key Coder supplied via Config.Coder)
+// and Config.CodePath allows it, the records ride the decorated code
+// plane: the local sort radix-sorts a uint64 code decoration with the
+// payloads in tow, and partition cuts and merges compare codes instead
+// of calling the comparator. Records with equal keys keep their
+// per-bucket multiset either way, but — as with any unstable sort — not
+// a particular relative order.
 func SortKV[K cmp.Ordered, V any](cfg Config, shards [][]KV[K, V]) ([][]KV[K, V], Stats, error) {
-	return SortFunc(cfg, shards, CompareKV[K, V])
+	keyCoder, err := resolveCoder(cfg, coderFor[K]())
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	var code func(KV[K, V]) uint64
+	if keyCoder != nil {
+		if cfg, err = guardNaNKV(cfg, shards); err != nil {
+			return nil, Stats{}, err
+		}
+		code = func(kv KV[K, V]) uint64 { return keyCoder.Encode(kv.Key) }
+	}
+	return sortImpl(cfg, shards, CompareKV[K, V], nil, code)
+}
+
+// guardNaNKV is guardNaN for record keys.
+func guardNaNKV[K cmp.Ordered, V any](cfg Config, shards [][]KV[K, V]) (Config, error) {
+	var zero K
+	if _, isFloat := any(zero).(float64); !isFloat || cfg.CodePath == CodePathOff {
+		return cfg, nil
+	}
+	for _, s := range shards {
+		for _, kv := range s {
+			if kv.Key == kv.Key {
+				continue
+			}
+			if cfg.CodePath == CodePathOn {
+				return cfg, fmt.Errorf("hssort: CodePathOn, but the input contains NaN keys, whose comparator order (NaN first) no order-preserving code realizes")
+			}
+			cfg.CodePath = CodePathOff
+			return cfg, nil
+		}
+	}
+	return cfg, nil
 }

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# bench.sh — run the headline benchmark set and emit the perf-trajectory
+# artifacts (BENCH_PR3.txt, benchstat-compatible raw output, and
+# BENCH_PR3.json). Thin wrapper over `go run ./cmd/bench`; all flags pass
+# through, e.g.:
+#
+#   scripts/bench.sh                       # full set
+#   scripts/bench.sh -benchtime 1x         # smoke (what CI runs)
+#   scripts/bench.sh -count 5 -out /tmp/b  # benchstat-grade repetitions
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec go run ./cmd/bench "$@"
