@@ -7,6 +7,7 @@
 package hssort
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"slices"
@@ -516,5 +517,82 @@ func BenchmarkTransportBackends(b *testing.B) {
 				})
 			}
 		}
+	}
+}
+
+// BenchmarkSorterReuse measures the engine-reuse amortization the
+// service API exists for: repeated small sorts through (a) the one-shot
+// Sort wrapper that builds and tears down the whole simulated machine
+// per call, (b) a long-lived Sorter reusing the transport, worker pool
+// and scratch, and (c) the same Sorter with a prepared Plan so each
+// sort also skips splitter determination (0 histogram rounds —
+// asserted). The comparable output is (a) vs (b) vs (c) per shape.
+func BenchmarkSorterReuse(b *testing.B) {
+	ctx := context.Background()
+	shapes := []struct {
+		name    string
+		p       int
+		perRank int
+		stream  bool
+	}{
+		{"p=32/n=2k", 32, 2000, false},
+		{"p=64/n=1k", 64, 1000, false},
+		{"p=32/n=2k/stream", 32, 2000, true},
+	}
+	for _, sh := range shapes {
+		cfg := Config{Procs: sh.p, Epsilon: 0.1, Seed: 7, Transport: TransportInproc}
+		if sh.stream {
+			cfg.StreamExchange = true
+			cfg.ChunkKeys = 512
+		}
+		shards := dist.Spec{Kind: dist.Gaussian}.Shards(sh.perRank, sh.p, 11)
+
+		b.Run(sh.name+"/one-shot", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := Sort(cfg, cloneShards(shards)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(sh.name+"/engine-reuse", func(b *testing.B) {
+			b.ReportAllocs()
+			s, err := New[int64](cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := s.Sort(ctx, cloneShards(shards)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(sh.name+"/plan-reuse", func(b *testing.B) {
+			b.ReportAllocs()
+			s, err := New[int64](cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			plan, err := s.Plan(ctx, shards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var rounds int
+			for i := 0; i < b.N; i++ {
+				_, stats, err := s.SortWithPlan(ctx, plan, cloneShards(shards))
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = stats.Rounds
+			}
+			if rounds != 0 {
+				b.Fatalf("plan-reuse sort histogrammed: %d rounds", rounds)
+			}
+			b.ReportMetric(float64(rounds), "hist_rounds")
+		})
 	}
 }

@@ -13,9 +13,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"slices"
 	"strings"
 	"time"
@@ -75,6 +77,9 @@ func main() {
 		cpName  = flag.String("codepath", "auto", "compute plane: auto (code plane when available), off (comparator oracle) or on (require the code plane)")
 		stream  = flag.Bool("stream", false, "streaming chunked exchange overlapped with the merge")
 		chunk   = flag.Int("chunk", 0, "streaming-exchange chunk size in keys (implies -stream; default 64Ki)")
+		repeat  = flag.Int("repeat", 1, "sorts to run through one engine (fresh shards each time; demonstrates Sorter reuse)")
+		plan    = flag.Bool("plan", false, "prepare a splitter plan once and sort with SortWithPlan (0 histogram rounds per sort)")
+		stale   = flag.Float64("staleness", 0, "with -plan: bucket-imbalance bound above which a sort re-histograms (0 = trust the plan)")
 		verbose = flag.Bool("v", false, "verify the output is globally sorted")
 	)
 	flag.Parse()
@@ -124,14 +129,60 @@ func main() {
 		CodePath:       codePath,
 		StreamExchange: *stream,
 		ChunkKeys:      *chunk,
+		PlanStaleness:  *stale,
 	}
-	start := time.Now()
-	outs, stats, err := hssort.Sort(cfg, shards)
+
+	// The engine is built once; Ctrl-C cancels the in-flight sort on
+	// every simulated rank through the context.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	engine, err := hssort.New[int64](cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	defer engine.Close()
+
+	var splitterPlan *hssort.Plan[int64]
+	if *plan {
+		planStart := time.Now()
+		splitterPlan, err = engine.Plan(ctx, shards)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("plan: %d splitters in %d rounds (%d sample keys, achieved eps %.4f vs target %.4f) in %v\n\n",
+			len(splitterPlan.Splitters), splitterPlan.Rounds, splitterPlan.TotalSample,
+			splitterPlan.AchievedEpsilon, splitterPlan.Epsilon,
+			time.Since(planStart).Round(time.Millisecond))
+	}
+
+	start := time.Now()
+	var outs [][]int64
+	var stats hssort.Stats
+	runs := max(*repeat, 1)
+	for i := 0; i < runs; i++ {
+		work := shards
+		if i < runs-1 {
+			// Warm-up sorts on fresh shards; the last run sorts (and,
+			// with -v, verifies) the original input.
+			work = dist.Spec{Kind: kind}.Shards(*n, *p, *seed+uint64(i)+1)
+		}
+		if splitterPlan != nil {
+			outs, stats, err = engine.SortWithPlan(ctx, splitterPlan, work)
+		} else {
+			outs, stats, err = engine.Sort(ctx, work)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	wall := time.Since(start)
+	if runs > 1 {
+		fmt.Printf("ran %d sorts through one engine (%v/sort); metrics below describe the last\n\n",
+			runs, (wall / time.Duration(runs)).Round(time.Microsecond))
+	}
 
 	fmt.Printf("%s: sorted %s %s keys on %d simulated processors in %v (%s transport, %s code path)\n\n",
 		alg, tablefmt.Count(float64(stats.N)), *dsName, *p, wall.Round(time.Millisecond), transport, codePath)
@@ -149,6 +200,9 @@ func main() {
 		t.AddRow("peak in-flight exchange data", tablefmt.Bytes(float64(stats.PeakInFlightBytes)))
 	}
 	t.AddRow("histogramming rounds", fmt.Sprintf("%d", stats.Rounds))
+	if splitterPlan != nil {
+		t.AddRow("plan replanned (stale)", fmt.Sprintf("%v", stats.Replanned))
+	}
 	t.AddRow("total sample (probe keys)", fmt.Sprintf("%d", stats.TotalSample))
 	t.AddRow("splitter-phase bytes", tablefmt.Bytes(float64(stats.SplitterBytes)))
 	t.AddRow("exchange-phase bytes", tablefmt.Bytes(float64(stats.ExchangeBytes)))

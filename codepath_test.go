@@ -7,6 +7,7 @@ import (
 	"math/rand/v2"
 	"os"
 	"slices"
+	"strings"
 	"testing"
 
 	"hssort/internal/dist"
@@ -406,16 +407,30 @@ type int64Coder struct{}
 func (int64Coder) Encode(k int64) uint64 { return uint64(k) ^ (1 << 63) }
 func (int64Coder) Decode(c uint64) int64 { return int64(c ^ (1 << 63)) }
 
-// TestCodePathNamesRoundTrip: String and ParseCodePath agree.
+// TestCodePathNamesRoundTrip: String and ParseCodePath agree, the
+// parser is case-insensitive, and its error names the valid values.
 func TestCodePathNamesRoundTrip(t *testing.T) {
 	for _, cp := range []CodePath{CodePathAuto, CodePathOff, CodePathOn} {
 		got, err := ParseCodePath(cp.String())
 		if err != nil || got != cp {
 			t.Errorf("ParseCodePath(%q) = %v, %v", cp.String(), got, err)
 		}
+		name := cp.String()
+		for _, variant := range []string{strings.ToUpper(name), strings.ToUpper(name[:1]) + name[1:]} {
+			got, err := ParseCodePath(variant)
+			if err != nil || got != cp {
+				t.Errorf("ParseCodePath(%q) = %v, %v (want case-insensitive match)", variant, got, err)
+			}
+		}
 	}
-	if _, err := ParseCodePath("abacus"); err == nil {
-		t.Error("unknown code path parsed")
+	_, err := ParseCodePath("abacus")
+	if err == nil {
+		t.Fatal("unknown code path parsed")
+	}
+	for _, want := range []string{"auto", "off", "on"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("parse error %q does not list valid value %q", err, want)
+		}
 	}
 	if CodePath(42).String() != "CodePath(42)" {
 		t.Error("unknown code path name")

@@ -18,35 +18,36 @@
 //
 // out[i] is processor i's partition of the global sorted order;
 // stats.Imbalance ≤ 1+ε with high probability.
+//
+// Services that sort repeatedly should hold a Sorter engine (New,
+// NewFunc, NewKV) instead of calling Sort in a loop: the engine builds
+// the simulated machine once and reuses it every call, threads a
+// context.Context through every phase, and exposes splitter Plans —
+// Plan runs only sampling+histogramming, SortWithPlan applies the
+// stored splitters with zero histogramming rounds (guarded, optionally,
+// by Config.PlanStaleness).
 package hssort
 
 import (
 	"cmp"
+	"context"
 	"fmt"
 	"slices"
+	"strings"
 	"time"
 
-	"hssort/internal/bitonic"
-	"hssort/internal/codes"
 	"hssort/internal/comm"
 	"hssort/internal/core"
-	"hssort/internal/exchange"
-	"hssort/internal/histsort"
 	"hssort/internal/keycoder"
-	"hssort/internal/nodesort"
-	"hssort/internal/overpartition"
-	"hssort/internal/radix"
 	"hssort/internal/rankoracle"
-	"hssort/internal/samplesort"
-	"hssort/internal/tagging"
 )
 
 // Coder is an order-preserving bijection between keys and uint64 code
 // points: compare(a, b) < 0 ⇔ Encode(a) < Encode(b), equal keys have
 // equal codes, and Decode inverts Encode. Supplying one (Config.Coder)
 // — or using a key type for which the library knows one: int64, uint64,
-// int32, uint32, float64 — lets the sort run its compute phases on the
-// comparator-free code plane (see Config.CodePath).
+// int32, uint32, float64, float32 — lets the sort run its compute
+// phases on the comparator-free code plane (see Config.CodePath).
 type Coder[K any] = keycoder.Coder[K]
 
 // Algorithm selects the sorting algorithm.
@@ -155,9 +156,9 @@ func (cp CodePath) String() string {
 	}
 }
 
-// ParseCodePath parses "auto", "off" or "on".
+// ParseCodePath parses "auto", "off" or "on" (case-insensitively).
 func ParseCodePath(s string) (CodePath, error) {
-	switch s {
+	switch strings.ToLower(s) {
 	case "auto":
 		return CodePathAuto, nil
 	case "off":
@@ -165,7 +166,7 @@ func ParseCodePath(s string) (CodePath, error) {
 	case "on":
 		return CodePathOn, nil
 	default:
-		return 0, fmt.Errorf("hssort: unknown code path %q (want auto, off or on)", s)
+		return 0, fmt.Errorf("hssort: unknown code path %q (valid values: auto, off, on)", s)
 	}
 }
 
@@ -230,6 +231,15 @@ type Config struct {
 	// ChunkKeys is the streaming-exchange chunk size in keys; setting it
 	// implies StreamExchange. Default 64Ki when streaming.
 	ChunkKeys int
+	// PlanStaleness arms the staleness guard of plan-reuse sorts
+	// (Sorter.SortWithPlan): after partitioning by a stored plan's
+	// splitters, the ranks measure the bucket imbalance max·B/N those
+	// splitters would produce (one B-length reduction) and re-histogram
+	// when it exceeds this bound — Stats.Replanned reports it. The
+	// value is directly comparable to the (1+ε) balance target: a
+	// natural setting is a slack multiple such as 1.5·(1+ε). 0 (the
+	// default) disables the guard and trusts the plan unconditionally.
+	PlanStaleness float64
 	// Seed makes randomized phases reproducible. Default 1.
 	Seed uint64
 	// Timeout aborts a wedged run (protocol-bug safety net). Default
@@ -267,6 +277,10 @@ type Stats struct {
 	// TotalMsgs and TotalBytes are whole-run message and byte counts
 	// (§6.1's message-combining metric).
 	TotalMsgs, TotalBytes int64
+	// Replanned reports that a plan-reuse sort (Sorter.SortWithPlan)
+	// found its stored splitters stale under Config.PlanStaleness and
+	// re-histogrammed; Rounds then counts the replan's rounds.
+	Replanned bool
 	// Imbalance is max load / average load after sorting (§1).
 	Imbalance float64
 }
@@ -291,6 +305,7 @@ func fromCore(st core.Stats) Stats {
 		PeakInFlightBytes: st.PeakInFlight,
 		SplitterBytes:     st.SplitterBytes,
 		ExchangeBytes:     st.ExchangeBytes,
+		Replanned:         st.Replanned,
 		Imbalance:         st.Imbalance,
 	}
 }
@@ -299,59 +314,39 @@ func fromCore(st core.Stats) Stats {
 // Config.Procs simulated processors and returns the per-processor sorted
 // partitions. For every algorithm except RoundRobinBuckets placements,
 // the concatenation out[0] ‖ out[1] ‖ … is the sorted input.
+//
+// Sort builds the whole simulated machine for one call and tears it
+// down again. A service sorting repeatedly should create a Sorter
+// (New) once instead: the engine reuses the transport, worker
+// goroutines and scratch across calls, and unlocks the
+// prepare-once/sort-many Plan API.
 func Sort[K cmp.Ordered](cfg Config, shards [][]K) ([][]K, Stats, error) {
-	coder, err := resolveCoder(cfg, coderFor[K]())
+	if cfg.Procs == 0 {
+		cfg.Procs = len(shards)
+	}
+	s, err := New[K](cfg)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	if coder != nil {
-		if cfg, err = guardNaN(cfg, shards, func(k K) bool { return k != k }); err != nil {
-			return nil, Stats{}, err
-		}
-	}
-	return sortImpl(cfg, shards, cmp.Compare[K], coder, nil)
-}
-
-// guardNaN handles the one ordered value no order-preserving code can
-// carry: float64 NaN, which cmp.Compare sorts below everything while
-// the IEEE encoding scatters NaN payloads to both extremes. When the
-// keys are float64 and a NaN is present, CodePathAuto falls back to the
-// comparator plane (identical behavior to pre-code-plane releases) and
-// CodePathOn fails loudly. isNaN must report k != k; other key types
-// are never scanned.
-func guardNaN[K any](cfg Config, shards [][]K, isNaN func(K) bool) (Config, error) {
-	var zero K
-	if _, isFloat := any(zero).(float64); !isFloat || cfg.CodePath == CodePathOff {
-		return cfg, nil
-	}
-	for _, s := range shards {
-		for _, k := range s {
-			if !isNaN(k) {
-				continue
-			}
-			if cfg.CodePath == CodePathOn {
-				return cfg, fmt.Errorf("hssort: CodePathOn, but the input contains NaN keys, whose comparator order (NaN first) no order-preserving code realizes")
-			}
-			cfg.CodePath = CodePathOff
-			return cfg, nil
-		}
-	}
-	return cfg, nil
+	defer s.Close()
+	return s.Sort(context.Background(), shards)
 }
 
 // SortFunc is Sort with an explicit comparator, for key types without a
 // built-in order. The HistogramSort and Radix algorithms additionally
 // need key-space arithmetic and are unavailable through SortFunc unless
-// Config.Coder supplies it.
+// Config.Coder supplies it. Like Sort, it is a one-shot wrapper over a
+// throwaway engine; see NewFunc for the reusable form.
 func SortFunc[K any](cfg Config, shards [][]K, compare func(K, K) int) ([][]K, Stats, error) {
-	if compare == nil {
-		return nil, Stats{}, fmt.Errorf("hssort: comparator is required")
+	if cfg.Procs == 0 {
+		cfg.Procs = len(shards)
 	}
-	coder, err := resolveCoder[K](cfg, nil)
+	s, err := NewFunc(cfg, compare)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	return sortImpl(cfg, shards, compare, coder, nil)
+	defer s.Close()
+	return s.Sort(context.Background(), shards)
 }
 
 // resolveCoder merges the built-in coder for the key type with an
@@ -407,255 +402,10 @@ func coderFor[K any]() keycoder.Coder[K] {
 		return any(keycoder.Uint32{}).(keycoder.Coder[K])
 	case float64:
 		return any(keycoder.Float64{}).(keycoder.Coder[K])
+	case float32:
+		return any(keycoder.Float32{}).(keycoder.Coder[K])
 	default:
 		return nil
-	}
-}
-
-func sortImpl[K any](cfg Config, shards [][]K, compare func(K, K) int, coder keycoder.Coder[K], code func(K) uint64) ([][]K, Stats, error) {
-	if cfg.Procs == 0 {
-		cfg.Procs = len(shards)
-	}
-	if cfg.Procs != len(shards) {
-		return nil, Stats{}, fmt.Errorf("hssort: Config.Procs = %d but %d shards supplied", cfg.Procs, len(shards))
-	}
-	if cfg.Procs < 1 {
-		return nil, Stats{}, fmt.Errorf("hssort: at least one shard is required")
-	}
-	if cfg.Timeout == 0 {
-		cfg.Timeout = 10 * time.Minute
-	}
-	if cfg.TagDuplicates {
-		switch cfg.Algorithm {
-		case HSS, HSSOneRound, HSSTheoretical, SampleSortRegular, SampleSortRandom, NodeHSS:
-		default:
-			return nil, Stats{}, fmt.Errorf("hssort: TagDuplicates is not supported by %v", cfg.Algorithm)
-		}
-		if cfg.CodePath == CodePathOn {
-			return nil, Stats{}, fmt.Errorf("hssort: CodePathOn is incompatible with TagDuplicates (tagged records carry no order-preserving 64-bit code)")
-		}
-		return sortTagged(cfg, shards, compare)
-	}
-	// Compute-plane selection: the bijective plane when the whole
-	// pipeline can run in code space, the decorated record plane when
-	// only an extractor is available, the comparator plane otherwise.
-	useBijective := cfg.CodePath != CodePathOff && coder != nil && bijectiveCodePlane(cfg.Algorithm)
-	useRecord := cfg.CodePath != CodePathOff && !useBijective && code != nil && recordCodePlane(cfg.Algorithm)
-	if cfg.CodePath == CodePathOn && !useBijective && !useRecord {
-		if coder == nil && code == nil {
-			return nil, Stats{}, fmt.Errorf("hssort: CodePathOn, but no order-preserving coder is known for the key type (set Config.Coder)")
-		}
-		return nil, Stats{}, fmt.Errorf("hssort: CodePathOn, but %v has no code-plane support", cfg.Algorithm)
-	}
-	if useBijective {
-		return sortCoded(cfg, shards, coder)
-	}
-	if !useRecord {
-		code = nil
-	}
-	return runWorld(cfg, shards, compare, coder, code)
-}
-
-// runWorld executes the selected algorithm over a fresh simulated world.
-func runWorld[K any](cfg Config, shards [][]K, compare func(K, K) int, coder keycoder.Coder[K], code func(K) uint64) ([][]K, Stats, error) {
-	outs := make([][]K, cfg.Procs)
-	var stats Stats
-	tr, err := cfg.Transport.newTransport(cfg.Procs)
-	if err != nil {
-		return nil, Stats{}, err
-	}
-	w := comm.NewWorld(cfg.Procs, comm.WithTimeout(cfg.Timeout), comm.WithTransport(tr))
-	err = w.Run(func(c *comm.Comm) error {
-		out, st, err := dispatch(c, shards[c.Rank()], cfg, compare, coder, code)
-		if err != nil {
-			return err
-		}
-		outs[c.Rank()] = out
-		if c.Rank() == 0 {
-			stats = fromCore(st)
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, Stats{}, err
-	}
-	total := w.TotalCounters()
-	stats.TotalMsgs = total.MsgsSent
-	stats.TotalBytes = total.BytesSent
-	return outs, stats, nil
-}
-
-// sortCoded runs the bijective code plane: each simulated rank encodes
-// its shard once into order-preserving code points, the full pipeline —
-// sampling protocol, partition, exchange (the codes themselves travel in
-// the messages), merge — runs on raw uint64s with every compute hot path
-// specialized, and each rank decodes its merged partition once at the
-// end. Encoding and decoding happen inside the ranks, in parallel, like
-// every other phase. The coder preserves key order exactly and the whole
-// protocol is a function of key order and seeds only, so the decoded
-// output is rank-identical to the comparator plane's (Config.CodePath =
-// CodePathOff); the input shards are left unmodified.
-func sortCoded[K any](cfg Config, shards [][]K, coder keycoder.Coder[K]) ([][]K, Stats, error) {
-	outs := make([][]K, cfg.Procs)
-	var stats Stats
-	tr, err := cfg.Transport.newTransport(cfg.Procs)
-	if err != nil {
-		return nil, Stats{}, err
-	}
-	encTime := make([]time.Duration, cfg.Procs)
-	decTime := make([]time.Duration, cfg.Procs)
-	w := comm.NewWorld(cfg.Procs, comm.WithTimeout(cfg.Timeout), comm.WithTransport(tr))
-	err = w.Run(func(c *comm.Comm) error {
-		t0 := time.Now()
-		enc := codes.EncodeSlice(coder, shards[c.Rank()])
-		encTime[c.Rank()] = time.Since(t0)
-		out, st, err := dispatch(c, enc, cfg, codes.Compare, keycoder.Coder[codes.Code](codes.Identity{}), codes.ExtractCode)
-		if err != nil {
-			return err
-		}
-		t1 := time.Now()
-		outs[c.Rank()] = codes.DecodeSlice(coder, out)
-		decTime[c.Rank()] = time.Since(t1)
-		if c.Rank() == 0 {
-			stats = fromCore(st)
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, Stats{}, err
-	}
-	// The code plane's O(n) encode and decode are work the comparator
-	// plane does not do; charge them to the phases they bracket —
-	// encode to the local sort, decode to the merge — so cross-plane
-	// phase breakdowns stay honest. (Adding per-phase maxima is a
-	// slight upper bound on the true combined critical path.)
-	stats.LocalSort += slices.Max(encTime)
-	stats.Merge += slices.Max(decTime)
-	total := w.TotalCounters()
-	stats.TotalMsgs = total.MsgsSent
-	stats.TotalBytes = total.BytesSent
-	return outs, stats, nil
-}
-
-// sortTagged runs the §4.3 duplicate-handling path: wrap, sort tagged,
-// unwrap. Tagged records order by (key, origin), which no 64-bit code
-// can carry, so this path always runs on the comparator plane.
-func sortTagged[K any](cfg Config, shards [][]K, compare func(K, K) int) ([][]K, Stats, error) {
-	tagged := make([][]tagging.Tagged[K], len(shards))
-	for r, s := range shards {
-		tagged[r] = tagging.Wrap(s, r)
-	}
-	outs, stats, err := runWorld(cfg, tagged, tagging.Cmp(compare), nil, nil)
-	if err != nil {
-		return nil, stats, err
-	}
-	plain := make([][]K, len(outs))
-	for r, o := range outs {
-		plain[r] = tagging.Unwrap(o)
-	}
-	return plain, stats, nil
-}
-
-// dispatch routes one rank's work to the selected algorithm. code, when
-// non-nil, is the order-preserving extractor that puts the algorithm's
-// compute hot paths on the code plane (on the bijective plane K is
-// already the code-point type and code is the identity).
-func dispatch[K any](c *comm.Comm, local []K, cfg Config, compare func(K, K) int, coder keycoder.Coder[K], code func(K) uint64) ([]K, core.Stats, error) {
-	buckets := cfg.Buckets
-	var owner func(int) int
-	if cfg.RoundRobinBuckets {
-		owner = exchange.RoundRobinOwner(cfg.Procs)
-	}
-	chunkKeys := cfg.ChunkKeys
-	if chunkKeys == 0 && cfg.StreamExchange {
-		chunkKeys = exchange.DefaultChunkKeys
-	}
-	if chunkKeys != 0 {
-		switch cfg.Algorithm {
-		case HSS, HSSOneRound, HSSTheoretical, SampleSortRegular, SampleSortRandom, HistogramSort, NodeHSS:
-		default:
-			return nil, core.Stats{}, fmt.Errorf("hssort: StreamExchange is not supported by %v", cfg.Algorithm)
-		}
-	}
-	switch cfg.Algorithm {
-	case HSS, HSSOneRound, HSSTheoretical:
-		sched := core.FixedOversampling
-		switch cfg.Algorithm {
-		case HSSOneRound:
-			sched = core.OneRoundScanning
-		case HSSTheoretical:
-			sched = core.Theoretical
-		}
-		return core.Sort(c, local, core.Options[K]{
-			Cmp:              compare,
-			Code:             code,
-			Epsilon:          cfg.Epsilon,
-			Buckets:          buckets,
-			Owner:            owner,
-			Schedule:         sched,
-			Rounds:           cfg.Rounds,
-			OversampleFactor: cfg.OversampleFactor,
-			Seed:             cfg.Seed,
-			Approx:           cfg.Approx,
-			ChunkKeys:        chunkKeys,
-		})
-	case SampleSortRegular, SampleSortRandom:
-		method := samplesort.Regular
-		if cfg.Algorithm == SampleSortRandom {
-			method = samplesort.Random
-		}
-		return samplesort.Sort(c, local, samplesort.Options[K]{
-			Cmp:           compare,
-			Code:          code,
-			Epsilon:       cfg.Epsilon,
-			Buckets:       buckets,
-			Owner:         owner,
-			Method:        method,
-			Oversample:    int(cfg.OversampleFactor),
-			MaxOversample: cfg.MaxOversample,
-			Seed:          cfg.Seed,
-			ChunkKeys:     chunkKeys,
-		})
-	case HistogramSort:
-		if coder == nil {
-			return nil, core.Stats{}, fmt.Errorf("hssort: %v requires an integer or float key type", cfg.Algorithm)
-		}
-		return histsort.Sort(c, local, histsort.Options[K]{
-			Cmp:       compare,
-			Coder:     coder,
-			Code:      code,
-			Epsilon:   cfg.Epsilon,
-			Buckets:   buckets,
-			Owner:     owner,
-			ChunkKeys: chunkKeys,
-		})
-	case Bitonic:
-		return bitonic.Sort(c, local, bitonic.Options[K]{Cmp: compare})
-	case Radix:
-		if coder == nil {
-			return nil, core.Stats{}, fmt.Errorf("hssort: %v requires an integer or float key type", cfg.Algorithm)
-		}
-		return radix.Sort(c, local, radix.Options[K]{Cmp: compare, Coder: coder, Code: code})
-	case NodeHSS:
-		sched := core.FixedOversampling
-		return nodesort.Sort(c, local, nodesort.Options[K]{
-			Cmp:              compare,
-			Code:             code,
-			CoresPerNode:     cfg.CoresPerNode,
-			Epsilon:          cfg.Epsilon,
-			Schedule:         sched,
-			Seed:             cfg.Seed,
-			OversampleFactor: cfg.OversampleFactor,
-			ChunkKeys:        chunkKeys,
-		})
-	case OverPartition:
-		return overpartition.Sort(c, local, overpartition.Options[K]{
-			Cmp:       compare,
-			OverRatio: cfg.Rounds, // reuse Rounds as k; 0 → log p
-			Seed:      cfg.Seed,
-		})
-	default:
-		return nil, core.Stats{}, fmt.Errorf("hssort: unknown algorithm %v", cfg.Algorithm)
 	}
 }
 

@@ -77,6 +77,24 @@ func EncodeSlice[K any](coder keycoder.Coder[K], keys []K) []Code {
 	return out
 }
 
+// EncodeInto is EncodeSlice writing into dst's storage when its capacity
+// suffices (allocating otherwise) — the engine-reuse variant that lets a
+// long-lived sorter keep one encode buffer per rank. The identity alias
+// of the pure plane still applies; dst is then untouched.
+func EncodeInto[K any](coder keycoder.Coder[K], keys []K, dst []Code) []Code {
+	if cs, ok := any(keys).([]Code); ok {
+		return cs
+	}
+	if cap(dst) < len(keys) {
+		dst = make([]Code, len(keys))
+	}
+	dst = dst[:len(keys)]
+	for i, k := range keys {
+		dst[i] = Code(coder.Encode(k))
+	}
+	return dst
+}
+
 // DecodeSlice inverts EncodeSlice. When the requested key type is Code
 // itself it returns the input aliased.
 func DecodeSlice[K any](coder keycoder.Coder[K], cs []Code) []K {

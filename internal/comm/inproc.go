@@ -223,6 +223,23 @@ func (t *InprocTransport) Err() error {
 	return nil
 }
 
+// Reset returns the transport to its freshly constructed state: queued
+// messages are discarded, the abort latch clears and the barrier rearms.
+// Only call while no ranks are running.
+func (t *InprocTransport) Reset() {
+	for i := range t.boxes {
+		b := &t.boxes[i]
+		b.mu.Lock()
+		for s := range b.bySrc {
+			b.bySrc[s] = nil
+		}
+		b.waiters = b.waiters[:0]
+		b.mu.Unlock()
+	}
+	t.abortErr.Store(nil)
+	t.bar.reset()
+}
+
 // Counters returns the zero Counters: this backend does no accounting.
 func (t *InprocTransport) Counters(int) Counters { return Counters{} }
 

@@ -1,0 +1,189 @@
+package comm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Pool is a persistent SPMD worker world: p rank goroutines and one
+// transport constructed once, then driven through any number of Run
+// calls. It is the engine-reuse counterpart of World.Run — a World
+// spawns p fresh goroutines and is married to one transport lifetime,
+// while a Pool parks its workers between runs and Resets the transport
+// so the next run starts from a clean protocol state even after an
+// abort or cancellation.
+//
+// Run is additionally context-aware: cancellation (or deadline expiry)
+// flows into the transport's abort machinery, so every rank blocked in
+// Send/Recv/Barrier unblocks with an error satisfying
+// errors.Is(err, ctx.Err()) — the cooperative cancellation path for
+// long-lived sorting services.
+//
+// A Pool serializes runs: Run holds an internal lock for its duration,
+// so concurrent Run calls execute one after another. Close stops the
+// workers; it is the caller's lifecycle hook (hssort.Sorter.Close).
+type Pool struct {
+	t       Transport
+	timeout time.Duration
+
+	mu      sync.Mutex // serializes Run; guards closed
+	closed  bool
+	jobs    []chan func(c *Comm) error
+	results chan rankResult
+	wg      sync.WaitGroup
+
+	// abortMu fences the asynchronous abort callbacks (ctx cancellation,
+	// watchdog): active holds the generation of the run in flight, 0
+	// when idle. A callback whose generation no longer matches is stale
+	// — its run already finished — and must not abort the transport,
+	// which by then may have been Reset for the next run.
+	abortMu sync.Mutex
+	gen     uint64
+	active  uint64
+}
+
+// rankResult is one worker's outcome for the current run.
+type rankResult struct {
+	rank int
+	err  error
+}
+
+// NewPool creates a Pool of p rank workers. It accepts the same options
+// as NewWorld (WithTransport, WithTimeout, WithInterceptor) and panics
+// under the same conditions.
+func NewPool(p int, opts ...Option) *Pool {
+	w := NewWorld(p, opts...)
+	pl := &Pool{
+		t:       w.t,
+		timeout: w.timeout,
+		jobs:    make([]chan func(c *Comm) error, p),
+		results: make(chan rankResult, p),
+	}
+	for r := 0; r < p; r++ {
+		pl.jobs[r] = make(chan func(c *Comm) error)
+		pl.wg.Add(1)
+		go func(rank int) {
+			defer pl.wg.Done()
+			c := &Comm{w: w, rank: rank}
+			for fn := range pl.jobs[rank] {
+				pl.results <- rankResult{rank, runRank(c, fn)}
+			}
+		}(r)
+	}
+	return pl
+}
+
+// runRank executes fn with the same panic containment as World.Run: a
+// panicking rank aborts the whole transport (unblocking its peers) and
+// reports the panic as its error, leaving the worker goroutine alive
+// for the next run.
+func runRank(c *Comm, fn func(c *Comm) error) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("comm: rank %d panicked: %v", c.rank, rec)
+			c.w.Abort(err)
+		}
+	}()
+	return fn(c)
+}
+
+// Size returns the number of ranks.
+func (pl *Pool) Size() int { return len(pl.jobs) }
+
+// Transport returns the backend the Pool runs over. Read counters only
+// between runs.
+func (pl *Pool) Transport() Transport { return pl.t }
+
+// ErrPoolClosed is returned by Run after Close.
+var ErrPoolClosed = errors.New("comm: pool closed")
+
+// Run executes fn concurrently on every rank and waits for all to
+// finish, returning the joined per-rank errors (nil if all succeeded).
+//
+// The transport is Reset before the ranks start, so each run begins
+// with empty queues, a clean abort latch and zeroed counters — counters
+// read between runs therefore describe exactly the last run.
+//
+// ctx cancellation aborts the transport with an error wrapping both
+// ErrAborted and ctx's cause, unblocking every rank; ranks that were
+// inside communication calls return errors satisfying
+// errors.Is(err, context.Cause(ctx)). The Pool's timeout option (the
+// wedged-run watchdog) applies per run, independent of ctx.
+func (pl *Pool) Run(ctx context.Context, fn func(c *Comm) error) error {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if pl.closed {
+		return ErrPoolClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	pl.t.Reset()
+	pl.abortMu.Lock()
+	pl.gen++
+	gen := pl.gen
+	pl.active = gen
+	pl.abortMu.Unlock()
+	defer func() {
+		pl.abortMu.Lock()
+		pl.active = 0
+		pl.abortMu.Unlock()
+	}()
+	// abortRun aborts the transport only while this run is still the
+	// active one: AfterFunc callbacks can outlive their run (stop()
+	// does not wait for a callback already started), and a stale abort
+	// landing after the next run's Reset would poison that run.
+	abortRun := func(err error) {
+		pl.abortMu.Lock()
+		defer pl.abortMu.Unlock()
+		if pl.active == gen {
+			pl.t.Abort(err)
+		}
+	}
+	stop := context.AfterFunc(ctx, func() {
+		// Wrap both ctx.Err() and the cause: a context cancelled with a
+		// custom cause (context.WithCancelCause) must still satisfy
+		// errors.Is(err, ctx.Err()) on every rank — the engine contract
+		// — while keeping the caller's cause visible.
+		err := ctx.Err()
+		if cause := context.Cause(ctx); !errors.Is(err, cause) {
+			err = fmt.Errorf("%w: %w", err, cause)
+		}
+		abortRun(fmt.Errorf("%w: %w", ErrAborted, err))
+	})
+	defer stop()
+	if pl.timeout > 0 {
+		timer := time.AfterFunc(pl.timeout, func() {
+			abortRun(fmt.Errorf("%w: timeout after %v", ErrAborted, pl.timeout))
+		})
+		defer timer.Stop()
+	}
+	p := len(pl.jobs)
+	for r := 0; r < p; r++ {
+		pl.jobs[r] <- fn
+	}
+	errs := make([]error, p)
+	for i := 0; i < p; i++ {
+		res := <-pl.results
+		errs[res.rank] = res.err
+	}
+	return errors.Join(errs...)
+}
+
+// Close stops the worker goroutines and waits for them to exit. It is
+// idempotent; Run calls after Close return ErrPoolClosed.
+func (pl *Pool) Close() {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if pl.closed {
+		return
+	}
+	pl.closed = true
+	for _, ch := range pl.jobs {
+		close(ch)
+	}
+	pl.wg.Wait()
+}

@@ -1,0 +1,215 @@
+package comm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// pool builds a Pool over a fresh transport of the given backend.
+func pool(mk func(p int) Transport, p int) *Pool {
+	return NewPool(p, WithTransport(mk(p)), WithTimeout(10*time.Second))
+}
+
+// TestPoolReuse: one Pool serves many runs, each starting from a clean
+// protocol state with per-run counters.
+func TestPoolReuse(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, mk func(p int) Transport) {
+		const p, runs = 4, 5
+		pl := pool(mk, p)
+		defer pl.Close()
+		for run := 0; run < runs; run++ {
+			var sum atomic.Int64
+			err := pl.Run(context.Background(), func(c *Comm) error {
+				next := (c.Rank() + 1) % p
+				if err := c.Send(next, 7, c.Rank()+run, 8); err != nil {
+					return err
+				}
+				m, err := c.Recv((c.Rank()-1+p)%p, 7)
+				if err != nil {
+					return err
+				}
+				sum.Add(int64(m.Payload.(int)))
+				return c.Barrier()
+			})
+			if err != nil {
+				t.Fatalf("run %d: %v", run, err)
+			}
+			want := int64(p*(p-1)/2 + p*run)
+			if sum.Load() != want {
+				t.Fatalf("run %d: sum = %d, want %d", run, sum.Load(), want)
+			}
+			if _, ok := pl.Transport().(*SimTransport); ok {
+				total := pl.Transport().TotalCounters()
+				if total.MsgsSent != p {
+					t.Fatalf("run %d: MsgsSent = %d, want %d (counters must reset per run)", run, total.MsgsSent, p)
+				}
+			}
+		}
+	})
+}
+
+// TestPoolRecoversAfterPanic: a rank panic aborts the run (peers unblock
+// with ErrAborted) and the next run on the same Pool succeeds.
+func TestPoolRecoversAfterPanic(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, mk func(p int) Transport) {
+		const p = 3
+		pl := pool(mk, p)
+		defer pl.Close()
+		err := pl.Run(context.Background(), func(c *Comm) error {
+			if c.Rank() == 1 {
+				panic("boom")
+			}
+			_, err := c.Recv(1, 9) // never sent: unblocked by the abort
+			return err
+		})
+		if err == nil || !strings.Contains(err.Error(), "rank 1 panicked") {
+			t.Fatalf("aborted run error = %v, want the rank-1 panic", err)
+		}
+		if err := pl.Run(context.Background(), func(c *Comm) error { return c.Barrier() }); err != nil {
+			t.Fatalf("run after panic: %v", err)
+		}
+	})
+}
+
+// TestPoolContextCancel: cancelling the context mid-run unblocks every
+// rank with an error satisfying errors.Is(err, context.Canceled), and
+// the Pool remains usable.
+func TestPoolContextCancel(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, mk func(p int) Transport) {
+		const p = 4
+		pl := pool(mk, p)
+		defer pl.Close()
+		ctx, cancel := context.WithCancel(context.Background())
+		rankErrs := make([]error, p)
+		err := pl.Run(ctx, func(c *Comm) error {
+			if c.Rank() == 0 {
+				time.Sleep(5 * time.Millisecond) // let peers park in Recv
+				cancel()
+			}
+			_, err := c.Recv(AnySource, 11) // nothing is ever sent
+			rankErrs[c.Rank()] = err
+			return err
+		})
+		if err == nil {
+			t.Fatal("cancelled run returned nil")
+		}
+		for r, re := range rankErrs {
+			if !errors.Is(re, context.Canceled) {
+				t.Fatalf("rank %d error = %v, want context.Canceled", r, re)
+			}
+			if !errors.Is(re, ErrAborted) {
+				t.Fatalf("rank %d error = %v, want ErrAborted too", r, re)
+			}
+		}
+		if err := pl.Run(context.Background(), func(c *Comm) error { return c.Barrier() }); err != nil {
+			t.Fatalf("run after cancel: %v", err)
+		}
+	})
+}
+
+// TestPoolPreCancelled: an already-cancelled context fails fast without
+// dispatching any rank work.
+func TestPoolPreCancelled(t *testing.T) {
+	pl := NewPool(2)
+	defer pl.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Bool
+	err := pl.Run(ctx, func(c *Comm) error { ran.Store(true); return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() {
+		t.Fatal("rank function ran despite pre-cancelled context")
+	}
+}
+
+// TestPoolDeadline: a context deadline behaves like cancellation, with
+// errors.Is(err, context.DeadlineExceeded) on blocked ranks.
+func TestPoolDeadline(t *testing.T) {
+	pl := NewPool(2)
+	defer pl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	err := pl.Run(ctx, func(c *Comm) error {
+		_, err := c.Recv(AnySource, 3)
+		return err
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestPoolClose: Close joins the workers (no goroutine leak) and
+// subsequent runs fail with ErrPoolClosed.
+func TestPoolClose(t *testing.T) {
+	before := runtime.NumGoroutine()
+	pl := NewPool(8)
+	if err := pl.Run(context.Background(), func(c *Comm) error { return c.Barrier() }); err != nil {
+		t.Fatal(err)
+	}
+	pl.Close()
+	pl.Close() // idempotent
+	if err := pl.Run(context.Background(), func(c *Comm) error { return nil }); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("run after close = %v, want ErrPoolClosed", err)
+	}
+	waitForGoroutines(t, before)
+}
+
+// waitForGoroutines polls until the goroutine count returns to (at most)
+// the given baseline — the world-join assertion used instead of goleak.
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:n])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestTransportReset is the Reset leg of the conformance suite: after
+// queued traffic and an abort, Reset restores a usable transport with
+// empty queues, a clean latch, a rearmed barrier and zeroed counters.
+func TestTransportReset(t *testing.T) {
+	forEachTransport(t, func(t *testing.T, mk func(p int) Transport) {
+		const p = 3
+		tr := mk(p)
+		// Leave stale traffic queued and latch an abort.
+		if err := tr.Send(0, 1, 5, "stale", 16); err != nil {
+			t.Fatal(err)
+		}
+		tr.Abort(fmt.Errorf("synthetic"))
+		if tr.Err() == nil {
+			t.Fatal("abort did not latch")
+		}
+		tr.Reset()
+		if err := tr.Err(); err != nil {
+			t.Fatalf("Err after Reset = %v", err)
+		}
+		if _, ok, err := tr.TryRecv(1, 0, 5); err != nil || ok {
+			t.Fatalf("stale message survived Reset (ok=%v, err=%v)", ok, err)
+		}
+		if got := tr.TotalCounters(); got != (Counters{}) {
+			t.Fatalf("counters survived Reset: %+v", got)
+		}
+		// The barrier must work again.
+		w := NewWorld(p, WithTransport(tr), WithTimeout(5*time.Second))
+		if err := w.Run(func(c *Comm) error { return c.Barrier() }); err != nil {
+			t.Fatalf("barrier after Reset: %v", err)
+		}
+	})
+}

@@ -142,6 +142,20 @@ func (t *SimTransport) Abort(err error) {
 // Err returns the abort error, or nil while the transport is live.
 func (t *SimTransport) Err() error { return t.abort.get() }
 
+// Reset returns the transport to its freshly constructed state: queued
+// messages are discarded, the abort latch clears, the barrier rearms and
+// counters zero. Only call while no ranks are running.
+func (t *SimTransport) Reset() {
+	for _, mb := range t.boxes {
+		mb.mu.Lock()
+		mb.queue = nil
+		mb.mu.Unlock()
+	}
+	t.abort.reset()
+	t.bar.reset()
+	t.ResetCounters()
+}
+
 // Counters returns a copy of rank r's traffic counters. Call after Run
 // returns (or from rank r itself) to avoid racing the owning goroutine.
 func (t *SimTransport) Counters(r int) Counters { return t.counters[r] }

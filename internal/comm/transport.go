@@ -51,6 +51,12 @@ type Transport interface {
 	Abort(err error)
 	// Err returns the abort error, or nil while the transport is live.
 	Err() error
+	// Reset returns the transport to its freshly constructed state:
+	// queued messages are discarded, the abort latch clears, the barrier
+	// rearms and counters zero. Only call while no ranks are running —
+	// it is the hook that lets a long-lived engine (comm.Pool) reuse one
+	// transport across sorts, including after an abort or cancellation.
+	Reset()
 
 	// Counters returns rank r's traffic counters: the byte-accounting
 	// hook behind the paper's communication-volume measurements.
@@ -87,6 +93,13 @@ func (a *abortState) get() error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.err
+}
+
+// reset clears the latch so the transport can be reused.
+func (a *abortState) reset() {
+	a.mu.Lock()
+	a.err = nil
+	a.mu.Unlock()
 }
 
 // cyclicBarrier is a reusable p-party barrier that unblocks early when
@@ -134,6 +147,16 @@ func (b *cyclicBarrier) await() error {
 // wake unblocks all waiters so they can observe an abort.
 func (b *cyclicBarrier) wake() {
 	b.mu.Lock()
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// reset rearms the barrier after an abort. Only call while no parties
+// are waiting (all rank goroutines joined).
+func (b *cyclicBarrier) reset() {
+	b.mu.Lock()
+	b.arrived = 0
+	b.gen++
 	b.cond.Broadcast()
 	b.mu.Unlock()
 }

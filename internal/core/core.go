@@ -122,6 +122,25 @@ type Options[K any] struct {
 	// arrive, overlapping the exchange tail (§6.2) with bounded peak
 	// memory. 0 (the default) selects the materializing exchange.
 	ChunkKeys int
+	// Splitters, when non-nil, injects pre-determined splitters (a
+	// stored plan) and skips splitter determination entirely: the sort
+	// goes straight to partition → exchange → merge with Stats.Rounds =
+	// 0. The slice must hold Buckets-1 keys in non-decreasing cmp order
+	// — Sort validates once and panics otherwise, mirroring the
+	// validate-at-determination contract of exchange.Partition. Every
+	// rank must inject the same splitters.
+	Splitters []K
+	// StaleBound, with injected Splitters, arms the staleness guard:
+	// after partitioning, the ranks all-reduce the per-bucket loads and,
+	// if the observed bucket imbalance max·B/N exceeds StaleBound, throw
+	// the stale plan away and re-histogram (Stats.Replanned reports it).
+	// The guard costs one B-length reduction per sort. 0 disables it. A
+	// natural setting is (1+ε)·slack, e.g. 1.5·(1+ε).
+	StaleBound float64
+	// Scratch, when non-nil, is this rank's reusable exchange state; a
+	// long-lived engine passes the same Scratch on every call (see
+	// exchange.Scratch). Each rank needs its own.
+	Scratch *exchange.Scratch[K]
 	// BaseTag is the start of the tag range (12 tags) this sort uses on
 	// the endpoint. Default 1000.
 	BaseTag comm.Tag
@@ -193,6 +212,12 @@ func (o Options[K]) withDefaults(p int) (Options[K], error) {
 	if o.ChunkKeys < 0 {
 		return o, fmt.Errorf("core: ChunkKeys %d < 0", o.ChunkKeys)
 	}
+	if o.StaleBound < 0 {
+		return o, fmt.Errorf("core: StaleBound %v < 0", o.StaleBound)
+	}
+	if o.Splitters != nil && len(o.Splitters) != o.Buckets-1 {
+		return o, fmt.Errorf("core: %d injected splitters for %d buckets (want %d)", len(o.Splitters), o.Buckets, o.Buckets-1)
+	}
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
@@ -219,6 +244,7 @@ const (
 	tagProbes   = 4 // probe broadcast
 	tagRanks    = 5 // histogram reduction
 	tagExchange = 6 // bucket exchange
+	tagStale    = 7 // staleness-guard bucket-load all-reduce
 	tagStats    = 9 // stats all-reduce (+1)
 	// TagSpan is the number of consecutive tags a Sort call occupies
 	// starting at BaseTag.
@@ -253,6 +279,10 @@ type Stats struct {
 	// SplitterBytes and ExchangeBytes are total bytes sent by all ranks
 	// during splitter determination and data movement.
 	SplitterBytes, ExchangeBytes int64
+	// Replanned reports that injected splitters (Options.Splitters)
+	// failed the staleness guard and the sort re-histogrammed; Rounds
+	// then counts the replan's rounds.
+	Replanned bool
 	// Imbalance is max rank load / average rank load after sorting.
 	Imbalance float64
 	// LocalCount is this rank's output size.

@@ -46,35 +46,73 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, Stats, error) {
 	}
 	stats.N = nVec[0]
 
-	// Phase 2: splitter determination.
+	// Phase 2: splitter determination — skipped entirely when a stored
+	// plan injects the splitters (the prepare-once/sort-many operation
+	// phase).
 	bytes0 := c.Counters().BytesSent
 	t1 := time.Now()
-	splitters, info, err := DetermineSplitters(c, local, stats.N, opt)
-	if err != nil {
-		return nil, stats, err
+	splitters := opt.Splitters
+	if splitters != nil {
+		// Injected splitters cross an API boundary: re-establish the
+		// sorted invariant exchange.Partition relies on, once per sort.
+		exchange.ValidateSplitters(splitters, opt.Cmp)
+	} else {
+		var info SplitterInfo
+		splitters, info, err = DetermineSplitters(c, local, stats.N, opt)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.Rounds = info.Rounds
+		stats.SamplePerRound = info.SamplePerRound
+		stats.TotalSample = info.TotalSample
 	}
 	splitterTime := time.Since(t1)
 	splitterBytes := c.Counters().BytesSent - bytes0
-	stats.Rounds = info.Rounds
-	stats.SamplePerRound = info.SamplePerRound
-	stats.TotalSample = info.TotalSample
 
-	// Phase 3+4: partition, data exchange, k-way merge — fused by
+	partition := func(sp []K) [][]K {
+		if localCodes != nil {
+			return exchange.PartitionByCode(local, localCodes, codes.Extract(sp, opt.Code))
+		}
+		return exchange.Partition(local, sp, opt.Cmp)
+	}
+	t2 := time.Now()
+	runs := partition(splitters)
+	partitionTime := time.Since(t2)
+
+	// Staleness guard: a stored plan is only as good as the distribution
+	// it was histogrammed on. When armed, measure the bucket imbalance
+	// the stale splitters would produce and re-histogram if it exceeds
+	// the bound — the self-improving sorter's fallback to its training
+	// phase. The guard (and any replan) is splitter-determination work.
+	if opt.Splitters != nil && opt.StaleBound > 0 {
+		t3 := time.Now()
+		imb, _, err := exchange.RunsImbalance(c, base+tagStale, runs)
+		if err != nil {
+			return nil, stats, err
+		}
+		if imb > opt.StaleBound {
+			stats.Replanned = true
+			splitters, info, err := DetermineSplitters(c, local, stats.N, opt)
+			if err != nil {
+				return nil, stats, err
+			}
+			stats.Rounds = info.Rounds
+			stats.SamplePerRound = info.SamplePerRound
+			stats.TotalSample = info.TotalSample
+			runs = partition(splitters)
+		}
+		splitterTime += time.Since(t3)
+		splitterBytes = c.Counters().BytesSent - bytes0
+	}
+
+	// Phase 3+4: data exchange and k-way merge — fused by
 	// ExchangeMerge, which runs either the materializing path or (with
 	// Options.ChunkKeys > 0) the streaming pipeline that overlaps the
 	// merge with the exchange tail.
 	bytes1 := c.Counters().BytesSent
-	t2 := time.Now()
-	var runs [][]K
-	if localCodes != nil {
-		runs = exchange.PartitionByCode(local, localCodes, codes.Extract(splitters, opt.Code))
-	} else {
-		runs = exchange.Partition(local, splitters, opt.Cmp)
-	}
-	partitionTime := time.Since(t2)
 	out, exchangeTime, mergeTime, sst, err := exchange.ExchangeMerge(
 		c, base+tagExchange, runs, opt.Owner, opt.Cmp, opt.Code,
-		exchange.StreamOptions{ChunkKeys: opt.ChunkKeys})
+		exchange.StreamOptions{ChunkKeys: opt.ChunkKeys}, opt.Scratch)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -107,7 +145,13 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, Stats, error) {
 // decoded output is rank-identical to the comparator plane's.
 func sortViaCodes[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, Stats, error) {
 	enc := codes.EncodeSlice(opt.Coder, local)
+	var splitters []codes.Code
+	if opt.Splitters != nil {
+		splitters = codes.EncodeSlice(opt.Coder, opt.Splitters)
+	}
 	out, stats, err := Sort(c, enc, Options[codes.Code]{
+		Splitters:         splitters,
+		StaleBound:        opt.StaleBound,
 		Cmp:               codes.Compare,
 		Code:              codes.ExtractCode,
 		Epsilon:           opt.Epsilon,

@@ -92,7 +92,7 @@ func BenchmarkExchange(b *testing.B) {
 					w := comm.NewWorld(p, comm.WithTimeout(time.Minute))
 					err := w.Run(func(c *comm.Comm) error {
 						runs := Partition(shards[c.Rank()], splitters, icmp)
-						_, _, _, _, err := ExchangeMerge(c, 1, runs, owner, icmp, nil, path.opt)
+						_, _, _, _, err := ExchangeMerge(c, 1, runs, owner, icmp, nil, path.opt, nil)
 						return err
 					})
 					if err != nil {

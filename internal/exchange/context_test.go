@@ -1,0 +1,120 @@
+package exchange
+
+import (
+	"cmp"
+	"context"
+	"errors"
+	"runtime"
+	"slices"
+	"testing"
+	"time"
+
+	"hssort/internal/comm"
+)
+
+// TestCancelMidExchange cancels the context while every rank is inside
+// the data-exchange phase — rank 1 holds its peers (they are blocked in
+// the exchange's receives, which without the cancel would wait forever
+// for rank 1's data) and then cancels instead of sending — on both
+// transports and both exchange planes. Every rank must unblock with an
+// error satisfying errors.Is(err, context.Canceled), and the pool's
+// workers must exit on Close.
+func TestCancelMidExchange(t *testing.T) {
+	const p, perRank = 4, 2000
+	transports := []struct {
+		name string
+		mk   func(p int) comm.Transport
+	}{
+		{"sim", func(p int) comm.Transport { return comm.NewSimTransport(p) }},
+		{"inproc", func(p int) comm.Transport { return comm.NewInprocTransport(p) }},
+	}
+	for _, tr := range transports {
+		for _, chunkKeys := range []int{0, 256} {
+			name := tr.name + "/materializing"
+			if chunkKeys > 0 {
+				name = tr.name + "/stream"
+			}
+			t.Run(name, func(t *testing.T) {
+				before := runtime.NumGoroutine()
+				icmp := cmp.Compare[int64]
+				shards := make([][]int64, p)
+				v := int64(1)
+				for r := range shards {
+					for i := 0; i < perRank; i++ {
+						v = v*6364136223846793005 + 1442695040888963407
+						shards[r] = append(shards[r], v>>16)
+					}
+					slices.Sort(shards[r])
+				}
+				splitters := []int64{-1 << 45, 0, 1 << 45}
+				owner := func(b int) int { return b }
+
+				pool := comm.NewPool(p, comm.WithTransport(tr.mk(p)), comm.WithTimeout(30*time.Second))
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				rankErrs := make([]error, p)
+				err := pool.Run(ctx, func(c *comm.Comm) error {
+					runs := Partition(shards[c.Rank()], splitters, icmp)
+					if c.Rank() == 1 {
+						// Let the peers enter the exchange and block on
+						// receives that only rank 1 could satisfy, then
+						// cancel: the abort is the only thing that can
+						// unblock them — no timing flake possible. Wait
+						// for the abort to latch (context.AfterFunc runs
+						// asynchronously) so rank 1 cannot race the
+						// exchange to completion first.
+						time.Sleep(10 * time.Millisecond)
+						cancel()
+						for c.World().Transport().Err() == nil {
+							time.Sleep(100 * time.Microsecond)
+						}
+					}
+					_, _, _, _, err := ExchangeMerge(c, 1, runs, owner, icmp, nil,
+						StreamOptions{ChunkKeys: chunkKeys}, nil)
+					rankErrs[c.Rank()] = err
+					return err
+				})
+				if err == nil {
+					t.Fatal("cancelled exchange returned nil")
+				}
+				for r, re := range rankErrs {
+					if r == 1 && re == nil {
+						// Rank 1 itself may slip through if its own sends
+						// completed before the abort latched; the other
+						// ranks cannot.
+						continue
+					}
+					if !errors.Is(re, context.Canceled) {
+						t.Errorf("rank %d error = %v, want context.Canceled", r, re)
+					}
+				}
+
+				// The pool serves a clean exchange afterwards.
+				outs := make([][]int64, p)
+				if err := pool.Run(context.Background(), func(c *comm.Comm) error {
+					runs := Partition(slices.Clone(shards[c.Rank()]), splitters, icmp)
+					out, _, _, _, err := ExchangeMerge(c, 1, runs, owner, icmp, nil,
+						StreamOptions{ChunkKeys: chunkKeys}, nil)
+					outs[c.Rank()] = out
+					return err
+				}); err != nil {
+					t.Fatalf("exchange after cancellation: %v", err)
+				}
+				for r, o := range outs {
+					if !slices.IsSorted(o) {
+						t.Errorf("rank %d output not sorted after recovery", r)
+					}
+				}
+
+				pool.Close()
+				deadline := time.Now().Add(2 * time.Second)
+				for runtime.NumGoroutine() > before {
+					if time.Now().After(deadline) {
+						t.Fatalf("goroutines leaked: %d > baseline %d", runtime.NumGoroutine(), before)
+					}
+					time.Sleep(5 * time.Millisecond)
+				}
+			})
+		}
+	}
+}

@@ -77,6 +77,97 @@ type streamMsg[K any] struct {
 	credit int32
 }
 
+// chunk is one outgoing streaming-exchange unit: up to ChunkKeys keys
+// spread over zero-copy bucket-run views.
+type chunk[K any] struct {
+	runs [][]K
+	keys int
+}
+
+// Scratch holds one rank's reusable exchange state across sorts: the
+// incremental merge tree (tournament arrays, rebuild scratch) and the
+// chunk-routing queues the streaming path rebuilds every call. A
+// long-lived engine (hssort.Sorter) keeps one Scratch per rank and
+// passes it to every ExchangeMerge, turning the per-sort allocation
+// churn of the streaming plane into steady-state reuse. The zero value
+// is ready; nil is accepted everywhere and means "allocate per call".
+//
+// A Scratch belongs to one rank: it must not be shared between
+// concurrently running ranks, and the caller must not start a second
+// exchange with the same Scratch before the first returns.
+type Scratch[K any] struct {
+	streamer      merge.Streamer[K]
+	streamerCoded bool // streamer was built with a code extractor
+	chunksTo      [][]chunk[K]
+	totalTo       []int64
+	outs          []outStream
+	ins           []inStream
+}
+
+// streamerFor returns the cached merge tree matching the requested
+// plane, reset and emptied of any references to a previous sort's data.
+func (sc *Scratch[K]) streamerFor(cmp func(K, K) int, code func(K) uint64) merge.Streamer[K] {
+	coded := code != nil
+	if sc.streamer == nil || sc.streamerCoded != coded {
+		sc.streamer = merge.NewStreamer(cmp, code)
+		sc.streamerCoded = coded
+	}
+	sc.streamer.Reset()
+	return sc.streamer
+}
+
+// routing returns the per-destination routing state sized for p ranks,
+// cleared of any references to a previous sort's key data.
+func (sc *Scratch[K]) routing(p int) (chunksTo [][]chunk[K], totalTo []int64, outs []outStream, ins []inStream) {
+	if cap(sc.chunksTo) < p {
+		sc.chunksTo = make([][]chunk[K], p)
+		sc.totalTo = make([]int64, p)
+		sc.outs = make([]outStream, p)
+		sc.ins = make([]inStream, p)
+	}
+	sc.chunksTo = sc.chunksTo[:p]
+	sc.totalTo = sc.totalTo[:p]
+	sc.outs = sc.outs[:p]
+	sc.ins = sc.ins[:p]
+	for d := range sc.chunksTo {
+		q := sc.chunksTo[d]
+		for i := range q {
+			clear(q[i].runs)
+			q[i].runs = q[i].runs[:0]
+			q[i].keys = 0
+		}
+		sc.chunksTo[d] = q[:0]
+	}
+	clear(sc.totalTo)
+	clear(sc.outs)
+	for i := range sc.ins {
+		sc.ins[i] = inStream{bounds: sc.ins[i].bounds[:0]}
+	}
+	return sc.chunksTo, sc.totalTo, sc.outs, sc.ins
+}
+
+// Release drops the Scratch's references to the last sort's key data so
+// a parked engine does not pin that input between calls; the arrays
+// themselves stay allocated.
+//
+// It must only be called after EVERY rank of the exchange has returned
+// (the engine calls it once the worker world joins): the outgoing chunk
+// queues were sent to peers by reference, and a rank legitimately
+// returns while its final chunks still sit unprocessed in a receiver's
+// mailbox — clearing them any earlier would nil out views the receiver
+// is about to merge.
+func (sc *Scratch[K]) Release() {
+	if sc.streamer != nil {
+		sc.streamer.Reset()
+	}
+	for d := range sc.chunksTo {
+		q := sc.chunksTo[d]
+		for i := range q {
+			clear(q[i].runs)
+		}
+	}
+}
+
 // outStream tracks one destination of the sender half.
 type outStream struct {
 	next     int // next chunk index to send
@@ -123,7 +214,7 @@ type inStream struct {
 // compares) instead of comparator calls. When K is the code-point type
 // itself the chunks alias straight into the code tree — codes travel
 // through the exchange and are never re-encoded.
-func ExchangeStream[K any](e comm.StreamEndpoint, tag comm.Tag, runs [][]K, owner func(int) int, cmp func(K, K) int, code func(K) uint64, opt StreamOptions) ([]K, StreamStats, error) {
+func ExchangeStream[K any](e comm.StreamEndpoint, tag comm.Tag, runs [][]K, owner func(int) int, cmp func(K, K) int, code func(K) uint64, opt StreamOptions, sc *Scratch[K]) ([]K, StreamStats, error) {
 	opt = opt.withDefaults()
 	p := e.Size()
 	me := e.Rank()
@@ -133,20 +224,36 @@ func ExchangeStream[K any](e comm.StreamEndpoint, tag comm.Tag, runs [][]K, owne
 	// zero-copy run views batched in bucket order: consecutive small
 	// runs share one chunk up to ChunkKeys keys (so over-partitioned
 	// configurations keep the materializing path's message count), and
-	// a run larger than ChunkKeys spans several chunks.
-	type chunk struct {
-		runs [][]K
-		keys int
+	// a run larger than ChunkKeys spans several chunks. With a Scratch
+	// the queues, flow-control state and merge tree are reused.
+	var (
+		chunksTo [][]chunk[K]
+		totalTo  []int64
+		outs     []outStream
+		ins      []inStream
+	)
+	if sc != nil {
+		chunksTo, totalTo, outs, ins = sc.routing(p)
+	} else {
+		chunksTo = make([][]chunk[K], p)
+		totalTo = make([]int64, p)
+		outs = make([]outStream, p)
+		ins = make([]inStream, p)
 	}
-	chunksTo := make([][]chunk, p)
-	totalTo := make([]int64, p)
 	push := func(dst int, view []K) {
 		q := chunksTo[dst]
 		if n := len(q); n > 0 && q[n-1].keys+len(view) <= opt.ChunkKeys {
 			q[n-1].runs = append(q[n-1].runs, view)
 			q[n-1].keys += len(view)
+		} else if n < cap(q) {
+			// Resurrect a slot kept by the Scratch from a previous sort:
+			// its runs array (cleared by routing) is the buffer being
+			// reused.
+			q = q[:n+1]
+			q[n].runs = append(q[n].runs[:0], view)
+			q[n].keys = len(view)
 		} else {
-			q = append(q, chunk{runs: [][]K{view}, keys: len(view)})
+			q = append(q, chunk[K]{runs: [][]K{view}, keys: len(view)})
 		}
 		chunksTo[dst] = q
 	}
@@ -166,7 +273,12 @@ func ExchangeStream[K any](e comm.StreamEndpoint, tag comm.Tag, runs [][]K, owne
 	// One merge stream per sender, admitted in rank order so run indices
 	// — and with them duplicate-key tie-breaks — are deterministic. Own
 	// data feeds its stream directly and closes it.
-	lt := merge.NewStreamer(cmp, code)
+	var lt merge.Streamer[K]
+	if sc != nil {
+		lt = sc.streamerFor(cmp, code)
+	} else {
+		lt = merge.NewStreamer(cmp, code)
+	}
 	for r := 0; r < p; r++ {
 		lt.AddRun(nil)
 	}
@@ -192,12 +304,10 @@ func ExchangeStream[K any](e comm.StreamEndpoint, tag comm.Tag, runs [][]K, owne
 		return out, st, nil
 	}
 
-	outs := make([]outStream, p)
 	for d := range outs {
 		outs[d].credits = opt.Window
 	}
 	sendsPending := p - 1
-	ins := make([]inStream, p)
 	openStreams := p - 1
 	expect := totalTo[me] // known final output size so far (capacity hint)
 	admitted := int64(0)  // keys admitted across remote streams
@@ -382,11 +492,13 @@ func ExchangeStream[K any](e comm.StreamEndpoint, tag comm.Tag, runs [][]K, owne
 // partition, using the materializing Exchange + merge path when
 // opt.ChunkKeys == 0 (the conformance oracle) or the streaming pipeline
 // otherwise. code, when non-nil, selects the code-keyed merge on either
-// path (see ExchangeStream). exchangeTime and mergeTime keep phase stats
+// path (see ExchangeStream). sc, when non-nil, reuses that rank-private
+// Scratch across calls (engine reuse; currently exercised by the
+// streaming path). exchangeTime and mergeTime keep phase stats
 // comparable across paths: under streaming, merge work hidden inside the
 // exchange is charged to the exchange phase and only the unhidable tail
 // (StreamStats.MergeTail) to the merge phase.
-func ExchangeMerge[K any](e comm.StreamEndpoint, tag comm.Tag, runs [][]K, owner func(int) int, cmp func(K, K) int, code func(K) uint64, opt StreamOptions) (out []K, exchangeTime, mergeTime time.Duration, st StreamStats, err error) {
+func ExchangeMerge[K any](e comm.StreamEndpoint, tag comm.Tag, runs [][]K, owner func(int) int, cmp func(K, K) int, code func(K) uint64, opt StreamOptions, sc *Scratch[K]) (out []K, exchangeTime, mergeTime time.Duration, st StreamStats, err error) {
 	t0 := time.Now()
 	if opt.ChunkKeys == 0 {
 		recv, err := Exchange(e, tag, runs, owner)
@@ -402,7 +514,7 @@ func ExchangeMerge[K any](e comm.StreamEndpoint, tag comm.Tag, runs [][]K, owner
 		}
 		return out, exchangeTime, time.Since(t1), StreamStats{}, nil
 	}
-	out, st, err = ExchangeStream(e, tag, runs, owner, cmp, code, opt)
+	out, st, err = ExchangeStream(e, tag, runs, owner, cmp, code, opt, sc)
 	if err != nil {
 		return nil, 0, 0, st, err
 	}

@@ -94,7 +94,7 @@ func streamCase(t *testing.T, mk func(p int) comm.Transport, shards [][]pair, bu
 	w = comm.NewWorld(p, comm.WithTransport(mk(p)), comm.WithTimeout(20*time.Second))
 	err = w.Run(func(c *comm.Comm) error {
 		runs := Partition(slices.Clone(shards[c.Rank()]), splitters, pairCmp)
-		out, st, err := ExchangeStream(c, 1, runs, owner, pairCmp, nil, opt)
+		out, st, err := ExchangeStream(c, 1, runs, owner, pairCmp, nil, opt, nil)
 		if err != nil {
 			return err
 		}
@@ -115,7 +115,7 @@ func streamCase(t *testing.T, mk func(p int) comm.Transport, shards [][]pair, bu
 	err = w.Run(func(c *comm.Comm) error {
 		runs := Partition(slices.Clone(shards[c.Rank()]), splitters, pairCmp)
 		out, _, err := ExchangeStream(c, 1, runs, owner, pairCmp,
-			func(x pair) uint64 { return keycoder.Int64{}.Encode(x.k) }, opt)
+			func(x pair) uint64 { return keycoder.Int64{}.Encode(x.k) }, opt, nil)
 		if err != nil {
 			return err
 		}
@@ -220,7 +220,7 @@ func TestExchangeStreamBadOwner(t *testing.T) {
 	w := comm.NewWorld(2, comm.WithTimeout(time.Second))
 	err := w.Run(func(c *comm.Comm) error {
 		runs := [][]int64{{1}, {2}}
-		_, _, err := ExchangeStream(c, 1, runs, func(int) int { return 7 }, icmp, nil, StreamOptions{})
+		_, _, err := ExchangeStream(c, 1, runs, func(int) int { return 7 }, icmp, nil, StreamOptions{}, nil)
 		if err == nil {
 			return fmt.Errorf("bad owner accepted")
 		}

@@ -45,6 +45,17 @@ type Options[K any] struct {
 	// ChunkKeys, when positive, selects the streaming chunked exchange
 	// (see core.Options.ChunkKeys). 0 = materializing exchange.
 	ChunkKeys int
+	// Splitters, when non-nil, injects pre-determined splitters and
+	// skips probe refinement entirely (see core.Options.Splitters):
+	// Buckets-1 keys in non-decreasing cmp order, identical on every
+	// rank.
+	Splitters []K
+	// StaleBound arms the staleness guard for injected Splitters (see
+	// core.Options.StaleBound). 0 disables it.
+	StaleBound float64
+	// Scratch, when non-nil, is this rank's reusable exchange state
+	// (see core.Options.Scratch).
+	Scratch *exchange.Scratch[K]
 	// BaseTag is the start of the tag range this sort uses. Default 3000.
 	BaseTag comm.Tag
 }
@@ -80,6 +91,12 @@ func (o Options[K]) withDefaults(p int) (Options[K], error) {
 	if o.ChunkKeys < 0 {
 		return o, fmt.Errorf("histsort: ChunkKeys %d < 0", o.ChunkKeys)
 	}
+	if o.StaleBound < 0 {
+		return o, fmt.Errorf("histsort: StaleBound %v < 0", o.StaleBound)
+	}
+	if o.Splitters != nil && len(o.Splitters) != o.Buckets-1 {
+		return o, fmt.Errorf("histsort: %d injected splitters for %d buckets (want %d)", len(o.Splitters), o.Buckets, o.Buckets-1)
+	}
 	if o.BaseTag == 0 {
 		o.BaseTag = 3000
 	}
@@ -95,6 +112,7 @@ const (
 	tagExchange = 5 // bucket exchange
 	tagStats    = 6 // stats all-reduce (+1)
 	tagInfo     = 8 // rounds broadcast
+	tagStale    = 9 // staleness-guard bucket-load all-reduce
 )
 
 // splitterSearch is the root's bisection state for one splitter.
@@ -133,27 +151,54 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 
 	bytes0 := c.Counters().BytesSent
 	t1 := time.Now()
-	splitters, rounds, totalProbes, err := determineSplitters(c, local, n, opt)
-	if err != nil {
-		return nil, stats, err
+	splitters := opt.Splitters
+	if splitters != nil {
+		exchange.ValidateSplitters(splitters, opt.Cmp)
+	} else {
+		var rounds int
+		var totalProbes int64
+		splitters, rounds, totalProbes, err = DetermineSplitters(c, local, n, opt)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.Rounds = rounds
+		stats.TotalSample = totalProbes
 	}
 	splitterTime := time.Since(t1)
 	splitterBytes := c.Counters().BytesSent - bytes0
-	stats.Rounds = rounds
-	stats.TotalSample = totalProbes
 
-	bytes1 := c.Counters().BytesSent
-	t2 := time.Now()
-	var runs [][]K
-	if localCodes != nil {
-		runs = exchange.PartitionByCode(local, localCodes, codes.Extract(splitters, opt.Code))
-	} else {
-		runs = exchange.Partition(local, splitters, opt.Cmp)
+	partition := func(sp []K) [][]K {
+		if localCodes != nil {
+			return exchange.PartitionByCode(local, localCodes, codes.Extract(sp, opt.Code))
+		}
+		return exchange.Partition(local, sp, opt.Cmp)
 	}
+	t2 := time.Now()
+	runs := partition(splitters)
 	partitionTime := time.Since(t2)
+	if opt.Splitters != nil && opt.StaleBound > 0 {
+		t3 := time.Now()
+		imb, _, err := exchange.RunsImbalance(c, base+tagStale, runs)
+		if err != nil {
+			return nil, stats, err
+		}
+		if imb > opt.StaleBound {
+			stats.Replanned = true
+			splitters, rounds, totalProbes, err := DetermineSplitters(c, local, n, opt)
+			if err != nil {
+				return nil, stats, err
+			}
+			stats.Rounds = rounds
+			stats.TotalSample = totalProbes
+			runs = partition(splitters)
+		}
+		splitterTime += time.Since(t3)
+		splitterBytes = c.Counters().BytesSent - bytes0
+	}
+	bytes1 := c.Counters().BytesSent
 	out, exchangeTime, mergeTime, sst, err := exchange.ExchangeMerge(
 		c, base+tagExchange, runs, opt.Owner, opt.Cmp, opt.Code,
-		exchange.StreamOptions{ChunkKeys: opt.ChunkKeys})
+		exchange.StreamOptions{ChunkKeys: opt.ChunkKeys}, opt.Scratch)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -176,9 +221,16 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 	return out, stats, nil
 }
 
-// determineSplitters runs the probe-refinement loop of §2.3. It returns
-// the splitters on every rank plus the round count and total probe volume.
-func determineSplitters[K any](c *comm.Comm, local []K, n int64, opt Options[K]) ([]K, int, int64, error) {
+// DetermineSplitters runs the probe-refinement loop of §2.3 over
+// locally sorted keys. It returns the splitters on every rank plus the
+// round count and total probe volume. Exported so splitter plans
+// (hssort.Sorter.Plan) can run probe refinement alone; defaults are
+// applied internally (idempotent).
+func DetermineSplitters[K any](c *comm.Comm, local []K, n int64, opt Options[K]) ([]K, int, int64, error) {
+	opt, err := opt.withDefaults(c.Size())
+	if err != nil {
+		return nil, 0, 0, err
+	}
 	base := opt.BaseTag
 	root := 0
 	me := c.Rank()
@@ -240,7 +292,7 @@ func determineSplitters[K any](c *comm.Comm, local []K, n int64, opt Options[K])
 		slices.SortFunc(sp, opt.Cmp)
 		splitters = sp
 	}
-	splitters, err := collective.Bcast(c, root, base+tagSplit, splitters)
+	splitters, err = collective.Bcast(c, root, base+tagSplit, splitters)
 	if err != nil {
 		return nil, rounds, totalProbes, err
 	}

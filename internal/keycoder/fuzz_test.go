@@ -135,6 +135,52 @@ func FuzzUint32Coder(f *testing.F) {
 	})
 }
 
+// FuzzFloat32Coder: bit-exact round trips and order preservation on the
+// widened single-precision plane.
+func FuzzFloat32Coder(f *testing.F) {
+	specials := []float32{float32(math.Inf(-1)), -math.MaxFloat32, -1,
+		-math.SmallestNonzeroFloat32, float32(math.Copysign(0, -1)), 0,
+		math.SmallestNonzeroFloat32, 1, math.MaxFloat32, float32(math.Inf(1))}
+	for _, a := range specials {
+		for _, b := range specials {
+			f.Add(math.Float32bits(a), math.Float32bits(b))
+		}
+	}
+	var c Float32
+	f.Fuzz(func(t *testing.T, abits, bbits uint32) {
+		a, b := math.Float32frombits(abits), math.Float32frombits(bbits)
+		if a != a || b != b {
+			return // NaN order unspecified
+		}
+		if got := c.Decode(c.Encode(a)); math.Float32bits(got) != abits {
+			t.Fatalf("round trip lost %g (bits %#x -> %#x)", a, abits, math.Float32bits(got))
+		}
+		ea, eb := c.Encode(a), c.Encode(b)
+		switch {
+		case a < b:
+			if ea >= eb {
+				t.Fatalf("order inverted: %g < %g but %#x >= %#x", a, b, ea, eb)
+			}
+		case a > b:
+			if ea <= eb {
+				t.Fatalf("order inverted: %g > %g but %#x <= %#x", a, b, ea, eb)
+			}
+		case abits == bbits:
+			if ea != eb {
+				t.Fatalf("identical values, different codes: %g -> %#x vs %#x", a, ea, eb)
+			}
+		default:
+			// The ±0 pair: ordered -0 < +0 like Float64.
+			if math.Signbit(float64(a)) && ea >= eb {
+				t.Fatalf("-0 must encode below +0: %#x >= %#x", ea, eb)
+			}
+			if !math.Signbit(float64(a)) && ea <= eb {
+				t.Fatalf("+0 must encode above -0: %#x <= %#x", ea, eb)
+			}
+		}
+	})
+}
+
 // TestFloat64SpecialsTotalOrder pins the exact documented order of the
 // special values — including the -0 < +0 refinement — as a table test
 // that runs without the fuzz engine.

@@ -89,6 +89,33 @@ func (Float64) Decode(c uint64) float64 {
 	return math.Float64frombits(^c)
 }
 
+// Float32 encodes IEEE-754 singles with the same total-order bit trick
+// as Float64, applied to the 32-bit pattern and widened to uint64 (like
+// Int32, the image occupies the low 32 bits of code space, so Decode of
+// an arbitrary uint64 truncates). NaN caveats match Float64.
+type Float32 struct{}
+
+// f32SignBit is the most significant bit of a 32-bit word.
+const f32SignBit = uint32(1) << 31
+
+// Encode maps a float32 to a uint64 preserving numeric order.
+func (Float32) Encode(k float32) uint64 {
+	bits := math.Float32bits(k)
+	if bits&f32SignBit != 0 {
+		return uint64(^bits)
+	}
+	return uint64(bits | f32SignBit)
+}
+
+// Decode inverts Encode.
+func (Float32) Decode(c uint64) float32 {
+	bits := uint32(c)
+	if bits&f32SignBit != 0 {
+		return math.Float32frombits(bits ^ f32SignBit)
+	}
+	return math.Float32frombits(^bits)
+}
+
 // Mid returns the midpoint of the inclusive code interval [lo, hi] without
 // overflow. When hi <= lo it returns lo, so repeated bisection always
 // terminates.

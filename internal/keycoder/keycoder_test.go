@@ -122,6 +122,50 @@ func TestFloat64Extremes(t *testing.T) {
 	}
 }
 
+func TestFloat32RoundTrip(t *testing.T) {
+	f := func(k float32) bool {
+		if k != k {
+			return true // NaN order unspecified; like Float64
+		}
+		return Float32{}.Decode(Float32{}.Encode(k)) == k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat32Monotonic(t *testing.T) {
+	f := func(a, b float32) bool {
+		if a != a || b != b {
+			return true
+		}
+		ea, eb := Float32{}.Encode(a), Float32{}.Encode(b)
+		switch {
+		case a < b:
+			return ea < eb
+		case a > b:
+			return ea > eb
+		default: // -0 == +0: codes may differ but must stay adjacent in order
+			return true
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat32Extremes(t *testing.T) {
+	cases := []float32{float32(math.Inf(-1)), -math.MaxFloat32, -1, -math.SmallestNonzeroFloat32,
+		math.SmallestNonzeroFloat32, 1, math.MaxFloat32, float32(math.Inf(1))}
+	for i := 1; i < len(cases); i++ {
+		lo := Float32{}.Encode(cases[i-1])
+		hi := Float32{}.Encode(cases[i])
+		if lo >= hi {
+			t.Errorf("Encode(%g) !< Encode(%g)", cases[i-1], cases[i])
+		}
+	}
+}
+
 func TestMid(t *testing.T) {
 	tests := []struct{ lo, hi, want uint64 }{
 		{0, 0, 0},

@@ -44,6 +44,25 @@ func NewCodeTree[E any]() *CodeTree[E] {
 	return &CodeTree[E]{k: 2, tree: make([]int, 2), dirty: true}
 }
 
+// Reset empties the tree for reuse, dropping all references to run data
+// but keeping the tournament arrays allocated (see LoserTree.Reset).
+func (t *CodeTree[E]) Reset() {
+	clear(t.codes)
+	clear(t.elems)
+	clear(t.pendC)
+	clear(t.pendE)
+	t.codes = t.codes[:0]
+	t.elems = t.elems[:0]
+	t.pos = t.pos[:0]
+	t.pendC = t.pendC[:0]
+	t.pendE = t.pendE[:0]
+	t.consumed = t.consumed[:0]
+	t.open = t.open[:0]
+	t.n = 0
+	t.starved = 0
+	t.dirty = true
+}
+
 // AddRun registers a new, initially open run holding the given sorted
 // codes and their parallel elements (nil for an empty stream) and
 // returns its index. len(cs) must equal len(elems).

@@ -124,6 +124,22 @@ func NewStreaming[K any](cmp func(K, K) int) *LoserTree[K] {
 	return &LoserTree[K]{k: 2, tree: make([]int, 2), cmp: cmp, dirty: true}
 }
 
+// Reset empties the tree for reuse, dropping all references to run data
+// but keeping the tournament arrays allocated — the engine-reuse hook
+// that lets one tree serve many sorts without re-allocating per call.
+func (lt *LoserTree[K]) Reset() {
+	clear(lt.runs)
+	clear(lt.pending)
+	lt.runs = lt.runs[:0]
+	lt.pos = lt.pos[:0]
+	lt.pending = lt.pending[:0]
+	lt.consumed = lt.consumed[:0]
+	lt.open = lt.open[:0]
+	lt.n = 0
+	lt.starved = 0
+	lt.dirty = true
+}
+
 // AddRun registers a new, initially open run holding the given sorted
 // keys (nil for an empty stream) and returns its index. Ties between
 // runs resolve in favor of the lower index, so callers wanting a

@@ -22,6 +22,9 @@ type Streamer[K any] interface {
 	NextReady() (K, bool)
 	// Next emits the next key unconditionally (all runs closed).
 	Next() (K, bool)
+	// Reset empties the streamer for reuse, keeping internal scratch
+	// allocated.
+	Reset()
 }
 
 // NewStreamer returns the best incremental merge for the key type: the
@@ -55,6 +58,7 @@ func (s *pureCodeStreamer) Consumed(i int) int64            { return s.t.Consume
 func (s *pureCodeStreamer) Exhausted() bool                 { return s.t.Exhausted() }
 func (s *pureCodeStreamer) NextReady() (codes.Code, bool)   { return s.t.NextReady() }
 func (s *pureCodeStreamer) Next() (codes.Code, bool)        { return s.t.Next() }
+func (s *pureCodeStreamer) Reset()                          { s.t.Reset() }
 
 // codedStreamer adapts CodeTree to Streamer[K] via a code extractor:
 // every appended chunk is encoded once (one extractor call per key per
@@ -75,3 +79,4 @@ func (s *codedStreamer[K]) Consumed(i int) int64 { return s.t.Consumed(i) }
 func (s *codedStreamer[K]) Exhausted() bool      { return s.t.Exhausted() }
 func (s *codedStreamer[K]) NextReady() (K, bool) { return s.t.NextReady() }
 func (s *codedStreamer[K]) Next() (K, bool)      { return s.t.Next() }
+func (s *codedStreamer[K]) Reset()               { s.t.Reset() }

@@ -56,6 +56,18 @@ type Options[K any] struct {
 	// chunks overlapped with the node-level merge (see
 	// core.Options.ChunkKeys). 0 = materializing exchange.
 	ChunkKeys int
+	// Splitters, when non-nil, injects pre-determined node-level
+	// splitters — n-1 keys for n nodes, non-decreasing, identical on
+	// every rank — and skips splitter determination (see
+	// core.Options.Splitters).
+	Splitters []K
+	// StaleBound arms the staleness guard for injected Splitters (see
+	// core.Options.StaleBound), measured over node buckets. 0 disables
+	// it.
+	StaleBound float64
+	// Scratch, when non-nil, is this rank's reusable exchange state for
+	// the node-to-node leader exchange (see core.Options.Scratch).
+	Scratch *exchange.Scratch[K]
 	// BaseTag is the start of the tag range (~40 tags). Default 7000.
 	BaseTag comm.Tag
 }
@@ -82,6 +94,12 @@ func (o Options[K]) withDefaults(p int) (Options[K], error) {
 	if o.ChunkKeys < 0 {
 		return o, fmt.Errorf("nodesort: ChunkKeys %d < 0", o.ChunkKeys)
 	}
+	if o.StaleBound < 0 {
+		return o, fmt.Errorf("nodesort: StaleBound %v < 0", o.StaleBound)
+	}
+	if o.Splitters != nil && len(o.Splitters) != p/o.CoresPerNode-1 {
+		return o, fmt.Errorf("nodesort: %d injected splitters for %d nodes (want %d)", len(o.Splitters), p/o.CoresPerNode, p/o.CoresPerNode-1)
+	}
 	if o.BaseTag == 0 {
 		o.BaseTag = 7000
 	}
@@ -95,6 +113,7 @@ const (
 	tagNodeEx   = 26 // node-to-node exchange
 	tagScatter  = 27 // within-node scatter
 	tagStats    = 28 // stats all-reduce (+1)
+	tagStale    = 30 // staleness-guard node-load all-reduce
 )
 
 // Sort runs the two-level sort and returns this rank's globally sorted
@@ -139,25 +158,34 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 		stats.LocalSort = localSort
 		return []K{}, stats, nil
 	}
+	determine := func() ([]K, core.SplitterInfo, error) {
+		return core.DetermineSplitters(c, local, stats.N, core.Options[K]{
+			Cmp:              opt.Cmp,
+			Epsilon:          opt.Epsilon,
+			Buckets:          nodes,
+			Schedule:         opt.Schedule,
+			Seed:             opt.Seed,
+			OversampleFactor: opt.OversampleFactor,
+			BaseTag:          base + tagSplitter,
+		})
+	}
 	bytes0 := c.Counters().BytesSent
 	t1 := time.Now()
-	splitters, info, err := core.DetermineSplitters(c, local, stats.N, core.Options[K]{
-		Cmp:              opt.Cmp,
-		Epsilon:          opt.Epsilon,
-		Buckets:          nodes,
-		Schedule:         opt.Schedule,
-		Seed:             opt.Seed,
-		OversampleFactor: opt.OversampleFactor,
-		BaseTag:          base + tagSplitter,
-	})
-	if err != nil {
-		return nil, stats, err
+	splitters := opt.Splitters
+	if splitters != nil {
+		exchange.ValidateSplitters(splitters, opt.Cmp)
+	} else {
+		var info core.SplitterInfo
+		splitters, info, err = determine()
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.Rounds = info.Rounds
+		stats.SamplePerRound = info.SamplePerRound
+		stats.TotalSample = info.TotalSample
 	}
 	splitterTime := time.Since(t1)
 	splitterBytes := c.Counters().BytesSent - bytes0
-	stats.Rounds = info.Rounds
-	stats.SamplePerRound = info.SamplePerRound
-	stats.TotalSample = info.TotalSample
 
 	// Build this node's group; node g occupies ranks [g·c, (g+1)·c).
 	members := make([]int, cores)
@@ -169,18 +197,43 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 		return nil, stats, err
 	}
 
-	bytes1 := c.Counters().BytesSent
-	t2 := time.Now()
-
 	// Message combining (§6.1): every core hands its n partitioned runs
 	// to the node leader by reference (shared memory), so the network
 	// sees nothing yet.
-	var runs [][]K
-	if localCodes != nil {
-		runs = exchange.PartitionByCode(local, localCodes, codes.Extract(splitters, opt.Code))
-	} else {
-		runs = exchange.Partition(local, splitters, opt.Cmp)
+	partition := func(sp []K) [][]K {
+		if localCodes != nil {
+			return exchange.PartitionByCode(local, localCodes, codes.Extract(sp, opt.Code))
+		}
+		return exchange.Partition(local, sp, opt.Cmp)
 	}
+	runs := partition(splitters)
+
+	// Staleness guard for injected node-level splitters: all p ranks
+	// all-reduce the node-bucket loads; a stale plan re-histograms. The
+	// guard and any replan are splitter-determination work.
+	if opt.Splitters != nil && opt.StaleBound > 0 {
+		t1g := time.Now()
+		imb, _, err := exchange.RunsImbalance(c, base+tagStale, runs)
+		if err != nil {
+			return nil, stats, err
+		}
+		if imb > opt.StaleBound {
+			stats.Replanned = true
+			fresh, info, err := determine()
+			if err != nil {
+				return nil, stats, err
+			}
+			stats.Rounds = info.Rounds
+			stats.SamplePerRound = info.SamplePerRound
+			stats.TotalSample = info.TotalSample
+			runs = partition(fresh)
+		}
+		splitterTime += time.Since(t1g)
+		splitterBytes = c.Counters().BytesSent - bytes0
+	}
+
+	bytes1 := c.Counters().BytesSent
+	t2 := time.Now()
 	gathered, err := collective.Gatherv(group, 0, base+tagCombine, runs)
 	if err != nil {
 		return nil, stats, err
@@ -216,7 +269,7 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 		}
 		nodeData, _, nodeMergeTime, sst, err = exchange.ExchangeMerge(
 			leaderGroup, base+tagNodeEx, combined, exchange.ContiguousOwner(nodes, nodes), opt.Cmp, opt.Code,
-			exchange.StreamOptions{ChunkKeys: opt.ChunkKeys})
+			exchange.StreamOptions{ChunkKeys: opt.ChunkKeys}, opt.Scratch)
 		if err != nil {
 			return nil, stats, err
 		}

@@ -80,6 +80,17 @@ type Options[K any] struct {
 	// ChunkKeys, when positive, selects the streaming chunked exchange
 	// (see core.Options.ChunkKeys). 0 = materializing exchange.
 	ChunkKeys int
+	// Splitters, when non-nil, injects pre-determined splitters and
+	// skips the sampling phase entirely (see core.Options.Splitters):
+	// Buckets-1 keys in non-decreasing cmp order, identical on every
+	// rank.
+	Splitters []K
+	// StaleBound arms the staleness guard for injected Splitters (see
+	// core.Options.StaleBound). 0 disables it.
+	StaleBound float64
+	// Scratch, when non-nil, is this rank's reusable exchange state
+	// (see core.Options.Scratch).
+	Scratch *exchange.Scratch[K]
 	// BaseTag is the start of the tag range this sort uses. Default 2000.
 	BaseTag comm.Tag
 }
@@ -126,6 +137,12 @@ func (o Options[K]) withDefaults(p int, n int64) (Options[K], error) {
 	if o.ChunkKeys < 0 {
 		return o, fmt.Errorf("samplesort: ChunkKeys %d < 0", o.ChunkKeys)
 	}
+	if o.StaleBound < 0 {
+		return o, fmt.Errorf("samplesort: StaleBound %v < 0", o.StaleBound)
+	}
+	if o.Splitters != nil && len(o.Splitters) != o.Buckets-1 {
+		return o, fmt.Errorf("samplesort: %d injected splitters for %d buckets (want %d)", len(o.Splitters), o.Buckets, o.Buckets-1)
+	}
 	if o.BaseTag == 0 {
 		o.BaseTag = 2000
 	}
@@ -136,9 +153,10 @@ func (o Options[K]) withDefaults(p int, n int64) (Options[K], error) {
 const (
 	tagCount    = 0 // N all-reduce (+1)
 	tagGather   = 2 // sample gather
-	tagSplit    = 3 // splitter broadcast
-	tagExchange = 4 // bucket exchange
-	tagStats    = 5 // stats all-reduce (+1)
+	tagSplit    = 3 // splitter broadcast (+1)
+	tagExchange = 5 // bucket exchange
+	tagStats    = 6 // stats all-reduce (+1)
+	tagStale    = 8 // staleness-guard bucket-load all-reduce
 )
 
 // Sort runs parallel sample sort on this rank's keys and returns its
@@ -169,32 +187,60 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 	stats.N = n
 	stats.Buckets = opt.Buckets
 
-	// Phase 2: sampling + splitter selection at the central processor.
+	// Phase 2: sampling + splitter selection at the central processor —
+	// skipped when a stored plan injects the splitters.
 	bytes0 := c.Counters().BytesSent
 	t1 := time.Now()
-	splitters, sampleSize, err := determineSplitters(c, local, n, opt)
-	if err != nil {
-		return nil, stats, err
+	splitters := opt.Splitters
+	if splitters != nil {
+		exchange.ValidateSplitters(splitters, opt.Cmp)
+	} else {
+		var sampleSize int64
+		splitters, sampleSize, err = DetermineSplitters(c, local, n, opt)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.Rounds = 1
+		stats.SamplePerRound = []int64{sampleSize}
+		stats.TotalSample = sampleSize
 	}
 	splitterTime := time.Since(t1)
 	splitterBytes := c.Counters().BytesSent - bytes0
-	stats.Rounds = 1
-	stats.SamplePerRound = []int64{sampleSize}
-	stats.TotalSample = sampleSize
 
 	// Phase 3+4: exchange and merge (identical to HSS).
-	bytes1 := c.Counters().BytesSent
-	t2 := time.Now()
-	var runs [][]K
-	if localCodes != nil {
-		runs = exchange.PartitionByCode(local, localCodes, codes.Extract(splitters, opt.Code))
-	} else {
-		runs = exchange.Partition(local, splitters, opt.Cmp)
+	partition := func(sp []K) [][]K {
+		if localCodes != nil {
+			return exchange.PartitionByCode(local, localCodes, codes.Extract(sp, opt.Code))
+		}
+		return exchange.Partition(local, sp, opt.Cmp)
 	}
+	t2 := time.Now()
+	runs := partition(splitters)
 	partitionTime := time.Since(t2)
+	if opt.Splitters != nil && opt.StaleBound > 0 {
+		t3 := time.Now()
+		imb, _, err := exchange.RunsImbalance(c, base+tagStale, runs)
+		if err != nil {
+			return nil, stats, err
+		}
+		if imb > opt.StaleBound {
+			stats.Replanned = true
+			splitters, sampleSize, err := DetermineSplitters(c, local, n, opt)
+			if err != nil {
+				return nil, stats, err
+			}
+			stats.Rounds = 1
+			stats.SamplePerRound = []int64{sampleSize}
+			stats.TotalSample = sampleSize
+			runs = partition(splitters)
+		}
+		splitterTime += time.Since(t3)
+		splitterBytes = c.Counters().BytesSent - bytes0
+	}
+	bytes1 := c.Counters().BytesSent
 	out, exchangeTime, mergeTime, sst, err := exchange.ExchangeMerge(
 		c, base+tagExchange, runs, opt.Owner, opt.Cmp, opt.Code,
-		exchange.StreamOptions{ChunkKeys: opt.ChunkKeys})
+		exchange.StreamOptions{ChunkKeys: opt.ChunkKeys}, opt.Scratch)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -217,10 +263,18 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 	return out, stats, nil
 }
 
-// determineSplitters runs the sampling phase (§2.2 steps 1-2): every rank
+// DetermineSplitters runs the sampling phase (§2.2 steps 1-2): every rank
 // contributes s keys, the root sorts the combined sample and selects
-// evenly spaced splitters, broadcast to all ranks.
-func determineSplitters[K any](c *comm.Comm, local []K, n int64, opt Options[K]) ([]K, int64, error) {
+// evenly spaced splitters, broadcast to all ranks. local must already be
+// sorted. It returns the splitters on every rank plus the combined
+// sample size. Exported so splitter plans (hssort.Sorter.Plan) can run
+// the sampling phase alone; defaults are applied internally
+// (idempotent).
+func DetermineSplitters[K any](c *comm.Comm, local []K, n int64, opt Options[K]) ([]K, int64, error) {
+	opt, err := opt.withDefaults(c.Size(), n) // idempotent
+	if err != nil {
+		return nil, 0, err
+	}
 	var mine []K
 	switch opt.Method {
 	case Regular:

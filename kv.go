@@ -2,7 +2,7 @@ package hssort
 
 import (
 	"cmp"
-	"fmt"
+	"context"
 )
 
 // KV pairs a sortable key with an opaque payload that travels with it
@@ -23,51 +23,85 @@ func CompareKV[K cmp.Ordered, V any](a, b KV[K, V]) int {
 	return cmp.Compare(a.Key, b.Key)
 }
 
-// SortKV sorts keyed records across simulated processors; see Sort for
-// semantics. The HistogramSort and Radix algorithms are unavailable for
-// records (they need key-space arithmetic); use the HSS variants or the
-// sample sorts.
+// KVSorter is the record-sorting engine: NewKV's counterpart of Sorter
+// for keyed payloads. It exposes the same lifecycle — SortKV
+// repeatedly over one long-lived machine, Plan/SortWithPlan for
+// prepare-once/sort-many, Close to release the workers.
+type KVSorter[K cmp.Ordered, V any] struct {
+	s *Sorter[KV[K, V]]
+}
+
+// NewKV creates a KVSorter. The HistogramSort and Radix algorithms are
+// unavailable for records (they need key-space arithmetic); use the
+// HSS variants or the sample sorts.
 //
 // When the key type admits an order-preserving code (built-in for the
-// integer and float key types, or a key Coder supplied via Config.Coder)
-// and Config.CodePath allows it, the records ride the decorated code
-// plane: the local sort radix-sorts a uint64 code decoration with the
-// payloads in tow, and partition cuts and merges compare codes instead
-// of calling the comparator. Records with equal keys keep their
-// per-bucket multiset either way, but — as with any unstable sort — not
-// a particular relative order.
-func SortKV[K cmp.Ordered, V any](cfg Config, shards [][]KV[K, V]) ([][]KV[K, V], Stats, error) {
+// integer and float key types, or a key Coder supplied via
+// Config.Coder) and Config.CodePath allows it, records ride the
+// decorated code plane: the local sort radix-sorts a uint64 code
+// decoration with the payloads in tow, and partition cuts and merges
+// compare codes instead of calling the comparator.
+func NewKV[K cmp.Ordered, V any](cfg Config) (*KVSorter[K, V], error) {
 	keyCoder, err := resolveCoder(cfg, coderFor[K]())
+	if err != nil {
+		return nil, err
+	}
+	var code func(KV[K, V]) uint64
+	var isNaN func(KV[K, V]) bool
+	if keyCoder != nil {
+		code = func(kv KV[K, V]) uint64 { return keyCoder.Encode(kv.Key) }
+		var zero K
+		switch any(zero).(type) {
+		case float64, float32:
+			isNaN = func(kv KV[K, V]) bool { return kv.Key != kv.Key }
+		}
+	}
+	// The record engine resolves Config.Coder against the key type
+	// above; clear it so the inner constructor does not retry the
+	// resolution against the record type.
+	cfg.Coder = nil
+	s, err := newSorter(cfg, CompareKV[K, V], nil, code, isNaN)
+	if err != nil {
+		return nil, err
+	}
+	return &KVSorter[K, V]{s: s}, nil
+}
+
+// SortKV sorts keyed records across the engine's simulated processors;
+// see Sorter.Sort for semantics. Records with equal keys keep their
+// per-bucket multiset but — as with any unstable sort — not a
+// particular relative order.
+func (s *KVSorter[K, V]) SortKV(ctx context.Context, shards [][]KV[K, V]) ([][]KV[K, V], Stats, error) {
+	return s.s.Sort(ctx, shards)
+}
+
+// Plan runs splitter determination only and returns the reusable plan;
+// see Sorter.Plan. The plan's splitters are records whose payloads are
+// incidental — only keys partition.
+func (s *KVSorter[K, V]) Plan(ctx context.Context, shards [][]KV[K, V]) (*Plan[KV[K, V]], error) {
+	return s.s.Plan(ctx, shards)
+}
+
+// SortWithPlan sorts records with a previously prepared plan, skipping
+// splitter determination; see Sorter.SortWithPlan.
+func (s *KVSorter[K, V]) SortWithPlan(ctx context.Context, plan *Plan[KV[K, V]], shards [][]KV[K, V]) ([][]KV[K, V], Stats, error) {
+	return s.s.SortWithPlan(ctx, plan, shards)
+}
+
+// Close stops the engine's worker goroutines. Idempotent.
+func (s *KVSorter[K, V]) Close() { s.s.Close() }
+
+// SortKV sorts keyed records across simulated processors; see Sort for
+// semantics and NewKV for the record plane details. It is a one-shot
+// wrapper over a throwaway KVSorter.
+func SortKV[K cmp.Ordered, V any](cfg Config, shards [][]KV[K, V]) ([][]KV[K, V], Stats, error) {
+	if cfg.Procs == 0 {
+		cfg.Procs = len(shards)
+	}
+	s, err := NewKV[K, V](cfg)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	var code func(KV[K, V]) uint64
-	if keyCoder != nil {
-		if cfg, err = guardNaNKV(cfg, shards); err != nil {
-			return nil, Stats{}, err
-		}
-		code = func(kv KV[K, V]) uint64 { return keyCoder.Encode(kv.Key) }
-	}
-	return sortImpl(cfg, shards, CompareKV[K, V], nil, code)
-}
-
-// guardNaNKV is guardNaN for record keys.
-func guardNaNKV[K cmp.Ordered, V any](cfg Config, shards [][]KV[K, V]) (Config, error) {
-	var zero K
-	if _, isFloat := any(zero).(float64); !isFloat || cfg.CodePath == CodePathOff {
-		return cfg, nil
-	}
-	for _, s := range shards {
-		for _, kv := range s {
-			if kv.Key == kv.Key {
-				continue
-			}
-			if cfg.CodePath == CodePathOn {
-				return cfg, fmt.Errorf("hssort: CodePathOn, but the input contains NaN keys, whose comparator order (NaN first) no order-preserving code realizes")
-			}
-			cfg.CodePath = CodePathOff
-			return cfg, nil
-		}
-	}
-	return cfg, nil
+	defer s.Close()
+	return s.SortKV(context.Background(), shards)
 }

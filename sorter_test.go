@@ -1,0 +1,577 @@
+package hssort
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"slices"
+	"testing"
+	"time"
+
+	"hssort/internal/dist"
+)
+
+// bg is the default context for engine tests.
+var bg = context.Background()
+
+// TestSorterReuse: one engine serves many sorts, each rank-identical to
+// a one-shot Sort of the same input.
+func TestSorterReuse(t *testing.T) {
+	const p, perRank, rounds = 4, 1500, 4
+	cfg := Config{Procs: p, Epsilon: 0.1, Seed: 5}
+	s, err := New[int64](cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for round := 0; round < rounds; round++ {
+		shards := shardsFor(t, dist.Gaussian, p, perRank, uint64(round+1))
+		want, wantStats, err := Sort(cfg, cloneShards(shards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gotStats, err := s.Sort(bg, cloneShards(shards))
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for r := range want {
+			if !slicesEqual(want[r], got[r]) {
+				t.Fatalf("round %d rank %d: engine output differs from one-shot Sort", round, r)
+			}
+		}
+		if gotStats.Rounds != wantStats.Rounds || gotStats.TotalSample != wantStats.TotalSample {
+			t.Fatalf("round %d: protocol stats diverged: %+v vs %+v", round, gotStats, wantStats)
+		}
+	}
+}
+
+func slicesEqual[K comparable](a, b []K) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPlanSortWithPlanEquivalence is the plan API's acceptance gate:
+// for a stationary distribution (here: the very same input), a plan
+// prepared by Sorter.Plan and applied by SortWithPlan must produce
+// output rank-identical to a plain Sort — across the HSS variants, both
+// transports, both exchange planes and both code paths — while skipping
+// histogramming entirely (Stats.Rounds == 0).
+func TestPlanSortWithPlanEquivalence(t *testing.T) {
+	const p, perRank = 6, 2500
+	algorithms := []Algorithm{HSS, HSSOneRound, HSSTheoretical}
+	for _, alg := range algorithms {
+		for _, tr := range []Transport{TransportSim, TransportInproc} {
+			for _, stream := range []bool{false, true} {
+				for _, cp := range []CodePath{CodePathOff, CodePathAuto} {
+					name := alg.String() + "/" + tr.String()
+					if stream {
+						name += "/stream"
+					} else {
+						name += "/materializing"
+					}
+					name += "/" + cp.String()
+					t.Run(name, func(t *testing.T) {
+						shards := shardsFor(t, dist.PowerSkew, p, perRank, 17)
+						cfg := Config{
+							Procs: p, Algorithm: alg, Epsilon: 0.1, Seed: 7,
+							Transport: tr, CodePath: cp, StreamExchange: stream,
+						}
+						if stream {
+							cfg.ChunkKeys = 512
+						}
+						want, wantStats, err := Sort(cfg, cloneShards(shards))
+						if err != nil {
+							t.Fatal(err)
+						}
+
+						s, err := New[int64](cfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						defer s.Close()
+						plan, err := s.Plan(bg, shards)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if plan.Rounds != wantStats.Rounds {
+							t.Errorf("plan rounds %d != sort rounds %d", plan.Rounds, wantStats.Rounds)
+						}
+						got, gotStats, err := s.SortWithPlan(bg, plan, cloneShards(shards))
+						if err != nil {
+							t.Fatal(err)
+						}
+						if gotStats.Rounds != 0 || gotStats.TotalSample != 0 {
+							t.Errorf("plan-reuse sort histogrammed: rounds %d, sample %d",
+								gotStats.Rounds, gotStats.TotalSample)
+						}
+						if gotStats.Replanned {
+							t.Error("plan-reuse sort replanned without a staleness guard")
+						}
+						for r := range want {
+							if !slicesEqual(want[r], got[r]) {
+								t.Fatalf("rank %d: SortWithPlan output differs from Sort (%d vs %d keys)",
+									r, len(got[r]), len(want[r]))
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestPlanOtherAlgorithms: the plan path also covers the sample sorts,
+// classic histogram sort and NodeHSS (node-level splitters).
+func TestPlanOtherAlgorithms(t *testing.T) {
+	const p, perRank = 6, 2000
+	cases := []Config{
+		{Procs: p, Algorithm: SampleSortRegular, Epsilon: 0.1, Seed: 3},
+		{Procs: p, Algorithm: SampleSortRandom, Epsilon: 0.1, Seed: 3, StreamExchange: true, ChunkKeys: 512},
+		{Procs: p, Algorithm: HistogramSort, Epsilon: 0.1, Seed: 3},
+		{Procs: p, Algorithm: NodeHSS, CoresPerNode: 2, Epsilon: 0.1, Seed: 3, Transport: TransportInproc},
+		{Procs: p, Algorithm: HSS, Buckets: 4 * p, Epsilon: 0.2, Seed: 3}, // over-partitioned
+	}
+	for _, cfg := range cases {
+		t.Run(cfg.Algorithm.String(), func(t *testing.T) {
+			shards := shardsFor(t, dist.Exponential, p, perRank, 23)
+			want, _, err := Sort(cfg, cloneShards(shards))
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := New[int64](cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			plan, err := s.Plan(bg, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, stats, err := s.SortWithPlan(bg, plan, cloneShards(shards))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.Rounds != 0 {
+				t.Errorf("plan-reuse sort ran %d histogram rounds", stats.Rounds)
+			}
+			for r := range want {
+				if !slicesEqual(want[r], got[r]) {
+					t.Fatalf("rank %d: SortWithPlan output differs from Sort", r)
+				}
+			}
+		})
+	}
+}
+
+// TestPlanReports: a plan carries the protocol's achieved statistics.
+func TestPlanReports(t *testing.T) {
+	const p, perRank = 4, 4000
+	s, err := New[int64](Config{Procs: p, Epsilon: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	shards := shardsFor(t, dist.Uniform, p, perRank, 5)
+	plan, err := s.Plan(bg, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Buckets != p || len(plan.Splitters) != p-1 {
+		t.Fatalf("plan geometry: %d buckets, %d splitters", plan.Buckets, len(plan.Splitters))
+	}
+	if plan.N != int64(p*perRank) {
+		t.Errorf("plan.N = %d", plan.N)
+	}
+	if plan.Rounds < 1 || plan.TotalSample < 1 {
+		t.Errorf("plan protocol stats empty: %+v", plan)
+	}
+	if !plan.Finalized {
+		t.Error("uniform input did not finalize")
+	}
+	if plan.Epsilon != 0.05 {
+		t.Errorf("plan.Epsilon = %v", plan.Epsilon)
+	}
+	// The guarantee is probabilistic, but on uniform data the achieved
+	// ε must at least be computed and sane.
+	if plan.AchievedEpsilon < 0 || plan.AchievedEpsilon > 1 {
+		t.Errorf("plan.AchievedEpsilon = %v", plan.AchievedEpsilon)
+	}
+	// Plan must not consume the input: shards stay unsorted-ish. Verify
+	// by sorting with the same engine afterwards.
+	outs, _, err := s.Sort(bg, cloneShards(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSorted(t, shards, outs)
+}
+
+// TestPlanStalenessGuard: on a drifted distribution a stale plan
+// produces lopsided buckets; with Config.PlanStaleness armed the sort
+// detects it, re-histograms (Stats.Replanned) and restores the balance
+// target. Without the guard the stale splitters are trusted and the
+// imbalance blows through the target.
+func TestPlanStalenessGuard(t *testing.T) {
+	const p, perRank = 8, 4000
+	base := Config{Procs: p, Epsilon: 0.05, Seed: 9}
+	// Plan on keys in [0, 1<<40); sort keys shifted far above: every
+	// key lands in the last bucket.
+	planShards := dist.Spec{Kind: dist.Uniform, Min: 0, Max: 1 << 40}.Shards(perRank, p, 31)
+	drifted := dist.Spec{Kind: dist.Uniform, Min: 1 << 41, Max: 1 << 42}.Shards(perRank, p, 32)
+
+	s, err := New[int64](base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	plan, err := s.Plan(bg, planShards)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Unguarded: the stale plan funnels everything into one bucket.
+	outs, stats, err := s.SortWithPlan(bg, plan, cloneShards(drifted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSorted(t, drifted, outs)
+	if stats.Replanned || stats.Rounds != 0 {
+		t.Fatalf("unguarded sort replanned: %+v", stats)
+	}
+	if stats.Imbalance < float64(p)-0.01 {
+		t.Fatalf("drift did not produce the expected lopsided load (imbalance %v)", stats.Imbalance)
+	}
+
+	// Guarded: the staleness probe fires, the sort re-histograms and
+	// meets the balance target again.
+	guarded := base
+	guarded.PlanStaleness = 1.5
+	g, err := New[int64](guarded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	gplan, err := g.Plan(bg, planShards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, stats, err = g.SortWithPlan(bg, gplan, cloneShards(drifted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSorted(t, drifted, outs)
+	if !stats.Replanned {
+		t.Fatal("staleness guard did not fire")
+	}
+	if stats.Rounds < 1 {
+		t.Error("replan reported no histogramming rounds")
+	}
+	if stats.Imbalance > 1+base.Epsilon+1e-9 {
+		t.Errorf("replanned sort missed the balance target: imbalance %v", stats.Imbalance)
+	}
+
+	// A fresh plan on the drifted data passes the same guard silently.
+	fresh, err := g.Plan(bg, cloneShards(drifted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err = g.SortWithPlan(bg, fresh, cloneShards(drifted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Replanned {
+		t.Error("fresh plan flagged stale")
+	}
+}
+
+// TestPlanMisuse: plans are rejected when they do not fit the engine.
+func TestPlanMisuse(t *testing.T) {
+	const p = 4
+	shards := shardsFor(t, dist.Uniform, p, 500, 3)
+
+	s, err := New[int64](Config{Procs: p, Epsilon: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	plan, err := s.Plan(bg, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.SortWithPlan(bg, nil, cloneShards(shards)); err == nil {
+		t.Error("nil plan accepted")
+	}
+	if _, err := s.Plan(bg, make([][]int64, p)); err == nil {
+		t.Error("plan on empty input accepted (would be rejected by every SortWithPlan)")
+	}
+	if _, _, err := s.SortWithPlan(bg, &Plan[int64]{Splitters: plan.Splitters, Buckets: p}, cloneShards(shards)); err == nil {
+		t.Error("hand-built plan accepted")
+	}
+
+	// A plan from a different geometry.
+	other, err := New[int64](Config{Procs: p, Buckets: 2 * p, Epsilon: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	if _, _, err := other.SortWithPlan(bg, plan, cloneShards(shards)); err == nil {
+		t.Error("plan with mismatched bucket count accepted")
+	}
+
+	// Non-splitter algorithms have no plans.
+	bit, err := New[int64](Config{Procs: p, Algorithm: Bitonic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bit.Close()
+	if _, err := bit.Plan(bg, shards); err == nil {
+		t.Error("bitonic produced a plan")
+	}
+	if _, _, err := bit.SortWithPlan(bg, plan, cloneShards(shards)); err == nil {
+		t.Error("bitonic accepted a plan")
+	}
+
+	// Tagged sorts cannot use plans (tagged records, plain-key plans).
+	tagged, err := New[int64](Config{Procs: p, TagDuplicates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tagged.Close()
+	if _, err := tagged.Plan(bg, shards); err == nil {
+		t.Error("tagged engine produced a plan")
+	}
+}
+
+// TestKVSorterPlan: the record engine supports the full plan lifecycle,
+// payloads riding along.
+func TestKVSorterPlan(t *testing.T) {
+	const p, perRank = 4, 1200
+	shards := make([][]KV[int64, int32], p)
+	raw := shardsFor(t, dist.Zipfian, p, perRank, 13)
+	for r := range shards {
+		for i, k := range raw[r] {
+			shards[r] = append(shards[r], KV[int64, int32]{Key: k, Val: int32(r*perRank + i)})
+		}
+	}
+	s, err := NewKV[int64, int32](Config{Procs: p, Epsilon: 0.1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	plan, err := s.Plan(bg, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, stats, err := s.SortWithPlan(bg, plan, cloneAny(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds != 0 {
+		t.Errorf("KV plan-reuse sort ran %d rounds", stats.Rounds)
+	}
+	// Keys globally sorted, payload multiset preserved.
+	seen := make(map[int32]bool)
+	var prev *KV[int64, int32]
+	for _, o := range outs {
+		for i := range o {
+			if prev != nil && prev.Key > o[i].Key {
+				t.Fatal("KV output not sorted")
+			}
+			prev = &o[i]
+			if seen[o[i].Val] {
+				t.Fatalf("payload %d duplicated", o[i].Val)
+			}
+			seen[o[i].Val] = true
+		}
+	}
+	if len(seen) != p*perRank {
+		t.Fatalf("lost payloads: %d of %d", len(seen), p*perRank)
+	}
+}
+
+// TestSorterContext: engine calls respect context state — pre-cancelled
+// contexts fail fast with ctx.Err() exactly, deadlines expire cleanly,
+// and the engine stays usable after a cancelled call.
+func TestSorterContext(t *testing.T) {
+	const p = 4
+	shards := shardsFor(t, dist.Uniform, p, 2000, 3)
+	s, err := New[int64](Config{Procs: p, Epsilon: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	cancelled, cancel := context.WithCancel(bg)
+	cancel()
+	if _, _, err := s.Sort(cancelled, cloneShards(shards)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled Sort returned %v", err)
+	}
+	if _, err := s.Plan(cancelled, shards); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled Plan returned %v", err)
+	}
+
+	// A deadline that expires mid-run surfaces as DeadlineExceeded.
+	big := shardsFor(t, dist.Uniform, p, 200000, 4)
+	expired, cancel2 := context.WithTimeout(bg, time.Millisecond)
+	defer cancel2()
+	if _, _, err := s.Sort(expired, big); err != nil && err != context.DeadlineExceeded {
+		t.Fatalf("deadline error = %v, want context.DeadlineExceeded", err)
+	}
+
+	// The engine recovered: a normal sort still works.
+	outs, _, err := s.Sort(bg, cloneShards(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSorted(t, shards, outs)
+}
+
+// TestSorterClose: Close is idempotent, later calls fail with
+// ErrSorterClosed, and the worker goroutines actually exit.
+func TestSorterClose(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s, err := New[int64](Config{Procs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := shardsFor(t, dist.Uniform, 8, 200, 1)
+	if _, _, err := s.Sort(bg, cloneShards(shards)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close()
+	if _, _, err := s.Sort(bg, cloneShards(shards)); !errors.Is(err, ErrSorterClosed) {
+		t.Fatalf("Sort after Close = %v, want ErrSorterClosed", err)
+	}
+	if _, err := s.Plan(bg, shards); !errors.Is(err, ErrSorterClosed) {
+		t.Fatalf("Plan after Close = %v, want ErrSorterClosed", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker goroutines leaked: %d > %d", runtime.NumGoroutine(), before)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSorterConstructorValidation: New validates once, loudly.
+func TestSorterConstructorValidation(t *testing.T) {
+	if _, err := New[int64](Config{}); err == nil {
+		t.Error("Procs 0 accepted")
+	}
+	if _, err := New[int64](Config{Procs: 2, Algorithm: Algorithm(99)}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, err := New[int64](Config{Procs: 2, Algorithm: NodeHSS}); err == nil {
+		t.Error("NodeHSS without CoresPerNode accepted")
+	}
+	if _, err := New[int64](Config{Procs: 3, Algorithm: NodeHSS, CoresPerNode: 2}); err == nil {
+		t.Error("NodeHSS with non-divisible CoresPerNode accepted")
+	}
+	if _, err := NewFunc[int64](Config{Procs: 2}, nil); err == nil {
+		t.Error("nil comparator accepted")
+	}
+	if _, err := New[int64](Config{Procs: 2, PlanStaleness: -1}); err == nil {
+		t.Error("negative PlanStaleness accepted")
+	}
+	type opaque struct{ v int }
+	if _, err := NewFunc(Config{Procs: 2, Algorithm: HistogramSort},
+		func(a, b opaque) int { return a.v - b.v }); err == nil {
+		t.Error("HistogramSort without coder accepted")
+	}
+}
+
+// TestSortFloat32Keys: the float32 coder entry engages the code plane
+// for float32 keys, NaN guard included.
+func TestSortFloat32Keys(t *testing.T) {
+	const p = 3
+	shards := [][]float32{
+		{3.5, -1.25, 0, 7e8},
+		{-2.5e-7, 99.5, -0.5, 1.5},
+		{42, -42, 0.25, -7e-3},
+	}
+	outs, _, err := Sort(Config{Procs: p, Epsilon: 0.2, CodePath: CodePathOn}, cloneAny(shards))
+	if err != nil {
+		t.Fatalf("float32 CodePathOn failed: %v", err)
+	}
+	var prev float32
+	first := true
+	n := 0
+	for _, o := range outs {
+		for _, k := range o {
+			if !first && k < prev {
+				t.Fatal("float32 output not sorted")
+			}
+			prev, first = k, false
+			n++
+		}
+	}
+	if n != 12 {
+		t.Fatalf("lost keys: %d", n)
+	}
+	// NaN falls back to the comparator plane under auto, fails under on.
+	nan := [][]float32{{1, float32nan()}, {2, 3}}
+	if _, _, err := Sort(Config{Procs: 2, CodePath: CodePathOn}, cloneAny(nan)); err == nil {
+		t.Error("float32 NaN under CodePathOn did not fail")
+	}
+	if _, _, err := Sort(Config{Procs: 2}, cloneAny(nan)); err != nil {
+		t.Errorf("float32 NaN under auto failed: %v", err)
+	}
+}
+
+func float32nan() float32 {
+	var z float32
+	return z / z
+}
+
+// TestPlanNaNSplitterGuard: a plan prepared on NaN-bearing float data
+// (comparator plane; NaN sorts first, so it can become a splitter) must
+// keep a later SortWithPlan off the code plane even when that sort's
+// shards are NaN-free — otherwise the NaN splitter encodes out of
+// order.
+func TestPlanNaNSplitterGuard(t *testing.T) {
+	const p = 4
+	nan := math.NaN()
+	planShards := [][]float64{
+		{nan, nan, nan, 1, 2}, {nan, nan, 3, 4, nan},
+		{nan, 5, nan, 6, nan}, {nan, 7, nan, 8, nan},
+	}
+	s, err := New[float64](Config{Procs: p, Epsilon: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	plan, err := s.Plan(bg, planShards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasNaN := false
+	for _, sp := range plan.Splitters {
+		if sp != sp {
+			hasNaN = true
+		}
+	}
+	if !hasNaN {
+		t.Skip("plan selected no NaN splitter; guard not exercised")
+	}
+	clean := [][]float64{{4, 1}, {3, 2}, {8, 5}, {7, 6}}
+	outs, _, err := s.SortWithPlan(bg, plan, cloneAny(clean))
+	if err != nil {
+		t.Fatalf("SortWithPlan with a NaN splitter: %v", err)
+	}
+	var got []float64
+	for _, o := range outs {
+		got = append(got, o...)
+	}
+	if !slices.IsSorted(got) {
+		t.Fatalf("output not sorted: %v", got)
+	}
+}

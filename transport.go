@@ -2,6 +2,7 @@ package hssort
 
 import (
 	"fmt"
+	"strings"
 
 	"hssort/internal/comm"
 )
@@ -38,15 +39,15 @@ func (t Transport) String() string {
 	}
 }
 
-// ParseTransport parses a -transport flag value.
+// ParseTransport parses a -transport flag value (case-insensitively).
 func ParseTransport(s string) (Transport, error) {
-	switch s {
+	switch strings.ToLower(s) {
 	case "sim":
 		return TransportSim, nil
 	case "inproc":
 		return TransportInproc, nil
 	default:
-		return 0, fmt.Errorf("hssort: unknown transport %q (want sim or inproc)", s)
+		return 0, fmt.Errorf("hssort: unknown transport %q (valid values: sim, inproc)", s)
 	}
 }
 

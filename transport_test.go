@@ -2,21 +2,36 @@ package hssort
 
 import (
 	"slices"
+	"strings"
 	"testing"
 
 	"hssort/internal/dist"
 )
 
-// TestTransportNamesRoundTrip: String and ParseTransport agree.
+// TestTransportNamesRoundTrip: String and ParseTransport agree, the
+// parser is case-insensitive, and its error names the valid values.
 func TestTransportNamesRoundTrip(t *testing.T) {
 	for _, tr := range []Transport{TransportSim, TransportInproc} {
 		got, err := ParseTransport(tr.String())
 		if err != nil || got != tr {
 			t.Errorf("ParseTransport(%q) = %v, %v", tr.String(), got, err)
 		}
+		name := tr.String()
+		for _, variant := range []string{strings.ToUpper(name), strings.ToUpper(name[:1]) + name[1:]} {
+			got, err := ParseTransport(variant)
+			if err != nil || got != tr {
+				t.Errorf("ParseTransport(%q) = %v, %v (want case-insensitive match)", variant, got, err)
+			}
+		}
 	}
-	if _, err := ParseTransport("carrier-pigeon"); err == nil {
-		t.Error("unknown transport name parsed")
+	_, err := ParseTransport("carrier-pigeon")
+	if err == nil {
+		t.Fatal("unknown transport name parsed")
+	}
+	for _, want := range []string{"sim", "inproc"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("parse error %q does not list valid value %q", err, want)
+		}
 	}
 	if Transport(42).String() != "Transport(42)" {
 		t.Error("unknown transport name")
