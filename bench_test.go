@@ -596,3 +596,47 @@ func BenchmarkSorterReuse(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkTCPTransport places the wire backend on the transport
+// comparison: the same sorts as BenchmarkTransportBackends' data-bound
+// shape, over a loopback mesh of real sockets (serialization, framing,
+// kernel round trips) versus the in-memory backends. The mesh is built
+// once per sub-benchmark (engine reuse), matching how a deployment
+// amortizes bootstrap; rank counts stay modest because a full mesh is
+// p·(p-1)/2 socket pairs. The gap to inproc is the measured price of
+// crossing a socket — the baseline any multi-machine run starts from.
+func BenchmarkTCPTransport(b *testing.B) {
+	ctx := context.Background()
+	shapes := []struct {
+		name       string
+		p, perRank int
+		stream     bool
+	}{
+		{"data-bound/p=4/n=100000", 4, 100000, false},
+		{"data-bound/p=4/n=100000/stream", 4, 100000, true},
+		{"comm-bound/p=16/n=1000", 16, 1000, false},
+	}
+	for _, sh := range shapes {
+		for _, tr := range []Transport{TransportSim, TransportInproc, TransportTCP} {
+			b.Run(sh.name+"/"+tr.String(), func(b *testing.B) {
+				b.ReportAllocs()
+				cfg := Config{Procs: sh.p, Epsilon: 0.1, Seed: 3, Transport: tr, StreamExchange: sh.stream}
+				engine, err := New[int64](cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer engine.Close()
+				shards := dist.Spec{Kind: dist.Uniform}.Shards(sh.perRank, sh.p, 11)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					work := cloneShards(shards)
+					b.StartTimer()
+					if _, _, err := engine.Sort(ctx, work); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

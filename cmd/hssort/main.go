@@ -1,7 +1,7 @@
 // Command hssort sorts a synthetic workload with any of the library's
-// algorithms over simulated processors and prints the paper's metrics:
-// phase breakdown, histogramming rounds, sample sizes, communication
-// volume, and the achieved load imbalance.
+// algorithms and prints the paper's metrics: phase breakdown,
+// histogramming rounds, sample sizes, communication volume, and the
+// achieved load imbalance.
 //
 // Examples:
 //
@@ -10,16 +10,40 @@
 //	hssort -p 16 -dist powerskew -alg histogramsort # skew vs bisection
 //	hssort -p 16 -dist dupheavy -tag                # §4.3 duplicate tagging
 //	hssort -p 16 -alg node-hss -cores 4             # §6.1 two-level sort
+//
+// Multi-process deployment (the tcp transport; see docs/WIRE.md and the
+// README's "Distributed deployment" section):
+//
+//	hssort -transport tcp -launch local:4 -n 100000   # fork 4 workers on localhost
+//
+//	# or launch the worker processes yourself (possibly on different hosts):
+//	hssort -transport tcp -coordinator host0:9999 -rank 0 -p 4 ...
+//	hssort -transport tcp -coordinator host0:9999 -rank 1 -p 4 ...
+//	...
+//
+// Every worker must be started with identical workload flags (-n, -dist,
+// -seed, -alg, …): each process derives the deterministic global input
+// and sorts its own rank's shard. -digest prints per-rank output
+// fingerprints that are comparable across transports, which is how the
+// CI smoke asserts rank-identical output of a 4-process tcp run against
+// the in-process sim oracle.
 package main
 
 import (
+	"bufio"
 	"context"
+	"encoding/binary"
 	"flag"
 	"fmt"
+	"hash/fnv"
+	"net"
 	"os"
+	"os/exec"
 	"os/signal"
 	"slices"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"hssort"
@@ -73,7 +97,7 @@ func main() {
 		tag     = flag.Bool("tag", false, "tag duplicates (§4.3)")
 		approx  = flag.Bool("approx", false, "approximate histogramming (§3.4)")
 		seed    = flag.Uint64("seed", 1, "random seed")
-		trName  = flag.String("transport", "sim", "comm backend: sim (byte-accounted) or inproc (shared-memory fast path)")
+		trName  = flag.String("transport", "sim", "comm backend — "+strings.Join(hssort.TransportSummaries(), "; "))
 		cpName  = flag.String("codepath", "auto", "compute plane: auto (code plane when available), off (comparator oracle) or on (require the code plane)")
 		stream  = flag.Bool("stream", false, "streaming chunked exchange overlapped with the merge")
 		chunk   = flag.Int("chunk", 0, "streaming-exchange chunk size in keys (implies -stream; default 64Ki)")
@@ -81,6 +105,12 @@ func main() {
 		plan    = flag.Bool("plan", false, "prepare a splitter plan once and sort with SortWithPlan (0 histogram rounds per sort)")
 		stale   = flag.Float64("staleness", 0, "with -plan: bucket-imbalance bound above which a sort re-histograms (0 = trust the plan)")
 		verbose = flag.Bool("v", false, "verify the output is globally sorted")
+
+		coordinator = flag.String("coordinator", "", "tcp worker mode: host:port of the rank-0 rendezvous listener (requires -transport tcp and -rank)")
+		rank        = flag.Int("rank", 0, "tcp worker mode: this process's rank in [0, p)")
+		listenAddr  = flag.String("listen", "", "tcp worker mode: bind address of this process's data listener (default 127.0.0.1:0)")
+		launch      = flag.String("launch", "", "convenience launcher: local:N forks N tcp worker processes on localhost and relays their output")
+		digest      = flag.Bool("digest", false, "print per-rank output fingerprints (comparable across transports)")
 	)
 	flag.Parse()
 
@@ -105,8 +135,36 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *launch != "" {
+		os.Exit(launchWorkers(*launch))
+	}
+	workerMode := *coordinator != ""
+	if workerMode {
+		if transport != hssort.TransportTCP {
+			fmt.Fprintln(os.Stderr, "-coordinator requires -transport tcp")
+			os.Exit(2)
+		}
+		if *rank < 0 || *rank >= *p {
+			fmt.Fprintf(os.Stderr, "-rank %d outside [0, %d)\n", *rank, *p)
+			os.Exit(2)
+		}
+		if *verbose || *plan {
+			fmt.Fprintln(os.Stderr, "-v and -plan need the whole output in one process; unavailable in tcp worker mode")
+			os.Exit(2)
+		}
+	}
+
 	spec := dist.Spec{Kind: kind}
 	shards := spec.Shards(*n, *p, *seed)
+	if workerMode {
+		// Each process derives the deterministic global input and keeps
+		// only its own rank's shard; peers sort theirs.
+		for i := range shards {
+			if i != *rank {
+				shards[i] = nil
+			}
+		}
+	}
 	var input [][]int64
 	if *verbose {
 		input = make([][]int64, *p)
@@ -130,6 +188,9 @@ func main() {
 		StreamExchange: *stream,
 		ChunkKeys:      *chunk,
 		PlanStaleness:  *stale,
+	}
+	if workerMode {
+		cfg.TCP = hssort.TCPConfig{Coordinator: *coordinator, Rank: *rank, ListenAddr: *listenAddr}
 	}
 
 	// The engine is built once; Ctrl-C cancels the in-flight sort on
@@ -184,10 +245,34 @@ func main() {
 			runs, (wall / time.Duration(runs)).Round(time.Microsecond))
 	}
 
-	fmt.Printf("%s: sorted %s %s keys on %d simulated processors in %v (%s transport, %s code path)\n\n",
-		alg, tablefmt.Count(float64(stats.N)), *dsName, *p, wall.Round(time.Millisecond), transport, codePath)
+	if workerMode && *rank != 0 {
+		// Peers report their partition; whole-run stats live on rank 0.
+		var total int
+		for _, o := range outs {
+			total += len(o)
+		}
+		fmt.Printf("%s: rank %d/%d sorted its partition (%s keys received) in %v over tcp\n",
+			alg, *rank, *p, tablefmt.Count(float64(total)), wall.Round(time.Millisecond))
+		if *digest {
+			printDigests(outs, *rank, workerMode)
+		}
+		return
+	}
+	world := "simulated processors"
+	if workerMode {
+		world = "worker processes"
+	}
+	fmt.Printf("%s: sorted %s %s keys on %d %s in %v (%s transport, %s code path)\n\n",
+		alg, tablefmt.Count(float64(stats.N)), *dsName, *p, world, wall.Round(time.Millisecond), transport, codePath)
 	if transport == hssort.TransportInproc {
 		fmt.Println("note: the inproc transport does no byte accounting; byte/message metrics read zero")
+		fmt.Println()
+	}
+	if transport == hssort.TransportTCP {
+		fmt.Println("note: tcp byte/message metrics are measured wire traffic (headers included), not the sim model")
+		if workerMode {
+			fmt.Println("note: in worker mode the byte/message totals cover this process's rank only")
+		}
 		fmt.Println()
 	}
 	t := tablefmt.New("metric", "value")
@@ -209,6 +294,9 @@ func main() {
 	t.AddRow("total messages", fmt.Sprintf("%d", stats.TotalMsgs))
 	t.AddRow("load imbalance (max/avg)", fmt.Sprintf("%.4f (target <= %.4f)", stats.Imbalance, 1+*eps))
 	fmt.Print(t.String())
+	if *digest {
+		printDigests(outs, *rank, workerMode)
+	}
 
 	if *verbose {
 		var want, got []int64
@@ -234,4 +322,112 @@ func main() {
 		}
 		fmt.Println("\nverified: output is the globally sorted permutation of the input")
 	}
+}
+
+// printDigests emits one deterministic fingerprint line per output
+// partition. The lines are identical for rank-identical output, whatever
+// transport produced it — diffing the sorted digest lines of a tcp
+// worker fleet against a sim run is the cross-process correctness check
+// the CI smoke performs.
+func printDigests(outs [][]int64, rank int, workerMode bool) {
+	for r, o := range outs {
+		if workerMode && r != rank {
+			continue // peers print their own
+		}
+		h := fnv.New64a()
+		var b [8]byte
+		for _, k := range o {
+			binary.LittleEndian.PutUint64(b[:], uint64(k))
+			h.Write(b[:])
+		}
+		fmt.Printf("digest rank=%d n=%d fnv=%016x\n", r, len(o), h.Sum64())
+	}
+}
+
+// launchWorkers implements -launch local:N: fork N copies of this
+// binary as tcp worker processes on localhost (rank 0 doubling as the
+// rendezvous coordinator), relay their output line-atomically, and exit
+// non-zero if any worker fails.
+func launchWorkers(spec string) int {
+	mode, arg, ok := strings.Cut(spec, ":")
+	if !ok || mode != "local" {
+		fmt.Fprintf(os.Stderr, "unsupported -launch %q (supported: local:N)\n", spec)
+		return 2
+	}
+	procs, err := strconv.Atoi(arg)
+	if err != nil || procs < 1 {
+		fmt.Fprintf(os.Stderr, "bad worker count in -launch %q\n", spec)
+		return 2
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	// Reserve an ephemeral port for the coordinator. The port is
+	// released before rank 0 rebinds it — a tiny race that a stray
+	// process on localhost could lose; rerun on the (rare) bootstrap
+	// failure.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	coordinator := ln.Addr().String()
+	ln.Close()
+
+	// Forward every flag except the launcher's own, overriding the
+	// world size with the worker count. -listen must not propagate: the
+	// workers are loopback processes with ephemeral ports, and a shared
+	// explicit bind address would collide across ranks.
+	var common []string
+	skip := map[string]bool{"launch": true, "coordinator": true, "rank": true, "p": true, "transport": true, "listen": true}
+	flag.Visit(func(f *flag.Flag) {
+		if !skip[f.Name] {
+			common = append(common, "-"+f.Name+"="+f.Value.String())
+		}
+	})
+	common = append(common, "-transport=tcp", fmt.Sprintf("-p=%d", procs))
+
+	fmt.Printf("launching %d tcp worker processes (coordinator %s)\n", procs, coordinator)
+	var mu sync.Mutex // line-atomic relay of worker output
+	var wg sync.WaitGroup
+	fails := make([]error, procs)
+	for r := 0; r < procs; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			args := append(slices.Clone(common), "-coordinator="+coordinator, fmt.Sprintf("-rank=%d", r))
+			cmd := exec.Command(exe, args...)
+			out, err := cmd.StdoutPipe()
+			if err != nil {
+				fails[r] = err
+				return
+			}
+			cmd.Stderr = os.Stderr
+			if err := cmd.Start(); err != nil {
+				fails[r] = err
+				return
+			}
+			sc := bufio.NewScanner(out)
+			sc.Buffer(make([]byte, 1<<16), 1<<20)
+			for sc.Scan() {
+				mu.Lock()
+				fmt.Printf("[rank %d] %s\n", r, sc.Text())
+				mu.Unlock()
+			}
+			if err := cmd.Wait(); err != nil {
+				fails[r] = fmt.Errorf("worker %d: %w", r, err)
+			}
+		}(r)
+	}
+	wg.Wait()
+	code := 0
+	for _, err := range fails {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			code = 1
+		}
+	}
+	return code
 }

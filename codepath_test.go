@@ -24,6 +24,11 @@ func cloneAny[K any](shards [][]K) [][]K {
 }
 
 func TestMain(m *testing.M) {
+	// Re-exec hook: the multi-process transport test launches this test
+	// binary as TCP worker processes (see tcp_test.go).
+	if spec := os.Getenv(tcpWorkerEnv); spec != "" {
+		os.Exit(runTCPWorker(spec))
+	}
 	// Every sort in this package's tests re-validates partition inputs:
 	// the hot path dropped the per-call O(B) splitter check, so the
 	// tests keep the debug assertion armed to catch any pipeline that

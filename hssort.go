@@ -205,9 +205,18 @@ type Config struct {
 	// Approx enables §3.4 approximate histogramming (HSS variants).
 	Approx bool
 	// Transport selects the communication backend: TransportSim (the
-	// default, fully byte-accounted) or TransportInproc (zero-copy
-	// shared-memory fast path; communication-volume Stats read zero).
+	// default, fully byte-accounted), TransportInproc (zero-copy
+	// shared-memory fast path; communication-volume Stats read zero) or
+	// TransportTCP (multi-process sockets with measured wire traffic;
+	// see TCP below and docs/WIRE.md).
 	Transport Transport
+	// TCP configures the TransportTCP backend. The zero value runs an
+	// in-process loopback mesh over real localhost sockets; setting
+	// Coordinator joins a multi-process world in which this process
+	// hosts the single rank TCP.Rank — the engine then sorts only that
+	// rank's shard (shards[TCP.Rank]), peers sort theirs, and Stats are
+	// populated on the rank-0 process only.
+	TCP TCPConfig
 	// CodePath selects the compute plane; see the CodePath constants.
 	// The default, CodePathAuto, engages the code-space fast path
 	// whenever the key type admits it.

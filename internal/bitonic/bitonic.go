@@ -1,9 +1,3 @@
-// Package bitonic implements Batcher's bitonic sort on a hypercube of
-// ranks — the merge-based baseline of §4.2. Every key moves Θ(log² p)
-// times (once per compare-split stage), which is why the paper dismisses
-// merge-based sorts when N >> p: the data movement dwarfs the one-shot
-// all-to-all of splitter-based algorithms. Implemented to make that
-// comparison measurable.
 package bitonic
 
 import (

@@ -1,0 +1,9 @@
+// Package bspmodel encodes the paper's analytic cost model (§5.1,
+// Table 5.1, Fig 4.1): closed-form sample sizes and BSP running-time
+// expressions for sample sort (regular and random sampling) and HSS with
+// one, two, k, and the optimal log log p/ε rounds.
+//
+// These formulas regenerate the concrete numbers the paper quotes —
+// 1600 GB / 8.1 GB / 184 MB / 24 MB / 10 MB for p = 10⁵, ε = 5%,
+// N/p = 10⁶, 8-byte keys — and the Fig 4.1 sample-size curves.
+package bspmodel

@@ -1,28 +1,3 @@
-// Package codes is the comparator-free code-space compute plane. Every
-// hot loop of the sort pipelines — local sort, partition cuts, histogram
-// rank scans, k-way merges — can run on raw uint64 comparisons instead of
-// Go comparator-closure calls whenever the key type admits an
-// order-preserving uint64 bijection (internal/keycoder) or, for
-// payload-carrying records, an order-preserving code extractor.
-//
-// The package defines the Code point type and the branch-predictable
-// kernels over code slices: an in-place MSD radix sort (with a tandem
-// variant that drags record payloads along, the decorate-sort-undecorate
-// plane for KV data), branch-free binary-search ranks, and partition cut
-// computation.
-//
-// # The Code invariant
-//
-// Code is a distinct named type rather than a bare uint64 on purpose:
-// only this package and the keycoder bijections ever produce []Code, and
-// they produce it exclusively in natural unsigned order-correspondence
-// with the comparator of the keys it encodes. A generic function that
-// discovers its []K is actually a []Code may therefore switch to direct
-// `<` comparisons without consulting its comparator — the localized
-// type-sniffing fast paths in EncodeSlice/DecodeSlice/SortByCode and in
-// internal/histogram rely on exactly this. User-supplied key types can
-// never be []Code (the package is internal), so the sniff cannot
-// misfire on a caller's custom comparator.
 package codes
 
 import "hssort/internal/keycoder"

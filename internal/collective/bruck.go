@@ -26,6 +26,7 @@ type bruckItem[T any] struct {
 // the histogram/sample traffic regime, not the bulk data exchange.
 // BenchmarkAblationBruck quantifies the crossover.
 func AllToAllvBruck[T any](e comm.Endpoint, tag comm.Tag, parts [][]T) ([][]T, error) {
+	comm.RegisterWire[[]bruckItem[T]]() // wire transports decode by registered type
 	p := e.Size()
 	me := e.Rank()
 	if len(parts) != p {

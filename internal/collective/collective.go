@@ -1,13 +1,3 @@
-// Package collective implements the communication collectives the paper's
-// cost analysis (§5.1) assumes: dissemination barrier, binomial-tree
-// broadcast and reduction, binomial gather, direct scatter, all-to-allv
-// personalized exchange, and pipelined (chunked chain) broadcast/reduction
-// for large messages.
-//
-// All collectives are built purely on comm.Endpoint Send/Recv, so they run
-// unchanged over a whole World or over a Group (sub-communicator). Every
-// rank of the endpoint must call the collective with the same root and tag
-// (standard SPMD discipline); tags namespace concurrent collectives.
 package collective
 
 import (
@@ -143,6 +133,7 @@ func SumInt64(dst, src []int64) {
 // binomial tree. On root it returns all contributions indexed by rank; on
 // other ranks it returns nil. Contributed slices transfer ownership.
 func Gatherv[T any](e comm.Endpoint, root int, tag comm.Tag, data []T) ([][]T, error) {
+	comm.RegisterWire[[]rankedPart[T]]() // wire transports decode by registered type
 	p := e.Size()
 	me := e.Rank()
 	rel := (me - root + p) % p

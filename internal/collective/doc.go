@@ -1,0 +1,11 @@
+// Package collective implements the communication collectives the paper's
+// cost analysis (§5.1) assumes: dissemination barrier, binomial-tree
+// broadcast and reduction, binomial gather, direct scatter, all-to-allv
+// personalized exchange, and pipelined (chunked chain) broadcast/reduction
+// for large messages.
+//
+// All collectives are built purely on comm.Endpoint Send/Recv, so they run
+// unchanged over a whole World or over a Group (sub-communicator). Every
+// rank of the endpoint must call the collective with the same root and tag
+// (standard SPMD discipline); tags namespace concurrent collectives.
+package collective

@@ -1,33 +1,3 @@
-// Package comm is the distributed message-passing runtime that stands in
-// for MPI/Charm++ in this reproduction.
-//
-// A World hosts p ranks over a pluggable Transport. Run launches one
-// goroutine per rank executing the same SPMD function, mirroring how the
-// paper's algorithm runs one process per core. Ranks share no mutable
-// state; all interaction flows through Send/Recv.
-//
-// Two transports ship with the repository (see Transport):
-//
-//   - SimTransport (default): the simulated "accounting" backend. Bytes
-//     are counted as if every payload were serialized, so communication
-//     volume and message counts — the quantities in the paper's BSP
-//     analysis (§5.1) — are measured, not estimated.
-//   - InprocTransport: the zero-copy shared-memory fast path for
-//     throughput runs, with no accounting overhead.
-//
-// Semantics common to both:
-//
-//   - Send is asynchronous and never blocks (mailboxes are unbounded),
-//     so no protocol can deadlock on buffer exhaustion — matching MPI's
-//     buffered-send model that the paper's collectives assume.
-//   - Recv blocks until a message matching (src, tag) arrives. Matching
-//     messages from one sender with one tag are delivered in send order
-//     (pairwise FIFO, the MPI non-overtaking rule).
-//   - Payloads are passed by reference (shared memory under the hood);
-//     a sender must not touch a payload after sending.
-//
-// A panic in any rank aborts the whole World, unblocking every Recv with
-// ErrAborted — otherwise a bug in one rank would deadlock the rest.
 package comm
 
 import (
@@ -157,10 +127,14 @@ func (w *World) Transport() Transport { return w.t }
 // in ErrAborted if err is nil). The first abort wins.
 func (w *World) Abort(err error) { w.t.Abort(err) }
 
-// Run executes fn concurrently on every rank and waits for all to finish.
-// It returns the joined errors of all ranks. A panic in any rank aborts
-// the World and is reported as that rank's error; other ranks then fail
-// with ErrAborted instead of hanging.
+// Run executes fn concurrently on every rank hosted in this process and
+// waits for all to finish. In-memory transports host all ranks, so fn
+// runs Size() times; a multi-process transport (comm.RankHoster, e.g.
+// TCPTransport) hosts a subset and the peer processes run the rest of
+// the same SPMD program. Run returns the joined errors of the hosted
+// ranks. A panic in any rank aborts the World — across processes, for a
+// wire transport — and is reported as that rank's error; other ranks
+// then fail with ErrAborted instead of hanging.
 func (w *World) Run(fn func(c *Comm) error) error {
 	var timer *time.Timer
 	if w.timeout > 0 {
@@ -169,22 +143,22 @@ func (w *World) Run(fn func(c *Comm) error) error {
 		})
 		defer timer.Stop()
 	}
-	p := w.Size()
+	ranks := hostedRanks(w.t)
 	var wg sync.WaitGroup
-	errs := make([]error, p)
-	for r := 0; r < p; r++ {
+	errs := make([]error, len(ranks))
+	for i, r := range ranks {
 		wg.Add(1)
-		go func(rank int) {
+		go func(i, rank int) {
 			defer wg.Done()
 			defer func() {
 				if rec := recover(); rec != nil {
 					err := fmt.Errorf("comm: rank %d panicked: %v", rank, rec)
-					errs[rank] = err
+					errs[i] = err
 					w.Abort(err)
 				}
 			}()
-			errs[rank] = fn(&Comm{w: w, rank: rank})
-		}(r)
+			errs[i] = fn(&Comm{w: w, rank: rank})
+		}(i, r)
 	}
 	wg.Wait()
 	return errors.Join(errs...)

@@ -1,0 +1,43 @@
+// Package comm is the distributed message-passing runtime that stands in
+// for MPI/Charm++ in this reproduction.
+//
+// A World hosts p ranks over a pluggable Transport. Run launches one
+// goroutine per hosted rank executing the same SPMD function, mirroring
+// how the paper's algorithm runs one process per core. Ranks share no
+// mutable state; all interaction flows through Send/Recv.
+//
+// Three transports ship with the repository (see Transport):
+//
+//   - SimTransport (default): the simulated "accounting" backend. Bytes
+//     are counted as if every payload were serialized, so communication
+//     volume and message counts — the quantities in the paper's BSP
+//     analysis (§5.1) — are measured, not estimated.
+//   - InprocTransport: the zero-copy shared-memory fast path for
+//     throughput runs, with no accounting overhead.
+//   - TCPTransport: the multi-process backend. Each rank is its own OS
+//     process; messages cross real sockets through the length-prefixed
+//     binary protocol of wire.go (spec: docs/WIRE.md), and counters
+//     report measured wire traffic. A process's transport hosts only
+//     its own rank (RankHoster), so World and Pool drive just that rank
+//     while peer processes run the rest of the same SPMD program;
+//     NewTCPLoopback builds an in-process world over real localhost
+//     sockets for tests and single-machine runs.
+//
+// Semantics common to all backends (pinned by the conformance suite in
+// transport_test.go):
+//
+//   - Send is asynchronous and never blocks (mailboxes and outbound
+//     queues are unbounded), so no protocol can deadlock on buffer
+//     exhaustion — matching MPI's buffered-send model that the paper's
+//     collectives assume.
+//   - Recv blocks until a message matching (src, tag) arrives. Matching
+//     messages from one sender with one tag are delivered in send order
+//     (pairwise FIFO, the MPI non-overtaking rule).
+//   - The sender must not touch a payload after sending. The in-memory
+//     backends pass payloads by reference; the wire backend serializes,
+//     so the receiver always owns what it gets.
+//
+// A panic in any rank aborts the whole World — across processes, for
+// the wire backend — unblocking every Recv with ErrAborted; otherwise a
+// bug in one rank would deadlock the rest.
+package comm

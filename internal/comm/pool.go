@@ -31,6 +31,7 @@ type Pool struct {
 
 	mu      sync.Mutex // serializes Run; guards closed
 	closed  bool
+	ranks   []int // the ranks hosted in this process (all, unless RankHoster)
 	jobs    []chan func(c *Comm) error
 	results chan rankResult
 	wg      sync.WaitGroup
@@ -51,27 +52,32 @@ type rankResult struct {
 	err  error
 }
 
-// NewPool creates a Pool of p rank workers. It accepts the same options
-// as NewWorld (WithTransport, WithTimeout, WithInterceptor) and panics
-// under the same conditions.
+// NewPool creates a Pool over a p-rank world. It accepts the same
+// options as NewWorld (WithTransport, WithTimeout, WithInterceptor) and
+// panics under the same conditions. Worker goroutines are spawned only
+// for the ranks the transport hosts in this process (all of them for
+// the in-memory backends; the local rank for a multi-process
+// TCPTransport endpoint).
 func NewPool(p int, opts ...Option) *Pool {
 	w := NewWorld(p, opts...)
+	ranks := hostedRanks(w.t)
 	pl := &Pool{
 		t:       w.t,
 		timeout: w.timeout,
-		jobs:    make([]chan func(c *Comm) error, p),
-		results: make(chan rankResult, p),
+		ranks:   ranks,
+		jobs:    make([]chan func(c *Comm) error, len(ranks)),
+		results: make(chan rankResult, len(ranks)),
 	}
-	for r := 0; r < p; r++ {
-		pl.jobs[r] = make(chan func(c *Comm) error)
+	for i, r := range ranks {
+		pl.jobs[i] = make(chan func(c *Comm) error)
 		pl.wg.Add(1)
-		go func(rank int) {
+		go func(i, rank int) {
 			defer pl.wg.Done()
 			c := &Comm{w: w, rank: rank}
-			for fn := range pl.jobs[rank] {
+			for fn := range pl.jobs[i] {
 				pl.results <- rankResult{rank, runRank(c, fn)}
 			}
-		}(r)
+		}(i, r)
 	}
 	return pl
 }
@@ -90,8 +96,9 @@ func runRank(c *Comm, fn func(c *Comm) error) (err error) {
 	return fn(c)
 }
 
-// Size returns the number of ranks.
-func (pl *Pool) Size() int { return len(pl.jobs) }
+// Size returns the number of ranks in the world (across all processes,
+// for a multi-process transport).
+func (pl *Pool) Size() int { return pl.t.Size() }
 
 // Transport returns the backend the Pool runs over. Read counters only
 // between runs.
@@ -161,14 +168,13 @@ func (pl *Pool) Run(ctx context.Context, fn func(c *Comm) error) error {
 		})
 		defer timer.Stop()
 	}
-	p := len(pl.jobs)
-	for r := 0; r < p; r++ {
-		pl.jobs[r] <- fn
+	for _, ch := range pl.jobs {
+		ch <- fn
 	}
-	errs := make([]error, p)
-	for i := 0; i < p; i++ {
+	errs := make([]error, 0, len(pl.jobs))
+	for range pl.jobs {
 		res := <-pl.results
-		errs[res.rank] = res.err
+		errs = append(errs, res.err)
 	}
 	return errors.Join(errs...)
 }

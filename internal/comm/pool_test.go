@@ -11,9 +11,10 @@ import (
 	"time"
 )
 
-// pool builds a Pool over a fresh transport of the given backend.
-func pool(mk func(p int) Transport, p int) *Pool {
-	return NewPool(p, WithTransport(mk(p)), WithTimeout(10*time.Second))
+// pool builds a Pool over a fresh transport of the given backend,
+// released at test end.
+func pool(t *testing.T, mk func(p int) Transport, p int) *Pool {
+	return NewPool(p, WithTransport(closeLater(t, mk(p))), WithTimeout(10*time.Second))
 }
 
 // TestPoolReuse: one Pool serves many runs, each starting from a clean
@@ -21,7 +22,7 @@ func pool(mk func(p int) Transport, p int) *Pool {
 func TestPoolReuse(t *testing.T) {
 	forEachTransport(t, func(t *testing.T, mk func(p int) Transport) {
 		const p, runs = 4, 5
-		pl := pool(mk, p)
+		pl := pool(t, mk, p)
 		defer pl.Close()
 		for run := 0; run < runs; run++ {
 			var sum atomic.Int64
@@ -59,7 +60,7 @@ func TestPoolReuse(t *testing.T) {
 func TestPoolRecoversAfterPanic(t *testing.T) {
 	forEachTransport(t, func(t *testing.T, mk func(p int) Transport) {
 		const p = 3
-		pl := pool(mk, p)
+		pl := pool(t, mk, p)
 		defer pl.Close()
 		err := pl.Run(context.Background(), func(c *Comm) error {
 			if c.Rank() == 1 {
@@ -83,7 +84,7 @@ func TestPoolRecoversAfterPanic(t *testing.T) {
 func TestPoolContextCancel(t *testing.T) {
 	forEachTransport(t, func(t *testing.T, mk func(p int) Transport) {
 		const p = 4
-		pl := pool(mk, p)
+		pl := pool(t, mk, p)
 		defer pl.Close()
 		ctx, cancel := context.WithCancel(context.Background())
 		rankErrs := make([]error, p)

@@ -1,0 +1,1285 @@
+package comm
+
+// tcp.go implements TCPTransport: the multi-process backend in which
+// each rank is its own OS process and all communication crosses real
+// sockets through the length-prefixed binary protocol of wire.go (spec:
+// docs/WIRE.md).
+//
+// Topology. Ranks form a full mesh: one TCP connection per unordered
+// rank pair, established during a coordinator-based bootstrap (rank 0
+// listens at a well-known address, everyone registers, rank 0 broadcasts
+// the address table, higher ranks dial lower ranks). Each connection has
+// one writer goroutine draining an unbounded outbound queue — so Send
+// never blocks, preserving the buffered-send model the algorithms assume
+// — and one reader goroutine that decodes frames and feeds the local
+// rank's tag-matched mailbox, so Recv/TryRecv/RecvAny semantics are
+// identical to the in-memory backends and the streaming exchange's
+// credit window works unchanged.
+//
+// Generations. Transport.Reset — the hook the engine (comm.Pool) uses
+// between sorts — is a wire-level epoch bump: every frame carries the
+// sender's generation, receivers drop frames from past generations
+// (stale traffic of an aborted run) and buffer frames from future
+// generations until their own Reset catches up (SPMD peers may race one
+// run ahead). Abort latches propagate as generation-fenced control
+// frames carrying enough structure to reconstruct context cancellation
+// errors on every process.
+//
+// Teardown. Close sends a shutdown frame and half-closes each
+// connection; an EOF after a shutdown frame is graceful, an EOF without
+// one aborts the transport (peer crash). Close waits for the peer's own
+// shutdown up to ShutdownTimeout, then force-closes, and is the hook
+// behind the goroutine-leak guarantees the tests pin.
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrTransportClosed is returned by operations on a TCPTransport after
+// Close.
+var ErrTransportClosed = errors.New("comm: transport closed")
+
+// TCPOptions configures one process's endpoint of a TCP world. The zero
+// value is not usable: Coordinator, Rank and Procs are required (the
+// NewTCPLoopback helper fills them for in-process meshes).
+type TCPOptions struct {
+	// Coordinator is the host:port of the rank-0 rendezvous listener.
+	// Rank 0 binds it; every other rank dials it to register and learn
+	// the peer address table.
+	Coordinator string
+	// Rank is this process's rank in [0, Procs).
+	Rank int
+	// Procs is the total number of ranks in the world.
+	Procs int
+	// ListenAddr is the bind address for this process's data listener
+	// (ranks > 0; rank 0's data listener is the coordinator listener).
+	// Default "127.0.0.1:0". Use a routable interface for multi-machine
+	// worlds.
+	ListenAddr string
+	// CoordinatorListener optionally supplies a pre-bound listener for
+	// the coordinator address (rank 0 only): the caller can bind
+	// host:0, read the ephemeral port off Addr, hand it to workers and
+	// pass the listener here, eliminating the bind race of launchers.
+	CoordinatorListener net.Listener
+	// BootstrapTimeout bounds the whole rendezvous + mesh setup.
+	// Default 30s.
+	BootstrapTimeout time.Duration
+	// ShutdownTimeout bounds how long Close waits for peers to finish
+	// their own teardown before force-closing sockets. Default 5s.
+	ShutdownTimeout time.Duration
+}
+
+// withDefaults fills unset option fields.
+func (o TCPOptions) withDefaults() TCPOptions {
+	if o.ListenAddr == "" {
+		o.ListenAddr = "127.0.0.1:0"
+	}
+	if o.BootstrapTimeout == 0 {
+		o.BootstrapTimeout = 30 * time.Second
+	}
+	if o.ShutdownTimeout == 0 {
+		o.ShutdownTimeout = 5 * time.Second
+	}
+	return o
+}
+
+// tcpConn is one established rank-pair connection.
+type tcpConn struct {
+	peer int
+	c    net.Conn
+	bw   *bufio.Writer
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	outq     [][]byte // encoded frames awaiting the writer
+	closing  bool     // local Close started: writer drains, then half-closes
+	peerDone bool     // peer's shutdown frame arrived
+
+	// pending buffers whole frames from future generations (peer raced
+	// ahead to its next run); the owning transport re-delivers them
+	// when Reset advances the local generation. Guarded by the
+	// transport's genMu, not conn.mu.
+	pending []pendingFrame
+}
+
+// pendingFrame is a future-generation frame awaiting Reset.
+type pendingFrame struct {
+	h    frameHeader
+	msg  Message // valid for frameData
+	ctrl []byte  // control payload (abort frames) for non-data kinds
+}
+
+// enqueue appends an encoded frame for the writer goroutine.
+func (pc *tcpConn) enqueue(frame []byte) {
+	pc.mu.Lock()
+	pc.outq = append(pc.outq, frame)
+	pc.cond.Signal()
+	pc.mu.Unlock()
+}
+
+// TCPTransport is one process's endpoint of a multi-process world: the
+// third Transport backend, in which every rank runs in its own OS
+// process and messages cross real TCP sockets (docs/WIRE.md).
+//
+// A TCPTransport hosts exactly one local rank. Send accepts only the
+// local rank as src and Recv/TryRecv/Barrier only the local rank as
+// dst/rank — World and Pool detect this through the RankHoster
+// interface and drive just the hosted rank, so the same SPMD code runs
+// unchanged with p processes instead of p goroutines. For an in-process
+// world over real sockets (tests, single-machine benchmarks), see
+// NewTCPLoopback.
+//
+// Unlike SimTransport's modeled byte accounting, Counters here report
+// measured wire traffic: every frame charges its actual encoded size,
+// header included.
+type TCPTransport struct {
+	p    int
+	me   int
+	opts TCPOptions
+
+	conns []*tcpConn // by peer rank; nil at me
+	box   mailbox    // the local rank's tag-matched inbox
+
+	counters struct {
+		mu sync.Mutex
+		c  Counters
+	}
+
+	gen    atomic.Uint32 // current generation (epoch)
+	genMu  sync.Mutex    // serializes Reset vs reader delivery decisions
+	abort  abortState
+	bar    tcpBarrier
+	closed atomic.Bool
+	// lost latches the first permanent connection failure. Unlike the
+	// abort latch — which Reset clears so an engine can reuse the mesh
+	// after a cancellation — a lost peer cannot come back: Reset
+	// re-latches this error so the next run fails fast instead of
+	// wedging against a dead socket until the watchdog.
+	lost atomic.Pointer[error]
+
+	wg sync.WaitGroup // reader + writer goroutines
+}
+
+var (
+	_ Transport  = (*TCPTransport)(nil)
+	_ RankHoster = (*TCPTransport)(nil)
+	_ io.Closer  = (*TCPTransport)(nil)
+)
+
+// tcpBarrier is the transport's native barrier, centralized at rank 0:
+// each rank sends a barrier-enter control frame to rank 0, which counts
+// p arrivals per sequence number and broadcasts a release frame. The
+// sequence number travels in the frame's tag field.
+type tcpBarrier struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	seq      uint32         // barriers this rank has entered (this generation)
+	released uint32         // highest released sequence number
+	enters   map[uint32]int // rank 0 only: arrivals per sequence
+}
+
+// DialTCP bootstraps this process's endpoint of a TCP world and blocks
+// until the full connection mesh is up: the coordinator has seen all
+// Procs registrations, this rank has dialed every lower rank and been
+// dialed by every higher rank. The listener used during bootstrap is
+// closed before DialTCP returns; the mesh is the only remaining wiring.
+func DialTCP(opts TCPOptions) (*TCPTransport, error) {
+	opts = opts.withDefaults()
+	if opts.Procs < 1 {
+		panicSize(opts.Procs)
+	}
+	if opts.Rank < 0 || opts.Rank >= opts.Procs {
+		return nil, fmt.Errorf("comm: tcp rank %d outside [0, %d)", opts.Rank, opts.Procs)
+	}
+	if opts.Coordinator == "" && opts.CoordinatorListener == nil {
+		return nil, fmt.Errorf("comm: tcp bootstrap needs a coordinator address")
+	}
+	t := &TCPTransport{p: opts.Procs, me: opts.Rank, opts: opts}
+	t.box.cond = sync.NewCond(&t.box.mu)
+	t.bar.cond = sync.NewCond(&t.bar.mu)
+	t.bar.enters = make(map[uint32]int)
+	t.conns = make([]*tcpConn, opts.Procs)
+	t.gen.Store(1) // generation 0 is never used: frames always carry ≥ 1
+	if err := t.bootstrap(); err != nil {
+		t.forceClose()
+		return nil, err
+	}
+	// Start the per-peer pumps only once the whole mesh exists.
+	for _, pc := range t.conns {
+		if pc == nil {
+			continue
+		}
+		t.wg.Add(2)
+		go t.readLoop(pc)
+		go t.writeLoop(pc)
+	}
+	return t, nil
+}
+
+// LocalRanks reports the single rank this process hosts (RankHoster).
+func (t *TCPTransport) LocalRanks() []int { return []int{t.me} }
+
+// Size returns the total number of ranks in the world.
+func (t *TCPTransport) Size() int { return t.p }
+
+// Rank returns the local rank this endpoint hosts.
+func (t *TCPTransport) Rank() int { return t.me }
+
+// ---------------------------------------------------------------------
+// Bootstrap
+// ---------------------------------------------------------------------
+
+// bootMsg is the JSON control message of the bootstrap phase (wire
+// protocol spec: docs/WIRE.md §Bootstrap). Every message is prefixed
+// with a uint32 length.
+type bootMsg struct {
+	// Proto pins the wire-protocol version: "hsswire/<N>".
+	Proto string `json:"proto"`
+	// Type is "register", "table", "data", "ok" or "error".
+	Type string `json:"type"`
+	// Rank, Procs, Addr describe the registering worker.
+	Rank  int    `json:"rank,omitempty"`
+	Procs int    `json:"procs,omitempty"`
+	Addr  string `json:"addr,omitempty"`
+	// Src and Dst identify a data connection's rank pair.
+	Src int `json:"src,omitempty"`
+	Dst int `json:"dst,omitempty"`
+	// Addrs is the full rank → address table ("table" messages).
+	Addrs []string `json:"addrs,omitempty"`
+	// Err carries a bootstrap failure ("error" messages).
+	Err string `json:"err,omitempty"`
+}
+
+// protoID is the version string every bootstrap message must carry.
+var protoID = fmt.Sprintf("hsswire/%d", wireProtoVersion)
+
+// writeBootMsg sends one length-prefixed JSON bootstrap message.
+func writeBootMsg(c net.Conn, m bootMsg) error {
+	m.Proto = protoID
+	b, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	var lenb [4]byte
+	binary.LittleEndian.PutUint32(lenb[:], uint32(len(b)))
+	if _, err := c.Write(lenb[:]); err != nil {
+		return err
+	}
+	_, err = c.Write(b)
+	return err
+}
+
+// readBootMsg reads one length-prefixed JSON bootstrap message and
+// validates its protocol version.
+func readBootMsg(c net.Conn) (bootMsg, error) {
+	var lenb [4]byte
+	if _, err := io.ReadFull(c, lenb[:]); err != nil {
+		return bootMsg{}, err
+	}
+	n := binary.LittleEndian.Uint32(lenb[:])
+	if n > 1<<20 {
+		return bootMsg{}, fmt.Errorf("comm: bootstrap message of %d bytes (corrupt or wrong peer)", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(c, b); err != nil {
+		return bootMsg{}, err
+	}
+	var m bootMsg
+	if err := json.Unmarshal(b, &m); err != nil {
+		return bootMsg{}, fmt.Errorf("comm: bootstrap message: %w", err)
+	}
+	if m.Proto != protoID {
+		return bootMsg{}, fmt.Errorf("comm: wire protocol mismatch: peer speaks %q, this binary %q", m.Proto, protoID)
+	}
+	if m.Type == "error" {
+		return bootMsg{}, fmt.Errorf("comm: bootstrap rejected: %s", m.Err)
+	}
+	return m, nil
+}
+
+// bootstrap performs rendezvous and mesh construction for this rank.
+func (t *TCPTransport) bootstrap() error {
+	deadline := time.Now().Add(t.opts.BootstrapTimeout)
+
+	// Bind the listener: the coordinator address for rank 0 (unless a
+	// pre-bound listener was supplied), an ephemeral data port for the
+	// rest.
+	var ln net.Listener
+	var err error
+	if t.me == 0 {
+		ln = t.opts.CoordinatorListener
+		if ln == nil {
+			ln, err = net.Listen("tcp", t.opts.Coordinator)
+			if err != nil {
+				return fmt.Errorf("comm: tcp coordinator listen %s: %w", t.opts.Coordinator, err)
+			}
+		}
+	} else {
+		ln, err = net.Listen("tcp", t.opts.ListenAddr)
+		if err != nil {
+			return fmt.Errorf("comm: tcp listen %s: %w", t.opts.ListenAddr, err)
+		}
+	}
+	defer ln.Close()
+	if tl, ok := ln.(*net.TCPListener); ok {
+		tl.SetDeadline(deadline)
+	}
+
+	table, pre, err := t.rendezvous(ln, deadline)
+	if err != nil {
+		return err
+	}
+	return t.buildMesh(ln, table, pre, deadline)
+}
+
+// rendezvous learns the full rank → address table. Rank 0 serves
+// registrations on ln and broadcasts the table; other ranks register at
+// the coordinator and receive it. Data connections that arrive at the
+// listener while rendezvous is still in progress (fast peers) are
+// returned in pre for buildMesh to adopt.
+func (t *TCPTransport) rendezvous(ln net.Listener, deadline time.Time) (table []string, pre []*tcpConn, err error) {
+	if t.me == 0 {
+		table = make([]string, t.p)
+		table[0] = ln.Addr().String()
+		regConns := make([]net.Conn, t.p) // open registration conns by rank
+		registered := 1                   // rank 0 is implicitly present
+		defer func() {
+			for _, c := range regConns {
+				if c != nil {
+					c.Close()
+				}
+			}
+		}()
+		for registered < t.p {
+			c, aerr := ln.Accept()
+			if aerr != nil {
+				return nil, nil, fmt.Errorf("comm: tcp rendezvous accept (have %d/%d ranks): %w", registered, t.p, aerr)
+			}
+			c.SetDeadline(deadline)
+			m, merr := readBootMsg(c)
+			if merr != nil {
+				c.Close()
+				return nil, nil, merr
+			}
+			switch m.Type {
+			case "register":
+				if m.Procs != t.p {
+					writeBootMsg(c, bootMsg{Type: "error", Err: fmt.Sprintf("world size mismatch: coordinator has %d ranks, worker expects %d", t.p, m.Procs)})
+					c.Close()
+					return nil, nil, fmt.Errorf("comm: tcp rendezvous: rank %d expects %d procs, world has %d", m.Rank, m.Procs, t.p)
+				}
+				if m.Rank < 1 || m.Rank >= t.p || regConns[m.Rank] != nil {
+					writeBootMsg(c, bootMsg{Type: "error", Err: fmt.Sprintf("invalid or duplicate rank %d", m.Rank)})
+					c.Close()
+					return nil, nil, fmt.Errorf("comm: tcp rendezvous: invalid or duplicate rank %d", m.Rank)
+				}
+				regConns[m.Rank] = c
+				table[m.Rank] = m.Addr
+				registered++
+			case "data":
+				// A peer that already finished rendezvous is dialing our
+				// data port; adopt the connection for buildMesh.
+				pc, derr := t.acceptData(c, m)
+				if derr != nil {
+					return nil, nil, derr
+				}
+				pre = append(pre, pc)
+			default:
+				c.Close()
+				return nil, nil, fmt.Errorf("comm: tcp rendezvous: unexpected %q message", m.Type)
+			}
+		}
+		for r := 1; r < t.p; r++ {
+			if err := writeBootMsg(regConns[r], bootMsg{Type: "table", Procs: t.p, Addrs: table}); err != nil {
+				return nil, nil, fmt.Errorf("comm: tcp rendezvous: sending table to rank %d: %w", r, err)
+			}
+			regConns[r].Close()
+			regConns[r] = nil
+		}
+		return table, pre, nil
+	}
+
+	// Ranks > 0: register, then wait for the table. The coordinator may
+	// not be up yet (workers often launch before or alongside rank 0),
+	// so failed dials retry with backoff until the bootstrap deadline.
+	d := net.Dialer{Deadline: deadline}
+	var c net.Conn
+	for backoff := 10 * time.Millisecond; ; backoff = min(2*backoff, time.Second) {
+		c, err = d.Dial("tcp", t.opts.Coordinator)
+		if err == nil {
+			break
+		}
+		if time.Now().Add(backoff).After(deadline) {
+			return nil, nil, fmt.Errorf("comm: tcp rank %d dialing coordinator %s: %w", t.me, t.opts.Coordinator, err)
+		}
+		time.Sleep(backoff)
+	}
+	defer c.Close()
+	c.SetDeadline(deadline)
+	if err := writeBootMsg(c, bootMsg{Type: "register", Rank: t.me, Procs: t.p, Addr: ln.Addr().String()}); err != nil {
+		return nil, nil, fmt.Errorf("comm: tcp rank %d registering: %w", t.me, err)
+	}
+	m, err := readBootMsg(c)
+	if err != nil {
+		return nil, nil, fmt.Errorf("comm: tcp rank %d awaiting address table: %w", t.me, err)
+	}
+	if m.Type != "table" || len(m.Addrs) != t.p {
+		return nil, nil, fmt.Errorf("comm: tcp rank %d: malformed address table (%q, %d addrs)", t.me, m.Type, len(m.Addrs))
+	}
+	return m.Addrs, nil, nil
+}
+
+// acceptData validates an inbound data handshake and wires the conn.
+func (t *TCPTransport) acceptData(c net.Conn, m bootMsg) (*tcpConn, error) {
+	if m.Dst != t.me || m.Src <= t.me || m.Src >= t.p {
+		writeBootMsg(c, bootMsg{Type: "error", Err: fmt.Sprintf("bad data pair (%d,%d) at rank %d", m.Src, m.Dst, t.me)})
+		c.Close()
+		return nil, fmt.Errorf("comm: tcp rank %d: bad data handshake pair (%d,%d)", t.me, m.Src, m.Dst)
+	}
+	if err := writeBootMsg(c, bootMsg{Type: "ok"}); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("comm: tcp rank %d: acking data conn from %d: %w", t.me, m.Src, err)
+	}
+	return newTCPConn(m.Src, c), nil
+}
+
+// newTCPConn wraps an established socket.
+func newTCPConn(peer int, c net.Conn) *tcpConn {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	pc := &tcpConn{peer: peer, c: c, bw: bufio.NewWriterSize(c, 1<<16)}
+	pc.cond = sync.NewCond(&pc.mu)
+	return pc
+}
+
+// buildMesh completes the full mesh: dial every lower rank, accept every
+// higher rank (pre holds early arrivals already accepted during
+// rendezvous).
+func (t *TCPTransport) buildMesh(ln net.Listener, table []string, pre []*tcpConn, deadline time.Time) error {
+	for _, pc := range pre {
+		t.conns[pc.peer] = pc
+	}
+
+	// Dial lower ranks concurrently.
+	var wg sync.WaitGroup
+	dialErr := make([]error, t.me)
+	for j := 0; j < t.me; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			d := net.Dialer{Deadline: deadline}
+			c, err := d.Dial("tcp", table[j])
+			if err != nil {
+				dialErr[j] = fmt.Errorf("comm: tcp rank %d dialing rank %d at %s: %w", t.me, j, table[j], err)
+				return
+			}
+			c.SetDeadline(deadline)
+			if err := writeBootMsg(c, bootMsg{Type: "data", Src: t.me, Dst: j}); err != nil {
+				c.Close()
+				dialErr[j] = fmt.Errorf("comm: tcp rank %d data handshake to rank %d: %w", t.me, j, err)
+				return
+			}
+			if _, err := readBootMsg(c); err != nil {
+				c.Close()
+				dialErr[j] = fmt.Errorf("comm: tcp rank %d data ack from rank %d: %w", t.me, j, err)
+				return
+			}
+			c.SetDeadline(time.Time{}) // the mesh conn lives unbounded
+			t.conns[j] = newTCPConn(j, c)
+		}(j)
+	}
+
+	// Accept the remaining higher ranks.
+	var acceptErr error
+	for {
+		missing := 0
+		for r := t.me + 1; r < t.p; r++ {
+			if t.conns[r] == nil {
+				missing++
+			}
+		}
+		if missing == 0 {
+			break
+		}
+		c, err := ln.Accept()
+		if err != nil {
+			acceptErr = fmt.Errorf("comm: tcp rank %d accepting mesh conns (%d missing): %w", t.me, missing, err)
+			break
+		}
+		c.SetDeadline(deadline)
+		m, err := readBootMsg(c)
+		if err != nil {
+			acceptErr = err
+			c.Close()
+			break
+		}
+		if m.Type != "data" {
+			writeBootMsg(c, bootMsg{Type: "error", Err: "mesh is being built; rendezvous is over"})
+			c.Close()
+			acceptErr = fmt.Errorf("comm: tcp rank %d: unexpected %q during mesh build", t.me, m.Type)
+			break
+		}
+		pc, err := t.acceptData(c, m)
+		if err != nil {
+			acceptErr = err
+			break
+		}
+		if t.conns[pc.peer] != nil {
+			pc.c.Close()
+			acceptErr = fmt.Errorf("comm: tcp rank %d: duplicate mesh conn from rank %d", t.me, pc.peer)
+			break
+		}
+		t.conns[pc.peer] = pc
+	}
+	wg.Wait()
+	for _, err := range dialErr {
+		if err != nil {
+			return err
+		}
+	}
+	if acceptErr != nil {
+		return acceptErr
+	}
+	for r := t.me + 1; r < t.p; r++ {
+		t.conns[r].c.SetDeadline(time.Time{})
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Data path
+// ---------------------------------------------------------------------
+
+// Send encodes the payload into a data frame and hands it to the
+// destination's connection writer (or loops it back through the codec
+// for a self-send). It never blocks on the network. src must be the
+// locally hosted rank.
+func (t *TCPTransport) Send(src, dst int, tag Tag, payload any, bytes int64) error {
+	if err := t.abort.get(); err != nil {
+		return err
+	}
+	if t.closed.Load() {
+		return ErrTransportClosed
+	}
+	if src != t.me {
+		return fmt.Errorf("comm: tcp endpoint hosts rank %d, cannot send as rank %d", t.me, src)
+	}
+	gen := t.gen.Load()
+	frame := make([]byte, frameHeaderLen, frameHeaderLen+wirePayloadSize(payload))
+	frame, err := appendWirePayload(frame, payload)
+	if err != nil {
+		return fmt.Errorf("comm: tcp send to rank %d tag %d: %w", dst, tag, err)
+	}
+	putFrameHeader(frame, frameHeader{
+		kind: frameData,
+		src:  uint32(src),
+		dst:  uint32(dst),
+		tag:  uint32(tag),
+		gen:  gen,
+		len:  uint64(len(frame) - frameHeaderLen),
+	})
+	t.counters.mu.Lock()
+	t.counters.c.MsgsSent++
+	t.counters.c.BytesSent += int64(len(frame))
+	t.counters.mu.Unlock()
+	if dst == t.me {
+		// Self-send: park the encoded bytes like remote traffic —
+		// uniform copy semantics and one decode path at consumption.
+		raw := make(rawWire, len(frame)-frameHeaderLen)
+		copy(raw, frame[frameHeaderLen:])
+		t.deliver(Message{Src: src, Tag: tag, Payload: raw, Bytes: int64(len(frame))})
+		return nil
+	}
+	t.conns[dst].enqueue(frame)
+	return nil
+}
+
+// rawWire is an undecoded data payload parked in the mailbox. Frames
+// decode at consumption time, not on the reader goroutine: a frame can
+// arrive before the receiving rank reaches the protocol step that
+// registers its payload type (readers run arbitrarily far ahead of the
+// rank), whereas by the time a Recv matches the frame, the matching
+// protocol function has executed its RegisterWire.
+type rawWire []byte
+
+// decodeParked decodes a parked payload in place; in-memory transports
+// never produce rawWire, so this is tcp-only.
+func decodeParked(m *Message) error {
+	raw, ok := m.Payload.(rawWire)
+	if !ok {
+		return nil
+	}
+	p, err := decodeWirePayload(raw)
+	if err != nil {
+		return err
+	}
+	m.Payload = p
+	return nil
+}
+
+// deliver appends a message to the local mailbox and wakes receivers.
+func (t *TCPTransport) deliver(m Message) {
+	t.box.mu.Lock()
+	t.box.queue = append(t.box.queue, m)
+	t.box.cond.Broadcast()
+	t.box.mu.Unlock()
+}
+
+// Recv blocks until a message matching (src, tag) is in the local
+// mailbox. dst must be the locally hosted rank.
+func (t *TCPTransport) Recv(dst, src int, tag Tag) (Message, error) {
+	if dst != t.me {
+		return Message{}, fmt.Errorf("comm: tcp endpoint hosts rank %d, cannot receive as rank %d", t.me, dst)
+	}
+	b := &t.box
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		for i, m := range b.queue {
+			if (src == AnySource || m.Src == src) && m.Tag == tag {
+				b.queue = append(b.queue[:i], b.queue[i+1:]...)
+				if err := decodeParked(&m); err != nil {
+					return Message{}, fmt.Errorf("comm: tcp recv from rank %d tag %d: %w", m.Src, tag, err)
+				}
+				t.chargeRecv(m)
+				return m, nil
+			}
+		}
+		if err := t.abort.get(); err != nil {
+			return Message{}, err
+		}
+		if t.closed.Load() {
+			return Message{}, ErrTransportClosed
+		}
+		b.cond.Wait()
+	}
+}
+
+// TryRecv returns a matching buffered message without blocking.
+func (t *TCPTransport) TryRecv(dst, src int, tag Tag) (Message, bool, error) {
+	if dst != t.me {
+		return Message{}, false, fmt.Errorf("comm: tcp endpoint hosts rank %d, cannot receive as rank %d", t.me, dst)
+	}
+	b := &t.box
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := t.abort.get(); err != nil {
+		return Message{}, false, err
+	}
+	for i, m := range b.queue {
+		if (src == AnySource || m.Src == src) && m.Tag == tag {
+			b.queue = append(b.queue[:i], b.queue[i+1:]...)
+			if err := decodeParked(&m); err != nil {
+				return Message{}, false, fmt.Errorf("comm: tcp recv from rank %d tag %d: %w", m.Src, tag, err)
+			}
+			t.chargeRecv(m)
+			return m, true, nil
+		}
+	}
+	return Message{}, false, nil
+}
+
+// chargeRecv accounts one consumed message. Callers hold box.mu.
+func (t *TCPTransport) chargeRecv(m Message) {
+	t.counters.mu.Lock()
+	t.counters.c.MsgsRecv++
+	t.counters.c.BytesRecv += m.Bytes
+	t.counters.mu.Unlock()
+}
+
+// writeLoop drains one connection's outbound queue, flushing whenever
+// the queue runs dry. On Close it writes the remaining frames and
+// half-closes the socket so the peer sees a clean EOF after the
+// shutdown frame.
+func (t *TCPTransport) writeLoop(pc *tcpConn) {
+	defer t.wg.Done()
+	for {
+		pc.mu.Lock()
+		for len(pc.outq) == 0 && !pc.closing {
+			pc.cond.Wait()
+		}
+		batch := pc.outq
+		pc.outq = nil
+		closing := pc.closing
+		pc.mu.Unlock()
+		for _, frame := range batch {
+			if _, err := pc.bw.Write(frame); err != nil {
+				t.writeFailed(pc, err)
+				return
+			}
+		}
+		if err := pc.bw.Flush(); err != nil {
+			t.writeFailed(pc, err)
+			return
+		}
+		if closing {
+			pc.mu.Lock()
+			done := len(pc.outq) == 0
+			pc.mu.Unlock()
+			if done {
+				if tc, ok := pc.c.(*net.TCPConn); ok {
+					tc.CloseWrite()
+				}
+				return
+			}
+		}
+	}
+}
+
+// writeFailed handles a broken outbound socket: during teardown it is
+// expected; otherwise the peer is gone and the world must not hang.
+func (t *TCPTransport) writeFailed(pc *tcpConn, err error) {
+	if t.closed.Load() {
+		return
+	}
+	t.peerLost(pc, err)
+}
+
+// peerLost records a permanent connection failure and aborts the world.
+func (t *TCPTransport) peerLost(pc *tcpConn, err error) {
+	lerr := fmt.Errorf("%w: rank %d lost connection to rank %d: %v", ErrAborted, t.me, pc.peer, err)
+	t.lost.CompareAndSwap(nil, &lerr)
+	t.Abort(lerr)
+}
+
+// readLoop decodes frames from one peer and dispatches them under the
+// generation fence.
+func (t *TCPTransport) readLoop(pc *tcpConn) {
+	defer t.wg.Done()
+	br := bufio.NewReaderSize(pc.c, 1<<16)
+	var hdr [frameHeaderLen]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			t.readEnded(pc, err)
+			return
+		}
+		h := parseFrameHeader(hdr[:])
+		if h.len > 1<<40 {
+			t.readEnded(pc, fmt.Errorf("frame of %d bytes (corrupt stream)", h.len))
+			return
+		}
+		payload := make([]byte, h.len)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			t.readEnded(pc, err)
+			return
+		}
+		if h.kind == frameShutdown {
+			pc.mu.Lock()
+			pc.peerDone = true
+			pc.mu.Unlock()
+			continue
+		}
+		if err := t.dispatchFrame(pc, h, payload); err != nil {
+			t.readEnded(pc, err)
+			return
+		}
+	}
+}
+
+// readEnded classifies the end of an inbound stream: EOF after the
+// peer's shutdown frame (or during our own Close) is graceful teardown,
+// anything else aborts the world.
+func (t *TCPTransport) readEnded(pc *tcpConn, err error) {
+	pc.mu.Lock()
+	peerDone := pc.peerDone
+	pc.mu.Unlock()
+	if peerDone || t.closed.Load() {
+		return
+	}
+	t.peerLost(pc, err)
+}
+
+// dispatchFrame routes one inbound frame under the generation fence:
+// current-generation frames are delivered, past generations dropped
+// (stale traffic of a finished or aborted run), future generations
+// buffered until the local Reset catches up.
+func (t *TCPTransport) dispatchFrame(pc *tcpConn, h frameHeader, payload []byte) error {
+	if int(h.src) != pc.peer || int(h.dst) != t.me {
+		return fmt.Errorf("frame claims pair (%d,%d) on the (%d,%d) connection", h.src, h.dst, pc.peer, t.me)
+	}
+	var m Message
+	if h.kind == frameData {
+		m = Message{Src: int(h.src), Tag: Tag(h.tag), Payload: rawWire(payload), Bytes: int64(frameHeaderLen) + int64(h.len)}
+	}
+	// The fence decision and the frame's effect happen under one lock:
+	// otherwise a Reset could slip between them and a stale frame would
+	// land in the new generation's clean mailbox.
+	t.genMu.Lock()
+	defer t.genMu.Unlock()
+	cur := t.gen.Load()
+	switch {
+	case h.gen == cur:
+		t.applyFrame(h, m, payload)
+	case h.gen > cur:
+		pf := pendingFrame{h: h, msg: m}
+		if h.kind != frameData {
+			pf.ctrl = payload // an abort's JSON body must survive the wait
+		}
+		pc.pending = append(pc.pending, pf)
+	default:
+		// Stale generation: traffic of a finished or aborted run; drop.
+	}
+	return nil
+}
+
+// applyFrame performs a current-generation frame's effect.
+func (t *TCPTransport) applyFrame(h frameHeader, m Message, payload []byte) {
+	switch h.kind {
+	case frameData:
+		t.deliver(m)
+	case frameAbort:
+		var wa wireAbort
+		if err := json.Unmarshal(payload, &wa); err != nil {
+			wa.Msg = fmt.Sprintf("undecodable abort frame: %v", err)
+		}
+		t.abort.set(remoteAbortError(int(h.src), wa))
+		t.wakeAll()
+	case frameBarrierEnter:
+		t.barrierEnter(h.tag)
+	case frameBarrierRelease:
+		t.barrierRelease(h.tag)
+	}
+}
+
+// remoteAbortError reconstructs an abort error received off the wire,
+// preserving the errors.Is identities that matter to callers: ErrAborted
+// always, and the context sentinels when the originating process aborted
+// for cancellation — that is what lets every worker process of a
+// cancelled sort return its own ctx.Err().
+func remoteAbortError(src int, wa wireAbort) error {
+	switch {
+	case wa.Canceled:
+		return fmt.Errorf("%w: %w: remote abort from rank %d: %s", ErrAborted, context.Canceled, src, wa.Msg)
+	case wa.Deadline:
+		return fmt.Errorf("%w: %w: remote abort from rank %d: %s", ErrAborted, context.DeadlineExceeded, src, wa.Msg)
+	default:
+		return fmt.Errorf("%w: remote abort from rank %d: %s", ErrAborted, src, wa.Msg)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Barrier
+// ---------------------------------------------------------------------
+
+// Barrier blocks the local rank until every rank of the world has
+// entered the same barrier episode.
+func (t *TCPTransport) Barrier(rank int) error {
+	if rank != t.me {
+		return fmt.Errorf("comm: tcp endpoint hosts rank %d, cannot barrier as rank %d", t.me, rank)
+	}
+	t.bar.mu.Lock()
+	t.bar.seq++
+	seq := t.bar.seq
+	t.bar.mu.Unlock()
+
+	if err := t.sendCtrl(0, frameBarrierEnter, seq); err != nil {
+		return err
+	}
+
+	t.bar.mu.Lock()
+	defer t.bar.mu.Unlock()
+	for t.bar.released < seq {
+		if err := t.abort.get(); err != nil {
+			return err
+		}
+		if t.closed.Load() {
+			return ErrTransportClosed
+		}
+		t.bar.cond.Wait()
+	}
+	return nil
+}
+
+// sendCtrl emits a control frame (barrier, abort uses its own path) to
+// dst, looping back locally when dst is the hosted rank. The barrier
+// sequence number travels in the tag field.
+func (t *TCPTransport) sendCtrl(dst int, kind byte, seq uint32) error {
+	if dst == t.me {
+		switch kind {
+		case frameBarrierEnter:
+			t.barrierEnter(seq)
+		case frameBarrierRelease:
+			t.barrierRelease(seq)
+		}
+		return nil
+	}
+	if err := t.abort.get(); err != nil {
+		return err
+	}
+	frame := make([]byte, frameHeaderLen)
+	putFrameHeader(frame, frameHeader{
+		kind: kind,
+		src:  uint32(t.me),
+		dst:  uint32(dst),
+		tag:  seq,
+		gen:  t.gen.Load(),
+	})
+	t.conns[dst].enqueue(frame)
+	return nil
+}
+
+// barrierEnter records one rank's arrival at barrier seq (rank 0 only)
+// and releases the episode when all p ranks have arrived.
+func (t *TCPTransport) barrierEnter(seq uint32) {
+	if t.me != 0 {
+		return // protocol error; harmless to ignore
+	}
+	t.bar.mu.Lock()
+	t.bar.enters[seq]++
+	complete := t.bar.enters[seq] == t.p
+	if complete {
+		delete(t.bar.enters, seq)
+	}
+	t.bar.mu.Unlock()
+	if !complete {
+		return
+	}
+	for r := 1; r < t.p; r++ {
+		t.sendCtrl(r, frameBarrierRelease, seq)
+	}
+	t.barrierRelease(seq)
+}
+
+// barrierRelease unblocks local waiters of barrier episodes ≤ seq.
+func (t *TCPTransport) barrierRelease(seq uint32) {
+	t.bar.mu.Lock()
+	if seq > t.bar.released {
+		t.bar.released = seq
+	}
+	t.bar.cond.Broadcast()
+	t.bar.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------
+// Abort / Reset / lifecycle
+// ---------------------------------------------------------------------
+
+// Abort latches err locally, unblocks every local waiter and broadcasts
+// a generation-fenced abort frame to every peer, so all processes of
+// the world observe the failure instead of hanging. Cancellation
+// structure (context.Canceled / DeadlineExceeded) survives the wire.
+func (t *TCPTransport) Abort(err error) {
+	t.abort.set(err)
+	latched := t.abort.get()
+	wa := wireAbort{
+		Msg:      latched.Error(),
+		Canceled: errors.Is(latched, context.Canceled),
+		Deadline: errors.Is(latched, context.DeadlineExceeded),
+	}
+	payload, jerr := json.Marshal(wa)
+	if jerr != nil {
+		payload = []byte("{}")
+	}
+	gen := t.gen.Load()
+	for _, pc := range t.conns {
+		if pc == nil {
+			continue
+		}
+		frame := make([]byte, frameHeaderLen, frameHeaderLen+len(payload))
+		frame = append(frame, payload...)
+		putFrameHeader(frame, frameHeader{
+			kind: frameAbort,
+			src:  uint32(t.me),
+			dst:  uint32(pc.peer),
+			gen:  gen,
+			len:  uint64(len(payload)),
+		})
+		pc.enqueue(frame)
+	}
+	t.wakeAll()
+}
+
+// wakeAll unblocks local waiters so they observe the abort latch.
+func (t *TCPTransport) wakeAll() {
+	t.box.mu.Lock()
+	t.box.cond.Broadcast()
+	t.box.mu.Unlock()
+	t.bar.mu.Lock()
+	t.bar.cond.Broadcast()
+	t.bar.mu.Unlock()
+}
+
+// Err returns the abort error, or nil while the transport is live.
+func (t *TCPTransport) Err() error { return t.abort.get() }
+
+// Reset advances the transport to the next generation: the epoch bump
+// that lets a long-lived engine reuse one mesh across sorts. Queued
+// messages of the old generation are discarded, the abort latch clears
+// (unless a peer connection was permanently lost — that poison stays),
+// the barrier rearms, counters zero — and frames a faster peer already
+// sent for the new generation are delivered out of the pending buffers.
+// Only call while the hosted rank is not running (Pool.Run does this
+// between runs); peers Reset their own endpoints in the same lockstep.
+func (t *TCPTransport) Reset() {
+	t.genMu.Lock()
+	next := t.gen.Load() + 1
+	t.box.mu.Lock()
+	t.box.queue = nil
+	t.box.mu.Unlock()
+	t.bar.mu.Lock()
+	t.bar.seq = 0
+	t.bar.released = 0
+	t.bar.enters = make(map[uint32]int)
+	t.bar.mu.Unlock()
+	t.abort.reset()
+	if p := t.lost.Load(); p != nil {
+		// A dead peer never comes back; keep the transport poisoned so
+		// the next run fails immediately instead of hanging on sends to
+		// a gone socket until the watchdog fires.
+		t.abort.set(*p)
+	}
+	t.counters.mu.Lock()
+	t.counters.c = Counters{}
+	t.counters.mu.Unlock()
+	t.gen.Store(next)
+	// Deliver frames peers raced ahead with; drop ones that somehow
+	// still precede the new generation.
+	for _, pc := range t.conns {
+		if pc == nil {
+			continue
+		}
+		var keep []pendingFrame
+		for _, pf := range pc.pending {
+			switch {
+			case pf.h.gen == next:
+				t.applyFrame(pf.h, pf.msg, pf.ctrl)
+			case pf.h.gen > next:
+				keep = append(keep, pf)
+			}
+		}
+		pc.pending = keep
+	}
+	t.genMu.Unlock()
+}
+
+// Counters returns the hosted rank's measured wire traffic; r must be
+// the local rank (remote ranks' counters live in their processes and
+// read zero here).
+func (t *TCPTransport) Counters(r int) Counters {
+	if r != t.me {
+		return Counters{}
+	}
+	t.counters.mu.Lock()
+	defer t.counters.mu.Unlock()
+	return t.counters.c
+}
+
+// TotalCounters returns the local rank's counters: a single process
+// cannot see its peers' counters without communication. Whole-world
+// totals over TCP are the sum of each process's TotalCounters (the
+// loopback mesh does this summation for in-process worlds).
+func (t *TCPTransport) TotalCounters() Counters { return t.Counters(t.me) }
+
+// ResetCounters zeroes the local rank's counters.
+func (t *TCPTransport) ResetCounters() {
+	t.counters.mu.Lock()
+	t.counters.c = Counters{}
+	t.counters.mu.Unlock()
+}
+
+// Close tears the endpoint down gracefully: a shutdown frame and a
+// half-close on every connection, then waiting (up to ShutdownTimeout)
+// for peers to finish their own teardown before force-closing sockets.
+// After Close every operation fails with ErrTransportClosed. Close is
+// idempotent and leaves no goroutines behind.
+func (t *TCPTransport) Close() error {
+	if !t.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	gen := t.gen.Load()
+	for _, pc := range t.conns {
+		if pc == nil {
+			continue
+		}
+		frame := make([]byte, frameHeaderLen)
+		putFrameHeader(frame, frameHeader{kind: frameShutdown, src: uint32(t.me), dst: uint32(pc.peer), gen: gen})
+		pc.mu.Lock()
+		pc.outq = append(pc.outq, frame)
+		pc.closing = true
+		pc.cond.Broadcast()
+		pc.mu.Unlock()
+	}
+	t.wakeAll()
+
+	done := make(chan struct{})
+	go func() {
+		t.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(t.opts.ShutdownTimeout):
+		t.forceClose()
+		<-done
+	}
+	t.forceClose()
+	return nil
+}
+
+// forceClose closes every socket outright (bootstrap failure and
+// shutdown-timeout path).
+func (t *TCPTransport) forceClose() {
+	for _, pc := range t.conns {
+		if pc == nil {
+			continue
+		}
+		pc.c.Close()
+		pc.mu.Lock()
+		pc.closing = true
+		pc.cond.Broadcast()
+		pc.mu.Unlock()
+	}
+}
+
+// ---------------------------------------------------------------------
+// Loopback mesh
+// ---------------------------------------------------------------------
+
+// tcpMesh is an in-process world over real sockets: p single-rank
+// TCPTransport endpoints on loopback, fronted as one Transport so the
+// standard World/Pool drive and the conformance suite run every byte
+// through the full wire path (codec, framing, generation fence) without
+// multiple processes.
+type tcpMesh struct {
+	nodes []*TCPTransport
+}
+
+var (
+	_ Transport = (*tcpMesh)(nil)
+	_ io.Closer = (*tcpMesh)(nil)
+)
+
+// NewTCPLoopback builds a p-rank world of real localhost TCP
+// connections inside one process — the `tcp` backend's convenience form
+// for tests and single-machine runs (Config.Transport: tcp without a
+// coordinator). Every message is encoded, framed, sent through the
+// kernel and decoded exactly as in the multi-process deployment. The
+// returned transport must be Closed to release its sockets and
+// goroutines.
+func NewTCPLoopback(p int) (Transport, error) {
+	if p < 1 {
+		panicSize(p)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("comm: tcp loopback listen: %w", err)
+	}
+	coord := ln.Addr().String()
+	nodes := make([]*TCPTransport, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			opts := TCPOptions{Coordinator: coord, Rank: r, Procs: p}
+			if r == 0 {
+				opts.CoordinatorListener = ln
+			}
+			nodes[r], errs[r] = DialTCP(opts)
+		}(r)
+	}
+	wg.Wait()
+	m := &tcpMesh{nodes: nodes}
+	if err := errors.Join(errs...); err != nil {
+		m.Close()
+		return nil, err
+	}
+	return m, nil
+}
+
+// Size returns the number of ranks.
+func (m *tcpMesh) Size() int { return len(m.nodes) }
+
+// Send routes through the sending rank's endpoint.
+func (m *tcpMesh) Send(src, dst int, tag Tag, payload any, bytes int64) error {
+	return m.nodes[src].Send(src, dst, tag, payload, bytes)
+}
+
+// Recv routes through the receiving rank's endpoint.
+func (m *tcpMesh) Recv(dst, src int, tag Tag) (Message, error) {
+	return m.nodes[dst].Recv(dst, src, tag)
+}
+
+// TryRecv routes through the receiving rank's endpoint.
+func (m *tcpMesh) TryRecv(dst, src int, tag Tag) (Message, bool, error) {
+	return m.nodes[dst].TryRecv(dst, src, tag)
+}
+
+// Barrier routes through the entering rank's endpoint.
+func (m *tcpMesh) Barrier(rank int) error { return m.nodes[rank].Barrier(rank) }
+
+// Abort latches every endpoint immediately (the wire broadcast alone
+// would leave a window in which a not-yet-poisoned endpoint accepts
+// operations).
+func (m *tcpMesh) Abort(err error) {
+	for _, n := range m.nodes {
+		n.Abort(err)
+	}
+}
+
+// Err returns the first endpoint's latched abort error, if any.
+func (m *tcpMesh) Err() error {
+	for _, n := range m.nodes {
+		if err := n.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reset advances every endpoint to the next generation. The mesh is
+// driven by one Pool/World, so no rank is running during Reset and the
+// per-endpoint epochs stay in lockstep.
+func (m *tcpMesh) Reset() {
+	for _, n := range m.nodes {
+		n.Reset()
+	}
+}
+
+// Counters returns rank r's measured wire traffic.
+func (m *tcpMesh) Counters(r int) Counters { return m.nodes[r].Counters(r) }
+
+// TotalCounters sums measured traffic across all ranks.
+func (m *tcpMesh) TotalCounters() Counters {
+	var total Counters
+	for r, n := range m.nodes {
+		total.Add(n.Counters(r))
+	}
+	return total
+}
+
+// ResetCounters zeroes all ranks' counters.
+func (m *tcpMesh) ResetCounters() {
+	for _, n := range m.nodes {
+		n.ResetCounters()
+	}
+}
+
+// Close tears down every endpoint concurrently.
+func (m *tcpMesh) Close() error {
+	var wg sync.WaitGroup
+	for _, n := range m.nodes {
+		if n == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(n *TCPTransport) {
+			defer wg.Done()
+			n.Close()
+		}(n)
+	}
+	wg.Wait()
+	return nil
+}

@@ -1,0 +1,424 @@
+package comm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// tcp_test.go: behaviors specific to the wire backend, beyond the
+// shared conformance suite — teardown hygiene, measured accounting,
+// cross-process cancellation identity, worker-mode (one Pool per
+// endpoint) lockstep, and bootstrap failure modes.
+
+// waitGoroutines polls until the goroutine count settles at or below
+// base (teardown is asynchronous: readers observe EOFs on their own
+// schedule).
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines: %d, want <= %d\n%s", n, base, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestTCPGoroutineLeakAfterClose: a full construct → traffic → Close
+// cycle leaves no reader, writer or bootstrap goroutines behind.
+func TestTCPGoroutineLeakAfterClose(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		tr, err := NewTCPLoopback(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := NewWorld(4, WithTransport(tr), WithTimeout(10*time.Second))
+		err = w.Run(func(c *Comm) error {
+			if err := SendSlice(c, (c.Rank()+1)%4, 1, []int64{1, 2, 3}); err != nil {
+				return err
+			}
+			if _, err := RecvSlice[int64](c, (c.Rank()+3)%4, 1); err != nil {
+				return err
+			}
+			return c.Barrier()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.(interface{ Close() error }).Close()
+	}
+	waitGoroutines(t, base)
+}
+
+// TestTCPGoroutineLeakAfterAbortedRun: Close after an abort (the messy
+// path: latched errors, pending queues, parked waiters) is just as
+// clean.
+func TestTCPGoroutineLeakAfterAbortedRun(t *testing.T) {
+	base := runtime.NumGoroutine()
+	tr, err := NewTCPLoopback(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorld(3, WithTransport(tr), WithTimeout(10*time.Second))
+	w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			panic("boom")
+		}
+		_, err := c.Recv(0, 7) // unblocked by the abort
+		return err
+	})
+	tr.(interface{ Close() error }).Close()
+	waitGoroutines(t, base)
+}
+
+// TestTCPCountersMeasureWireTraffic: unlike SimTransport's modeled
+// bytes, tcp counters report measured frames — headers included — and
+// received bytes match sent bytes across a settled world.
+func TestTCPCountersMeasureWireTraffic(t *testing.T) {
+	tr, err := NewTCPLoopback(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.(interface{ Close() error }).Close()
+	w := NewWorld(2, WithTransport(tr), WithTimeout(10*time.Second))
+	payload := []int64{1, 2, 3, 4}
+	if err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			return SendSlice(c, 1, 1, payload)
+		}
+		got, err := RecvSlice[int64](c, 0, 1)
+		if err != nil {
+			return err
+		}
+		if len(got) != 4 {
+			return fmt.Errorf("got %d keys", len(got))
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sent := w.Counters(0)
+	recv := w.Counters(1)
+	// 32 payload bytes + frame header + codec type header: the exact
+	// size is an implementation detail, but it must exceed the raw
+	// payload (headers are real now) and match end to end.
+	if sent.MsgsSent != 1 || sent.BytesSent <= 32 {
+		t.Errorf("sender counters = %+v, want 1 msg, > 32 measured bytes", sent)
+	}
+	if recv.MsgsRecv != 1 || recv.BytesRecv != sent.BytesSent {
+		t.Errorf("receiver counters = %+v, want bytes recv == bytes sent (%d)", recv, sent.BytesSent)
+	}
+}
+
+// TestTCPRemoteCancellationIdentity: an abort caused by context
+// cancellation on one process must surface on every other process as an
+// error still satisfying errors.Is(err, context.Canceled) — the
+// property that lets each worker of a cancelled sort return its own
+// ctx.Err().
+func TestTCPRemoteCancellationIdentity(t *testing.T) {
+	nodes := dialWorkerNodes(t, 2)
+	errCh := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err := nodes[1].Recv(1, 0, 9) // parked until the abort frame arrives
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	nodes[0].Abort(fmt.Errorf("%w: %w", ErrAborted, context.Canceled))
+	wg.Wait()
+	err := <-errCh
+	if !errors.Is(err, ErrAborted) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("remote abort error %v does not preserve ErrAborted + context.Canceled", err)
+	}
+}
+
+// dialWorkerNodes bootstraps p single-rank endpoints the way p worker
+// processes would (independent DialTCP calls against one coordinator),
+// inside this test process, and closes them at test end.
+func dialWorkerNodes(t *testing.T, p int) []*TCPTransport {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]*TCPTransport, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			opts := TCPOptions{Coordinator: ln.Addr().String(), Rank: r, Procs: p, BootstrapTimeout: 10 * time.Second}
+			if r == 0 {
+				opts.CoordinatorListener = ln
+			}
+			nodes[r], errs[r] = DialTCP(opts)
+		}(r)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		var cwg sync.WaitGroup
+		for _, n := range nodes {
+			cwg.Add(1)
+			go func(n *TCPTransport) { defer cwg.Done(); n.Close() }(n)
+		}
+		cwg.Wait()
+	})
+	return nodes
+}
+
+// TestTCPWorkerModePools is the multi-process drive model in
+// miniature: each endpoint gets its own Pool (as each worker process
+// would), pools Reset their own endpoints independently, and the
+// generation fence keeps repeated runs in lockstep even though no
+// process coordinates the resets. Also pins RankHoster wiring: each
+// pool runs exactly its hosted rank.
+func TestTCPWorkerModePools(t *testing.T) {
+	const p, runs = 3, 5
+	nodes := dialWorkerNodes(t, p)
+	pools := make([]*Pool, p)
+	for r := range nodes {
+		pools[r] = NewPool(p, WithTransport(nodes[r]), WithTimeout(10*time.Second))
+		defer pools[r].Close()
+		if got := len(hostedRanks(nodes[r])); got != 1 {
+			t.Fatalf("node %d hosts %d ranks, want 1", r, got)
+		}
+	}
+	for run := 0; run < runs; run++ {
+		var wg sync.WaitGroup
+		errs := make([]error, p)
+		for r := range pools {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				errs[r] = pools[r].Run(context.Background(), func(c *Comm) error {
+					if c.Rank() != r {
+						return fmt.Errorf("pool %d ran rank %d", r, c.Rank())
+					}
+					// Ring exchange with run-stamped payloads: a stale
+					// frame from a previous generation would corrupt it.
+					want := int64(run*100 + (c.Rank()+p-1)%p)
+					if err := SendValue(c, (c.Rank()+1)%p, 3, int64(run*100+c.Rank())); err != nil {
+						return err
+					}
+					got, err := RecvValue[int64](c, (c.Rank()+p-1)%p, 3)
+					if err != nil {
+						return err
+					}
+					if got != want {
+						return fmt.Errorf("run %d rank %d: got %d, want %d (generation fence broken)", run, c.Rank(), got, want)
+					}
+					return c.Barrier()
+				})
+			}(r)
+		}
+		wg.Wait()
+		if err := errors.Join(errs...); err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+	}
+}
+
+// TestTCPWorkerModeCancellation: cancelling one worker's context aborts
+// the whole multi-pool world, and every pool's Run reports the
+// cancellation identity.
+func TestTCPWorkerModeCancellation(t *testing.T) {
+	const p = 3
+	nodes := dialWorkerNodes(t, p)
+	pools := make([]*Pool, p)
+	for r := range nodes {
+		pools[r] = NewPool(p, WithTransport(nodes[r]), WithTimeout(10*time.Second))
+		defer pools[r].Close()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, p)
+	for r := range pools {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			// Every rank parks in a Recv nobody satisfies; rank 0's
+			// process cancels its context.
+			errs[r] = pools[r].Run(ctx, func(c *Comm) error {
+				if c.Rank() == 0 {
+					time.AfterFunc(20*time.Millisecond, cancel)
+				}
+				_, err := c.Recv((c.Rank()+1)%p, 11)
+				return err
+			})
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("pool %d error %v does not satisfy context.Canceled", r, err)
+		}
+	}
+}
+
+// TestTCPPeerCrashAborts: a peer vanishing without the shutdown
+// handshake (process crash) aborts the world instead of hanging it.
+func TestTCPPeerCrashAborts(t *testing.T) {
+	nodes := dialWorkerNodes(t, 2)
+	done := make(chan error, 1)
+	go func() {
+		_, err := nodes[1].Recv(1, 0, 5)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	nodes[0].forceClose() // simulated crash: sockets die, no shutdown frame
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Recv returned a message from a crashed peer")
+		}
+		if !errors.Is(err, ErrAborted) {
+			t.Fatalf("peer crash surfaced as %v, want ErrAborted", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv hung after peer crash")
+	}
+}
+
+// TestTCPBootstrapRejectsMismatchedWorld: a worker whose -nprocs
+// disagrees with the coordinator is turned away with a clear error, and
+// the coordinator fails rather than building a partial mesh.
+func TestTCPBootstrapRejectsMismatchedWorld(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var coordErr, workerErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		tr, err := DialTCP(TCPOptions{Coordinator: ln.Addr().String(), Rank: 0, Procs: 2, CoordinatorListener: ln, BootstrapTimeout: 5 * time.Second})
+		if tr != nil {
+			tr.Close()
+		}
+		coordErr = err
+	}()
+	go func() {
+		defer wg.Done()
+		tr, err := DialTCP(TCPOptions{Coordinator: ln.Addr().String(), Rank: 1, Procs: 3, BootstrapTimeout: 5 * time.Second})
+		if tr != nil {
+			tr.Close()
+		}
+		workerErr = err
+	}()
+	wg.Wait()
+	if coordErr == nil || workerErr == nil {
+		t.Fatalf("mismatched world sizes bootstrapped: coord=%v worker=%v", coordErr, workerErr)
+	}
+	if !strings.Contains(workerErr.Error(), "mismatch") {
+		t.Errorf("worker error %q does not explain the size mismatch", workerErr)
+	}
+}
+
+// TestTCPBootstrapRejectsBadRank: ranks outside [0, Procs) fail fast.
+func TestTCPBootstrapRejectsBadRank(t *testing.T) {
+	if _, err := DialTCP(TCPOptions{Coordinator: "127.0.0.1:1", Rank: 5, Procs: 2}); err == nil {
+		t.Fatal("out-of-range rank bootstrapped")
+	}
+	if _, err := DialTCP(TCPOptions{Rank: 0, Procs: 2}); err == nil {
+		t.Fatal("missing coordinator address bootstrapped")
+	}
+}
+
+// TestTCPSendValidatesLocalRank: a single-rank endpoint refuses to
+// impersonate ranks it does not host.
+func TestTCPSendValidatesLocalRank(t *testing.T) {
+	nodes := dialWorkerNodes(t, 2)
+	if err := nodes[0].Send(1, 0, 1, nil, 0); err == nil {
+		t.Error("endpoint accepted a send as a non-hosted rank")
+	}
+	if _, err := nodes[0].Recv(1, 0, 1); err == nil {
+		t.Error("endpoint accepted a receive as a non-hosted rank")
+	}
+}
+
+// TestTCPFutureGenerationAbortKeepsIdentity: an abort frame from a peer
+// that already Reset into the next run is buffered until this endpoint
+// catches up — and must still carry the cancellation identity and
+// message when it finally applies (regression: the buffered frame used
+// to drop its JSON payload).
+func TestTCPFutureGenerationAbortKeepsIdentity(t *testing.T) {
+	nodes := dialWorkerNodes(t, 2)
+	// Peer 0 races ahead into the next generation and cancels there.
+	nodes[0].Reset()
+	nodes[0].Abort(fmt.Errorf("%w: %w: user hit ctrl-c", ErrAborted, context.Canceled))
+	// Whether the frame lands before or after our Reset, once we reach
+	// the peer's generation the latch must carry the identity.
+	nodes[1].Reset()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := nodes[1].Err(); err != nil {
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("future-generation abort lost its cancellation identity: %v", err)
+			}
+			if !strings.Contains(err.Error(), "ctrl-c") {
+				t.Fatalf("future-generation abort lost its message: %v", err)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("abort never propagated across the generation fence")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestTCPResetKeepsLostPeerPoison: Reset clears cancellation aborts (the
+// engine-reuse path) but must NOT clear a permanent connection loss —
+// a dead peer cannot come back, and an unlatched transport would wedge
+// the next run until the watchdog.
+func TestTCPResetKeepsLostPeerPoison(t *testing.T) {
+	nodes := dialWorkerNodes(t, 2)
+	nodes[0].forceClose() // simulated crash
+	deadline := time.Now().Add(5 * time.Second)
+	for nodes[1].Err() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("peer crash never latched")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	nodes[1].Reset()
+	err := nodes[1].Err()
+	if err == nil {
+		t.Fatal("Reset cleared the lost-peer poison; the next run would hang")
+	}
+	if !strings.Contains(err.Error(), "lost connection") {
+		t.Fatalf("poison error %v does not explain the lost connection", err)
+	}
+	// A cancellation abort, by contrast, must still clear.
+	fresh := dialWorkerNodes(t, 2)
+	fresh[0].Abort(context.Canceled)
+	fresh[0].Reset()
+	if err := fresh[0].Err(); err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("unexpected latch after reset: %v", err)
+	}
+	if err := fresh[0].Err(); err != nil && strings.Contains(err.Error(), "lost connection") {
+		t.Fatalf("cancellation mislabeled as connection loss: %v", err)
+	}
+}

@@ -3,7 +3,7 @@ package comm
 import "sync"
 
 // Transport is the pluggable message-delivery backend a World runs over.
-// Two implementations ship with the repository:
+// Three implementations ship with the repository:
 //
 //   - SimTransport (the default): the simulated, fully byte-accounted
 //     runtime used for the paper's BSP measurements. Every message
@@ -13,9 +13,14 @@ import "sync"
 //     production-style throughput runs. Payloads move by reference with
 //     no serialization accounting and no per-message envelope
 //     bookkeeping; Counters read zero.
+//   - TCPTransport: the multi-process backend — each rank is its own OS
+//     process, messages cross real sockets through the wire protocol of
+//     docs/WIRE.md, and Counters report measured (not modeled) traffic.
+//     NewTCPLoopback provides an in-process world over real localhost
+//     sockets.
 //
 // The contract every implementation must honor (the conformance suite in
-// transport_test.go checks it against both backends):
+// transport_test.go checks it against all backends):
 //
 //   - Send is asynchronous and never blocks (unbounded buffering).
 //   - Recv blocks until a message matching (src, tag) arrives; src may
@@ -67,6 +72,30 @@ type Transport interface {
 	// ResetCounters zeroes all counters. Only call while no ranks are
 	// running.
 	ResetCounters()
+}
+
+// RankHoster is the optional Transport extension of multi-process
+// backends: a transport that hosts only a subset of the world's ranks in
+// this process. World.Run and Pool drive exactly the hosted ranks —
+// under TCPTransport each process hosts one rank, so p cooperating
+// processes each run their own slice of the same SPMD program. In-memory
+// transports host every rank and do not implement the interface.
+type RankHoster interface {
+	// LocalRanks returns the ranks hosted in this process, sorted.
+	LocalRanks() []int
+}
+
+// hostedRanks returns the ranks of t that live in this process: all of
+// them unless the transport is a RankHoster.
+func hostedRanks(t Transport) []int {
+	if h, ok := t.(RankHoster); ok {
+		return h.LocalRanks()
+	}
+	all := make([]int, t.Size())
+	for i := range all {
+		all[i] = i
+	}
+	return all
 }
 
 // abortState is the first-abort-wins error latch shared by the built-in

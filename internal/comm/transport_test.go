@@ -1,27 +1,39 @@
 package comm
 
-// Transport conformance suite: every test in this file runs against both
-// built-in backends, pinning down the contract documented on the
-// Transport interface — pairwise FIFO, tag matching, AnySource, native
-// barrier, abort-on-panic — so a new backend only has to pass this file
-// to be a drop-in replacement.
+// Transport conformance suite: every test in this file runs against all
+// built-in backends — the simulated and shared-memory in-memory runtimes
+// and the TCP wire backend (as an in-process loopback mesh, so every
+// byte still crosses the codec, framing and socket path) — pinning down
+// the contract documented on the Transport interface: pairwise FIFO, tag
+// matching, AnySource, native barrier, abort-on-panic. A new backend
+// only has to pass this file to be a drop-in replacement.
 
 import (
 	"errors"
 	"fmt"
+	"io"
 	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
 )
 
-// transports enumerates the built-in backends under test.
+// transports enumerates the built-in backends under test. Transports
+// built here are registered with closeLater by the test helpers, so
+// socket-backed ones release their goroutines at test end.
 var transports = []struct {
 	name string
 	mk   func(p int) Transport
 }{
 	{"sim", func(p int) Transport { return NewSimTransport(p) }},
 	{"inproc", func(p int) Transport { return NewInprocTransport(p) }},
+	{"tcp", func(p int) Transport {
+		tr, err := NewTCPLoopback(p)
+		if err != nil {
+			panic(fmt.Sprintf("tcp loopback bootstrap: %v", err))
+		}
+		return tr
+	}},
 }
 
 // forEachTransport runs fn once per backend as a subtest.
@@ -31,9 +43,20 @@ func forEachTransport(t *testing.T, fn func(t *testing.T, mk func(p int) Transpo
 	}
 }
 
-// world builds a World over a fresh transport of the given backend.
-func world(mk func(p int) Transport, p int) *World {
-	return NewWorld(p, WithTransport(mk(p)), WithTimeout(10*time.Second))
+// closeLater releases a transport's resources at test end (no-op for
+// the in-memory backends, socket/goroutine teardown for tcp).
+func closeLater(t *testing.T, tr Transport) Transport {
+	t.Helper()
+	if c, ok := tr.(io.Closer); ok {
+		t.Cleanup(func() { c.Close() })
+	}
+	return tr
+}
+
+// world builds a World over a fresh transport of the given backend,
+// released at test end.
+func world(t *testing.T, mk func(p int) Transport, p int) *World {
+	return NewWorld(p, WithTransport(closeLater(t, mk(p))), WithTimeout(10*time.Second))
 }
 
 // TestConformanceFIFO: messages from one sender on one tag arrive in
@@ -41,7 +64,7 @@ func world(mk func(p int) Transport, p int) *World {
 func TestConformanceFIFO(t *testing.T) {
 	forEachTransport(t, func(t *testing.T, mk func(p int) Transport) {
 		const p, n = 5, 300
-		w := world(mk, p)
+		w := world(t, mk, p)
 		err := w.Run(func(c *Comm) error {
 			const tag Tag = 4
 			for i := 0; i < n; i++ {
@@ -76,7 +99,7 @@ func TestConformanceFIFO(t *testing.T) {
 // consumes or reorders traffic on another.
 func TestConformanceTagMatching(t *testing.T) {
 	forEachTransport(t, func(t *testing.T, mk func(p int) Transport) {
-		w := world(mk, 2)
+		w := world(t, mk, 2)
 		err := w.Run(func(c *Comm) error {
 			if c.Rank() == 0 {
 				if err := SendValue(c, 1, 2, "second"); err != nil {
@@ -108,7 +131,7 @@ func TestConformanceTagMatching(t *testing.T) {
 func TestConformanceAnySource(t *testing.T) {
 	forEachTransport(t, func(t *testing.T, mk func(p int) Transport) {
 		const p = 8
-		w := world(mk, p)
+		w := world(t, mk, p)
 		err := w.Run(func(c *Comm) error {
 			const tag Tag = 3
 			if c.Rank() != 0 {
@@ -141,7 +164,7 @@ func TestConformanceAnySource(t *testing.T) {
 func TestConformanceMixedAnySourceAndDirect(t *testing.T) {
 	forEachTransport(t, func(t *testing.T, mk func(p int) Transport) {
 		const p, n = 4, 50
-		w := world(mk, p)
+		w := world(t, mk, p)
 		var got atomic.Int64
 		err := w.Run(func(c *Comm) error {
 			const tag Tag = 6
@@ -182,7 +205,7 @@ func TestConformanceMixedAnySourceAndDirect(t *testing.T) {
 // order interchangeably with blocking Recv.
 func TestConformanceTryRecv(t *testing.T) {
 	forEachTransport(t, func(t *testing.T, mk func(p int) Transport) {
-		w := world(mk, 2)
+		w := world(t, mk, 2)
 		err := w.Run(func(c *Comm) error {
 			const tag Tag = 5
 			if c.Rank() == 1 {
@@ -248,7 +271,7 @@ func TestConformanceTryRecv(t *testing.T) {
 // instead of reporting an empty mailbox.
 func TestConformanceTryRecvAfterAbort(t *testing.T) {
 	forEachTransport(t, func(t *testing.T, mk func(p int) Transport) {
-		tr := mk(2)
+		tr := closeLater(t, mk(2))
 		tr.Abort(nil)
 		if _, ok, err := tr.TryRecv(0, 1, 1); err == nil || ok {
 			t.Fatalf("TryRecv after abort: ok=%v err=%v, want error", ok, err)
@@ -259,7 +282,7 @@ func TestConformanceTryRecvAfterAbort(t *testing.T) {
 // TestConformanceSelfSend: a rank can message itself.
 func TestConformanceSelfSend(t *testing.T) {
 	forEachTransport(t, func(t *testing.T, mk func(p int) Transport) {
-		w := world(mk, 1)
+		w := world(t, mk, 1)
 		err := w.Run(func(c *Comm) error {
 			if err := SendValue(c, 0, 9, 5); err != nil {
 				return err
@@ -282,7 +305,7 @@ func TestConformanceSelfSend(t *testing.T) {
 func TestConformanceAbortOnPanic(t *testing.T) {
 	forEachTransport(t, func(t *testing.T, mk func(p int) Transport) {
 		const p = 4
-		w := world(mk, p)
+		w := world(t, mk, p)
 		err := w.Run(func(c *Comm) error {
 			if c.Rank() == 0 {
 				panic("rank 0 exploded")
@@ -308,7 +331,7 @@ func TestConformanceAbortOnPanic(t *testing.T) {
 // barrier are released when the world aborts.
 func TestConformanceAbortUnblocksBarrier(t *testing.T) {
 	forEachTransport(t, func(t *testing.T, mk func(p int) Transport) {
-		w := world(mk, 2)
+		w := world(t, mk, 2)
 		err := w.Run(func(c *Comm) error {
 			if c.Rank() == 0 {
 				panic("boom")
@@ -326,7 +349,7 @@ func TestConformanceAbortUnblocksBarrier(t *testing.T) {
 func TestConformanceBarrier(t *testing.T) {
 	forEachTransport(t, func(t *testing.T, mk func(p int) Transport) {
 		const p, rounds = 6, 25
-		w := world(mk, p)
+		w := world(t, mk, p)
 		var entered atomic.Int64
 		err := w.Run(func(c *Comm) error {
 			for r := 0; r < rounds; r++ {
@@ -350,7 +373,7 @@ func TestConformanceBarrier(t *testing.T) {
 // every backend.
 func TestConformanceTimeout(t *testing.T) {
 	forEachTransport(t, func(t *testing.T, mk func(p int) Transport) {
-		w := NewWorld(2, WithTransport(mk(2)), WithTimeout(50*time.Millisecond))
+		w := NewWorld(2, WithTransport(closeLater(t, mk(2))), WithTimeout(50*time.Millisecond))
 		err := w.Run(func(c *Comm) error {
 			_, err := c.Recv((c.Rank()+1)%2, 1) // nobody sends
 			return err

@@ -22,6 +22,7 @@ func SliceBytes[T any](s []T) int64 {
 
 // SendValue sends a single value of type T to dst.
 func SendValue[T any](e Endpoint, dst int, tag Tag, v T) error {
+	RegisterWire[T]()
 	return e.Send(dst, tag, v, SizeOf[T]())
 }
 
@@ -29,6 +30,7 @@ func SendValue[T any](e Endpoint, dst int, tag Tag, v T) error {
 // It fails if the matching message holds a different payload type,
 // which indicates a tag-discipline bug in the caller.
 func RecvValue[T any](e Endpoint, src int, tag Tag) (T, error) {
+	RegisterWire[T]()
 	m, err := e.Recv(src, tag)
 	if err != nil {
 		var zero T
@@ -45,11 +47,13 @@ func RecvValue[T any](e Endpoint, src int, tag Tag) (T, error) {
 // SendSlice sends a slice of T to dst. Ownership of the slice transfers to
 // the receiver; the sender must not modify it afterwards.
 func SendSlice[T any](e Endpoint, dst int, tag Tag, s []T) error {
+	RegisterWire[[]T]()
 	return e.Send(dst, tag, s, SliceBytes(s))
 }
 
 // RecvSlice receives a slice of T from src (or AnySource).
 func RecvSlice[T any](e Endpoint, src int, tag Tag) ([]T, error) {
+	RegisterWire[[]T]()
 	m, err := e.Recv(src, tag)
 	if err != nil {
 		return nil, err
@@ -67,6 +71,7 @@ func RecvSlice[T any](e Endpoint, src int, tag Tag) ([]T, error) {
 // RecvSliceFrom is RecvSlice but also reports the sender, for AnySource
 // gather patterns.
 func RecvSliceFrom[T any](e Endpoint, src int, tag Tag) ([]T, int, error) {
+	RegisterWire[[]T]()
 	m, err := e.Recv(src, tag)
 	if err != nil {
 		return nil, 0, err

@@ -4,6 +4,7 @@ import (
 	"cmp"
 	"context"
 	"errors"
+	"io"
 	"runtime"
 	"testing"
 	"time"
@@ -19,6 +20,13 @@ var ctxTransports = []struct {
 }{
 	{"sim", func(p int) comm.Transport { return comm.NewSimTransport(p) }},
 	{"inproc", func(p int) comm.Transport { return comm.NewInprocTransport(p) }},
+	{"tcp", func(p int) comm.Transport {
+		tr, err := comm.NewTCPLoopback(p)
+		if err != nil {
+			panic(err)
+		}
+		return tr
+	}},
 }
 
 // TestCancelMidHistogram cancels the context from inside the
@@ -83,6 +91,9 @@ func TestCancelMidHistogram(t *testing.T) {
 				}
 
 				pool.Close()
+				if cl, ok := pool.Transport().(io.Closer); ok {
+					cl.Close() // tcp: release sockets + pump goroutines
+				}
 				waitGoroutines(t, before)
 			})
 		}

@@ -1,22 +1,3 @@
-// Package core implements Histogram Sort with Sampling (HSS) — the
-// paper's primary contribution — as a distributed algorithm over the
-// internal/comm runtime, together with a centralized protocol simulator
-// that runs the identical splitter-determination protocol at the paper's
-// true processor counts (up to hundreds of thousands of buckets).
-//
-// The distributed sort has the paper's three phases (§6.1.2): local sort;
-// splitter determination by rounds of sampling + histogramming; and the
-// all-to-all data exchange followed by a k-way merge. Splitter
-// determination supports the three sampling disciplines the paper
-// analyzes:
-//
-//   - FixedOversampling (§6.1.2): every round gathers an expected f·B-key
-//     sample from the union of active splitter intervals (the production
-//     configuration, f = 5 in the paper's runs).
-//   - Theoretical (§3.3): k rounds with the geometric ratio schedule
-//     s_j = (2 ln B/ε)^(j/k).
-//   - OneRoundScanning (§3.2): a single 2/ε-ratio sample finished by the
-//     Axtmann scanning algorithm.
 package core
 
 import (

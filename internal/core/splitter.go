@@ -48,6 +48,7 @@ func planBytes[K any](p roundPlan[K]) int64 {
 // bcastPlan broadcasts a roundPlan from root along a binomial tree with
 // explicit byte accounting.
 func bcastPlan[K any](e comm.Endpoint, root int, tag comm.Tag, plan roundPlan[K]) (roundPlan[K], error) {
+	comm.RegisterWire[roundPlan[K]]() // wire transports decode by registered type
 	p := e.Size()
 	me := e.Rank()
 	rel := (me - root + p) % p

@@ -1,0 +1,10 @@
+// Package dist generates the synthetic key distributions the paper's
+// evaluation sorts (§6.2): uniform and gaussian baselines, skewed
+// distributions that stress splitter determination, near-sorted and
+// pre-partitioned inputs that defeat naive probing, and duplicate-heavy
+// inputs that motivate the §4.3 tagging scheme.
+//
+// Generation is deterministic: Shard(perRank, rank, p, seed) depends only
+// on its arguments, so every simulated processor can build its own shard
+// independently and repeated runs reproduce byte-identical inputs.
+package dist

@@ -1,20 +1,3 @@
-// Package exactsplit implements exact distributed splitter selection in
-// the spirit of Cheng, Edelman, Gilbert & Shah (cited in §2.1): finding
-// keys of *exact* global ranks — perfect load balance, ε = 0 — with
-// O(log N) rounds of communication per batch of targets.
-//
-// The paper dismisses exact splitting as "largely of theoretical
-// interest" because no application needs perfect balance; it is built
-// here both as that reference point (the ε → 0 limit of the HSS
-// trade-off, ablated in the benchmarks) and as a generally useful
-// distributed multi-select primitive.
-//
-// The algorithm is parallel weighted-median selection: every unresolved
-// target keeps a per-rank active window of the local sorted data; each
-// round the ranks propose their window medians, the coordinator picks
-// the weighted median of medians as a pivot (discarding ≥ 1/4 of the
-// active keys per round), a histogram round ranks the pivot exactly,
-// and windows narrow — until the pivot's span covers the target rank.
 package exactsplit
 
 import (

@@ -4,6 +4,7 @@ import (
 	"cmp"
 	"context"
 	"errors"
+	"io"
 	"runtime"
 	"slices"
 	"testing"
@@ -27,6 +28,13 @@ func TestCancelMidExchange(t *testing.T) {
 	}{
 		{"sim", func(p int) comm.Transport { return comm.NewSimTransport(p) }},
 		{"inproc", func(p int) comm.Transport { return comm.NewInprocTransport(p) }},
+		{"tcp", func(p int) comm.Transport {
+			tr, err := comm.NewTCPLoopback(p)
+			if err != nil {
+				panic(err)
+			}
+			return tr
+		}},
 	}
 	for _, tr := range transports {
 		for _, chunkKeys := range []int{0, 256} {
@@ -107,6 +115,9 @@ func TestCancelMidExchange(t *testing.T) {
 				}
 
 				pool.Close()
+				if cl, ok := pool.Transport().(io.Closer); ok {
+					cl.Close() // tcp: release sockets + pump goroutines
+				}
 				deadline := time.Now().Add(2 * time.Second)
 				for runtime.NumGoroutine() > before {
 					if time.Now().After(deadline) {

@@ -137,6 +137,7 @@ type bucketRun[K any] struct {
 // for a k-way merge. Every rank must pass the same number of buckets and
 // the same owner mapping.
 func Exchange[K any](e comm.Endpoint, tag comm.Tag, runs [][]K, owner func(int) int) ([][]K, error) {
+	comm.RegisterWire[[]bucketRun[K]]() // wire transports decode by registered type
 	p := e.Size()
 	me := e.Rank()
 	byDst := make([][]bucketRun[K], p)

@@ -215,6 +215,7 @@ type inStream struct {
 // itself the chunks alias straight into the code tree — codes travel
 // through the exchange and are never re-encoded.
 func ExchangeStream[K any](e comm.StreamEndpoint, tag comm.Tag, runs [][]K, owner func(int) int, cmp func(K, K) int, code func(K) uint64, opt StreamOptions, sc *Scratch[K]) ([]K, StreamStats, error) {
+	comm.RegisterWire[streamMsg[K]]() // wire transports decode by registered type
 	opt = opt.withDefaults()
 	p := e.Size()
 	me := e.Rank()

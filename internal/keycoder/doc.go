@@ -1,0 +1,14 @@
+// Package keycoder provides order-preserving encodings between primitive
+// key types and uint64 code points.
+//
+// Classic histogram sort (internal/histsort) refines candidate splitters by
+// bisecting the key space numerically, and radix partitioning
+// (internal/radix) buckets keys by their most significant bits. Both need a
+// total order on a fixed-width integer image of the key type. A Coder maps
+// keys to uint64 codes such that
+//
+//	cmp(a, b) < 0  ⇔  Encode(a) < Encode(b)
+//
+// and Decode(Encode(k)) == k for every representable key (for Float64, NaN
+// is excluded; see its documentation).
+package keycoder

@@ -1,12 +1,3 @@
-// Package rankoracle implements the §3.4 distributed approximate rank
-// oracle: every processor maintains a representative random-block sample
-// of its sorted local data, and global rank queries are answered by
-// reducing sample-estimated local ranks instead of touching the full
-// input. Theorem 3.4.1: with per-processor sample size s = √(2p ln p)/ε,
-// every answer is within Nε/p of the true rank w.h.p. The paper offers
-// this both as an accelerator for HSS histogramming and as a primitive of
-// independent interest for repeated rank/quantile queries in parallel
-// data systems.
 package rankoracle
 
 import (

@@ -1,0 +1,3 @@
+// Package tablefmt renders the aligned text tables the experiment
+// binaries print (Table 5.1, Table 6.1, and the figure data series).
+package tablefmt

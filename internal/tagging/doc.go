@@ -1,0 +1,9 @@
+// Package tagging implements the paper's duplicate-handling mechanism
+// (§4.3): every key is implicitly tagged with the processor it resides on
+// and its local index, imposing a strict total order on an input with
+// arbitrary duplication. Splitter-based sorts then behave exactly as on
+// distinct keys — load balance no longer degrades with duplicate counts —
+// at the cost of a constant-factor growth of the histogram probes (the
+// tags travel only with probes and splitters, never with the bulk data,
+// because the tag of an input key is recomputable from its location).
+package tagging

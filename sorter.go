@@ -144,7 +144,7 @@ func newSorter[K any](cfg Config, compare func(K, K) int, builtin keycoder.Coder
 			return nil, fmt.Errorf("hssort: CodePathOn, but %v has no code-plane support", cfg.Algorithm)
 		}
 	}
-	tr, err := cfg.Transport.newTransport(cfg.Procs)
+	tr, err := newTransport(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -166,8 +166,11 @@ func newSorter[K any](cfg Config, compare func(K, K) int, builtin keycoder.Coder
 	return s, nil
 }
 
-// Close stops the engine's worker goroutines and releases its scratch.
-// It is idempotent; calls after Close return ErrSorterClosed.
+// Close stops the engine's worker goroutines, releases its scratch and
+// tears down the transport (for the tcp backend: a graceful shutdown
+// handshake on every connection, after which no reader/writer
+// goroutines remain). It is idempotent; calls after Close return
+// ErrSorterClosed.
 func (s *Sorter[K]) Close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -176,6 +179,7 @@ func (s *Sorter[K]) Close() {
 	}
 	s.closed = true
 	s.pool.Close()
+	closeTransport(s.pool.Transport())
 }
 
 // Sort sorts shards[i] (the keys initially on simulated processor i)

@@ -1,0 +1,472 @@
+package hssort
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"os"
+	"os/exec"
+	"runtime"
+	"slices"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hssort/internal/dist"
+)
+
+// tcp_test.go is the tcp backend's acceptance gate at the library
+// level: rank-identical output vs the sim oracle across algorithms,
+// exchange planes and code paths; engine cancellation over sockets
+// returning ctx.Err(); the worker-mode engine (one process per rank);
+// and a true multi-process run via re-exec of this test binary.
+
+// keyDigest is a deterministic fingerprint of one rank's output.
+func keyDigest(keys []int64) string {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, k := range keys {
+		binary.LittleEndian.PutUint64(b[:], uint64(k))
+		h.Write(b[:])
+	}
+	return fmt.Sprintf("%d:%016x", len(keys), h.Sum64())
+}
+
+// TestTCPSortEquivalence: HSS, sample sort, classic histogram sort and
+// NodeHSS produce rank-identical output over tcp (loopback mesh: real
+// sockets, real serialization) and sim, across both exchange planes and
+// both code paths, with identical protocol-level stats.
+func TestTCPSortEquivalence(t *testing.T) {
+	const p, perRank = 4, 2000
+	algs := []struct {
+		name string
+		cfg  Config
+	}{
+		{"hss", Config{Procs: p, Algorithm: HSS, Epsilon: 0.05, Seed: 3}},
+		{"samplesort", Config{Procs: p, Algorithm: SampleSortRegular, Epsilon: 0.1, Seed: 5}},
+		{"histogramsort", Config{Procs: p, Algorithm: HistogramSort, Epsilon: 0.1, Seed: 7}},
+		{"node-hss", Config{Procs: p, Algorithm: NodeHSS, CoresPerNode: 2, Epsilon: 0.1, Seed: 9}},
+	}
+	for _, alg := range algs {
+		for _, stream := range []bool{false, true} {
+			for _, cp := range []CodePath{CodePathOff, CodePathOn} {
+				name := fmt.Sprintf("%s/stream=%v/codepath=%v", alg.name, stream, cp)
+				t.Run(name, func(t *testing.T) {
+					shards := dist.Spec{Kind: dist.PowerSkew, Min: 0, Max: 1 << 40}.Shards(perRank, p, 17)
+					cfg := alg.cfg
+					cfg.StreamExchange = stream
+					cfg.CodePath = cp
+
+					simCfg := cfg
+					simCfg.Transport = TransportSim
+					simOuts, simStats, err := Sort(simCfg, cloneShards(shards))
+					if err != nil {
+						t.Fatalf("sim: %v", err)
+					}
+
+					tcpCfg := cfg
+					tcpCfg.Transport = TransportTCP // zero TCPConfig: loopback mesh
+					tcpOuts, tcpStats, err := Sort(tcpCfg, cloneShards(shards))
+					if err != nil {
+						t.Fatalf("tcp: %v", err)
+					}
+
+					for r := range simOuts {
+						if !slices.Equal(simOuts[r], tcpOuts[r]) {
+							t.Fatalf("rank %d output differs between sim and tcp (%d vs %d keys)",
+								r, len(simOuts[r]), len(tcpOuts[r]))
+						}
+					}
+					if simStats.Rounds != tcpStats.Rounds || simStats.TotalSample != tcpStats.TotalSample {
+						t.Errorf("protocol stats differ: sim %d rounds/%d sample, tcp %d rounds/%d sample",
+							simStats.Rounds, simStats.TotalSample, tcpStats.Rounds, tcpStats.TotalSample)
+					}
+					// tcp accounting is measured, not modeled — it will
+					// not equal sim's numbers, but it must exist.
+					if tcpStats.TotalBytes == 0 || tcpStats.TotalMsgs == 0 {
+						t.Error("tcp transport reported no measured traffic")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestTCPSortKVEquivalence: record payloads ride the wire codec
+// (fixed-width KV structs move as bulk copies) rank-identically to sim.
+func TestTCPSortKVEquivalence(t *testing.T) {
+	const p, perRank = 4, 1500
+	keys := dist.Spec{Kind: dist.Gaussian, Min: 0, Max: 1 << 30}.Shards(perRank, p, 23)
+	mkShards := func() [][]KV[int64, int32] {
+		shards := make([][]KV[int64, int32], p)
+		for r := range shards {
+			for i, k := range keys[r] {
+				shards[r] = append(shards[r], KV[int64, int32]{Key: k, Val: int32(r*perRank + i)})
+			}
+		}
+		return shards
+	}
+	sortWith := func(tr Transport) [][]KV[int64, int32] {
+		t.Helper()
+		cfg := Config{Procs: p, Epsilon: 0.05, Seed: 11, Transport: tr, StreamExchange: true}
+		outs, _, err := SortKV(cfg, mkShards())
+		if err != nil {
+			t.Fatalf("%v: %v", tr, err)
+		}
+		return outs
+	}
+	simOuts := sortWith(TransportSim)
+	tcpOuts := sortWith(TransportTCP)
+	for r := range simOuts {
+		// Key sequences must match exactly; payload multisets per rank
+		// must match (equal keys may legally swap payload order).
+		if len(simOuts[r]) != len(tcpOuts[r]) {
+			t.Fatalf("rank %d sizes differ: %d vs %d", r, len(simOuts[r]), len(tcpOuts[r]))
+		}
+		var simVals, tcpVals []int32
+		for i := range simOuts[r] {
+			if simOuts[r][i].Key != tcpOuts[r][i].Key {
+				t.Fatalf("rank %d key %d differs", r, i)
+			}
+			simVals = append(simVals, simOuts[r][i].Val)
+			tcpVals = append(tcpVals, tcpOuts[r][i].Val)
+		}
+		slices.Sort(simVals)
+		slices.Sort(tcpVals)
+		if !slices.Equal(simVals, tcpVals) {
+			t.Fatalf("rank %d payload multiset differs", r)
+		}
+	}
+}
+
+// TestTCPEngineCancellation: cancelling a sort running over sockets
+// returns ctx.Err() from the engine, the engine stays usable, and Close
+// releases every socket and goroutine.
+func TestTCPEngineCancellation(t *testing.T) {
+	const p, perRank = 4, 20000
+	before := runtime.NumGoroutine()
+	{
+		shards := dist.Spec{Kind: dist.Uniform}.Shards(perRank, p, 31)
+		engine, err := New[int64](Config{Procs: p, Epsilon: 0.02, Seed: 3, Transport: TransportTCP, StreamExchange: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel() // cancelled before the run: every rank must unblock immediately
+		if _, _, err := engine.Sort(ctx, cloneShards(shards)); !errors.Is(err, context.Canceled) {
+			t.Fatalf("pre-cancelled sort returned %v, want context.Canceled", err)
+		}
+
+		ctx2, cancel2 := context.WithCancel(context.Background())
+		time.AfterFunc(2*time.Millisecond, cancel2) // mid-flight
+		_, _, err = engine.Sort(ctx2, cloneShards(shards))
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("mid-flight cancel returned %v", err)
+		}
+
+		// The same engine — same mesh, post-abort — serves a clean sort.
+		outs, _, err := engine.Sort(context.Background(), cloneShards(shards))
+		if err != nil {
+			t.Fatalf("sort after cancellation: %v", err)
+		}
+		var total int
+		for r, o := range outs {
+			if !slices.IsSorted(o) {
+				t.Errorf("rank %d output not sorted after recovery", r)
+			}
+			total += len(o)
+		}
+		if total != p*perRank {
+			t.Errorf("recovered sort moved %d keys, want %d", total, p*perRank)
+		}
+		engine.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d > baseline %d", runtime.NumGoroutine(), before)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Worker mode (one engine per rank) and multi-process execution
+// ---------------------------------------------------------------------
+
+// freeLoopbackAddr reserves an ephemeral port and releases it for the
+// coordinator to bind. The tiny bind race is covered by retries.
+func freeLoopbackAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// workerConfig builds the worker-mode engine config for one rank.
+func workerConfig(coordinator string, rank, procs int, stream bool, cp CodePath) Config {
+	return Config{
+		Procs:          procs,
+		Algorithm:      HSS,
+		Epsilon:        0.05,
+		Seed:           3,
+		Transport:      TransportTCP,
+		StreamExchange: stream,
+		CodePath:       cp,
+		TCP: TCPConfig{
+			Coordinator:      coordinator,
+			Rank:             rank,
+			BootstrapTimeout: 20 * time.Second,
+		},
+	}
+}
+
+// workerShards generates the deterministic global input every worker
+// derives independently (mirroring how a real deployment gives each
+// process its own shard of a common dataset).
+func workerShards(procs, perRank int) [][]int64 {
+	return dist.Spec{Kind: dist.PowerSkew, Min: 0, Max: 1 << 40}.Shards(perRank, procs, 17)
+}
+
+// simDigests computes the oracle digests of the worker-mode input.
+func simDigests(t *testing.T, procs, perRank int, runs int) [][]string {
+	t.Helper()
+	engine, err := New[int64](Config{Procs: procs, Algorithm: HSS, Epsilon: 0.05, Seed: 3, Transport: TransportSim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine.Close()
+	out := make([][]string, runs)
+	for run := 0; run < runs; run++ {
+		outs, _, err := engine.Sort(context.Background(), cloneShards(workerShards(procs, perRank)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range outs {
+			out[run] = append(out[run], keyDigest(o))
+		}
+	}
+	return out
+}
+
+// TestTCPWorkerModeEngines: p engines, each hosting one rank of a TCP
+// world (exactly the multi-process drive model, inside one test
+// process), sort repeatedly through independent Resets. Each engine
+// returns only its own rank's partition; the assembled digests match
+// the sim oracle, run after run.
+func TestTCPWorkerModeEngines(t *testing.T) {
+	const p, perRank, runs = 4, 2000, 3
+	want := simDigests(t, p, perRank, runs)
+
+	var got [][]string
+	for attempt := 0; ; attempt++ {
+		digests, err := runWorkerEngines(p, perRank, runs)
+		if err == nil {
+			got = digests
+			break
+		}
+		if attempt >= 2 {
+			t.Fatalf("worker-mode engines failed after retries: %v", err)
+		}
+		t.Logf("retrying after bootstrap race: %v", err)
+	}
+	for run := 0; run < runs; run++ {
+		if !slices.Equal(got[run], want[run]) {
+			t.Errorf("run %d digests differ:\n tcp %v\n sim %v", run, got[run], want[run])
+		}
+	}
+}
+
+// runWorkerEngines drives one complete worker-mode world in-process.
+func runWorkerEngines(p, perRank, runs int) ([][]string, error) {
+	coordinator := ""
+	{
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		coordinator = ln.Addr().String()
+		ln.Close()
+	}
+	digests := make([][]string, runs)
+	for i := range digests {
+		digests[i] = make([]string, p)
+	}
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = func() error {
+				engine, err := New[int64](workerConfig(coordinator, r, p, true, CodePathAuto))
+				if err != nil {
+					return fmt.Errorf("rank %d: %w", r, err)
+				}
+				defer engine.Close()
+				for run := 0; run < runs; run++ {
+					shards := make([][]int64, p)
+					shards[r] = slices.Clone(workerShards(p, perRank)[r])
+					outs, stats, err := engine.Sort(context.Background(), shards)
+					if err != nil {
+						return fmt.Errorf("rank %d run %d: %w", r, run, err)
+					}
+					digests[run][r] = keyDigest(outs[r])
+					if r == 0 && stats.N != int64(p*perRank) {
+						return fmt.Errorf("rank 0 stats.N = %d, want %d", stats.N, p*perRank)
+					}
+					if r != 0 {
+						for q, o := range outs {
+							if q != r && o != nil {
+								return fmt.Errorf("rank %d received rank %d's output", r, q)
+							}
+						}
+					}
+				}
+				return nil
+			}()
+		}(r)
+	}
+	wg.Wait()
+	return digests, errors.Join(errs...)
+}
+
+// tcpWorkerEnv triggers worker mode in TestMain when this test binary
+// is re-executed as a sort worker process.
+const tcpWorkerEnv = "HSSORT_TCP_WORKER"
+
+// runTCPWorker is the re-exec entry point: spec is
+// "rank=R procs=P perRank=N runs=K coordinator=ADDR". It sorts through
+// a worker-mode engine and prints one digest line per run.
+func runTCPWorker(spec string) int {
+	var rank, procs, perRank, runs int
+	var coordinator string
+	for _, f := range strings.Fields(spec) {
+		k, v, _ := strings.Cut(f, "=")
+		switch k {
+		case "rank":
+			fmt.Sscanf(v, "%d", &rank)
+		case "procs":
+			fmt.Sscanf(v, "%d", &procs)
+		case "perRank":
+			fmt.Sscanf(v, "%d", &perRank)
+		case "runs":
+			fmt.Sscanf(v, "%d", &runs)
+		case "coordinator":
+			coordinator = v
+		}
+	}
+	engine, err := New[int64](workerConfig(coordinator, rank, procs, true, CodePathAuto))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "worker %d: %v\n", rank, err)
+		return 1
+	}
+	defer engine.Close()
+	for run := 0; run < runs; run++ {
+		shards := make([][]int64, procs)
+		shards[rank] = slices.Clone(workerShards(procs, perRank)[rank])
+		outs, _, err := engine.Sort(context.Background(), shards)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "worker %d run %d: %v\n", rank, run, err)
+			return 1
+		}
+		fmt.Printf("DIGEST run=%d rank=%d %s\n", run, rank, keyDigest(outs[rank]))
+	}
+	return 0
+}
+
+// TestTCPMultiProcess is the real thing: four OS processes (re-execs of
+// this test binary), a rendezvous over localhost, two sorts through
+// each process's engine, rank-identical digests vs the sim oracle.
+func TestTCPMultiProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process run")
+	}
+	const p, perRank, runs = 4, 2000, 2
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := simDigests(t, p, perRank, runs)
+
+	var lines []string
+	for attempt := 0; ; attempt++ {
+		lines, err = launchWorkers(t, exe, p, perRank, runs)
+		if err == nil {
+			break
+		}
+		if attempt >= 2 {
+			t.Fatalf("worker processes failed after retries: %v", err)
+		}
+		t.Logf("retrying after bootstrap race: %v", err)
+	}
+
+	got := make([][]string, runs)
+	for i := range got {
+		got[i] = make([]string, p)
+	}
+	for _, line := range lines {
+		var run, rank int
+		var digest string
+		if _, err := fmt.Sscanf(line, "DIGEST run=%d rank=%d %s", &run, &rank, &digest); err != nil {
+			continue
+		}
+		got[run][rank] = digest
+	}
+	for run := 0; run < runs; run++ {
+		if !slices.Equal(got[run], want[run]) {
+			t.Errorf("run %d digests differ:\n tcp %v\n sim %v", run, got[run], want[run])
+		}
+	}
+}
+
+// launchWorkers forks p worker processes and collects their stdout.
+func launchWorkers(t *testing.T, exe string, p, perRank, runs int) ([]string, error) {
+	t.Helper()
+	coordinator := freeLoopbackAddr(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var mu sync.Mutex
+	var lines []string
+	var wg sync.WaitGroup
+	errs := make([]error, p)
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			cmd := exec.CommandContext(ctx, exe, "-test.run=NONE")
+			cmd.Env = append(os.Environ(), fmt.Sprintf("%s=rank=%d procs=%d perRank=%d runs=%d coordinator=%s",
+				tcpWorkerEnv, r, p, perRank, runs, coordinator))
+			out, err := cmd.StdoutPipe()
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			cmd.Stderr = os.Stderr
+			if err := cmd.Start(); err != nil {
+				errs[r] = err
+				return
+			}
+			sc := bufio.NewScanner(out)
+			for sc.Scan() {
+				mu.Lock()
+				lines = append(lines, sc.Text())
+				mu.Unlock()
+			}
+			if err := cmd.Wait(); err != nil {
+				errs[r] = fmt.Errorf("worker %d: %w", r, err)
+			}
+		}(r)
+	}
+	wg.Wait()
+	return lines, errors.Join(errs...)
+}

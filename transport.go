@@ -2,15 +2,18 @@ package hssort
 
 import (
 	"fmt"
+	"io"
 	"strings"
+	"time"
 
 	"hssort/internal/comm"
 )
 
 // Transport selects the communication backend a sort runs over. The
 // algorithms are transport-agnostic — they program against the runtime's
-// Transport interface — so the same sort runs in accounting mode or at
-// shared-memory speed by flipping Config.Transport.
+// Transport interface — so the same sort runs in accounting mode, at
+// shared-memory speed, or across OS processes on real sockets by
+// flipping Config.Transport.
 type Transport int
 
 const (
@@ -25,40 +28,150 @@ const (
 	// communication-volume fields of Stats (SplitterBytes,
 	// ExchangeBytes, TotalMsgs, TotalBytes) read zero.
 	TransportInproc
+	// TransportTCP is the multi-process backend: each rank is its own
+	// OS process and every message crosses a real socket through the
+	// wire protocol of docs/WIRE.md, making the byte-volume fields of
+	// Stats measured wire traffic rather than model output. With
+	// Config.TCP left zero it runs as an in-process loopback mesh (p
+	// ranks, real localhost sockets); with Config.TCP set it joins a
+	// multi-process world — see the README's "Distributed deployment"
+	// section.
+	TransportTCP
 )
+
+// TCPConfig configures this process's endpoint of a multi-process TCP
+// world (Config.Transport: TransportTCP). The zero value selects the
+// in-process loopback mesh: all Procs ranks in this process, connected
+// over real localhost sockets.
+type TCPConfig struct {
+	// Coordinator is the host:port of the rank-0 rendezvous listener.
+	// Rank 0 binds it; other ranks dial it to register and learn the
+	// peer address table. Setting it selects worker mode: this process
+	// hosts exactly the rank given by Rank, and Sorter calls drive only
+	// that rank (shards/outputs of other ranks stay in their processes).
+	Coordinator string
+	// Rank is this process's rank in [0, Procs).
+	Rank int
+	// ListenAddr is the bind address of this process's data listener
+	// (ranks > 0). Default "127.0.0.1:0"; use a routable interface for
+	// multi-machine worlds.
+	ListenAddr string
+	// BootstrapTimeout bounds rendezvous + mesh construction (default
+	// 30s).
+	BootstrapTimeout time.Duration
+}
+
+// transportSpec is one registered backend: the single source of truth
+// behind String, ParseTransport, the flag help of cmd/hssort and the
+// construction switch — so a new backend cannot drift out of the
+// documentation or the error messages.
+type transportSpec struct {
+	value   Transport
+	name    string
+	summary string
+	build   func(cfg Config) (comm.Transport, error)
+}
+
+// transportSpecs registers every backend, in flag-help order.
+var transportSpecs = []transportSpec{
+	{
+		value:   TransportSim,
+		name:    "sim",
+		summary: "simulated in-process runtime with modeled byte accounting (the default)",
+		build: func(cfg Config) (comm.Transport, error) {
+			return comm.NewSimTransport(cfg.Procs), nil
+		},
+	},
+	{
+		value:   TransportInproc,
+		name:    "inproc",
+		summary: "zero-copy shared-memory fast path; byte/message stats read zero",
+		build: func(cfg Config) (comm.Transport, error) {
+			return comm.NewInprocTransport(cfg.Procs), nil
+		},
+	},
+	{
+		value:   TransportTCP,
+		name:    "tcp",
+		summary: "multi-process sockets with measured wire traffic (docs/WIRE.md); loopback mesh unless Config.TCP names a coordinator",
+		build: func(cfg Config) (comm.Transport, error) {
+			if cfg.TCP.Coordinator == "" {
+				return comm.NewTCPLoopback(cfg.Procs)
+			}
+			return comm.DialTCP(comm.TCPOptions{
+				Coordinator:      cfg.TCP.Coordinator,
+				Rank:             cfg.TCP.Rank,
+				Procs:            cfg.Procs,
+				ListenAddr:       cfg.TCP.ListenAddr,
+				BootstrapTimeout: cfg.TCP.BootstrapTimeout,
+			})
+		},
+	},
+}
+
+// TransportNames returns the registered backend names in flag-help
+// order: the list every error message and usage string derives from.
+func TransportNames() []string {
+	names := make([]string, len(transportSpecs))
+	for i, s := range transportSpecs {
+		names[i] = s.name
+	}
+	return names
+}
+
+// TransportSummaries returns "name: summary" lines for the registered
+// backends, for command-line usage text.
+func TransportSummaries() []string {
+	out := make([]string, len(transportSpecs))
+	for i, s := range transportSpecs {
+		out[i] = s.name + ": " + s.summary
+	}
+	return out
+}
+
+// spec returns the registry entry for t.
+func (t Transport) spec() (transportSpec, bool) {
+	for _, s := range transportSpecs {
+		if s.value == t {
+			return s, true
+		}
+	}
+	return transportSpec{}, false
+}
 
 // String returns the name used by the -transport command-line flags.
 func (t Transport) String() string {
-	switch t {
-	case TransportSim:
-		return "sim"
-	case TransportInproc:
-		return "inproc"
-	default:
-		return fmt.Sprintf("Transport(%d)", int(t))
+	if s, ok := t.spec(); ok {
+		return s.name
 	}
+	return fmt.Sprintf("Transport(%d)", int(t))
 }
 
 // ParseTransport parses a -transport flag value (case-insensitively).
+// The set of valid values — and the error listing them — comes from the
+// backend registry, so it is always in sync with the implementations.
 func ParseTransport(s string) (Transport, error) {
-	switch strings.ToLower(s) {
-	case "sim":
-		return TransportSim, nil
-	case "inproc":
-		return TransportInproc, nil
-	default:
-		return 0, fmt.Errorf("hssort: unknown transport %q (valid values: sim, inproc)", s)
+	for _, spec := range transportSpecs {
+		if strings.EqualFold(s, spec.name) {
+			return spec.value, nil
+		}
 	}
+	return 0, fmt.Errorf("hssort: unknown transport %q (valid values: %s)", s, strings.Join(TransportNames(), ", "))
 }
 
-// newTransport builds the comm backend for a run over p ranks.
-func (t Transport) newTransport(p int) (comm.Transport, error) {
-	switch t {
-	case TransportSim:
-		return comm.NewSimTransport(p), nil
-	case TransportInproc:
-		return comm.NewInprocTransport(p), nil
-	default:
-		return nil, fmt.Errorf("hssort: unknown transport %v", t)
+// newTransport builds the comm backend for a run over cfg.Procs ranks.
+func newTransport(cfg Config) (comm.Transport, error) {
+	s, ok := cfg.Transport.spec()
+	if !ok {
+		return nil, fmt.Errorf("hssort: unknown transport %v (valid values: %s)", cfg.Transport, strings.Join(TransportNames(), ", "))
+	}
+	return s.build(cfg)
+}
+
+// closeTransport releases backends that hold OS resources (sockets,
+// goroutines); the in-memory backends need no teardown.
+func closeTransport(t comm.Transport) {
+	if c, ok := t.(io.Closer); ok {
+		c.Close()
 	}
 }

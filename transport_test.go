@@ -11,7 +11,7 @@ import (
 // TestTransportNamesRoundTrip: String and ParseTransport agree, the
 // parser is case-insensitive, and its error names the valid values.
 func TestTransportNamesRoundTrip(t *testing.T) {
-	for _, tr := range []Transport{TransportSim, TransportInproc} {
+	for _, tr := range []Transport{TransportSim, TransportInproc, TransportTCP} {
 		got, err := ParseTransport(tr.String())
 		if err != nil || got != tr {
 			t.Errorf("ParseTransport(%q) = %v, %v", tr.String(), got, err)
@@ -28,13 +28,38 @@ func TestTransportNamesRoundTrip(t *testing.T) {
 	if err == nil {
 		t.Fatal("unknown transport name parsed")
 	}
-	for _, want := range []string{"sim", "inproc"} {
+	for _, want := range TransportNames() {
 		if !strings.Contains(err.Error(), want) {
 			t.Errorf("parse error %q does not list valid value %q", err, want)
 		}
 	}
 	if Transport(42).String() != "Transport(42)" {
 		t.Error("unknown transport name")
+	}
+}
+
+// TestTransportRegistryComplete: the registry — the single source of
+// the valid-values lists in errors and flag help — covers every backend
+// and stays self-consistent.
+func TestTransportRegistryComplete(t *testing.T) {
+	names := TransportNames()
+	if want := []string{"sim", "inproc", "tcp"}; !slices.Equal(names, want) {
+		t.Fatalf("TransportNames() = %v, want %v", names, want)
+	}
+	summaries := TransportSummaries()
+	if len(summaries) != len(names) {
+		t.Fatalf("%d summaries for %d names", len(summaries), len(names))
+	}
+	for i, s := range summaries {
+		if !strings.HasPrefix(s, names[i]+": ") {
+			t.Errorf("summary %q does not lead with its name %q", s, names[i])
+		}
+	}
+	for _, name := range names {
+		tr, err := ParseTransport(name)
+		if err != nil || tr.String() != name {
+			t.Errorf("registry round trip broken for %q: %v, %v", name, tr, err)
+		}
 	}
 }
 
