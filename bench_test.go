@@ -7,6 +7,7 @@
 package hssort
 
 import (
+	"cmp"
 	"context"
 	"fmt"
 	"math/rand/v2"
@@ -15,7 +16,12 @@ import (
 
 	"hssort/internal/bspmodel"
 	"hssort/internal/changa"
+	"hssort/internal/codes"
 	"hssort/internal/dist"
+	"hssort/internal/exchange"
+	"hssort/internal/keycoder"
+	"hssort/internal/merge"
+	"hssort/internal/par"
 	"hssort/internal/sampling"
 )
 
@@ -638,5 +644,117 @@ func BenchmarkTCPTransport(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkWorkers measures the intra-rank multicore compute plane: the
+// four parallel kernels in isolation (radix local sort, partition cuts,
+// codec passes, k-way merge) and the end-to-end sort, each swept over
+// worker-pool sizes. On a multicore host the kernel rows scale with w
+// until memory bandwidth saturates; Workers=1 rows are the serial
+// regression guard (the pool's w=1 path must cost what the plain serial
+// kernels cost). Run on a single-core host, all rows coincide — the
+// checked-in artifact records which regime measured it.
+func BenchmarkWorkers(b *testing.B) {
+	b.ReportAllocs()
+	const n = 400000
+	workersSweep := []int{1, 2, 4, 8}
+
+	rng := rand.New(rand.NewPCG(8, 73))
+	baseCodes := make([]codes.Code, n)
+	baseKeys := make([]int64, n)
+	for i := 0; i < n; i++ {
+		baseCodes[i] = codes.Code(rng.Uint64())
+		baseKeys[i] = rng.Int64() - (1 << 62)
+	}
+	sortedKeys := slices.Clone(baseKeys)
+	slices.Sort(sortedKeys)
+	splitters := make([]int64, 255)
+	for i := range splitters {
+		splitters[i] = sortedKeys[(i+1)*n/256]
+	}
+	coder := keycoder.Int64{}
+	sortedCodes := codes.EncodeSlice(coder, sortedKeys)
+	splitterCodes := codes.EncodeSlice(coder, splitters)
+	mergeRuns := make([][]codes.Code, 8)
+	for r := range mergeRuns {
+		run := make([]codes.Code, n/8)
+		for i := range run {
+			run[i] = codes.Code(rng.Uint64())
+		}
+		slices.Sort(run)
+		mergeRuns[r] = run
+	}
+
+	for _, w := range workersSweep {
+		pool := par.New(w)
+		name := fmt.Sprintf("w=%d", w)
+
+		b.Run("localsort/"+name, func(b *testing.B) {
+			b.ReportAllocs()
+			scratch := make([]codes.Code, n)
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				copy(scratch, baseCodes)
+				b.StartTimer()
+				codes.SortPar(scratch, pool)
+			}
+			b.SetBytes(8 * n)
+		})
+		b.Run("partition/"+name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				exchange.PartitionPar(sortedKeys, splitters, cmp.Compare[int64], pool)
+			}
+			b.SetBytes(8 * n)
+		})
+		b.Run("partition-bycode/"+name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				exchange.PartitionByCodePar(sortedKeys, sortedCodes, splitterCodes, pool)
+			}
+			b.SetBytes(8 * n)
+		})
+		b.Run("codec/"+name, func(b *testing.B) {
+			b.ReportAllocs()
+			var enc []codes.Code
+			for i := 0; i < b.N; i++ {
+				enc = codes.EncodeIntoPar(coder, baseKeys, enc, pool)
+				codes.DecodeSlicePar(coder, enc, pool)
+			}
+			b.SetBytes(2 * 8 * n)
+		})
+		b.Run("merge/"+name, func(b *testing.B) {
+			b.ReportAllocs()
+			dst := make([]codes.Code, 0, n)
+			for i := 0; i < b.N; i++ {
+				dst = merge.ParMerge(dst[:0], mergeRuns, codes.Compare, pool)
+			}
+			b.SetBytes(8 * n)
+		})
+	}
+
+	// End-to-end: the acceptance shape (p=4 ranks x 100k keys per rank)
+	// through the full HSS pipeline on the sim transport.
+	const p, perRank = 4, 100000
+	shards := dist.Spec{Kind: dist.Uniform, Min: 0, Max: 1 << 40}.Shards(perRank, p, 79)
+	for _, w := range workersSweep {
+		b.Run(fmt.Sprintf("endtoend/w=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			s, err := New[int64](Config{Procs: p, Epsilon: 0.1, Seed: 3, Workers: w})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				in := cloneShards(shards)
+				b.StartTimer()
+				if _, _, err := s.Sort(context.Background(), in); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(p) * int64(perRank) * 8)
+		})
 	}
 }

@@ -100,6 +100,7 @@ func main() {
 		trName  = flag.String("transport", "sim", "comm backend — "+strings.Join(hssort.TransportSummaries(), "; "))
 		cpName  = flag.String("codepath", "auto", "compute plane: auto (code plane when available), off (comparator oracle) or on (require the code plane)")
 		stream  = flag.Bool("stream", false, "streaming chunked exchange overlapped with the merge")
+		workers = flag.Int("workers", 0, "per-rank compute worker pool size (0 = GOMAXPROCS split across hosted ranks, 1 = serial)")
 		chunk   = flag.Int("chunk", 0, "streaming-exchange chunk size in keys (implies -stream; default 64Ki)")
 		repeat  = flag.Int("repeat", 1, "sorts to run through one engine (fresh shards each time; demonstrates Sorter reuse)")
 		plan    = flag.Bool("plan", false, "prepare a splitter plan once and sort with SortWithPlan (0 histogram rounds per sort)")
@@ -187,6 +188,7 @@ func main() {
 		CodePath:       codePath,
 		StreamExchange: *stream,
 		ChunkKeys:      *chunk,
+		Workers:        *workers,
 		PlanStaleness:  *stale,
 	}
 	if workerMode {
@@ -283,6 +285,9 @@ func main() {
 	if *stream || *chunk > 0 {
 		t.AddRow("merge overlapped with exchange", stats.ExchangeOverlap.Round(10*time.Microsecond).String())
 		t.AddRow("peak in-flight exchange data", tablefmt.Bytes(float64(stats.PeakInFlightBytes)))
+	}
+	if stats.Workers > 1 {
+		t.AddRow("workers per rank", fmt.Sprintf("%d (%d forks, %d parallel tasks)", stats.Workers, stats.ParSpawned, stats.ParTasks))
 	}
 	t.AddRow("histogramming rounds", fmt.Sprintf("%d", stats.Rounds))
 	if splitterPlan != nil {

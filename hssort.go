@@ -240,6 +240,16 @@ type Config struct {
 	// ChunkKeys is the streaming-exchange chunk size in keys; setting it
 	// implies StreamExchange. Default 64Ki when streaming.
 	ChunkKeys int
+	// Workers is the per-rank compute worker pool size: the intra-rank
+	// parallelism of the compute phases (local radix sort, partition
+	// cuts, codec passes, k-way merges). 0 — the default — divides
+	// GOMAXPROCS evenly among the ranks this process hosts (all Procs
+	// for in-memory transports, one for a multi-process TCP rank), so
+	// co-hosted ranks never oversubscribe the machine. 1 forces every
+	// kernel serial. Output is rank-identical for every Workers value.
+	// Supported by the HSS variants, the sample sorts, classic histogram
+	// sort and NodeHSS; other algorithms ignore it.
+	Workers int
 	// PlanStaleness arms the staleness guard of plan-reuse sorts
 	// (Sorter.SortWithPlan): after partitioning by a stored plan's
 	// splitters, the ranks measure the bucket imbalance max·B/N those
@@ -290,6 +300,14 @@ type Stats struct {
 	// found its stored splitters stale under Config.PlanStaleness and
 	// re-histogrammed; Rounds then counts the replan's rounds.
 	Replanned bool
+	// Workers is the resolved per-rank worker pool size the compute
+	// phases ran with (Config.Workers after defaulting). 1 = serial.
+	Workers int
+	// ParSpawned and ParTasks count, summed over all ranks, the worker
+	// goroutines forked and the parallel tasks executed by the compute
+	// kernels — ParTasks/ParSpawned is the effective fan-out per fork.
+	// Both are zero when Workers is 1.
+	ParSpawned, ParTasks int64
 	// Imbalance is max load / average load after sorting (§1).
 	Imbalance float64
 }
@@ -315,6 +333,9 @@ func fromCore(st core.Stats) Stats {
 		SplitterBytes:     st.SplitterBytes,
 		ExchangeBytes:     st.ExchangeBytes,
 		Replanned:         st.Replanned,
+		Workers:           st.Workers,
+		ParSpawned:        st.ParSpawned,
+		ParTasks:          st.ParTasks,
 		Imbalance:         st.Imbalance,
 	}
 }

@@ -1,0 +1,197 @@
+package codes
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+
+	"hssort/internal/keycoder"
+	"hssort/internal/par"
+)
+
+// parInputs yields code arrays big enough to cross parCutoff, in the
+// shapes that stress the parallel count/scatter pass: uniform randoms,
+// narrow ranges (degenerate top levels), heavy duplicates, all-equal,
+// sorted, and reversed.
+func parInputs(rng *rand.Rand) [][]Code {
+	var out [][]Code
+	for _, n := range []int{parCutoff - 1, parCutoff, parCutoff + 123, 100_000} {
+		uniform := make([]Code, n)
+		narrow := make([]Code, n)
+		dup := make([]Code, n)
+		equal := make([]Code, n)
+		for i := 0; i < n; i++ {
+			uniform[i] = Code(rng.Uint64())
+			narrow[i] = Code(rng.Uint64N(1000))
+			dup[i] = Code(rng.Uint64N(4))
+			equal[i] = 42
+		}
+		asc := slices.Clone(uniform)
+		slices.Sort(asc)
+		desc := slices.Clone(asc)
+		slices.Reverse(desc)
+		out = append(out, uniform, narrow, dup, equal, asc, desc)
+	}
+	return out
+}
+
+var parWorkerCounts = []int{1, 2, 3, 8}
+
+func TestSortParMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	for _, in := range parInputs(rng) {
+		want := slices.Clone(in)
+		Sort(want)
+		for _, w := range parWorkerCounts {
+			got := slices.Clone(in)
+			SortPar(got, par.New(w))
+			if !slices.Equal(got, want) {
+				t.Fatalf("workers=%d n=%d: SortPar diverged from Sort", w, len(in))
+			}
+		}
+	}
+}
+
+func TestSortParDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 14))
+	in := make([]Code, 100_000)
+	for i := range in {
+		in[i] = Code(rng.Uint64N(512)) // duplicate-heavy, degenerate top bytes
+	}
+	p := par.New(4)
+	first := slices.Clone(in)
+	SortPar(first, p)
+	for run := 0; run < 3; run++ {
+		again := slices.Clone(in)
+		SortPar(again, p)
+		if !slices.Equal(again, first) {
+			t.Fatalf("run %d: SortPar output differs from first run", run)
+		}
+	}
+}
+
+func TestSortByCodeParTandem(t *testing.T) {
+	type rec struct {
+		k   uint64
+		tag int
+	}
+	rng := rand.New(rand.NewPCG(15, 16))
+	n := parCutoff + 777
+	elems := make([]rec, n)
+	for i := range elems {
+		elems[i] = rec{k: rng.Uint64N(64), tag: i} // heavy duplicates
+	}
+	want := make(map[uint64][]int)
+	for _, e := range elems {
+		want[e.k] = append(want[e.k], e.tag)
+	}
+	for _, w := range parWorkerCounts {
+		got := slices.Clone(elems)
+		cs := SortByCodePar(got, func(r rec) uint64 { return r.k }, par.New(w))
+		if !slices.IsSorted(cs) {
+			t.Fatalf("workers=%d: codes not sorted", w)
+		}
+		seen := make(map[uint64][]int)
+		for i, e := range got {
+			if uint64(cs[i]) != e.k {
+				t.Fatalf("workers=%d: code detached from element at %d", w, i)
+			}
+			seen[e.k] = append(seen[e.k], e.tag)
+		}
+		for k, tags := range want {
+			g := slices.Clone(seen[k])
+			slices.Sort(g)
+			wantTags := slices.Clone(tags)
+			slices.Sort(wantTags)
+			if !slices.Equal(g, wantTags) {
+				t.Fatalf("workers=%d: payloads for key %d diverged", w, k)
+			}
+		}
+	}
+}
+
+func TestSortByCodeParDeterministic(t *testing.T) {
+	type rec struct {
+		k   uint64
+		tag int
+	}
+	rng := rand.New(rand.NewPCG(17, 18))
+	in := make([]rec, parCutoff*2)
+	for i := range in {
+		in[i] = rec{k: rng.Uint64N(128), tag: i}
+	}
+	p := par.New(4)
+	ext := func(r rec) uint64 { return r.k }
+	first := slices.Clone(in)
+	SortByCodePar(first, ext, p)
+	for run := 0; run < 3; run++ {
+		again := slices.Clone(in)
+		SortByCodePar(again, ext, p)
+		if !slices.Equal(again, first) {
+			t.Fatalf("run %d: SortByCodePar payload order differs from first run", run)
+		}
+	}
+}
+
+func TestSortByCodeParIdentityPlane(t *testing.T) {
+	cs := make([]Code, parCutoff)
+	rng := rand.New(rand.NewPCG(19, 20))
+	for i := range cs {
+		cs[i] = Code(rng.Uint64())
+	}
+	got := SortByCodePar(cs, ExtractCode, par.New(4))
+	if &got[0] != &cs[0] {
+		t.Fatal("pure plane must alias, not copy")
+	}
+	if !slices.IsSorted(cs) {
+		t.Fatal("pure plane not sorted in place")
+	}
+}
+
+func TestCodecParMatchesSerial(t *testing.T) {
+	coder := keycoder.Int64{}
+	rng := rand.New(rand.NewPCG(21, 22))
+	for _, n := range []int{0, 100, parCutoff, parCutoff * 3} {
+		keys := make([]int64, n)
+		for i := range keys {
+			keys[i] = rng.Int64()
+		}
+		wantCodes := EncodeSlice(coder, keys)
+		for _, w := range parWorkerCounts {
+			p := par.New(w)
+			if got := EncodeIntoPar(coder, keys, nil, p); !slices.Equal(got, wantCodes) {
+				t.Fatalf("workers=%d n=%d: EncodeIntoPar diverged", w, n)
+			}
+			// Capacity reuse: a big-enough dst must be written in place.
+			dst := make([]Code, 0, n+10)
+			got := EncodeIntoPar(coder, keys, dst, p)
+			if n > 0 && &got[0] != &dst[:1][0] {
+				t.Fatalf("workers=%d n=%d: EncodeIntoPar ignored dst capacity", w, n)
+			}
+			if back := DecodeSlicePar(coder, wantCodes, p); !slices.Equal(back, keys) {
+				t.Fatalf("workers=%d n=%d: DecodeSlicePar diverged", w, n)
+			}
+		}
+	}
+}
+
+func TestExtractParMatchesSerial(t *testing.T) {
+	type rec struct{ k uint64 }
+	rng := rand.New(rand.NewPCG(23, 24))
+	elems := make([]rec, parCutoff+5)
+	for i := range elems {
+		elems[i] = rec{k: rng.Uint64()}
+	}
+	ext := func(r rec) uint64 { return r.k }
+	want := Extract(elems, ext)
+	for _, w := range parWorkerCounts {
+		if got := ExtractPar(elems, ext, par.New(w)); !slices.Equal(got, want) {
+			t.Fatalf("workers=%d: ExtractPar diverged", w)
+		}
+	}
+	// Pure plane aliases.
+	cs := []Code{3, 1, 2}
+	if got := ExtractPar(cs, ExtractCode, par.New(4)); &got[0] != &cs[0] {
+		t.Fatal("pure plane must alias")
+	}
+}

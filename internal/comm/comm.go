@@ -127,6 +127,12 @@ func (w *World) Transport() Transport { return w.t }
 // in ErrAborted if err is nil). The first abort wins.
 func (w *World) Abort(err error) { w.t.Abort(err) }
 
+// HostedRanks returns how many of this World's ranks live in this
+// process: Size() for in-memory transports, the local subset for a
+// multi-process transport. Callers use it to divide the machine's cores
+// among co-hosted ranks (see hssort.Config.Workers).
+func (w *World) HostedRanks() int { return len(hostedRanks(w.t)) }
+
 // Run executes fn concurrently on every rank hosted in this process and
 // waits for all to finish. In-memory transports host all ranks, so fn
 // runs Size() times; a multi-process transport (comm.RankHoster, e.g.

@@ -104,6 +104,10 @@ func (pl *Pool) Size() int { return pl.t.Size() }
 // between runs.
 func (pl *Pool) Transport() Transport { return pl.t }
 
+// HostedRanks returns how many of the Pool's ranks live in this process
+// (see World.HostedRanks) — the divisor for per-rank core budgets.
+func (pl *Pool) HostedRanks() int { return len(pl.ranks) }
+
 // ErrPoolClosed is returned by Run after Close.
 var ErrPoolClosed = errors.New("comm: pool closed")
 

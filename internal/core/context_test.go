@@ -57,6 +57,7 @@ func TestCancelMidHistogram(t *testing.T) {
 						Cmp:       cmp.Compare[int64],
 						Epsilon:   0.01, // tight: guarantees several rounds
 						ChunkKeys: chunkKeys,
+						Workers:   3, // the leak assertion covers the worker pool's forks
 					}
 					if c.Rank() == 0 {
 						opt.OnRound = func(rt RoundTrace) {
@@ -83,7 +84,7 @@ func TestCancelMidHistogram(t *testing.T) {
 				fresh := dist.Spec{Kind: dist.Gaussian}.Shards(1000, p, 8)
 				if err := pool.Run(context.Background(), func(c *comm.Comm) error {
 					_, _, err := Sort(c, fresh[c.Rank()], Options[int64]{
-						Cmp: cmp.Compare[int64], Epsilon: 0.2, ChunkKeys: chunkKeys,
+						Cmp: cmp.Compare[int64], Epsilon: 0.2, ChunkKeys: chunkKeys, Workers: 3,
 					})
 					return err
 				}); err != nil {

@@ -103,6 +103,13 @@ type Options[K any] struct {
 	// arrive, overlapping the exchange tail (§6.2) with bounded peak
 	// memory. 0 (the default) selects the materializing exchange.
 	ChunkKeys int
+	// Workers is this rank's compute-phase worker budget: the radix
+	// local sort, partition scans, encode/decode maps and off-overlap
+	// merges fan over a par.Pool of this size. <= 1 (the default) runs
+	// every kernel serially; output is identical for every budget. The
+	// root engine resolves its Config.Workers = 0 default
+	// (GOMAXPROCS/hosted-ranks) before threading the value down here.
+	Workers int
 	// Splitters, when non-nil, injects pre-determined splitters (a
 	// stored plan) and skips splitter determination entirely: the sort
 	// goes straight to partition → exchange → merge with Stats.Rounds =
@@ -193,6 +200,9 @@ func (o Options[K]) withDefaults(p int) (Options[K], error) {
 	if o.ChunkKeys < 0 {
 		return o, fmt.Errorf("core: ChunkKeys %d < 0", o.ChunkKeys)
 	}
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
 	if o.StaleBound < 0 {
 		return o, fmt.Errorf("core: StaleBound %v < 0", o.StaleBound)
 	}
@@ -264,6 +274,14 @@ type Stats struct {
 	// failed the staleness guard and the sort re-histogrammed; Rounds
 	// then counts the replan's rounds.
 	Replanned bool
+	// Workers is the per-rank compute worker budget the sort ran with
+	// (identical on every rank by the same-Options contract).
+	Workers int
+	// ParSpawned and ParTasks are the effective-parallelism counters,
+	// summed over ranks: worker goroutines forked and fork-join tasks
+	// executed by the compute kernels. ParSpawned = 0 at Workers 1 —
+	// the serial pipeline forks nothing.
+	ParSpawned, ParTasks int64
 	// Imbalance is max rank load / average rank load after sorting.
 	Imbalance float64
 	// LocalCount is this rank's output size.
@@ -287,6 +305,8 @@ type PhaseTimes struct {
 	PeakInFlight int64
 	// OutCount is this rank's output size.
 	OutCount int
+	// ParSpawned and ParTasks are this rank's fork-join pool counters.
+	ParSpawned, ParTasks int64
 }
 
 // FinishStats all-reduces one rank's phase measurements into st, the
@@ -302,6 +322,7 @@ func FinishStats(e comm.Endpoint, tag comm.Tag, st *Stats, m PhaseTimes) error {
 		int64(m.Overlap), m.PeakInFlight,
 		int64(m.OutCount), // sum -> N
 		int64(m.OutCount), // max -> hottest rank
+		m.ParSpawned, m.ParTasks,
 	}, func(dst, src []int64) {
 		dst[0] += src[0]
 		dst[1] += src[1]
@@ -314,6 +335,8 @@ func FinishStats(e comm.Endpoint, tag comm.Tag, st *Stats, m PhaseTimes) error {
 		if src[9] > dst[9] {
 			dst[9] = src[9]
 		}
+		dst[10] += src[10]
+		dst[11] += src[11]
 	})
 	if err != nil {
 		return err
@@ -331,5 +354,7 @@ func FinishStats(e comm.Endpoint, tag comm.Tag, st *Stats, m PhaseTimes) error {
 	} else {
 		st.Imbalance = 1
 	}
+	st.ParSpawned = agg[10]
+	st.ParTasks = agg[11]
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"hssort/internal/collective"
 	"hssort/internal/comm"
 	"hssort/internal/exchange"
+	"hssort/internal/par"
 )
 
 // Sort runs the full HSS pipeline on this rank's local keys and returns
@@ -25,15 +26,18 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, Stats, error) {
 		return sortViaCodes(c, local, opt)
 	}
 	base := opt.BaseTag
+	pool := par.New(opt.Workers)
 	var stats Stats
 	stats.Buckets = opt.Buckets
+	stats.Workers = pool.Workers()
 
 	// Phase 1: local sort (embarrassingly parallel, §6.1.2) — the
-	// comparator-free radix plane when a code extractor is available.
+	// comparator-free radix plane when a code extractor is available,
+	// fanned over this rank's worker pool.
 	t0 := time.Now()
 	var localCodes []codes.Code
 	if opt.Code != nil {
-		localCodes = codes.SortByCode(local, opt.Code)
+		localCodes = codes.SortByCodePar(local, opt.Code, pool)
 	} else {
 		slices.SortFunc(local, opt.Cmp)
 	}
@@ -71,9 +75,9 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, Stats, error) {
 
 	partition := func(sp []K) [][]K {
 		if localCodes != nil {
-			return exchange.PartitionByCode(local, localCodes, codes.Extract(sp, opt.Code))
+			return exchange.PartitionByCodePar(local, localCodes, codes.Extract(sp, opt.Code), pool)
 		}
-		return exchange.Partition(local, sp, opt.Cmp)
+		return exchange.PartitionPar(local, sp, opt.Cmp, pool)
 	}
 	t2 := time.Now()
 	runs := partition(splitters)
@@ -112,13 +116,14 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, Stats, error) {
 	bytes1 := c.Counters().BytesSent
 	out, exchangeTime, mergeTime, sst, err := exchange.ExchangeMerge(
 		c, base+tagExchange, runs, opt.Owner, opt.Cmp, opt.Code,
-		exchange.StreamOptions{ChunkKeys: opt.ChunkKeys}, opt.Scratch)
+		exchange.StreamOptions{ChunkKeys: opt.ChunkKeys, Pool: pool}, opt.Scratch)
 	if err != nil {
 		return nil, stats, err
 	}
 	exchangeBytes := c.Counters().BytesSent - bytes1
 	stats.LocalCount = len(out)
 
+	pc := pool.Counters()
 	if err := FinishStats(c, base+tagStats, &stats, PhaseTimes{
 		SplitterBytes: splitterBytes,
 		ExchangeBytes: exchangeBytes,
@@ -129,6 +134,8 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, Stats, error) {
 		Overlap:       sst.Overlap,
 		PeakInFlight:  sst.PeakInFlight,
 		OutCount:      len(out),
+		ParSpawned:    pc.Spawned,
+		ParTasks:      pc.Tasks,
 	}); err != nil {
 		return nil, stats, err
 	}
@@ -144,7 +151,8 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, Stats, error) {
 // function of key order only, and the coder preserves it exactly, so the
 // decoded output is rank-identical to the comparator plane's.
 func sortViaCodes[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, Stats, error) {
-	enc := codes.EncodeSlice(opt.Coder, local)
+	pool := par.New(opt.Workers)
+	enc := codes.EncodeIntoPar(opt.Coder, local, nil, pool)
 	var splitters []codes.Code
 	if opt.Splitters != nil {
 		splitters = codes.EncodeSlice(opt.Coder, opt.Splitters)
@@ -165,6 +173,7 @@ func sortViaCodes[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, Stats, e
 		Approx:            opt.Approx,
 		ApproxSize:        opt.ApproxSize,
 		ChunkKeys:         opt.ChunkKeys,
+		Workers:           opt.Workers,
 		BaseTag:           opt.BaseTag,
 		PipelineChunk:     opt.PipelineChunk,
 		PipelineThreshold: opt.PipelineThreshold,
@@ -173,5 +182,5 @@ func sortViaCodes[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, Stats, e
 	if err != nil {
 		return nil, stats, err
 	}
-	return codes.DecodeSlice(opt.Coder, out), stats, nil
+	return codes.DecodeSlicePar(opt.Coder, out, pool), stats, nil
 }

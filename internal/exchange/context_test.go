@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"hssort/internal/comm"
+	"hssort/internal/par"
 )
 
 // TestCancelMidExchange cancels the context while every rank is inside
@@ -78,7 +79,7 @@ func TestCancelMidExchange(t *testing.T) {
 						}
 					}
 					_, _, _, _, err := ExchangeMerge(c, 1, runs, owner, icmp, nil,
-						StreamOptions{ChunkKeys: chunkKeys}, nil)
+						StreamOptions{ChunkKeys: chunkKeys, Pool: par.New(3)}, nil)
 					rankErrs[c.Rank()] = err
 					return err
 				})
@@ -102,7 +103,7 @@ func TestCancelMidExchange(t *testing.T) {
 				if err := pool.Run(context.Background(), func(c *comm.Comm) error {
 					runs := Partition(slices.Clone(shards[c.Rank()]), splitters, icmp)
 					out, _, _, _, err := ExchangeMerge(c, 1, runs, owner, icmp, nil,
-						StreamOptions{ChunkKeys: chunkKeys}, nil)
+						StreamOptions{ChunkKeys: chunkKeys, Pool: par.New(3)}, nil)
 					outs[c.Rank()] = out
 					return err
 				}); err != nil {

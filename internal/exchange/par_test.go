@@ -1,0 +1,140 @@
+package exchange
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+	"time"
+
+	"hssort/internal/codes"
+	"hssort/internal/comm"
+	"hssort/internal/keycoder"
+	"hssort/internal/par"
+)
+
+// TestPartitionParMatchesSerial pins the bit-identity of the parallel
+// partition: every cut is the unique lower bound of its splitter, so
+// worker count and sub-range strategy must not move a single offset.
+func TestPartitionParMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 42))
+	for _, n := range []int{0, 100, partitionParKeys, partitionParKeys * 4} {
+		for _, b := range []int{0, 1, 3, 64, 1000} {
+			sorted := make([]int64, n)
+			for i := range sorted {
+				sorted[i] = rng.Int64N(1 << 20) // duplicates likely
+			}
+			slices.Sort(sorted)
+			splitters := make([]int64, b)
+			for i := range splitters {
+				splitters[i] = rng.Int64N(1 << 20)
+			}
+			slices.Sort(splitters)
+			want := Partition(sorted, splitters, icmp)
+			cs := codes.EncodeSlice(keycoder.Int64{}, sorted)
+			scs := codes.EncodeSlice(keycoder.Int64{}, splitters)
+			wantByCode := PartitionByCode(sorted, cs, scs)
+			for _, w := range []int{1, 2, 3, 8} {
+				p := par.New(w)
+				got := PartitionPar(sorted, splitters, icmp, p)
+				if !runsEqual(got, want) {
+					t.Fatalf("n=%d b=%d workers=%d: PartitionPar diverged", n, b, w)
+				}
+				gotC := PartitionByCodePar(sorted, cs, scs, p)
+				if !runsEqual(gotC, wantByCode) {
+					t.Fatalf("n=%d b=%d workers=%d: PartitionByCodePar diverged", n, b, w)
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionParAllEqual pins duplicate handling: with every key equal
+// to every splitter, all lower-bound cuts coincide and the parallel scan
+// must reproduce the same empty-run pattern.
+func TestPartitionParAllEqual(t *testing.T) {
+	sorted := make([]int64, partitionParKeys*2)
+	for i := range sorted {
+		sorted[i] = 7
+	}
+	splitters := []int64{7, 7, 7}
+	want := Partition(sorted, splitters, icmp)
+	got := PartitionPar(sorted, splitters, icmp, par.New(4))
+	if !runsEqual(got, want) {
+		t.Fatal("PartitionPar diverged on all-equal input")
+	}
+}
+
+func runsEqual[K comparable](a, b [][]K) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !slices.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestExchangeMergePoolEquivalence pins that a worker pool changes
+// nothing about ExchangeMerge's output on either data-movement path, on
+// either plane: materializing (ChunkKeys 0) and streaming, comparator
+// and code-keyed, swept over worker counts against the serial result.
+func TestExchangeMergePoolEquivalence(t *testing.T) {
+	const p = 4
+	rng := rand.New(rand.NewPCG(43, 44))
+	shards := make([][]int64, p)
+	var all []int64
+	for r := range shards {
+		shard := make([]int64, 5000)
+		for i := range shard {
+			shard[i] = rng.Int64N(512) // duplicate-heavy
+		}
+		slices.Sort(shard)
+		shards[r] = shard
+		all = append(all, shard...)
+	}
+	slices.Sort(all)
+	splitters := make([]int64, p-1)
+	for i := range splitters {
+		splitters[i] = all[(i+1)*len(all)/p]
+	}
+	coder := keycoder.Int64{}
+	code := func(k int64) uint64 { return coder.Encode(k) }
+
+	run := func(chunkKeys int, useCode bool, pool *par.Pool) [][]int64 {
+		t.Helper()
+		outs := make([][]int64, p)
+		w := comm.NewWorld(p, comm.WithTimeout(20*time.Second))
+		err := w.Run(func(c *comm.Comm) error {
+			runs := Partition(shards[c.Rank()], splitters, icmp)
+			var codeFn func(int64) uint64
+			if useCode {
+				codeFn = code
+			}
+			out, _, _, _, err := ExchangeMerge(c, 1, runs, ContiguousOwner(p, p),
+				icmp, codeFn, StreamOptions{ChunkKeys: chunkKeys, Pool: pool}, nil)
+			outs[c.Rank()] = out
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outs
+	}
+
+	for _, chunkKeys := range []int{0, 512} {
+		for _, useCode := range []bool{false, true} {
+			want := run(chunkKeys, useCode, nil)
+			for _, workers := range []int{2, 3, 8} {
+				got := run(chunkKeys, useCode, par.New(workers))
+				for r := range got {
+					if !slices.Equal(got[r], want[r]) {
+						t.Fatalf("chunkKeys=%d code=%v workers=%d: rank %d output diverged from serial",
+							chunkKeys, useCode, workers, r)
+					}
+				}
+			}
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"hssort/internal/comm"
 	"hssort/internal/merge"
+	"hssort/internal/par"
 )
 
 // Streaming-exchange defaults.
@@ -33,6 +34,12 @@ type StreamOptions struct {
 	// <= 0 selects DefaultStreamWindow. Peak in-flight data per rank is
 	// bounded by (p-1)·Window·ChunkKeys keys.
 	Window int
+	// Pool, when it has more than one worker, parallelizes the merge
+	// work that is off the overlap path: the materializing path's k-way
+	// merge and the streaming drain's tail both split at sub-splitters
+	// and merge one range per core (merge.ParMerge). Output is identical
+	// for any worker budget. nil runs everything serially.
+	Pool *par.Pool
 }
 
 func (o StreamOptions) withDefaults() StreamOptions {
@@ -415,6 +422,18 @@ func ExchangeStream[K any](e comm.StreamEndpoint, tag comm.Tag, runs [][]K, owne
 				out = append(out, k)
 			}
 			st.Overlap += time.Since(t0)
+		} else if opt.Pool.Workers() > 1 {
+			// Every stream is closed and a worker pool is available:
+			// take the unconsumed tail out of the tree in bulk and merge
+			// it one sub-range per core. Byte-identical to the bare
+			// merge loop below (see merge.ParMerge).
+			elems, cs := lt.Rest()
+			if cs != nil {
+				out = merge.ParMergeCoded(out, elems, cs, opt.Pool)
+			} else {
+				out = merge.ParMerge(out, elems, cmp, opt.Pool)
+			}
+			st.MergeTail += time.Since(t0)
 		} else {
 			// Every stream is closed: starvation is impossible and the
 			// guarded NextReady is equivalent to the bare merge loop.
@@ -508,9 +527,14 @@ func ExchangeMerge[K any](e comm.StreamEndpoint, tag comm.Tag, runs [][]K, owner
 		}
 		exchangeTime = time.Since(t0)
 		t1 := time.Now()
-		if code != nil {
+		switch {
+		case opt.Pool.Workers() > 1 && code != nil:
+			out = merge.ParMergeByCode(nil, recv, code, opt.Pool)
+		case opt.Pool.Workers() > 1:
+			out = merge.ParMerge(nil, recv, cmp, opt.Pool)
+		case code != nil:
 			out = merge.KWayByCode(recv, code)
-		} else {
+		default:
 			out = merge.KWay(recv, cmp)
 		}
 		return out, exchangeTime, time.Since(t1), StreamStats{}, nil

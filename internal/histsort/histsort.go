@@ -12,6 +12,7 @@ import (
 	"hssort/internal/exchange"
 	"hssort/internal/histogram"
 	"hssort/internal/keycoder"
+	"hssort/internal/par"
 )
 
 // Options configures a classic histogram sort. Cmp and Coder are
@@ -45,6 +46,9 @@ type Options[K any] struct {
 	// ChunkKeys, when positive, selects the streaming chunked exchange
 	// (see core.Options.ChunkKeys). 0 = materializing exchange.
 	ChunkKeys int
+	// Workers is the size of this rank's compute worker pool (see
+	// core.Options.Workers). <=1 keeps every kernel serial.
+	Workers int
 	// Splitters, when non-nil, injects pre-determined splitters and
 	// skips probe refinement entirely (see core.Options.Splitters):
 	// Buckets-1 keys in non-decreasing cmp order, identical on every
@@ -130,13 +134,15 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 		return nil, core.Stats{}, err
 	}
 	base := opt.BaseTag
+	pool := par.New(opt.Workers)
 	var stats core.Stats
 	stats.Buckets = opt.Buckets
+	stats.Workers = pool.Workers()
 
 	t0 := time.Now()
 	var localCodes []codes.Code
 	if opt.Code != nil {
-		localCodes = codes.SortByCode(local, opt.Code)
+		localCodes = codes.SortByCodePar(local, opt.Code, pool)
 	} else {
 		slices.SortFunc(local, opt.Cmp)
 	}
@@ -169,9 +175,9 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 
 	partition := func(sp []K) [][]K {
 		if localCodes != nil {
-			return exchange.PartitionByCode(local, localCodes, codes.Extract(sp, opt.Code))
+			return exchange.PartitionByCodePar(local, localCodes, codes.Extract(sp, opt.Code), pool)
 		}
-		return exchange.Partition(local, sp, opt.Cmp)
+		return exchange.PartitionPar(local, sp, opt.Cmp, pool)
 	}
 	t2 := time.Now()
 	runs := partition(splitters)
@@ -198,13 +204,14 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 	bytes1 := c.Counters().BytesSent
 	out, exchangeTime, mergeTime, sst, err := exchange.ExchangeMerge(
 		c, base+tagExchange, runs, opt.Owner, opt.Cmp, opt.Code,
-		exchange.StreamOptions{ChunkKeys: opt.ChunkKeys}, opt.Scratch)
+		exchange.StreamOptions{ChunkKeys: opt.ChunkKeys, Pool: pool}, opt.Scratch)
 	if err != nil {
 		return nil, stats, err
 	}
 	exchangeBytes := c.Counters().BytesSent - bytes1
 	stats.LocalCount = len(out)
 
+	pc := pool.Counters()
 	if err := core.FinishStats(c, base+tagStats, &stats, core.PhaseTimes{
 		SplitterBytes: splitterBytes,
 		ExchangeBytes: exchangeBytes,
@@ -215,6 +222,8 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 		Overlap:       sst.Overlap,
 		PeakInFlight:  sst.PeakInFlight,
 		OutCount:      len(out),
+		ParSpawned:    pc.Spawned,
+		ParTasks:      pc.Tasks,
 	}); err != nil {
 		return nil, stats, err
 	}

@@ -141,6 +141,46 @@ func (t *CodeTree[E]) Exhausted() bool {
 	return true
 }
 
+// Rest removes and returns every run's unconsumed elements and their
+// parallel codes, one slice pair per run in run-index order — the
+// code-plane hand-off to the parallel drain merge (see LoserTree.Rest).
+// Every run must be closed; the keys count as consumed and the tree is
+// left exhausted.
+func (t *CodeTree[E]) Rest() ([][]E, [][]codes.Code) {
+	elems := make([][]E, t.n)
+	cs := make([][]codes.Code, t.n)
+	for i := 0; i < t.n; i++ {
+		if t.open[i] {
+			panic("merge: Rest with open run")
+		}
+		tailC := t.codes[i][t.pos[i]:]
+		tailE := t.elems[i][t.pos[i]:]
+		if len(t.pendC[i]) == 0 {
+			cs[i], elems[i] = tailC, tailE
+		} else {
+			total := len(tailC)
+			for _, c := range t.pendC[i] {
+				total += len(c)
+			}
+			bufC := make([]codes.Code, 0, total)
+			bufE := make([]E, 0, total)
+			bufC = append(bufC, tailC...)
+			bufE = append(bufE, tailE...)
+			for j := range t.pendC[i] {
+				bufC = append(bufC, t.pendC[i][j]...)
+				bufE = append(bufE, t.pendE[i][j]...)
+			}
+			cs[i], elems[i] = bufC, bufE
+		}
+		t.consumed[i] += int64(len(cs[i]))
+		t.codes[i], t.elems[i] = nil, nil
+		t.pendC[i], t.pendE[i] = nil, nil
+		t.pos[i] = 0
+	}
+	t.dirty = true
+	return elems, cs
+}
+
 // NextReady returns the next merged element if emission is safe (no open
 // run is drained); distinguish blocked from exhausted with Exhausted.
 func (t *CodeTree[E]) NextReady() (e E, ok bool) {

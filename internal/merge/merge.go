@@ -1,5 +1,7 @@
 package merge
 
+import "hssort/internal/codes"
+
 // Two merges two sorted runs into a new slice using the three-way
 // comparator cmp. The merge is stable: on ties, elements of a precede
 // elements of b.
@@ -213,6 +215,44 @@ func (lt *LoserTree[K]) Exhausted() bool {
 		}
 	}
 	return true
+}
+
+// Rest removes and returns every run's unconsumed keys, one slice per
+// run in run-index order — the hand-off that lets the streaming drain
+// finish with a parallel merge instead of pulling the tail through the
+// tournament one key at a time. Every run must be closed. Single-chunk
+// tails alias the tree's buffers; multi-chunk tails are concatenated.
+// The keys count as consumed and the tree is left exhausted. The nil
+// second result marks the comparator plane (no code slices to reuse);
+// see Streamer.Rest.
+func (lt *LoserTree[K]) Rest() ([][]K, [][]codes.Code) {
+	out := make([][]K, lt.n)
+	for i := 0; i < lt.n; i++ {
+		if lt.open[i] {
+			panic("merge: Rest with open run")
+		}
+		tail := lt.runs[i][lt.pos[i]:]
+		if len(lt.pending[i]) == 0 {
+			out[i] = tail
+		} else {
+			total := len(tail)
+			for _, c := range lt.pending[i] {
+				total += len(c)
+			}
+			buf := make([]K, 0, total)
+			buf = append(buf, tail...)
+			for _, c := range lt.pending[i] {
+				buf = append(buf, c...)
+			}
+			out[i] = buf
+		}
+		lt.consumed[i] += int64(len(out[i]))
+		lt.runs[i] = nil
+		lt.pending[i] = nil
+		lt.pos[i] = 0
+	}
+	lt.dirty = true
+	return out, nil
 }
 
 // NextReady returns the next merged key if emission is safe: no open run

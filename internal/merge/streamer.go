@@ -22,6 +22,14 @@ type Streamer[K any] interface {
 	NextReady() (K, bool)
 	// Next emits the next key unconditionally (all runs closed).
 	Next() (K, bool)
+	// Rest removes and returns every run's unconsumed keys in run-index
+	// order, leaving the streamer exhausted — the bulk hand-off that
+	// lets the drain finish with ParMerge/ParMergeCoded instead of
+	// pulling the tail one key at a time. All runs must be closed. On
+	// the code planes the second result carries each run's parallel
+	// codes (so the parallel merge re-extracts nothing); on the
+	// comparator plane it is nil.
+	Rest() ([][]K, [][]codes.Code)
 	// Reset empties the streamer for reuse, keeping internal scratch
 	// allocated.
 	Reset()
@@ -58,7 +66,10 @@ func (s *pureCodeStreamer) Consumed(i int) int64            { return s.t.Consume
 func (s *pureCodeStreamer) Exhausted() bool                 { return s.t.Exhausted() }
 func (s *pureCodeStreamer) NextReady() (codes.Code, bool)   { return s.t.NextReady() }
 func (s *pureCodeStreamer) Next() (codes.Code, bool)        { return s.t.Next() }
-func (s *pureCodeStreamer) Reset()                          { s.t.Reset() }
+func (s *pureCodeStreamer) Rest() ([][]codes.Code, [][]codes.Code) {
+	return s.t.Rest()
+}
+func (s *pureCodeStreamer) Reset() { s.t.Reset() }
 
 // codedStreamer adapts CodeTree to Streamer[K] via a code extractor:
 // every appended chunk is encoded once (one extractor call per key per
@@ -74,9 +85,10 @@ func (s *codedStreamer[K]) AddRun(keys []K) int {
 func (s *codedStreamer[K]) Append(i int, keys []K) {
 	s.t.Append(i, codes.Extract(keys, s.code), keys)
 }
-func (s *codedStreamer[K]) CloseRun(i int)       { s.t.CloseRun(i) }
-func (s *codedStreamer[K]) Consumed(i int) int64 { return s.t.Consumed(i) }
-func (s *codedStreamer[K]) Exhausted() bool      { return s.t.Exhausted() }
-func (s *codedStreamer[K]) NextReady() (K, bool) { return s.t.NextReady() }
-func (s *codedStreamer[K]) Next() (K, bool)      { return s.t.Next() }
-func (s *codedStreamer[K]) Reset()               { s.t.Reset() }
+func (s *codedStreamer[K]) CloseRun(i int)                { s.t.CloseRun(i) }
+func (s *codedStreamer[K]) Consumed(i int) int64          { return s.t.Consumed(i) }
+func (s *codedStreamer[K]) Exhausted() bool               { return s.t.Exhausted() }
+func (s *codedStreamer[K]) NextReady() (K, bool)          { return s.t.NextReady() }
+func (s *codedStreamer[K]) Next() (K, bool)               { return s.t.Next() }
+func (s *codedStreamer[K]) Rest() ([][]K, [][]codes.Code) { return s.t.Rest() }
+func (s *codedStreamer[K]) Reset()                        { s.t.Reset() }

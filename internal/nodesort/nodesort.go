@@ -11,6 +11,7 @@ import (
 	"hssort/internal/core"
 	"hssort/internal/exchange"
 	"hssort/internal/merge"
+	"hssort/internal/par"
 )
 
 // Options configures a two-level node sort. Cmp and CoresPerNode are
@@ -38,6 +39,10 @@ type Options[K any] struct {
 	// chunks overlapped with the node-level merge (see
 	// core.Options.ChunkKeys). 0 = materializing exchange.
 	ChunkKeys int
+	// Workers is the size of this rank's compute worker pool (see
+	// core.Options.Workers). <=1 keeps every kernel serial. Leaders use
+	// the pool for the combine and node-level merges as well.
+	Workers int
 	// Splitters, when non-nil, injects pre-determined node-level
 	// splitters — n-1 keys for n nodes, non-decreasing, identical on
 	// every rank — and skips splitter determination (see
@@ -114,13 +119,15 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 	leaderRank := node * cores
 	isLeader := me == leaderRank
 	base := opt.BaseTag
+	pool := par.New(opt.Workers)
 	var stats core.Stats
 	stats.Buckets = nodes
+	stats.Workers = pool.Workers()
 
 	t0 := time.Now()
 	var localCodes []codes.Code
 	if opt.Code != nil {
-		localCodes = codes.SortByCode(local, opt.Code)
+		localCodes = codes.SortByCodePar(local, opt.Code, pool)
 	} else {
 		slices.SortFunc(local, opt.Cmp)
 	}
@@ -184,9 +191,9 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 	// sees nothing yet.
 	partition := func(sp []K) [][]K {
 		if localCodes != nil {
-			return exchange.PartitionByCode(local, localCodes, codes.Extract(sp, opt.Code))
+			return exchange.PartitionByCodePar(local, localCodes, codes.Extract(sp, opt.Code), pool)
 		}
-		return exchange.Partition(local, sp, opt.Cmp)
+		return exchange.PartitionPar(local, sp, opt.Cmp, pool)
 	}
 	runs := partition(splitters)
 
@@ -235,8 +242,12 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 			for _, coreRuns := range gathered {
 				perCore = append(perCore, coreRuns[dst])
 			}
-			if opt.Code != nil {
+			if opt.Code != nil && pool.Workers() > 1 {
+				combined[dst] = merge.ParMergeByCode(nil, perCore, opt.Code, pool)
+			} else if opt.Code != nil {
 				combined[dst] = merge.KWayByCode(perCore, opt.Code)
+			} else if pool.Workers() > 1 {
+				combined[dst] = merge.ParMerge(nil, perCore, opt.Cmp, pool)
 			} else {
 				combined[dst] = merge.KWay(perCore, opt.Cmp)
 			}
@@ -251,7 +262,7 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 		}
 		nodeData, _, nodeMergeTime, sst, err = exchange.ExchangeMerge(
 			leaderGroup, base+tagNodeEx, combined, exchange.ContiguousOwner(nodes, nodes), opt.Cmp, opt.Code,
-			exchange.StreamOptions{ChunkKeys: opt.ChunkKeys}, opt.Scratch)
+			exchange.StreamOptions{ChunkKeys: opt.ChunkKeys, Pool: pool}, opt.Scratch)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -279,6 +290,7 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 	mergeTime := nodeMergeTime + time.Since(t3)
 	stats.LocalCount = len(out)
 
+	pc := pool.Counters()
 	if err := core.FinishStats(c, base+tagStats, &stats, core.PhaseTimes{
 		SplitterBytes: splitterBytes,
 		ExchangeBytes: exchangeBytes,
@@ -289,6 +301,8 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 		Overlap:       sst.Overlap,
 		PeakInFlight:  sst.PeakInFlight,
 		OutCount:      len(out),
+		ParSpawned:    pc.Spawned,
+		ParTasks:      pc.Tasks,
 	}); err != nil {
 		return nil, stats, err
 	}

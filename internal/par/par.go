@@ -1,0 +1,140 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded fork-join worker budget for one rank's compute
+// phases. The zero value and nil are both valid serial pools (one
+// worker); New clamps its argument to at least one worker. A Pool is
+// safe for use by one rank at a time — the sort pipelines run their
+// phases sequentially, so one Pool per rank never sees concurrent Do
+// calls, but Do itself is reentrant and data-race-free regardless.
+type Pool struct {
+	workers int
+	spawned atomic.Int64
+	tasks   atomic.Int64
+}
+
+// New returns a Pool budgeted at the given number of workers (clamped
+// to >= 1).
+func New(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{workers: workers}
+}
+
+// Default is the per-rank worker budget when Config.Workers is 0:
+// GOMAXPROCS divided by the number of ranks this process hosts, so
+// concurrently running ranks own disjoint core budgets. Always >= 1.
+func Default(hostedRanks int) int {
+	if hostedRanks < 1 {
+		hostedRanks = 1
+	}
+	w := runtime.GOMAXPROCS(0) / hostedRanks
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Workers returns the pool's worker budget; nil and zero pools report 1.
+func (p *Pool) Workers() int {
+	if p == nil || p.workers < 1 {
+		return 1
+	}
+	return p.workers
+}
+
+// Counters reports the pool's cumulative effective-parallelism
+// counters.
+type Counters struct {
+	// Spawned counts worker goroutines forked across all Do regions
+	// (the caller's goroutine, which always participates, is not
+	// counted).
+	Spawned int64
+	// Tasks counts task executions across all Do regions, serial ones
+	// included.
+	Tasks int64
+}
+
+// Counters returns the pool's cumulative counters; nil pools report
+// zero.
+func (p *Pool) Counters() Counters {
+	if p == nil {
+		return Counters{}
+	}
+	return Counters{Spawned: p.spawned.Load(), Tasks: p.tasks.Load()}
+}
+
+// Do runs fn(i) for every task index i in [0, n), fanning the tasks
+// over up to Workers goroutines, and returns only when every task has
+// finished — the fork-join region every parallel kernel is built from.
+// Task indices are claimed dynamically (skew-tolerant), so fn must
+// depend only on its index and the input, not on execution order; fn
+// calls for different indices may run concurrently and must touch
+// disjoint state. With one worker (or n <= 1) the tasks run inline, in
+// index order, on the caller's goroutine.
+func (p *Pool) Do(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.Workers()
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		if p != nil {
+			p.tasks.Add(int64(n))
+		}
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	p.tasks.Add(int64(n))
+	p.spawned.Add(int64(w - 1))
+	var next atomic.Int64
+	run := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(w - 1)
+	for g := 1; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			run()
+		}()
+	}
+	run()
+	wg.Wait()
+}
+
+// Range is one contiguous index block [Lo, Hi).
+type Range struct{ Lo, Hi int }
+
+// Blocks splits [0, n) into parts near-equal contiguous Ranges (fewer
+// when n < parts; none when n == 0). The split depends only on n and
+// parts — the determinism anchor for every chunked kernel.
+func Blocks(n, parts int) []Range {
+	if n <= 0 || parts < 1 {
+		return nil
+	}
+	if parts > n {
+		parts = n
+	}
+	out := make([]Range, parts)
+	for i := 0; i < parts; i++ {
+		out[i] = Range{Lo: i * n / parts, Hi: (i + 1) * n / parts}
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNilAndZeroPoolsAreSerial(t *testing.T) {
+	var zero Pool
+	var nilPool *Pool
+	for _, p := range []*Pool{nil, &zero, New(0), New(-3), New(1)} {
+		if w := p.Workers(); w != 1 {
+			t.Fatalf("Workers() = %d, want 1", w)
+		}
+	}
+	order := []int{}
+	nilPool.Do(4, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial Do out of order: %v", order)
+		}
+	}
+	if c := nilPool.Counters(); c != (Counters{}) {
+		t.Fatalf("nil pool counters = %+v", c)
+	}
+}
+
+func TestDoRunsEveryTaskExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		p := New(workers)
+		const n = 1000
+		var hits [n]atomic.Int32
+		p.Do(n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, got)
+			}
+		}
+		if c := p.Counters(); c.Tasks != n {
+			t.Fatalf("workers=%d: Tasks = %d, want %d", workers, c.Tasks, n)
+		}
+	}
+}
+
+func TestDoJoinsBeforeReturn(t *testing.T) {
+	p := New(4)
+	before := runtime.NumGoroutine()
+	var done atomic.Int32
+	p.Do(64, func(i int) {
+		time.Sleep(100 * time.Microsecond)
+		done.Add(1)
+	})
+	if got := done.Load(); got != 64 {
+		t.Fatalf("Do returned with %d/64 tasks done", got)
+	}
+	// Fork-join: no worker goroutines survive the region.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker goroutines leaked: %d > %d", runtime.NumGoroutine(), before)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestDoEmptyAndSingle(t *testing.T) {
+	p := New(8)
+	p.Do(0, func(i int) { t.Fatal("task ran for n=0") })
+	ran := 0
+	p.Do(1, func(i int) { ran++ })
+	if ran != 1 {
+		t.Fatalf("n=1 ran %d tasks", ran)
+	}
+	if c := p.Counters(); c.Spawned != 0 {
+		t.Fatalf("n<=1 spawned %d goroutines", c.Spawned)
+	}
+}
+
+func TestDefaultBudget(t *testing.T) {
+	gm := runtime.GOMAXPROCS(0)
+	if got := Default(1); got != gm {
+		t.Fatalf("Default(1) = %d, want GOMAXPROCS %d", got, gm)
+	}
+	if got := Default(gm * 2); got != 1 {
+		t.Fatalf("Default(%d) = %d, want 1", gm*2, got)
+	}
+	if got := Default(0); got != gm {
+		t.Fatalf("Default(0) = %d, want %d", got, gm)
+	}
+}
+
+func TestBlocks(t *testing.T) {
+	for _, tc := range []struct{ n, parts int }{
+		{0, 4}, {1, 4}, {4, 4}, {10, 3}, {1000, 7}, {5, 1},
+	} {
+		bs := Blocks(tc.n, tc.parts)
+		if tc.n == 0 {
+			if bs != nil {
+				t.Fatalf("Blocks(0, %d) = %v", tc.parts, bs)
+			}
+			continue
+		}
+		pos := 0
+		for _, b := range bs {
+			if b.Lo != pos || b.Hi < b.Lo {
+				t.Fatalf("Blocks(%d, %d): non-covering %v", tc.n, tc.parts, bs)
+			}
+			pos = b.Hi
+		}
+		if pos != tc.n {
+			t.Fatalf("Blocks(%d, %d) covers %d", tc.n, tc.parts, pos)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"hssort/internal/core"
 	"hssort/internal/exchange"
 	"hssort/internal/merge"
+	"hssort/internal/par"
 	"hssort/internal/sampling"
 )
 
@@ -68,6 +69,9 @@ type Options[K any] struct {
 	// ChunkKeys, when positive, selects the streaming chunked exchange
 	// (see core.Options.ChunkKeys). 0 = materializing exchange.
 	ChunkKeys int
+	// Workers is this rank's compute-phase worker budget (see
+	// core.Options.Workers). <= 1 runs every kernel serially.
+	Workers int
 	// Splitters, when non-nil, injects pre-determined splitters and
 	// skips the sampling phase entirely (see core.Options.Splitters):
 	// Buckets-1 keys in non-decreasing cmp order, identical on every
@@ -152,11 +156,14 @@ const (
 // Options. The input slice is consumed.
 func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, error) {
 	var stats core.Stats
-	// Phase 1: local sort — radix on the code plane when available.
+	pool := par.New(opt.Workers)
+	stats.Workers = pool.Workers()
+	// Phase 1: local sort — radix on the code plane when available,
+	// fanned over this rank's worker pool.
 	t0 := time.Now()
 	var localCodes []codes.Code
 	if opt.Code != nil {
-		localCodes = codes.SortByCode(local, opt.Code)
+		localCodes = codes.SortByCodePar(local, opt.Code, pool)
 	} else {
 		slices.SortFunc(local, opt.Cmp)
 	}
@@ -198,9 +205,9 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 	// Phase 3+4: exchange and merge (identical to HSS).
 	partition := func(sp []K) [][]K {
 		if localCodes != nil {
-			return exchange.PartitionByCode(local, localCodes, codes.Extract(sp, opt.Code))
+			return exchange.PartitionByCodePar(local, localCodes, codes.Extract(sp, opt.Code), pool)
 		}
-		return exchange.Partition(local, sp, opt.Cmp)
+		return exchange.PartitionPar(local, sp, opt.Cmp, pool)
 	}
 	t2 := time.Now()
 	runs := partition(splitters)
@@ -228,13 +235,14 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 	bytes1 := c.Counters().BytesSent
 	out, exchangeTime, mergeTime, sst, err := exchange.ExchangeMerge(
 		c, base+tagExchange, runs, opt.Owner, opt.Cmp, opt.Code,
-		exchange.StreamOptions{ChunkKeys: opt.ChunkKeys}, opt.Scratch)
+		exchange.StreamOptions{ChunkKeys: opt.ChunkKeys, Pool: pool}, opt.Scratch)
 	if err != nil {
 		return nil, stats, err
 	}
 	exchangeBytes := c.Counters().BytesSent - bytes1
 	stats.LocalCount = len(out)
 
+	pc := pool.Counters()
 	if err := core.FinishStats(c, base+tagStats, &stats, core.PhaseTimes{
 		SplitterBytes: splitterBytes,
 		ExchangeBytes: exchangeBytes,
@@ -245,6 +253,8 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 		Overlap:       sst.Overlap,
 		PeakInFlight:  sst.PeakInFlight,
 		OutCount:      len(out),
+		ParSpawned:    pc.Spawned,
+		ParTasks:      pc.Tasks,
 	}); err != nil {
 		return nil, stats, err
 	}

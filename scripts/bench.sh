@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # bench.sh — run the headline benchmark set and emit the perf-trajectory
-# artifacts (BENCH_PR5.txt, benchstat-compatible raw output, and
-# BENCH_PR5.json). Thin wrapper over `go run ./cmd/bench`; all flags pass
+# artifacts (BENCH_PR6.txt, benchstat-compatible raw output, and
+# BENCH_PR6.json). Thin wrapper over `go run ./cmd/bench`; all flags pass
 # through, e.g.:
 #
 #   scripts/bench.sh                       # full set

@@ -20,6 +20,7 @@ import (
 	"hssort/internal/keycoder"
 	"hssort/internal/nodesort"
 	"hssort/internal/overpartition"
+	"hssort/internal/par"
 	"hssort/internal/radix"
 	"hssort/internal/samplesort"
 	"hssort/internal/tagging"
@@ -105,6 +106,9 @@ func newSorter[K any](cfg Config, compare func(K, K) int, builtin keycoder.Coder
 	if cfg.PlanStaleness < 0 {
 		return nil, fmt.Errorf("hssort: PlanStaleness %v < 0", cfg.PlanStaleness)
 	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("hssort: Workers %d < 0", cfg.Workers)
+	}
 	switch cfg.Algorithm {
 	case HSS, HSSOneRound, HSSTheoretical, SampleSortRegular, SampleSortRandom,
 		HistogramSort, Bitonic, Radix, NodeHSS, OverPartition:
@@ -159,6 +163,12 @@ func newSorter[K any](cfg Config, compare func(K, K) int, builtin keycoder.Coder
 		isNaN:   isNaN,
 		pool:    comm.NewPool(cfg.Procs, comm.WithTimeout(cfg.Timeout), comm.WithTransport(tr)),
 		scratch: make([]*rankScratch[K], cfg.Procs),
+	}
+	if s.cfg.Workers == 0 {
+		// Resolve the default once, against this transport's hosting
+		// shape: co-hosted ranks split GOMAXPROCS evenly, a lone TCP rank
+		// owns the whole process budget.
+		s.cfg.Workers = par.Default(s.pool.HostedRanks())
 	}
 	for r := range s.scratch {
 		s.scratch[r] = &rankScratch[K]{}
@@ -406,8 +416,9 @@ func (s *Sorter[K]) sortCoded(ctx context.Context, plan *Plan[K], shards [][]K) 
 	err := s.pool.Run(ctx, func(c *comm.Comm) error {
 		r := c.Rank()
 		sc := s.scratch[r]
+		cp := par.New(s.cfg.Workers)
 		t0 := time.Now()
-		sc.enc = codes.EncodeInto(s.coder, shards[r], sc.enc)
+		sc.enc = codes.EncodeIntoPar(s.coder, shards[r], sc.enc, cp)
 		encTime[r] = time.Since(t0)
 		inj := injection[codes.Code]{scratch: &sc.exchCode}
 		if codePlan != nil {
@@ -419,7 +430,7 @@ func (s *Sorter[K]) sortCoded(ctx context.Context, plan *Plan[K], shards [][]K) 
 			return err
 		}
 		t1 := time.Now()
-		outs[r] = codes.DecodeSlice(s.coder, out)
+		outs[r] = codes.DecodeSlicePar(s.coder, out, cp)
 		decTime[r] = time.Since(t1)
 		if r == 0 {
 			stats = fromCore(st)
@@ -844,6 +855,7 @@ func dispatch[K any](c *comm.Comm, local []K, cfg Config, compare func(K, K) int
 		o.Code = code
 		o.Owner = owner
 		o.ChunkKeys = chunkKeys
+		o.Workers = cfg.Workers
 		o.Splitters = inj.splitters
 		o.StaleBound = inj.stale
 		o.Scratch = inj.scratch
@@ -853,6 +865,7 @@ func dispatch[K any](c *comm.Comm, local []K, cfg Config, compare func(K, K) int
 		o.Code = code
 		o.Owner = owner
 		o.ChunkKeys = chunkKeys
+		o.Workers = cfg.Workers
 		o.Splitters = inj.splitters
 		o.StaleBound = inj.stale
 		o.Scratch = inj.scratch
@@ -865,6 +878,7 @@ func dispatch[K any](c *comm.Comm, local []K, cfg Config, compare func(K, K) int
 		o.Code = code
 		o.Owner = owner
 		o.ChunkKeys = chunkKeys
+		o.Workers = cfg.Workers
 		o.Splitters = inj.splitters
 		o.StaleBound = inj.stale
 		o.Scratch = inj.scratch
@@ -886,6 +900,7 @@ func dispatch[K any](c *comm.Comm, local []K, cfg Config, compare func(K, K) int
 			Seed:             cfg.Seed,
 			OversampleFactor: cfg.OversampleFactor,
 			ChunkKeys:        chunkKeys,
+			Workers:          cfg.Workers,
 			Splitters:        inj.splitters,
 			StaleBound:       inj.stale,
 			Scratch:          inj.scratch,
