@@ -485,6 +485,52 @@ func BenchmarkCodePath(b *testing.B) {
 	})
 }
 
+// BenchmarkByteKeys measures the prefix-code plane against the pure
+// comparator plane on variable-length byte-string keys. hashlike keys
+// (32-char hex digests) have effectively distinct 8-byte prefixes —
+// the regime where the radix local sort, code-keyed partition, and
+// code-tree merges run comparator-free and the prefix plane should win.
+// urllike keys all share the exactly-8-byte "https://" scheme, so every
+// prefix code collides: the plane degrades to comparator tie-breaks and
+// single-bucket saturation — the honest worst case, reported alongside.
+func BenchmarkByteKeys(b *testing.B) {
+	b.ReportAllocs()
+	const p, perRank = 8, 100000
+	inputs := []struct {
+		name     string
+		kind     dist.ByteKind
+		keyBytes int64 // mean key length, for the throughput metric
+	}{
+		{"hashlike", dist.HashLike, 32},
+		{"urllike-shared-prefix", dist.URLLike, 30},
+	}
+	paths := []struct {
+		name string
+		cp   CodePath
+	}{
+		{"comparator", CodePathOff},
+		{"prefix", CodePathOn},
+	}
+	for _, in := range inputs {
+		shards := dist.ByteSpec{Kind: in.kind}.Shards(perRank, p, 41)
+		for _, path := range paths {
+			b.Run(in.name+"/"+path.name, func(b *testing.B) {
+				b.ReportAllocs()
+				cfg := Config{Procs: p, Epsilon: 0.1, Seed: 3, CodePath: path.cp}
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					work := cloneAny(shards)
+					b.StartTimer()
+					if _, _, err := SortBytes(cfg, work); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.SetBytes(int64(p) * int64(perRank) * in.keyBytes)
+			})
+		}
+	}
+}
+
 // BenchmarkTransportBackends compares the simulated byte-accounted
 // backend (TransportSim) against the zero-copy in-process fast path
 // (TransportInproc) on the three main algorithm families. The comm-bound

@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/bench                       # full headline set -> BENCH_PR6.{txt,json}
+//	go run ./cmd/bench                       # full headline set -> BENCH_PR7.{txt,json}
 //	go run ./cmd/bench -benchtime 1x -count 1  # CI smoke
 //	go run ./cmd/bench -bench 'CodePath' -out /tmp/code  # focused run
 //
@@ -17,9 +17,11 @@
 // (StreamExchange, Exchange), the transport comparisons (in-memory
 // backends plus the tcp wire backend) and the engine
 // amortization (BenchmarkSorterReuse: one-shot vs engine-reuse vs
-// plan-reuse) and the intra-rank multicore plane (BenchmarkWorkers:
+// plan-reuse), the intra-rank multicore plane (BenchmarkWorkers:
 // the four parallel kernels plus the end-to-end sort swept over
-// worker-pool sizes) — the benchmarks whose shapes PRs claim wins on.
+// worker-pool sizes) and the byte-string prefix plane
+// (BenchmarkByteKeys: hash-like vs shared-prefix keys, prefix plane vs
+// pure comparator) — the benchmarks whose shapes PRs claim wins on.
 package main
 
 import (
@@ -99,11 +101,11 @@ func parseLine(pkg, line string) (result, bool) {
 
 func main() {
 	var (
-		bench     = flag.String("bench", "CodePath|CodeLocalSort|CodeMerge|StreamExchange|TransportBackends|TCPTransport|Partition|SorterReuse|Workers", "benchmark selection regex (go test -bench)")
+		bench     = flag.String("bench", "CodePath|CodeLocalSort|CodeMerge|StreamExchange|TransportBackends|TCPTransport|Partition|SorterReuse|Workers|ByteKeys", "benchmark selection regex (go test -bench)")
 		benchtime = flag.String("benchtime", "", "per-benchmark time or iteration budget (go test -benchtime)")
 		count     = flag.Int("count", 1, "repetitions per benchmark (go test -count); use >= 5 for benchstat-grade numbers")
 		timeout   = flag.String("timeout", "30m", "go test timeout")
-		out       = flag.String("out", "BENCH_PR6", "artifact prefix: <out>.txt (benchstat-compatible raw) and <out>.json")
+		out       = flag.String("out", "BENCH_PR7", "artifact prefix: <out>.txt (benchstat-compatible raw) and <out>.json")
 		packages  = flag.String("packages", "./...", "packages to benchmark")
 	)
 	flag.Parse()

@@ -10,6 +10,7 @@
 //	hssort -p 16 -dist powerskew -alg histogramsort # skew vs bisection
 //	hssort -p 16 -dist dupheavy -tag                # §4.3 duplicate tagging
 //	hssort -p 16 -alg node-hss -cores 4             # §6.1 two-level sort
+//	hssort -p 16 -keys bytes -dist urllike          # []byte keys, prefix-code plane
 //
 // Multi-process deployment (the tcp transport; see docs/WIRE.md and the
 // README's "Distributed deployment" section):
@@ -31,6 +32,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/binary"
 	"flag"
@@ -75,6 +77,12 @@ var distributions = map[string]dist.Kind{
 	"staircase":    dist.Staircase,
 }
 
+var byteDistributions = map[string]dist.ByteKind{
+	"hashlike": dist.HashLike,
+	"urllike":  dist.URLLike,
+	"loglines": dist.LogLines,
+}
+
 func names[V any](m map[string]V) string {
 	out := make([]string, 0, len(m))
 	for k := range m {
@@ -89,7 +97,8 @@ func main() {
 		p       = flag.Int("p", 8, "simulated processors")
 		n       = flag.Int("n", 100000, "keys per processor")
 		algName = flag.String("alg", "hss", "algorithm: "+names(algorithms))
-		dsName  = flag.String("dist", "uniform", "distribution: "+names(distributions))
+		keyType = flag.String("keys", "int64", "key type: int64, or bytes for variable-length byte strings on the prefix-code plane")
+		dsName  = flag.String("dist", "uniform", "distribution: "+names(distributions)+"; with -keys bytes: "+names(byteDistributions)+" (default hashlike)")
 		eps     = flag.Float64("eps", 0.05, "load-imbalance threshold")
 		buckets = flag.Int("buckets", 0, "output buckets (default: p)")
 		rounds  = flag.Int("rounds", 0, "rounds for hss-theory (default: log log p/eps)")
@@ -130,9 +139,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	kind, ok := distributions[*dsName]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown distribution %q; known: %s\n", *dsName, names(distributions))
+	var kind dist.Kind
+	var byteKind dist.ByteKind
+	byteKeys := false
+	switch *keyType {
+	case "int64":
+		kind, ok = distributions[*dsName]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown distribution %q; known: %s\n", *dsName, names(distributions))
+			os.Exit(2)
+		}
+	case "bytes":
+		byteKeys = true
+		if *dsName == "uniform" {
+			*dsName = "hashlike" // the int64 default maps to the byte-key default
+		}
+		byteKind, ok = byteDistributions[*dsName]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown byte distribution %q; known: %s\n", *dsName, names(byteDistributions))
+			os.Exit(2)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown key type %q; known: int64, bytes\n", *keyType)
 		os.Exit(2)
 	}
 
@@ -155,22 +183,23 @@ func main() {
 		}
 	}
 
-	spec := dist.Spec{Kind: kind}
-	shards := spec.Shards(*n, *p, *seed)
-	if workerMode {
-		// Each process derives the deterministic global input and keeps
-		// only its own rank's shard; peers sort theirs.
-		for i := range shards {
-			if i != *rank {
-				shards[i] = nil
+	var shards, input [][]int64
+	if !byteKeys {
+		shards = dist.Spec{Kind: kind}.Shards(*n, *p, *seed)
+		if workerMode {
+			// Each process derives the deterministic global input and keeps
+			// only its own rank's shard; peers sort theirs.
+			for i := range shards {
+				if i != *rank {
+					shards[i] = nil
+				}
 			}
 		}
-	}
-	var input [][]int64
-	if *verbose {
-		input = make([][]int64, *p)
-		for i := range shards {
-			input[i] = slices.Clone(shards[i])
+		if *verbose {
+			input = make([][]int64, *p)
+			for i := range shards {
+				input[i] = slices.Clone(shards[i])
+			}
 		}
 	}
 
@@ -199,6 +228,15 @@ func main() {
 	// every simulated rank through the context.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if byteKeys {
+		os.Exit(runBytes(ctx, cfg, byteKind, byteOpts{
+			distName: *dsName, n: *n, seed: *seed,
+			rank: *rank, workerMode: workerMode,
+			plan: *plan, repeat: *repeat, verbose: *verbose, digest: *digest,
+		}))
+	}
+
 	engine, err := hssort.New[int64](cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -249,56 +287,15 @@ func main() {
 
 	if workerMode && *rank != 0 {
 		// Peers report their partition; whole-run stats live on rank 0.
-		var total int
-		for _, o := range outs {
-			total += len(o)
-		}
 		fmt.Printf("%s: rank %d/%d sorted its partition (%s keys received) in %v over tcp\n",
-			alg, *rank, *p, tablefmt.Count(float64(total)), wall.Round(time.Millisecond))
+			alg, *rank, *p, tablefmt.Count(float64(totalKeys(outs))), wall.Round(time.Millisecond))
 		if *digest {
 			printDigests(outs, *rank, workerMode)
 		}
 		return
 	}
-	world := "simulated processors"
-	if workerMode {
-		world = "worker processes"
-	}
-	fmt.Printf("%s: sorted %s %s keys on %d %s in %v (%s transport, %s code path)\n\n",
-		alg, tablefmt.Count(float64(stats.N)), *dsName, *p, world, wall.Round(time.Millisecond), transport, codePath)
-	if transport == hssort.TransportInproc {
-		fmt.Println("note: the inproc transport does no byte accounting; byte/message metrics read zero")
-		fmt.Println()
-	}
-	if transport == hssort.TransportTCP {
-		fmt.Println("note: tcp byte/message metrics are measured wire traffic (headers included), not the sim model")
-		if workerMode {
-			fmt.Println("note: in worker mode the byte/message totals cover this process's rank only")
-		}
-		fmt.Println()
-	}
-	t := tablefmt.New("metric", "value")
-	t.AddRow("local sort (max over ranks)", stats.LocalSort.Round(10*time.Microsecond).String())
-	t.AddRow("splitter determination", stats.Splitter.Round(10*time.Microsecond).String())
-	t.AddRow("data exchange", stats.Exchange.Round(10*time.Microsecond).String())
-	t.AddRow("final merge", stats.Merge.Round(10*time.Microsecond).String())
-	if *stream || *chunk > 0 {
-		t.AddRow("merge overlapped with exchange", stats.ExchangeOverlap.Round(10*time.Microsecond).String())
-		t.AddRow("peak in-flight exchange data", tablefmt.Bytes(float64(stats.PeakInFlightBytes)))
-	}
-	if stats.Workers > 1 {
-		t.AddRow("workers per rank", fmt.Sprintf("%d (%d forks, %d parallel tasks)", stats.Workers, stats.ParSpawned, stats.ParTasks))
-	}
-	t.AddRow("histogramming rounds", fmt.Sprintf("%d", stats.Rounds))
-	if splitterPlan != nil {
-		t.AddRow("plan replanned (stale)", fmt.Sprintf("%v", stats.Replanned))
-	}
-	t.AddRow("total sample (probe keys)", fmt.Sprintf("%d", stats.TotalSample))
-	t.AddRow("splitter-phase bytes", tablefmt.Bytes(float64(stats.SplitterBytes)))
-	t.AddRow("exchange-phase bytes", tablefmt.Bytes(float64(stats.ExchangeBytes)))
-	t.AddRow("total messages", fmt.Sprintf("%d", stats.TotalMsgs))
-	t.AddRow("load imbalance (max/avg)", fmt.Sprintf("%.4f (target <= %.4f)", stats.Imbalance, 1+*eps))
-	fmt.Print(t.String())
+	report{cfg: cfg, distName: *dsName, wall: wall, stats: stats,
+		planned: splitterPlan != nil, workerMode: workerMode}.print()
 	if *digest {
 		printDigests(outs, *rank, workerMode)
 	}
@@ -326,6 +323,212 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("\nverified: output is the globally sorted permutation of the input")
+	}
+}
+
+// totalKeys counts the keys across a rank's output partitions.
+func totalKeys[K any](outs [][]K) int {
+	var total int
+	for _, o := range outs {
+		total += len(o)
+	}
+	return total
+}
+
+// report prints the whole-run metrics table. It is key-type agnostic:
+// the int64 and []byte paths feed it the same Config and Stats.
+type report struct {
+	cfg        hssort.Config
+	distName   string
+	wall       time.Duration
+	stats      hssort.Stats
+	planned    bool
+	workerMode bool
+}
+
+func (r report) print() {
+	stats := r.stats
+	world := "simulated processors"
+	if r.workerMode {
+		world = "worker processes"
+	}
+	fmt.Printf("%s: sorted %s %s keys on %d %s in %v (%s transport, %s code path)\n\n",
+		r.cfg.Algorithm, tablefmt.Count(float64(stats.N)), r.distName, r.cfg.Procs, world,
+		r.wall.Round(time.Millisecond), r.cfg.Transport, r.cfg.CodePath)
+	if r.cfg.Transport == hssort.TransportInproc {
+		fmt.Println("note: the inproc transport does no byte accounting; byte/message metrics read zero")
+		fmt.Println()
+	}
+	if r.cfg.Transport == hssort.TransportTCP {
+		fmt.Println("note: tcp byte/message metrics are measured wire traffic (headers included), not the sim model")
+		if r.workerMode {
+			fmt.Println("note: in worker mode the byte/message totals cover this process's rank only")
+		}
+		fmt.Println()
+	}
+	t := tablefmt.New("metric", "value")
+	t.AddRow("local sort (max over ranks)", stats.LocalSort.Round(10*time.Microsecond).String())
+	t.AddRow("splitter determination", stats.Splitter.Round(10*time.Microsecond).String())
+	t.AddRow("data exchange", stats.Exchange.Round(10*time.Microsecond).String())
+	t.AddRow("final merge", stats.Merge.Round(10*time.Microsecond).String())
+	if r.cfg.StreamExchange || r.cfg.ChunkKeys > 0 {
+		t.AddRow("merge overlapped with exchange", stats.ExchangeOverlap.Round(10*time.Microsecond).String())
+		t.AddRow("peak in-flight exchange data", tablefmt.Bytes(float64(stats.PeakInFlightBytes)))
+	}
+	if stats.Workers > 1 {
+		t.AddRow("workers per rank", fmt.Sprintf("%d (%d forks, %d parallel tasks)", stats.Workers, stats.ParSpawned, stats.ParTasks))
+	}
+	t.AddRow("histogramming rounds", fmt.Sprintf("%d", stats.Rounds))
+	if r.planned {
+		t.AddRow("plan replanned (stale)", fmt.Sprintf("%v", stats.Replanned))
+	}
+	t.AddRow("total sample (probe keys)", fmt.Sprintf("%d", stats.TotalSample))
+	t.AddRow("splitter-phase bytes", tablefmt.Bytes(float64(stats.SplitterBytes)))
+	t.AddRow("exchange-phase bytes", tablefmt.Bytes(float64(stats.ExchangeBytes)))
+	t.AddRow("total messages", fmt.Sprintf("%d", stats.TotalMsgs))
+	if stats.PrefixCollisions > 0 {
+		t.AddRow("prefix collisions (tie-broken)", fmt.Sprintf("%d", stats.PrefixCollisions))
+	}
+	t.AddRow("load imbalance (max/avg)", fmt.Sprintf("%.4f (target <= %.4f)", stats.Imbalance, 1+r.cfg.Epsilon))
+	fmt.Print(t.String())
+}
+
+// byteOpts carries the flag values the []byte path needs beyond Config.
+type byteOpts struct {
+	distName   string
+	n          int
+	seed       uint64
+	rank       int
+	workerMode bool
+	plan       bool
+	repeat     int
+	verbose    bool
+	digest     bool
+}
+
+// runBytes is the -keys bytes counterpart of main's int64 flow: same
+// engine lifecycle (Plan, -repeat reuse, worker mode, digests, -v
+// verification), but over variable-length byte-string keys via
+// hssort.NewBytes — the prefix-code plane.
+func runBytes(ctx context.Context, cfg hssort.Config, kind dist.ByteKind, o byteOpts) int {
+	spec := dist.ByteSpec{Kind: kind}
+	shards := spec.Shards(o.n, cfg.Procs, o.seed)
+	if o.workerMode {
+		for i := range shards {
+			if i != o.rank {
+				shards[i] = nil
+			}
+		}
+	}
+	var input [][][]byte
+	if o.verbose {
+		input = make([][][]byte, cfg.Procs)
+		for i := range shards {
+			input[i] = slices.Clone(shards[i])
+		}
+	}
+
+	engine, err := hssort.NewBytes(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer engine.Close()
+
+	var splitterPlan *hssort.Plan[[]byte]
+	if o.plan {
+		planStart := time.Now()
+		splitterPlan, err = engine.Plan(ctx, shards)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("plan: %d splitters in %d rounds (%d sample keys, achieved eps %.4f vs target %.4f) in %v\n\n",
+			len(splitterPlan.Splitters), splitterPlan.Rounds, splitterPlan.TotalSample,
+			splitterPlan.AchievedEpsilon, splitterPlan.Epsilon,
+			time.Since(planStart).Round(time.Millisecond))
+	}
+
+	start := time.Now()
+	var outs [][][]byte
+	var stats hssort.Stats
+	runs := max(o.repeat, 1)
+	for i := 0; i < runs; i++ {
+		work := shards
+		if i < runs-1 {
+			work = spec.Shards(o.n, cfg.Procs, o.seed+uint64(i)+1)
+		}
+		if splitterPlan != nil {
+			outs, stats, err = engine.SortWithPlan(ctx, splitterPlan, work)
+		} else {
+			outs, stats, err = engine.Sort(ctx, work)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	wall := time.Since(start)
+	if runs > 1 {
+		fmt.Printf("ran %d sorts through one engine (%v/sort); metrics below describe the last\n\n",
+			runs, (wall / time.Duration(runs)).Round(time.Microsecond))
+	}
+
+	if o.workerMode && o.rank != 0 {
+		fmt.Printf("%s: rank %d/%d sorted its partition (%s keys received) in %v over tcp\n",
+			cfg.Algorithm, o.rank, cfg.Procs, tablefmt.Count(float64(totalKeys(outs))), wall.Round(time.Millisecond))
+		if o.digest {
+			printByteDigests(outs, o.rank, true)
+		}
+		return 0
+	}
+	report{cfg: cfg, distName: o.distName, wall: wall, stats: stats,
+		planned: splitterPlan != nil, workerMode: o.workerMode}.print()
+	if o.digest {
+		printByteDigests(outs, o.rank, o.workerMode)
+	}
+
+	if o.verbose {
+		var want, got [][]byte
+		for _, s := range input {
+			want = append(want, s...)
+		}
+		slices.SortFunc(want, bytes.Compare)
+		for _, part := range outs {
+			if !slices.IsSortedFunc(part, bytes.Compare) {
+				fmt.Fprintln(os.Stderr, "FAIL: a rank's output is not sorted")
+				return 1
+			}
+			got = append(got, part...)
+		}
+		if cfg.Algorithm == hssort.OverPartition {
+			slices.SortFunc(got, bytes.Compare)
+		}
+		if !slices.EqualFunc(got, want, bytes.Equal) {
+			fmt.Fprintln(os.Stderr, "FAIL: output is not the sorted permutation of the input")
+			return 1
+		}
+		fmt.Println("\nverified: output is the globally sorted permutation of the input")
+	}
+	return 0
+}
+
+// printByteDigests is printDigests for byte-string partitions: FNV-64a
+// over length-prefixed keys, so the fingerprint distinguishes
+// {"ab","c"} from {"a","bc"}.
+func printByteDigests(outs [][][]byte, rank int, workerMode bool) {
+	for r, o := range outs {
+		if workerMode && r != rank {
+			continue // peers print their own
+		}
+		h := fnv.New64a()
+		var b [8]byte
+		for _, k := range o {
+			binary.LittleEndian.PutUint64(b[:], uint64(len(k)))
+			h.Write(b[:])
+			h.Write(k)
+		}
+		fmt.Printf("digest rank=%d n=%d fnv=%016x\n", r, len(o), h.Sum64())
 	}
 }
 

@@ -20,15 +20,21 @@
 // stats.Imbalance ≤ 1+ε with high probability.
 //
 // Services that sort repeatedly should hold a Sorter engine (New,
-// NewFunc, NewKV) instead of calling Sort in a loop: the engine builds
-// the simulated machine once and reuses it every call, threads a
-// context.Context through every phase, and exposes splitter Plans —
-// Plan runs only sampling+histogramming, SortWithPlan applies the
-// stored splitters with zero histogramming rounds (guarded, optionally,
-// by Config.PlanStaleness).
+// NewFunc, NewKV, NewBytes) instead of calling Sort in a loop: the
+// engine builds the simulated machine once and reuses it every call,
+// threads a context.Context through every phase, and exposes splitter
+// Plans — Plan runs only sampling+histogramming, SortWithPlan applies
+// the stored splitters with zero histogramming rounds (guarded,
+// optionally, by Config.PlanStaleness).
+//
+// Variable-length byte-string keys ([][]byte shards) sort through
+// NewBytes/SortBytes on a prefix-code plane: an 8-byte prefix code
+// drives the comparator-free kernels and bytes.Compare tie-breaks
+// prefix collisions (counted in Stats.PrefixCollisions) — see NewBytes.
 package hssort
 
 import (
+	"bytes"
 	"cmp"
 	"context"
 	"fmt"
@@ -310,6 +316,13 @@ type Stats struct {
 	ParSpawned, ParTasks int64
 	// Imbalance is max load / average load after sorting (§1).
 	Imbalance float64
+	// PrefixCollisions counts, summed over ranks, the keys that shared
+	// an 8-byte prefix code with a neighbour during the local sorts and
+	// therefore needed the comparator tie-break — the byte-key prefix
+	// plane's measure of how much of the input the fixed-size code could
+	// not discriminate. Zero off the prefix plane (NewBytes engines
+	// only).
+	PrefixCollisions int64
 }
 
 // Total returns the end-to-end critical-path time.
@@ -337,6 +350,7 @@ func fromCore(st core.Stats) Stats {
 		ParSpawned:        st.ParSpawned,
 		ParTasks:          st.ParTasks,
 		Imbalance:         st.Imbalance,
+		PrefixCollisions:  st.PrefixCollisions,
 	}
 }
 
@@ -379,6 +393,49 @@ func SortFunc[K any](cfg Config, shards [][]K, compare func(K, K) int) ([][]K, S
 	return s.Sort(context.Background(), shards)
 }
 
+// SortBytes sorts variable-length byte-string keys across Config.Procs
+// simulated processors and returns the per-processor sorted partitions
+// in bytes.Compare order. It is a one-shot wrapper over a throwaway
+// NewBytes engine; see NewBytes for the prefix code plane this runs on.
+func SortBytes(cfg Config, shards [][][]byte) ([][][]byte, Stats, error) {
+	if cfg.Procs == 0 {
+		cfg.Procs = len(shards)
+	}
+	s, err := NewBytes(cfg)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	defer s.Close()
+	return s.Sort(context.Background(), shards)
+}
+
+// NewBytes creates a Sorter for variable-length byte-string keys,
+// ordered by bytes.Compare. No bijective coder exists for unbounded
+// keys, so the engine runs the prefix code plane: each key's code is
+// its first 8 bytes read big-endian (keycoder.Prefix) — an
+// order-preserving but non-injective decoration — and every code-keyed
+// kernel (radix local sort, partition cuts, histogram scans, merges)
+// is followed by a comparator tie-break exactly where distinct keys
+// can collide on a code. Splitter determination runs entirely in code
+// space, so splitter traffic stays fixed-size regardless of key
+// length; on adversarial inputs whose keys all share an 8-byte prefix
+// the protocol saturates after its stagnation window instead of
+// looping, and Plan.AchievedEpsilon reports the honest (possibly
+// large) imbalance the code plane could express.
+//
+// Supported algorithms: the HSS variants, the sample sorts, classic
+// HistogramSort (probe bisection over code space), NodeHSS, Bitonic
+// and OverPartition (pure comparator). Radix is unavailable — it needs
+// the full bijection. CodePathOff forces the pure comparator plane
+// (the conformance oracle); output is rank-identical either way.
+// Stats.PrefixCollisions reports how often the tie-break fired.
+func NewBytes(cfg Config) (*Sorter[[]byte], error) {
+	if cfg.Coder != nil {
+		return nil, fmt.Errorf("hssort: byte-string keys admit no bijective coder; NewBytes uses the built-in prefix code (unset Config.Coder)")
+	}
+	return newSorter[[]byte](cfg, bytes.Compare, nil, keycoder.Prefix{}.Code, nil, true)
+}
+
 // resolveCoder merges the built-in coder for the key type with an
 // explicit Config.Coder, which wins when present and fails loudly when
 // it holds the wrong type.
@@ -413,6 +470,19 @@ func bijectiveCodePlane(a Algorithm) bool {
 func recordCodePlane(a Algorithm) bool {
 	switch a {
 	case HSS, HSSOneRound, HSSTheoretical, SampleSortRegular, SampleSortRandom, NodeHSS:
+		return true
+	}
+	return false
+}
+
+// prefixCodePlane reports whether the algorithm accepts the prefix
+// plane (non-injective order-preserving codes with comparator
+// tie-breaks — byte-string keys). HistogramSort qualifies: its probe
+// bisection runs over code space directly. Radix does not — it needs
+// the full bijection to reconstruct keys from codes.
+func prefixCodePlane(a Algorithm) bool {
+	switch a {
+	case HSS, HSSOneRound, HSSTheoretical, SampleSortRegular, SampleSortRandom, HistogramSort, NodeHSS:
 		return true
 	}
 	return false

@@ -8,8 +8,8 @@
 // The package defines the Code point type and the branch-predictable
 // kernels over code slices: an in-place MSD radix sort (with a tandem
 // variant that drags record payloads along, the decorate-sort-undecorate
-// plane for KV data), branch-free binary-search ranks, and partition cut
-// computation.
+// plane for KV data), branch-free binary-search ranks, partition cut
+// computation, and the comparator tie-break pass for the prefix plane.
 //
 // # The Code invariant
 //
@@ -23,4 +23,18 @@
 // internal/histogram rely on exactly this. User-supplied key types can
 // never be []Code (the package is internal), so the sniff cannot
 // misfire on a caller's custom comparator.
+//
+// # The prefix plane
+//
+// Bijective and record extractors satisfy the strong invariant
+// cmp(a, b) == 0 ⇔ code(a) == code(b), so code order fully determines
+// element order. A prefix extractor (keycoder.Prefix over []byte keys)
+// satisfies only cmp(a, b) < 0 ⟹ code(a) <= code(b): equal codes may
+// hide unequal keys. On that plane the radix kernels still do the heavy
+// lifting, but every equal-code span must afterwards be re-sorted with
+// the comparator — TieBreak/TieBreakPar — and every k-way merge must
+// consult the comparator on code collisions (internal/merge's tie-aware
+// trees). Partition cuts need no repair: Cuts places boundaries between
+// codes, so an equal-code (hence comparator-contiguous) group is never
+// split across buckets.
 package codes

@@ -99,7 +99,10 @@ func insertion(cs []Code) {
 // sorted code array — the decorate-sort-undecorate entry point of the
 // compute plane. The extractor must be order-preserving for the
 // caller's comparator: cmp(a, b) < 0 ⇔ code(a) < code(b) and
-// cmp(a, b) == 0 ⇔ code(a) == code(b).
+// cmp(a, b) == 0 ⇔ code(a) == code(b). A prefix extractor satisfies
+// only the weaker cmp(a, b) < 0 ⟹ code(a) <= code(b); the result is
+// then sorted up to equal-code spans and the caller must follow with
+// TieBreak/TieBreakPar to restore the full comparator order.
 //
 // On the pure plane (elems is itself a code array) no decoration
 // happens: the slice is radix-sorted in place and returned as its own

@@ -1,0 +1,88 @@
+package codes
+
+import (
+	"slices"
+
+	"hssort/internal/par"
+)
+
+// The tie-break kernels: the prefix plane's repair pass. A prefix
+// extractor (keycoder.Prefix) is order-preserving but not injective, so
+// after the tandem radix sort a code-sorted element array is only
+// sorted up to equal-code spans. TieBreak comparator-sorts every such
+// span in place, restoring the full comparator order, and reports the
+// number of keys involved in collisions — the engine's
+// prefix-collision counter.
+//
+// Determinism: a span is comparator-sorted with slices.SortFunc, which
+// is not stable — but keys that still compare equal after the code tied
+// are equal for every downstream decision (bucket cuts cut between
+// codes, merges resolve code ties with the same comparator), so the
+// emitted value sequence is identical regardless of permutation within
+// cmp-equal groups. For the byte-key plane specifically, cmp-equal
+// means content-identical, making the output byte-identical for every
+// Workers value — the PR 6 invariant.
+
+// TieBreak comparator-sorts every maximal equal-code span of the
+// code-sorted (cs, elems) pair and returns the number of elements in
+// spans of length >= 2 (the collision count). cs itself is untouched —
+// within a span all codes are already equal.
+func TieBreak[E any](cs []Code, elems []E, cmp func(E, E) int) int64 {
+	var collisions int64
+	for i := 0; i < len(cs); {
+		j := i + 1
+		for j < len(cs) && cs[j] == cs[i] {
+			j++
+		}
+		if j-i > 1 {
+			collisions += int64(j - i)
+			slices.SortFunc(elems[i:j], cmp)
+		}
+		i = j
+	}
+	return collisions
+}
+
+// tieBreakCutoff is the input size below which TieBreakPar runs serial
+// — matching the other parallel kernels' cutoff.
+const tieBreakCutoff = 1 << 14
+
+// TieBreakPar is TieBreak fanned over the pool. The array is split into
+// near-equal blocks; each block skips spans that started in an earlier
+// block (their owner sorts them whole, possibly past its block end), so
+// every span is sorted exactly once and the summed collision count is
+// identical to the serial kernel's.
+func TieBreakPar[E any](cs []Code, elems []E, cmp func(E, E) int, p *par.Pool) int64 {
+	w := p.Workers()
+	if w <= 1 || len(cs) < tieBreakCutoff {
+		return TieBreak(cs, elems, cmp)
+	}
+	blocks := par.Blocks(len(cs), w)
+	counts := make([]int64, len(blocks))
+	p.Do(len(blocks), func(b int) {
+		lo, hi := blocks[b].Lo, blocks[b].Hi
+		// Skip the span straddling in from the left: its owning block
+		// sorts it to its true end.
+		for lo < hi && lo > 0 && cs[lo-1] == cs[lo] {
+			lo++
+		}
+		var collisions int64
+		for i := lo; i < hi; {
+			j := i + 1
+			for j < len(cs) && cs[j] == cs[i] {
+				j++
+			}
+			if j-i > 1 {
+				collisions += int64(j - i)
+				slices.SortFunc(elems[i:j], cmp)
+			}
+			i = j
+		}
+		counts[b] = collisions
+	})
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}

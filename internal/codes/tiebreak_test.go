@@ -1,0 +1,78 @@
+package codes
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"slices"
+	"testing"
+
+	"hssort/internal/keycoder"
+	"hssort/internal/par"
+)
+
+// randomKeys produces byte keys with a controllable collision rate:
+// prefixBytes of shared prefix followed by random tails.
+func randomKeys(n, prefixBytes int, seed uint64) [][]byte {
+	rng := rand.New(rand.NewPCG(seed, 42))
+	keys := make([][]byte, n)
+	for i := range keys {
+		k := make([]byte, prefixBytes+4+int(rng.Uint64()%8))
+		for j := prefixBytes; j < len(k); j++ {
+			k[j] = byte(rng.Uint64())
+		}
+		keys[i] = k
+	}
+	return keys
+}
+
+func TestTieBreakRestoresOrder(t *testing.T) {
+	for _, prefix := range []int{0, 4, 8, 12} {
+		keys := randomKeys(5000, prefix, uint64(prefix)+1)
+		want := slices.Clone(keys)
+		slices.SortFunc(want, bytes.Compare)
+
+		cs := SortByCode(keys, keycoder.Prefix{}.Code)
+		collisions := TieBreak(cs, keys, bytes.Compare)
+		if !slices.EqualFunc(keys, want, bytes.Equal) {
+			t.Fatalf("prefix=%d: TieBreak did not restore comparator order", prefix)
+		}
+		if prefix >= 8 && collisions != int64(len(keys)) {
+			t.Fatalf("prefix=%d: want every key counted as collision, got %d", prefix, collisions)
+		}
+		if prefix == 0 && collisions > int64(len(keys))/10 {
+			t.Fatalf("prefix=%d: unexpectedly many collisions: %d", prefix, collisions)
+		}
+	}
+}
+
+func TestTieBreakParMatchesSerial(t *testing.T) {
+	for _, prefix := range []int{0, 6, 8} {
+		for _, workers := range []int{1, 2, 3, 8} {
+			keys := randomKeys(50000, prefix, uint64(prefix)*7+uint64(workers))
+			serialKeys := slices.Clone(keys)
+
+			cs := SortByCode(keys, keycoder.Prefix{}.Code)
+			serialCs := slices.Clone(cs)
+			copy(serialKeys, keys)
+
+			wantCollisions := TieBreak(serialCs, serialKeys, bytes.Compare)
+			gotCollisions := TieBreakPar(cs, keys, bytes.Compare, par.New(workers))
+			if gotCollisions != wantCollisions {
+				t.Fatalf("prefix=%d workers=%d: collision count %d != serial %d",
+					prefix, workers, gotCollisions, wantCollisions)
+			}
+			if !slices.EqualFunc(keys, serialKeys, bytes.Equal) {
+				t.Fatalf("prefix=%d workers=%d: parallel output diverges from serial", prefix, workers)
+			}
+		}
+	}
+}
+
+func TestTieBreakEmptyAndSingleton(t *testing.T) {
+	if got := TieBreak(nil, nil, func(a, b int) int { return a - b }); got != 0 {
+		t.Fatalf("empty: %d collisions", got)
+	}
+	if got := TieBreak([]Code{7}, []int{1}, func(a, b int) int { return a - b }); got != 0 {
+		t.Fatalf("singleton: %d collisions", got)
+	}
+}

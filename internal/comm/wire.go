@@ -44,7 +44,13 @@ import (
 // bootstrap handshake. Bump it whenever the frame header, the payload
 // encoding, or the bootstrap messages change shape; peers with different
 // versions refuse to connect instead of corrupting each other.
-const wireProtoVersion = 1
+//
+// Version 2 added the variable-length byte-key payload plane: [][]byte
+// moves through a dedicated arena codec (docs/WIRE.md, "Variable-length
+// records"). The byte layout of previously existing payloads is
+// unchanged, but hsswire/1 peers never registered the byte-key types,
+// so the versions must not mix.
+const wireProtoVersion = 2
 
 // Frame kinds. A frame is the unit of the TCP transport's framing layer:
 // a fixed 25-byte header followed by length payload bytes (see
@@ -228,6 +234,9 @@ func appendWirePayload(buf []byte, payload any) ([]byte, error) {
 		return appendRawSlice(buf, "[]uint32", sliceToBytes(s), len(s)), nil
 	case []float32:
 		return appendRawSlice(buf, "[]float32", sliceToBytes(s), len(s)), nil
+	case [][]byte:
+		buf = appendWireString(buf, "[][]uint8")
+		return appendByteSlices(buf, s), nil
 	}
 	v := reflect.ValueOf(payload)
 	name := registerWireType(v.Type())
@@ -270,6 +279,92 @@ func sliceToBytes[T any](s []T) []byte {
 func appendWireString(buf []byte, s string) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(s)))
 	return append(buf, s...)
+}
+
+// byteSlicesType is the reflect image of [][]byte, the variable-length
+// record plane's payload shape (wire name "[][]uint8"). Both codec
+// walks special-case it — standalone payloads and fields nested inside
+// protocol structs (stream chunks, gather parts) alike — so byte keys
+// never pay per-element reflection.
+var byteSlicesType = reflect.TypeOf([][]byte(nil))
+
+// appendByteSlices appends the varlen-record encoding of s: the
+// standard slice framing (uvarint(0) nil / uvarint(n+1)) at both
+// levels, element bytes raw. The layout is exactly what the generic
+// reflect walk would produce; this path exists to skip reflection and
+// to pair with readByteSlices' arena decode.
+func appendByteSlices(buf []byte, s [][]byte) []byte {
+	if s == nil {
+		return binary.AppendUvarint(buf, 0)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(s))+1)
+	for _, e := range s {
+		if e == nil {
+			buf = binary.AppendUvarint(buf, 0)
+			continue
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(e))+1)
+		buf = append(buf, e...)
+	}
+	return buf
+}
+
+// readByteSlices decodes a varlen-record payload with one arena
+// allocation: a first walk validates every length against the remaining
+// bytes and sums them, then all element bytes are copied into a single
+// backing array and returned as full-capacity-capped views — n keys
+// cost two allocations, not n.
+func readByteSlices(data []byte) ([][]byte, []byte, error) {
+	n, k := binary.Uvarint(data)
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("comm: truncated byte-slice count")
+	}
+	data = data[k:]
+	if n == 0 {
+		return nil, data, nil
+	}
+	if n-1 > uint64(len(data)) {
+		return nil, nil, fmt.Errorf("comm: byte-slice count %d exceeds remaining %d bytes", n-1, len(data))
+	}
+	count := int(n - 1)
+	lens := make([]int, count)
+	total := 0
+	p := data
+	for i := 0; i < count; i++ {
+		m, k := binary.Uvarint(p)
+		if k <= 0 {
+			return nil, nil, fmt.Errorf("comm: truncated byte-slice length at element %d", i)
+		}
+		p = p[k:]
+		if m == 0 {
+			lens[i] = -1 // nil element
+			continue
+		}
+		if m-1 > uint64(len(p)) {
+			return nil, nil, fmt.Errorf("comm: byte-slice length %d exceeds remaining %d bytes", m-1, len(p))
+		}
+		l := int(m - 1)
+		lens[i] = l
+		total += l
+		p = p[l:]
+	}
+	arena := make([]byte, total)
+	out := make([][]byte, count)
+	pos := 0
+	q := data
+	for i := 0; i < count; i++ {
+		m, k := binary.Uvarint(q)
+		q = q[k:]
+		if m == 0 {
+			continue // nil element stays nil
+		}
+		l := lens[i]
+		copy(arena[pos:pos+l], q[:l])
+		out[i] = arena[pos : pos+l : pos+l]
+		pos += l
+		q = q[l:]
+	}
+	return out, p, nil
 }
 
 // noPointersCache memoizes whether a type's memory representation is
@@ -336,6 +431,11 @@ func appendWireValue(buf []byte, v reflect.Value) ([]byte, error) {
 	t := v.Type()
 	if typeNoPointers(t) {
 		return append(buf, valueBytes(v)...), nil
+	}
+	if t == byteSlicesType {
+		// Varlen-record fast path, hit by [][]byte fields of protocol
+		// structs and by the elements of [][][]byte run lists.
+		return appendByteSlices(buf, *(*[][]byte)(v.Addr().UnsafePointer())), nil
 	}
 	switch v.Kind() {
 	case reflect.String:
@@ -432,6 +532,14 @@ func readWireValue(data []byte, v reflect.Value) ([]byte, error) {
 		copy(valueBytes(v), data[:sz])
 		return data[sz:], nil
 	}
+	if t == byteSlicesType {
+		s, rest, err := readByteSlices(data)
+		if err != nil {
+			return nil, err
+		}
+		*(*[][]byte)(v.Addr().UnsafePointer()) = s
+		return rest, nil
+	}
 	switch v.Kind() {
 	case reflect.String:
 		s, rest, err := readWireString(data)
@@ -506,6 +614,7 @@ func init() {
 	RegisterWire[string]()
 	RegisterWire[struct{}]()
 	RegisterWire[[]byte]()
+	RegisterWire[[][]byte]()
 	RegisterWire[[]int]()
 	RegisterWire[[]int32]()
 	RegisterWire[[]int64]()
@@ -536,6 +645,12 @@ func wirePayloadSize(payload any) int {
 		return 16 + len(s)*4
 	case []float32:
 		return 16 + len(s)*4
+	case [][]byte:
+		n := 16
+		for _, e := range s {
+			n += 10 + len(e) // uvarint(len+1) worst case + bytes
+		}
+		return n
 	default:
 		return 64
 	}

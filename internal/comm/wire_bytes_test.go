@@ -1,0 +1,157 @@
+package comm
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// The varlen-record codec: [][]byte payloads must round trip through
+// the arena fast path — standalone, nested in protocol structs, and as
+// elements of run lists — with the decoded value owning fresh memory,
+// and the decoder must reject every truncation and corruption without
+// panicking or over-allocating.
+
+// byteMsg mirrors the byte-key streaming chunk shape
+// (exchange.streamMsg[[]byte]): a [][][]byte run list next to flat
+// fields.
+type byteMsg struct {
+	runs   [][][]byte
+	keys   int
+	last   bool
+	credit int32
+}
+
+func TestWireRoundTripByteSlices(t *testing.T) {
+	cases := [][][]byte{
+		nil,
+		{},
+		{nil},
+		{{}},
+		{[]byte("a")},
+		{[]byte("https://a.example/x"), []byte("https://b.example/"), nil, {}, []byte("z")},
+		{bytes.Repeat([]byte{0xab}, 1000), []byte{0}, []byte{255}},
+	}
+	for _, c := range cases {
+		got := roundTrip(t, c)
+		if c == nil {
+			// A nil [][]byte payload encodes as a typed nil slice.
+			if gs, ok := got.([][]byte); !ok || gs != nil {
+				t.Errorf("round trip nil [][]byte: got %#v", got)
+			}
+			continue
+		}
+		gs, ok := got.([][]byte)
+		if !ok {
+			t.Fatalf("round trip [][]byte: got %T", got)
+		}
+		if len(gs) != len(c) {
+			t.Fatalf("round trip [][]byte: %d elements, want %d", len(gs), len(c))
+		}
+		for i := range c {
+			if (gs[i] == nil) != (c[i] == nil) || !bytes.Equal(gs[i], c[i]) {
+				t.Errorf("element %d: got %#v, want %#v", i, gs[i], c[i])
+			}
+		}
+	}
+}
+
+func TestWireByteSlicesFreshMemory(t *testing.T) {
+	src := [][]byte{[]byte("aaaa"), []byte("bbbb")}
+	got := roundTrip(t, src).([][]byte)
+	src[0][0] = 'X'
+	src[1][0] = 'X'
+	if got[0][0] != 'a' || got[1][0] != 'b' {
+		t.Fatal("decoded [][]byte aliases the encode-side memory")
+	}
+}
+
+func TestWireRoundTripByteMsg(t *testing.T) {
+	RegisterWire[byteMsg]()
+	m := byteMsg{
+		runs: [][][]byte{
+			{[]byte("k1"), []byte("k22")},
+			nil,
+			{nil, {}, []byte("k3333")},
+		},
+		keys:   6,
+		last:   true,
+		credit: 0,
+	}
+	got := roundTrip(t, m)
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("byteMsg round trip: got %#v, want %#v", got, m)
+	}
+}
+
+// TestWireByteSlicesLayoutMatchesGeneric pins the fast path to the
+// generic slice framing: the encoding of [][]byte must be what the
+// reflect walk produces for an equivalent pointer-bearing slice shape
+// (outer uvarint(n+1), per element uvarint(len+1) + raw bytes, nil as
+// uvarint(0)).
+func TestWireByteSlicesLayoutMatchesGeneric(t *testing.T) {
+	payload := [][]byte{[]byte("ab"), nil, {}}
+	buf, err := appendWirePayload(nil, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, rest, err := readWireString(buf)
+	if err != nil || name != "[][]uint8" {
+		t.Fatalf("wire name %q, err %v", name, err)
+	}
+	want := []byte{
+		4,           // outer: 3 elements + 1
+		3, 'a', 'b', // element 0: len 2 + 1, bytes
+		0, // element 1: nil
+		1, // element 2: empty non-nil
+	}
+	if !bytes.Equal(rest, want) {
+		t.Fatalf("encoding layout: got %v, want %v", rest, want)
+	}
+}
+
+func FuzzWireByteSlices(f *testing.F) {
+	f.Add([]byte("a"), []byte("bb"), 2, 0)
+	f.Add([]byte{}, []byte(nil), 1, 3)
+	f.Add([]byte("https://a.example/"), bytes.Repeat([]byte{7}, 100), 0, 1)
+	f.Fuzz(func(t *testing.T, a, b []byte, cut, mode int) {
+		payload := [][]byte{a, b, nil, {}}
+		buf, err := appendWirePayload(nil, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Round trip must reproduce the payload exactly.
+		got, err := decodeWirePayload(buf)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		gs := got.([][]byte)
+		if len(gs) != len(payload) {
+			t.Fatalf("decoded %d elements, want %d", len(gs), len(payload))
+		}
+		for i := range payload {
+			if (gs[i] == nil) != (payload[i] == nil) || !bytes.Equal(gs[i], payload[i]) {
+				t.Fatalf("element %d: got %#v, want %#v", i, gs[i], payload[i])
+			}
+		}
+		// Every strict truncation must be rejected, never panic. (A
+		// truncation can only shorten or keep the element count, so the
+		// arena sizing stays bounded by the input length.)
+		if len(buf) > 0 {
+			k := cut % len(buf)
+			if k < 0 {
+				k += len(buf)
+			}
+			if _, err := decodeWirePayload(buf[:k]); err == nil {
+				t.Fatalf("truncation to %d/%d bytes decoded successfully", k, len(buf))
+			}
+		}
+		// Flipping a byte must never panic (errors are fine; some flips
+		// produce a different valid payload).
+		if mode >= 0 && len(buf) > 0 {
+			mut := bytes.Clone(buf)
+			mut[mode%len(mut)] ^= 0xff
+			decodeWirePayload(mut) //nolint:errcheck // must-not-panic probe
+		}
+	})
+}

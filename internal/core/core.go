@@ -62,6 +62,16 @@ type Options[K any] struct {
 	// codes (received runs are encoded once per hop). Must be
 	// order-preserving for Cmp like Coder.
 	Code func(K) uint64
+	// PrefixCode marks Code as a non-injective prefix extractor: it is
+	// order-preserving only in the weak sense cmp(a, b) < 0 ⟹ code(a) <=
+	// code(b), and distinct keys may share a code (variable-length byte
+	// keys truncated to an 8-byte prefix). The pipeline then runs the
+	// prefix plane: code-keyed kernels everywhere, with a comparator
+	// tie-break after the radix local sort and inside the merges, and
+	// splitter determination in code space (prefix-equal splitter
+	// candidates saturate instead of looping rounds — see
+	// SplitterInfo.Finalized). Requires Code; ignored when Coder is set.
+	PrefixCode bool
 	// Epsilon is the load-imbalance threshold ε: every bucket receives
 	// at most N(1+ε)/B keys w.h.p. Default 0.05.
 	Epsilon float64
@@ -165,6 +175,9 @@ type RoundTrace struct {
 func (o Options[K]) withDefaults(p int) (Options[K], error) {
 	if o.Cmp == nil {
 		return o, fmt.Errorf("core: Options.Cmp is required")
+	}
+	if o.PrefixCode && o.Code == nil {
+		return o, fmt.Errorf("core: PrefixCode requires Code")
 	}
 	if o.Epsilon == 0 {
 		o.Epsilon = 0.05
@@ -282,6 +295,11 @@ type Stats struct {
 	// executed by the compute kernels. ParSpawned = 0 at Workers 1 —
 	// the serial pipeline forks nothing.
 	ParSpawned, ParTasks int64
+	// PrefixCollisions counts keys that landed in an equal-code span
+	// during the prefix plane's local sorts, summed over ranks — the
+	// number of keys whose final position needed the comparator
+	// tie-break. 0 off the prefix plane.
+	PrefixCollisions int64
 	// Imbalance is max rank load / average rank load after sorting.
 	Imbalance float64
 	// LocalCount is this rank's output size.
@@ -307,6 +325,9 @@ type PhaseTimes struct {
 	OutCount int
 	// ParSpawned and ParTasks are this rank's fork-join pool counters.
 	ParSpawned, ParTasks int64
+	// PrefixCollisions is this rank's equal-code tie-break key count
+	// (prefix plane only).
+	PrefixCollisions int64
 }
 
 // FinishStats all-reduces one rank's phase measurements into st, the
@@ -323,6 +344,7 @@ func FinishStats(e comm.Endpoint, tag comm.Tag, st *Stats, m PhaseTimes) error {
 		int64(m.OutCount), // sum -> N
 		int64(m.OutCount), // max -> hottest rank
 		m.ParSpawned, m.ParTasks,
+		m.PrefixCollisions,
 	}, func(dst, src []int64) {
 		dst[0] += src[0]
 		dst[1] += src[1]
@@ -337,6 +359,7 @@ func FinishStats(e comm.Endpoint, tag comm.Tag, st *Stats, m PhaseTimes) error {
 		}
 		dst[10] += src[10]
 		dst[11] += src[11]
+		dst[12] += src[12]
 	})
 	if err != nil {
 		return err
@@ -356,5 +379,6 @@ func FinishStats(e comm.Endpoint, tag comm.Tag, st *Stats, m PhaseTimes) error {
 	}
 	st.ParSpawned = agg[10]
 	st.ParTasks = agg[11]
+	st.PrefixCollisions = agg[12]
 	return nil
 }

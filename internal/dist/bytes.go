@@ -1,0 +1,133 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// ByteKind names a byte-string key distribution. Each kind exercises a
+// different prefix-code regime: HashLike keys diverge in the first byte
+// (the prefix plane almost never ties), URLLike keys share an exact
+// 8-byte scheme prefix (every key maps to the same code — the
+// adversarial saturation case), and LogLines share a long common prefix
+// that still fits inside the 8-byte code window only partially.
+type ByteKind int
+
+const (
+	// HashLike emits hex digests: 32 lowercase hex characters drawn
+	// uniformly. Codes are effectively unique, so the prefix plane
+	// behaves like the bijective uint64 plane.
+	HashLike ByteKind = iota
+	// URLLike emits "https://" + host + path. The scheme is exactly 8
+	// bytes, so every key shares one prefix code and all ordering
+	// happens in the comparator tie-break — the worst case for the
+	// prefix plane and the natural ε-saturation input.
+	URLLike
+	// LogLines emits "2026-08-DD HH:MM:SS level msg" timestamped lines.
+	// The 8-byte code covers "2026-08-" plus nothing: all keys collide
+	// on the code, like URLLike, but with longer, more varied tails.
+	LogLines
+)
+
+// String returns the distribution name used in experiment output.
+func (k ByteKind) String() string {
+	switch k {
+	case HashLike:
+		return "hashlike"
+	case URLLike:
+		return "urllike"
+	case LogLines:
+		return "loglines"
+	default:
+		return "unknown"
+	}
+}
+
+// ByteSpec describes a distribution over byte-string keys, the []byte
+// counterpart of Spec. The same determinism contract holds: a shard
+// depends only on (perRank, rank, seed), never on the other shards.
+type ByteSpec struct {
+	// Kind selects the distribution shape.
+	Kind ByteKind
+	// Hosts is the number of distinct hosts for URLLike (default 64).
+	// Fewer hosts means heavier duplication of the bytes just past the
+	// shared scheme prefix.
+	Hosts int
+}
+
+// Shards builds all p shards: Shards(n, p, seed)[r] == Shard(n, r, p, seed).
+func (s ByteSpec) Shards(perRank, p int, seed uint64) [][][]byte {
+	out := make([][][]byte, p)
+	for r := range out {
+		out[r] = s.Shard(perRank, r, p, seed)
+	}
+	return out
+}
+
+// Shard generates rank r's perRank byte-string keys, deterministically
+// from the arguments alone.
+func (s ByteSpec) Shard(perRank, rank, p int, seed uint64) [][]byte {
+	rng := rand.New(rand.NewPCG(seed, uint64(rank)+0x9e3779b97f4a7c15))
+	keys := make([][]byte, perRank)
+	switch s.Kind {
+	case URLLike:
+		hosts := s.Hosts
+		if hosts <= 0 {
+			hosts = 64
+		}
+		for i := range keys {
+			keys[i] = urlKey(rng, hosts)
+		}
+	case LogLines:
+		for i := range keys {
+			keys[i] = logKey(rng)
+		}
+	default: // HashLike
+		for i := range keys {
+			keys[i] = hexKey(rng)
+		}
+	}
+	return keys
+}
+
+const hexDigits = "0123456789abcdef"
+
+// hexKey emits 32 uniform hex characters (a hash-digest lookalike).
+func hexKey(rng *rand.Rand) []byte {
+	k := make([]byte, 32)
+	for off := 0; off < len(k); off += 16 {
+		v := rng.Uint64()
+		for j := 0; j < 16; j++ {
+			k[off+j] = hexDigits[v&0xf]
+			v >>= 4
+		}
+	}
+	return k
+}
+
+// urlKey emits "https://hNN.example.com/<zipf-ish path>". The scheme is
+// exactly 8 bytes wide, so the prefix code is identical for every key.
+func urlKey(rng *rand.Rand, hosts int) []byte {
+	// Log-uniform host rank: low-numbered hosts recur far more often,
+	// mirroring real traffic skew (same idiom as Spec's Zipfian kind).
+	h := int(math.Exp(rng.Float64()*math.Log(float64(hosts)))) - 1
+	if h >= hosts {
+		h = hosts - 1
+	}
+	depth := 1 + rng.IntN(3)
+	key := fmt.Appendf(nil, "https://h%02d.example.com", h)
+	for d := 0; d < depth; d++ {
+		key = fmt.Appendf(key, "/p%04d", rng.IntN(10000))
+	}
+	return key
+}
+
+// logKey emits a timestamped log line; all lines share the 8-byte
+// "2026-08-" prefix, so every prefix code collides.
+func logKey(rng *rand.Rand) []byte {
+	levels := [...]string{"DEBUG", "INFO", "WARN", "ERROR"}
+	return fmt.Appendf(nil, "2026-08-%02d %02d:%02d:%02d %s worker=%d seq=%06d",
+		1+rng.IntN(28), rng.IntN(24), rng.IntN(60), rng.IntN(60),
+		levels[rng.IntN(len(levels))], rng.IntN(32), rng.IntN(1000000))
+}

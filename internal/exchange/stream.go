@@ -40,6 +40,11 @@ type StreamOptions struct {
 	// and merge one range per core (merge.ParMerge). Output is identical
 	// for any worker budget. nil runs everything serially.
 	Pool *par.Pool
+	// Tie marks the code extractor as a non-injective prefix (the byte-key
+	// plane): the merges then resolve equal-code matches with the
+	// comparator before the run-index tie-break. Requires code != nil;
+	// ignored on the comparator plane.
+	Tie bool
 }
 
 func (o StreamOptions) withDefaults() StreamOptions {
@@ -105,6 +110,7 @@ type chunk[K any] struct {
 type Scratch[K any] struct {
 	streamer      merge.Streamer[K]
 	streamerCoded bool // streamer was built with a code extractor
+	streamerTie   bool // streamer resolves code ties with the comparator
 	chunksTo      [][]chunk[K]
 	totalTo       []int64
 	outs          []outStream
@@ -113,11 +119,13 @@ type Scratch[K any] struct {
 
 // streamerFor returns the cached merge tree matching the requested
 // plane, reset and emptied of any references to a previous sort's data.
-func (sc *Scratch[K]) streamerFor(cmp func(K, K) int, code func(K) uint64) merge.Streamer[K] {
+func (sc *Scratch[K]) streamerFor(cmp func(K, K) int, code func(K) uint64, tie bool) merge.Streamer[K] {
 	coded := code != nil
-	if sc.streamer == nil || sc.streamerCoded != coded {
-		sc.streamer = merge.NewStreamer(cmp, code)
+	tie = tie && coded
+	if sc.streamer == nil || sc.streamerCoded != coded || sc.streamerTie != tie {
+		sc.streamer = merge.NewStreamerTie(cmp, code, tie)
 		sc.streamerCoded = coded
+		sc.streamerTie = tie
 	}
 	sc.streamer.Reset()
 	return sc.streamer
@@ -283,9 +291,9 @@ func ExchangeStream[K any](e comm.StreamEndpoint, tag comm.Tag, runs [][]K, owne
 	// data feeds its stream directly and closes it.
 	var lt merge.Streamer[K]
 	if sc != nil {
-		lt = sc.streamerFor(cmp, code)
+		lt = sc.streamerFor(cmp, code, opt.Tie)
 	} else {
-		lt = merge.NewStreamer(cmp, code)
+		lt = merge.NewStreamerTie(cmp, code, opt.Tie)
 	}
 	for r := 0; r < p; r++ {
 		lt.AddRun(nil)
@@ -428,9 +436,12 @@ func ExchangeStream[K any](e comm.StreamEndpoint, tag comm.Tag, runs [][]K, owne
 			// it one sub-range per core. Byte-identical to the bare
 			// merge loop below (see merge.ParMerge).
 			elems, cs := lt.Rest()
-			if cs != nil {
+			switch {
+			case cs != nil && opt.Tie:
+				out = merge.ParMergeCodedTie(out, elems, cs, cmp, opt.Pool)
+			case cs != nil:
 				out = merge.ParMergeCoded(out, elems, cs, opt.Pool)
-			} else {
+			default:
 				out = merge.ParMerge(out, elems, cmp, opt.Pool)
 			}
 			st.MergeTail += time.Since(t0)
@@ -527,13 +538,17 @@ func ExchangeMerge[K any](e comm.StreamEndpoint, tag comm.Tag, runs [][]K, owner
 		}
 		exchangeTime = time.Since(t0)
 		t1 := time.Now()
+		var tie func(K, K) int
+		if opt.Tie && code != nil {
+			tie = cmp
+		}
 		switch {
 		case opt.Pool.Workers() > 1 && code != nil:
-			out = merge.ParMergeByCode(nil, recv, code, opt.Pool)
+			out = merge.ParMergeByCodeTie(nil, recv, code, tie, opt.Pool)
 		case opt.Pool.Workers() > 1:
 			out = merge.ParMerge(nil, recv, cmp, opt.Pool)
 		case code != nil:
-			out = merge.KWayByCode(recv, code)
+			out = merge.KWayByCodeTie(recv, code, tie)
 		default:
 			out = merge.KWay(recv, cmp)
 		}

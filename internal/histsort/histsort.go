@@ -29,6 +29,12 @@ type Options[K any] struct {
 	// Unset leaves every phase on the comparator, Coder notwithstanding —
 	// the Coder alone only feeds probe synthesis.
 	Code func(K) uint64
+	// PrefixCode marks Code as a non-injective prefix extractor (see
+	// core.Options.PrefixCode). Probe refinement then bisects the code
+	// space directly — probes are code points, no Coder is needed (and
+	// Coder is ignored) — while the compute phases run code-keyed with a
+	// comparator tie-break. Requires Code.
+	PrefixCode bool
 	// Epsilon is the target load-imbalance threshold. Default 0.05.
 	Epsilon float64
 	// Buckets is the number of output ranges. Default: world size.
@@ -68,7 +74,10 @@ func (o Options[K]) withDefaults(p int) (Options[K], error) {
 	if o.Cmp == nil {
 		return o, fmt.Errorf("histsort: Options.Cmp is required")
 	}
-	if o.Coder == nil {
+	if o.PrefixCode && o.Code == nil {
+		return o, fmt.Errorf("histsort: PrefixCode requires Code")
+	}
+	if o.Coder == nil && !o.PrefixCode {
 		return o, fmt.Errorf("histsort: Options.Coder is required")
 	}
 	if o.Epsilon == 0 {
@@ -132,6 +141,9 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 	opt, err := opt.withDefaults(c.Size())
 	if err != nil {
 		return nil, core.Stats{}, err
+	}
+	if opt.PrefixCode {
+		return sortPrefix(c, local, opt)
 	}
 	base := opt.BaseTag
 	pool := par.New(opt.Workers)
@@ -228,6 +240,125 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 		return nil, stats, err
 	}
 	return out, stats, nil
+}
+
+// sortPrefix is the prefix plane (Options.PrefixCode): the local sort
+// radix-sorts the code decoration and repairs equal-code spans with the
+// comparator, and probe refinement bisects the code space directly —
+// every probe is a code point, so the protocol needs no key-space
+// Decode and the probe traffic stays fixed-size regardless of key
+// length. codes.Identity is the degenerate Coder that makes the root's
+// bisection arithmetic run on the codes themselves. Partition cuts run
+// on codes and the merges tie-break equal codes with the comparator
+// (see core.Options.PrefixCode). opt must already have defaults
+// applied.
+func sortPrefix[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, error) {
+	base := opt.BaseTag
+	pool := par.New(opt.Workers)
+	var stats core.Stats
+	stats.Buckets = opt.Buckets
+	stats.Workers = pool.Workers()
+
+	t0 := time.Now()
+	localCodes := codes.SortByCodePar(local, opt.Code, pool)
+	collisions := codes.TieBreakPar(localCodes, local, opt.Cmp, pool)
+	localSort := time.Since(t0)
+
+	nVec, err := collective.AllReduce(c, base+tagCount, []int64{int64(len(local))}, collective.SumInt64)
+	if err != nil {
+		return nil, stats, err
+	}
+	n := nVec[0]
+	stats.N = n
+
+	bytes0 := c.Counters().BytesSent
+	t1 := time.Now()
+	var spCodes []codes.Code
+	if opt.Splitters != nil {
+		spCodes = codes.Extract(opt.Splitters, opt.Code)
+		exchange.ValidateSplitters(spCodes, codes.Compare)
+	} else {
+		var rounds int
+		var totalProbes int64
+		spCodes, rounds, totalProbes, err = DetermineSplitters(c, localCodes, n, prefixDetOptions(opt))
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.Rounds = rounds
+		stats.TotalSample = totalProbes
+	}
+	splitterTime := time.Since(t1)
+	splitterBytes := c.Counters().BytesSent - bytes0
+
+	t2 := time.Now()
+	runs := exchange.PartitionByCodePar(local, localCodes, spCodes, pool)
+	partitionTime := time.Since(t2)
+	if opt.Splitters != nil && opt.StaleBound > 0 {
+		t3 := time.Now()
+		imb, _, err := exchange.RunsImbalance(c, base+tagStale, runs)
+		if err != nil {
+			return nil, stats, err
+		}
+		if imb > opt.StaleBound {
+			stats.Replanned = true
+			var rounds int
+			var totalProbes int64
+			spCodes, rounds, totalProbes, err = DetermineSplitters(c, localCodes, n, prefixDetOptions(opt))
+			if err != nil {
+				return nil, stats, err
+			}
+			stats.Rounds = rounds
+			stats.TotalSample = totalProbes
+			runs = exchange.PartitionByCodePar(local, localCodes, spCodes, pool)
+		}
+		splitterTime += time.Since(t3)
+		splitterBytes = c.Counters().BytesSent - bytes0
+	}
+	bytes1 := c.Counters().BytesSent
+	out, exchangeTime, mergeTime, sst, err := exchange.ExchangeMerge(
+		c, base+tagExchange, runs, opt.Owner, opt.Cmp, opt.Code,
+		exchange.StreamOptions{ChunkKeys: opt.ChunkKeys, Pool: pool, Tie: true}, opt.Scratch)
+	if err != nil {
+		return nil, stats, err
+	}
+	exchangeBytes := c.Counters().BytesSent - bytes1
+	stats.LocalCount = len(out)
+
+	pc := pool.Counters()
+	if err := core.FinishStats(c, base+tagStats, &stats, core.PhaseTimes{
+		SplitterBytes:    splitterBytes,
+		ExchangeBytes:    exchangeBytes,
+		LocalSort:        localSort,
+		Splitter:         splitterTime,
+		Exchange:         partitionTime + exchangeTime,
+		Merge:            mergeTime,
+		Overlap:          sst.Overlap,
+		PeakInFlight:     sst.PeakInFlight,
+		OutCount:         len(out),
+		ParSpawned:       pc.Spawned,
+		ParTasks:         pc.Tasks,
+		PrefixCollisions: collisions,
+	}); err != nil {
+		return nil, stats, err
+	}
+	return out, stats, nil
+}
+
+// prefixDetOptions projects prefix-plane options onto code space for
+// probe refinement: the root bisects code intervals whose probes ARE the
+// codes (codes.Identity), and every rank answers rank queries over its
+// sorted code decoration under raw integer comparison.
+func prefixDetOptions[K any](o Options[K]) Options[codes.Code] {
+	return Options[codes.Code]{
+		Cmp:               codes.Compare,
+		Coder:             codes.Identity{},
+		Code:              codes.ExtractCode,
+		Epsilon:           o.Epsilon,
+		Buckets:           o.Buckets,
+		ProbesPerSplitter: o.ProbesPerSplitter,
+		MaxRounds:         o.MaxRounds,
+		BaseTag:           o.BaseTag,
+	}
 }
 
 // DetermineSplitters runs the probe-refinement loop of §2.3 over

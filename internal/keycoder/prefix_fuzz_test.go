@@ -1,0 +1,122 @@
+package keycoder
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The prefix plane's correctness rests on two properties of the 8-byte
+// extraction: order preservation (never inverts bytes.Compare) and an
+// exact collision characterization (codes tie exactly when the padded
+// 8-byte prefixes tie — the condition under which the downstream
+// comparator tie-break must fire). The fuzz targets drive both with
+// coverage-guided byte pairs seeded at the treacherous corners: shared
+// prefixes, strict-prefix pairs, keys straddling the 8-byte boundary,
+// empty keys, and high-bit bytes (signedness traps).
+
+var prefixSeeds = [][]byte{
+	nil,
+	{},
+	{0},
+	{0, 0},
+	{0xff},
+	{0x7f, 0xff},
+	{0x80},
+	[]byte("a"),
+	[]byte("abcdefg"),
+	[]byte("abcdefgh"),
+	[]byte("abcdefghi"),
+	[]byte("abcdefgi"),
+	[]byte("https://"),
+	[]byte("https://a.example/x"),
+	[]byte("https://b.example/x"),
+	{1, 2, 3, 4, 5, 6, 7, 8, 0},
+	{1, 2, 3, 4, 5, 6, 7, 8, 255},
+}
+
+// FuzzPrefixCoder: the extraction must be order-preserving for
+// bytes.Compare and must tie exactly on equal padded 8-byte prefixes.
+func FuzzPrefixCoder(f *testing.F) {
+	for _, a := range prefixSeeds {
+		for _, b := range prefixSeeds {
+			f.Add(a, b)
+		}
+	}
+	var p Prefix
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		ca, cb := p.Code(a), p.Code(b)
+		switch bytes.Compare(a, b) {
+		case -1:
+			if ca > cb {
+				t.Fatalf("order inverted: %q < %q but %#x > %#x", a, b, ca, cb)
+			}
+		case 1:
+			if ca < cb {
+				t.Fatalf("order inverted: %q > %q but %#x < %#x", a, b, ca, cb)
+			}
+		default:
+			if ca != cb {
+				t.Fatalf("equal keys, different codes: %q -> %#x vs %#x", a, ca, cb)
+			}
+		}
+		// Collision characterization: codes tie ⇔ the zero-padded 8-byte
+		// prefixes tie.
+		pa, pb := pad8(a), pad8(b)
+		if (ca == cb) != bytes.Equal(pa, pb) {
+			t.Fatalf("collision mismatch: %q vs %q codes %#x/%#x prefixes %x/%x",
+				a, b, ca, cb, pa, pb)
+		}
+		// Representative round trip: re-extracting the canonical 8-byte
+		// representative recovers the code exactly.
+		if got := p.Code(PrefixBytes(ca)); got != ca {
+			t.Fatalf("PrefixBytes(%#x) re-extracts to %#x", ca, got)
+		}
+	})
+}
+
+// FuzzPrefixTieBreakOrder: the composite order every prefix-plane
+// pipeline realizes — code first, comparator on code ties — must agree
+// with bytes.Compare as a total preorder.
+func FuzzPrefixTieBreakOrder(f *testing.F) {
+	for _, a := range prefixSeeds {
+		for _, b := range prefixSeeds {
+			f.Add(a, b)
+		}
+	}
+	var p Prefix
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		composite := 0
+		switch ca, cb := p.Code(a), p.Code(b); {
+		case ca < cb:
+			composite = -1
+		case ca > cb:
+			composite = 1
+		default:
+			composite = bytes.Compare(a, b)
+		}
+		if want := bytes.Compare(a, b); composite != want {
+			t.Fatalf("composite order disagrees with bytes.Compare for %q vs %q: got %d want %d",
+				a, b, composite, want)
+		}
+	})
+}
+
+// pad8 is the reference model of the extraction: the first 8 bytes,
+// zero-padded.
+func pad8(k []byte) []byte {
+	out := make([]byte, 8)
+	copy(out, k)
+	return out
+}
+
+// TestPrefixBytesCanonical pins the representative layout: big-endian,
+// exactly eight bytes.
+func TestPrefixBytesCanonical(t *testing.T) {
+	k := PrefixBytes(0x0102030405060708)
+	if !bytes.Equal(k, []byte{1, 2, 3, 4, 5, 6, 7, 8}) {
+		t.Fatalf("PrefixBytes layout: got %x", k)
+	}
+	if got := (Prefix{}).Code([]byte("https://")); got != 0x68747470733a2f2f {
+		t.Fatalf("Code(\"https://\") = %#x", got)
+	}
+}

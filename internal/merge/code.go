@@ -36,12 +36,28 @@ type CodeTree[E any] struct {
 	k       int   // leaf count (power-of-two padded)
 	n       int   // real run count
 	dirty   bool  // a head changed outside Next: rebuild before next emit
+	// tie, when non-nil, resolves equal-code matches with the element
+	// comparator before the run-index tie-break — the prefix plane's
+	// collision repair. Nil on the bijective and record planes, where
+	// equal codes imply cmp-equal elements.
+	tie func(E, E) int
 }
 
 // NewCodeTree creates an empty code-keyed tree that admits runs via
 // AddRun.
 func NewCodeTree[E any]() *CodeTree[E] {
 	return &CodeTree[E]{k: 2, tree: make([]int, 2), dirty: true}
+}
+
+// NewCodeTreeTie creates a CodeTree for the prefix plane: matches whose
+// codes collide are resolved by tie (then by run index). The runs must
+// be fully tie-ordered themselves (code-sorted, comparator-sorted
+// within equal-code spans) for the merge to emit total comparator
+// order.
+func NewCodeTreeTie[E any](tie func(E, E) int) *CodeTree[E] {
+	t := NewCodeTree[E]()
+	t.tie = tie
+	return t
 }
 
 // Reset empties the tree for reuse, dropping all references to run data
@@ -212,6 +228,11 @@ func (t *CodeTree[E]) less(a, b int) bool {
 	if ca != cb {
 		return ca < cb
 	}
+	if t.tie != nil {
+		if c := t.tie(t.elems[a][t.pos[a]], t.elems[b][t.pos[b]]); c != 0 {
+			return c < 0
+		}
+	}
 	return a < b
 }
 
@@ -283,6 +304,14 @@ func (t *CodeTree[E]) Next() (e E, ok bool) {
 // extracted once (zero-copy when the elements already are codes) and the
 // merge itself is raw uint64 compares.
 func KWayByCode[K any](runs [][]K, code func(K) uint64) []K {
+	return KWayByCodeTie(runs, code, nil)
+}
+
+// KWayByCodeTie is KWayByCode for the prefix plane: tie, when non-nil,
+// resolves equal-code matches with the comparator before the run-index
+// tie-break. Each run must itself be tie-ordered (code-sorted,
+// comparator-sorted within equal-code spans).
+func KWayByCodeTie[K any](runs [][]K, code func(K) uint64, tie func(K, K) int) []K {
 	nonEmpty, total, last := 0, 0, -1
 	for i, r := range runs {
 		total += len(r)
@@ -300,6 +329,7 @@ func KWayByCode[K any](runs [][]K, code func(K) uint64) []K {
 		return out
 	}
 	t := NewCodeTree[K]()
+	t.tie = tie
 	for _, r := range runs {
 		i := t.AddRun(codes.Extract(r, code), r)
 		t.CloseRun(i)

@@ -183,6 +183,15 @@ func ParMerge[K any](dst []K, runs [][]K, cmp func(K, K) int, p *par.Pool) []K {
 // streaming drain feeds from Rest. Output is byte-identical to the
 // serial CodeTree merge for any worker count.
 func ParMergeCoded[E any](dst []E, elemRuns [][]E, codeRuns [][]codes.Code, p *par.Pool) []E {
+	return ParMergeCodedTie(dst, elemRuns, codeRuns, nil, p)
+}
+
+// ParMergeCodedTie is ParMergeCoded for the prefix plane: tie, when
+// non-nil, resolves equal-code matches with the comparator. The
+// sub-splitter cuts are lower bounds on codes, so an equal-code group
+// never splits across parts and the per-part tie merges concatenate
+// into the serial tie-merge order.
+func ParMergeCodedTie[E any](dst []E, elemRuns [][]E, codeRuns [][]codes.Code, tie func(E, E) int, p *par.Pool) []E {
 	total := 0
 	for _, r := range codeRuns {
 		total += len(r)
@@ -194,7 +203,7 @@ func ParMergeCoded[E any](dst []E, elemRuns [][]E, codeRuns [][]codes.Code, p *p
 	base := len(dst)
 	dst = slices.Grow(dst, total)[:base+total]
 	if parts == 1 {
-		kwayCodedInto(dst[base:], elemRuns, codeRuns)
+		kwayCodedInto(dst[base:], elemRuns, codeRuns, tie)
 		return dst
 	}
 	cuts := SplitRuns(codeRuns, parts)
@@ -206,7 +215,7 @@ func ParMergeCoded[E any](dst []E, elemRuns [][]E, codeRuns [][]codes.Code, p *p
 			subC[r] = codeRuns[r][cuts[r][pt]:cuts[r][pt+1]]
 			subE[r] = elemRuns[r][cuts[r][pt]:cuts[r][pt+1]]
 		}
-		kwayCodedInto(dst[base+offs[pt]:base+offs[pt+1]], subE, subC)
+		kwayCodedInto(dst[base+offs[pt]:base+offs[pt+1]], subE, subC, tie)
 	})
 	return dst
 }
@@ -216,11 +225,17 @@ func ParMergeCoded[E any](dst []E, elemRuns [][]E, codeRuns [][]codes.Code, p *p
 // included. Output is byte-identical to the serial merge for any worker
 // count.
 func ParMergeByCode[K any](dst []K, runs [][]K, code func(K) uint64, p *par.Pool) []K {
+	return ParMergeByCodeTie(dst, runs, code, nil, p)
+}
+
+// ParMergeByCodeTie is ParMergeByCode for the prefix plane (see
+// ParMergeCodedTie).
+func ParMergeByCodeTie[K any](dst []K, runs [][]K, code func(K) uint64, tie func(K, K) int, p *par.Pool) []K {
 	codeRuns := make([][]codes.Code, len(runs))
 	p.Do(len(runs), func(r int) {
 		codeRuns[r] = codes.Extract(runs[r], code)
 	})
-	return ParMergeCoded(dst, runs, codeRuns, p)
+	return ParMergeCodedTie(dst, runs, codeRuns, tie, p)
 }
 
 // partOffsets sums per-part sizes across runs into part start offsets.
@@ -259,8 +274,10 @@ func kwayInto[K any](out []K, runs [][]K, cmp func(K, K) int) {
 }
 
 // kwayCodedInto merges element runs ordered by their parallel code runs
-// into out, which must have exactly the runs' total length.
-func kwayCodedInto[E any](out []E, elemRuns [][]E, codeRuns [][]codes.Code) {
+// into out, which must have exactly the runs' total length. The
+// single-run short-circuit is tie-safe: each run is already fully
+// tie-ordered.
+func kwayCodedInto[E any](out []E, elemRuns [][]E, codeRuns [][]codes.Code, tie func(E, E) int) {
 	nonEmpty, last := 0, -1
 	for i, r := range codeRuns {
 		if len(r) > 0 {
@@ -275,6 +292,7 @@ func kwayCodedInto[E any](out []E, elemRuns [][]E, codeRuns [][]codes.Code) {
 		return
 	}
 	t := NewCodeTree[E]()
+	t.tie = tie
 	for r := range codeRuns {
 		i := t.AddRun(codeRuns[r], elemRuns[r])
 		t.CloseRun(i)

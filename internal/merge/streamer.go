@@ -53,6 +53,19 @@ func NewStreamer[K any](cmp func(K, K) int, code func(K) uint64) Streamer[K] {
 	return NewStreaming(cmp)
 }
 
+// NewStreamerTie is NewStreamer for the prefix plane: when tie is set
+// (and a code extractor is in play) the CodeTree resolves equal-code
+// matches with cmp before the run-index tie-break, so prefix collisions
+// across runs merge in comparator order. Appended chunks must be
+// tie-ordered themselves (code-sorted, cmp-sorted within equal-code
+// spans).
+func NewStreamerTie[K any](cmp func(K, K) int, code func(K) uint64, tie bool) Streamer[K] {
+	if !tie || code == nil {
+		return NewStreamer(cmp, code)
+	}
+	return &codedStreamer[K]{t: NewCodeTreeTie[K](cmp), code: code}
+}
+
 // pureCodeStreamer adapts CodeTree to Streamer[codes.Code]: the key
 // slices are their own code slices.
 type pureCodeStreamer struct {

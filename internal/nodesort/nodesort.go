@@ -24,6 +24,12 @@ type Options[K any] struct {
 	// leaders' combine and node-level merges) then run on the
 	// comparator-free code plane (see core.Options.Code).
 	Code func(K) uint64
+	// PrefixCode marks Code as a non-injective prefix extractor (see
+	// core.Options.PrefixCode): local sorts repair equal-code spans with
+	// the comparator, node-level splitter determination runs in code
+	// space, and the leaders' combine and node-level merges tie-break
+	// equal codes. Requires Code.
+	PrefixCode bool
 	// CoresPerNode is the node width c; the world size must be a
 	// multiple of c.
 	CoresPerNode int
@@ -62,6 +68,9 @@ type Options[K any] struct {
 func (o Options[K]) withDefaults(p int) (Options[K], error) {
 	if o.Cmp == nil {
 		return o, fmt.Errorf("nodesort: Options.Cmp is required")
+	}
+	if o.PrefixCode && o.Code == nil {
+		return o, fmt.Errorf("nodesort: PrefixCode requires Code")
 	}
 	if o.CoresPerNode < 1 {
 		return o, fmt.Errorf("nodesort: CoresPerNode %d < 1", o.CoresPerNode)
@@ -126,8 +135,14 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 
 	t0 := time.Now()
 	var localCodes []codes.Code
+	var collisions int64
 	if opt.Code != nil {
 		localCodes = codes.SortByCodePar(local, opt.Code, pool)
+		if opt.PrefixCode {
+			// Prefix plane: restore comparator order within equal-code
+			// spans (see core.Options.PrefixCode).
+			collisions = codes.TieBreakPar(localCodes, local, opt.Cmp, pool)
+		}
 	} else {
 		slices.SortFunc(local, opt.Cmp)
 	}
@@ -158,13 +173,42 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 			BaseTag:          base + tagSplitter,
 		})
 	}
+	// On the prefix plane determination runs in code space over the
+	// sorted code decoration — node-level splitter traffic stays
+	// fixed-size code points regardless of key length — and partition
+	// consumes the splitter codes directly.
+	determineCodes := func() ([]codes.Code, core.SplitterInfo, error) {
+		return core.DetermineSplitters(c, localCodes, stats.N, core.Options[codes.Code]{
+			Cmp:              codes.Compare,
+			Code:             codes.ExtractCode,
+			Epsilon:          opt.Epsilon,
+			Buckets:          nodes,
+			Schedule:         opt.Schedule,
+			Seed:             opt.Seed,
+			OversampleFactor: opt.OversampleFactor,
+			BaseTag:          base + tagSplitter,
+		})
+	}
 	bytes0 := c.Counters().BytesSent
 	t1 := time.Now()
 	splitters := opt.Splitters
-	if splitters != nil {
+	var spCodes []codes.Code
+	var info core.SplitterInfo
+	switch {
+	case opt.PrefixCode && splitters != nil:
+		spCodes = codes.Extract(splitters, opt.Code)
+		exchange.ValidateSplitters(spCodes, codes.Compare)
+	case opt.PrefixCode:
+		spCodes, info, err = determineCodes()
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.Rounds = info.Rounds
+		stats.SamplePerRound = info.SamplePerRound
+		stats.TotalSample = info.TotalSample
+	case splitters != nil:
 		exchange.ValidateSplitters(splitters, opt.Cmp)
-	} else {
-		var info core.SplitterInfo
+	default:
 		splitters, info, err = determine()
 		if err != nil {
 			return nil, stats, err
@@ -189,13 +233,16 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 	// Message combining (§6.1): every core hands its n partitioned runs
 	// to the node leader by reference (shared memory), so the network
 	// sees nothing yet.
-	partition := func(sp []K) [][]K {
+	partition := func(sp []K, spc []codes.Code) [][]K {
+		if opt.PrefixCode {
+			return exchange.PartitionByCodePar(local, localCodes, spc, pool)
+		}
 		if localCodes != nil {
 			return exchange.PartitionByCodePar(local, localCodes, codes.Extract(sp, opt.Code), pool)
 		}
 		return exchange.PartitionPar(local, sp, opt.Cmp, pool)
 	}
-	runs := partition(splitters)
+	runs := partition(splitters, spCodes)
 
 	// Staleness guard for injected node-level splitters: all p ranks
 	// all-reduce the node-bucket loads; a stale plan re-histograms. The
@@ -208,14 +255,19 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 		}
 		if imb > opt.StaleBound {
 			stats.Replanned = true
-			fresh, info, err := determine()
+			var info core.SplitterInfo
+			if opt.PrefixCode {
+				spCodes, info, err = determineCodes()
+			} else {
+				splitters, info, err = determine()
+			}
 			if err != nil {
 				return nil, stats, err
 			}
 			stats.Rounds = info.Rounds
 			stats.SamplePerRound = info.SamplePerRound
 			stats.TotalSample = info.TotalSample
-			runs = partition(fresh)
+			runs = partition(splitters, spCodes)
 		}
 		splitterTime += time.Since(t1g)
 		splitterBytes = c.Counters().BytesSent - bytes0
@@ -236,6 +288,12 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 	var nodeMergeTime time.Duration
 	var sst exchange.StreamStats
 	if isLeader {
+		// Prefix plane: the combine and node-level merges resolve
+		// equal-code matches with the comparator.
+		var tie func(K, K) int
+		if opt.PrefixCode {
+			tie = opt.Cmp
+		}
 		combined := make([][]K, nodes)
 		for dst := 0; dst < nodes; dst++ {
 			perCore := make([][]K, 0, cores)
@@ -243,9 +301,9 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 				perCore = append(perCore, coreRuns[dst])
 			}
 			if opt.Code != nil && pool.Workers() > 1 {
-				combined[dst] = merge.ParMergeByCode(nil, perCore, opt.Code, pool)
+				combined[dst] = merge.ParMergeByCodeTie(nil, perCore, opt.Code, tie, pool)
 			} else if opt.Code != nil {
-				combined[dst] = merge.KWayByCode(perCore, opt.Code)
+				combined[dst] = merge.KWayByCodeTie(perCore, opt.Code, tie)
 			} else if pool.Workers() > 1 {
 				combined[dst] = merge.ParMerge(nil, perCore, opt.Cmp, pool)
 			} else {
@@ -262,7 +320,7 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 		}
 		nodeData, _, nodeMergeTime, sst, err = exchange.ExchangeMerge(
 			leaderGroup, base+tagNodeEx, combined, exchange.ContiguousOwner(nodes, nodes), opt.Cmp, opt.Code,
-			exchange.StreamOptions{ChunkKeys: opt.ChunkKeys, Pool: pool}, opt.Scratch)
+			exchange.StreamOptions{ChunkKeys: opt.ChunkKeys, Pool: pool, Tie: opt.PrefixCode}, opt.Scratch)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -292,17 +350,18 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 
 	pc := pool.Counters()
 	if err := core.FinishStats(c, base+tagStats, &stats, core.PhaseTimes{
-		SplitterBytes: splitterBytes,
-		ExchangeBytes: exchangeBytes,
-		LocalSort:     localSort,
-		Splitter:      splitterTime,
-		Exchange:      exchangeTime,
-		Merge:         mergeTime,
-		Overlap:       sst.Overlap,
-		PeakInFlight:  sst.PeakInFlight,
-		OutCount:      len(out),
-		ParSpawned:    pc.Spawned,
-		ParTasks:      pc.Tasks,
+		SplitterBytes:    splitterBytes,
+		ExchangeBytes:    exchangeBytes,
+		LocalSort:        localSort,
+		Splitter:         splitterTime,
+		Exchange:         exchangeTime,
+		Merge:            mergeTime,
+		Overlap:          sst.Overlap,
+		PeakInFlight:     sst.PeakInFlight,
+		OutCount:         len(out),
+		ParSpawned:       pc.Spawned,
+		ParTasks:         pc.Tasks,
+		PrefixCollisions: collisions,
 	}); err != nil {
 		return nil, stats, err
 	}

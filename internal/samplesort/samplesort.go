@@ -47,6 +47,12 @@ type Options[K any] struct {
 	// Cmp; the compute hot paths (local sort, partition cuts, merges)
 	// then run on the comparator-free code plane (see core.Options.Code).
 	Code func(K) uint64
+	// PrefixCode marks Code as a non-injective prefix extractor (see
+	// core.Options.PrefixCode): the pipeline runs code-keyed with a
+	// comparator tie-break after the local sort and inside the merges,
+	// and the sampling phase gathers fixed-size code points instead of
+	// keys. Requires Code.
+	PrefixCode bool
 	// Epsilon is the target load-imbalance threshold. Default 0.05.
 	Epsilon float64
 	// Buckets is the number of output ranges. Default: world size.
@@ -90,6 +96,9 @@ type Options[K any] struct {
 func (o Options[K]) withDefaults(p int, n int64) (Options[K], error) {
 	if o.Cmp == nil {
 		return o, fmt.Errorf("samplesort: Options.Cmp is required")
+	}
+	if o.PrefixCode && o.Code == nil {
+		return o, fmt.Errorf("samplesort: PrefixCode requires Code")
 	}
 	if o.Epsilon == 0 {
 		o.Epsilon = 0.05
@@ -155,6 +164,12 @@ const (
 // globally sorted partition. Every rank must call Sort with the same
 // Options. The input slice is consumed.
 func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, error) {
+	if opt.PrefixCode {
+		if opt.Code == nil {
+			return nil, core.Stats{}, fmt.Errorf("samplesort: PrefixCode requires Code")
+		}
+		return sortPrefix(c, local, opt)
+	}
 	var stats core.Stats
 	pool := par.New(opt.Workers)
 	stats.Workers = pool.Workers()
@@ -259,6 +274,132 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 		return nil, stats, err
 	}
 	return out, stats, nil
+}
+
+// sortPrefix is the prefix plane (Options.PrefixCode): the local sort
+// radix-sorts the code decoration and repairs equal-code spans with the
+// comparator, the sampling phase runs entirely over the sorted code
+// decoration (gathered samples are fixed-size code points regardless of
+// key length), partition cuts run on codes, and the merges tie-break
+// equal codes with the comparator (see core.Options.PrefixCode).
+func sortPrefix[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, error) {
+	var stats core.Stats
+	pool := par.New(opt.Workers)
+	stats.Workers = pool.Workers()
+
+	t0 := time.Now()
+	localCodes := codes.SortByCodePar(local, opt.Code, pool)
+	collisions := codes.TieBreakPar(localCodes, local, opt.Cmp, pool)
+	localSort := time.Since(t0)
+
+	if opt.BaseTag == 0 {
+		opt.BaseTag = 2000
+	}
+	nVec, err := collective.AllReduce(c, opt.BaseTag+tagCount, []int64{int64(len(local))}, collective.SumInt64)
+	if err != nil {
+		return nil, stats, err
+	}
+	n := nVec[0]
+	opt, err = opt.withDefaults(c.Size(), n)
+	if err != nil {
+		return nil, stats, err
+	}
+	base := opt.BaseTag
+	stats.N = n
+	stats.Buckets = opt.Buckets
+
+	// Phase 2: sampling + splitter selection in code space. Injected
+	// splitters are projected to their codes (exact: a splitter's code
+	// is a pure function of the key).
+	bytes0 := c.Counters().BytesSent
+	t1 := time.Now()
+	var spCodes []codes.Code
+	if opt.Splitters != nil {
+		spCodes = codes.Extract(opt.Splitters, opt.Code)
+		exchange.ValidateSplitters(spCodes, codes.Compare)
+	} else {
+		var sampleSize int64
+		spCodes, sampleSize, err = DetermineSplitters(c, localCodes, n, prefixDetOptions(opt))
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.Rounds = 1
+		stats.SamplePerRound = []int64{sampleSize}
+		stats.TotalSample = sampleSize
+	}
+	splitterTime := time.Since(t1)
+	splitterBytes := c.Counters().BytesSent - bytes0
+
+	t2 := time.Now()
+	runs := exchange.PartitionByCodePar(local, localCodes, spCodes, pool)
+	partitionTime := time.Since(t2)
+	if opt.Splitters != nil && opt.StaleBound > 0 {
+		t3 := time.Now()
+		imb, _, err := exchange.RunsImbalance(c, base+tagStale, runs)
+		if err != nil {
+			return nil, stats, err
+		}
+		if imb > opt.StaleBound {
+			stats.Replanned = true
+			var sampleSize int64
+			spCodes, sampleSize, err = DetermineSplitters(c, localCodes, n, prefixDetOptions(opt))
+			if err != nil {
+				return nil, stats, err
+			}
+			stats.Rounds = 1
+			stats.SamplePerRound = []int64{sampleSize}
+			stats.TotalSample = sampleSize
+			runs = exchange.PartitionByCodePar(local, localCodes, spCodes, pool)
+		}
+		splitterTime += time.Since(t3)
+		splitterBytes = c.Counters().BytesSent - bytes0
+	}
+
+	bytes1 := c.Counters().BytesSent
+	out, exchangeTime, mergeTime, sst, err := exchange.ExchangeMerge(
+		c, base+tagExchange, runs, opt.Owner, opt.Cmp, opt.Code,
+		exchange.StreamOptions{ChunkKeys: opt.ChunkKeys, Pool: pool, Tie: true}, opt.Scratch)
+	if err != nil {
+		return nil, stats, err
+	}
+	exchangeBytes := c.Counters().BytesSent - bytes1
+	stats.LocalCount = len(out)
+
+	pc := pool.Counters()
+	if err := core.FinishStats(c, base+tagStats, &stats, core.PhaseTimes{
+		SplitterBytes:    splitterBytes,
+		ExchangeBytes:    exchangeBytes,
+		LocalSort:        localSort,
+		Splitter:         splitterTime,
+		Exchange:         partitionTime + exchangeTime,
+		Merge:            mergeTime,
+		Overlap:          sst.Overlap,
+		PeakInFlight:     sst.PeakInFlight,
+		OutCount:         len(out),
+		ParSpawned:       pc.Spawned,
+		ParTasks:         pc.Tasks,
+		PrefixCollisions: collisions,
+	}); err != nil {
+		return nil, stats, err
+	}
+	return out, stats, nil
+}
+
+// prefixDetOptions projects prefix-plane options onto code space for the
+// sampling phase: draws, the root's sample merge and splitter selection
+// all run over sorted code decorations under raw integer comparison.
+func prefixDetOptions[K any](o Options[K]) Options[codes.Code] {
+	return Options[codes.Code]{
+		Cmp:           codes.Compare,
+		Code:          codes.ExtractCode,
+		Epsilon:       o.Epsilon,
+		Buckets:       o.Buckets,
+		Method:        o.Method,
+		Oversample:    o.Oversample,
+		MaxOversample: o.MaxOversample,
+		Seed:          o.Seed,
+		BaseTag:       o.BaseTag,
+	}
 }
 
 // DetermineSplitters runs the sampling phase (§2.2 steps 1-2): every rank

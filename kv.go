@@ -60,7 +60,7 @@ func NewKV[K cmp.Ordered, V any](cfg Config) (*KVSorter[K, V], error) {
 	// above; clear it so the inner constructor does not retry the
 	// resolution against the record type.
 	cfg.Coder = nil
-	s, err := newSorter(cfg, CompareKV[K, V], nil, code, isNaN)
+	s, err := newSorter(cfg, CompareKV[K, V], nil, code, isNaN, false)
 	if err != nil {
 		return nil, err
 	}

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# bench.sh — run the headline benchmark set and emit the perf-trajectory
-# artifacts (BENCH_PR6.txt, benchstat-compatible raw output, and
-# BENCH_PR6.json). Thin wrapper over `go run ./cmd/bench`; all flags pass
-# through, e.g.:
+# bench.sh — run the headline benchmark set (byte-key prefix-plane
+# comparison included) and emit the perf-trajectory artifacts
+# (BENCH_PR7.txt, benchstat-compatible raw output, and BENCH_PR7.json).
+# Thin wrapper over `go run ./cmd/bench`; all flags pass through, e.g.:
 #
 #   scripts/bench.sh                       # full set
 #   scripts/bench.sh -benchtime 1x         # smoke (what CI runs)

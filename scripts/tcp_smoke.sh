@@ -5,28 +5,36 @@
 # the in-process sim oracle. This is the CI gate for the tcp backend's
 # end-to-end correctness (wire codec, bootstrap, exchange, merge).
 #
+# Runs twice: once on int64 keys (fixed-size wire records) and once on
+# variable-length byte-string keys (the hsswire/2 varlen codec and the
+# prefix-code plane).
+#
 # Usage: scripts/tcp_smoke.sh [keys-per-rank]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 N="${1:-50000}"
 PROCS=4
-WORKLOAD=(-n "$N" -dist powerskew -stream -eps 0.05 -seed 7 -digest)
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
 go build -o "$tmp/hssort" ./cmd/hssort
 
-"$tmp/hssort" -p "$PROCS" "${WORKLOAD[@]}" | grep '^digest' | sort > "$tmp/sim.digests"
-
 # The launcher reserves the coordinator port before rank 0 rebinds it; a
 # stray localhost process can lose that race, so retry once.
 run_tcp() {
-  "$tmp/hssort" -transport tcp -launch "local:$PROCS" "${WORKLOAD[@]}" \
+  "$tmp/hssort" -transport tcp -launch "local:$PROCS" "$@" \
     | sed -n 's/^\[rank [0-9]*\] \(digest .*\)/\1/p' | sort > "$tmp/tcp.digests"
 }
-run_tcp || { echo "retrying after bootstrap race" >&2; run_tcp; }
 
-diff -u "$tmp/sim.digests" "$tmp/tcp.digests"
-echo "tcp == sim: rank-identical output across $PROCS worker processes ($N keys/rank)"
+check() {
+  local label="$1"; shift
+  "$tmp/hssort" -p "$PROCS" "$@" | grep '^digest' | sort > "$tmp/sim.digests"
+  run_tcp "$@" || { echo "retrying after bootstrap race" >&2; run_tcp "$@"; }
+  diff -u "$tmp/sim.digests" "$tmp/tcp.digests"
+  echo "tcp == sim ($label): rank-identical output across $PROCS worker processes"
+}
+
+check "int64/powerskew, $N keys/rank" -n "$N" -dist powerskew -stream -eps 0.05 -seed 7 -digest
+check "bytes/urllike, $((N / 5)) keys/rank" -n "$((N / 5))" -keys bytes -dist urllike -stream -eps 0.05 -seed 7 -digest

@@ -47,7 +47,8 @@ type Sorter[K any] struct {
 	cfg     Config
 	compare func(K, K) int
 	coder   keycoder.Coder[K]
-	code    func(K) uint64 // decorated-plane extractor (records)
+	code    func(K) uint64 // decorated-plane extractor (records) or prefix extractor
+	prefix  bool           // code is a non-injective prefix extractor (NewBytes)
 	isNaN   func(K) bool   // non-nil only for float keys with a coder
 	pool    *comm.Pool
 	scratch []*rankScratch[K]
@@ -76,7 +77,7 @@ func New[K cmp.Ordered](cfg Config) (*Sorter[K], error) {
 	case float64, float32:
 		isNaN = func(k K) bool { return k != k }
 	}
-	return newSorter(cfg, cmp.Compare[K], coderFor[K](), nil, isNaN)
+	return newSorter(cfg, cmp.Compare[K], coderFor[K](), nil, isNaN, false)
 }
 
 // NewFunc creates a Sorter with an explicit comparator, for key types
@@ -87,12 +88,15 @@ func NewFunc[K any](cfg Config, compare func(K, K) int) (*Sorter[K], error) {
 	if compare == nil {
 		return nil, fmt.Errorf("hssort: comparator is required")
 	}
-	return newSorter[K](cfg, compare, nil, nil, nil)
+	return newSorter[K](cfg, compare, nil, nil, nil, false)
 }
 
 // newSorter is the shared constructor: resolve the coder, validate the
-// configuration once, build the transport and the worker pool.
-func newSorter[K any](cfg Config, compare func(K, K) int, builtin keycoder.Coder[K], code func(K) uint64, isNaN func(K) bool) (*Sorter[K], error) {
+// configuration once, build the transport and the worker pool. prefix
+// marks code as a non-injective prefix extractor (the NewBytes plane);
+// it changes which algorithms are admissible and puts the prefix
+// tie-break pipelines in play.
+func newSorter[K any](cfg Config, compare func(K, K) int, builtin keycoder.Coder[K], code func(K) uint64, isNaN func(K) bool, prefix bool) (*Sorter[K], error) {
 	if cfg.Procs < 1 {
 		return nil, fmt.Errorf("hssort: at least one shard is required")
 	}
@@ -123,9 +127,17 @@ func newSorter[K any](cfg Config, compare func(K, K) int, builtin keycoder.Coder
 			return nil, fmt.Errorf("hssort: Procs %d not a multiple of CoresPerNode %d", cfg.Procs, cfg.CoresPerNode)
 		}
 	}
+	if prefix {
+		if cfg.Algorithm == Radix {
+			return nil, fmt.Errorf("hssort: Radix needs a bijective key coder; byte-string keys carry only a prefix code")
+		}
+		if cfg.Algorithm == HistogramSort && cfg.CodePath == CodePathOff {
+			return nil, fmt.Errorf("hssort: HistogramSort on byte-string keys runs probe bisection over the prefix code plane, which CodePathOff disables")
+		}
+	}
 	switch cfg.Algorithm {
 	case HistogramSort, Radix:
-		if coder == nil {
+		if coder == nil && !prefix {
 			return nil, fmt.Errorf("hssort: %v requires an integer or float key type", cfg.Algorithm)
 		}
 	}
@@ -140,8 +152,9 @@ func newSorter[K any](cfg Config, compare func(K, K) int, builtin keycoder.Coder
 		}
 	} else if cfg.CodePath == CodePathOn {
 		useBijective := coder != nil && bijectiveCodePlane(cfg.Algorithm)
-		useRecord := !useBijective && code != nil && recordCodePlane(cfg.Algorithm)
-		if !useBijective && !useRecord {
+		useRecord := !useBijective && !prefix && code != nil && recordCodePlane(cfg.Algorithm)
+		usePrefix := prefix && code != nil && prefixCodePlane(cfg.Algorithm)
+		if !useBijective && !useRecord && !usePrefix {
 			if coder == nil && code == nil {
 				return nil, fmt.Errorf("hssort: CodePathOn, but no order-preserving coder is known for the key type (set Config.Coder)")
 			}
@@ -160,6 +173,7 @@ func newSorter[K any](cfg Config, compare func(K, K) int, builtin keycoder.Coder
 		compare: compare,
 		coder:   coder,
 		code:    code,
+		prefix:  prefix,
 		isNaN:   isNaN,
 		pool:    comm.NewPool(cfg.Procs, comm.WithTimeout(cfg.Timeout), comm.WithTransport(tr)),
 		scratch: make([]*rankScratch[K], cfg.Procs),
@@ -237,7 +251,7 @@ func (s *Sorter[K]) sort(ctx context.Context, plan *Plan[K], shards [][]K) ([][]
 	if plan != nil {
 		planSplitters = plan.Splitters
 	}
-	useBijective, useRecord, err := s.resolvePlanes(shards, planSplitters)
+	useBijective, useRecord, usePrefix, err := s.resolvePlanes(shards, planSplitters)
 	if err != nil {
 		return nil, Stats{}, err
 	}
@@ -248,10 +262,10 @@ func (s *Sorter[K]) sort(ctx context.Context, plan *Plan[K], shards [][]K) ([][]
 		return s.sortCoded(ctx, plan, shards)
 	}
 	code := s.code
-	if !useRecord {
+	if !useRecord && !usePrefix {
 		code = nil
 	}
-	return runEngine(ctx, s, plan, shards, s.compare, s.coder, code, scratchPlain)
+	return runEngine(ctx, s, plan, shards, s.compare, s.coder, code, usePrefix, scratchPlain)
 }
 
 // resolvePlanes picks the per-call compute plane, demoting CodePathAuto
@@ -260,23 +274,24 @@ func (s *Sorter[K]) sort(ctx context.Context, plan *Plan[K], shards [][]K) ([][]
 // carry. A stored plan's splitters are scanned too: a plan prepared on
 // NaN-bearing data can legitimately carry a NaN splitter, which must
 // keep the sort off the code plane even when the shards are NaN-free.
-func (s *Sorter[K]) resolvePlanes(shards [][]K, planSplitters []K) (useBijective, useRecord bool, err error) {
+func (s *Sorter[K]) resolvePlanes(shards [][]K, planSplitters []K) (useBijective, useRecord, usePrefix bool, err error) {
 	cp, err := guardNaN(s.cfg.CodePath, shards, s.isNaN)
 	if err != nil {
-		return false, false, err
+		return false, false, false, err
 	}
 	if planSplitters != nil {
 		cp, err = guardNaN(cp, [][]K{planSplitters}, s.isNaN)
 		if err != nil {
-			return false, false, err
+			return false, false, false, err
 		}
 	}
 	if s.cfg.TagDuplicates {
-		return false, false, nil
+		return false, false, false, nil
 	}
 	useBijective = cp != CodePathOff && s.coder != nil && bijectiveCodePlane(s.cfg.Algorithm)
-	useRecord = cp != CodePathOff && !useBijective && s.code != nil && recordCodePlane(s.cfg.Algorithm)
-	return useBijective, useRecord, nil
+	useRecord = cp != CodePathOff && !useBijective && !s.prefix && s.code != nil && recordCodePlane(s.cfg.Algorithm)
+	usePrefix = cp != CodePathOff && s.prefix && s.code != nil && prefixCodePlane(s.cfg.Algorithm)
+	return useBijective, useRecord, usePrefix, nil
 }
 
 // checkPlan verifies a plan fits this engine's geometry.
@@ -341,7 +356,7 @@ const (
 // runEngine executes one sort over the engine's worker pool: the
 // generic core shared by the comparator, decorated and (via sortCoded)
 // bijective planes. E is the element type actually sorted.
-func runEngine[K, E any](ctx context.Context, s *Sorter[K], plan *Plan[E], shards [][]E, compare func(E, E) int, coder keycoder.Coder[E], code func(E) uint64, mode scratchMode) ([][]E, Stats, error) {
+func runEngine[K, E any](ctx context.Context, s *Sorter[K], plan *Plan[E], shards [][]E, compare func(E, E) int, coder keycoder.Coder[E], code func(E) uint64, prefix bool, mode scratchMode) ([][]E, Stats, error) {
 	p := s.cfg.Procs
 	outs := make([][]E, p)
 	var stats Stats
@@ -356,7 +371,7 @@ func runEngine[K, E any](ctx context.Context, s *Sorter[K], plan *Plan[E], shard
 				inj.scratch = sc
 			}
 		}
-		out, st, err := dispatch(c, shards[c.Rank()], s.cfg, compare, coder, code, inj)
+		out, st, err := dispatch(c, shards[c.Rank()], s.cfg, compare, coder, code, prefix, inj)
 		if err != nil {
 			return err
 		}
@@ -425,7 +440,7 @@ func (s *Sorter[K]) sortCoded(ctx context.Context, plan *Plan[K], shards [][]K) 
 			inj.splitters = codePlan.Splitters
 			inj.stale = s.cfg.PlanStaleness
 		}
-		out, st, err := dispatch(c, sc.enc, s.cfg, codes.Compare, keycoder.Coder[codes.Code](codes.Identity{}), codes.ExtractCode, inj)
+		out, st, err := dispatch(c, sc.enc, s.cfg, codes.Compare, keycoder.Coder[codes.Code](codes.Identity{}), codes.ExtractCode, false, inj)
 		if err != nil {
 			return err
 		}
@@ -463,7 +478,7 @@ func (s *Sorter[K]) sortTagged(ctx context.Context, shards [][]K) ([][]K, Stats,
 	for r, sh := range shards {
 		tagged[r] = tagging.Wrap(sh, r)
 	}
-	outs, stats, err := runEngine(ctx, s, nil, tagged, tagging.Cmp(s.compare), nil, nil, scratchNone)
+	outs, stats, err := runEngine(ctx, s, nil, tagged, tagging.Cmp(s.compare), nil, nil, false, scratchNone)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -516,7 +531,7 @@ func (s *Sorter[K]) Plan(ctx context.Context, shards [][]K) (*Plan[K], error) {
 		// training time, not in the operation phase.
 		return nil, fmt.Errorf("hssort: cannot plan on empty input")
 	}
-	useBijective, _, err := s.resolvePlanes(shards, nil)
+	useBijective, _, usePrefix, err := s.resolvePlanes(shards, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -528,6 +543,20 @@ func (s *Sorter[K]) Plan(ctx context.Context, shards [][]K) (*Plan[K], error) {
 		}
 		plan := assemblePlan[K](s, res)
 		plan.Splitters = codes.DecodeSlice(s.coder, res.splitters)
+		return plan, nil
+	}
+	if usePrefix {
+		// Prefix plane: determination runs entirely in code space (as the
+		// prefix sorts do), and the splitter codes materialize as their
+		// canonical 8-byte big-endian representatives — re-extraction at
+		// injection time (SortWithPlan) recovers exactly these codes.
+		res, err := runPlan(ctx, s, shards, codes.Compare, keycoder.Coder[codes.Code](codes.Identity{}),
+			func(r int) []codes.Code { return codes.Extract(shards[r], s.code) })
+		if err != nil {
+			return nil, err
+		}
+		plan := assemblePlan[K](s, res)
+		plan.Splitters = prefixSplitters[K](res.splitters)
 		return plan, nil
 	}
 	res, err := runPlan(ctx, s, shards, s.compare, s.coder,
@@ -574,6 +603,19 @@ type Plan[K any] struct {
 
 	procs int
 	alg   Algorithm
+}
+
+// prefixSplitters materializes code-space splitters as byte-string
+// keys: each splitter becomes keycoder.PrefixBytes of its code, the
+// canonical 8-byte big-endian representative whose re-extracted prefix
+// code is the splitter code itself. Only the prefix plane calls this,
+// so K is always []byte.
+func prefixSplitters[K any](sp []codes.Code) []K {
+	out := make([]K, len(sp))
+	for i, c := range sp {
+		out[i] = any(keycoder.PrefixBytes(uint64(c))).(K)
+	}
+	return out
 }
 
 // planResult carries one plan run's outcome out of the worker world.
@@ -830,10 +872,11 @@ func guardNaN[E any](cp CodePath, shards [][]E, isNaN func(E) bool) (CodePath, e
 // dispatch routes one rank's work to the selected algorithm. code, when
 // non-nil, is the order-preserving extractor that puts the algorithm's
 // compute hot paths on the code plane (on the bijective plane K is
-// already the code-point type and code is the identity). inj carries
-// plan injection and per-rank scratch for the splitter-based
+// already the code-point type and code is the identity); prefix marks
+// it non-injective, selecting the tie-breaking prefix pipelines. inj
+// carries plan injection and per-rank scratch for the splitter-based
 // algorithms.
-func dispatch[K any](c *comm.Comm, local []K, cfg Config, compare func(K, K) int, coder keycoder.Coder[K], code func(K) uint64, inj injection[K]) ([]K, core.Stats, error) {
+func dispatch[K any](c *comm.Comm, local []K, cfg Config, compare func(K, K) int, coder keycoder.Coder[K], code func(K) uint64, prefix bool, inj injection[K]) ([]K, core.Stats, error) {
 	var owner func(int) int
 	if cfg.RoundRobinBuckets {
 		owner = exchange.RoundRobinOwner(cfg.Procs)
@@ -853,6 +896,7 @@ func dispatch[K any](c *comm.Comm, local []K, cfg Config, compare func(K, K) int
 	case HSS, HSSOneRound, HSSTheoretical:
 		o := hssDetOptions(cfg, compare)
 		o.Code = code
+		o.PrefixCode = prefix
 		o.Owner = owner
 		o.ChunkKeys = chunkKeys
 		o.Workers = cfg.Workers
@@ -863,6 +907,7 @@ func dispatch[K any](c *comm.Comm, local []K, cfg Config, compare func(K, K) int
 	case SampleSortRegular, SampleSortRandom:
 		o := samplesortDetOptions(cfg, compare)
 		o.Code = code
+		o.PrefixCode = prefix
 		o.Owner = owner
 		o.ChunkKeys = chunkKeys
 		o.Workers = cfg.Workers
@@ -871,11 +916,12 @@ func dispatch[K any](c *comm.Comm, local []K, cfg Config, compare func(K, K) int
 		o.Scratch = inj.scratch
 		return samplesort.Sort(c, local, o)
 	case HistogramSort:
-		if coder == nil {
+		if coder == nil && !prefix {
 			return nil, core.Stats{}, fmt.Errorf("hssort: %v requires an integer or float key type", cfg.Algorithm)
 		}
 		o := histsortDetOptions(cfg, compare, coder)
 		o.Code = code
+		o.PrefixCode = prefix
 		o.Owner = owner
 		o.ChunkKeys = chunkKeys
 		o.Workers = cfg.Workers
@@ -894,6 +940,7 @@ func dispatch[K any](c *comm.Comm, local []K, cfg Config, compare func(K, K) int
 		return nodesort.Sort(c, local, nodesort.Options[K]{
 			Cmp:              compare,
 			Code:             code,
+			PrefixCode:       prefix,
 			CoresPerNode:     cfg.CoresPerNode,
 			Epsilon:          cfg.Epsilon,
 			Schedule:         core.FixedOversampling,
