@@ -35,6 +35,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
 	"hash/fnv"
@@ -121,6 +122,12 @@ func main() {
 		listenAddr  = flag.String("listen", "", "tcp worker mode: bind address of this process's data listener (default 127.0.0.1:0)")
 		launch      = flag.String("launch", "", "convenience launcher: local:N forks N tcp worker processes on localhost and relays their output")
 		digest      = flag.Bool("digest", false, "print per-rank output fingerprints (comparable across transports)")
+
+		heartbeat   = flag.Duration("heartbeat", 0, "tcp: liveness-probe period on idle links (default peer-timeout/3 when -peer-timeout is set)")
+		peerTimeout = flag.Duration("peer-timeout", 0, "tcp: declare a silent peer crashed after this long (0 = detect severed sockets only)")
+		rejoin      = flag.Bool("rejoin", false, "tcp worker mode: rejoin the live mesh in place of this rank's crashed predecessor instead of bootstrapping a new world")
+		rejoinWait  = flag.Duration("rejoin-wait", 0, "tcp: after a peer crash, retry the sort and wait up to this long for the respawned rank to rejoin (0 = fail on first crash)")
+		chaosSpec   = flag.String("chaos", "", "deterministic fault injection \"seed:drop=P,delay=P,dup=P,maxdelay=DUR,crash=RANK@PHASE\" (PHASE: start, splitter, exchange, or sends:N); in worker mode a crash of this rank is a real kill -9")
 	)
 	flag.Parse()
 
@@ -135,6 +142,11 @@ func main() {
 		os.Exit(2)
 	}
 	codePath, err := hssort.ParseCodePath(*cpName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	chaos, err := hssort.ParseChaosSpec(*chaosSpec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -219,9 +231,29 @@ func main() {
 		ChunkKeys:      *chunk,
 		Workers:        *workers,
 		PlanStaleness:  *stale,
+		Chaos:          chaos,
+	}
+	cfg.TCP = hssort.TCPConfig{
+		HeartbeatInterval: *heartbeat,
+		PeerTimeout:       *peerTimeout,
+		RejoinWait:        *rejoinWait,
 	}
 	if workerMode {
-		cfg.TCP = hssort.TCPConfig{Coordinator: *coordinator, Rank: *rank, ListenAddr: *listenAddr}
+		cfg.TCP.Coordinator = *coordinator
+		cfg.TCP.Rank = *rank
+		cfg.TCP.ListenAddr = *listenAddr
+		cfg.TCP.Rejoin = *rejoin
+		if chaos != nil && (chaos.CrashPhase != "" || chaos.CrashAfterSends > 0) {
+			// A worker-mode chaos crash is the real thing: the victim
+			// process SIGKILLs itself mid-protocol (no shutdown handshake,
+			// peers see a severed socket), exactly what the respawn +
+			// rejoin machinery exists to survive.
+			chaos.OnCrash = func(int) {
+				proc, _ := os.FindProcess(os.Getpid())
+				proc.Kill()
+				select {}
+			}
+		}
 	}
 
 	// The engine is built once; Ctrl-C cancels the in-flight sort on
@@ -234,6 +266,7 @@ func main() {
 			distName: *dsName, n: *n, seed: *seed,
 			rank: *rank, workerMode: workerMode,
 			plan: *plan, repeat: *repeat, verbose: *verbose, digest: *digest,
+			rejoinWait: *rejoinWait,
 		}))
 	}
 
@@ -262,7 +295,8 @@ func main() {
 	var outs [][]int64
 	var stats hssort.Stats
 	runs := max(*repeat, 1)
-	for i := 0; i < runs; i++ {
+	var retries retryBudget
+	for i := 0; i < runs; {
 		work := shards
 		if i < runs-1 {
 			// Warm-up sorts on fresh shards; the last run sorts (and,
@@ -275,9 +309,13 @@ func main() {
 			outs, stats, err = engine.Sort(ctx, work)
 		}
 		if err != nil {
+			if retries.retry(err, *rejoinWait) {
+				continue // the respawned rank rejoins; re-run this sort
+			}
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		i++
 	}
 	wall := time.Since(start)
 	if runs > 1 {
@@ -393,6 +431,25 @@ func (r report) print() {
 	fmt.Print(t.String())
 }
 
+// retryBudget retries a sort that failed on a peer crash while the
+// operator respawns the lost rank (-rejoin-wait > 0): the next attempt
+// blocks in the transport's rejoin wait until the mesh heals. Any other
+// error, or a sixth consecutive crash, stops the retries.
+type retryBudget struct{ attempts int }
+
+func (b *retryBudget) retry(err error, rejoinWait time.Duration) bool {
+	var crash *hssort.PeerCrashError
+	if rejoinWait <= 0 || !errors.As(err, &crash) {
+		return false
+	}
+	if b.attempts++; b.attempts > 5 {
+		return false
+	}
+	fmt.Fprintf(os.Stderr, "peer rank %d crashed mid-sort; retrying once it rejoins (attempt %d)\n",
+		crash.Rank, b.attempts)
+	return true
+}
+
 // byteOpts carries the flag values the []byte path needs beyond Config.
 type byteOpts struct {
 	distName   string
@@ -404,6 +461,7 @@ type byteOpts struct {
 	repeat     int
 	verbose    bool
 	digest     bool
+	rejoinWait time.Duration
 }
 
 // runBytes is the -keys bytes counterpart of main's int64 flow: same
@@ -453,7 +511,8 @@ func runBytes(ctx context.Context, cfg hssort.Config, kind dist.ByteKind, o byte
 	var outs [][][]byte
 	var stats hssort.Stats
 	runs := max(o.repeat, 1)
-	for i := 0; i < runs; i++ {
+	var retries retryBudget
+	for i := 0; i < runs; {
 		work := shards
 		if i < runs-1 {
 			work = spec.Shards(o.n, cfg.Procs, o.seed+uint64(i)+1)
@@ -464,9 +523,13 @@ func runBytes(ctx context.Context, cfg hssort.Config, kind dist.ByteKind, o byte
 			outs, stats, err = engine.Sort(ctx, work)
 		}
 		if err != nil {
+			if retries.retry(err, o.rejoinWait) {
+				continue
+			}
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
+		i++
 	}
 	wall := time.Since(start)
 	if runs > 1 {
@@ -589,7 +652,9 @@ func launchWorkers(spec string) int {
 	// workers are loopback processes with ephemeral ports, and a shared
 	// explicit bind address would collide across ranks.
 	var common []string
-	skip := map[string]bool{"launch": true, "coordinator": true, "rank": true, "p": true, "transport": true, "listen": true}
+	// -rejoin also stays local: a fresh fleet bootstraps a new world,
+	// only a respawned single rank rejoins an existing one.
+	skip := map[string]bool{"launch": true, "coordinator": true, "rank": true, "p": true, "transport": true, "listen": true, "rejoin": true}
 	flag.Visit(func(f *flag.Flag) {
 		if !skip[f.Name] {
 			common = append(common, "-"+f.Name+"="+f.Value.String())

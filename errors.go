@@ -1,0 +1,27 @@
+package hssort
+
+import "hssort/internal/comm"
+
+// The failure-survival error taxonomy, re-exported from the transport
+// layer so callers can branch on errors.As without importing internal
+// packages. All three come back (wrapped) from Sort/Plan calls over the
+// TCP transport.
+
+// PeerCrashError reports that a peer rank died mid-run: its connection
+// severed, its silence exceeded TCPConfig.PeerTimeout, or another rank
+// reported the crash over the abort channel. Every surviving rank of
+// the world observes the same PeerCrashError naming the same lost rank.
+// The mesh heals when the rank respawns with TCPConfig.Rejoin — the
+// same Sorter then completes the next Sort, deterministically
+// re-executing the lost rank's shard.
+type PeerCrashError = comm.PeerCrashError
+
+// BootstrapError reports that an endpoint failed to construct or rejoin
+// the TCP mesh (rendezvous, listener setup, peer dialing, or protocol
+// handshake), before any sort ran.
+type BootstrapError = comm.BootstrapError
+
+// VersionMismatchError reports a bootstrap handshake between processes
+// speaking different wire-protocol versions (docs/WIRE.md): a mixed
+// deployment that must be rebuilt, not retried.
+type VersionMismatchError = comm.VersionMismatchError

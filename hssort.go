@@ -223,6 +223,12 @@ type Config struct {
 	// rank's shard (shards[TCP.Rank]), peers sort theirs, and Stats are
 	// populated on the rank-0 process only.
 	TCP TCPConfig
+	// Chaos, when non-nil, wraps the transport in a deterministic
+	// seeded fault-injection layer: link faults (drop/delay/dup) that
+	// add latency without changing output, and an optional one-shot
+	// rank crash at a named phase. See ChaosConfig. Testing facility;
+	// leave nil in production.
+	Chaos *ChaosConfig
 	// CodePath selects the compute plane; see the CodePath constants.
 	// The default, CodePathAuto, engages the code-space fast path
 	// whenever the key type admits it.
@@ -323,6 +329,13 @@ type Stats struct {
 	// not discriminate. Zero off the prefix plane (NewBytes engines
 	// only).
 	PrefixCollisions int64
+	// Reconnects and Respawns are transport lifecycle counters summed
+	// over all ranks: dial retries beyond each first attempt, and rejoin
+	// handshakes after a crash (1 from the rejoined rank plus 1 per
+	// surviving peer that re-adopted it). Zero on the in-memory
+	// transports — nonzero values fingerprint a TCP mesh that survived
+	// churn.
+	Reconnects, Respawns int64
 }
 
 // Total returns the end-to-end critical-path time.
@@ -351,6 +364,8 @@ func fromCore(st core.Stats) Stats {
 		ParTasks:          st.ParTasks,
 		Imbalance:         st.Imbalance,
 		PrefixCollisions:  st.PrefixCollisions,
+		Reconnects:        st.Reconnects,
+		Respawns:          st.Respawns,
 	}
 }
 

@@ -40,6 +40,14 @@ type Counters struct {
 	MsgsSent, BytesSent int64
 	// MsgsRecv and BytesRecv count delivered (received) traffic.
 	MsgsRecv, BytesRecv int64
+	// Reconnects counts dial retries beyond each first attempt, across
+	// the bootstrap rendezvous and the rejoin redials. Respawns counts
+	// rejoin handshakes: 1 on an endpoint that rejoined an existing
+	// world, plus 1 on each survivor per peer it re-adopted. Both are
+	// lifecycle counters — they describe the mesh, not one run — so
+	// unlike the traffic counters they survive Reset/ResetCounters.
+	// Always zero on the in-memory transports.
+	Reconnects, Respawns int64
 }
 
 // Add accumulates other into c.
@@ -48,6 +56,8 @@ func (c *Counters) Add(other Counters) {
 	c.BytesSent += other.BytesSent
 	c.MsgsRecv += other.MsgsRecv
 	c.BytesRecv += other.BytesRecv
+	c.Reconnects += other.Reconnects
+	c.Respawns += other.Respawns
 }
 
 // Interceptor observes (and may veto) every message at send time. Used by

@@ -1,0 +1,86 @@
+package comm
+
+// errors.go defines the typed failure taxonomy of the transport layer.
+// Before these types existed, peer death, bootstrap failures and
+// protocol-version mixes all surfaced as formatted strings; callers that
+// wanted to react (retry a bootstrap, trigger a respawn, refuse a
+// mixed-version fleet) had to match message text. Each condition now has
+// a structured error with errors.Is/As support, and the TCP wire
+// protocol carries enough of that structure (wireAbort.Crash/CrashRank)
+// that every surviving process of a crashed world reconstructs the same
+// typed value.
+
+import (
+	"fmt"
+)
+
+// PeerCrashError reports that a peer rank of a TCP world died: its
+// connection delivered an EOF without a shutdown frame, its heartbeats
+// went silent past TCPOptions.PeerTimeout, or a fault injector crashed
+// it. Every surviving rank of the world observes a PeerCrashError with
+// the same Rank — locally detected or reconstructed from the abort
+// broadcast — so a supervisor can respawn exactly the rank that died.
+//
+// PeerCrashError matches errors.Is(err, ErrAborted): a crash aborts the
+// world like any other failure, it is just a diagnosable one.
+type PeerCrashError struct {
+	// Rank is the rank that crashed.
+	Rank int
+	// Err is the local evidence (EOF, timeout, injected fault); it may
+	// differ between survivors, unlike Rank. May be nil for an error
+	// reconstructed off the wire.
+	Err error
+}
+
+// Error returns the crash description.
+func (e *PeerCrashError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("comm: rank %d crashed: %v", e.Rank, e.Err)
+	}
+	return fmt.Sprintf("comm: rank %d crashed", e.Rank)
+}
+
+// Unwrap links the crash to ErrAborted (and to the local evidence), so
+// existing errors.Is(err, ErrAborted) call sites keep working.
+func (e *PeerCrashError) Unwrap() []error {
+	if e.Err != nil {
+		return []error{ErrAborted, e.Err}
+	}
+	return []error{ErrAborted}
+}
+
+// BootstrapError reports that a TCP endpoint failed to join (or rejoin)
+// its world: the rendezvous, the mesh construction or the rejoin
+// handshake did not complete. DialTCP wraps every setup failure in one,
+// so callers can distinguish "the world never formed" from runtime
+// failures like PeerCrashError.
+type BootstrapError struct {
+	// Rank is the local rank that failed to join.
+	Rank int
+	// Err is the underlying failure (possibly a VersionMismatchError).
+	Err error
+}
+
+// Error returns the bootstrap failure description.
+func (e *BootstrapError) Error() string {
+	return fmt.Sprintf("comm: tcp bootstrap of rank %d failed: %v", e.Rank, e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *BootstrapError) Unwrap() error { return e.Err }
+
+// VersionMismatchError reports that a bootstrap peer speaks a different
+// hsswire protocol version than this binary. Worlds run exactly one
+// protocol version (docs/WIRE.md §Versioning); mixed-version fleets must
+// refuse to connect rather than corrupt each other.
+type VersionMismatchError struct {
+	// Local is this binary's protocol identifier ("hsswire/N").
+	Local string
+	// Peer is the identifier the remote end presented.
+	Peer string
+}
+
+// Error returns the mismatch description.
+func (e *VersionMismatchError) Error() string {
+	return fmt.Sprintf("comm: wire protocol mismatch: peer speaks %q, this binary %q", e.Peer, e.Local)
+}

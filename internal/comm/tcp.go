@@ -30,6 +30,16 @@ package comm
 // one aborts the transport (peer crash). Close waits for the peer's own
 // shutdown up to ShutdownTimeout, then force-closes, and is the hook
 // behind the goroutine-leak guarantees the tests pin.
+//
+// Failure survival. A peer's death surfaces as a typed *PeerCrashError
+// on every survivor — detected by raw EOF, or by heartbeat silence when
+// PeerTimeout is set (a hung process, not just a dead socket). The
+// bootstrap listener stays open for the life of the endpoint: a
+// respawned worker rejoins the running world through a coordinator
+// re-registration and per-peer rejoin handshakes, adopting the world's
+// current generation, and Reset (with RejoinWait) waits for the mesh to
+// heal so the next run recovers instead of failing. Resize re-forms the
+// world at a new size over the same coordinator address.
 
 import (
 	"bufio"
@@ -77,6 +87,30 @@ type TCPOptions struct {
 	// ShutdownTimeout bounds how long Close waits for peers to finish
 	// their own teardown before force-closing sockets. Default 5s.
 	ShutdownTimeout time.Duration
+	// PeerTimeout declares a peer crashed when nothing — data or
+	// heartbeat — has arrived from it for this long, surfacing a
+	// *PeerCrashError instead of hanging until a socket error. Zero
+	// disables liveness monitoring (the default): a hung-but-connected
+	// peer is then indistinguishable from a slow one. Set it on every
+	// rank of the world or none; a monitored rank that does not receive
+	// heartbeats back will false-positive during idle periods.
+	PeerTimeout time.Duration
+	// HeartbeatInterval is the period of outgoing liveness probes.
+	// Default PeerTimeout/3 when PeerTimeout is set (so a peer misses
+	// ~3 probes before being declared dead), otherwise heartbeats are
+	// off.
+	HeartbeatInterval time.Duration
+	// RejoinWait makes Reset wait up to this long for crashed peers to
+	// rejoin the world before poisoning the next run with their
+	// *PeerCrashError. Zero keeps the historical fail-fast behavior:
+	// a lost peer permanently poisons the endpoint.
+	RejoinWait time.Duration
+	// Rejoin re-attaches this endpoint to an already-running world in
+	// place of a crashed rank (same Rank, same Procs): instead of the
+	// full rendezvous it re-registers at the coordinator, adopts the
+	// world's current generation and redials every peer. Rank 0 cannot
+	// rejoin — it hosts the coordinator.
+	Rejoin bool
 }
 
 // withDefaults fills unset option fields.
@@ -90,6 +124,9 @@ func (o TCPOptions) withDefaults() TCPOptions {
 	if o.ShutdownTimeout == 0 {
 		o.ShutdownTimeout = 5 * time.Second
 	}
+	if o.HeartbeatInterval == 0 && o.PeerTimeout > 0 {
+		o.HeartbeatInterval = max(o.PeerTimeout/3, time.Millisecond)
+	}
 	return o
 }
 
@@ -98,6 +135,14 @@ type tcpConn struct {
 	peer int
 	c    net.Conn
 	bw   *bufio.Writer
+
+	// dead marks a conn whose peer crashed: its pumps are being torn
+	// down and the slot may be replaced by a rejoin. CAS on dead is the
+	// per-conn gate that makes crash handling run exactly once.
+	dead atomic.Bool
+	// lastRecv is the UnixNano timestamp of the last inbound frame
+	// (data, control or heartbeat) — the liveness monitor's evidence.
+	lastRecv atomic.Int64
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -147,8 +192,24 @@ type TCPTransport struct {
 	me   int
 	opts TCPOptions
 
-	conns []*tcpConn // by peer rank; nil at me
-	box   mailbox    // the local rank's tag-matched inbox
+	// conns holds the connection per peer rank (nil at me). Slots are
+	// atomic pointers because a rejoin replaces a dead peer's conn
+	// while Send and the monitor read concurrently.
+	conns []atomic.Pointer[tcpConn]
+	box   mailbox // the local rank's tag-matched inbox
+
+	// ln is the bootstrap listener, kept open for the life of the
+	// endpoint (acceptLoop serves rejoin handshakes on it). lnKeep
+	// marks a listener detached for reuse (Resize): teardown then
+	// leaves it open for the successor endpoint.
+	ln     net.Listener
+	lnKeep atomic.Bool
+
+	// table is the live rank → data-address map (rank 0 only):
+	// rendezvous fills it, rejoins update it, so a respawned worker can
+	// always learn the current mesh.
+	tableMu sync.Mutex
+	table   []string
 
 	counters struct {
 		mu sync.Mutex
@@ -160,14 +221,23 @@ type TCPTransport struct {
 	abort  abortState
 	bar    tcpBarrier
 	closed atomic.Bool
-	// lost latches the first permanent connection failure. Unlike the
-	// abort latch — which Reset clears so an engine can reuse the mesh
-	// after a cancellation — a lost peer cannot come back: Reset
-	// re-latches this error so the next run fails fast instead of
-	// wedging against a dead socket until the watchdog.
-	lost atomic.Pointer[error]
 
-	wg sync.WaitGroup // reader + writer goroutines
+	// lostRanks records crashed peers (by rank) that have not rejoined,
+	// each mapped to its *PeerCrashError. Unlike the abort latch —
+	// which Reset clears so an engine can reuse the mesh after a
+	// cancellation — a dead peer stays recorded: Reset either waits for
+	// a rejoin to clear the entry (RejoinWait > 0) or re-poisons the
+	// next run so it fails fast instead of wedging against a dead
+	// socket until the watchdog.
+	lostMu    sync.Mutex
+	lostRanks map[int]error
+
+	// hbSuspend pauses outgoing heartbeats (test hook: a suspended
+	// endpoint looks hung to its peers without closing any socket).
+	hbSuspend atomic.Bool
+
+	stop chan struct{}  // closed on Close/Kill: stops monitor
+	wg   sync.WaitGroup // reader/writer pumps, acceptLoop, monitor
 }
 
 var (
@@ -191,37 +261,63 @@ type tcpBarrier struct {
 // DialTCP bootstraps this process's endpoint of a TCP world and blocks
 // until the full connection mesh is up: the coordinator has seen all
 // Procs registrations, this rank has dialed every lower rank and been
-// dialed by every higher rank. The listener used during bootstrap is
-// closed before DialTCP returns; the mesh is the only remaining wiring.
+// dialed by every higher rank. The bootstrap listener stays open for
+// the life of the endpoint, serving rejoin handshakes from respawned
+// peers. With Rejoin set, the endpoint instead re-attaches to an
+// already-running world in place of a crashed rank. Every setup failure
+// is returned as a *BootstrapError.
 func DialTCP(opts TCPOptions) (*TCPTransport, error) {
 	opts = opts.withDefaults()
 	if opts.Procs < 1 {
 		panicSize(opts.Procs)
 	}
 	if opts.Rank < 0 || opts.Rank >= opts.Procs {
-		return nil, fmt.Errorf("comm: tcp rank %d outside [0, %d)", opts.Rank, opts.Procs)
+		return nil, &BootstrapError{Rank: opts.Rank, Err: fmt.Errorf("rank outside [0, %d)", opts.Procs)}
 	}
 	if opts.Coordinator == "" && opts.CoordinatorListener == nil {
-		return nil, fmt.Errorf("comm: tcp bootstrap needs a coordinator address")
+		return nil, &BootstrapError{Rank: opts.Rank, Err: errors.New("bootstrap needs a coordinator address")}
 	}
 	t := &TCPTransport{p: opts.Procs, me: opts.Rank, opts: opts}
 	t.box.cond = sync.NewCond(&t.box.mu)
 	t.bar.cond = sync.NewCond(&t.bar.mu)
 	t.bar.enters = make(map[uint32]int)
-	t.conns = make([]*tcpConn, opts.Procs)
+	t.conns = make([]atomic.Pointer[tcpConn], opts.Procs)
+	t.lostRanks = make(map[int]error)
+	t.stop = make(chan struct{})
 	t.gen.Store(1) // generation 0 is never used: frames always carry ≥ 1
-	if err := t.bootstrap(); err != nil {
-		t.forceClose()
-		return nil, err
+	var err error
+	if opts.Rejoin {
+		err = t.rejoin()
+	} else {
+		err = t.bootstrap()
 	}
+	if err != nil {
+		t.closed.Store(true)
+		t.forceClose()
+		return nil, &BootstrapError{Rank: opts.Rank, Err: err}
+	}
+	// The mesh is up: the listener's bootstrap deadline comes off and
+	// it keeps accepting for the life of the endpoint (rejoins).
+	if tl, ok := t.ln.(*net.TCPListener); ok {
+		tl.SetDeadline(time.Time{})
+	}
+	now := time.Now().UnixNano()
 	// Start the per-peer pumps only once the whole mesh exists.
-	for _, pc := range t.conns {
+	for r := range t.conns {
+		pc := t.conns[r].Load()
 		if pc == nil {
 			continue
 		}
+		pc.lastRecv.Store(now)
 		t.wg.Add(2)
 		go t.readLoop(pc)
 		go t.writeLoop(pc)
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	if t.opts.HeartbeatInterval > 0 {
+		t.wg.Add(1)
+		go t.monitor()
 	}
 	return t, nil
 }
@@ -245,7 +341,8 @@ func (t *TCPTransport) Rank() int { return t.me }
 type bootMsg struct {
 	// Proto pins the wire-protocol version: "hsswire/<N>".
 	Proto string `json:"proto"`
-	// Type is "register", "table", "data", "ok" or "error".
+	// Type is "register", "table", "data", "ok", "rejoin",
+	// "rejoin-data" or "error".
 	Type string `json:"type"`
 	// Rank, Procs, Addr describe the registering worker.
 	Rank  int    `json:"rank,omitempty"`
@@ -256,6 +353,9 @@ type bootMsg struct {
 	Dst int `json:"dst,omitempty"`
 	// Addrs is the full rank → address table ("table" messages).
 	Addrs []string `json:"addrs,omitempty"`
+	// Gen is the world's current generation, carried on the table reply
+	// of a rejoin so the joiner re-enters the epoch lockstep.
+	Gen uint32 `json:"gen,omitempty"`
 	// Err carries a bootstrap failure ("error" messages).
 	Err string `json:"err,omitempty"`
 }
@@ -299,7 +399,7 @@ func readBootMsg(c net.Conn) (bootMsg, error) {
 		return bootMsg{}, fmt.Errorf("comm: bootstrap message: %w", err)
 	}
 	if m.Proto != protoID {
-		return bootMsg{}, fmt.Errorf("comm: wire protocol mismatch: peer speaks %q, this binary %q", m.Proto, protoID)
+		return bootMsg{}, &VersionMismatchError{Local: protoID, Peer: m.Proto}
 	}
 	if m.Type == "error" {
 		return bootMsg{}, fmt.Errorf("comm: bootstrap rejected: %s", m.Err)
@@ -330,7 +430,9 @@ func (t *TCPTransport) bootstrap() error {
 			return fmt.Errorf("comm: tcp listen %s: %w", t.opts.ListenAddr, err)
 		}
 	}
-	defer ln.Close()
+	// The listener outlives bootstrap: rejoin handshakes arrive on it
+	// for the life of the endpoint. Close/forceClose release it.
+	t.ln = ln
 	if tl, ok := ln.(*net.TCPListener); ok {
 		tl.SetDeadline(deadline)
 	}
@@ -406,24 +508,25 @@ func (t *TCPTransport) rendezvous(ln net.Listener, deadline time.Time) (table []
 			regConns[r].Close()
 			regConns[r] = nil
 		}
+		// Keep the table live: a crashed worker's respawn asks for the
+		// current mesh here long after rendezvous is over.
+		t.tableMu.Lock()
+		t.table = table
+		t.tableMu.Unlock()
 		return table, pre, nil
 	}
 
 	// Ranks > 0: register, then wait for the table. The coordinator may
 	// not be up yet (workers often launch before or alongside rank 0),
-	// so failed dials retry with backoff until the bootstrap deadline.
-	d := net.Dialer{Deadline: deadline}
-	var c net.Conn
-	for backoff := 10 * time.Millisecond; ; backoff = min(2*backoff, time.Second) {
-		c, err = d.Dial("tcp", t.opts.Coordinator)
-		if err == nil {
-			break
-		}
-		if time.Now().Add(backoff).After(deadline) {
-			return nil, nil, fmt.Errorf("comm: tcp rank %d dialing coordinator %s: %w", t.me, t.opts.Coordinator, err)
-		}
-		time.Sleep(backoff)
+	// so failed dials retry with jittered exponential backoff until the
+	// bootstrap deadline.
+	c, retries, err := dialRetry(t.opts.Coordinator, t.me, deadline)
+	if err != nil {
+		return nil, nil, fmt.Errorf("comm: tcp rank %d dialing coordinator %s: %w", t.me, t.opts.Coordinator, err)
 	}
+	t.counters.mu.Lock()
+	t.counters.c.Reconnects += retries
+	t.counters.mu.Unlock()
 	defer c.Close()
 	c.SetDeadline(deadline)
 	if err := writeBootMsg(c, bootMsg{Type: "register", Rank: t.me, Procs: t.p, Addr: ln.Addr().String()}); err != nil {
@@ -468,7 +571,7 @@ func newTCPConn(peer int, c net.Conn) *tcpConn {
 // rendezvous).
 func (t *TCPTransport) buildMesh(ln net.Listener, table []string, pre []*tcpConn, deadline time.Time) error {
 	for _, pc := range pre {
-		t.conns[pc.peer] = pc
+		t.conns[pc.peer].Store(pc)
 	}
 
 	// Dial lower ranks concurrently.
@@ -496,7 +599,7 @@ func (t *TCPTransport) buildMesh(ln net.Listener, table []string, pre []*tcpConn
 				return
 			}
 			c.SetDeadline(time.Time{}) // the mesh conn lives unbounded
-			t.conns[j] = newTCPConn(j, c)
+			t.conns[j].Store(newTCPConn(j, c))
 		}(j)
 	}
 
@@ -505,7 +608,7 @@ func (t *TCPTransport) buildMesh(ln net.Listener, table []string, pre []*tcpConn
 	for {
 		missing := 0
 		for r := t.me + 1; r < t.p; r++ {
-			if t.conns[r] == nil {
+			if t.conns[r].Load() == nil {
 				missing++
 			}
 		}
@@ -535,12 +638,12 @@ func (t *TCPTransport) buildMesh(ln net.Listener, table []string, pre []*tcpConn
 			acceptErr = err
 			break
 		}
-		if t.conns[pc.peer] != nil {
+		if t.conns[pc.peer].Load() != nil {
 			pc.c.Close()
 			acceptErr = fmt.Errorf("comm: tcp rank %d: duplicate mesh conn from rank %d", t.me, pc.peer)
 			break
 		}
-		t.conns[pc.peer] = pc
+		t.conns[pc.peer].Store(pc)
 	}
 	wg.Wait()
 	for _, err := range dialErr {
@@ -552,9 +655,251 @@ func (t *TCPTransport) buildMesh(ln net.Listener, table []string, pre []*tcpConn
 		return acceptErr
 	}
 	for r := t.me + 1; r < t.p; r++ {
-		t.conns[r].c.SetDeadline(time.Time{})
+		t.conns[r].Load().c.SetDeadline(time.Time{})
 	}
 	return nil
+}
+
+// ---------------------------------------------------------------------
+// Rejoin (crash recovery)
+// ---------------------------------------------------------------------
+
+// rejoin re-attaches this endpoint to a running world in place of a
+// crashed rank: bind a fresh data listener, re-register at the
+// coordinator ("rejoin"), adopt the world's current address table and
+// generation, then dial every peer with a "rejoin-data" handshake.
+// Peers swap the dead conn for the new one and clear the rank's crash
+// record, healing the mesh without restarting the world.
+func (t *TCPTransport) rejoin() error {
+	if t.me == 0 {
+		return errors.New("rank 0 hosts the coordinator and cannot rejoin; restart the world")
+	}
+	deadline := time.Now().Add(t.opts.BootstrapTimeout)
+	ln, err := net.Listen("tcp", t.opts.ListenAddr)
+	if err != nil {
+		return fmt.Errorf("comm: tcp listen %s: %w", t.opts.ListenAddr, err)
+	}
+	t.ln = ln
+	if tl, ok := ln.(*net.TCPListener); ok {
+		tl.SetDeadline(deadline)
+	}
+
+	c, retries, err := dialRetry(t.opts.Coordinator, t.me, deadline)
+	if err != nil {
+		return fmt.Errorf("comm: tcp rank %d dialing coordinator %s for rejoin: %w", t.me, t.opts.Coordinator, err)
+	}
+	defer c.Close()
+	c.SetDeadline(deadline)
+	if err := writeBootMsg(c, bootMsg{Type: "rejoin", Rank: t.me, Procs: t.p, Addr: ln.Addr().String()}); err != nil {
+		return fmt.Errorf("comm: tcp rank %d rejoin registration: %w", t.me, err)
+	}
+	m, err := readBootMsg(c)
+	if err != nil {
+		return fmt.Errorf("comm: tcp rank %d awaiting rejoin table: %w", t.me, err)
+	}
+	if m.Type != "table" || len(m.Addrs) != t.p || m.Gen == 0 {
+		return fmt.Errorf("comm: tcp rank %d: malformed rejoin table (%q, %d addrs, gen %d)", t.me, m.Type, len(m.Addrs), m.Gen)
+	}
+	// Adopt the world's epoch: survivors are parked at m.Gen (their
+	// Reset waits for this rejoin before bumping), so the lockstep
+	// resumes as if this process had been there all along.
+	t.gen.Store(m.Gen)
+
+	// Dial every peer — a joiner re-establishes both directions itself,
+	// unlike the bootstrap's higher-dials-lower convention.
+	var wg sync.WaitGroup
+	dialErr := make([]error, t.p)
+	dialRetries := make([]int64, t.p)
+	for j := 0; j < t.p; j++ {
+		if j == t.me {
+			continue
+		}
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			c, r, err := dialRetry(m.Addrs[j], t.me, deadline)
+			dialRetries[j] = r
+			if err != nil {
+				dialErr[j] = fmt.Errorf("comm: tcp rank %d redialing rank %d at %s: %w", t.me, j, m.Addrs[j], err)
+				return
+			}
+			c.SetDeadline(deadline)
+			if err := writeBootMsg(c, bootMsg{Type: "rejoin-data", Src: t.me, Dst: j}); err != nil {
+				c.Close()
+				dialErr[j] = fmt.Errorf("comm: tcp rank %d rejoin handshake to rank %d: %w", t.me, j, err)
+				return
+			}
+			if _, err := readBootMsg(c); err != nil {
+				c.Close()
+				dialErr[j] = fmt.Errorf("comm: tcp rank %d rejoin ack from rank %d: %w", t.me, j, err)
+				return
+			}
+			c.SetDeadline(time.Time{})
+			t.conns[j].Store(newTCPConn(j, c))
+		}(j)
+	}
+	wg.Wait()
+	var total int64
+	for _, r := range dialRetries {
+		total += r
+	}
+	t.counters.mu.Lock()
+	t.counters.c.Reconnects += retries + total
+	t.counters.c.Respawns = 1
+	t.counters.mu.Unlock()
+	return errors.Join(dialErr...)
+}
+
+// acceptLoop serves the endpoint's listener after bootstrap: rejoin
+// registrations (rank 0) and rejoin data handshakes (every rank). It
+// exits when the listener closes (Close/Kill) or is detached (Resize).
+func (t *TCPTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			// Closed, detached for reuse, or broken — in every case the
+			// endpoint stops accepting.
+			return
+		}
+		t.handleLateConn(c)
+	}
+}
+
+// handleLateConn performs one post-bootstrap handshake. Handshakes are
+// served serially — a rejoin is rare and cheap — with a deadline so a
+// stuck dialer cannot wedge the loop.
+func (t *TCPTransport) handleLateConn(c net.Conn) {
+	c.SetDeadline(time.Now().Add(t.opts.BootstrapTimeout))
+	m, err := readBootMsg(c)
+	if err != nil {
+		c.Close()
+		return
+	}
+	switch m.Type {
+	case "rejoin":
+		if t.me != 0 {
+			writeBootMsg(c, bootMsg{Type: "error", Err: "rejoin must go to the coordinator (rank 0)"})
+			c.Close()
+			return
+		}
+		if m.Procs != t.p || m.Rank < 1 || m.Rank >= t.p {
+			writeBootMsg(c, bootMsg{Type: "error", Err: fmt.Sprintf("invalid rejoin rank %d/procs %d (world has %d)", m.Rank, m.Procs, t.p)})
+			c.Close()
+			return
+		}
+		t.tableMu.Lock()
+		t.table[m.Rank] = m.Addr
+		tbl := append([]string(nil), t.table...)
+		t.tableMu.Unlock()
+		writeBootMsg(c, bootMsg{Type: "table", Procs: t.p, Addrs: tbl, Gen: t.gen.Load()})
+		c.Close()
+	case "rejoin-data":
+		if m.Dst != t.me || m.Src == t.me || m.Src < 0 || m.Src >= t.p {
+			writeBootMsg(c, bootMsg{Type: "error", Err: fmt.Sprintf("bad rejoin pair (%d,%d) at rank %d", m.Src, m.Dst, t.me)})
+			c.Close()
+			return
+		}
+		if err := writeBootMsg(c, bootMsg{Type: "ok"}); err != nil {
+			c.Close()
+			return
+		}
+		c.SetDeadline(time.Time{})
+		t.adoptRejoin(m.Src, c)
+	default:
+		writeBootMsg(c, bootMsg{Type: "error", Err: "world already bootstrapped"})
+		c.Close()
+	}
+}
+
+// adoptRejoin swaps a respawned peer's fresh connection into the mesh
+// and clears the rank's crash record, so the next Reset can proceed
+// instead of poisoning the run.
+func (t *TCPTransport) adoptRejoin(peer int, c net.Conn) {
+	if t.closed.Load() {
+		c.Close()
+		return
+	}
+	pc := newTCPConn(peer, c)
+	pc.lastRecv.Store(time.Now().UnixNano())
+	if old := t.conns[peer].Load(); old != nil {
+		// Usually already dead (that is why the peer respawned); if the
+		// crash went unnoticed here, retire the old conn now.
+		t.killConn(old)
+	}
+	t.conns[peer].Store(pc)
+	t.wg.Add(2)
+	go t.readLoop(pc)
+	go t.writeLoop(pc)
+	t.lostMu.Lock()
+	delete(t.lostRanks, peer)
+	t.lostMu.Unlock()
+	t.counters.mu.Lock()
+	t.counters.c.Respawns++
+	t.counters.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------
+// Liveness (heartbeats)
+// ---------------------------------------------------------------------
+
+// monitor emits heartbeat frames on every live connection each
+// HeartbeatInterval and — when PeerTimeout is set — declares peers that
+// have been silent past the timeout crashed. Heartbeats make a *hung*
+// process (deadlocked, stopped, partitioned) detectable; a merely slow
+// peer keeps its connection alive at zero protocol cost because
+// heartbeats never enter the mailbox.
+func (t *TCPTransport) monitor() {
+	defer t.wg.Done()
+	tick := time.NewTicker(t.opts.HeartbeatInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-tick.C:
+		}
+		if t.hbSuspend.Load() {
+			continue
+		}
+		now := time.Now()
+		gen := t.gen.Load()
+		for r := range t.conns {
+			pc := t.conns[r].Load()
+			if pc == nil || pc.dead.Load() {
+				continue
+			}
+			pc.mu.Lock()
+			quiet := pc.peerDone || pc.closing
+			pc.mu.Unlock()
+			if quiet {
+				continue
+			}
+			if pt := t.opts.PeerTimeout; pt > 0 {
+				silent := now.Sub(time.Unix(0, pc.lastRecv.Load()))
+				if silent > pt {
+					t.peerLost(pc, fmt.Errorf("no traffic for %v (peer timeout %v)", silent.Round(time.Millisecond), pt))
+					continue
+				}
+			}
+			frame := make([]byte, frameHeaderLen)
+			putFrameHeader(frame, frameHeader{
+				kind: frameHeartbeat,
+				src:  uint32(t.me),
+				dst:  uint32(pc.peer),
+				gen:  gen,
+			})
+			pc.enqueue(frame)
+		}
+	}
+}
+
+// SuspendHeartbeats pauses (or resumes) this endpoint's outgoing
+// heartbeats without touching any socket — to an idle peer the process
+// looks hung, exactly like a deadlocked rank. Test hook for the
+// liveness monitor.
+func (t *TCPTransport) SuspendHeartbeats(suspend bool) {
+	t.hbSuspend.Store(suspend)
 }
 
 // ---------------------------------------------------------------------
@@ -601,7 +946,17 @@ func (t *TCPTransport) Send(src, dst int, tag Tag, payload any, bytes int64) err
 		t.deliver(Message{Src: src, Tag: tag, Payload: raw, Bytes: int64(len(frame))})
 		return nil
 	}
-	t.conns[dst].enqueue(frame)
+	pc := t.conns[dst].Load()
+	if pc == nil || pc.dead.Load() {
+		// The peer crashed between the abort check above and here (or
+		// has not rejoined yet); surface the crash rather than queueing
+		// into the void.
+		if err := t.abort.get(); err != nil {
+			return err
+		}
+		return &PeerCrashError{Rank: dst}
+	}
+	pc.enqueue(frame)
 	return nil
 }
 
@@ -746,11 +1101,36 @@ func (t *TCPTransport) writeFailed(pc *tcpConn, err error) {
 	t.peerLost(pc, err)
 }
 
-// peerLost records a permanent connection failure and aborts the world.
+// peerLost handles a crashed peer, exactly once per conn: retire the
+// connection (so its pumps exit and the slot can be replaced by a
+// rejoin), record the crash in lostRanks, and abort the world with a
+// *PeerCrashError every rank can act on.
 func (t *TCPTransport) peerLost(pc *tcpConn, err error) {
-	lerr := fmt.Errorf("%w: rank %d lost connection to rank %d: %v", ErrAborted, t.me, pc.peer, err)
-	t.lost.CompareAndSwap(nil, &lerr)
-	t.Abort(lerr)
+	if !t.killConn(pc) {
+		return
+	}
+	crash := &PeerCrashError{Rank: pc.peer, Err: fmt.Errorf("rank %d lost contact: %w", t.me, err)}
+	t.lostMu.Lock()
+	if _, seen := t.lostRanks[pc.peer]; !seen {
+		t.lostRanks[pc.peer] = crash
+	}
+	t.lostMu.Unlock()
+	t.Abort(crash)
+}
+
+// killConn retires a connection: closes the socket (kicking the reader
+// out of its blocking read) and wakes the writer so both pumps exit.
+// Returns false if the conn was already retired.
+func (t *TCPTransport) killConn(pc *tcpConn) bool {
+	if !pc.dead.CompareAndSwap(false, true) {
+		return false
+	}
+	pc.c.Close()
+	pc.mu.Lock()
+	pc.closing = true
+	pc.cond.Broadcast()
+	pc.mu.Unlock()
+	return true
 }
 
 // readLoop decodes frames from one peer and dispatches them under the
@@ -773,6 +1153,12 @@ func (t *TCPTransport) readLoop(pc *tcpConn) {
 		if _, err := io.ReadFull(br, payload); err != nil {
 			t.readEnded(pc, err)
 			return
+		}
+		pc.lastRecv.Store(time.Now().UnixNano())
+		if h.kind == frameHeartbeat {
+			// Liveness probes prove the process is alive; they carry no
+			// run state and are exempt from the generation fence.
+			continue
 		}
 		if h.kind == frameShutdown {
 			pc.mu.Lock()
@@ -843,7 +1229,19 @@ func (t *TCPTransport) applyFrame(h frameHeader, m Message, payload []byte) {
 		if err := json.Unmarshal(payload, &wa); err != nil {
 			wa.Msg = fmt.Sprintf("undecodable abort frame: %v", err)
 		}
-		t.abort.set(remoteAbortError(int(h.src), wa))
+		aerr := remoteAbortError(int(h.src), wa)
+		if wa.Crash && wa.CrashRank != t.me {
+			// A remotely reported crash counts as a lost peer here too,
+			// even if the local socket to it still looks healthy (hung
+			// peer detected by someone else's timeout): Reset must not
+			// clear the world's poison before the rank rejoins.
+			t.lostMu.Lock()
+			if _, seen := t.lostRanks[wa.CrashRank]; !seen {
+				t.lostRanks[wa.CrashRank] = aerr
+			}
+			t.lostMu.Unlock()
+		}
+		t.abort.set(aerr)
 		t.wakeAll()
 	case frameBarrierEnter:
 		t.barrierEnter(h.tag)
@@ -859,6 +1257,8 @@ func (t *TCPTransport) applyFrame(h frameHeader, m Message, payload []byte) {
 // cancelled sort return its own ctx.Err().
 func remoteAbortError(src int, wa wireAbort) error {
 	switch {
+	case wa.Crash:
+		return &PeerCrashError{Rank: wa.CrashRank, Err: fmt.Errorf("reported by rank %d: %s", src, wa.Msg)}
 	case wa.Canceled:
 		return fmt.Errorf("%w: %w: remote abort from rank %d: %s", ErrAborted, context.Canceled, src, wa.Msg)
 	case wa.Deadline:
@@ -925,7 +1325,14 @@ func (t *TCPTransport) sendCtrl(dst int, kind byte, seq uint32) error {
 		tag:  seq,
 		gen:  t.gen.Load(),
 	})
-	t.conns[dst].enqueue(frame)
+	pc := t.conns[dst].Load()
+	if pc == nil || pc.dead.Load() {
+		if err := t.abort.get(); err != nil {
+			return err
+		}
+		return &PeerCrashError{Rank: dst}
+	}
+	pc.enqueue(frame)
 	return nil
 }
 
@@ -977,13 +1384,21 @@ func (t *TCPTransport) Abort(err error) {
 		Canceled: errors.Is(latched, context.Canceled),
 		Deadline: errors.Is(latched, context.DeadlineExceeded),
 	}
+	// A crash abort carries the crashed rank, so every survivor
+	// reconstructs the same typed error whoever detected the death.
+	var crash *PeerCrashError
+	if errors.As(latched, &crash) {
+		wa.Crash = true
+		wa.CrashRank = crash.Rank
+	}
 	payload, jerr := json.Marshal(wa)
 	if jerr != nil {
 		payload = []byte("{}")
 	}
 	gen := t.gen.Load()
-	for _, pc := range t.conns {
-		if pc == nil {
+	for r := range t.conns {
+		pc := t.conns[r].Load()
+		if pc == nil || pc.dead.Load() {
 			continue
 		}
 		frame := make([]byte, frameHeaderLen, frameHeaderLen+len(payload))
@@ -1015,13 +1430,18 @@ func (t *TCPTransport) Err() error { return t.abort.get() }
 
 // Reset advances the transport to the next generation: the epoch bump
 // that lets a long-lived engine reuse one mesh across sorts. Queued
-// messages of the old generation are discarded, the abort latch clears
-// (unless a peer connection was permanently lost — that poison stays),
-// the barrier rearms, counters zero — and frames a faster peer already
-// sent for the new generation are delivered out of the pending buffers.
-// Only call while the hosted rank is not running (Pool.Run does this
-// between runs); peers Reset their own endpoints in the same lockstep.
+// messages of the old generation are discarded, the abort latch clears,
+// the barrier rearms, traffic counters zero — and frames a faster peer
+// already sent for the new generation are delivered out of the pending
+// buffers. If a peer crashed, Reset first waits up to RejoinWait for it
+// to rejoin (healing the mesh before the next run); peers still lost
+// after the wait re-poison the transport so the run fails fast with
+// their *PeerCrashError instead of wedging against a dead socket until
+// the watchdog fires. Only call while the hosted rank is not running
+// (Pool.Run does this between runs); peers Reset their own endpoints in
+// the same lockstep.
 func (t *TCPTransport) Reset() {
+	t.awaitRejoin()
 	t.genMu.Lock()
 	next := t.gen.Load() + 1
 	t.box.mu.Lock()
@@ -1033,19 +1453,27 @@ func (t *TCPTransport) Reset() {
 	t.bar.enters = make(map[uint32]int)
 	t.bar.mu.Unlock()
 	t.abort.reset()
-	if p := t.lost.Load(); p != nil {
-		// A dead peer never comes back; keep the transport poisoned so
-		// the next run fails immediately instead of hanging on sends to
-		// a gone socket until the watchdog fires.
-		t.abort.set(*p)
+	t.lostMu.Lock()
+	for _, lerr := range t.lostRanks {
+		// A still-dead peer poisons the next run up front: it fails
+		// with the crash error immediately instead of hanging.
+		t.abort.set(lerr)
+		break
 	}
+	t.lostMu.Unlock()
 	t.counters.mu.Lock()
-	t.counters.c = Counters{}
+	t.counters.c = Counters{
+		// Lifecycle counters describe the mesh, not one run; they
+		// survive the epoch bump.
+		Reconnects: t.counters.c.Reconnects,
+		Respawns:   t.counters.c.Respawns,
+	}
 	t.counters.mu.Unlock()
 	t.gen.Store(next)
 	// Deliver frames peers raced ahead with; drop ones that somehow
 	// still precede the new generation.
-	for _, pc := range t.conns {
+	for r := range t.conns {
+		pc := t.conns[r].Load()
 		if pc == nil {
 			continue
 		}
@@ -1061,6 +1489,27 @@ func (t *TCPTransport) Reset() {
 		pc.pending = keep
 	}
 	t.genMu.Unlock()
+}
+
+// awaitRejoin blocks until every crashed peer has rejoined, up to
+// RejoinWait. It runs before Reset takes the generation lock and before
+// the epoch bump: a joiner adopts the coordinator's pre-bump generation
+// and then performs its own Reset, so everyone enters the next run in
+// lockstep (the pending-frame buffers absorb any residual staggering).
+func (t *TCPTransport) awaitRejoin() {
+	if t.opts.RejoinWait <= 0 {
+		return
+	}
+	deadline := time.Now().Add(t.opts.RejoinWait)
+	for !t.closed.Load() {
+		t.lostMu.Lock()
+		lost := len(t.lostRanks)
+		t.lostMu.Unlock()
+		if lost == 0 || !time.Now().Before(deadline) {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 }
 
 // Counters returns the hosted rank's measured wire traffic; r must be
@@ -1081,10 +1530,14 @@ func (t *TCPTransport) Counters(r int) Counters {
 // loopback mesh does this summation for in-process worlds).
 func (t *TCPTransport) TotalCounters() Counters { return t.Counters(t.me) }
 
-// ResetCounters zeroes the local rank's counters.
+// ResetCounters zeroes the local rank's traffic counters (lifecycle
+// counters — Reconnects, Respawns — survive).
 func (t *TCPTransport) ResetCounters() {
 	t.counters.mu.Lock()
-	t.counters.c = Counters{}
+	t.counters.c = Counters{
+		Reconnects: t.counters.c.Reconnects,
+		Respawns:   t.counters.c.Respawns,
+	}
 	t.counters.mu.Unlock()
 }
 
@@ -1097,9 +1550,14 @@ func (t *TCPTransport) Close() error {
 	if !t.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	close(t.stop)
+	if t.ln != nil && !t.lnKeep.Load() {
+		t.ln.Close()
+	}
 	gen := t.gen.Load()
-	for _, pc := range t.conns {
-		if pc == nil {
+	for r := range t.conns {
+		pc := t.conns[r].Load()
+		if pc == nil || pc.dead.Load() {
 			continue
 		}
 		frame := make([]byte, frameHeaderLen)
@@ -1127,10 +1585,29 @@ func (t *TCPTransport) Close() error {
 	return nil
 }
 
-// forceClose closes every socket outright (bootstrap failure and
-// shutdown-timeout path).
+// Kill force-closes the endpoint with no shutdown handshake at all —
+// the in-process equivalent of kill -9 on a worker: every peer observes
+// a raw EOF (no shutdown frame preceding it) and aborts its world with
+// a *PeerCrashError for this rank. Fault-injection substrate; real
+// deployments just die.
+func (t *TCPTransport) Kill() {
+	if !t.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(t.stop)
+	t.forceClose()
+	t.wakeAll()
+	t.wg.Wait()
+}
+
+// forceClose closes every socket and the listener outright (bootstrap
+// failure, Kill and the shutdown-timeout path).
 func (t *TCPTransport) forceClose() {
-	for _, pc := range t.conns {
+	if t.ln != nil && !t.lnKeep.Load() {
+		t.ln.Close()
+	}
+	for r := range t.conns {
+		pc := t.conns[r].Load()
 		if pc == nil {
 			continue
 		}
@@ -1143,55 +1620,116 @@ func (t *TCPTransport) forceClose() {
 }
 
 // ---------------------------------------------------------------------
+// Resize (graceful re-rendezvous)
+// ---------------------------------------------------------------------
+
+// Resize moves this endpoint into a world of newProcs ranks: it closes
+// the current mesh and performs a fresh rendezvous at the same
+// coordinator address, reusing rank 0's well-known listener so workers
+// never see the address change. Every surviving rank must call Resize
+// with the same newProcs between runs (SPMD, like Reset); ranks with
+// me >= newProcs leave the world — their Resize closes the endpoint and
+// returns (nil, nil) — and brand-new ranks join with a plain DialTCP
+// against the same coordinator. The returned transport is a fresh
+// endpoint (generation restarts at 1); the caller rebuilds its engine
+// around it.
+func (t *TCPTransport) Resize(newProcs int) (*TCPTransport, error) {
+	if newProcs < 1 {
+		panicSize(newProcs)
+	}
+	opts := t.opts
+	opts.Procs = newProcs
+	opts.Rejoin = false
+	opts.CoordinatorListener = nil
+	if t.me >= newProcs {
+		t.Close()
+		return nil, nil
+	}
+	if t.me == 0 {
+		// Detach the coordinator listener before Close so its backlog
+		// keeps catching the new world's registrations while the old
+		// world drains.
+		opts.CoordinatorListener = t.detachListener()
+	}
+	t.Close()
+	return DialTCP(opts)
+}
+
+// detachListener hands the endpoint's listener to a successor: teardown
+// stops closing it, and the blocked acceptLoop is kicked loose with an
+// immediate deadline (the successor's bootstrap sets a fresh one).
+func (t *TCPTransport) detachListener() net.Listener {
+	if t.ln == nil {
+		return nil
+	}
+	t.lnKeep.Store(true)
+	if tl, ok := t.ln.(*net.TCPListener); ok {
+		tl.SetDeadline(time.Now())
+	}
+	return t.ln
+}
+
+// ---------------------------------------------------------------------
 // Loopback mesh
 // ---------------------------------------------------------------------
 
-// tcpMesh is an in-process world over real sockets: p single-rank
+// TCPLoopback is an in-process world over real sockets: p single-rank
 // TCPTransport endpoints on loopback, fronted as one Transport so the
 // standard World/Pool drive and the conformance suite run every byte
 // through the full wire path (codec, framing, generation fence) without
-// multiple processes.
-type tcpMesh struct {
+// multiple processes. It doubles as the fault-injection substrate: Kill
+// simulates kill -9 of one rank, Respawn rejoins a replacement, Resize
+// re-rendezvouses the whole world at a new size — all with the same
+// wire traffic a multi-process deployment would see.
+type TCPLoopback struct {
+	coord string
+	tmpl  TCPOptions // per-endpoint template: timeouts, liveness, rejoin policy
 	nodes []*TCPTransport
 }
 
 var (
-	_ Transport = (*tcpMesh)(nil)
-	_ io.Closer = (*tcpMesh)(nil)
+	_ Transport = (*TCPLoopback)(nil)
+	_ io.Closer = (*TCPLoopback)(nil)
 )
 
 // NewTCPLoopback builds a p-rank world of real localhost TCP
 // connections inside one process — the `tcp` backend's convenience form
 // for tests and single-machine runs (Config.Transport: tcp without a
 // coordinator). Every message is encoded, framed, sent through the
-// kernel and decoded exactly as in the multi-process deployment. The
-// returned transport must be Closed to release its sockets and
-// goroutines.
-func NewTCPLoopback(p int) (Transport, error) {
+// kernel and decoded exactly as in the multi-process deployment. An
+// optional TCPOptions value is the template applied to every endpoint
+// (timeouts, PeerTimeout/HeartbeatInterval, RejoinWait); its identity
+// fields (Coordinator, Rank, Procs, listeners, Rejoin) are overwritten
+// per rank. The returned transport must be Closed to release its
+// sockets and goroutines.
+func NewTCPLoopback(p int, opt ...TCPOptions) (*TCPLoopback, error) {
 	if p < 1 {
 		panicSize(p)
+	}
+	var tmpl TCPOptions
+	if len(opt) > 0 {
+		tmpl = opt[0]
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("comm: tcp loopback listen: %w", err)
 	}
 	coord := ln.Addr().String()
-	nodes := make([]*TCPTransport, p)
+	m := &TCPLoopback{coord: coord, tmpl: tmpl, nodes: make([]*TCPTransport, p)}
 	errs := make([]error, p)
 	var wg sync.WaitGroup
 	for r := 0; r < p; r++ {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			opts := TCPOptions{Coordinator: coord, Rank: r, Procs: p}
+			opts := m.nodeOpts(r, p)
 			if r == 0 {
 				opts.CoordinatorListener = ln
 			}
-			nodes[r], errs[r] = DialTCP(opts)
+			m.nodes[r], errs[r] = DialTCP(opts)
 		}(r)
 	}
 	wg.Wait()
-	m := &tcpMesh{nodes: nodes}
 	if err := errors.Join(errs...); err != nil {
 		m.Close()
 		return nil, err
@@ -1199,38 +1737,127 @@ func NewTCPLoopback(p int) (Transport, error) {
 	return m, nil
 }
 
+// nodeOpts instantiates the template for one rank of a procs-sized
+// world.
+func (m *TCPLoopback) nodeOpts(rank, procs int) TCPOptions {
+	opts := m.tmpl
+	opts.Coordinator = m.coord
+	opts.Rank = rank
+	opts.Procs = procs
+	opts.ListenAddr = ""
+	opts.CoordinatorListener = nil
+	opts.Rejoin = false
+	return opts
+}
+
+// CoordinatorAddr returns the world's rendezvous address — where
+// respawned or newly added ranks register.
+func (m *TCPLoopback) CoordinatorAddr() string { return m.coord }
+
+// Node returns rank r's endpoint (fault-injection and inspection hook).
+func (m *TCPLoopback) Node(r int) *TCPTransport { return m.nodes[r] }
+
+// Kill force-closes rank r's endpoint with no shutdown handshake — the
+// loopback equivalent of kill -9 on that worker process. Surviving
+// ranks observe a raw EOF and abort with a *PeerCrashError for r.
+func (m *TCPLoopback) Kill(r int) { m.nodes[r].Kill() }
+
+// Respawn replaces a killed rank with a fresh endpoint that rejoins the
+// running world (DialTCP with Rejoin), exactly like a respawned worker
+// process re-registering at the coordinator. Call it between runs, from
+// the goroutine driving the world: the swap is published by the
+// happens-before of the next Run. Rank 0 cannot respawn — it hosts the
+// coordinator.
+func (m *TCPLoopback) Respawn(r int) error {
+	old := m.nodes[r]
+	if old != nil && !old.closed.Load() {
+		return fmt.Errorf("comm: rank %d is still alive; Kill it before Respawn", r)
+	}
+	opts := m.nodeOpts(r, len(m.nodes))
+	opts.Rejoin = true
+	nt, err := DialTCP(opts)
+	if err != nil {
+		return err
+	}
+	m.nodes[r] = nt
+	return nil
+}
+
+// Resize moves the world to newProcs ranks with a clean re-rendezvous
+// at the same coordinator address: surviving ranks Resize their
+// endpoints, dropped ranks close, added ranks dial in fresh. Call it
+// between runs; every endpoint afterwards is new (generation restarts),
+// so rebuild any World/Pool around the mesh.
+func (m *TCPLoopback) Resize(newProcs int) error {
+	if newProcs < 1 {
+		panicSize(newProcs)
+	}
+	old := m.nodes
+	nodes := make([]*TCPTransport, newProcs)
+	n := max(len(old), newProcs)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			if r < len(old) {
+				nt, err := old[r].Resize(newProcs)
+				if r < newProcs {
+					nodes[r], errs[r] = nt, err
+				} else {
+					errs[r] = err // leaving rank: nt is nil
+				}
+				return
+			}
+			nodes[r], errs[r] = DialTCP(m.nodeOpts(r, newProcs))
+		}(r)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		for _, nt := range nodes {
+			if nt != nil {
+				nt.Close()
+			}
+		}
+		return err
+	}
+	m.nodes = nodes
+	return nil
+}
+
 // Size returns the number of ranks.
-func (m *tcpMesh) Size() int { return len(m.nodes) }
+func (m *TCPLoopback) Size() int { return len(m.nodes) }
 
 // Send routes through the sending rank's endpoint.
-func (m *tcpMesh) Send(src, dst int, tag Tag, payload any, bytes int64) error {
+func (m *TCPLoopback) Send(src, dst int, tag Tag, payload any, bytes int64) error {
 	return m.nodes[src].Send(src, dst, tag, payload, bytes)
 }
 
 // Recv routes through the receiving rank's endpoint.
-func (m *tcpMesh) Recv(dst, src int, tag Tag) (Message, error) {
+func (m *TCPLoopback) Recv(dst, src int, tag Tag) (Message, error) {
 	return m.nodes[dst].Recv(dst, src, tag)
 }
 
 // TryRecv routes through the receiving rank's endpoint.
-func (m *tcpMesh) TryRecv(dst, src int, tag Tag) (Message, bool, error) {
+func (m *TCPLoopback) TryRecv(dst, src int, tag Tag) (Message, bool, error) {
 	return m.nodes[dst].TryRecv(dst, src, tag)
 }
 
 // Barrier routes through the entering rank's endpoint.
-func (m *tcpMesh) Barrier(rank int) error { return m.nodes[rank].Barrier(rank) }
+func (m *TCPLoopback) Barrier(rank int) error { return m.nodes[rank].Barrier(rank) }
 
 // Abort latches every endpoint immediately (the wire broadcast alone
 // would leave a window in which a not-yet-poisoned endpoint accepts
 // operations).
-func (m *tcpMesh) Abort(err error) {
+func (m *TCPLoopback) Abort(err error) {
 	for _, n := range m.nodes {
 		n.Abort(err)
 	}
 }
 
 // Err returns the first endpoint's latched abort error, if any.
-func (m *tcpMesh) Err() error {
+func (m *TCPLoopback) Err() error {
 	for _, n := range m.nodes {
 		if err := n.Err(); err != nil {
 			return err
@@ -1242,17 +1869,17 @@ func (m *tcpMesh) Err() error {
 // Reset advances every endpoint to the next generation. The mesh is
 // driven by one Pool/World, so no rank is running during Reset and the
 // per-endpoint epochs stay in lockstep.
-func (m *tcpMesh) Reset() {
+func (m *TCPLoopback) Reset() {
 	for _, n := range m.nodes {
 		n.Reset()
 	}
 }
 
 // Counters returns rank r's measured wire traffic.
-func (m *tcpMesh) Counters(r int) Counters { return m.nodes[r].Counters(r) }
+func (m *TCPLoopback) Counters(r int) Counters { return m.nodes[r].Counters(r) }
 
 // TotalCounters sums measured traffic across all ranks.
-func (m *tcpMesh) TotalCounters() Counters {
+func (m *TCPLoopback) TotalCounters() Counters {
 	var total Counters
 	for r, n := range m.nodes {
 		total.Add(n.Counters(r))
@@ -1261,14 +1888,14 @@ func (m *tcpMesh) TotalCounters() Counters {
 }
 
 // ResetCounters zeroes all ranks' counters.
-func (m *tcpMesh) ResetCounters() {
+func (m *TCPLoopback) ResetCounters() {
 	for _, n := range m.nodes {
 		n.ResetCounters()
 	}
 }
 
 // Close tears down every endpoint concurrently.
-func (m *tcpMesh) Close() error {
+func (m *TCPLoopback) Close() error {
 	var wg sync.WaitGroup
 	for _, n := range m.nodes {
 		if n == nil {

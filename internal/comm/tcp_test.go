@@ -59,7 +59,7 @@ func TestTCPGoroutineLeakAfterClose(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		tr.(interface{ Close() error }).Close()
+		tr.Close()
 	}
 	waitGoroutines(t, base)
 }
@@ -81,7 +81,7 @@ func TestTCPGoroutineLeakAfterAbortedRun(t *testing.T) {
 		_, err := c.Recv(0, 7) // unblocked by the abort
 		return err
 	})
-	tr.(interface{ Close() error }).Close()
+	tr.Close()
 	waitGoroutines(t, base)
 }
 
@@ -93,7 +93,7 @@ func TestTCPCountersMeasureWireTraffic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer tr.(interface{ Close() error }).Close()
+	defer tr.Close()
 	w := NewWorld(2, WithTransport(tr), WithTimeout(10*time.Second))
 	payload := []int64{1, 2, 3, 4}
 	if err := w.Run(func(c *Comm) error {
@@ -408,8 +408,9 @@ func TestTCPResetKeepsLostPeerPoison(t *testing.T) {
 	if err == nil {
 		t.Fatal("Reset cleared the lost-peer poison; the next run would hang")
 	}
-	if !strings.Contains(err.Error(), "lost connection") {
-		t.Fatalf("poison error %v does not explain the lost connection", err)
+	var crash *PeerCrashError
+	if !errors.As(err, &crash) || crash.Rank != 0 {
+		t.Fatalf("poison error %v is not a PeerCrashError naming rank 0", err)
 	}
 	// A cancellation abort, by contrast, must still clear.
 	fresh := dialWorkerNodes(t, 2)
@@ -418,7 +419,7 @@ func TestTCPResetKeepsLostPeerPoison(t *testing.T) {
 	if err := fresh[0].Err(); err != nil && !errors.Is(err, context.Canceled) {
 		t.Fatalf("unexpected latch after reset: %v", err)
 	}
-	if err := fresh[0].Err(); err != nil && strings.Contains(err.Error(), "lost connection") {
-		t.Fatalf("cancellation mislabeled as connection loss: %v", err)
+	if err := fresh[0].Err(); err != nil && errors.As(err, &crash) {
+		t.Fatalf("cancellation mislabeled as a peer crash: %v", err)
 	}
 }

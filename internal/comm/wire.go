@@ -50,7 +50,12 @@ import (
 // records"). The byte layout of previously existing payloads is
 // unchanged, but hsswire/1 peers never registered the byte-key types,
 // so the versions must not mix.
-const wireProtoVersion = 2
+//
+// Version 3 added liveness and recovery: the heartbeat frame kind, the
+// crash fields of the abort payload, the rejoin bootstrap messages and
+// the generation field of the table reply. An hsswire/2 peer would
+// treat a heartbeat as a protocol error, so the versions must not mix.
+const wireProtoVersion = 3
 
 // Frame kinds. A frame is the unit of the TCP transport's framing layer:
 // a fixed 25-byte header followed by length payload bytes (see
@@ -71,6 +76,11 @@ const (
 	// frameShutdown announces a graceful close of the sending side;
 	// a subsequent EOF from that peer is teardown, not failure.
 	frameShutdown
+	// frameHeartbeat is a liveness probe: empty payload, consumed by the
+	// receiving pump without entering the mailbox, and exempt from
+	// generation fencing (liveness is a property of the process, not of
+	// any one run). Sent periodically when TCPOptions.PeerTimeout is set.
+	frameHeartbeat
 )
 
 // frameHeaderLen is the fixed size of the frame header on the wire:
@@ -120,6 +130,11 @@ type wireAbort struct {
 	// errors.Is(err, context.DeadlineExceeded) on the originating side.
 	Canceled bool `json:"canceled,omitempty"`
 	Deadline bool `json:"deadline,omitempty"`
+	// Crash and CrashRank report that the abort was a *PeerCrashError
+	// for CrashRank, so every survivor reconstructs the same typed error
+	// (same crashed rank) regardless of which rank detected the death.
+	Crash     bool `json:"crash,omitempty"`
+	CrashRank int  `json:"crashRank,omitempty"`
 }
 
 // ---------------------------------------------------------------------

@@ -255,6 +255,28 @@ const (
 	TagSpan = 11
 )
 
+// PhaseTagRange maps a named sort phase to the half-open tag interval
+// [lo, hi) it occupies within the BaseTag range, for chaos/fault tooling
+// that triggers on "the first message of phase X". base == 0 selects the
+// default BaseTag (1000). Recognised phases: "start" (the whole span),
+// "splitter" (count all-reduce through histogram reduction), "exchange"
+// (bucket exchange and the staleness guard, excluding the closing stats
+// all-reduce). ok is false for any other name.
+func PhaseTagRange(base comm.Tag, phase string) (lo, hi comm.Tag, ok bool) {
+	if base == 0 {
+		base = 1000
+	}
+	switch phase {
+	case "start":
+		return base, base + TagSpan, true
+	case "splitter":
+		return base, base + tagExchange, true
+	case "exchange":
+		return base + tagExchange, base + tagStats, true
+	}
+	return 0, 0, false
+}
+
 // Stats reports one sort invocation. Per-phase durations are global
 // maxima over ranks (the BSP critical path); byte counts are global sums;
 // Rounds and sample sizes describe the splitter-determination protocol.
@@ -304,6 +326,12 @@ type Stats struct {
 	Imbalance float64
 	// LocalCount is this rank's output size.
 	LocalCount int
+	// Reconnects and Respawns are transport lifecycle counters summed
+	// over ranks: dial retries beyond each first attempt, and rejoin
+	// handshakes after a crash. Always zero on in-memory transports —
+	// nonzero values are the fingerprint of a mesh that survived
+	// churn (see comm.Counters).
+	Reconnects, Respawns int64
 }
 
 // Total returns the end-to-end critical-path time.
@@ -334,9 +362,17 @@ type PhaseTimes struct {
 // final collective step shared by every sort pipeline: byte counts and
 // output totals sum across ranks; phase times, overlap and peak
 // in-flight take the global max (the BSP critical path); the output
-// counts yield Imbalance. Every rank must call it with the same tag, and
-// every rank receives the same aggregates.
+// counts yield Imbalance. Transport lifecycle counters (reconnects,
+// respawns) are read off the endpoint itself and summed, so a single
+// rank's crash-recovery work is visible in every rank's Stats. Every
+// rank must call it with the same tag, and every rank receives the same
+// aggregates.
 func FinishStats(e comm.Endpoint, tag comm.Tag, st *Stats, m PhaseTimes) error {
+	var reconnects, respawns int64
+	if cc, ok := e.(*comm.Comm); ok {
+		ctr := cc.Counters()
+		reconnects, respawns = ctr.Reconnects, ctr.Respawns
+	}
 	agg, err := collective.AllReduce(e, tag, []int64{
 		m.SplitterBytes, m.ExchangeBytes,
 		int64(m.LocalSort), int64(m.Splitter), int64(m.Exchange), int64(m.Merge),
@@ -345,6 +381,7 @@ func FinishStats(e comm.Endpoint, tag comm.Tag, st *Stats, m PhaseTimes) error {
 		int64(m.OutCount), // max -> hottest rank
 		m.ParSpawned, m.ParTasks,
 		m.PrefixCollisions,
+		reconnects, respawns,
 	}, func(dst, src []int64) {
 		dst[0] += src[0]
 		dst[1] += src[1]
@@ -360,6 +397,8 @@ func FinishStats(e comm.Endpoint, tag comm.Tag, st *Stats, m PhaseTimes) error {
 		dst[10] += src[10]
 		dst[11] += src[11]
 		dst[12] += src[12]
+		dst[13] += src[13]
+		dst[14] += src[14]
 	})
 	if err != nil {
 		return err
@@ -380,5 +419,7 @@ func FinishStats(e comm.Endpoint, tag comm.Tag, st *Stats, m PhaseTimes) error {
 	st.ParSpawned = agg[10]
 	st.ParTasks = agg[11]
 	st.PrefixCollisions = agg[12]
+	st.Reconnects = agg[13]
+	st.Respawns = agg[14]
 	return nil
 }

@@ -1,11 +1,16 @@
 package hssort
 
 import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
 	"slices"
 	"strings"
 	"testing"
 	"time"
 
+	"hssort/internal/comm"
 	"hssort/internal/dist"
 )
 
@@ -111,6 +116,198 @@ func TestSortDeterministicGivenSeed(t *testing.T) {
 	}
 	if !slices.Equal(a1, b) {
 		t.Error("different seeds changed the sorted output (it must be seed-independent)")
+	}
+}
+
+// ---------------------------------------------------------------------
+// Failure survival (Config.Chaos, PeerCrashError, respawn + rejoin)
+// ---------------------------------------------------------------------
+
+// chaosShards is the deterministic input the chaos tests share.
+func chaosShards(p, perRank int) [][]int64 {
+	return dist.Spec{Kind: dist.PowerSkew, Min: 0, Max: 1 << 40}.Shards(perRank, p, 17)
+}
+
+// TestSortUnderFaultInjection: seeded link faults (drops retransmitted,
+// latency jitter, suppressed duplicates) over the real TCP loopback
+// mesh change no output — each faulted run is rank-identical to a clean
+// sim run, across both exchange planes and both code paths. Run with
+// -race in CI (the chaos job).
+func TestSortUnderFaultInjection(t *testing.T) {
+	const p, perRank = 4, 800
+	faults := []struct {
+		name  string
+		chaos ChaosConfig
+	}{
+		{"drop", ChaosConfig{Seed: 42, Drop: 0.15}},
+		{"delay", ChaosConfig{Seed: 43, Delay: 0.25}},
+		{"dup", ChaosConfig{Seed: 44, Dup: 0.15}},
+		{"mixed", ChaosConfig{Seed: 45, Drop: 0.05, Delay: 0.1, Dup: 0.05}},
+	}
+	base := Config{Procs: p, Algorithm: HSS, Epsilon: 0.05, Seed: 3}
+	for _, stream := range []bool{false, true} {
+		for _, cp := range []CodePath{CodePathOff, CodePathOn} {
+			cfg := base
+			cfg.StreamExchange = stream
+			cfg.CodePath = cp
+
+			simCfg := cfg
+			simCfg.Transport = TransportSim
+			want, _, err := Sort(simCfg, chaosShards(p, perRank))
+			if err != nil {
+				t.Fatalf("sim oracle: %v", err)
+			}
+			for _, f := range faults {
+				name := fmt.Sprintf("%s/stream=%v/codepath=%v", f.name, stream, cp)
+				t.Run(name, func(t *testing.T) {
+					chaos := f.chaos
+					chaosCfg := cfg
+					chaosCfg.Transport = TransportTCP
+					chaosCfg.Chaos = &chaos
+					outs, _, err := Sort(chaosCfg, chaosShards(p, perRank))
+					if err != nil {
+						t.Fatalf("faulted sort: %v", err)
+					}
+					for r := range want {
+						if !slices.Equal(outs[r], want[r]) {
+							t.Fatalf("rank %d output differs under link faults (%d vs %d keys)",
+								r, len(outs[r]), len(want[r]))
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// crashReports walks a (possibly joined and wrapped) sort error and
+// counts the per-rank *PeerCrashError leaves naming the victim.
+func crashReports(err error, victim int) int {
+	n := 0
+	var walk func(error)
+	walk = func(e error) {
+		if e == nil {
+			return
+		}
+		if crash, ok := e.(*PeerCrashError); ok {
+			if crash.Rank == victim {
+				n++
+			}
+			return
+		}
+		if m, ok := e.(interface{ Unwrap() []error }); ok {
+			for _, c := range m.Unwrap() {
+				walk(c)
+			}
+			return
+		}
+		walk(errors.Unwrap(e))
+	}
+	walk(err)
+	return n
+}
+
+// TestPeerCrashMidExchange: a seeded crash of one rank during the data
+// exchange makes the sort fail fast (no hang) with a *PeerCrashError
+// naming the victim, on every surviving rank; Close then releases every
+// socket and goroutine.
+func TestPeerCrashMidExchange(t *testing.T) {
+	const p, perRank, victim = 4, 800, 2
+	before := runtime.NumGoroutine()
+	{
+		engine, err := New[int64](Config{
+			Procs: p, Algorithm: HSS, Epsilon: 0.05, Seed: 3,
+			Transport: TransportTCP,
+			Chaos:     &ChaosConfig{Seed: 7, CrashRank: victim, CrashPhase: "exchange"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, err = engine.Sort(context.Background(), chaosShards(p, perRank))
+		var crash *PeerCrashError
+		if !errors.As(err, &crash) {
+			t.Fatalf("crashed sort returned %v, want a *PeerCrashError", err)
+		}
+		if crash.Rank != victim {
+			t.Errorf("PeerCrashError names rank %d, want %d", crash.Rank, victim)
+		}
+		if !errors.Is(err, comm.ErrAborted) {
+			t.Errorf("crash error does not wrap comm.ErrAborted: %v", err)
+		}
+		// Every surviving rank (and the victim itself, whose sends fail
+		// with the latched crash) reports the same typed error for the
+		// same rank.
+		if n := crashReports(err, victim); n < p-1 {
+			t.Errorf("only %d of %d surviving ranks reported the crash: %v", n, p-1, err)
+		}
+		engine.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked after crash + Close: %d > baseline %d",
+				runtime.NumGoroutine(), before)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRejoinThenSort: after a mid-sort crash, respawning the victim
+// rank heals the same engine — the next Sort completes and is
+// rank-identical to the sim oracle (the lost rank's shard re-executes
+// deterministically), and the respawn surfaces in Stats.
+func TestRejoinThenSort(t *testing.T) {
+	const p, perRank, victim = 4, 1000, 1
+	simCfg := Config{Procs: p, Algorithm: HSS, Epsilon: 0.05, Seed: 3}
+	want, _, err := Sort(simCfg, chaosShards(p, perRank))
+	if err != nil {
+		t.Fatalf("sim oracle: %v", err)
+	}
+
+	cfg := simCfg
+	cfg.Transport = TransportTCP
+	cfg.Chaos = &ChaosConfig{Seed: 11, CrashRank: victim, CrashPhase: "exchange"}
+	engine, err := New[int64](cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine.Close()
+
+	_, _, err = engine.Sort(context.Background(), chaosShards(p, perRank))
+	var crash *PeerCrashError
+	if !errors.As(err, &crash) || crash.Rank != victim {
+		t.Fatalf("crashed sort returned %v, want *PeerCrashError{Rank: %d}", err, victim)
+	}
+
+	ft := engine.pool.Transport().(*comm.FaultTransport)
+	ft.ClearCrash() // the one-shot crash fired; disarm for the healed runs
+	if err := ft.Inner().(*comm.TCPLoopback).Respawn(victim); err != nil {
+		t.Fatalf("respawn: %v", err)
+	}
+
+	outs, stats, err := engine.Sort(context.Background(), chaosShards(p, perRank))
+	if err != nil {
+		t.Fatalf("sort after rejoin: %v", err)
+	}
+	for r := range want {
+		if !slices.Equal(outs[r], want[r]) {
+			t.Fatalf("rank %d output differs after rejoin (%d vs %d keys)",
+				r, len(outs[r]), len(want[r]))
+		}
+	}
+	if stats.Respawns < 1 {
+		t.Errorf("Stats.Respawns = %d after a respawn, want >= 1", stats.Respawns)
+	}
+
+	// The healed engine keeps working: one more sort, same oracle.
+	outs, _, err = engine.Sort(context.Background(), chaosShards(p, perRank))
+	if err != nil {
+		t.Fatalf("second sort after rejoin: %v", err)
+	}
+	for r := range want {
+		if !slices.Equal(outs[r], want[r]) {
+			t.Fatalf("rank %d output differs on the second healed sort", r)
+		}
 	}
 }
 

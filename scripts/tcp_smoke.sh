@@ -6,8 +6,12 @@
 # end-to-end correctness (wire codec, bootstrap, exchange, merge).
 #
 # Runs twice: once on int64 keys (fixed-size wire records) and once on
-# variable-length byte-string keys (the hsswire/2 varlen codec and the
-# prefix-code plane).
+# variable-length byte-string keys (the hsswire/3 varlen codec and the
+# prefix-code plane). A third pass is the failure-survival gate: one of
+# four manually-launched workers kill -9s itself mid-exchange (a seeded
+# -chaos crash), the survivors report the crash and wait out
+# -rejoin-wait, the victim is respawned with -rejoin, and the healed
+# fleet's digests still match the sim oracle.
 #
 # Usage: scripts/tcp_smoke.sh [keys-per-rank]
 set -euo pipefail
@@ -38,3 +42,48 @@ check() {
 
 check "int64/powerskew, $N keys/rank" -n "$N" -dist powerskew -stream -eps 0.05 -seed 7 -digest
 check "bytes/urllike, $((N / 5)) keys/rank" -n "$((N / 5))" -keys bytes -dist urllike -stream -eps 0.05 -seed 7 -digest
+
+# Failure-survival pass: kill one worker mid-sort, respawn it, and
+# assert the healed fleet's output is still digest-identical to sim.
+# The victim's -chaos crash is a real SIGKILL of its own process at its
+# first exchange-phase send of the first of two sorts; the survivors'
+# -rejoin-wait makes them retry that sort once the respawned victim
+# rejoins the mesh.
+kill_respawn() {
+  local victim=2
+  local coord="127.0.0.1:$(( (RANDOM % 20000) + 20000 ))"
+  local flags=(-transport tcp -p "$PROCS" -n "$((N / 5))" -dist powerskew -stream
+               -eps 0.05 -seed 7 -digest -repeat 2 -peer-timeout 5s -rejoin-wait 60s)
+  local pids=() r
+  rm -f "$tmp"/worker*.out
+  for r in $(seq 0 $((PROCS - 1))); do
+    if [ "$r" -eq "$victim" ]; then
+      timeout 120 "$tmp/hssort" "${flags[@]}" -coordinator "$coord" -rank "$r" \
+        -chaos "9:crash=$victim@exchange" > "$tmp/victim.first.out" 2>&1 &
+    else
+      timeout 120 "$tmp/hssort" "${flags[@]}" -coordinator "$coord" -rank "$r" \
+        > "$tmp/worker$r.out" &
+    fi
+    pids[$r]=$!
+  done
+  if wait "${pids[$victim]}"; then
+    echo "victim exited cleanly; the chaos crash never fired" >&2
+    return 1
+  fi
+  echo "rank $victim killed itself mid-exchange; respawning it with -rejoin" >&2
+  timeout 120 "$tmp/hssort" "${flags[@]}" -coordinator "$coord" -rank "$victim" \
+    -rejoin > "$tmp/worker$victim.out" &
+  pids[$victim]=$!
+  for r in $(seq 0 $((PROCS - 1))); do
+    wait "${pids[$r]}" || { echo "worker $r failed after the respawn" >&2; return 1; }
+  done
+  "$tmp/hssort" -p "$PROCS" -n "$((N / 5))" -dist powerskew -stream -eps 0.05 -seed 7 -digest \
+    | grep '^digest' | sort > "$tmp/sim.digests"
+  cat "$tmp"/worker*.out | grep '^digest' | sort > "$tmp/tcp.digests"
+  diff -u "$tmp/sim.digests" "$tmp/tcp.digests"
+  echo "tcp == sim after kill -9 + respawn + rejoin: rank-identical output across $PROCS worker processes"
+}
+
+# The ephemeral coordinator port is picked blindly; retry once if a
+# stray localhost process owns it (same race the -launch passes retry).
+kill_respawn || { echo "retrying the kill/respawn pass" >&2; kill_respawn; }

@@ -345,11 +345,19 @@ func runWorkerEngines(p, perRank, runs int) ([][]string, error) {
 const tcpWorkerEnv = "HSSORT_TCP_WORKER"
 
 // runTCPWorker is the re-exec entry point: spec is
-// "rank=R procs=P perRank=N runs=K coordinator=ADDR". It sorts through
-// a worker-mode engine and prints one digest line per run.
+// "rank=R procs=P perRank=N runs=K coordinator=ADDR" plus the optional
+// failure-survival fields "heartbeat=DUR peerTimeout=DUR rejoinWait=DUR
+// rejoin=1 chaos=SEED:SPEC". It sorts through a worker-mode engine and
+// prints one digest line per run; a chaos crash naming this rank
+// SIGKILLs the process (a real kill -9, observed by the peers as a raw
+// socket sever), while a *PeerCrashError from a peer's death is printed
+// as a CRASH line and the run retried — the retry blocks in the
+// transport's rejoin wait until the respawned rank heals the mesh.
 func runTCPWorker(spec string) int {
 	var rank, procs, perRank, runs int
-	var coordinator string
+	var coordinator, chaosSpec string
+	var heartbeat, peerTimeout, rejoinWait time.Duration
+	rejoin := false
 	for _, f := range strings.Fields(spec) {
 		k, v, _ := strings.Cut(f, "=")
 		switch k {
@@ -363,23 +371,65 @@ func runTCPWorker(spec string) int {
 			fmt.Sscanf(v, "%d", &runs)
 		case "coordinator":
 			coordinator = v
+		case "heartbeat":
+			heartbeat, _ = time.ParseDuration(v)
+		case "peerTimeout":
+			peerTimeout, _ = time.ParseDuration(v)
+		case "rejoinWait":
+			rejoinWait, _ = time.ParseDuration(v)
+		case "rejoin":
+			rejoin = v == "1"
+		case "chaos":
+			chaosSpec = v
 		}
 	}
-	engine, err := New[int64](workerConfig(coordinator, rank, procs, true, CodePathAuto))
+	cfg := workerConfig(coordinator, rank, procs, true, CodePathAuto)
+	cfg.TCP.HeartbeatInterval = heartbeat
+	cfg.TCP.PeerTimeout = peerTimeout
+	cfg.TCP.RejoinWait = rejoinWait
+	cfg.TCP.Rejoin = rejoin
+	if chaosSpec != "" {
+		cc, err := ParseChaosSpec(chaosSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "worker %d: %v\n", rank, err)
+			return 1
+		}
+		cc.OnCrash = func(int) {
+			// A real crash: no deferred Close, no shutdown handshake.
+			proc, _ := os.FindProcess(os.Getpid())
+			proc.Kill()
+			select {} // unreachable; Kill is SIGKILL
+		}
+		cfg.Chaos = cc
+	}
+	engine, err := New[int64](cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "worker %d: %v\n", rank, err)
 		return 1
 	}
 	defer engine.Close()
-	for run := 0; run < runs; run++ {
+	for run, attempts := 0, 0; run < runs; {
 		shards := make([][]int64, procs)
 		shards[rank] = slices.Clone(workerShards(procs, perRank)[rank])
-		outs, _, err := engine.Sort(context.Background(), shards)
+		outs, stats, err := engine.Sort(context.Background(), shards)
+		var crash *PeerCrashError
+		if errors.As(err, &crash) {
+			if attempts++; attempts > 5 {
+				fmt.Fprintf(os.Stderr, "worker %d run %d: still crashed after %d attempts: %v\n", rank, run, attempts, err)
+				return 1
+			}
+			fmt.Printf("CRASH run=%d rank=%d lost=%d\n", run, rank, crash.Rank)
+			continue // retry the run; Reset waits out the rejoin
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "worker %d run %d: %v\n", rank, run, err)
 			return 1
 		}
 		fmt.Printf("DIGEST run=%d rank=%d %s\n", run, rank, keyDigest(outs[rank]))
+		if rank == 0 && stats.Respawns > 0 {
+			fmt.Printf("RESPAWNS run=%d %d\n", run, stats.Respawns)
+		}
+		run++
 	}
 	return 0
 }
@@ -465,6 +515,152 @@ func launchWorkers(t *testing.T, exe string, p, perRank, runs int) ([]string, er
 			if err := cmd.Wait(); err != nil {
 				errs[r] = fmt.Errorf("worker %d: %w", r, err)
 			}
+		}(r)
+	}
+	wg.Wait()
+	return lines, errors.Join(errs...)
+}
+
+// TestTCPMultiProcessKillRespawn is the failure-survival counterpart of
+// TestTCPMultiProcess: four OS processes, one of which SIGKILLs itself
+// mid-exchange of the first sort (a seeded chaos crash — a real kill
+// -9, no shutdown handshake). The surviving processes report the crash
+// as a *PeerCrashError naming the victim, the harness respawns the
+// victim with the rejoin flag, the retried sort and the following one
+// complete, and every digest matches the sim oracle.
+func TestTCPMultiProcessKillRespawn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process kill/respawn run")
+	}
+	const p, perRank, runs, victim = 4, 1500, 2, 2
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := simDigests(t, p, perRank, runs)
+
+	var lines []string
+	for attempt := 0; ; attempt++ {
+		lines, err = launchKillRespawn(t, exe, p, perRank, runs, victim)
+		if err == nil {
+			break
+		}
+		if attempt >= 2 {
+			t.Fatalf("kill/respawn fleet failed after retries: %v", err)
+		}
+		t.Logf("retrying after bootstrap race: %v", err)
+	}
+
+	got := make([][]string, runs)
+	for i := range got {
+		got[i] = make([]string, p)
+	}
+	crashes := make(map[int]int) // reporting rank -> lost rank
+	respawns := 0
+	for _, line := range lines {
+		var run, rank, lost, n int
+		var digest string
+		switch {
+		case scanLine(line, "DIGEST run=%d rank=%d %s", &run, &rank, &digest):
+			got[run][rank] = digest
+		case scanLine(line, "CRASH run=%d rank=%d lost=%d", &run, &rank, &lost):
+			crashes[rank] = lost
+		case scanLine(line, "RESPAWNS run=%d %d", &run, &n):
+			respawns = max(respawns, n)
+		}
+	}
+	for run := 0; run < runs; run++ {
+		if !slices.Equal(got[run], want[run]) {
+			t.Errorf("run %d digests differ:\n tcp %v\n sim %v", run, got[run], want[run])
+		}
+	}
+	// Every surviving process must have observed the same typed crash,
+	// naming the same rank.
+	if len(crashes) < p-1 {
+		t.Errorf("only %d of %d survivors reported the crash: %v", len(crashes), p-1, crashes)
+	}
+	for rank, lost := range crashes {
+		if lost != victim {
+			t.Errorf("rank %d reported lost rank %d, want %d", rank, lost, victim)
+		}
+	}
+	// The respawn is visible in the post-rejoin run's aggregated stats:
+	// each survivor adopted one rejoined edge and the joiner respawned.
+	if respawns < p-1 {
+		t.Errorf("rank 0 stats report %d respawns, want >= %d", respawns, p-1)
+	}
+}
+
+// scanLine is a strict Sscanf wrapper: true only when every field
+// matched.
+func scanLine(line, format string, args ...any) bool {
+	n, err := fmt.Sscanf(line, format, args...)
+	return err == nil && n == len(args)
+}
+
+// launchKillRespawn forks the kill/respawn worker fleet: p-1 survivors
+// with heartbeats and a rejoin wait, one victim armed with a seeded
+// self-SIGKILL at its first exchange-phase send. When the victim dies
+// (which must be by signal, not a clean exit), it is relaunched with
+// rejoin=1; all stdout lines are collected.
+func launchKillRespawn(t *testing.T, exe string, p, perRank, runs, victim int) ([]string, error) {
+	t.Helper()
+	coordinator := freeLoopbackAddr(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	var mu sync.Mutex
+	var lines []string
+	// run starts one worker process and blocks until it exits, draining
+	// its stdout to EOF before Wait (Wait closes the pipe).
+	run := func(spec string) error {
+		cmd := exec.CommandContext(ctx, exe, "-test.run=NONE")
+		cmd.Env = append(os.Environ(), tcpWorkerEnv+"="+spec)
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			return err
+		}
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return err
+		}
+		sc := bufio.NewScanner(out)
+		for sc.Scan() {
+			mu.Lock()
+			lines = append(lines, sc.Text())
+			mu.Unlock()
+		}
+		return cmd.Wait()
+	}
+	base := func(r int) string {
+		return fmt.Sprintf("rank=%d procs=%d perRank=%d runs=%d coordinator=%s heartbeat=500ms peerTimeout=5s rejoinWait=60s",
+			r, p, perRank, runs, coordinator)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, p)
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = func() error {
+				if r != victim {
+					if err := run(base(r)); err != nil {
+						return fmt.Errorf("worker %d: %w", r, err)
+					}
+					return nil
+				}
+				// The victim: armed to SIGKILL itself at its first
+				// exchange-phase send of the first sort.
+				if err := run(base(r) + fmt.Sprintf(" chaos=9:crash=%d@exchange", victim)); err == nil {
+					return fmt.Errorf("victim exited cleanly; the chaos crash never fired")
+				}
+				// Respawn with the rejoin handshake; it re-registers with
+				// the coordinator, redials the survivors and re-executes
+				// its shard from run 0.
+				if err := run(base(r) + " rejoin=1"); err != nil {
+					return fmt.Errorf("respawned victim: %w", err)
+				}
+				return nil
+			}()
 		}(r)
 	}
 	wg.Wait()

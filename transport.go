@@ -59,6 +59,28 @@ type TCPConfig struct {
 	// BootstrapTimeout bounds rendezvous + mesh construction (default
 	// 30s).
 	BootstrapTimeout time.Duration
+	// HeartbeatInterval is the liveness probe period: each endpoint
+	// sends an empty heartbeat frame to every quiet peer at this
+	// interval. Zero defaults to PeerTimeout/3 when PeerTimeout is set,
+	// else heartbeats are off.
+	HeartbeatInterval time.Duration
+	// PeerTimeout declares a peer crashed after this much total silence
+	// (no data, no heartbeats): surviving ranks then fail the run with a
+	// *PeerCrashError naming the lost rank instead of hanging. Zero (the
+	// default) disables timeout-based crash detection; connection EOFs
+	// are still detected.
+	PeerTimeout time.Duration
+	// RejoinWait makes the next sort after a peer crash block up to this
+	// long for the crashed rank to respawn and rejoin (worker processes
+	// restarted with Rejoin set) before giving up. Zero starts the next
+	// sort immediately, failing it if the mesh is still torn.
+	RejoinWait time.Duration
+	// Rejoin re-enters an existing world after a crash instead of
+	// bootstrapping a new one: the respawned worker process re-registers
+	// with the coordinator, learns the current address table and
+	// generation, and redials its mesh edges while the survivors wait
+	// (RejoinWait). Worker mode only (Coordinator must be set, Rank > 0).
+	Rejoin bool
 }
 
 // transportSpec is one registered backend: the single source of truth
@@ -96,14 +118,27 @@ var transportSpecs = []transportSpec{
 		summary: "multi-process sockets with measured wire traffic (docs/WIRE.md); loopback mesh unless Config.TCP names a coordinator",
 		build: func(cfg Config) (comm.Transport, error) {
 			if cfg.TCP.Coordinator == "" {
-				return comm.NewTCPLoopback(cfg.Procs)
+				m, err := comm.NewTCPLoopback(cfg.Procs, comm.TCPOptions{
+					BootstrapTimeout:  cfg.TCP.BootstrapTimeout,
+					HeartbeatInterval: cfg.TCP.HeartbeatInterval,
+					PeerTimeout:       cfg.TCP.PeerTimeout,
+					RejoinWait:        cfg.TCP.RejoinWait,
+				})
+				if err != nil {
+					return nil, err
+				}
+				return m, nil
 			}
 			return comm.DialTCP(comm.TCPOptions{
-				Coordinator:      cfg.TCP.Coordinator,
-				Rank:             cfg.TCP.Rank,
-				Procs:            cfg.Procs,
-				ListenAddr:       cfg.TCP.ListenAddr,
-				BootstrapTimeout: cfg.TCP.BootstrapTimeout,
+				Coordinator:       cfg.TCP.Coordinator,
+				Rank:              cfg.TCP.Rank,
+				Procs:             cfg.Procs,
+				ListenAddr:        cfg.TCP.ListenAddr,
+				BootstrapTimeout:  cfg.TCP.BootstrapTimeout,
+				HeartbeatInterval: cfg.TCP.HeartbeatInterval,
+				PeerTimeout:       cfg.TCP.PeerTimeout,
+				RejoinWait:        cfg.TCP.RejoinWait,
+				Rejoin:            cfg.TCP.Rejoin,
 			})
 		},
 	},
@@ -159,13 +194,26 @@ func ParseTransport(s string) (Transport, error) {
 	return 0, fmt.Errorf("hssort: unknown transport %q (valid values: %s)", s, strings.Join(TransportNames(), ", "))
 }
 
-// newTransport builds the comm backend for a run over cfg.Procs ranks.
+// newTransport builds the comm backend for a run over cfg.Procs ranks,
+// wrapping it in the fault-injection layer when Config.Chaos is set.
 func newTransport(cfg Config) (comm.Transport, error) {
 	s, ok := cfg.Transport.spec()
 	if !ok {
 		return nil, fmt.Errorf("hssort: unknown transport %v (valid values: %s)", cfg.Transport, strings.Join(TransportNames(), ", "))
 	}
-	return s.build(cfg)
+	t, err := s.build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Chaos != nil {
+		spec, err := cfg.Chaos.faultSpec(cfg.Procs)
+		if err != nil {
+			closeTransport(t)
+			return nil, err
+		}
+		return comm.NewFaultTransport(t, spec), nil
+	}
+	return t, nil
 }
 
 // closeTransport releases backends that hold OS resources (sockets,
