@@ -35,6 +35,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -336,6 +337,7 @@ func main() {
 		planned: splitterPlan != nil, workerMode: workerMode}.print()
 	if *digest {
 		printDigests(outs, *rank, workerMode)
+		printStatsJSON(stats)
 	}
 
 	if *verbose {
@@ -549,6 +551,7 @@ func runBytes(ctx context.Context, cfg hssort.Config, kind dist.ByteKind, o byte
 		planned: splitterPlan != nil, workerMode: o.workerMode}.print()
 	if o.digest {
 		printByteDigests(outs, o.rank, o.workerMode)
+		printStatsJSON(stats)
 	}
 
 	if o.verbose {
@@ -593,6 +596,19 @@ func printByteDigests(outs [][][]byte, rank int, workerMode bool) {
 		}
 		fmt.Printf("digest rank=%d n=%d fnv=%016x\n", r, len(o), h.Sum64())
 	}
+}
+
+// printStatsJSON emits the run's statistics as one machine-readable
+// "stats {json}" line (hssort.Stats.Snapshot) next to the digest
+// lines, so scripted runs can diff digests and scrape metrics from one
+// invocation. Digest consumers key on the "digest " prefix and are
+// unaffected.
+func printStatsJSON(stats hssort.Stats) {
+	b, err := json.Marshal(stats)
+	if err != nil {
+		return
+	}
+	fmt.Printf("stats %s\n", b)
 }
 
 // printDigests emits one deterministic fingerprint line per output

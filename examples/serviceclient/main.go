@@ -1,0 +1,305 @@
+// Service usage over the wire: driving the hssortd daemon through its
+// HTTP API instead of linking the library.
+//
+// Two tenants submit concurrent sort jobs — one sorts int64 telemetry,
+// one sorts byte-string URL keys — and every response is checked
+// against a locally sorted copy of the same input. One tenant then
+// resubmits its recurring distribution and observes the daemon's plan
+// cache at work: the repeat sorts with zero histogramming rounds
+// (planCache "hit"), the operation-phase payoff the in-process
+// examples/service demo shows with SortWithPlan, now behind a network
+// API with per-tenant scheduling, quotas and a /metrics surface.
+//
+// By default the example self-hosts a daemon in-process and exercises
+// it over a real localhost socket. Against an already-running daemon:
+//
+//	go run ./examples/serviceclient -addr localhost:8080
+//
+// -flood N switches to an admission-control probe: N oversized async
+// submissions race into the daemon and the example reports how many
+// were refused with 429 — run it against a daemon started with a small
+// -queue to watch load shedding (scripts/serve_smoke.sh does).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"net"
+	"net/http"
+	"os"
+	"slices"
+	"strings"
+	"sync"
+	"time"
+
+	"hssort"
+	"hssort/internal/server"
+)
+
+type jobDoc struct {
+	ID        string `json:"id"`
+	Status    string `json:"status"`
+	Error     string `json:"error"`
+	PlanCache string `json:"planCache"`
+	Stats     *struct {
+		Rounds    int     `json:"rounds"`
+		Imbalance float64 `json:"imbalance"`
+	} `json:"stats"`
+	Result json.RawMessage `json:"result"`
+}
+
+type client struct {
+	base string
+	http *http.Client
+}
+
+func (c *client) submit(body any) (int, *jobDoc, error) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := c.http.Post(c.base+"/v1/jobs", "application/json", bytes.NewReader(b))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	var doc jobDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, &doc, nil
+}
+
+// sortRemote submits one wait-mode job and fails loudly on anything but
+// a finished sort.
+func (c *client) sortRemote(tenant, dataset, keyType string, keys any, extra map[string]any) *jobDoc {
+	body := map[string]any{
+		"tenant": tenant, "dataset": dataset, "keyType": keyType,
+		"keys": keys, "wait": true,
+	}
+	for k, v := range extra {
+		body[k] = v
+	}
+	code, doc, err := c.submit(body)
+	if err != nil {
+		log.Fatalf("%s/%s: %v", tenant, dataset, err)
+	}
+	if code != http.StatusOK || doc.Status != "done" {
+		log.Fatalf("%s/%s: HTTP %d, status %q, error %q", tenant, dataset, code, doc.Status, doc.Error)
+	}
+	return doc
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serviceclient: ")
+	addr := flag.String("addr", "", "daemon address (host:port); empty self-hosts a daemon in-process")
+	flood := flag.Int("flood", 0, "submit this many async jobs and report the 429 count instead of the sort demo")
+	flag.Parse()
+
+	if *addr == "" {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv := server.New(server.Config{Shards: 4, Transport: hssort.TransportInproc})
+		go http.Serve(ln, srv)
+		defer srv.Close()
+		*addr = ln.Addr().String()
+		fmt.Printf("self-hosted hssortd on %s\n", *addr)
+	}
+	c := &client{base: "http://" + *addr, http: &http.Client{Timeout: 2 * time.Minute}}
+
+	if *flood > 0 {
+		runFlood(c, *flood)
+		return
+	}
+
+	// --- Two tenants, concurrent jobs, outputs checked locally. -------
+	type check struct {
+		tenant, dataset string
+		verify          func(*jobDoc) error
+	}
+	var checks []check
+	for round := 0; round < 2; round++ {
+		for _, tenant := range []string{"metrics", "search"} {
+			seed := uint64(round*2 + len(tenant))
+			name := fmt.Sprintf("ints-%d", round)
+			keys := intKeys(20_000, seed)
+			checks = append(checks, check{tenant, name, verifyInts(c, tenant, name, keys)})
+			bname := fmt.Sprintf("urls-%d", round)
+			bkeys := urlKeys(10_000, seed)
+			checks = append(checks, check{tenant, bname, verifyBytes(c, tenant, bname, bkeys)})
+		}
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, len(checks))
+	for _, ck := range checks {
+		wg.Add(1)
+		go func(ck check) {
+			defer wg.Done()
+			if err := ck.verify(nil); err != nil {
+				errc <- fmt.Errorf("%s/%s: %w", ck.tenant, ck.dataset, err)
+			}
+		}(ck)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d concurrent jobs across 2 tenants: every output matched the locally sorted input\n", len(checks))
+
+	// --- The recurring tenant hits the plan cache. --------------------
+	keys := intKeys(20_000, 99)
+	first := c.sortRemote("metrics", "recurring", "int64", keys, nil)
+	again := c.sortRemote("metrics", "recurring", "int64", keys, nil)
+	fmt.Printf("recurring dataset: first sort planCache=%s rounds=%d, repeat planCache=%s rounds=%d\n",
+		first.PlanCache, first.Stats.Rounds, again.PlanCache, again.Stats.Rounds)
+	if again.PlanCache != "hit" || again.Stats.Rounds != 0 {
+		log.Fatalf("expected the repeat to reuse the cached plan with 0 rounds")
+	}
+
+	// --- Rank query against the sorted dataset. -----------------------
+	var rank struct {
+		Rank       int64   `json:"rank"`
+		N          int64   `json:"n"`
+		Percentile float64 `json:"percentile"`
+	}
+	resp, err := c.http.Get(c.base + "/v1/datasets/recurring/rank?tenant=metrics&key=500000")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rank); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("rank(500000) in recurring: %d of %d (p%.0f)\n", rank.Rank, rank.N, rank.Percentile*100)
+
+	// --- A taste of /metrics. -----------------------------------------
+	resp, err = c.http.Get(c.base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "hssortd_plan_cache_") || strings.HasPrefix(line, "hssortd_keys_sorted_total") {
+			fmt.Println(line)
+		}
+	}
+}
+
+// runFlood submits n async jobs as fast as possible and reports how
+// admission control shed load.
+func runFlood(c *client, n int) {
+	keys := intKeys(50_000, 7)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	accepted, refused := 0, 0
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, _, err := c.submit(map[string]any{
+				"tenant": fmt.Sprintf("flood-%d", i%2), "keyType": "int64", "keys": keys,
+			})
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err != nil:
+				log.Fatal(err)
+			case code == http.StatusAccepted:
+				accepted++
+			case code == http.StatusTooManyRequests:
+				refused++
+			default:
+				log.Fatalf("flood submission %d: HTTP %d", i, code)
+			}
+		}(i)
+	}
+	wg.Wait()
+	fmt.Printf("flood: %d accepted, %d refused with 429\n", accepted, refused)
+	if accepted == 0 {
+		log.Fatal("admission control refused everything; queue too small for the flood")
+	}
+	os.Exit(0)
+}
+
+func intKeys(n int, seed uint64) []int64 {
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	keys := make([]int64, n)
+	for i := range keys {
+		// Mildly skewed: half uniform, half clustered low — enough
+		// structure for the histogramming to have something to learn.
+		if i%2 == 0 {
+			keys[i] = rng.Int64N(1_000_000)
+		} else {
+			keys[i] = rng.Int64N(50_000)
+		}
+	}
+	return keys
+}
+
+func urlKeys(n int, seed uint64) [][]byte {
+	rng := rand.New(rand.NewPCG(seed^0xabcd, seed))
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("https://host-%02d.example/%x", rng.IntN(40), rng.Uint64()))
+	}
+	return keys
+}
+
+func verifyInts(c *client, tenant, dataset string, keys []int64) func(*jobDoc) error {
+	return func(*jobDoc) error {
+		doc := c.sortRemote(tenant, dataset, "int64", keys, nil)
+		var result struct {
+			Shards [][]int64 `json:"shards"`
+		}
+		if err := json.Unmarshal(doc.Result, &result); err != nil {
+			return err
+		}
+		var got []int64
+		for _, sh := range result.Shards {
+			got = append(got, sh...)
+		}
+		want := slices.Clone(keys)
+		slices.Sort(want)
+		if !slices.Equal(got, want) {
+			return fmt.Errorf("daemon output diverges from the locally sorted input (%d keys)", len(got))
+		}
+		return nil
+	}
+}
+
+func verifyBytes(c *client, tenant, dataset string, keys [][]byte) func(*jobDoc) error {
+	return func(*jobDoc) error {
+		doc := c.sortRemote(tenant, dataset, "bytes", keys, nil)
+		var result struct {
+			Shards [][][]byte `json:"shards"`
+		}
+		if err := json.Unmarshal(doc.Result, &result); err != nil {
+			return err
+		}
+		var got [][]byte
+		for _, sh := range result.Shards {
+			got = append(got, sh...)
+		}
+		want := slices.Clone(keys)
+		slices.SortFunc(want, bytes.Compare)
+		if len(got) != len(want) {
+			return fmt.Errorf("%d keys back, want %d", len(got), len(want))
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], want[i]) {
+				return fmt.Errorf("output diverges at index %d", i)
+			}
+		}
+		return nil
+	}
+}

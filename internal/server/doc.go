@@ -1,0 +1,36 @@
+// Package server is the sort-as-a-service layer behind cmd/hssortd: a
+// long-lived HTTP daemon front end over the hssort Sorter engine.
+//
+// Clients submit named sort jobs (POST /v1/jobs — int64/uint64/float64
+// or variable-length byte-string keys, optionally with record payloads
+// in tow) under a tenant ID; the daemon runs them on a pool of warm
+// Sorter engines (one per key-type×shape, built lazily, kept hot so
+// repeated sorts reuse the engine's transport, worker goroutines and
+// scratch) and answers job-status, sorted-shard and rank/percentile
+// queries (GET /v1/jobs/{id}, GET /v1/datasets/{name}/rank).
+//
+// The scheduler between the HTTP layer and the engines provides the
+// multi-tenant guarantees a shared daemon needs: a bounded FIFO
+// admission queue (submissions beyond it are refused with a typed
+// *hssort.QuotaExceededError, HTTP 429), per-tenant concurrency quotas
+// with fair round-robin dequeue across tenants, and per-job deadlines
+// and cancellation riding the engine's context plumbing — a canceled or
+// deadline-expired job aborts mid-phase on every rank and the engine
+// returns to the pool warm and usable.
+//
+// Recurring tenants hit the plan cache: each dataset is fingerprinted
+// by a cheap distribution sketch (sorted-sample quantiles, after
+// "Adaptive Sampling for Rapidly Matching Histograms"), and a cached
+// splitter Plan for (tenant, fingerprint) lets the sort skip histogram
+// determination entirely — zero rounds, the regime Yang/Harsh/Solomonik
+// 2022 shows amortizes splitter determination across repeated sorts.
+// Fingerprint collisions are safe: cached plans run under the
+// Config.PlanStaleness guard, which re-histograms when the stored
+// splitters would skew bucket loads, and the cache entry is dropped.
+//
+// GET /metrics exposes the aggregated per-sort hssort.Stats (rounds,
+// achieved epsilon, exchange bytes, plan cache hits/misses/replans,
+// queue depth, per-tenant job counts) in Prometheus text format;
+// GET /healthz reports liveness and flips to 503 while draining.
+// docs/API.md specifies the HTTP surface.
+package server

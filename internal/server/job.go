@@ -1,0 +1,424 @@
+package server
+
+import (
+	"bytes"
+	"cmp"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"hssort"
+	"hssort/internal/keycoder"
+)
+
+// jobStatus is a job's lifecycle state as reported over HTTP.
+type jobStatus string
+
+const (
+	statusQueued   jobStatus = "queued"
+	statusRunning  jobStatus = "running"
+	statusDone     jobStatus = "done"
+	statusFailed   jobStatus = "failed"
+	statusCanceled jobStatus = "canceled"
+)
+
+// job is one submitted sort riding through the scheduler. The identity
+// fields are immutable after submission; the outcome fields are guarded
+// by mu and final once done is closed.
+type job struct {
+	id      string
+	tenant  string
+	dataset string
+	data    payload
+	ctx     context.Context
+	cancel  context.CancelFunc
+	done    chan struct{}
+
+	mu        sync.Mutex
+	status    jobStatus
+	err       error
+	result    *jobResult
+	stats     hssort.Stats
+	outcome   planOutcome
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// jobResult is the JSON-ready sorted output: Shards is the typed
+// per-shard partition slice ([][]int64, [][]uint64, [][]float64 or
+// [][][]byte — byte keys marshal as base64 strings), Values the record
+// payloads reordered in tandem for record jobs.
+type jobResult struct {
+	Shards any        `json:"shards"`
+	Values [][]string `json:"values,omitempty"`
+}
+
+// storedDataset is the rank-query view of a dataset's last sorted
+// output: rank parses a raw query key per the dataset's key type and
+// returns the number of sorted keys strictly below it.
+type storedDataset struct {
+	keyType string
+	n       int64
+	rank    func(raw string) (int64, error)
+}
+
+// payload is one decoded job body: the typed keys (and optional record
+// payloads) plus the typed run logic. Decoding picks the concrete type;
+// the scheduler's workers only see this interface.
+type payload interface {
+	keyType() string
+	n() int
+	// run sorts the payload on srv's engine pool, consulting and
+	// updating the plan cache under the tenant's key, and returns the
+	// JSON-ready result plus the rank-query view of the sorted output.
+	run(ctx context.Context, srv *Server, tenant string) (*jobResult, *storedDataset, hssort.Stats, planOutcome, error)
+}
+
+// keyTypes lists the accepted keyType values, in flag-help order.
+var keyTypes = []string{"bytes", "float64", "int64", "uint64"}
+
+// jobRequest is the POST /v1/jobs body.
+type jobRequest struct {
+	// Tenant is the submitting tenant; quotas, the plan cache and rank
+	// queries are all scoped to it. Required.
+	Tenant string `json:"tenant"`
+	// Dataset names the dataset for rank queries. Default "default".
+	Dataset string `json:"dataset"`
+	// KeyType selects the key decoding: int64, uint64, float64 or bytes.
+	KeyType string `json:"keyType"`
+	// Keys is the flat key array, decoded per KeyType (bytes keys are
+	// base64 strings, the encoding/json convention for []byte).
+	Keys json.RawMessage `json:"keys"`
+	// Values optionally carries one opaque payload string per key; the
+	// response returns them reordered with their keys. Numeric key
+	// types only.
+	Values []string `json:"values,omitempty"`
+	// TimeoutMs arms a job deadline: past it the sort aborts mid-phase
+	// on every rank and the job fails with the deadline error.
+	TimeoutMs int64 `json:"timeoutMs,omitempty"`
+	// Wait makes the submission block until the job finishes and return
+	// the full job document instead of a 202 ticket.
+	Wait bool `json:"wait,omitempty"`
+}
+
+// decodePayload decodes the request's keys into the typed payload.
+func decodePayload(req *jobRequest, shards int) (payload, error) {
+	switch req.KeyType {
+	case "int64":
+		return decodeOrdered[int64](req, shards, keycoder.Int64{}.Encode, func(raw string) (int64, error) {
+			return strconv.ParseInt(raw, 10, 64)
+		})
+	case "uint64":
+		return decodeOrdered[uint64](req, shards, keycoder.Uint64{}.Encode, func(raw string) (uint64, error) {
+			return strconv.ParseUint(raw, 10, 64)
+		})
+	case "float64":
+		return decodeOrdered[float64](req, shards, keycoder.Float64{}.Encode, func(raw string) (float64, error) {
+			return strconv.ParseFloat(raw, 64)
+		})
+	case "bytes":
+		if req.Values != nil {
+			return nil, fmt.Errorf("values require an ordered key type (valid values: float64, int64, uint64)")
+		}
+		var keys [][]byte
+		if err := json.Unmarshal(req.Keys, &keys); err != nil {
+			return nil, fmt.Errorf("keys: %v (bytes keys are base64 strings)", err)
+		}
+		return &bytesPayload{shards: shardSlice(keys, shards)}, nil
+	case "":
+		return nil, fmt.Errorf("keyType is required (valid values: %s)", strings.Join(keyTypes, ", "))
+	default:
+		return nil, fmt.Errorf("unknown key type %q (valid values: %s)", req.KeyType, strings.Join(keyTypes, ", "))
+	}
+}
+
+func decodeOrdered[K cmp.Ordered](req *jobRequest, shards int, code func(K) uint64, parse func(string) (K, error)) (payload, error) {
+	var keys []K
+	if err := json.Unmarshal(req.Keys, &keys); err != nil {
+		return nil, fmt.Errorf("keys: %v", err)
+	}
+	var values [][]string
+	if req.Values != nil {
+		if len(req.Values) != len(keys) {
+			return nil, fmt.Errorf("%d values for %d keys (they pair one-to-one)", len(req.Values), len(keys))
+		}
+		values = shardSlice(req.Values, shards)
+	}
+	return &orderedPayload[K]{
+		kt:     req.KeyType,
+		shards: shardSlice(keys, shards),
+		values: values,
+		code:   code,
+		parse:  parse,
+	}, nil
+}
+
+// shardSlice splits a flat slice into n contiguous shards (the engine's
+// per-rank inputs). Trailing shards may be empty for short inputs.
+func shardSlice[E any](flat []E, n int) [][]E {
+	shards := make([][]E, n)
+	per := (len(flat) + n - 1) / n
+	for r := range shards {
+		lo := min(r*per, len(flat))
+		hi := min(lo+per, len(flat))
+		shards[r] = flat[lo:hi]
+	}
+	return shards
+}
+
+// orderedPayload is the numeric-key payload (int64, uint64, float64),
+// optionally carrying record values.
+type orderedPayload[K cmp.Ordered] struct {
+	kt     string
+	shards [][]K
+	values [][]string // non-nil → record job, aligned with shards
+	code   func(K) uint64
+	parse  func(string) (K, error)
+}
+
+func (d *orderedPayload[K]) keyType() string { return d.kt }
+
+func (d *orderedPayload[K]) n() int {
+	var n int
+	for _, sh := range d.shards {
+		n += len(sh)
+	}
+	return n
+}
+
+func (d *orderedPayload[K]) run(ctx context.Context, srv *Server, tenant string) (*jobResult, *storedDataset, hssort.Stats, planOutcome, error) {
+	fp := srv.fingerprint(d.kt, len(d.shards), d.n(), sampleCodes(d.shards, d.code))
+	pk := planKey{tenant: tenant, fp: fp}
+	if d.values != nil {
+		return d.runKV(ctx, srv, pk)
+	}
+	key := engineKey{keyType: d.kt}
+	pe, err := srv.engines.acquire(key, func() (*pooledEngine, error) {
+		s, err := hssort.New[K](srv.engineConfig())
+		if err != nil {
+			return nil, err
+		}
+		return &pooledEngine{impl: s, close: s.Close}, nil
+	})
+	if err != nil {
+		return nil, nil, hssort.Stats{}, planNone, err
+	}
+	defer srv.engines.release(key, pe)
+	eng := pe.impl.(*hssort.Sorter[K])
+
+	outs, stats, outcome, err := sortWithPlanCache(ctx, srv, pk, sorterAdapter[K]{eng}, d.shards)
+	if err != nil {
+		return nil, nil, stats, outcome, err
+	}
+	flat := flatten(outs)
+	sd := &storedDataset{keyType: d.kt, n: int64(len(flat)), rank: func(raw string) (int64, error) {
+		k, err := d.parse(raw)
+		if err != nil {
+			return 0, fmt.Errorf("key %q: %v", raw, err)
+		}
+		return int64(sort.Search(len(flat), func(i int) bool { return flat[i] >= k })), nil
+	}}
+	return &jobResult{Shards: outs}, sd, stats, outcome, nil
+}
+
+// runKV is the record-job path: zip keys and values into KV records,
+// sort on the record engine, unzip for the response.
+func (d *orderedPayload[K]) runKV(ctx context.Context, srv *Server, pk planKey) (*jobResult, *storedDataset, hssort.Stats, planOutcome, error) {
+	key := engineKey{keyType: d.kt, kv: true}
+	pe, err := srv.engines.acquire(key, func() (*pooledEngine, error) {
+		s, err := hssort.NewKV[K, string](srv.engineConfig())
+		if err != nil {
+			return nil, err
+		}
+		return &pooledEngine{impl: s, close: s.Close}, nil
+	})
+	if err != nil {
+		return nil, nil, hssort.Stats{}, planNone, err
+	}
+	defer srv.engines.release(key, pe)
+	eng := pe.impl.(*hssort.KVSorter[K, string])
+
+	recs := make([][]hssort.KV[K, string], len(d.shards))
+	for r, sh := range d.shards {
+		recs[r] = make([]hssort.KV[K, string], len(sh))
+		for i, k := range sh {
+			recs[r][i] = hssort.KV[K, string]{Key: k, Val: d.values[r][i]}
+		}
+	}
+	outs, stats, outcome, err := sortWithPlanCache(ctx, srv, pk, kvAdapter[K]{eng}, recs)
+	if err != nil {
+		return nil, nil, stats, outcome, err
+	}
+	keyShards := make([][]K, len(outs))
+	valShards := make([][]string, len(outs))
+	var flat []K
+	for r, o := range outs {
+		keyShards[r] = make([]K, len(o))
+		valShards[r] = make([]string, len(o))
+		for i, kv := range o {
+			keyShards[r][i] = kv.Key
+			valShards[r][i] = kv.Val
+		}
+		flat = append(flat, keyShards[r]...)
+	}
+	sd := &storedDataset{keyType: d.kt, n: int64(len(flat)), rank: func(raw string) (int64, error) {
+		k, err := d.parse(raw)
+		if err != nil {
+			return 0, fmt.Errorf("key %q: %v", raw, err)
+		}
+		return int64(sort.Search(len(flat), func(i int) bool { return flat[i] >= k })), nil
+	}}
+	return &jobResult{Shards: keyShards, Values: valShards}, sd, stats, outcome, nil
+}
+
+// bytesPayload is the variable-length byte-string payload, sorted on
+// the prefix-code plane (hssort.NewBytes).
+type bytesPayload struct {
+	shards [][][]byte
+}
+
+func (d *bytesPayload) keyType() string { return "bytes" }
+
+func (d *bytesPayload) n() int {
+	var n int
+	for _, sh := range d.shards {
+		n += len(sh)
+	}
+	return n
+}
+
+func (d *bytesPayload) run(ctx context.Context, srv *Server, tenant string) (*jobResult, *storedDataset, hssort.Stats, planOutcome, error) {
+	code := keycoder.Prefix{}.Code
+	fp := srv.fingerprint("bytes", len(d.shards), d.n(), sampleCodes(d.shards, code))
+	pk := planKey{tenant: tenant, fp: fp}
+	key := engineKey{keyType: "bytes"}
+	pe, err := srv.engines.acquire(key, func() (*pooledEngine, error) {
+		s, err := hssort.NewBytes(srv.engineConfig())
+		if err != nil {
+			return nil, err
+		}
+		return &pooledEngine{impl: s, close: s.Close}, nil
+	})
+	if err != nil {
+		return nil, nil, hssort.Stats{}, planNone, err
+	}
+	defer srv.engines.release(key, pe)
+	eng := pe.impl.(*hssort.Sorter[[]byte])
+
+	outs, stats, outcome, err := sortWithPlanCache(ctx, srv, pk, sorterAdapter[[]byte]{eng}, d.shards)
+	if err != nil {
+		return nil, nil, stats, outcome, err
+	}
+	flat := flatten(outs)
+	sd := &storedDataset{keyType: "bytes", n: int64(len(flat)), rank: func(raw string) (int64, error) {
+		k := []byte(raw)
+		return int64(sort.Search(len(flat), func(i int) bool { return bytes.Compare(flat[i], k) >= 0 })), nil
+	}}
+	return &jobResult{Shards: outs}, sd, stats, outcome, nil
+}
+
+func flatten[E any](shards [][]E) []E {
+	var n int
+	for _, sh := range shards {
+		n += len(sh)
+	}
+	flat := make([]E, 0, n)
+	for _, sh := range shards {
+		flat = append(flat, sh...)
+	}
+	return flat
+}
+
+// planEngine is the slice of the Sorter/KVSorter surface the plan-cache
+// path needs, over element type E.
+type planEngine[E any] interface {
+	plan(ctx context.Context, shards [][]E) (*hssort.Plan[E], error)
+	sortWithPlan(ctx context.Context, plan *hssort.Plan[E], shards [][]E) ([][]E, hssort.Stats, error)
+	sort(ctx context.Context, shards [][]E) ([][]E, hssort.Stats, error)
+}
+
+type sorterAdapter[K any] struct{ s *hssort.Sorter[K] }
+
+func (a sorterAdapter[K]) plan(ctx context.Context, shards [][]K) (*hssort.Plan[K], error) {
+	return a.s.Plan(ctx, shards)
+}
+func (a sorterAdapter[K]) sortWithPlan(ctx context.Context, plan *hssort.Plan[K], shards [][]K) ([][]K, hssort.Stats, error) {
+	return a.s.SortWithPlan(ctx, plan, shards)
+}
+func (a sorterAdapter[K]) sort(ctx context.Context, shards [][]K) ([][]K, hssort.Stats, error) {
+	return a.s.Sort(ctx, shards)
+}
+
+type kvAdapter[K cmp.Ordered] struct{ s *hssort.KVSorter[K, string] }
+
+func (a kvAdapter[K]) plan(ctx context.Context, shards [][]hssort.KV[K, string]) (*hssort.Plan[hssort.KV[K, string]], error) {
+	return a.s.Plan(ctx, shards)
+}
+func (a kvAdapter[K]) sortWithPlan(ctx context.Context, plan *hssort.Plan[hssort.KV[K, string]], shards [][]hssort.KV[K, string]) ([][]hssort.KV[K, string], hssort.Stats, error) {
+	return a.s.SortWithPlan(ctx, plan, shards)
+}
+func (a kvAdapter[K]) sort(ctx context.Context, shards [][]hssort.KV[K, string]) ([][]hssort.KV[K, string], hssort.Stats, error) {
+	return a.s.SortKV(ctx, shards)
+}
+
+// sortWithPlanCache is the recurring-tenant fast path: apply the cached
+// splitter plan for (tenant, fingerprint) when one exists — zero
+// histogramming rounds — otherwise determine fresh splitters once via
+// Plan, cache them, and sort with the new plan. Cached plans run under
+// the engine's staleness guard (Config.PlanStaleness): when a
+// fingerprint collision hands drifted data a stale plan, the guard
+// re-histograms (Stats.Replanned) and the poisoned cache entry is
+// dropped. On a miss, the determination work Plan performed is folded
+// back into the returned Stats (Rounds, sample sizes), so a first-sight
+// job honestly reports its histogramming while a cache-hit job reports
+// Rounds = 0.
+func sortWithPlanCache[E any](ctx context.Context, srv *Server, pk planKey, eng planEngine[E], shards [][]E) ([][]E, hssort.Stats, planOutcome, error) {
+	if cached, ok := srv.plans.get(pk); ok {
+		if plan, ok := cached.(*hssort.Plan[E]); ok {
+			outs, stats, err := eng.sortWithPlan(ctx, plan, shards)
+			if err != nil {
+				return nil, stats, planHit, err
+			}
+			if stats.Replanned {
+				srv.plans.remove(pk)
+				return outs, stats, planReplanned, nil
+			}
+			return outs, stats, planHit, nil
+		}
+		// Same fingerprint, different element type (kv vs plain under
+		// one tenant): evict and fall through to a fresh plan.
+		srv.plans.remove(pk)
+	}
+	plan, err := eng.plan(ctx, shards)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, hssort.Stats{}, planMiss, err
+		}
+		// Planning can legitimately refuse (e.g. an empty dataset);
+		// sort without a plan and leave the cache alone.
+		outs, stats, serr := eng.sort(ctx, shards)
+		return outs, stats, planMiss, serr
+	}
+	srv.plans.put(pk, plan)
+	outs, stats, err := eng.sortWithPlan(ctx, plan, shards)
+	if err == nil {
+		if stats.Replanned {
+			// The guard rejected the plan we just determined (tiny or
+			// degenerate datasets can't meet the balance bound): keep
+			// the replan's own round accounting and don't cache a plan
+			// already known to be bad.
+			srv.plans.remove(pk)
+		} else {
+			stats.Rounds = plan.Rounds
+			stats.SamplePerRound = plan.SamplePerRound
+			stats.TotalSample = plan.TotalSample
+		}
+	}
+	return outs, stats, planMiss, err
+}
