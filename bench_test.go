@@ -804,3 +804,50 @@ func BenchmarkWorkers(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkSpill is the out-of-core plane's headline: the identical
+// sort fully in memory versus under a per-rank MemoryBudget of a half
+// and a quarter of each rank's data (so the dataset is 2× and 4× the
+// budget). The gap is the cost of compressing, writing, reading back
+// and re-merging the spilled runs; compression_pct reports how much
+// smaller the delta-varint + flate run files were than the raw spilled
+// keys.
+func BenchmarkSpill(b *testing.B) {
+	b.ReportAllocs()
+	const p, n = 4, 200000
+	rankBytes := int64(n) * 8
+	budgets := []struct {
+		name   string
+		budget int64
+	}{
+		{"in-memory", 0},
+		{"2x-budget", rankBytes / 2},
+		{"4x-budget", rankBytes / 4},
+	}
+	for _, tc := range budgets {
+		b.Run(fmt.Sprintf("p=%d/n=%d/%s", p, n, tc.name), func(b *testing.B) {
+			b.ReportAllocs()
+			var stats Stats
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				shards := dist.Spec{Kind: dist.PowerSkew, Min: 0, Max: 1 << 40}.Shards(n, p, uint64(i)+1)
+				b.StartTimer()
+				cfg := Config{Procs: p, Epsilon: 0.1, Seed: 3, StreamExchange: true, ChunkKeys: 4096, MemoryBudget: tc.budget}
+				var err error
+				_, stats, err = Sort(cfg, shards)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(p) * int64(n) * 8)
+			if tc.budget > 0 {
+				if stats.SpilledBytes == 0 {
+					b.Fatal("budgeted benchmark shape never spilled")
+				}
+				b.ReportMetric(float64(stats.SpilledBytes)/(1<<20), "spilled_MiB")
+				b.ReportMetric(100*(1-float64(stats.SpillFileBytes)/float64(stats.SpilledBytes)), "compression_pct")
+				b.ReportMetric(float64(stats.PeakResidentBytes)/1024, "resident_KiB")
+			}
+		})
+	}
+}

@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/bench                       # full headline set -> BENCH_PR7.{txt,json}
+//	go run ./cmd/bench                       # full headline set -> BENCH_PR10.{txt,json}
 //	go run ./cmd/bench -benchtime 1x -count 1  # CI smoke
 //	go run ./cmd/bench -bench 'CodePath' -out /tmp/code  # focused run
 //
@@ -101,11 +101,11 @@ func parseLine(pkg, line string) (result, bool) {
 
 func main() {
 	var (
-		bench     = flag.String("bench", "CodePath|CodeLocalSort|CodeMerge|StreamExchange|TransportBackends|TCPTransport|Partition|SorterReuse|Workers|ByteKeys", "benchmark selection regex (go test -bench)")
+		bench     = flag.String("bench", "CodePath|CodeLocalSort|CodeMerge|StreamExchange|TransportBackends|TCPTransport|Partition|SorterReuse|Workers|ByteKeys|Spill", "benchmark selection regex (go test -bench)")
 		benchtime = flag.String("benchtime", "", "per-benchmark time or iteration budget (go test -benchtime)")
 		count     = flag.Int("count", 1, "repetitions per benchmark (go test -count); use >= 5 for benchstat-grade numbers")
 		timeout   = flag.String("timeout", "30m", "go test timeout")
-		out       = flag.String("out", "BENCH_PR7", "artifact prefix: <out>.txt (benchstat-compatible raw) and <out>.json")
+		out       = flag.String("out", "BENCH_PR10", "artifact prefix: <out>.txt (benchstat-compatible raw) and <out>.json")
 		packages  = flag.String("packages", "./...", "packages to benchmark")
 	)
 	flag.Parse()

@@ -113,6 +113,8 @@ func main() {
 		stream  = flag.Bool("stream", false, "streaming chunked exchange overlapped with the merge")
 		workers = flag.Int("workers", 0, "per-rank compute worker pool size (0 = GOMAXPROCS split across hosted ranks, 1 = serial)")
 		chunk   = flag.Int("chunk", 0, "streaming-exchange chunk size in keys (implies -stream; default 64Ki)")
+		budget  = flag.Int64("mem-budget", 0, "per-rank memory budget in bytes: sort out of core, spilling compressed run files when the spill-managed working set would exceed it (0 = in-memory)")
+		spillSt = flag.String("spill-dir", "", "directory for out-of-core run files (requires -mem-budget; default: per-rank dirs under the system temp dir)")
 		repeat  = flag.Int("repeat", 1, "sorts to run through one engine (fresh shards each time; demonstrates Sorter reuse)")
 		plan    = flag.Bool("plan", false, "prepare a splitter plan once and sort with SortWithPlan (0 histogram rounds per sort)")
 		stale   = flag.Float64("staleness", 0, "with -plan: bucket-imbalance bound above which a sort re-histograms (0 = trust the plan)")
@@ -233,6 +235,8 @@ func main() {
 		Workers:        *workers,
 		PlanStaleness:  *stale,
 		Chaos:          chaos,
+		MemoryBudget:   *budget,
+		SpillDir:       *spillSt,
 	}
 	cfg.TCP = hssort.TCPConfig{
 		HeartbeatInterval: *heartbeat,
@@ -417,6 +421,12 @@ func (r report) print() {
 	}
 	if stats.Workers > 1 {
 		t.AddRow("workers per rank", fmt.Sprintf("%d (%d forks, %d parallel tasks)", stats.Workers, stats.ParSpawned, stats.ParTasks))
+	}
+	if r.cfg.MemoryBudget > 0 {
+		t.AddRow("memory budget per rank", tablefmt.Bytes(float64(r.cfg.MemoryBudget)))
+		t.AddRow("spilled to run files", fmt.Sprintf("%s (%s on disk, %d reads)",
+			tablefmt.Bytes(float64(stats.SpilledBytes)), tablefmt.Bytes(float64(stats.SpillFileBytes)), stats.SpillReads))
+		t.AddRow("peak spill-managed resident", tablefmt.Bytes(float64(stats.PeakResidentBytes)))
 	}
 	t.AddRow("histogramming rounds", fmt.Sprintf("%d", stats.Rounds))
 	if r.planned {

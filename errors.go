@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hssort/internal/comm"
+	"hssort/internal/spill"
 )
 
 // The failure-survival error taxonomy, re-exported from the transport
@@ -29,6 +30,20 @@ type BootstrapError = comm.BootstrapError
 // speaking different wire-protocol versions (docs/WIRE.md): a mixed
 // deployment that must be rebuilt, not retried.
 type VersionMismatchError = comm.VersionMismatchError
+
+// SpillError reports an out-of-core sort's spill-plane failure: a run
+// file that could not be created, written or read back, or one whose
+// frames failed checksum or framing validation (docs/SPILL.md). Op
+// names the operation, Path the run file, and Unwrap carries the cause
+// — errors.Is(err, ErrSpillCorrupt) for damaged data, I/O errors pass
+// through as-is. Sorts never return garbage keys from a damaged run
+// file; they return one of these.
+type SpillError = spill.Error
+
+// ErrSpillCorrupt is the sentinel wrapped by a SpillError whose cause
+// is damaged spill data (checksum mismatch, framing violation, varint
+// decode failure) rather than an I/O error.
+var ErrSpillCorrupt = spill.ErrCorrupt
 
 // The serving-layer error taxonomy: typed admission and lookup failures
 // raised by the hssortd scheduler (internal/server), declared here so

@@ -276,6 +276,28 @@ type Config struct {
 	// Timeout aborts a wedged run (protocol-bug safety net). Default
 	// 10 minutes.
 	Timeout time.Duration
+	// MemoryBudget, when > 0, puts the sort out of core: each rank
+	// bounds its spill-managed working set — oversized local-sort
+	// shards, admitted streaming-exchange chunks, materialized exchange
+	// receives and the frames read back during the merges — to this many
+	// bytes, writing the excess to compressed, checksummed run files
+	// (docs/SPILL.md) that re-enter the k-way merge as additional
+	// sources. The budget governs what the spill plane admits, not
+	// caller-owned arrays: the input shards and the output partitions
+	// are the caller's memory and are never counted. Output is
+	// byte-identical to the in-memory sort; Stats.SpilledBytes reports
+	// the traffic. Supported by the HSS variants, the sample sorts,
+	// classic histogram sort and NodeHSS, for fixed-size key types
+	// without pointers (ints, floats, plain structs of them — not
+	// byte-string keys) and off the TagDuplicates path. 0 (the default)
+	// keeps everything in memory.
+	MemoryBudget int64
+	// SpillDir is where an out-of-core sort puts its run files; each
+	// rank claims the subdirectory hssort-rank-<r> under it (recreating
+	// it on respawn, so a crashed predecessor's orphans are wiped). ""
+	// — the default — uses per-rank directories under os.TempDir().
+	// Setting SpillDir without MemoryBudget is a configuration error.
+	SpillDir string
 }
 
 // Stats reports one sort run; see the field comments on the paper
@@ -336,6 +358,20 @@ type Stats struct {
 	// transports — nonzero values fingerprint a TCP mesh that survived
 	// churn.
 	Reconnects, Respawns int64
+	// SpilledBytes, SpillFileBytes and SpillReads are out-of-core plane
+	// counters, summed over ranks: uncompressed key bytes written to
+	// spill runs, the (compressed) bytes those runs occupied on disk,
+	// and the frames read back during the merges. All zero when
+	// Config.MemoryBudget is 0 or the budget was never exceeded.
+	SpilledBytes, SpillFileBytes, SpillReads int64
+	// PeakResidentBytes is the peak spill-managed working set of any
+	// rank (max over ranks): the high-water mark of bytes the spill
+	// plane held in memory at once. At most Config.MemoryBudget, down
+	// to the merge's structural floor: every spilled run needs one
+	// read-back frame (at least 64 keys) resident to stay mergeable,
+	// so a budget smaller than fan-in × minimum frame is overshot by
+	// exactly that floor rather than deadlocking.
+	PeakResidentBytes int64
 }
 
 // Total returns the end-to-end critical-path time.
@@ -366,6 +402,10 @@ func fromCore(st core.Stats) Stats {
 		PrefixCollisions:  st.PrefixCollisions,
 		Reconnects:        st.Reconnects,
 		Respawns:          st.Respawns,
+		SpilledBytes:      st.SpilledBytes,
+		SpillFileBytes:    st.SpillFileBytes,
+		SpillReads:        st.SpillReads,
+		PeakResidentBytes: st.PeakResident,
 	}
 }
 

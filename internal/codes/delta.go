@@ -1,0 +1,52 @@
+package codes
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Delta-varint codec for sorted (or arbitrary) code arrays — the
+// compression front end of the spill-run format (internal/spill,
+// docs/SPILL.md). The first code is stored as a plain uvarint; every
+// subsequent code is stored as the uvarint of its wraparound difference
+// from the predecessor (uint64 subtraction, so the encoding is total:
+// any code sequence round-trips exactly, mod nothing). On the sorted
+// runs the spill plane writes, consecutive differences are small, so
+// most codes shrink to one or two bytes before the block compressor
+// even runs.
+
+// DeltaAppend appends the delta-varint encoding of cs to dst and
+// returns the extended buffer. Encoding an empty slice appends nothing.
+func DeltaAppend(dst []byte, cs []Code) []byte {
+	prev := Code(0)
+	for _, c := range cs {
+		dst = binary.AppendUvarint(dst, uint64(c-prev))
+		prev = c
+	}
+	return dst
+}
+
+// DeltaDecode decodes exactly n codes from buf into dst (reusing its
+// storage when the capacity suffices) and fails on truncated input,
+// overlong varints, or trailing garbage — a corrupt frame must never
+// decode to plausible-looking keys.
+func DeltaDecode(dst []Code, buf []byte, n int) ([]Code, error) {
+	if cap(dst) < n {
+		dst = make([]Code, n)
+	}
+	dst = dst[:n]
+	prev := Code(0)
+	for i := 0; i < n; i++ {
+		d, w := binary.Uvarint(buf)
+		if w <= 0 {
+			return nil, fmt.Errorf("codes: delta stream truncated at code %d of %d", i, n)
+		}
+		prev += Code(d)
+		dst[i] = prev
+		buf = buf[w:]
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("codes: %d trailing bytes after %d delta codes", len(buf), n)
+	}
+	return dst, nil
+}

@@ -1,0 +1,61 @@
+package codes
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+func TestDeltaRoundTrip(t *testing.T) {
+	cases := [][]Code{
+		nil,
+		{0},
+		{math.MaxUint64},
+		{5, 5, 5, 5},
+		{10, 3, math.MaxUint64, 0, 7}, // unsorted: wraparound diffs must still round-trip
+	}
+	rng := rand.New(rand.NewSource(1))
+	random := make([]Code, 10_000)
+	for i := range random {
+		random[i] = Code(rng.Uint64())
+	}
+	cases = append(cases, random)
+	sorted := slices.Clone(random)
+	slices.Sort(sorted)
+	cases = append(cases, sorted)
+	for i, cs := range cases {
+		buf := DeltaAppend(nil, cs)
+		got, err := DeltaDecode(nil, buf, len(cs))
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if !slices.Equal(got, cs) {
+			t.Fatalf("case %d: round trip mismatch", i)
+		}
+	}
+	// On a sorted dense run (small gaps) the deltas collapse to a byte
+	// or two per code — the case the spill plane optimizes for.
+	dense := make([]Code, 10_000)
+	acc := Code(0)
+	for i := range dense {
+		acc += Code(rng.Intn(100))
+		dense[i] = acc
+	}
+	if buf := DeltaAppend(nil, dense); len(buf) >= len(dense)*2 {
+		t.Fatalf("dense sorted delta encoding is %d bytes for %d codes", len(buf), len(dense))
+	}
+}
+
+func TestDeltaDecodeRejectsDamage(t *testing.T) {
+	buf := DeltaAppend(nil, []Code{1, 2, 300, 70000})
+	if _, err := DeltaDecode(nil, buf[:len(buf)-1], 4); err == nil {
+		t.Fatal("truncated stream decoded")
+	}
+	if _, err := DeltaDecode(nil, append(slices.Clone(buf), 0), 4); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	if _, err := DeltaDecode(nil, buf, 5); err == nil {
+		t.Fatal("short stream decoded to too many codes")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"hssort/internal/exchange"
 	"hssort/internal/keycoder"
 	"hssort/internal/sampling"
+	"hssort/internal/spill"
 )
 
 // Schedule selects the sampling discipline for splitter determination.
@@ -139,6 +140,11 @@ type Options[K any] struct {
 	// long-lived engine passes the same Scratch on every call (see
 	// exchange.Scratch). Each rank needs its own.
 	Scratch *exchange.Scratch[K]
+	// Spill, when non-nil, is this rank's out-of-core manager: the local
+	// sort runs spill.LocalSort against its budget and the exchange's
+	// receive path diverts over-budget streams to compressed run files
+	// (see spill.Manager). nil keeps every phase fully in memory.
+	Spill *spill.Manager
 	// BaseTag is the start of the tag range (12 tags) this sort uses on
 	// the endpoint. Default 1000.
 	BaseTag comm.Tag
@@ -332,6 +338,12 @@ type Stats struct {
 	// nonzero values are the fingerprint of a mesh that survived
 	// churn (see comm.Counters).
 	Reconnects, Respawns int64
+	// SpilledBytes and SpillFileBytes are the out-of-core plane's
+	// uncompressed and on-disk volumes, and SpillReads its frame
+	// read-backs, summed over ranks; PeakResident is the worst rank's
+	// budget-metered resident high-water mark. All zero without a
+	// memory budget (see spill.Manager).
+	SpilledBytes, SpillFileBytes, SpillReads, PeakResident int64
 }
 
 // Total returns the end-to-end critical-path time.
@@ -356,6 +368,9 @@ type PhaseTimes struct {
 	// PrefixCollisions is this rank's equal-code tie-break key count
 	// (prefix plane only).
 	PrefixCollisions int64
+	// Spill is this rank's out-of-core activity, drained from its
+	// spill.Manager (zero value without a budget).
+	Spill spill.Stats
 }
 
 // FinishStats all-reduces one rank's phase measurements into st, the
@@ -382,6 +397,8 @@ func FinishStats(e comm.Endpoint, tag comm.Tag, st *Stats, m PhaseTimes) error {
 		m.ParSpawned, m.ParTasks,
 		m.PrefixCollisions,
 		reconnects, respawns,
+		m.Spill.SpilledBytes, m.Spill.FileBytes, m.Spill.Reads,
+		m.Spill.PeakResident,
 	}, func(dst, src []int64) {
 		dst[0] += src[0]
 		dst[1] += src[1]
@@ -394,11 +411,12 @@ func FinishStats(e comm.Endpoint, tag comm.Tag, st *Stats, m PhaseTimes) error {
 		if src[9] > dst[9] {
 			dst[9] = src[9]
 		}
-		dst[10] += src[10]
-		dst[11] += src[11]
-		dst[12] += src[12]
-		dst[13] += src[13]
-		dst[14] += src[14]
+		for i := 10; i <= 17; i++ {
+			dst[i] += src[i]
+		}
+		if src[18] > dst[18] {
+			dst[18] = src[18]
+		}
 	})
 	if err != nil {
 		return err
@@ -421,5 +439,9 @@ func FinishStats(e comm.Endpoint, tag comm.Tag, st *Stats, m PhaseTimes) error {
 	st.PrefixCollisions = agg[12]
 	st.Reconnects = agg[13]
 	st.Respawns = agg[14]
+	st.SpilledBytes = agg[15]
+	st.SpillFileBytes = agg[16]
+	st.SpillReads = agg[17]
+	st.PeakResident = agg[18]
 	return nil
 }

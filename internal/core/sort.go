@@ -1,7 +1,6 @@
 package core
 
 import (
-	"slices"
 	"time"
 
 	"hssort/internal/codes"
@@ -9,6 +8,7 @@ import (
 	"hssort/internal/comm"
 	"hssort/internal/exchange"
 	"hssort/internal/par"
+	"hssort/internal/spill"
 )
 
 // Sort runs the full HSS pipeline on this rank's local keys and returns
@@ -36,13 +36,13 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, Stats, error) {
 
 	// Phase 1: local sort (embarrassingly parallel, §6.1.2) — the
 	// comparator-free radix plane when a code extractor is available,
-	// fanned over this rank's worker pool.
+	// fanned over this rank's worker pool; over a memory budget,
+	// spill.LocalSort runs the same kernel segment-at-a-time through
+	// disk runs with identical output.
 	t0 := time.Now()
-	var localCodes []codes.Code
-	if opt.Code != nil {
-		localCodes = codes.SortByCodePar(local, opt.Code, pool)
-	} else {
-		slices.SortFunc(local, opt.Cmp)
+	localCodes, err := spill.LocalSort(opt.Spill, local, opt.Code, opt.Cmp, pool)
+	if err != nil {
+		return nil, stats, err
 	}
 	localSort := time.Since(t0)
 
@@ -119,7 +119,7 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, Stats, error) {
 	bytes1 := c.Counters().BytesSent
 	out, exchangeTime, mergeTime, sst, err := exchange.ExchangeMerge(
 		c, base+tagExchange, runs, opt.Owner, opt.Cmp, opt.Code,
-		exchange.StreamOptions{ChunkKeys: opt.ChunkKeys, Pool: pool}, opt.Scratch)
+		exchange.StreamOptions{ChunkKeys: opt.ChunkKeys, Pool: pool, Spill: opt.Spill}, opt.Scratch)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -139,6 +139,7 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, Stats, error) {
 		OutCount:      len(out),
 		ParSpawned:    pc.Spawned,
 		ParTasks:      pc.Tasks,
+		Spill:         opt.Spill.TakeStats(),
 	}); err != nil {
 		return nil, stats, err
 	}
@@ -323,6 +324,7 @@ func sortViaCodes[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, Stats, e
 		PipelineChunk:     opt.PipelineChunk,
 		PipelineThreshold: opt.PipelineThreshold,
 		OnRound:           opt.OnRound,
+		Spill:             opt.Spill,
 	})
 	if err != nil {
 		return nil, stats, err

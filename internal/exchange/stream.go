@@ -8,6 +8,7 @@ import (
 	"hssort/internal/comm"
 	"hssort/internal/merge"
 	"hssort/internal/par"
+	"hssort/internal/spill"
 )
 
 // Streaming-exchange defaults.
@@ -45,6 +46,14 @@ type StreamOptions struct {
 	// comparator before the run-index tie-break. Requires code != nil;
 	// ignored on the comparator plane.
 	Tie bool
+	// Spill, when non-nil, bounds the receive path's resident bytes by
+	// the manager's memory budget: a streaming exchange diverts incoming
+	// streams to compressed run files once admitting more chunks would
+	// exceed the budget, and the materializing path spills every received
+	// run when their sum does. Spilled data re-enters the merge through
+	// spill.RunReader frames, so output is identical with or without a
+	// budget. Requires K to be plain data (spill.Spillable).
+	Spill *spill.Manager
 }
 
 func (o StreamOptions) withDefaults() StreamOptions {
@@ -114,7 +123,7 @@ type Scratch[K any] struct {
 	chunksTo      [][]chunk[K]
 	totalTo       []int64
 	outs          []outStream
-	ins           []inStream
+	ins           []inStream[K]
 }
 
 // streamerFor returns the cached merge tree matching the requested
@@ -133,12 +142,12 @@ func (sc *Scratch[K]) streamerFor(cmp func(K, K) int, code func(K) uint64, tie b
 
 // routing returns the per-destination routing state sized for p ranks,
 // cleared of any references to a previous sort's key data.
-func (sc *Scratch[K]) routing(p int) (chunksTo [][]chunk[K], totalTo []int64, outs []outStream, ins []inStream) {
+func (sc *Scratch[K]) routing(p int) (chunksTo [][]chunk[K], totalTo []int64, outs []outStream, ins []inStream[K]) {
 	if cap(sc.chunksTo) < p {
 		sc.chunksTo = make([][]chunk[K], p)
 		sc.totalTo = make([]int64, p)
 		sc.outs = make([]outStream, p)
-		sc.ins = make([]inStream, p)
+		sc.ins = make([]inStream[K], p)
 	}
 	sc.chunksTo = sc.chunksTo[:p]
 	sc.totalTo = sc.totalTo[:p]
@@ -156,7 +165,7 @@ func (sc *Scratch[K]) routing(p int) (chunksTo [][]chunk[K], totalTo []int64, ou
 	clear(sc.totalTo)
 	clear(sc.outs)
 	for i := range sc.ins {
-		sc.ins[i] = inStream{bounds: sc.ins[i].bounds[:0]}
+		sc.ins[i] = inStream[K]{bounds: sc.ins[i].bounds[:0]}
 	}
 	return sc.chunksTo, sc.totalTo, sc.outs, sc.ins
 }
@@ -190,11 +199,22 @@ type outStream struct {
 	lastSent bool
 }
 
-// inStream tracks one source of the receiver half.
-type inStream struct {
-	closed   bool
-	admitted int64   // cumulative keys admitted to the merge
-	bounds   []int64 // admitted counts at un-acked chunk ends
+// inStream tracks one source of the receiver half. Under a memory
+// budget a stream can be diverted: once admitting another chunk would
+// exceed the budget, the rest of the stream is written to a compressed
+// run file as it arrives (with credits granted immediately — disk is
+// the window) and read back frame-at-a-time through tail once the
+// sender closes the stream.
+type inStream[K any] struct {
+	seen     bool                // first data/closure message observed (expect accounted)
+	closed   bool                // sender sent its last chunk
+	diverted bool                // remainder of the stream goes to disk
+	admitted int64               // cumulative keys appended to the merge tree
+	released int64               // keys whose budget charge has been returned
+	charged  int64               // bytes currently charged against the budget
+	bounds   []int64             // admitted counts at un-acked chunk ends
+	w        *spill.Writer[K]    // open spill writer while diverted
+	tail     *spill.RunReader[K] // read-back of the diverted remainder
 }
 
 // ExchangeStream routes runs[b] (this rank's keys for bucket b) to
@@ -229,12 +249,13 @@ type inStream struct {
 // compares) instead of comparator calls. When K is the code-point type
 // itself the chunks alias straight into the code tree — codes travel
 // through the exchange and are never re-encoded.
-func ExchangeStream[K any](e comm.StreamEndpoint, tag comm.Tag, runs [][]K, owner func(int) int, cmp func(K, K) int, code func(K) uint64, opt StreamOptions, sc *Scratch[K]) ([]K, StreamStats, error) {
+func ExchangeStream[K any](e comm.StreamEndpoint, tag comm.Tag, runs [][]K, owner func(int) int, cmp func(K, K) int, code func(K) uint64, opt StreamOptions, sc *Scratch[K]) (out []K, st StreamStats, err error) {
 	comm.RegisterWire[streamMsg[K]]() // wire transports decode by registered type
 	opt = opt.withDefaults()
 	p := e.Size()
 	me := e.Rank()
 	keySize := comm.SizeOf[K]()
+	sp := opt.Spill
 
 	// Route each bucket run to its destination's chunk queue. Chunks are
 	// zero-copy run views batched in bucket order: consecutive small
@@ -246,7 +267,7 @@ func ExchangeStream[K any](e comm.StreamEndpoint, tag comm.Tag, runs [][]K, owne
 		chunksTo [][]chunk[K]
 		totalTo  []int64
 		outs     []outStream
-		ins      []inStream
+		ins      []inStream[K]
 	)
 	if sc != nil {
 		chunksTo, totalTo, outs, ins = sc.routing(p)
@@ -254,8 +275,27 @@ func ExchangeStream[K any](e comm.StreamEndpoint, tag comm.Tag, runs [][]K, owne
 		chunksTo = make([][]chunk[K], p)
 		totalTo = make([]int64, p)
 		outs = make([]outStream, p)
-		ins = make([]inStream, p)
+		ins = make([]inStream[K], p)
 	}
+	// On any error, release the spill state an interrupted exchange left
+	// open: in-progress divert writers (aborted, file deleted) and tail
+	// readers (closed, file deleted). A clean exit has already nil'd all
+	// of these.
+	defer func() {
+		if err == nil {
+			return
+		}
+		for i := range ins {
+			if ins[i].w != nil {
+				ins[i].w.Abort()
+				ins[i].w = nil
+			}
+			if ins[i].tail != nil {
+				ins[i].tail.Close()
+				ins[i].tail = nil
+			}
+		}
+	}()
 	push := func(dst int, view []K) {
 		q := chunksTo[dst]
 		if n := len(q); n > 0 && q[n-1].keys+len(view) <= opt.ChunkKeys {
@@ -305,8 +345,7 @@ func ExchangeStream[K any](e comm.StreamEndpoint, tag comm.Tag, runs [][]K, owne
 	}
 	lt.CloseRun(me)
 
-	var st StreamStats
-	out := make([]K, 0, totalTo[me])
+	out = make([]K, 0, totalTo[me])
 	if p == 1 {
 		t0 := time.Now()
 		for {
@@ -325,6 +364,7 @@ func ExchangeStream[K any](e comm.StreamEndpoint, tag comm.Tag, runs [][]K, owne
 	}
 	sendsPending := p - 1
 	openStreams := p - 1
+	openTails := 0        // diverted streams still replaying from disk
 	expect := totalTo[me] // known final output size so far (capacity hint)
 	admitted := int64(0)  // keys admitted across remote streams
 
@@ -342,30 +382,81 @@ func ExchangeStream[K any](e comm.StreamEndpoint, tag comm.Tag, runs [][]K, owne
 		if in.closed {
 			return fmt.Errorf("exchange: chunk from rank %d after its last chunk", m.Src)
 		}
-		if in.admitted == 0 && sm.total > 0 {
-			// First chunk of the stream: note the sender's whole
+		if !in.seen && sm.total > 0 {
+			// First message of the stream: note the sender's whole
 			// contribution so drain can size the output ahead of need.
 			expect += sm.total
 		}
+		in.seen = true
 		if sm.keys > 0 {
-			for _, view := range sm.runs {
-				lt.Append(m.Src, view)
+			chunkBytes := int64(sm.keys) * keySize
+			if sp != nil && !in.diverted && sp.WouldExceed(chunkBytes) {
+				// Budget exhausted: divert the rest of this stream to a
+				// compressed run file. The divert is permanent so the
+				// on-disk remainder stays contiguous and in order.
+				w, werr := spill.NewWriter[K](sp, sp.FrameKeys(keySize, p))
+				if werr != nil {
+					return werr
+				}
+				in.w = w
+				in.diverted = true
 			}
-			in.admitted += int64(sm.keys)
-			in.bounds = append(in.bounds, in.admitted)
-			admitted += int64(sm.keys)
-			// Remote keys emitted so far = total emitted - own-stream
-			// emissions, so buffered = admitted - that difference.
-			buffered := (admitted - (int64(len(out)) - lt.Consumed(me))) * keySize
-			if buffered > st.PeakInFlight {
-				st.PeakInFlight = buffered
+			if in.diverted {
+				for _, view := range sm.runs {
+					if werr := in.w.WriteKeys(view); werr != nil {
+						return werr
+					}
+				}
+				// The chunk never occupies the merge tree, so its credit
+				// comes back as soon as it is on disk — the run file is
+				// the window. A last chunk needs no credit at all.
+				if !sm.last {
+					if serr := e.Send(m.Src, tag, streamMsg[K]{credit: 1}, MsgHeaderBytes); serr != nil {
+						return fmt.Errorf("exchange: stream credit: %w", serr)
+					}
+				}
+			} else {
+				if sp != nil {
+					sp.Acquire(chunkBytes)
+					in.charged += chunkBytes
+				}
+				for _, view := range sm.runs {
+					lt.Append(m.Src, view)
+				}
+				in.admitted += int64(sm.keys)
+				in.bounds = append(in.bounds, in.admitted)
+				admitted += int64(sm.keys)
+				// Remote keys emitted so far = total emitted - own-stream
+				// emissions, so buffered = admitted - that difference.
+				buffered := (admitted - (int64(len(out)) - lt.Consumed(me))) * keySize
+				if buffered > st.PeakInFlight {
+					st.PeakInFlight = buffered
+				}
 			}
 		}
 		if sm.last {
-			lt.CloseRun(m.Src)
 			in.closed = true
 			in.bounds = nil // the sender needs no further credits
 			openStreams--
+			if in.diverted {
+				// The stream's merge run stays open: its remainder now
+				// replays from the run file, refilled frame-at-a-time by
+				// drain as the tree consumes it.
+				run, ferr := in.w.Finish()
+				in.w = nil
+				if ferr != nil {
+					return ferr
+				}
+				rd, rerr := run.Reader(true)
+				if rerr != nil {
+					run.Remove()
+					return rerr
+				}
+				in.tail = rd
+				openTails++
+			} else {
+				lt.CloseRun(m.Src)
+			}
 		}
 		return nil
 	}
@@ -408,20 +499,60 @@ func ExchangeStream[K any](e comm.StreamEndpoint, tag comm.Tag, runs [][]K, owne
 		return progress, nil
 	}
 
+	// refillTails feeds every starved disk tail its next frame (the tree
+	// has consumed everything the tail's stream appended), closing the
+	// stream's merge run at the final marker — which also deletes the
+	// run file, the steady-state cleanup.
+	refillTails := func() (bool, error) {
+		did := false
+		for i := range ins {
+			in := &ins[i]
+			if in.tail == nil || lt.Consumed(i) < in.admitted {
+				continue
+			}
+			keys, rerr := in.tail.NextChunk()
+			if rerr != nil {
+				return did, rerr
+			}
+			if keys == nil {
+				in.tail = nil
+				lt.CloseRun(i)
+				openTails--
+			} else {
+				b := int64(len(keys)) * keySize
+				sp.Acquire(b)
+				in.charged += b
+				lt.Append(i, keys)
+				in.admitted += int64(len(keys))
+				admitted += int64(len(keys))
+			}
+			did = true
+		}
+		return did, nil
+	}
+
 	// drain emits every safely mergeable key, then grants credits for
 	// chunks that have fully passed through the merge of still-open
-	// streams (a closed stream's sender has nothing left to send).
+	// streams (a closed stream's sender has nothing left to send) and
+	// returns the budget of fully consumed chunks.
 	drain := func() (bool, error) {
+		refilled := false
+		if openTails > 0 {
+			var rerr error
+			if refilled, rerr = refillTails(); rerr != nil {
+				return false, rerr
+			}
+		}
 		k, ok := lt.NextReady()
 		if !ok {
-			return false, nil
+			return refilled, nil
 		}
 		t0 := time.Now()
 		if int64(cap(out)) < expect {
 			out = slices.Grow(out, int(expect)-len(out))
 		}
 		out = append(out, k)
-		if openStreams > 0 {
+		if openStreams > 0 || openTails > 0 {
 			for {
 				k, ok = lt.NextReady()
 				if !ok {
@@ -456,6 +587,18 @@ func ExchangeStream[K any](e comm.StreamEndpoint, tag comm.Tag, runs [][]K, owne
 				out = append(out, k)
 			}
 			st.MergeTail += time.Since(t0)
+		}
+		if sp != nil {
+			for i := range ins {
+				in := &ins[i]
+				if c := lt.Consumed(i); c > in.released {
+					if b := min((c-in.released)*keySize, in.charged); b > 0 {
+						sp.Release(b)
+						in.charged -= b
+					}
+					in.released = c
+				}
+			}
 		}
 		for i := 1; i < p; i++ {
 			src := (me - i + p) % p
@@ -497,7 +640,7 @@ func ExchangeStream[K any](e comm.StreamEndpoint, tag comm.Tag, runs [][]K, owne
 			return nil, st, err
 		}
 		progress = progress || emitted
-		if sendsPending == 0 && openStreams == 0 && lt.Exhausted() {
+		if sendsPending == 0 && openStreams == 0 && openTails == 0 && lt.Exhausted() {
 			return out, st, nil
 		}
 		if !progress {
@@ -538,6 +681,19 @@ func ExchangeMerge[K any](e comm.StreamEndpoint, tag comm.Tag, runs [][]K, owner
 		}
 		exchangeTime = time.Since(t0)
 		t1 := time.Now()
+		if sp := opt.Spill; sp != nil {
+			var total int64
+			for _, r := range recv {
+				total += int64(len(r)) * comm.SizeOf[K]()
+			}
+			if total > sp.Budget() {
+				out, err := spillMergeRecv(recv, cmp, code, opt)
+				if err != nil {
+					return nil, 0, 0, StreamStats{}, err
+				}
+				return out, exchangeTime, time.Since(t1), StreamStats{}, nil
+			}
+		}
 		var tie func(K, K) int
 		if opt.Tie && code != nil {
 			tie = cmp
@@ -560,4 +716,51 @@ func ExchangeMerge[K any](e comm.StreamEndpoint, tag comm.Tag, runs [][]K, owner
 	}
 	total := time.Since(t0)
 	return out, total - st.MergeTail, st.MergeTail, st, nil
+}
+
+// spillMergeRecv is the materializing path's out-of-core merge: the
+// received runs together exceed the memory budget, so each run is
+// spilled to its own compressed run file (in rank order, preserving the
+// duplicate-key tie-break) and the merge streams them back one frame
+// per run. The received buffers are dropped as they are spilled; on the
+// wire transports this frees them, on the shared-memory transports the
+// views just stop being referenced (a simulated out-of-core run).
+// Output is identical to the in-memory k-way merge.
+func spillMergeRecv[K any](recv [][]K, cmp func(K, K) int, code func(K) uint64, opt StreamOptions) ([]K, error) {
+	sp := opt.Spill
+	keySize := comm.SizeOf[K]()
+	frameKeys := sp.FrameKeys(keySize, len(recv))
+	srcs := make([]merge.Source[K], 0, len(recv))
+	defer func() {
+		// No-op after a clean merge; on error paths this deletes whatever
+		// run files are still open. Close is idempotent.
+		for _, s := range srcs {
+			s.(*spill.RunReader[K]).Close()
+		}
+	}()
+	total := 0
+	for i, r := range recv {
+		total += len(r)
+		w, err := spill.NewWriter[K](sp, frameKeys)
+		if err != nil {
+			return nil, err
+		}
+		if err := w.WriteKeys(r); err != nil {
+			w.Abort()
+			return nil, err
+		}
+		run, err := w.Finish()
+		if err != nil {
+			return nil, err
+		}
+		recv[i] = nil
+		rd, err := run.Reader(true)
+		if err != nil {
+			run.Remove()
+			return nil, err
+		}
+		srcs = append(srcs, rd)
+	}
+	st := merge.NewStreamerTie(cmp, code, opt.Tie && code != nil)
+	return merge.FromSources(st, srcs, sp, make([]K, 0, total), keySize)
 }

@@ -13,6 +13,7 @@ import (
 	"hssort/internal/histogram"
 	"hssort/internal/keycoder"
 	"hssort/internal/par"
+	"hssort/internal/spill"
 )
 
 // Options configures a classic histogram sort. Cmp and Coder are
@@ -66,6 +67,9 @@ type Options[K any] struct {
 	// Scratch, when non-nil, is this rank's reusable exchange state
 	// (see core.Options.Scratch).
 	Scratch *exchange.Scratch[K]
+	// Spill, when non-nil, is this rank's out-of-core manager (see
+	// core.Options.Spill). nil keeps every phase in memory.
+	Spill *spill.Manager
 	// BaseTag is the start of the tag range this sort uses. Default 3000.
 	BaseTag comm.Tag
 }
@@ -152,11 +156,9 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 	stats.Workers = pool.Workers()
 
 	t0 := time.Now()
-	var localCodes []codes.Code
-	if opt.Code != nil {
-		localCodes = codes.SortByCodePar(local, opt.Code, pool)
-	} else {
-		slices.SortFunc(local, opt.Cmp)
+	localCodes, err := spill.LocalSort(opt.Spill, local, opt.Code, opt.Cmp, pool)
+	if err != nil {
+		return nil, stats, err
 	}
 	localSort := time.Since(t0)
 
@@ -216,7 +218,7 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 	bytes1 := c.Counters().BytesSent
 	out, exchangeTime, mergeTime, sst, err := exchange.ExchangeMerge(
 		c, base+tagExchange, runs, opt.Owner, opt.Cmp, opt.Code,
-		exchange.StreamOptions{ChunkKeys: opt.ChunkKeys, Pool: pool}, opt.Scratch)
+		exchange.StreamOptions{ChunkKeys: opt.ChunkKeys, Pool: pool, Spill: opt.Spill}, opt.Scratch)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -236,6 +238,7 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 		OutCount:      len(out),
 		ParSpawned:    pc.Spawned,
 		ParTasks:      pc.Tasks,
+		Spill:         opt.Spill.TakeStats(),
 	}); err != nil {
 		return nil, stats, err
 	}

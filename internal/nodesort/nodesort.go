@@ -2,7 +2,6 @@ package nodesort
 
 import (
 	"fmt"
-	"slices"
 	"time"
 
 	"hssort/internal/codes"
@@ -12,6 +11,7 @@ import (
 	"hssort/internal/exchange"
 	"hssort/internal/merge"
 	"hssort/internal/par"
+	"hssort/internal/spill"
 )
 
 // Options configures a two-level node sort. Cmp and CoresPerNode are
@@ -61,6 +61,9 @@ type Options[K any] struct {
 	// Scratch, when non-nil, is this rank's reusable exchange state for
 	// the node-to-node leader exchange (see core.Options.Scratch).
 	Scratch *exchange.Scratch[K]
+	// Spill, when non-nil, is this rank's out-of-core manager (see
+	// core.Options.Spill). nil keeps every phase in memory.
+	Spill *spill.Manager
 	// BaseTag is the start of the tag range (~40 tags). Default 7000.
 	BaseTag comm.Tag
 }
@@ -136,15 +139,18 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 	t0 := time.Now()
 	var localCodes []codes.Code
 	var collisions int64
-	if opt.Code != nil {
+	if opt.PrefixCode {
+		// Prefix plane: radix-sort the code decoration, then restore
+		// comparator order within equal-code spans (see
+		// core.Options.PrefixCode). Never budgeted: the root validation
+		// rejects MemoryBudget for variable-length keys.
 		localCodes = codes.SortByCodePar(local, opt.Code, pool)
-		if opt.PrefixCode {
-			// Prefix plane: restore comparator order within equal-code
-			// spans (see core.Options.PrefixCode).
-			collisions = codes.TieBreakPar(localCodes, local, opt.Cmp, pool)
-		}
+		collisions = codes.TieBreakPar(localCodes, local, opt.Cmp, pool)
 	} else {
-		slices.SortFunc(local, opt.Cmp)
+		localCodes, err = spill.LocalSort(opt.Spill, local, opt.Code, opt.Cmp, pool)
+		if err != nil {
+			return nil, stats, err
+		}
 	}
 	localSort := time.Since(t0)
 
@@ -320,7 +326,7 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 		}
 		nodeData, _, nodeMergeTime, sst, err = exchange.ExchangeMerge(
 			leaderGroup, base+tagNodeEx, combined, exchange.ContiguousOwner(nodes, nodes), opt.Cmp, opt.Code,
-			exchange.StreamOptions{ChunkKeys: opt.ChunkKeys, Pool: pool, Tie: opt.PrefixCode}, opt.Scratch)
+			exchange.StreamOptions{ChunkKeys: opt.ChunkKeys, Pool: pool, Tie: opt.PrefixCode, Spill: opt.Spill}, opt.Scratch)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -362,6 +368,7 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 		ParSpawned:       pc.Spawned,
 		ParTasks:         pc.Tasks,
 		PrefixCollisions: collisions,
+		Spill:            opt.Spill.TakeStats(),
 	}); err != nil {
 		return nil, stats, err
 	}

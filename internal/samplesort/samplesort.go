@@ -15,6 +15,7 @@ import (
 	"hssort/internal/merge"
 	"hssort/internal/par"
 	"hssort/internal/sampling"
+	"hssort/internal/spill"
 )
 
 // Method selects the sampling method.
@@ -89,6 +90,9 @@ type Options[K any] struct {
 	// Scratch, when non-nil, is this rank's reusable exchange state
 	// (see core.Options.Scratch).
 	Scratch *exchange.Scratch[K]
+	// Spill, when non-nil, is this rank's out-of-core manager (see
+	// core.Options.Spill). nil keeps every phase in memory.
+	Spill *spill.Manager
 	// BaseTag is the start of the tag range this sort uses. Default 2000.
 	BaseTag comm.Tag
 }
@@ -174,13 +178,12 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 	pool := par.New(opt.Workers)
 	stats.Workers = pool.Workers()
 	// Phase 1: local sort — radix on the code plane when available,
-	// fanned over this rank's worker pool.
+	// fanned over this rank's worker pool; spill-aware under a memory
+	// budget (see spill.LocalSort).
 	t0 := time.Now()
-	var localCodes []codes.Code
-	if opt.Code != nil {
-		localCodes = codes.SortByCodePar(local, opt.Code, pool)
-	} else {
-		slices.SortFunc(local, opt.Cmp)
+	localCodes, err := spill.LocalSort(opt.Spill, local, opt.Code, opt.Cmp, pool)
+	if err != nil {
+		return nil, stats, err
 	}
 	localSort := time.Since(t0)
 
@@ -250,7 +253,7 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 	bytes1 := c.Counters().BytesSent
 	out, exchangeTime, mergeTime, sst, err := exchange.ExchangeMerge(
 		c, base+tagExchange, runs, opt.Owner, opt.Cmp, opt.Code,
-		exchange.StreamOptions{ChunkKeys: opt.ChunkKeys, Pool: pool}, opt.Scratch)
+		exchange.StreamOptions{ChunkKeys: opt.ChunkKeys, Pool: pool, Spill: opt.Spill}, opt.Scratch)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -270,6 +273,7 @@ func Sort[K any](c *comm.Comm, local []K, opt Options[K]) ([]K, core.Stats, erro
 		OutCount:      len(out),
 		ParSpawned:    pc.Spawned,
 		ParTasks:      pc.Tasks,
+		Spill:         opt.Spill.TakeStats(),
 	}); err != nil {
 		return nil, stats, err
 	}

@@ -1,0 +1,41 @@
+// Package spill is the out-of-core plane: it writes sorted runs to
+// compressed, checksummed run files on disk and streams them back as
+// just another chunk source of the incremental k-way merges, so a sort
+// whose data exceeds Config.MemoryBudget completes with a bounded
+// resident working set instead of failing or thrashing.
+//
+// The package has three moving parts:
+//
+//   - Manager: one per rank. It owns the rank's spill directory
+//     (created under Config.SpillDir, or a private temp directory),
+//     meters resident bytes against the budget (Acquire/Release — it
+//     implements merge.Budget), answers the admission question
+//     (WouldExceed) the budget-aware paths key their spill decisions
+//     on, and aggregates the per-sort counters behind
+//     Stats.SpilledBytes / SpillFileBytes / SpillReads /
+//     PeakResidentBytes.
+//
+//   - Writer / Run / RunReader: the run-file codec. A Writer splits a
+//     sorted key stream into frames — delta-varint coded on the pure
+//     code plane, raw fixed-size records otherwise, then
+//     flate-compressed when that wins — each carrying a CRC-32C of its
+//     stored payload, terminated by an explicit final marker so
+//     truncation is always detectable (docs/SPILL.md specifies the
+//     format). A RunReader feeds the frames back one at a time through
+//     merge.Source, so the merge holds one frame per run, not the runs.
+//
+//   - LocalSort: the spill-aware local-sort kernel shared by the sort
+//     pipelines. In budget it is exactly the in-memory kernel (parallel
+//     radix on the code plane, slices.SortFunc on the comparator
+//     plane); over budget it sorts budget-sized segments with the same
+//     kernel, spills each as a run, and merges the runs back into the
+//     input's storage through the loser tree — output identical either
+//     way.
+//
+// Failure handling follows the repository's typed-error taxonomy: every
+// disk failure and every corrupt frame surfaces as a *spill.Error
+// naming the operation and path (re-exported as hssort.SpillError), and
+// run files are removed as they are consumed, on abort, and wholesale
+// by Manager.Reset/Close — a crashed rank's leftovers are wiped when
+// its respawn reconstructs the deterministic per-rank directory.
+package spill

@@ -1,0 +1,39 @@
+package spill
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCorrupt marks a run file whose stored frames fail validation —
+// a bad magic number, a checksum mismatch, an impossible frame header,
+// a malformed delta stream, or a file that ends without its final
+// marker. It is always wrapped in a *Error; callers branch with
+// errors.Is.
+var ErrCorrupt = errors.New("corrupt spill data")
+
+// Error is the typed failure of the out-of-core plane: any disk
+// operation (create, write, sync, read, remove) or frame validation
+// that fails surfaces as a *Error naming the operation and the run-file
+// path, wrapping the underlying cause (an *os.PathError, ErrCorrupt,
+// ...). The root package re-exports it as hssort.SpillError.
+type Error struct {
+	// Op is the failed operation: "create", "write", "finish", "open",
+	// "read", "decode", "remove".
+	Op string
+	// Path is the run file (or directory) involved.
+	Path string
+	// Err is the underlying cause.
+	Err error
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("spill: %s %s: %v", e.Op, e.Path, e.Err)
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// corrupt builds the *Error for a validation failure.
+func corrupt(op, path, format string, args ...any) error {
+	return &Error{Op: op, Path: path, Err: fmt.Errorf("%w: "+format, append([]any{ErrCorrupt}, args...)...)}
+}

@@ -1,0 +1,146 @@
+package spill
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"slices"
+	"testing"
+
+	"hssort/internal/codes"
+)
+
+// keysFromBytes derives a code sequence from raw fuzz bytes. The codec
+// must round-trip ANY sequence (delta encoding is wraparound-total), so
+// no sorting or deduping is applied.
+func keysFromBytes(data []byte) []codes.Code {
+	n := len(data) / 8
+	keys := make([]codes.Code, 0, n+1)
+	for i := 0; i < n; i++ {
+		keys = append(keys, codes.Code(binary.LittleEndian.Uint64(data[i*8:])))
+	}
+	if rem := data[n*8:]; len(rem) > 0 {
+		var tail [8]byte
+		copy(tail[:], rem)
+		keys = append(keys, codes.Code(binary.LittleEndian.Uint64(tail[:])))
+	}
+	return keys
+}
+
+func writeRun(t interface {
+	Fatalf(string, ...any)
+	TempDir() string
+}, keys []codes.Code, frameKeys int) (*Manager, *Run[codes.Code]) {
+	m, err := NewManager(1<<30, t.TempDir(), 0)
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	w, err := NewWriter[codes.Code](m, frameKeys)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	if err := w.WriteKeys(keys); err != nil {
+		t.Fatalf("WriteKeys: %v", err)
+	}
+	run, err := w.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return m, run
+}
+
+// FuzzSpillRunRoundTrip checks that any key sequence round-trips
+// bit-exact and in order through the run-file codec, at arbitrary frame
+// sizes.
+func FuzzSpillRunRoundTrip(f *testing.F) {
+	f.Add([]byte{}, uint16(1))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, uint16(2))
+	f.Add(append(make([]byte, 64), 0xff, 0x7f), uint16(3))
+	sorted := make([]byte, 0, 80)
+	for i := 0; i < 10; i++ {
+		sorted = binary.LittleEndian.AppendUint64(sorted, uint64(i*1000))
+	}
+	f.Add(sorted, uint16(4))
+	f.Fuzz(func(t *testing.T, data []byte, frame uint16) {
+		keys := keysFromBytes(data)
+		m, run := writeRun(t, keys, int(frame)%512+1)
+		defer m.Close()
+		rd, err := run.Reader(false)
+		if err != nil {
+			t.Fatalf("Reader: %v", err)
+		}
+		defer rd.Close()
+		got := make([]codes.Code, 0, len(keys))
+		for {
+			chunk, err := rd.NextChunk()
+			if err != nil {
+				t.Fatalf("NextChunk: %v", err)
+			}
+			if chunk == nil {
+				break
+			}
+			got = append(got, chunk...)
+		}
+		if !slices.Equal(got, keys) {
+			t.Fatalf("round trip mismatch: wrote %d keys, read %d", len(keys), len(got))
+		}
+	})
+}
+
+// FuzzSpillRunCorrupt mutates or truncates a valid run file and checks
+// the reader either rejects it with a *spill.Error wrapping ErrCorrupt
+// or decodes data exactly equal to the original — never garbage keys.
+// (Equality is legitimate: mutations past the final marker, or
+// truncation that removes only trailing bytes, leave the decoded stream
+// intact.)
+func FuzzSpillRunCorrupt(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint32(9), byte(0x80), false)
+	f.Add(make([]byte, 256), uint32(30), byte(1), true)
+	f.Add([]byte{0xff}, uint32(0), byte(0xff), false)
+	f.Fuzz(func(t *testing.T, data []byte, pos uint32, xor byte, truncate bool) {
+		keys := keysFromBytes(data)
+		m, run := writeRun(t, keys, 64)
+		defer m.Close()
+		raw, err := os.ReadFile(run.Path())
+		if err != nil {
+			t.Fatalf("ReadFile: %v", err)
+		}
+		if truncate {
+			raw = raw[:int(pos)%(len(raw)+1)]
+		} else {
+			raw = slices.Clone(raw)
+			raw[int(pos)%len(raw)] ^= xor
+		}
+		path := filepath.Join(t.TempDir(), "mutated.spill")
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatalf("WriteFile: %v", err)
+		}
+		var got []codes.Code
+		rd, err := OpenRun[codes.Code](m, path, false)
+		if err == nil {
+			defer rd.Close()
+			for {
+				var chunk []codes.Code
+				chunk, err = rd.NextChunk()
+				if err != nil || chunk == nil {
+					break
+				}
+				got = append(got, chunk...)
+			}
+		}
+		if err == nil {
+			if !slices.Equal(got, keys) {
+				t.Fatalf("mutated run decoded to %d keys without error (want %d identical)", len(got), len(keys))
+			}
+			return
+		}
+		var se *Error
+		if !errors.As(err, &se) {
+			t.Fatalf("error is %T (%v), want *spill.Error", err, err)
+		}
+		if !errors.Is(err, ErrCorrupt) && se.Err == nil {
+			t.Fatalf("corrupt run error carries no cause: %v", err)
+		}
+	})
+}

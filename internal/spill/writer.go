@@ -1,0 +1,258 @@
+package spill
+
+import (
+	"bufio"
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"unsafe"
+
+	"hssort/internal/codes"
+)
+
+// Run-file format (docs/SPILL.md): an 8-byte magic, a sequence of
+// frames, and a final marker frame. Each frame is a 13-byte header —
+// stored payload length (u32 LE), key count (u32 LE), flags (u8),
+// CRC-32C of the stored payload (u32 LE) — followed by the payload.
+// Payloads are delta-varint coded on the pure code plane and raw
+// fixed-size records otherwise, flate-compressed per frame when that
+// actually shrinks them. The final marker (flagFinal, zero length, zero
+// count) makes truncation detectable: a reader that hits EOF without it
+// reports ErrCorrupt.
+const (
+	runMagic         = "HSSPILL1"
+	frameHeaderBytes = 13
+
+	flagDelta = 1 << 0 // payload is a delta-varint code stream
+	flagFlate = 1 << 1 // payload is flate-compressed
+	flagFinal = 1 << 2 // end-of-run marker, no payload
+
+	// Sanity caps checked before any allocation on the read path.
+	maxFramePayload = 1 << 30
+	maxFrameKeys    = 1 << 28
+
+	// Frames smaller than this skip the compression attempt.
+	minCompressBytes = 64
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// frameCRC checksums a frame: the header's length/count/flags fields
+// followed by the stored payload, so a flipped header bit (say, the
+// compression flag) is as detectable as a flipped payload bit.
+func frameCRC(hdrPrefix, stored []byte) uint32 {
+	h := crc32.Checksum(hdrPrefix, crcTable)
+	return crc32.Update(h, crcTable, stored)
+}
+
+// rawBytes reinterprets a slice of plain-data keys as its backing
+// bytes. Callers guarantee K is spillable (Spillable[K]).
+func rawBytes[K any](keys []K) []byte {
+	if len(keys) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&keys[0])), uintptr(len(keys))*unsafe.Sizeof(keys[0]))
+}
+
+// isCodePlane reports whether K is codes.Code, selecting the
+// delta-varint payload encoding.
+func isCodePlane[K any]() bool {
+	_, ok := any([]K(nil)).([]codes.Code)
+	return ok
+}
+
+// Writer streams one sorted run of keys into a run file, splitting it
+// into frameKeys-sized compressed frames. WriteKeys may be called any
+// number of times (the run is the concatenation); Finish seals the file
+// and hands back the Run descriptor, Abort deletes it. A Writer is not
+// safe for concurrent use.
+type Writer[K any] struct {
+	m         *Manager
+	path      string
+	f         *os.File
+	bw        *bufio.Writer
+	frameKeys int
+	keySize   int64
+	delta     bool
+
+	fw     *flate.Writer
+	encBuf []byte       // delta-varint staging
+	cmpBuf bytes.Buffer // flate staging
+
+	keys     int64
+	err      error
+	finished bool
+}
+
+// NewWriter creates a run file in m's spill directory. frameKeys bounds
+// the keys per frame (and therefore the resident bytes a reader needs
+// per run at merge time).
+func NewWriter[K any](m *Manager, frameKeys int) (*Writer[K], error) {
+	if frameKeys < 1 {
+		frameKeys = 1
+	}
+	if frameKeys > maxFrameKeys {
+		frameKeys = maxFrameKeys
+	}
+	var zero K
+	w := &Writer[K]{
+		m:         m,
+		path:      m.newPath(),
+		frameKeys: frameKeys,
+		keySize:   int64(unsafe.Sizeof(zero)),
+		delta:     isCodePlane[K](),
+	}
+	f, err := os.OpenFile(w.path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, &Error{Op: "create", Path: w.path, Err: err}
+	}
+	w.f = f
+	w.bw = bufio.NewWriterSize(f, 1<<16)
+	w.fw, _ = flate.NewWriter(&w.cmpBuf, flate.BestSpeed)
+	if _, err := w.bw.WriteString(runMagic); err != nil {
+		w.Abort()
+		return nil, &Error{Op: "write", Path: w.path, Err: err}
+	}
+	return w, nil
+}
+
+// Path returns the run file's path.
+func (w *Writer[K]) Path() string { return w.path }
+
+// Keys returns the number of keys written so far.
+func (w *Writer[K]) Keys() int64 { return w.keys }
+
+// WriteKeys appends sorted keys to the run, splitting them into frames.
+// Errors are sticky.
+func (w *Writer[K]) WriteKeys(keys []K) error {
+	if w.err != nil {
+		return w.err
+	}
+	for len(keys) > 0 {
+		n := min(w.frameKeys, len(keys))
+		if err := w.writeFrame(keys[:n]); err != nil {
+			w.err = err
+			return err
+		}
+		keys = keys[n:]
+	}
+	return nil
+}
+
+func (w *Writer[K]) writeFrame(keys []K) error {
+	var payload []byte
+	flags := byte(0)
+	if w.delta {
+		w.encBuf = codes.DeltaAppend(w.encBuf[:0], any(keys).([]codes.Code))
+		payload = w.encBuf
+		flags |= flagDelta
+	} else {
+		payload = rawBytes(keys)
+	}
+	stored := payload
+	if len(payload) >= minCompressBytes {
+		w.cmpBuf.Reset()
+		w.fw.Reset(&w.cmpBuf)
+		if _, err := w.fw.Write(payload); err == nil {
+			if err := w.fw.Close(); err == nil && w.cmpBuf.Len() < len(payload) {
+				stored = w.cmpBuf.Bytes()
+				flags |= flagFlate
+			}
+		}
+	}
+	var hdr [frameHeaderBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(stored)))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(keys)))
+	hdr[8] = flags
+	binary.LittleEndian.PutUint32(hdr[9:], frameCRC(hdr[:9], stored))
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		return &Error{Op: "write", Path: w.path, Err: err}
+	}
+	if _, err := w.bw.Write(stored); err != nil {
+		return &Error{Op: "write", Path: w.path, Err: err}
+	}
+	w.keys += int64(len(keys))
+	w.m.noteSpill(int64(len(keys))*w.keySize, int64(frameHeaderBytes+len(stored)))
+	return nil
+}
+
+// Finish writes the final marker, flushes, and closes the file,
+// returning the completed run's descriptor. The Writer is dead
+// afterwards.
+func (w *Writer[K]) Finish() (*Run[K], error) {
+	if w.err != nil {
+		return nil, w.err
+	}
+	if w.finished {
+		return nil, &Error{Op: "finish", Path: w.path, Err: os.ErrClosed}
+	}
+	var hdr [frameHeaderBytes]byte
+	hdr[8] = flagFinal
+	binary.LittleEndian.PutUint32(hdr[9:], frameCRC(hdr[:9], nil))
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		w.fail(err)
+		return nil, w.err
+	}
+	w.m.noteSpill(0, frameHeaderBytes)
+	if err := w.bw.Flush(); err != nil {
+		w.fail(err)
+		return nil, w.err
+	}
+	if err := w.f.Close(); err != nil {
+		w.fail(err)
+		return nil, w.err
+	}
+	w.finished = true
+	return &Run[K]{m: w.m, path: w.path, keys: w.keys}, nil
+}
+
+func (w *Writer[K]) fail(err error) {
+	w.err = &Error{Op: "finish", Path: w.path, Err: err}
+	w.f.Close()
+	os.Remove(w.path)
+	w.finished = true
+}
+
+// Abort closes and deletes the run file. Safe to call at any point,
+// including after Finish (where it is a no-op: the Run owns the file).
+func (w *Writer[K]) Abort() {
+	if w.finished {
+		return
+	}
+	w.finished = true
+	if w.err == nil {
+		w.err = &Error{Op: "write", Path: w.path, Err: os.ErrClosed}
+	}
+	w.f.Close()
+	os.Remove(w.path)
+}
+
+// Run describes a sealed run file, ready to be read back.
+type Run[K any] struct {
+	m    *Manager
+	path string
+	keys int64
+}
+
+// Keys returns the number of keys in the run.
+func (r *Run[K]) Keys() int64 { return r.keys }
+
+// Path returns the run file's path.
+func (r *Run[K]) Path() string { return r.path }
+
+// Reader opens the run for streaming read-back. With removeOnEOF the
+// file is deleted as soon as the reader hits the final marker — the
+// steady-state cleanup of a successful merge.
+func (r *Run[K]) Reader(removeOnEOF bool) (*RunReader[K], error) {
+	return OpenRun[K](r.m, r.path, removeOnEOF)
+}
+
+// Remove deletes the run file without reading it.
+func (r *Run[K]) Remove() error {
+	if err := os.Remove(r.path); err != nil && !os.IsNotExist(err) {
+		return &Error{Op: "remove", Path: r.path, Err: err}
+	}
+	return nil
+}

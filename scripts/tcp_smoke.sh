@@ -43,6 +43,31 @@ check() {
 check "int64/powerskew, $N keys/rank" -n "$N" -dist powerskew -stream -eps 0.05 -seed 7 -digest
 check "bytes/urllike, $((N / 5)) keys/rank" -n "$((N / 5))" -keys bytes -dist urllike -stream -eps 0.05 -seed 7 -digest
 
+# Out-of-core pass: each worker sorts under a per-rank memory budget of
+# a quarter of its shard (the dataset is 4x the budget), spilling
+# compressed run files into a shared -spill-dir. The oracle is the
+# fully in-memory sim sort — out-of-core output must be
+# digest-identical to it — and the engines' Close must leave no
+# orphaned run files behind.
+ooc_pass() {
+  local budget=$((N * 8 / 4))
+  local flags=(-n "$N" -dist powerskew -stream -chunk 1024 -eps 0.05 -seed 7 -digest)
+  "$tmp/hssort" -p "$PROCS" "${flags[@]}" | grep '^digest' | sort > "$tmp/sim.digests"
+  mkdir -p "$tmp/spill"
+  run_tcp "${flags[@]}" -mem-budget "$budget" -spill-dir "$tmp/spill" \
+    || { echo "retrying after bootstrap race" >&2; run_tcp "${flags[@]}" -mem-budget "$budget" -spill-dir "$tmp/spill"; }
+  diff -u "$tmp/sim.digests" "$tmp/tcp.digests"
+  local leftover
+  leftover=$(find "$tmp/spill" -type f | head)
+  if [ -n "$leftover" ]; then
+    echo "orphaned spill run files after the fleet closed:" >&2
+    echo "$leftover" >&2
+    return 1
+  fi
+  echo "tcp out-of-core (budget $budget B/rank, 4x data) == in-memory sim: rank-identical output, spill dir clean"
+}
+ooc_pass
+
 # Failure-survival pass: kill one worker mid-sort, respawn it, and
 # assert the healed fleet's output is still digest-identical to sim.
 # The victim's -chaos crash is a real SIGKILL of its own process at its

@@ -23,6 +23,7 @@ import (
 	"hssort/internal/par"
 	"hssort/internal/radix"
 	"hssort/internal/samplesort"
+	"hssort/internal/spill"
 	"hssort/internal/tagging"
 )
 
@@ -52,6 +53,7 @@ type Sorter[K any] struct {
 	isNaN   func(K) bool   // non-nil only for float keys with a coder
 	pool    *comm.Pool
 	scratch []*rankScratch[K]
+	spills  []*spill.Manager // per-rank spill managers; nil when MemoryBudget is 0, nil entries for ranks other processes host
 
 	mu     sync.Mutex
 	closed bool
@@ -161,9 +163,54 @@ func newSorter[K any](cfg Config, compare func(K, K) int, builtin keycoder.Coder
 			return nil, fmt.Errorf("hssort: CodePathOn, but %v has no code-plane support", cfg.Algorithm)
 		}
 	}
+	if cfg.MemoryBudget < 0 {
+		return nil, fmt.Errorf("hssort: MemoryBudget %d < 0", cfg.MemoryBudget)
+	}
+	if cfg.SpillDir != "" && cfg.MemoryBudget == 0 {
+		return nil, fmt.Errorf("hssort: SpillDir is set but MemoryBudget is 0 (the out-of-core plane is off)")
+	}
+	if cfg.MemoryBudget > 0 {
+		switch cfg.Algorithm {
+		case HSS, HSSOneRound, HSSTheoretical, SampleSortRegular, SampleSortRandom, HistogramSort, NodeHSS:
+		default:
+			return nil, fmt.Errorf("hssort: MemoryBudget is not supported by %v", cfg.Algorithm)
+		}
+		if cfg.TagDuplicates {
+			return nil, fmt.Errorf("hssort: MemoryBudget is incompatible with TagDuplicates (tagged records are per-call transient types the spill plane cannot persist)")
+		}
+		if prefix {
+			return nil, fmt.Errorf("hssort: MemoryBudget is not supported on the byte-string prefix plane (variable-length keys cannot be framed into fixed-size spill runs)")
+		}
+		if !spill.Spillable[K]() {
+			var zero K
+			return nil, fmt.Errorf("hssort: MemoryBudget requires a fixed-size key type without pointers, got %T", zero)
+		}
+	}
 	tr, err := newTransport(cfg)
 	if err != nil {
 		return nil, err
+	}
+	var spills []*spill.Manager
+	if cfg.MemoryBudget > 0 {
+		spills = make([]*spill.Manager, cfg.Procs)
+		// Only the ranks this process hosts get a manager: a multi-process
+		// TCP worker carries exactly its own rank, everything else
+		// co-hosts the whole world.
+		lo, hi := 0, cfg.Procs
+		if cfg.Transport == TransportTCP && cfg.TCP.Coordinator != "" {
+			lo, hi = cfg.TCP.Rank, cfg.TCP.Rank+1
+		}
+		for r := lo; r < hi; r++ {
+			m, err := spill.NewManager(cfg.MemoryBudget, cfg.SpillDir, r)
+			if err != nil {
+				for _, mm := range spills {
+					mm.Close()
+				}
+				closeTransport(tr)
+				return nil, err
+			}
+			spills[r] = m
+		}
 	}
 	if coder == nil && code == nil {
 		isNaN = nil // no code plane to guard
@@ -177,6 +224,7 @@ func newSorter[K any](cfg Config, compare func(K, K) int, builtin keycoder.Coder
 		isNaN:   isNaN,
 		pool:    comm.NewPool(cfg.Procs, comm.WithTimeout(cfg.Timeout), comm.WithTransport(tr)),
 		scratch: make([]*rankScratch[K], cfg.Procs),
+		spills:  spills,
 	}
 	if s.cfg.Workers == 0 {
 		// Resolve the default once, against this transport's hosting
@@ -204,6 +252,9 @@ func (s *Sorter[K]) Close() {
 	s.closed = true
 	s.pool.Close()
 	closeTransport(s.pool.Transport())
+	for _, m := range s.spills {
+		m.Close() // nil-safe; removes each hosted rank's run directory
+	}
 }
 
 // Sort sorts shards[i] (the keys initially on simulated processor i)
@@ -371,6 +422,7 @@ func runEngine[K, E any](ctx context.Context, s *Sorter[K], plan *Plan[E], shard
 				inj.scratch = sc
 			}
 		}
+		inj.spill = s.spillFor(c.Rank())
 		out, st, err := dispatch(c, shards[c.Rank()], s.cfg, compare, coder, code, prefix, inj)
 		if err != nil {
 			return err
@@ -382,6 +434,7 @@ func runEngine[K, E any](ctx context.Context, s *Sorter[K], plan *Plan[E], shard
 		return nil
 	})
 	s.releaseScratch()
+	s.resetSpills()
 	if err != nil {
 		return nil, Stats{}, ctxErr(ctx, err)
 	}
@@ -399,6 +452,25 @@ func (s *Sorter[K]) releaseScratch() {
 	for _, sc := range s.scratch {
 		sc.exch.Release()
 		sc.exchCode.Release()
+	}
+}
+
+// spillFor returns rank r's spill manager, nil when the out-of-core
+// plane is off or another process hosts r.
+func (s *Sorter[K]) spillFor(r int) *spill.Manager {
+	if s.spills == nil {
+		return nil
+	}
+	return s.spills[r]
+}
+
+// resetSpills zeroes every hosted rank's spill accounting and removes
+// run files a failed or aborted sort left behind, so each sort starts
+// from a clean directory and fresh counters. Runs after the worker
+// world has joined, like releaseScratch.
+func (s *Sorter[K]) resetSpills() {
+	for _, m := range s.spills {
+		m.Reset() // nil-safe
 	}
 }
 
@@ -435,7 +507,7 @@ func (s *Sorter[K]) sortCoded(ctx context.Context, plan *Plan[K], shards [][]K) 
 		t0 := time.Now()
 		sc.enc = codes.EncodeIntoPar(s.coder, shards[r], sc.enc, cp)
 		encTime[r] = time.Since(t0)
-		inj := injection[codes.Code]{scratch: &sc.exchCode}
+		inj := injection[codes.Code]{scratch: &sc.exchCode, spill: s.spillFor(r)}
 		if codePlan != nil {
 			inj.splitters = codePlan.Splitters
 			inj.stale = s.cfg.PlanStaleness
@@ -453,6 +525,7 @@ func (s *Sorter[K]) sortCoded(ctx context.Context, plan *Plan[K], shards [][]K) 
 		return nil
 	})
 	s.releaseScratch()
+	s.resetSpills()
 	if err != nil {
 		return nil, Stats{}, ctxErr(ctx, err)
 	}
@@ -841,6 +914,9 @@ type injection[K any] struct {
 	stale float64
 	// scratch is this rank's reusable exchange state (may be nil).
 	scratch *exchange.Scratch[K]
+	// spill is this rank's out-of-core manager (nil when MemoryBudget
+	// is 0 or another process hosts the rank).
+	spill *spill.Manager
 }
 
 // guardNaN resolves the per-call code path for inputs that may contain
@@ -903,6 +979,7 @@ func dispatch[K any](c *comm.Comm, local []K, cfg Config, compare func(K, K) int
 		o.Splitters = inj.splitters
 		o.StaleBound = inj.stale
 		o.Scratch = inj.scratch
+		o.Spill = inj.spill
 		return core.Sort(c, local, o)
 	case SampleSortRegular, SampleSortRandom:
 		o := samplesortDetOptions(cfg, compare)
@@ -914,6 +991,7 @@ func dispatch[K any](c *comm.Comm, local []K, cfg Config, compare func(K, K) int
 		o.Splitters = inj.splitters
 		o.StaleBound = inj.stale
 		o.Scratch = inj.scratch
+		o.Spill = inj.spill
 		return samplesort.Sort(c, local, o)
 	case HistogramSort:
 		if coder == nil && !prefix {
@@ -928,6 +1006,7 @@ func dispatch[K any](c *comm.Comm, local []K, cfg Config, compare func(K, K) int
 		o.Splitters = inj.splitters
 		o.StaleBound = inj.stale
 		o.Scratch = inj.scratch
+		o.Spill = inj.spill
 		return histsort.Sort(c, local, o)
 	case Bitonic:
 		return bitonic.Sort(c, local, bitonic.Options[K]{Cmp: compare})
@@ -951,6 +1030,7 @@ func dispatch[K any](c *comm.Comm, local []K, cfg Config, compare func(K, K) int
 			Splitters:        inj.splitters,
 			StaleBound:       inj.stale,
 			Scratch:          inj.scratch,
+			Spill:            inj.spill,
 		})
 	case OverPartition:
 		return overpartition.Sort(c, local, overpartition.Options[K]{

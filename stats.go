@@ -34,6 +34,10 @@ type StatsSnapshot struct {
 	PrefixCollisions  int64   `json:"prefixCollisions,omitempty"`
 	Reconnects        int64   `json:"reconnects,omitempty"`
 	Respawns          int64   `json:"respawns,omitempty"`
+	SpilledBytes      int64   `json:"spilledBytes,omitempty"`
+	SpillFileBytes    int64   `json:"spillFileBytes,omitempty"`
+	SpillReads        int64   `json:"spillReads,omitempty"`
+	PeakResidentBytes int64   `json:"peakResidentBytes,omitempty"`
 }
 
 // Snapshot flattens the Stats into their serialization-ready view.
@@ -63,6 +67,10 @@ func (s Stats) Snapshot() StatsSnapshot {
 		PrefixCollisions:  s.PrefixCollisions,
 		Reconnects:        s.Reconnects,
 		Respawns:          s.Respawns,
+		SpilledBytes:      s.SpilledBytes,
+		SpillFileBytes:    s.SpillFileBytes,
+		SpillReads:        s.SpillReads,
+		PeakResidentBytes: s.PeakResidentBytes,
 	}
 }
 

@@ -354,8 +354,9 @@ const tcpWorkerEnv = "HSSORT_TCP_WORKER"
 // as a CRASH line and the run retried — the retry blocks in the
 // transport's rejoin wait until the respawned rank heals the mesh.
 func runTCPWorker(spec string) int {
-	var rank, procs, perRank, runs int
-	var coordinator, chaosSpec string
+	var rank, procs, perRank, runs, chunk int
+	var budget int64
+	var coordinator, chaosSpec, spillDir string
 	var heartbeat, peerTimeout, rejoinWait time.Duration
 	rejoin := false
 	for _, f := range strings.Fields(spec) {
@@ -381,6 +382,12 @@ func runTCPWorker(spec string) int {
 			rejoin = v == "1"
 		case "chaos":
 			chaosSpec = v
+		case "budget":
+			fmt.Sscanf(v, "%d", &budget)
+		case "spilldir":
+			spillDir = v
+		case "chunk":
+			fmt.Sscanf(v, "%d", &chunk)
 		}
 	}
 	cfg := workerConfig(coordinator, rank, procs, true, CodePathAuto)
@@ -388,6 +395,11 @@ func runTCPWorker(spec string) int {
 	cfg.TCP.PeerTimeout = peerTimeout
 	cfg.TCP.RejoinWait = rejoinWait
 	cfg.TCP.Rejoin = rejoin
+	cfg.MemoryBudget = budget
+	cfg.SpillDir = spillDir
+	if chunk != 0 {
+		cfg.ChunkKeys = chunk
+	}
 	if chaosSpec != "" {
 		cc, err := ParseChaosSpec(chaosSpec)
 		if err != nil {
@@ -428,6 +440,9 @@ func runTCPWorker(spec string) int {
 		fmt.Printf("DIGEST run=%d rank=%d %s\n", run, rank, keyDigest(outs[rank]))
 		if rank == 0 && stats.Respawns > 0 {
 			fmt.Printf("RESPAWNS run=%d %d\n", run, stats.Respawns)
+		}
+		if rank == 0 && stats.SpilledBytes > 0 {
+			fmt.Printf("SPILL run=%d bytes=%d\n", run, stats.SpilledBytes)
 		}
 		run++
 	}
@@ -656,6 +671,151 @@ func launchKillRespawn(t *testing.T, exe string, p, perRank, runs, victim int) (
 				// Respawn with the rejoin handshake; it re-registers with
 				// the coordinator, redials the survivors and re-executes
 				// its shard from run 0.
+				if err := run(base(r) + " rejoin=1"); err != nil {
+					return fmt.Errorf("respawned victim: %w", err)
+				}
+				return nil
+			}()
+		}(r)
+	}
+	wg.Wait()
+	return lines, errors.Join(errs...)
+}
+
+// TestTCPMultiProcessSpillKillRespawn is the out-of-core plane's
+// crash-survival gate: four OS processes sorting out of core (a
+// MemoryBudget of a quarter of each rank's data, small streamed
+// chunks, a shared SpillDir), one of which SIGKILLs itself
+// mid-exchange — while spill runs from its budget-squeezed local sort
+// sit on disk and the survivors hold open divert writers. The
+// survivors report the typed *PeerCrashError, the respawned victim
+// wipes its crashed predecessor's orphaned run files when it reclaims
+// the rank directory, every digest matches the in-memory sim oracle,
+// and after the fleet closes the shared SpillDir is empty — no
+// orphaned run files survive.
+func TestTCPMultiProcessSpillKillRespawn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process kill/respawn run")
+	}
+	const p, perRank, runs, victim = 4, 20000, 2, 2
+	budget := int64(perRank) * 8 / 4
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := simDigests(t, p, perRank, runs)
+	spillDir := t.TempDir()
+
+	var lines []string
+	for attempt := 0; ; attempt++ {
+		lines, err = launchSpillKillRespawn(t, exe, p, perRank, runs, victim, budget, spillDir)
+		if err == nil {
+			break
+		}
+		if attempt >= 2 {
+			t.Fatalf("spill kill/respawn fleet failed after retries: %v", err)
+		}
+		t.Logf("retrying after bootstrap race: %v", err)
+	}
+
+	got := make([][]string, runs)
+	for i := range got {
+		got[i] = make([]string, p)
+	}
+	crashes := make(map[int]int)
+	spilled := make(map[int]int64) // run -> global spilled bytes (rank 0's aggregate)
+	for _, line := range lines {
+		var run, rank, lost int
+		var bytes int64
+		var digest string
+		switch {
+		case scanLine(line, "DIGEST run=%d rank=%d %s", &run, &rank, &digest):
+			got[run][rank] = digest
+		case scanLine(line, "CRASH run=%d rank=%d lost=%d", &run, &rank, &lost):
+			crashes[rank] = lost
+		case scanLine(line, "SPILL run=%d bytes=%d", &run, &bytes):
+			spilled[run] = bytes
+		}
+	}
+	for run := 0; run < runs; run++ {
+		if !slices.Equal(got[run], want[run]) {
+			t.Errorf("run %d digests differ:\n tcp %v\n sim %v", run, got[run], want[run])
+		}
+		if spilled[run] == 0 {
+			t.Errorf("run %d reports no spilled bytes; the budget never engaged", run)
+		}
+	}
+	if len(crashes) < p-1 {
+		t.Errorf("only %d of %d survivors reported the crash: %v", len(crashes), p-1, crashes)
+	}
+	for rank, lost := range crashes {
+		if lost != victim {
+			t.Errorf("rank %d reported lost rank %d, want %d", rank, lost, victim)
+		}
+	}
+	ents, err := os.ReadDir(spillDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		names := make([]string, len(ents))
+		for i, e := range ents {
+			names[i] = e.Name()
+		}
+		t.Errorf("SpillDir holds orphans after the fleet closed: %v", names)
+	}
+}
+
+// launchSpillKillRespawn forks the out-of-core kill/respawn fleet:
+// every worker sorts under the given MemoryBudget with run files in
+// the shared spillDir, and the victim is armed with a seeded
+// self-SIGKILL at its first exchange-phase send.
+func launchSpillKillRespawn(t *testing.T, exe string, p, perRank, runs, victim int, budget int64, spillDir string) ([]string, error) {
+	t.Helper()
+	coordinator := freeLoopbackAddr(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	var mu sync.Mutex
+	var lines []string
+	run := func(spec string) error {
+		cmd := exec.CommandContext(ctx, exe, "-test.run=NONE")
+		cmd.Env = append(os.Environ(), tcpWorkerEnv+"="+spec)
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			return err
+		}
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return err
+		}
+		sc := bufio.NewScanner(out)
+		for sc.Scan() {
+			mu.Lock()
+			lines = append(lines, sc.Text())
+			mu.Unlock()
+		}
+		return cmd.Wait()
+	}
+	base := func(r int) string {
+		return fmt.Sprintf("rank=%d procs=%d perRank=%d runs=%d coordinator=%s heartbeat=500ms peerTimeout=5s rejoinWait=60s budget=%d spilldir=%s chunk=1024",
+			r, p, perRank, runs, coordinator, budget, spillDir)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, p)
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = func() error {
+				if r != victim {
+					if err := run(base(r)); err != nil {
+						return fmt.Errorf("worker %d: %w", r, err)
+					}
+					return nil
+				}
+				if err := run(base(r) + fmt.Sprintf(" chaos=9:crash=%d@exchange", victim)); err == nil {
+					return fmt.Errorf("victim exited cleanly; the chaos crash never fired")
+				}
 				if err := run(base(r) + " rejoin=1"); err != nil {
 					return fmt.Errorf("respawned victim: %w", err)
 				}
